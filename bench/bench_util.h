@@ -1,0 +1,116 @@
+#ifndef SLIMSTORE_BENCH_BENCH_UTIL_H_
+#define SLIMSTORE_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/slimstore.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+#include "workload/generator.h"
+
+namespace slim::bench {
+
+/// Prints a section header.
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// OSS cost model used by *accounting* benches (dedup throughput, space,
+/// read counts): costs are recorded, not slept, and throughputs are
+/// derived as logical_bytes / (cpu_time + serialized_io_time).
+inline oss::OssCostModel AccountingModel() {
+  oss::OssCostModel model;
+  model.request_latency_nanos = 200 * 1000;  // 200 us per request
+  model.read_nanos_per_byte = 10.0;          // ~100 MB/s single channel
+  model.write_nanos_per_byte = 10.0;
+  model.sleep_for_cost = false;
+  return model;
+}
+
+/// OSS cost model for *latency-hiding* benches (LAW prefetching,
+/// Table II): requests really sleep, so multi-threaded prefetch shows
+/// genuine wall-clock gains. Scaled down to keep benches fast.
+inline oss::OssCostModel SleepingModel() {
+  oss::OssCostModel model;
+  model.request_latency_nanos = 300 * 1000;  // 300 us per request
+  model.read_nanos_per_byte = 15.0;          // ~66 MB/s single channel
+  model.write_nanos_per_byte = 5.0;
+  model.sleep_for_cost = true;
+  return model;
+}
+
+/// Simulated wall seconds for an accounting-model run: measured CPU time
+/// plus the serialized I/O cost the OSS recorded.
+inline double SimSeconds(double cpu_seconds,
+                         const oss::OssMetricsSnapshot& delta) {
+  return cpu_seconds + delta.sim_cost_nanos * 1e-9;
+}
+
+inline double Mb(uint64_t bytes) { return bytes / (1024.0 * 1024.0); }
+
+/// Throughput in simulated MB/s.
+inline double SimThroughput(uint64_t bytes, double cpu_seconds,
+                            const oss::OssMetricsSnapshot& delta) {
+  double secs = SimSeconds(cpu_seconds, delta);
+  return secs <= 0 ? 0.0 : Mb(bytes) / secs;
+}
+
+/// Standard scaled-down S-DB workload for benches (paper Table I: 25
+/// versions, per-file duplication 0.65..0.95 avg 0.84, 20% self
+/// reference).
+inline workload::SdbOptions BenchSdb(size_t files = 2,
+                                     size_t file_size = 4 << 20,
+                                     size_t versions = 25) {
+  workload::SdbOptions options;
+  options.num_files = files;
+  options.file_size = file_size;
+  options.num_versions = versions;
+  options.seed = 20210415;
+  return options;
+}
+
+/// Standard scaled-down R-Data workload (13 versions, dup 0.92, ~0.1%
+/// self-reference, many smaller files).
+inline workload::RdataOptions BenchRdata(size_t files = 24,
+                                         size_t file_size = 512 << 10,
+                                         size_t versions = 13) {
+  workload::RdataOptions options;
+  options.num_files = files;
+  options.file_size = file_size;
+  options.num_versions = versions;
+  options.seed = 20210416;
+  return options;
+}
+
+/// Bench-scale SlimStore options (smaller containers/segments so the
+/// scaled datasets produce realistic container counts).
+inline core::SlimStoreOptions BenchStoreOptions() {
+  core::SlimStoreOptions options;
+  options.backup.chunker_type = chunking::ChunkerType::kFastCdc;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(4096);
+  options.backup.container_capacity = 64 << 10;
+  options.backup.segment_bytes = 64 << 10;
+  options.backup.segment_max_chunks = 256;
+  options.backup.sample_ratio = 4;
+  options.backup.similarity_header_bytes = 1 << 20;
+  options.restore.cache_bytes = 4 << 20;
+  options.restore.disk_cache_bytes = 16 << 20;
+  options.restore.law_chunks = 1024;
+  return options;
+}
+
+}  // namespace slim::bench
+
+#endif  // SLIMSTORE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,217 @@
+// Reproduces Fig 10: SLIMSTORE vs an open-source-style dedup system
+// (Restic architecture: one shared fingerprint index, repository lock,
+// ~1 MB chunks).
+//   (a) backup throughput vs concurrent jobs: SlimStore's stateless
+//       L-nodes scale linearly (6 nodes x 13 jobs), Restic plateaus at
+//       single-job speed because jobs serialize on the index;
+//   (b) restore throughput scaling (8 jobs per L-node);
+//   (c) occupied space: SlimStore's adaptive chunk size (merging) plus
+//       reverse dedup beats Restic's fixed large chunks by ~20% + 4.6%.
+
+#include <thread>
+
+#include "baselines/restic_like.h"
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "core/cluster.h"
+
+using namespace slim;
+using namespace slim::bench;
+
+namespace {
+
+constexpr size_t kNumFiles = 48;
+constexpr size_t kFileBytes = 256 << 10;
+
+// R-Data-like content for each file (dup 0.92, tiny self-reference).
+std::vector<workload::VersionedFileGenerator> MakeFiles() {
+  std::vector<workload::VersionedFileGenerator> files;
+  for (size_t i = 0; i < kNumFiles; ++i) {
+    workload::GeneratorOptions gen;
+    gen.base_size = kFileBytes;
+    gen.duplication_ratio = 0.92;
+    gen.self_reference = 0.001;
+    gen.seed = 5000 + i;
+    files.emplace_back(gen);
+  }
+  return files;
+}
+
+std::string FileName(size_t i) { return "rdata/f" + std::to_string(i); }
+
+}  // namespace
+
+int main() {
+  // --- Scaling experiment. Cloud backup jobs are I/O-bound (high OSS
+  // latency); a heavier sleeping model makes job overlap — not local
+  // CPU cores — the scaling driver, as in the paper's testbed.
+  oss::OssCostModel heavy;
+  heavy.request_latency_nanos = 2 * 1000 * 1000;  // 2 ms
+  heavy.read_nanos_per_byte = 30.0;               // ~33 MB/s channel
+  heavy.write_nanos_per_byte = 30.0;
+  heavy.sleep_for_cost = true;
+
+  oss::MemoryObjectStore slim_inner;
+  oss::SimulatedOss slim_oss(&slim_inner, heavy);
+  core::SlimStoreOptions options = BenchStoreOptions();
+  // Larger chunks via merging, like the paper's Fig 10 configuration.
+  options.backup.chunk_merging = true;
+  options.backup.merge_threshold = 2;
+  options.backup.min_merge_chunks = 4;
+  options.enable_scc = false;
+  options.enable_reverse_dedup = false;
+  core::SlimStore slim_store(&slim_oss, options);
+  core::Cluster::Options copts;
+  copts.num_lnodes = 6;
+  copts.backup_jobs_per_node = 13;
+  copts.restore_jobs_per_node = 8;
+  core::Cluster cluster(&slim_store, copts);
+
+  oss::MemoryObjectStore restic_inner;
+  oss::SimulatedOss restic_oss(&restic_inner, heavy);
+  baselines::ResticLikeOptions ropts;
+  // Paper: Restic uses ~1 MB chunks on TB-scale data; scaled to our
+  // corpus that is ~16 KB (vs SlimStore's adaptive 4 KB + merging).
+  ropts.chunker_params = chunking::ChunkerParams::FromAverage(16 << 10);
+  ropts.pack_capacity = 256 << 10;
+  baselines::ResticLike restic(&restic_oss, "restic", ropts);
+
+  auto slim_files = MakeFiles();
+  auto restic_files = MakeFiles();
+
+  // Seed version 0 everywhere (unmeasured; gives later waves duplicates).
+  {
+    std::vector<core::BackupJob> jobs;
+    for (size_t i = 0; i < kNumFiles; ++i) {
+      jobs.push_back({FileName(i), &slim_files[i].data()});
+    }
+    SLIM_CHECK_OK(cluster.ParallelBackup(jobs).status());
+    for (size_t i = 0; i < kNumFiles; ++i) {
+      SLIM_CHECK_OK(
+          restic.Backup(FileName(i), restic_files[i].data()).status());
+    }
+  }
+
+  Section("Fig 10(a): backup throughput (wall MB/s) vs concurrent jobs");
+  Row("%-6s %14s %8s %14s", "jobs", "slimstore", "lnodes", "restic-like");
+  for (size_t jobs : {1u, 2u, 4u, 8u, 13u, 26u, 48u}) {
+    // Each wave backs up the next version of the first `jobs` files.
+    for (size_t i = 0; i < jobs; ++i) {
+      slim_files[i].Mutate();
+      restic_files[i].Mutate();
+    }
+    std::vector<core::BackupJob> wave;
+    for (size_t i = 0; i < jobs; ++i) {
+      wave.push_back({FileName(i), &slim_files[i].data()});
+    }
+    auto slim_run = cluster.ParallelBackup(wave);
+    SLIM_CHECK_OK(slim_run.status());
+
+    Stopwatch restic_watch;
+    {
+      ThreadPool pool(jobs);
+      for (size_t i = 0; i < jobs; ++i) {
+        pool.Submit([&, i] {
+          SLIM_CHECK_OK(
+              restic.Backup(FileName(i), restic_files[i].data()).status());
+        });
+      }
+      pool.WaitIdle();
+    }
+    double restic_secs = restic_watch.ElapsedSeconds();
+    double restic_mbps = Mb(jobs * kFileBytes) / restic_secs;
+    Row("%-6zu %14.1f %8zu %14.1f", jobs,
+        slim_run.value().AggregateThroughputMBps(),
+        slim_run.value().lnodes_used, restic_mbps);
+  }
+
+  Section("Fig 10(b): restore throughput (wall MB/s) vs concurrent jobs");
+  Row("%-6s %14s %8s %14s", "jobs", "slimstore", "lnodes", "restic-like");
+  lnode::RestoreOptions slim_ropts = options.restore;
+  slim_ropts.prefetch_threads = 2;  // Paper uses 2 for this experiment.
+  for (size_t jobs : {1u, 2u, 4u, 8u, 16u, 32u, 48u}) {
+    std::vector<index::FileVersion> wave;
+    for (size_t i = 0; i < jobs; ++i) wave.push_back({FileName(i), 0});
+    auto slim_run = cluster.ParallelRestore(wave, &slim_ropts);
+    SLIM_CHECK_OK(slim_run.status());
+
+    Stopwatch restic_watch;
+    uint64_t restic_bytes = 0;
+    {
+      std::mutex mu;
+      ThreadPool pool(jobs);
+      for (size_t i = 0; i < jobs; ++i) {
+        pool.Submit([&, i] {
+          auto out = restic.Restore(FileName(i), 0, nullptr);
+          SLIM_CHECK_OK(out.status());
+          std::lock_guard<std::mutex> lock(mu);
+          restic_bytes += out.value().size();
+        });
+      }
+      pool.WaitIdle();
+    }
+    double restic_mbps = Mb(restic_bytes) / restic_watch.ElapsedSeconds();
+    Row("%-6zu %14.1f %8zu %14.1f", jobs,
+        slim_run.value().AggregateThroughputMBps(),
+        slim_run.value().lnodes_used, restic_mbps);
+  }
+
+  // --- Space comparison (separate, smaller corpus; accounting model).
+  Section("Fig 10(c): occupied space after 13 versions (MB)");
+  {
+    oss::MemoryObjectStore a_inner, b_inner;
+    oss::SimulatedOss a_oss(&a_inner, AccountingModel());
+    oss::SimulatedOss b_oss(&b_inner, AccountingModel());
+    core::SlimStoreOptions sopts = BenchStoreOptions();
+    sopts.backup.chunk_merging = true;
+    sopts.backup.merge_threshold = 2;
+    sopts.backup.min_merge_chunks = 4;
+    sopts.enable_scc = false;
+    sopts.enable_reverse_dedup = true;
+    core::SlimStore slim2(&a_oss, sopts);
+    baselines::ResticLike restic2(&b_oss, "restic", ropts);
+
+    std::vector<workload::VersionedFileGenerator> files;
+    for (size_t i = 0; i < 8; ++i) {
+      workload::GeneratorOptions gen;
+      gen.base_size = 512 << 10;
+      gen.duplication_ratio = 0.92;
+      gen.self_reference = 0.001;
+      gen.seed = 9000 + i;
+      files.emplace_back(gen);
+    }
+    double slim_before_g = 0;
+    for (int v = 0; v < 13; ++v) {
+      for (size_t i = 0; i < files.size(); ++i) {
+        SLIM_CHECK_OK(slim2.Backup(FileName(i), files[i].data()).status());
+        SLIM_CHECK_OK(
+            restic2.Backup(FileName(i), files[i].data()).status());
+        if (v + 1 < 13) files[i].Mutate();
+      }
+    }
+    auto report = slim2.GetSpaceReport();
+    SLIM_CHECK_OK(report.status());
+    slim_before_g = Mb(report.value().container_bytes);
+    SLIM_CHECK_OK(slim2.RunGNodeCycle().status());
+    report = slim2.GetSpaceReport();
+    SLIM_CHECK_OK(report.status());
+    double slim_after_g = Mb(report.value().container_bytes);
+    auto restic_bytes = restic2.OccupiedBytes();
+    SLIM_CHECK_OK(restic_bytes.status());
+
+    Row("%-32s %10.2f", "restic-like packs", Mb(restic_bytes.value()));
+    Row("%-32s %10.2f", "slimstore (L-dedupe only)", slim_before_g);
+    Row("%-32s %10.2f", "slimstore (+reverse dedup)", slim_after_g);
+    Row("\nslimstore vs restic: %.1f%% smaller; reverse dedup extra "
+        "%.1f%% (paper: ~20%% and 4.6%%)",
+        100.0 * (Mb(restic_bytes.value()) - slim_after_g) /
+            Mb(restic_bytes.value()),
+        100.0 * (slim_before_g - slim_after_g) / slim_before_g);
+  }
+
+  Row("%s", "\nPaper shape: SlimStore backup/restore throughput scales "
+            "linearly with jobs and L-nodes (9102 MB/s at 72 jobs, 3676 "
+            "MB/s restore at 48); Restic is pinned near single-job "
+            "throughput by its shared index; SlimStore stores ~20% less.");
+  return 0;
+}

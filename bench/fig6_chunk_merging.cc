@@ -1,0 +1,81 @@
+// Reproduces Fig 6: performance of history-aware chunk merging.
+//   (a) dedup throughput with/without merging + resulting average chunk
+//       size, across file duplication ratios (initial chunk size 4 KB);
+//   (b) dedup ratio loss caused by merging (small for high-dup files).
+
+#include "bench/bench_util.h"
+
+using namespace slim;
+using namespace slim::bench;
+
+namespace {
+
+struct RunResult {
+  double throughput_mbps = 0;
+  double dedup_ratio = 0;
+  double mean_chunk = 0;
+};
+
+RunResult Run(bool merging, double duplication) {
+  oss::MemoryObjectStore inner;
+  oss::SimulatedOss oss(&inner, AccountingModel());
+  core::SlimStoreOptions options = BenchStoreOptions();
+  options.backup.skip_chunking = true;
+  options.backup.chunk_merging = merging;
+  options.backup.merge_threshold = 3;
+  options.backup.min_merge_chunks = 4;
+  options.backup.max_superchunk_bytes = 256 << 10;
+  core::SlimStore store(&oss, options);
+
+  workload::GeneratorOptions gen;
+  gen.base_size = 6 << 20;
+  gen.duplication_ratio = duplication;
+  gen.self_reference = 0.2;
+  gen.seed = 777;
+  workload::VersionedFileGenerator file(gen);
+
+  RunResult result;
+  int measured = 0;
+  const int versions = 8;  // Merging needs dup_times to build up.
+  for (int v = 0; v < versions; ++v) {
+    auto before = oss.metrics();
+    auto stats = store.Backup("f.db", file.data());
+    SLIM_CHECK_OK(stats.status());
+    auto delta = oss.metrics() - before;
+    if (v >= versions - 3) {  // Steady state after merging kicked in.
+      result.throughput_mbps += SimThroughput(
+          stats.value().logical_bytes, stats.value().elapsed_seconds, delta);
+      result.dedup_ratio += stats.value().DedupRatio();
+      result.mean_chunk += stats.value().MeanChunkBytes();
+      ++measured;
+    }
+    file.Mutate();
+  }
+  result.throughput_mbps /= measured;
+  result.dedup_ratio /= measured;
+  result.mean_chunk /= measured;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  Section("Fig 6: history-aware chunk merging (initial chunk 4 KB, "
+          "merge threshold duplicateTimes >= 3)");
+  Row("%-6s | %11s %11s %7s | %11s %11s | %10s %9s", "dup",
+      "thru off", "thru on", "gain", "ratio off", "ratio on", "avg chunk",
+      "ratioloss");
+  for (double dup : {0.65, 0.75, 0.85, 0.95}) {
+    RunResult off = Run(false, dup);
+    RunResult on = Run(true, dup);
+    Row("%-6.2f | %9.1f %11.1f %6.2fx | %11.3f %11.3f | %9.0fB %8.1f%%",
+        dup, off.throughput_mbps, on.throughput_mbps,
+        on.throughput_mbps / off.throughput_mbps, off.dedup_ratio,
+        on.dedup_ratio, on.mean_chunk,
+        100.0 * (off.dedup_ratio - on.dedup_ratio));
+  }
+  Row("%s", "\nPaper shape: merging raises throughput (>20% at dup 0.95, "
+            "125->155 MB/s) and average chunk size, costing only ~0.9% "
+            "dedup ratio at 0.95 and more at lower duplication.");
+  return 0;
+}

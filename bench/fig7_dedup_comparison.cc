@@ -1,0 +1,149 @@
+// Reproduces Fig 7: overall fast-online-deduplication comparison of
+// SLIMSTORE vs SiLO vs Sparse Indexing over 25 backup versions of S-DB.
+//   (a) per-version dedup throughput: SlimStore 1.32x/1.39x faster
+//       before chunk merging triggers (version 6), 1.63x/1.72x after;
+//   (b) dedup ratio: all three nearly equal, SlimStore loses ~1.5%
+//       after merging.
+
+#include "baselines/silo.h"
+#include "baselines/sparse_indexing.h"
+#include "bench/bench_util.h"
+
+using namespace slim;
+using namespace slim::bench;
+
+namespace {
+constexpr int kVersions = 25;
+constexpr size_t kFileBytes = 4 << 20;
+constexpr uint32_t kMergeThreshold = 5;
+
+struct Series {
+  std::vector<double> throughput;
+  std::vector<double> ratio;
+};
+
+workload::VersionedFileGenerator MakeFile() {
+  workload::GeneratorOptions gen;
+  gen.base_size = kFileBytes;
+  gen.duplication_ratio = 0.84;
+  gen.self_reference = 0.2;
+  gen.seed = 31337;
+  return workload::VersionedFileGenerator(gen);
+}
+
+Series RunSlimStore() {
+  oss::MemoryObjectStore inner;
+  oss::SimulatedOss oss(&inner, AccountingModel());
+  core::SlimStoreOptions options = BenchStoreOptions();
+  // The paper's Fig 7 uses the classic Rabin CDC (4 KB) in all three
+  // systems; SlimStore's skip chunking then removes most of that cost.
+  options.backup.chunker_type = chunking::ChunkerType::kRabin;
+  options.backup.skip_chunking = true;
+  options.backup.chunk_merging = true;
+  options.backup.merge_threshold = kMergeThreshold;
+  options.backup.min_merge_chunks = 4;
+  core::SlimStore store(&oss, options);
+
+  Series series;
+  auto file = MakeFile();
+  for (int v = 0; v < kVersions; ++v) {
+    auto before = oss.metrics();
+    auto stats = store.Backup("f.db", file.data());
+    SLIM_CHECK_OK(stats.status());
+    auto delta = oss.metrics() - before;
+    series.throughput.push_back(SimThroughput(
+        stats.value().logical_bytes, stats.value().elapsed_seconds, delta));
+    series.ratio.push_back(stats.value().DedupRatio());
+    file.Mutate();
+  }
+  return series;
+}
+
+template <typename Engine>
+Series RunBaseline(Engine* engine, oss::SimulatedOss* oss) {
+  Series series;
+  auto file = MakeFile();
+  for (int v = 0; v < kVersions; ++v) {
+    auto before = oss->metrics();
+    auto stats = engine->Backup("f.db", file.data());
+    SLIM_CHECK_OK(stats.status());
+    auto delta = oss->metrics() - before;
+    series.throughput.push_back(SimThroughput(
+        stats.value().logical_bytes, stats.value().elapsed_seconds, delta));
+    series.ratio.push_back(stats.value().DedupRatio());
+    file.Mutate();
+  }
+  return series;
+}
+
+double Avg(const std::vector<double>& v, int from, int to) {
+  double sum = 0;
+  int n = 0;
+  for (int i = from; i < to && i < static_cast<int>(v.size()); ++i) {
+    sum += v[i];
+    ++n;
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+}  // namespace
+
+int main() {
+  Series slim_series = RunSlimStore();
+
+  baselines::SiloOptions silo_options;
+  silo_options.chunker_type = chunking::ChunkerType::kRabin;
+  silo_options.segment_bytes = 256 << 10;
+  silo_options.block_segments = 16;
+  silo_options.container_capacity = 64 << 10;
+  oss::MemoryObjectStore silo_inner;
+  oss::SimulatedOss silo_oss(&silo_inner, AccountingModel());
+  baselines::SiloDedup silo(&silo_oss, "silo", silo_options);
+  Series silo_series = RunBaseline(&silo, &silo_oss);
+
+  baselines::SparseIndexingOptions sparse_options;
+  sparse_options.chunker_type = chunking::ChunkerType::kRabin;
+  sparse_options.segment_bytes = 256 << 10;
+  sparse_options.sample_ratio = 32;
+  sparse_options.container_capacity = 64 << 10;
+  oss::MemoryObjectStore sparse_inner;
+  oss::SimulatedOss sparse_oss(&sparse_inner, AccountingModel());
+  baselines::SparseIndexingDedup sparse(&sparse_oss, "sparse",
+                                        sparse_options);
+  Series sparse_series = RunBaseline(&sparse, &sparse_oss);
+
+  Section("Fig 7(a): dedup throughput (sim MB/s) over 25 versions");
+  Row("%-8s %12s %12s %12s", "version", "slimstore", "silo", "sparseidx");
+  for (int v = 0; v < kVersions; ++v) {
+    Row("%-8d %12.1f %12.1f %12.1f", v, slim_series.throughput[v],
+        silo_series.throughput[v], sparse_series.throughput[v]);
+  }
+  Row("\nspeedup vs SiLO   before v%u: %.2fx   after: %.2fx",
+      kMergeThreshold + 1,
+      Avg(slim_series.throughput, 1, kMergeThreshold + 1) /
+          Avg(silo_series.throughput, 1, kMergeThreshold + 1),
+      Avg(slim_series.throughput, kMergeThreshold + 2, kVersions) /
+          Avg(silo_series.throughput, kMergeThreshold + 2, kVersions));
+  Row("speedup vs Sparse before v%u: %.2fx   after: %.2fx",
+      kMergeThreshold + 1,
+      Avg(slim_series.throughput, 1, kMergeThreshold + 1) /
+          Avg(sparse_series.throughput, 1, kMergeThreshold + 1),
+      Avg(slim_series.throughput, kMergeThreshold + 2, kVersions) /
+          Avg(sparse_series.throughput, kMergeThreshold + 2, kVersions));
+
+  Section("Fig 7(b): dedup ratio over versions");
+  Row("%-8s %12s %12s %12s", "version", "slimstore", "silo", "sparseidx");
+  for (int v = 1; v < kVersions; ++v) {
+    Row("%-8d %12.3f %12.3f %12.3f", v, slim_series.ratio[v],
+        silo_series.ratio[v], sparse_series.ratio[v]);
+  }
+  Row("\navg ratio v1+: slimstore %.3f  silo %.3f  sparse %.3f "
+      "(paper: ~1.5%% loss for slimstore after merging)",
+      Avg(slim_series.ratio, 1, kVersions), Avg(silo_series.ratio, 1,
+                                                kVersions),
+      Avg(sparse_series.ratio, 1, kVersions));
+  Row("%s", "\nPaper shape: SlimStore fastest (1.32x/1.39x pre-merge, "
+            "1.63x/1.72x post-merge, with a dip at the merge version); "
+            "dedup ratios nearly equal.");
+  return 0;
+}

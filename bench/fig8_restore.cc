@@ -1,0 +1,208 @@
+// Reproduces Fig 8: restore performance over 25 backup versions of
+// S-DB, comparing
+//   * SCC + FV   — SlimStore: sparse container compaction (G-node) plus
+//                  the full-vision two-layer restore cache;
+//   * HAR + OPT  — HAR rewriting at backup time + LAW-based optimal
+//                  container cache at restore time [Fu'14];
+//   * ALACC      — FAA + look-ahead chunk cache [Cao'18];
+//   * LRU        — classic container LRU (extra reference point).
+// Reported per version: restore throughput (simulated MB/s) and
+// containers read per 100 MB restored (read amplification), for three
+// cache sizes. Part (d) enables LAW prefetching on a sleeping OSS.
+
+#include <memory>
+
+#include "baselines/restore_baselines.h"
+#include "bench/bench_util.h"
+#include "index/similar_file_index.h"
+#include "lnode/backup_pipeline.h"
+
+using namespace slim;
+using namespace slim::bench;
+
+namespace {
+
+constexpr int kVersions = 25;
+constexpr size_t kFileBytes = 4 << 20;
+const char* kFile = "db/f.db";
+
+workload::VersionedFileGenerator MakeFile() {
+  workload::GeneratorOptions gen;
+  gen.base_size = kFileBytes;
+  gen.duplication_ratio = 0.84;
+  gen.self_reference = 0.2;
+  gen.seed = 8888;
+  return workload::VersionedFileGenerator(gen);
+}
+
+// One backed-up corpus: its own OSS + stores.
+struct Corpus {
+  std::unique_ptr<oss::MemoryObjectStore> inner;
+  std::unique_ptr<oss::SimulatedOss> oss;
+  std::unique_ptr<core::SlimStore> store;
+};
+
+Corpus BuildCorpus(bool scc) {
+  Corpus corpus;
+  corpus.inner = std::make_unique<oss::MemoryObjectStore>();
+  corpus.oss =
+      std::make_unique<oss::SimulatedOss>(corpus.inner.get(),
+                                          AccountingModel());
+  core::SlimStoreOptions options = BenchStoreOptions();
+  options.enable_scc = scc;
+  options.enable_reverse_dedup = false;
+  corpus.store = std::make_unique<core::SlimStore>(corpus.oss.get(),
+                                                   options);
+  auto file = MakeFile();
+  for (int v = 0; v < kVersions; ++v) {
+    SLIM_CHECK_OK(corpus.store->Backup(kFile, file.data()).status());
+    if (scc) SLIM_CHECK_OK(corpus.store->RunGNodeCycle().status());
+    file.Mutate();
+  }
+  return corpus;
+}
+
+// HAR corpus: backups rewrite duplicates located in the previous
+// version's sparse containers.
+Corpus BuildHarCorpus() {
+  Corpus corpus;
+  corpus.inner = std::make_unique<oss::MemoryObjectStore>();
+  corpus.oss =
+      std::make_unique<oss::SimulatedOss>(corpus.inner.get(),
+                                          AccountingModel());
+  core::SlimStoreOptions options = BenchStoreOptions();
+  options.enable_scc = false;
+  options.enable_reverse_dedup = false;
+  corpus.store = std::make_unique<core::SlimStore>(corpus.oss.get(),
+                                                   options);
+
+  auto file = MakeFile();
+  std::shared_ptr<std::unordered_set<format::ContainerId>> sparse;
+  for (int v = 0; v < kVersions; ++v) {
+    lnode::BackupOptions bopts = options.backup;
+    bopts.har_rewrite_containers = sparse;
+    lnode::BackupPipeline pipeline(corpus.store->container_store(),
+                                   corpus.store->recipe_store(),
+                                   corpus.store->similar_file_index(),
+                                   bopts);
+    auto stats = pipeline.Backup(kFile, file.data(), v);
+    SLIM_CHECK_OK(stats.status());
+    sparse = std::make_shared<std::unordered_set<format::ContainerId>>(
+        stats.value().sparse_containers.begin(),
+        stats.value().sparse_containers.end());
+    file.Mutate();
+  }
+  return corpus;
+}
+
+struct Point {
+  double throughput = 0;
+  double reads_per_100mb = 0;
+};
+
+Point RestoreFv(Corpus& corpus, int version, size_t cache_bytes,
+                size_t prefetch_threads) {
+  lnode::RestoreOptions opts;
+  opts.cache_bytes = cache_bytes;
+  opts.disk_cache_bytes = cache_bytes * 4;
+  opts.law_chunks = 1024;
+  opts.prefetch_threads = prefetch_threads;
+  lnode::RestoreStats stats;
+  auto before = corpus.oss->metrics();
+  auto out = corpus.store->Restore(kFile, version, &stats, &opts);
+  SLIM_CHECK_OK(out.status());
+  auto delta = corpus.oss->metrics() - before;
+  Point point;
+  point.throughput =
+      prefetch_threads > 0
+          ? stats.ThroughputMBps()  // Real wall time (sleeping OSS).
+          : SimThroughput(stats.logical_bytes, stats.elapsed_seconds, delta);
+  point.reads_per_100mb = stats.ContainersPer100MB();
+  return point;
+}
+
+Point RestoreBaseline(Corpus& corpus, baselines::RestorePolicy policy,
+                      int version, size_t cache_bytes, bool wall_clock) {
+  baselines::BaselineRestoreOptions opts;
+  opts.cache_bytes = cache_bytes;
+  opts.law_chunks = 1024;
+  opts.global_index = corpus.store->global_index();
+  baselines::BaselineRestorer restorer(corpus.store->container_store(),
+                                       corpus.store->recipe_store(), policy,
+                                       opts);
+  lnode::RestoreStats stats;
+  auto before = corpus.oss->metrics();
+  auto out = restorer.Restore(kFile, version, &stats);
+  SLIM_CHECK_OK(out.status());
+  auto delta = corpus.oss->metrics() - before;
+  Point point;
+  point.throughput =
+      wall_clock
+          ? stats.ThroughputMBps()
+          : SimThroughput(stats.logical_bytes, stats.elapsed_seconds, delta);
+  point.reads_per_100mb = stats.ContainersPer100MB();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  Corpus scc = BuildCorpus(/*scc=*/true);
+  Corpus plain = BuildCorpus(/*scc=*/false);
+  Corpus har = BuildHarCorpus();
+
+  const struct {
+    const char* label;
+    size_t bytes;
+  } kCacheSizes[] = {
+      {"small (2 containers)", 128 << 10},
+      {"medium (8 containers)", 512 << 10},
+      {"large (32 containers)", 2 << 20},
+  };
+
+  for (const auto& cache : kCacheSizes) {
+    Section(std::string("Fig 8: restore, cache = ") + cache.label +
+            " — throughput sim MB/s | containers read per 100 MB");
+    Row("%-4s | %9s %9s %9s %9s | %8s %8s %8s %8s", "ver", "SCC+FV",
+        "HAR+OPT", "ALACC", "LRU", "r/SCCFV", "r/HAROPT", "r/ALACC",
+        "r/LRU");
+    for (int v = 0; v < kVersions; v += 2) {
+      Point fv = RestoreFv(scc, v, cache.bytes, 0);
+      Point haropt = RestoreBaseline(
+          har, baselines::RestorePolicy::kOptContainer, v, cache.bytes,
+          false);
+      Point alacc = RestoreBaseline(
+          plain, baselines::RestorePolicy::kAlacc, v, cache.bytes, false);
+      Point lru = RestoreBaseline(
+          plain, baselines::RestorePolicy::kLruContainer, v, cache.bytes,
+          false);
+      Row("%-4d | %9.1f %9.1f %9.1f %9.1f | %8.1f %8.1f %8.1f %8.1f", v,
+          fv.throughput, haropt.throughput, alacc.throughput,
+          lru.throughput, fv.reads_per_100mb, haropt.reads_per_100mb,
+          alacc.reads_per_100mb, lru.reads_per_100mb);
+    }
+  }
+
+  Section("Fig 8(d): LAW prefetching enabled (6 threads, sleeping OSS) — "
+          "wall-clock MB/s on the newest and oldest versions");
+  // Switch every corpus to the sleeping cost model for this part.
+  scc.oss->set_cost_model(SleepingModel());
+  plain.oss->set_cost_model(SleepingModel());
+  har.oss->set_cost_model(SleepingModel());
+  Row("%-4s | %14s %12s %9s", "ver", "SCC+FV+LAWpre", "HAR+OPT", "ALACC");
+  for (int v : {0, 12, 24}) {
+    Point fv = RestoreFv(scc, v, 2 << 20, 6);
+    Point haropt = RestoreBaseline(
+        har, baselines::RestorePolicy::kOptContainer, v, 2 << 20, true);
+    Point alacc = RestoreBaseline(plain, baselines::RestorePolicy::kAlacc,
+                                  v, 2 << 20, true);
+    Row("%-4d | %14.1f %12.1f %9.1f   (x%.1f vs HAR+OPT, x%.1f vs ALACC)",
+        v, fv.throughput, haropt.throughput, alacc.throughput,
+        fv.throughput / haropt.throughput, fv.throughput / alacc.throughput);
+  }
+  Row("%s", "\nPaper shape: FV beats ALACC beats OPT at every cache size; "
+            "with SCC the reads/100MB stabilize over versions instead of "
+            "growing; with LAW prefetching SCC+FV reaches ~9.75x HAR+OPT "
+            "and ~16.35x ALACC, and new versions restore as fast as old.");
+  return 0;
+}

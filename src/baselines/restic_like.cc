@@ -1,0 +1,167 @@
+#include "baselines/restic_like.h"
+
+#include <optional>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace slim::baselines {
+
+using format::ChunkRecord;
+using format::ContainerBuilder;
+using format::SegmentRecipe;
+
+ResticLike::ResticLike(oss::ObjectStore* store, const std::string& root,
+                       ResticLikeOptions options)
+    : store_(store),
+      root_(root),
+      options_(options),
+      chunker_(chunking::CreateChunker(options.chunker_type,
+                                       options.chunker_params)),
+      packs_(store, root + "/packs"),
+      recipes_(store, root + "/recipes") {}
+
+Result<lnode::BackupStats> ResticLike::Backup(const std::string& file_id,
+                                              std::string_view data) {
+  Stopwatch total_watch;
+  PhaseTimer t_chunking, t_fingerprint, t_index;
+
+  // The whole job holds the repository lock: restic's shared index
+  // cannot admit a second concurrent writer.
+  std::lock_guard<std::mutex> repo_lock(repo_mu_);
+
+  lnode::BackupStats stats;
+  stats.file_id = file_id;
+  auto vit = versions_.find(file_id);
+  stats.version = vit == versions_.end() ? 0 : vit->second + 1;
+  versions_[file_id] = stats.version;
+  stats.logical_bytes = data.size();
+
+  format::Recipe recipe;
+  recipe.file_id = file_id;
+  recipe.version = stats.version;
+  SegmentRecipe seg;
+
+  std::optional<ContainerBuilder> builder;
+  auto flush_pack = [&]() -> Status {
+    if (!builder.has_value() || builder->empty()) return Status::Ok();
+    format::ContainerId id = builder->id();
+    SLIM_RETURN_IF_ERROR(packs_.Write(std::move(*builder)));
+    builder.reset();
+    stats.new_containers.push_back(id);
+    return Status::Ok();
+  };
+
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  const size_t size = data.size();
+  size_t pos = 0;
+  while (pos < size) {
+    size_t len;
+    {
+      ScopedPhase phase(&t_chunking);
+      len = chunker_->NextCut(p + pos, size - pos);
+    }
+    Fingerprint fp;
+    {
+      ScopedPhase phase(&t_fingerprint);
+      fp = Sha1::Hash(p + pos, len);
+    }
+    ChunkRecord record;
+    bool duplicate = false;
+    {
+      ScopedPhase phase(&t_index);
+      auto it = global_index_.find(fp);
+      if (it != global_index_.end()) {
+        record = it->second;
+        duplicate = true;
+      }
+    }
+    if (duplicate) {
+      stats.dup_bytes += len;
+      ++stats.dup_chunks;
+    } else {
+      if (!builder.has_value()) {
+        builder.emplace(packs_.AllocateId(), options_.pack_capacity);
+      }
+      if (!builder->Add(fp, data.substr(pos, len))) {
+        SLIM_RETURN_IF_ERROR(flush_pack());
+        builder.emplace(packs_.AllocateId(), options_.pack_capacity);
+        SLIM_CHECK(builder->Add(fp, data.substr(pos, len)));
+      }
+      record.fp = fp;
+      record.container_id = builder->id();
+      record.size = static_cast<uint32_t>(len);
+      stats.new_bytes += len;
+      ScopedPhase phase(&t_index);
+      global_index_.emplace(fp, record);
+    }
+    ++stats.total_chunks;
+    seg.records.push_back(record);
+    pos += len;
+  }
+  recipe.segments.push_back(std::move(seg));
+
+  SLIM_RETURN_IF_ERROR(flush_pack());
+  SLIM_RETURN_IF_ERROR(recipes_.WriteRecipe(recipe, /*sample_ratio=*/32));
+
+  stats.elapsed_seconds = total_watch.ElapsedSeconds();
+  stats.cpu.chunking_nanos = t_chunking.total_nanos();
+  stats.cpu.fingerprint_nanos = t_fingerprint.total_nanos();
+  stats.cpu.index_nanos = t_index.total_nanos();
+  uint64_t accounted = stats.cpu.chunking_nanos +
+                       stats.cpu.fingerprint_nanos + stats.cpu.index_nanos;
+  uint64_t total = total_watch.ElapsedNanos();
+  stats.cpu.other_nanos = total > accounted ? total - accounted : 0;
+  return stats;
+}
+
+Result<std::string> ResticLike::Restore(const std::string& file_id,
+                                        uint64_t version,
+                                        lnode::RestoreStats* stats) {
+  Stopwatch watch;
+  // Index reads take the repository lock, serializing restores with any
+  // other repository activity.
+  std::lock_guard<std::mutex> repo_lock(repo_mu_);
+
+  auto recipe = recipes_.ReadRecipe(file_id, version);
+  if (!recipe.ok()) return recipe.status();
+
+  lnode::RestoreStats local;
+  local.logical_bytes = recipe.value().LogicalBytes();
+
+  std::string output;
+  output.reserve(local.logical_bytes);
+  // One-pack cache (restic streams pack by pack).
+  std::optional<format::ContainerStore::LoadedContainer> cached;
+  format::ContainerId cached_id = format::kInvalidContainerId;
+  for (const auto& segment : recipe.value().segments) {
+    for (const ChunkRecord& rec : segment.records) {
+      if (cached_id != rec.container_id) {
+        auto loaded = packs_.ReadContainer(rec.container_id);
+        if (!loaded.ok()) return loaded.status();
+        ++local.containers_fetched;
+        local.bytes_fetched += loaded.value().payload.size();
+        cached = std::move(loaded).value();
+        cached_id = rec.container_id;
+      } else {
+        ++local.cache_hits;
+      }
+      auto bytes = cached->GetChunk(rec.fp);
+      if (!bytes.has_value()) {
+        return Status::Corruption("chunk missing from pack: " +
+                                  rec.fp.ToHex());
+      }
+      output.append(bytes->data(), bytes->size());
+      ++local.chunks_restored;
+    }
+  }
+  local.elapsed_seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return output;
+}
+
+Result<uint64_t> ResticLike::OccupiedBytes() const {
+  return oss::TotalBytesWithPrefix(*store_, root_ + "/packs/data-");
+}
+
+}  // namespace slim::baselines

@@ -1,0 +1,71 @@
+#ifndef SLIMSTORE_BASELINES_RESTIC_LIKE_H_
+#define SLIMSTORE_BASELINES_RESTIC_LIKE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "chunking/chunker.h"
+#include "common/status.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "lnode/backup_pipeline.h"
+#include "lnode/restore_pipeline.h"
+#include "oss/object_store.h"
+
+namespace slim::baselines {
+
+struct ResticLikeOptions {
+  /// Restic recommends ~1 MB average chunks.
+  chunking::ChunkerParams chunker_params =
+      chunking::ChunkerParams::FromAverage(1 << 20);
+  chunking::ChunkerType chunker_type = chunking::ChunkerType::kRabin;
+  /// Pack file capacity (restic packs, analogous to containers).
+  size_t pack_capacity = 4 << 20;
+};
+
+/// A single-node content-addressed dedup engine modeled on Restic's
+/// architecture (Fig 10 comparison): ONE global fingerprint index shared
+/// by every job, guarded by a repository lock. Concurrent backup jobs
+/// serialize on that lock — which is exactly the scaling wall the paper
+/// measures against SlimStore's stateless L-nodes. Restores also take
+/// the repository lock to read the index.
+class ResticLike {
+ public:
+  ResticLike(oss::ObjectStore* store, const std::string& root,
+             ResticLikeOptions options = {});
+
+  /// Backs up the next version of `file_id`. Thread-safe; concurrent
+  /// calls serialize on the repository lock.
+  Result<lnode::BackupStats> Backup(const std::string& file_id,
+                                    std::string_view data);
+
+  /// Restores (file, version) byte-identically.
+  Result<std::string> Restore(const std::string& file_id, uint64_t version,
+                              lnode::RestoreStats* stats = nullptr);
+
+  /// Total pack bytes on OSS (space comparison, Fig 10c).
+  Result<uint64_t> OccupiedBytes() const;
+
+  format::ContainerStore* pack_store() { return &packs_; }
+
+ private:
+  oss::ObjectStore* store_;
+  std::string root_;
+  ResticLikeOptions options_;
+  std::unique_ptr<chunking::Chunker> chunker_;
+  format::ContainerStore packs_;
+  format::RecipeStore recipes_;
+
+  /// The repository lock: Restic's shared index forces one writer at a
+  /// time; index reads during restore take it too.
+  mutable std::mutex repo_mu_;
+  std::unordered_map<Fingerprint, format::ChunkRecord> global_index_;
+  std::unordered_map<std::string, uint64_t> versions_;
+};
+
+}  // namespace slim::baselines
+
+#endif  // SLIMSTORE_BASELINES_RESTIC_LIKE_H_

@@ -1,0 +1,375 @@
+#include "baselines/restore_baselines.h"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace slim::baselines {
+
+using format::ChunkRecord;
+using format::ContainerId;
+using format::Recipe;
+using LoadedContainer = format::ContainerStore::LoadedContainer;
+
+const char* RestorePolicyName(RestorePolicy policy) {
+  switch (policy) {
+    case RestorePolicy::kLruContainer:
+      return "lru";
+    case RestorePolicy::kOptContainer:
+      return "opt";
+    case RestorePolicy::kFaa:
+      return "faa";
+    case RestorePolicy::kAlacc:
+      return "alacc";
+  }
+  return "unknown";
+}
+
+Result<LoadedContainer> BaselineRestorer::FetchContainer(
+    ContainerId cid, lnode::RestoreStats* stats) {
+  auto loaded = containers_->ReadContainer(cid);
+  if (loaded.ok()) {
+    ++stats->containers_fetched;
+    stats->bytes_fetched += loaded.value().payload.size();
+  }
+  return loaded;
+}
+
+Result<std::string> BaselineRestorer::FetchChunkBytes(
+    const ChunkRecord& record, const LoadedContainer& loaded,
+    lnode::RestoreStats* stats) {
+  auto bytes = loaded.GetChunk(record.fp);
+  if (bytes.has_value()) return std::string(*bytes);
+  // Redirect through the global index (chunk moved by G-node).
+  if (options_.global_index == nullptr) {
+    return Status::Corruption("chunk missing and no global index: " +
+                              record.fp.ToHex());
+  }
+  auto owner = options_.global_index->Get(record.fp);
+  if (!owner.ok()) return owner.status();
+  ++stats->redirects;
+  auto redirected = FetchContainer(owner.value(), stats);
+  if (!redirected.ok()) return redirected.status();
+  auto moved = redirected.value().GetChunk(record.fp);
+  if (!moved.has_value()) {
+    return Status::Corruption("chunk missing after redirect: " +
+                              record.fp.ToHex());
+  }
+  return std::string(*moved);
+}
+
+Result<std::string> BaselineRestorer::Restore(const std::string& file_id,
+                                              uint64_t version,
+                                              lnode::RestoreStats* stats) {
+  Stopwatch watch;
+  auto recipe = recipes_->ReadRecipe(file_id, version);
+  if (!recipe.ok()) return recipe.status();
+
+  lnode::RestoreStats local;
+  local.logical_bytes = recipe.value().LogicalBytes();
+
+  Result<std::string> out = Status::Internal("unreachable");
+  switch (policy_) {
+    case RestorePolicy::kLruContainer:
+      out = RestoreLru(recipe.value(), &local);
+      break;
+    case RestorePolicy::kOptContainer:
+      out = RestoreOpt(recipe.value(), &local);
+      break;
+    case RestorePolicy::kFaa:
+      out = RestoreFaa(recipe.value(), &local);
+      break;
+    case RestorePolicy::kAlacc:
+      out = RestoreAlacc(recipe.value(), &local);
+      break;
+  }
+  local.elapsed_seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LRU container cache
+// ---------------------------------------------------------------------------
+
+Result<std::string> BaselineRestorer::RestoreLru(const Recipe& recipe,
+                                                 lnode::RestoreStats* stats) {
+  auto seq = recipe.Flatten();
+  std::string output;
+  output.reserve(stats->logical_bytes);
+
+  std::unordered_map<ContainerId, LoadedContainer> cache;
+  std::list<ContainerId> lru;  // Front = most recent.
+  std::unordered_map<ContainerId, std::list<ContainerId>::iterator> pos;
+  uint64_t cache_bytes = 0;
+
+  for (const ChunkRecord& rec : seq) {
+    auto it = cache.find(rec.container_id);
+    if (it == cache.end()) {
+      auto loaded = FetchContainer(rec.container_id, stats);
+      if (!loaded.ok() && !loaded.status().IsNotFound()) {
+        return loaded.status();
+      }
+      LoadedContainer container =
+          loaded.ok() ? std::move(loaded).value() : LoadedContainer{};
+      cache_bytes += container.payload.size();
+      it = cache.emplace(rec.container_id, std::move(container)).first;
+      lru.push_front(rec.container_id);
+      pos[rec.container_id] = lru.begin();
+      while (cache_bytes > options_.cache_bytes && lru.size() > 1) {
+        ContainerId victim = lru.back();
+        lru.pop_back();
+        pos.erase(victim);
+        auto vit = cache.find(victim);
+        cache_bytes -= vit->second.payload.size();
+        cache.erase(vit);
+      }
+    } else {
+      ++stats->cache_hits;
+      lru.erase(pos[rec.container_id]);
+      lru.push_front(rec.container_id);
+      pos[rec.container_id] = lru.begin();
+    }
+    auto bytes = FetchChunkBytes(rec, it->second, stats);
+    if (!bytes.ok()) return bytes.status();
+    if (bytes.value().size() != rec.size) {
+      return Status::Corruption("size mismatch: " + rec.fp.ToHex());
+    }
+    output += bytes.value();
+    ++stats->chunks_restored;
+  }
+  return output;
+}
+
+// ---------------------------------------------------------------------------
+// OPT container cache: Belady eviction within the look-ahead window.
+// ---------------------------------------------------------------------------
+
+Result<std::string> BaselineRestorer::RestoreOpt(const Recipe& recipe,
+                                                 lnode::RestoreStats* stats) {
+  auto seq = recipe.Flatten();
+  // Occurrence positions per container (for next-use queries).
+  std::unordered_map<ContainerId, std::vector<size_t>> occurrences;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    occurrences[seq[i].container_id].push_back(i);
+  }
+  auto next_use = [&](ContainerId cid, size_t after) -> size_t {
+    const auto& occ = occurrences[cid];
+    auto it = std::upper_bound(occ.begin(), occ.end(), after);
+    return it == occ.end() ? ~size_t{0} : *it;
+  };
+
+  std::string output;
+  output.reserve(stats->logical_bytes);
+  std::unordered_map<ContainerId, LoadedContainer> cache;
+  uint64_t cache_bytes = 0;
+
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const ChunkRecord& rec = seq[i];
+    auto it = cache.find(rec.container_id);
+    if (it == cache.end()) {
+      auto loaded = FetchContainer(rec.container_id, stats);
+      if (!loaded.ok() && !loaded.status().IsNotFound()) {
+        return loaded.status();
+      }
+      LoadedContainer container =
+          loaded.ok() ? std::move(loaded).value() : LoadedContainer{};
+      cache_bytes += container.payload.size();
+      it = cache.emplace(rec.container_id, std::move(container)).first;
+      // Belady within the LAW: evict the cached container whose next
+      // use is farthest (or absent / beyond the window).
+      while (cache_bytes > options_.cache_bytes && cache.size() > 1) {
+        ContainerId victim = rec.container_id;
+        size_t victim_next = 0;
+        for (const auto& [cid, c] : cache) {
+          if (cid == rec.container_id) continue;
+          size_t n = next_use(cid, i);
+          if (n > options_.law_chunks + i) n = ~size_t{0};
+          if (victim == rec.container_id || n > victim_next ||
+              (n == victim_next && cid < victim)) {
+            victim = cid;
+            victim_next = n;
+          }
+        }
+        if (victim == rec.container_id) break;
+        auto vit = cache.find(victim);
+        cache_bytes -= vit->second.payload.size();
+        cache.erase(vit);
+        it = cache.find(rec.container_id);
+      }
+    } else {
+      ++stats->cache_hits;
+    }
+    auto bytes = FetchChunkBytes(rec, it->second, stats);
+    if (!bytes.ok()) return bytes.status();
+    output += bytes.value();
+    ++stats->chunks_restored;
+  }
+  return output;
+}
+
+// ---------------------------------------------------------------------------
+// Forward assembly area
+// ---------------------------------------------------------------------------
+
+Result<std::string> BaselineRestorer::RestoreFaa(const Recipe& recipe,
+                                                 lnode::RestoreStats* stats) {
+  auto seq = recipe.Flatten();
+  std::string output;
+  output.reserve(stats->logical_bytes);
+
+  const size_t faa_bytes = std::max<size_t>(options_.cache_bytes, 1 << 16);
+  size_t i = 0;
+  while (i < seq.size()) {
+    // Collect the records of one assembly span.
+    size_t span_end = i;
+    uint64_t span_bytes = 0;
+    while (span_end < seq.size() &&
+           (span_bytes == 0 || span_bytes + seq[span_end].size <= faa_bytes)) {
+      span_bytes += seq[span_end].size;
+      ++span_end;
+    }
+    // Group the span's records by container; read each container once
+    // and copy its chunks into the assembly area.
+    std::string assembly(span_bytes, '\0');
+    std::map<ContainerId, std::vector<std::pair<size_t, size_t>>> wanted;
+    {
+      uint64_t off = 0;
+      for (size_t j = i; j < span_end; ++j) {
+        wanted[seq[j].container_id].emplace_back(j, off);
+        off += seq[j].size;
+      }
+    }
+    for (const auto& [cid, uses] : wanted) {
+      auto loaded = FetchContainer(cid, stats);
+      if (!loaded.ok() && !loaded.status().IsNotFound()) {
+        return loaded.status();
+      }
+      LoadedContainer container =
+          loaded.ok() ? std::move(loaded).value() : LoadedContainer{};
+      for (const auto& [j, off] : uses) {
+        auto bytes = FetchChunkBytes(seq[j], container, stats);
+        if (!bytes.ok()) return bytes.status();
+        assembly.replace(off, bytes.value().size(), bytes.value());
+        ++stats->chunks_restored;
+      }
+    }
+    output += assembly;
+    i = span_end;
+  }
+  return output;
+}
+
+// ---------------------------------------------------------------------------
+// ALACC (simplified): FAA + look-ahead chunk cache.
+// ---------------------------------------------------------------------------
+
+Result<std::string> BaselineRestorer::RestoreAlacc(
+    const Recipe& recipe, lnode::RestoreStats* stats) {
+  auto seq = recipe.Flatten();
+  std::string output;
+  output.reserve(stats->logical_bytes);
+
+  const size_t faa_bytes = std::max<size_t>(
+      static_cast<size_t>(options_.cache_bytes * options_.alacc_faa_fraction),
+      1 << 16);
+  const size_t chunk_cache_capacity = options_.cache_bytes > faa_bytes
+                                          ? options_.cache_bytes - faa_bytes
+                                          : (1 << 16);
+
+  // Chunk cache with FIFO eviction (ALACC's adaptive policy simplified;
+  // see DESIGN.md).
+  std::unordered_map<Fingerprint, std::string> chunk_cache;
+  std::list<Fingerprint> fifo;
+  uint64_t chunk_cache_bytes = 0;
+  auto cache_insert = [&](const Fingerprint& fp, std::string_view bytes) {
+    if (chunk_cache.count(fp) > 0) return;
+    chunk_cache.emplace(fp, std::string(bytes));
+    fifo.push_back(fp);
+    chunk_cache_bytes += bytes.size();
+    while (chunk_cache_bytes > chunk_cache_capacity && !fifo.empty()) {
+      Fingerprint victim = fifo.front();
+      fifo.pop_front();
+      auto it = chunk_cache.find(victim);
+      if (it == chunk_cache.end()) continue;
+      chunk_cache_bytes -= it->second.size();
+      chunk_cache.erase(it);
+    }
+  };
+
+  size_t i = 0;
+  while (i < seq.size()) {
+    size_t span_end = i;
+    uint64_t span_bytes = 0;
+    while (span_end < seq.size() &&
+           (span_bytes == 0 || span_bytes + seq[span_end].size <= faa_bytes)) {
+      span_bytes += seq[span_end].size;
+      ++span_end;
+    }
+    // Fingerprints needed in the look-ahead window beyond this span:
+    // when a container is read, those chunks are worth caching.
+    std::unordered_set<Fingerprint> law_needs;
+    for (size_t j = span_end;
+         j < seq.size() && j < span_end + options_.law_chunks; ++j) {
+      law_needs.insert(seq[j].fp);
+    }
+
+    std::string assembly(span_bytes, '\0');
+    std::map<ContainerId, std::vector<std::pair<size_t, size_t>>> wanted;
+    {
+      uint64_t off = 0;
+      for (size_t j = i; j < span_end; ++j) {
+        wanted[seq[j].container_id].emplace_back(j, off);
+        off += seq[j].size;
+      }
+    }
+    for (const auto& [cid, uses] : wanted) {
+      // Skip the container read entirely if the chunk cache already
+      // holds every needed chunk.
+      bool all_cached = true;
+      for (const auto& [j, off] : uses) {
+        if (chunk_cache.count(seq[j].fp) == 0) {
+          all_cached = false;
+          break;
+        }
+      }
+      if (all_cached) {
+        for (const auto& [j, off] : uses) {
+          const std::string& bytes = chunk_cache[seq[j].fp];
+          assembly.replace(off, bytes.size(), bytes);
+          ++stats->chunks_restored;
+          ++stats->cache_hits;
+        }
+        continue;
+      }
+      auto loaded = FetchContainer(cid, stats);
+      if (!loaded.ok() && !loaded.status().IsNotFound()) {
+        return loaded.status();
+      }
+      LoadedContainer container =
+          loaded.ok() ? std::move(loaded).value() : LoadedContainer{};
+      for (const auto& [j, off] : uses) {
+        auto bytes = FetchChunkBytes(seq[j], container, stats);
+        if (!bytes.ok()) return bytes.status();
+        assembly.replace(off, bytes.value().size(), bytes.value());
+        ++stats->chunks_restored;
+      }
+      // Populate the chunk cache with container chunks the LAW needs.
+      for (const format::ChunkLocation& loc : container.directory.chunks) {
+        if (law_needs.count(loc.fp) == 0) continue;
+        auto bytes = container.GetChunk(loc.fp);
+        if (bytes.has_value()) cache_insert(loc.fp, *bytes);
+      }
+    }
+    output += assembly;
+    i = span_end;
+  }
+  return output;
+}
+
+}  // namespace slim::baselines

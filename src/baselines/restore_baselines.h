@@ -1,0 +1,84 @@
+#ifndef SLIMSTORE_BASELINES_RESTORE_BASELINES_H_
+#define SLIMSTORE_BASELINES_RESTORE_BASELINES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "index/global_index.h"
+#include "lnode/restore_pipeline.h"
+
+namespace slim::baselines {
+
+/// Options shared by all baseline restore engines. cache_bytes is the
+/// total memory budget, interpreted per policy (container cache bytes,
+/// forward-assembly-area bytes, or FAA + chunk cache split).
+struct BaselineRestoreOptions {
+  size_t cache_bytes = 64 << 20;
+  /// Look-ahead window (chunk records) for OPT and ALACC.
+  size_t law_chunks = 2048;
+  /// ALACC: fraction of cache_bytes given to the FAA (rest is the chunk
+  /// cache).
+  double alacc_faa_fraction = 0.5;
+  /// For chasing chunks moved by reverse dedup / SCC; may be null.
+  index::GlobalIndex* global_index = nullptr;
+};
+
+/// Which baseline policy a RestoreEngine runs.
+enum class RestorePolicy {
+  kLruContainer,  // Classic container-granular LRU cache.
+  kOptContainer,  // HAR's LAW-based Belady container cache [Fu'14].
+  kFaa,           // Forward assembly area [Lillibridge'13].
+  kAlacc,         // FAA + look-ahead chunk cache [Cao'18], simplified.
+};
+
+const char* RestorePolicyName(RestorePolicy policy);
+
+/// Baseline restore engines the paper compares against (Fig 8). All
+/// walk the same recipes and containers as SlimStore's own
+/// RestorePipeline and report the same RestoreStats, so cache policies
+/// are compared like for like.
+class BaselineRestorer {
+ public:
+  BaselineRestorer(format::ContainerStore* containers,
+                   format::RecipeStore* recipes, RestorePolicy policy,
+                   BaselineRestoreOptions options)
+      : containers_(containers),
+        recipes_(recipes),
+        policy_(policy),
+        options_(options) {}
+
+  Result<std::string> Restore(const std::string& file_id, uint64_t version,
+                              lnode::RestoreStats* stats);
+
+ private:
+  Result<std::string> RestoreLru(const format::Recipe& recipe,
+                                 lnode::RestoreStats* stats);
+  Result<std::string> RestoreOpt(const format::Recipe& recipe,
+                                 lnode::RestoreStats* stats);
+  Result<std::string> RestoreFaa(const format::Recipe& recipe,
+                                 lnode::RestoreStats* stats);
+  Result<std::string> RestoreAlacc(const format::Recipe& recipe,
+                                   lnode::RestoreStats* stats);
+
+  /// Fetches a container, counting it; on a missing chunk consults the
+  /// global index (redirect).
+  Result<format::ContainerStore::LoadedContainer> FetchContainer(
+      format::ContainerId cid, lnode::RestoreStats* stats);
+  /// Resolves one chunk's bytes straight from OSS (redirect-aware).
+  Result<std::string> FetchChunkBytes(
+      const format::ChunkRecord& record,
+      const format::ContainerStore::LoadedContainer& loaded,
+      lnode::RestoreStats* stats);
+
+  format::ContainerStore* containers_;
+  format::RecipeStore* recipes_;
+  RestorePolicy policy_;
+  BaselineRestoreOptions options_;
+};
+
+}  // namespace slim::baselines
+
+#endif  // SLIMSTORE_BASELINES_RESTORE_BASELINES_H_

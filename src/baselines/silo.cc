@@ -1,0 +1,257 @@
+#include "baselines/silo.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace slim::baselines {
+
+using format::ChunkRecord;
+using format::ContainerBuilder;
+using format::SegmentRecipe;
+
+namespace {
+
+std::string BlockKey(const std::string& root, uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(id));
+  return root + "/block-" + buf;
+}
+
+std::string SerializeBlock(
+    const std::unordered_map<Fingerprint, ChunkRecord>& block) {
+  std::string out;
+  PutVarint64(&out, block.size());
+  for (const auto& [fp, record] : block) {
+    EncodeChunkRecord(&out, record);
+  }
+  return out;
+}
+
+Status ParseBlock(std::string_view data,
+                  std::unordered_map<Fingerprint, ChunkRecord>* out) {
+  Decoder dec(data);
+  uint64_t count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&count));
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ChunkRecord record;
+    SLIM_RETURN_IF_ERROR(DecodeChunkRecord(&dec, &record));
+    out->emplace(record.fp, record);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+SiloDedup::SiloDedup(oss::ObjectStore* store, const std::string& root,
+                     SiloOptions options)
+    : store_(store),
+      root_(root),
+      options_(options),
+      chunker_(chunking::CreateChunker(options.chunker_type,
+                                       options.chunker_params)),
+      containers_(store, root + "/containers"),
+      recipes_(store, root + "/recipes") {}
+
+Result<std::shared_ptr<SiloDedup::BlockIndex>> SiloDedup::LoadBlock(
+    uint64_t block_id) {
+  auto it = block_cache_.find(block_id);
+  if (it != block_cache_.end()) {
+    block_lru_.remove(block_id);
+    block_lru_.push_front(block_id);
+    return it->second;
+  }
+  auto data = store_->Get(BlockKey(root_, block_id));
+  if (!data.ok()) return data.status();
+  auto block = std::make_shared<BlockIndex>();
+  SLIM_RETURN_IF_ERROR(ParseBlock(data.value(), block.get()));
+  block_cache_[block_id] = block;
+  block_lru_.push_front(block_id);
+  while (block_lru_.size() > options_.block_cache_blocks) {
+    block_cache_.erase(block_lru_.back());
+    block_lru_.pop_back();
+  }
+  return block;
+}
+
+Status SiloDedup::FlushWriteBuffer() {
+  if (write_buffer_.empty()) return Status::Ok();
+  uint64_t block_id = next_block_id_++;
+  SLIM_RETURN_IF_ERROR(
+      store_->Put(BlockKey(root_, block_id), SerializeBlock(write_buffer_)));
+  for (const Fingerprint& rep : write_buffer_reps_) {
+    shtable_[rep] = block_id;
+  }
+  // Keep the freshly flushed block hot in the read cache.
+  block_cache_[block_id] =
+      std::make_shared<BlockIndex>(std::move(write_buffer_));
+  block_lru_.push_front(block_id);
+  while (block_lru_.size() > options_.block_cache_blocks) {
+    block_cache_.erase(block_lru_.back());
+    block_lru_.pop_back();
+  }
+  write_buffer_ = BlockIndex();
+  write_buffer_reps_.clear();
+  write_buffer_segments_ = 0;
+  return Status::Ok();
+}
+
+Result<lnode::BackupStats> SiloDedup::Backup(const std::string& file_id,
+                                             std::string_view data) {
+  Stopwatch total_watch;
+  PhaseTimer t_chunking, t_fingerprint, t_index;
+
+  lnode::BackupStats stats;
+  stats.file_id = file_id;
+  stats.version = next_version_;
+  auto vit = versions_.find(file_id);
+  stats.version = vit == versions_.end() ? 0 : vit->second + 1;
+  versions_[file_id] = stats.version;
+  stats.logical_bytes = data.size();
+
+  format::Recipe recipe;
+  recipe.file_id = file_id;
+  recipe.version = stats.version;
+
+  std::optional<ContainerBuilder> builder;
+  auto flush_container = [&]() -> Status {
+    if (!builder.has_value() || builder->empty()) return Status::Ok();
+    format::ContainerId id = builder->id();
+    SLIM_RETURN_IF_ERROR(containers_.Write(std::move(*builder)));
+    builder.reset();
+    stats.new_containers.push_back(id);
+    return Status::Ok();
+  };
+  auto store_chunk = [&](const Fingerprint& fp, std::string_view bytes,
+                         ChunkRecord* record) -> Status {
+    if (!builder.has_value()) {
+      builder.emplace(containers_.AllocateId(), options_.container_capacity);
+    }
+    if (!builder->Add(fp, bytes)) {
+      SLIM_RETURN_IF_ERROR(flush_container());
+      builder.emplace(containers_.AllocateId(), options_.container_capacity);
+      SLIM_CHECK(builder->Add(fp, bytes));
+    }
+    record->fp = fp;
+    record->container_id = builder->id();
+    record->size = static_cast<uint32_t>(bytes.size());
+    stats.new_bytes += bytes.size();
+    return Status::Ok();
+  };
+
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  const size_t size = data.size();
+  size_t pos = 0;
+  while (pos < size) {
+    // --- Carve one input segment and fingerprint its chunks.
+    struct Item {
+      size_t pos;
+      uint32_t len;
+      Fingerprint fp;
+    };
+    std::vector<Item> items;
+    uint64_t seg_bytes = 0;
+    while (pos < size && seg_bytes < options_.segment_bytes) {
+      size_t len;
+      {
+        ScopedPhase phase(&t_chunking);
+        len = chunker_->NextCut(p + pos, size - pos);
+      }
+      Fingerprint fp;
+      {
+        ScopedPhase phase(&t_fingerprint);
+        fp = Sha1::Hash(p + pos, len);
+      }
+      items.push_back({pos, static_cast<uint32_t>(len), fp});
+      pos += len;
+      seg_bytes += len;
+    }
+    if (items.empty()) break;
+
+    // --- Similarity: probe the SHTable with the representative
+    // (minimum) fingerprint; on a hit, pull the whole block into the
+    // read cache.
+    Fingerprint rep = items[0].fp;
+    for (const Item& item : items) rep = std::min(rep, item.fp);
+    std::shared_ptr<BlockIndex> similar_block;
+    {
+      ScopedPhase phase(&t_index);
+      auto hit = shtable_.find(rep);
+      if (hit != shtable_.end()) {
+        auto block = LoadBlock(hit->second);
+        if (block.ok()) similar_block = block.value();
+      }
+    }
+
+    // --- Dedup each chunk against the write buffer, the probed block
+    // and any cached blocks (locality), then store the misses.
+    SegmentRecipe seg;
+    for (const Item& item : items) {
+      const ChunkRecord* found = nullptr;
+      {
+        ScopedPhase phase(&t_index);
+        auto wit = write_buffer_.find(item.fp);
+        if (wit != write_buffer_.end()) {
+          found = &wit->second;
+        } else if (similar_block != nullptr) {
+          auto bit = similar_block->find(item.fp);
+          if (bit != similar_block->end()) found = &bit->second;
+        }
+        if (found == nullptr) {
+          for (uint64_t cached_id : block_lru_) {
+            auto cit = block_cache_.find(cached_id);
+            if (cit == block_cache_.end()) continue;
+            auto bit = cit->second->find(item.fp);
+            if (bit != cit->second->end()) {
+              found = &bit->second;
+              break;
+            }
+          }
+        }
+      }
+      ChunkRecord record;
+      if (found != nullptr) {
+        record = *found;
+        record.size = item.len;
+        stats.dup_bytes += item.len;
+        ++stats.dup_chunks;
+      } else {
+        SLIM_RETURN_IF_ERROR(
+            store_chunk(item.fp, data.substr(item.pos, item.len), &record));
+      }
+      ++stats.total_chunks;
+      seg.records.push_back(record);
+      write_buffer_.emplace(record.fp, record);
+    }
+    write_buffer_reps_.push_back(rep);
+    ++write_buffer_segments_;
+    if (write_buffer_segments_ >= options_.block_segments) {
+      ScopedPhase phase(&t_index);
+      SLIM_RETURN_IF_ERROR(FlushWriteBuffer());
+    }
+    recipe.segments.push_back(std::move(seg));
+  }
+
+  {
+    ScopedPhase phase(&t_index);
+    SLIM_RETURN_IF_ERROR(FlushWriteBuffer());
+  }
+  SLIM_RETURN_IF_ERROR(flush_container());
+  SLIM_RETURN_IF_ERROR(recipes_.WriteRecipe(recipe, /*sample_ratio=*/32));
+
+  stats.elapsed_seconds = total_watch.ElapsedSeconds();
+  stats.cpu.chunking_nanos = t_chunking.total_nanos();
+  stats.cpu.fingerprint_nanos = t_fingerprint.total_nanos();
+  stats.cpu.index_nanos = t_index.total_nanos();
+  uint64_t accounted = stats.cpu.chunking_nanos +
+                       stats.cpu.fingerprint_nanos + stats.cpu.index_nanos;
+  uint64_t total = total_watch.ElapsedNanos();
+  stats.cpu.other_nanos = total > accounted ? total - accounted : 0;
+  return stats;
+}
+
+}  // namespace slim::baselines

@@ -1,0 +1,83 @@
+#ifndef SLIMSTORE_BASELINES_SILO_H_
+#define SLIMSTORE_BASELINES_SILO_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "common/status.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "lnode/backup_pipeline.h"
+#include "oss/object_store.h"
+
+namespace slim::baselines {
+
+/// Options for the SiLO baseline.
+struct SiloOptions {
+  chunking::ChunkerType chunker_type = chunking::ChunkerType::kFastCdc;
+  chunking::ChunkerParams chunker_params =
+      chunking::ChunkerParams::FromAverage(4096);
+  /// Input segment size (SiLO: ~2 MB at paper scale).
+  size_t segment_bytes = 512 << 10;
+  /// Segments per block (SiLO packs segment indexes into blocks and
+  /// reads a whole block on a similarity hit, exploiting locality).
+  size_t block_segments = 32;
+  /// Blocks kept in the read cache.
+  size_t block_cache_blocks = 4;
+  size_t container_capacity = 1 << 22;
+};
+
+/// Reimplementation of SiLO (Xia et al., ATC'11): a similarity-locality
+/// near-exact dedup scheme. The in-memory SHTable maps each segment's
+/// representative (minimum) fingerprint to the block holding its index;
+/// a similarity hit loads that whole block, so neighboring segments
+/// dedup for free (locality). Chunks are stored in containers on OSS and
+/// a recipe is emitted, so restores and space accounting are directly
+/// comparable with SlimStore.
+class SiloDedup {
+ public:
+  SiloDedup(oss::ObjectStore* store, const std::string& root,
+            SiloOptions options = {});
+
+  Result<lnode::BackupStats> Backup(const std::string& file_id,
+                                    std::string_view data);
+
+  format::ContainerStore* container_store() { return &containers_; }
+  format::RecipeStore* recipe_store() { return &recipes_; }
+
+ private:
+  using BlockIndex = std::unordered_map<Fingerprint, format::ChunkRecord>;
+
+  Result<std::shared_ptr<BlockIndex>> LoadBlock(uint64_t block_id);
+  Status FlushWriteBuffer();
+
+  oss::ObjectStore* store_;
+  std::string root_;
+  SiloOptions options_;
+  std::unique_ptr<chunking::Chunker> chunker_;
+  format::ContainerStore containers_;
+  format::RecipeStore recipes_;
+
+  // SHTable: representative fingerprint -> block id.
+  std::unordered_map<Fingerprint, uint64_t> shtable_;
+  // Current write-buffer block: segment indexes not yet flushed.
+  BlockIndex write_buffer_;
+  std::vector<Fingerprint> write_buffer_reps_;
+  size_t write_buffer_segments_ = 0;
+  uint64_t next_block_id_ = 0;
+  uint64_t next_version_ = 0;
+  std::unordered_map<std::string, uint64_t> versions_;
+
+  // Block read cache (LRU).
+  std::unordered_map<uint64_t, std::shared_ptr<BlockIndex>> block_cache_;
+  std::list<uint64_t> block_lru_;
+};
+
+}  // namespace slim::baselines
+
+#endif  // SLIMSTORE_BASELINES_SILO_H_

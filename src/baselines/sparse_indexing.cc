@@ -1,0 +1,236 @@
+#include "baselines/sparse_indexing.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/coding.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace slim::baselines {
+
+using format::ChunkRecord;
+using format::ContainerBuilder;
+using format::SegmentRecipe;
+
+namespace {
+
+std::string ManifestKey(const std::string& root, uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(id));
+  return root + "/manifest-" + buf;
+}
+
+}  // namespace
+
+SparseIndexingDedup::SparseIndexingDedup(oss::ObjectStore* store,
+                                         const std::string& root,
+                                         SparseIndexingOptions options)
+    : store_(store),
+      root_(root),
+      options_(options),
+      chunker_(chunking::CreateChunker(options.chunker_type,
+                                       options.chunker_params)),
+      containers_(store, root + "/containers"),
+      recipes_(store, root + "/recipes") {}
+
+Result<std::shared_ptr<SparseIndexingDedup::Manifest>>
+SparseIndexingDedup::LoadManifest(uint64_t manifest_id) {
+  auto it = manifest_cache_.find(manifest_id);
+  if (it != manifest_cache_.end()) {
+    manifest_lru_.remove(manifest_id);
+    manifest_lru_.push_front(manifest_id);
+    return it->second;
+  }
+  auto data = store_->Get(ManifestKey(root_, manifest_id));
+  if (!data.ok()) return data.status();
+  auto manifest = std::make_shared<Manifest>();
+  Decoder dec(data.value());
+  uint64_t count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ChunkRecord record;
+    SLIM_RETURN_IF_ERROR(DecodeChunkRecord(&dec, &record));
+    manifest->emplace(record.fp, record);
+  }
+  manifest_cache_[manifest_id] = manifest;
+  manifest_lru_.push_front(manifest_id);
+  while (manifest_lru_.size() > options_.manifest_cache_entries) {
+    manifest_cache_.erase(manifest_lru_.back());
+    manifest_lru_.pop_back();
+  }
+  return manifest;
+}
+
+Status SparseIndexingDedup::StoreManifest(uint64_t manifest_id,
+                                          const Manifest& manifest) {
+  std::string out;
+  PutVarint64(&out, manifest.size());
+  for (const auto& [fp, record] : manifest) {
+    EncodeChunkRecord(&out, record);
+  }
+  return store_->Put(ManifestKey(root_, manifest_id), std::move(out));
+}
+
+Result<lnode::BackupStats> SparseIndexingDedup::Backup(
+    const std::string& file_id, std::string_view data) {
+  Stopwatch total_watch;
+  PhaseTimer t_chunking, t_fingerprint, t_index;
+
+  lnode::BackupStats stats;
+  stats.file_id = file_id;
+  auto vit = versions_.find(file_id);
+  stats.version = vit == versions_.end() ? 0 : vit->second + 1;
+  versions_[file_id] = stats.version;
+  stats.logical_bytes = data.size();
+
+  format::Recipe recipe;
+  recipe.file_id = file_id;
+  recipe.version = stats.version;
+
+  std::optional<ContainerBuilder> builder;
+  auto flush_container = [&]() -> Status {
+    if (!builder.has_value() || builder->empty()) return Status::Ok();
+    format::ContainerId id = builder->id();
+    SLIM_RETURN_IF_ERROR(containers_.Write(std::move(*builder)));
+    builder.reset();
+    stats.new_containers.push_back(id);
+    return Status::Ok();
+  };
+  auto store_chunk = [&](const Fingerprint& fp, std::string_view bytes,
+                         ChunkRecord* record) -> Status {
+    if (!builder.has_value()) {
+      builder.emplace(containers_.AllocateId(), options_.container_capacity);
+    }
+    if (!builder->Add(fp, bytes)) {
+      SLIM_RETURN_IF_ERROR(flush_container());
+      builder.emplace(containers_.AllocateId(), options_.container_capacity);
+      SLIM_CHECK(builder->Add(fp, bytes));
+    }
+    record->fp = fp;
+    record->container_id = builder->id();
+    record->size = static_cast<uint32_t>(bytes.size());
+    stats.new_bytes += bytes.size();
+    return Status::Ok();
+  };
+
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  const size_t size = data.size();
+  size_t pos = 0;
+  while (pos < size) {
+    struct Item {
+      size_t pos;
+      uint32_t len;
+      Fingerprint fp;
+    };
+    std::vector<Item> items;
+    std::vector<Fingerprint> hooks;
+    uint64_t seg_bytes = 0;
+    while (pos < size && seg_bytes < options_.segment_bytes) {
+      size_t len;
+      {
+        ScopedPhase phase(&t_chunking);
+        len = chunker_->NextCut(p + pos, size - pos);
+      }
+      Fingerprint fp;
+      {
+        ScopedPhase phase(&t_fingerprint);
+        fp = Sha1::Hash(p + pos, len);
+      }
+      if (format::IsSampleFingerprint(fp, options_.sample_ratio)) {
+        hooks.push_back(fp);
+      }
+      items.push_back({pos, static_cast<uint32_t>(len), fp});
+      pos += len;
+      seg_bytes += len;
+    }
+    if (items.empty()) break;
+
+    // --- Vote for champions with this segment's hooks.
+    std::vector<std::shared_ptr<Manifest>> champions;
+    {
+      ScopedPhase phase(&t_index);
+      std::map<uint64_t, size_t> votes;
+      for (const Fingerprint& hook : hooks) {
+        auto hit = sparse_index_.find(hook);
+        if (hit == sparse_index_.end()) continue;
+        for (uint64_t manifest_id : hit->second) ++votes[manifest_id];
+      }
+      std::vector<std::pair<size_t, uint64_t>> ranked;
+      ranked.reserve(votes.size());
+      for (const auto& [id, count] : votes) ranked.push_back({count, id});
+      std::sort(ranked.rbegin(), ranked.rend());
+      for (size_t i = 0; i < ranked.size() && i < options_.max_champions;
+           ++i) {
+        auto manifest = LoadManifest(ranked[i].second);
+        if (manifest.ok()) champions.push_back(manifest.value());
+      }
+    }
+
+    // --- Dedup against champions only (near-exact by design).
+    SegmentRecipe seg;
+    Manifest current;
+    for (const Item& item : items) {
+      const ChunkRecord* found = nullptr;
+      {
+        ScopedPhase phase(&t_index);
+        auto cit = current.find(item.fp);
+        if (cit != current.end()) found = &cit->second;
+        if (found == nullptr) {
+          for (const auto& champion : champions) {
+            auto mit = champion->find(item.fp);
+            if (mit != champion->end()) {
+              found = &mit->second;
+              break;
+            }
+          }
+        }
+      }
+      ChunkRecord record;
+      if (found != nullptr) {
+        record = *found;
+        record.size = item.len;
+        stats.dup_bytes += item.len;
+        ++stats.dup_chunks;
+      } else {
+        SLIM_RETURN_IF_ERROR(
+            store_chunk(item.fp, data.substr(item.pos, item.len), &record));
+      }
+      ++stats.total_chunks;
+      seg.records.push_back(record);
+      current.emplace(record.fp, record);
+    }
+
+    // --- Persist this segment's manifest and register its hooks.
+    {
+      ScopedPhase phase(&t_index);
+      uint64_t manifest_id = next_manifest_id_++;
+      SLIM_RETURN_IF_ERROR(StoreManifest(manifest_id, current));
+      for (const Fingerprint& hook : hooks) {
+        auto& list = sparse_index_[hook];
+        list.push_back(manifest_id);
+        if (list.size() > options_.max_manifests_per_hook) {
+          list.erase(list.begin());
+        }
+      }
+    }
+    recipe.segments.push_back(std::move(seg));
+  }
+
+  SLIM_RETURN_IF_ERROR(flush_container());
+  SLIM_RETURN_IF_ERROR(
+      recipes_.WriteRecipe(recipe, options_.sample_ratio));
+
+  stats.elapsed_seconds = total_watch.ElapsedSeconds();
+  stats.cpu.chunking_nanos = t_chunking.total_nanos();
+  stats.cpu.fingerprint_nanos = t_fingerprint.total_nanos();
+  stats.cpu.index_nanos = t_index.total_nanos();
+  uint64_t accounted = stats.cpu.chunking_nanos +
+                       stats.cpu.fingerprint_nanos + stats.cpu.index_nanos;
+  uint64_t total = total_watch.ElapsedNanos();
+  stats.cpu.other_nanos = total > accounted ? total - accounted : 0;
+  return stats;
+}
+
+}  // namespace slim::baselines

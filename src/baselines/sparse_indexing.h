@@ -1,0 +1,81 @@
+#ifndef SLIMSTORE_BASELINES_SPARSE_INDEXING_H_
+#define SLIMSTORE_BASELINES_SPARSE_INDEXING_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "common/status.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "lnode/backup_pipeline.h"
+#include "oss/object_store.h"
+
+namespace slim::baselines {
+
+struct SparseIndexingOptions {
+  chunking::ChunkerType chunker_type = chunking::ChunkerType::kFastCdc;
+  chunking::ChunkerParams chunker_params =
+      chunking::ChunkerParams::FromAverage(4096);
+  /// Input segment size.
+  size_t segment_bytes = 512 << 10;
+  /// "mod R == 0" hook sampling ratio.
+  uint32_t sample_ratio = 32;
+  /// How many champion manifests are loaded per segment.
+  size_t max_champions = 2;
+  /// Cap on manifest ids remembered per hook (RAM bound).
+  size_t max_manifests_per_hook = 4;
+  /// Manifest read cache entries.
+  size_t manifest_cache_entries = 8;
+  size_t container_capacity = 1 << 22;
+};
+
+/// Reimplementation of Sparse Indexing (Lillibridge et al., FAST'09):
+/// inline dedup using sampling and locality. Only sampled "hook"
+/// fingerprints are kept in RAM, mapping to the manifests (segment
+/// indexes) that contain them; each incoming segment votes with its
+/// hooks, the top-voted manifests become champions, and the segment is
+/// deduplicated against the champions only — one disk (OSS) access per
+/// champion instead of per chunk.
+class SparseIndexingDedup {
+ public:
+  SparseIndexingDedup(oss::ObjectStore* store, const std::string& root,
+                      SparseIndexingOptions options = {});
+
+  Result<lnode::BackupStats> Backup(const std::string& file_id,
+                                    std::string_view data);
+
+  format::ContainerStore* container_store() { return &containers_; }
+  format::RecipeStore* recipe_store() { return &recipes_; }
+
+ private:
+  using Manifest = std::unordered_map<Fingerprint, format::ChunkRecord>;
+
+  Result<std::shared_ptr<Manifest>> LoadManifest(uint64_t manifest_id);
+  Status StoreManifest(uint64_t manifest_id, const Manifest& manifest);
+
+  oss::ObjectStore* store_;
+  std::string root_;
+  SparseIndexingOptions options_;
+  std::unique_ptr<chunking::Chunker> chunker_;
+  format::ContainerStore containers_;
+  format::RecipeStore recipes_;
+
+  // Sparse in-memory index: hook fingerprint -> manifest ids (newest
+  // last, capped).
+  std::unordered_map<Fingerprint, std::vector<uint64_t>> sparse_index_;
+  uint64_t next_manifest_id_ = 0;
+  std::unordered_map<std::string, uint64_t> versions_;
+
+  // Manifest read cache (LRU).
+  std::unordered_map<uint64_t, std::shared_ptr<Manifest>> manifest_cache_;
+  std::list<uint64_t> manifest_lru_;
+};
+
+}  // namespace slim::baselines
+
+#endif  // SLIMSTORE_BASELINES_SPARSE_INDEXING_H_

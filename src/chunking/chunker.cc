@@ -1,0 +1,39 @@
+#include "chunking/chunker.h"
+
+#include "chunking/gear.h"
+#include "chunking/rabin.h"
+#include "common/macros.h"
+
+namespace slim::chunking {
+
+const char* ChunkerTypeName(ChunkerType type) {
+  switch (type) {
+    case ChunkerType::kFixed:
+      return "fixed";
+    case ChunkerType::kRabin:
+      return "rabin";
+    case ChunkerType::kGear:
+      return "gear";
+    case ChunkerType::kFastCdc:
+      return "fastcdc";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Chunker> CreateChunker(ChunkerType type,
+                                       const ChunkerParams& params) {
+  switch (type) {
+    case ChunkerType::kFixed:
+      return std::make_unique<FixedChunker>(params);
+    case ChunkerType::kRabin:
+      return std::make_unique<RabinChunker>(params);
+    case ChunkerType::kGear:
+      return std::make_unique<GearChunker>(params);
+    case ChunkerType::kFastCdc:
+      return std::make_unique<FastCdcChunker>(params);
+  }
+  SLIM_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace slim::chunking

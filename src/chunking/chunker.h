@@ -1,0 +1,98 @@
+#ifndef SLIMSTORE_CHUNKING_CHUNKER_H_
+#define SLIMSTORE_CHUNKING_CHUNKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slim::chunking {
+
+/// Size policy for content-defined chunking. avg_size must be a power of
+/// two (it defines the cut-condition mask).
+struct ChunkerParams {
+  size_t min_size = 2048;
+  size_t avg_size = 8192;
+  size_t max_size = 65536;
+
+  /// Derives a conventional policy from an average size: min = avg/4,
+  /// max = avg*8.
+  static ChunkerParams FromAverage(size_t avg) {
+    ChunkerParams p;
+    p.avg_size = avg;
+    p.min_size = avg / 4;
+    p.max_size = avg * 8;
+    return p;
+  }
+};
+
+/// A chunking algorithm. Implementations are stateless between calls:
+/// NextCut() considers `data` to be the start of a fresh chunk (rolling
+/// hashes are re-seeded per chunk, as in LBFS/destor), which is what
+/// makes boundaries reproducible across backup versions.
+///
+/// Instances are NOT thread-safe (they may keep internal scratch, e.g.
+/// the Rabin window tables); create one chunker per job/thread.
+///
+/// VerifyCut() re-checks the cut condition at a *given* boundary by
+/// hashing only the window that precedes it. This is the primitive
+/// behind history-aware skip chunking (paper §IV-B): skipping |c_m^{n-1}|
+/// bytes costs one window hash instead of a byte-by-byte scan. All our
+/// rolling hashes are strictly windowed (Rabin by construction; Gear and
+/// FastCDC use the XOR-gear variant whose state after W=64 bytes depends
+/// only on those bytes), so VerifyCut is exact: it returns true iff a
+/// full scan would cut there.
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  /// Length of the chunk starting at data[0]. Always in
+  /// [1, min(len, max_size)]; returns len when len <= min_size or no cut
+  /// point is found before the end of the buffer.
+  virtual size_t NextCut(const uint8_t* data, size_t len) const = 0;
+
+  /// True iff the cut condition holds at offset `chunk_len` of a chunk
+  /// beginning at `data` (or chunk_len == max_size, a forced boundary).
+  /// Note the deliberate weaker contract than "NextCut would return
+  /// chunk_len": skip chunking does not check whether an *earlier* cut
+  /// point exists — that is exactly the work it saves — and relies on the
+  /// subsequent fingerprint comparison to confirm the duplicate (§IV-B).
+  virtual bool VerifyCut(const uint8_t* data, size_t chunk_len) const = 0;
+
+  virtual const ChunkerParams& params() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Number of bytes the rolling hash inspects for one boundary test.
+  virtual size_t window_size() const = 0;
+};
+
+/// One produced chunk: offset into the source buffer plus length.
+struct RawChunk {
+  size_t offset = 0;
+  size_t size = 0;
+};
+
+/// Runs `chunker` over the whole buffer, returning consecutive chunks
+/// covering every byte. Convenience for tests and baselines; the backup
+/// pipeline drives NextCut incrementally so it can interleave skip
+/// chunking.
+std::vector<RawChunk> ChunkAll(const Chunker& chunker, std::string_view data);
+
+enum class ChunkerType {
+  kFixed,
+  kRabin,
+  kGear,
+  kFastCdc,
+};
+
+const char* ChunkerTypeName(ChunkerType type);
+
+/// Factory for all built-in chunkers.
+std::unique_ptr<Chunker> CreateChunker(ChunkerType type,
+                                       const ChunkerParams& params);
+
+}  // namespace slim::chunking
+
+#endif  // SLIMSTORE_CHUNKING_CHUNKER_H_

@@ -1,0 +1,145 @@
+#include "chunking/gear.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace slim::chunking {
+
+namespace {
+
+// Number of set bits for a cut mask targeting an average of 2^bits.
+int AvgBits(size_t avg_size) {
+  int bits = 0;
+  while ((size_t{1} << (bits + 1)) <= avg_size) ++bits;
+  return bits;
+}
+
+// Deterministically spreads `nbits` mask bits over positions [0, 63].
+// Spread masks (as in FastCDC) decorrelate the cut condition from byte
+// alignment; determinism keeps boundaries stable across runs.
+uint64_t SpreadMask(int nbits, uint64_t seed) {
+  nbits = std::clamp(nbits, 1, 62);
+  Rng rng(seed);
+  uint64_t mask = 0;
+  int set = 0;
+  while (set < nbits) {
+    uint64_t bit = uint64_t{1} << rng.Uniform(64);
+    if ((mask & bit) == 0) {
+      mask |= bit;
+      ++set;
+    }
+  }
+  return mask;
+}
+
+std::array<uint64_t, 256> MakeGearTable() {
+  std::array<uint64_t, 256> table;
+  Rng rng(0x67656172u /* "gear" */);
+  for (auto& v : table) v = rng.Next();
+  return table;
+}
+
+}  // namespace
+
+const std::array<uint64_t, 256>& GearTable() {
+  static const std::array<uint64_t, 256>* table =
+      new std::array<uint64_t, 256>(MakeGearTable());
+  return *table;
+}
+
+// ---------------------------------------------------------------------------
+// GearChunker
+// ---------------------------------------------------------------------------
+
+GearChunker::GearChunker(const ChunkerParams& params) : params_(params) {
+  SLIM_CHECK(params_.min_size >= 1);
+  SLIM_CHECK(params_.min_size <= params_.avg_size);
+  SLIM_CHECK(params_.avg_size <= params_.max_size);
+  mask_ = SpreadMask(AvgBits(params_.avg_size), /*seed=*/0x9ea7);
+}
+
+size_t GearChunker::NextCut(const uint8_t* data, size_t len) const {
+  if (len <= params_.min_size) return len;
+  size_t limit = std::min(len, params_.max_size);
+  uint64_t h = 0;
+  // The hash is strictly windowed (64 bytes); bytes before
+  // min_size - 64 can never influence a cut decision, so start there.
+  size_t start = params_.min_size > 64 ? params_.min_size - 64 : 0;
+  for (size_t i = start; i < params_.min_size; ++i) h = GearStep(h, data[i]);
+  if (IsCut(h)) return params_.min_size;
+  for (size_t pos = params_.min_size; pos < limit;) {
+    h = GearStep(h, data[pos]);
+    ++pos;
+    if (IsCut(h)) return pos;
+  }
+  return limit;
+}
+
+bool GearChunker::VerifyCut(const uint8_t* data, size_t chunk_len) const {
+  if (chunk_len < params_.min_size || chunk_len > params_.max_size) {
+    return false;
+  }
+  if (chunk_len == params_.max_size) return true;
+  uint64_t h = 0;
+  size_t start = chunk_len > 64 ? chunk_len - 64 : 0;
+  for (size_t i = start; i < chunk_len; ++i) h = GearStep(h, data[i]);
+  return IsCut(h);
+}
+
+// ---------------------------------------------------------------------------
+// FastCdcChunker
+// ---------------------------------------------------------------------------
+
+FastCdcChunker::FastCdcChunker(const ChunkerParams& params)
+    : params_(params) {
+  SLIM_CHECK(params_.min_size >= 1);
+  SLIM_CHECK(params_.min_size <= params_.avg_size);
+  SLIM_CHECK(params_.avg_size <= params_.max_size);
+  int bits = AvgBits(params_.avg_size);
+  mask_small_ = SpreadMask(bits + 2, /*seed=*/0xfcdc01);
+  mask_large_ = SpreadMask(bits - 2, /*seed=*/0xfcdc02);
+}
+
+size_t FastCdcChunker::NextCut(const uint8_t* data, size_t len) const {
+  if (len <= params_.min_size) return len;
+  size_t limit = std::min(len, params_.max_size);
+  size_t normal = std::min(params_.avg_size, limit);
+  uint64_t h = 0;
+  size_t pos = params_.min_size;
+  // Normalized chunking: strict mask up to the normal (average) size...
+  while (pos < normal) {
+    h = GearStep(h, data[pos]);
+    ++pos;
+    if ((h & mask_small_) == 0) return pos;
+  }
+  // ...then a loose mask so oversized chunks terminate quickly.
+  while (pos < limit) {
+    h = GearStep(h, data[pos]);
+    ++pos;
+    if ((h & mask_large_) == 0) return pos;
+  }
+  return limit;
+}
+
+bool FastCdcChunker::VerifyCut(const uint8_t* data, size_t chunk_len) const {
+  // FastCDC evaluates its first cut condition strictly after min_size
+  // (the hash is empty at min_size itself), so min_size is not a
+  // content-defined boundary.
+  if (chunk_len <= params_.min_size || chunk_len > params_.max_size) {
+    return false;
+  }
+  if (chunk_len == params_.max_size) return true;
+  // Recompute the windowed hash exactly as the scan would see it: the
+  // scan starts with h=0 at min_size, and any byte more than 64 steps
+  // back has shifted entirely out of the 64-bit state.
+  size_t start = params_.min_size;
+  if (chunk_len > start + 64) start = chunk_len - 64;
+  uint64_t h = 0;
+  for (size_t i = start; i < chunk_len; ++i) h = GearStep(h, data[i]);
+  uint64_t mask = chunk_len <= params_.avg_size ? mask_small_ : mask_large_;
+  return (h & mask) == 0;
+}
+
+}  // namespace slim::chunking

@@ -1,0 +1,84 @@
+#ifndef SLIMSTORE_CHUNKING_GEAR_H_
+#define SLIMSTORE_CHUNKING_GEAR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "chunking/chunker.h"
+
+namespace slim::chunking {
+
+/// The 256-entry random table shared by Gear and FastCDC. Generated
+/// deterministically from a fixed seed so chunk boundaries are stable
+/// across runs and machines.
+const std::array<uint64_t, 256>& GearTable();
+
+/// Gear hash step (XOR variant). With XOR instead of +, the hash state
+/// after 64 steps depends only on the last 64 bytes, making the hash
+/// strictly windowed — which VerifyCut (skip chunking) exploits.
+inline uint64_t GearStep(uint64_t h, uint8_t byte) {
+  return (h << 1) ^ GearTable()[byte];
+}
+
+/// Gear content-defined chunker (Xia et al., "Ddelta"): one shift + one
+/// XOR + one table lookup per byte, far cheaper than Rabin.
+class GearChunker : public Chunker {
+ public:
+  explicit GearChunker(const ChunkerParams& params);
+
+  size_t NextCut(const uint8_t* data, size_t len) const override;
+  bool VerifyCut(const uint8_t* data, size_t chunk_len) const override;
+  const ChunkerParams& params() const override { return params_; }
+  const char* name() const override { return "gear"; }
+  size_t window_size() const override { return 64; }
+
+ private:
+  bool IsCut(uint64_t h) const { return (h & mask_) == 0; }
+
+  ChunkerParams params_;
+  uint64_t mask_;
+};
+
+/// FastCDC (Xia et al., ATC'16): Gear hash plus normalized chunking —
+/// a harder mask before the target (normal) size and an easier mask
+/// after it, which tightens the chunk-size distribution and lets the
+/// scan skip the first min_size bytes entirely.
+class FastCdcChunker : public Chunker {
+ public:
+  explicit FastCdcChunker(const ChunkerParams& params);
+
+  size_t NextCut(const uint8_t* data, size_t len) const override;
+  bool VerifyCut(const uint8_t* data, size_t chunk_len) const override;
+  const ChunkerParams& params() const override { return params_; }
+  const char* name() const override { return "fastcdc"; }
+  size_t window_size() const override { return 64; }
+
+ private:
+  ChunkerParams params_;
+  uint64_t mask_small_;  // Stricter: used before avg_size (normal size).
+  uint64_t mask_large_;  // Looser: used from avg_size to max_size.
+};
+
+/// Fixed-size chunker: cuts every avg_size bytes. The boundary-shift
+/// baseline (one inserted byte misaligns every later chunk).
+class FixedChunker : public Chunker {
+ public:
+  explicit FixedChunker(const ChunkerParams& params) : params_(params) {}
+
+  size_t NextCut(const uint8_t* /*data*/, size_t len) const override {
+    return std::min(len, params_.avg_size);
+  }
+  bool VerifyCut(const uint8_t* /*data*/, size_t chunk_len) const override {
+    return chunk_len == params_.avg_size;
+  }
+  const ChunkerParams& params() const override { return params_; }
+  const char* name() const override { return "fixed"; }
+  size_t window_size() const override { return 0; }
+
+ private:
+  ChunkerParams params_;
+};
+
+}  // namespace slim::chunking
+
+#endif  // SLIMSTORE_CHUNKING_GEAR_H_

@@ -1,0 +1,158 @@
+#include "chunking/rabin.h"
+
+#include "common/macros.h"
+
+namespace slim::chunking {
+
+namespace {
+
+// Polynomial arithmetic over GF(2), after LBFS rabinpoly.c.
+
+int Degree(uint64_t p) {
+  SLIM_CHECK(p != 0);
+  return 63 - __builtin_clzll(p);
+}
+
+// (nh * 2^64 + nl) mod d, all GF(2) polynomials.
+uint64_t PolyMod(uint64_t nh, uint64_t nl, uint64_t d) {
+  int k = Degree(d);
+  d <<= (63 - k);
+  if (nh) {
+    if (nh & (uint64_t{1} << 63)) nh ^= d;
+    for (int i = 62; i >= 0; --i) {
+      if (nh & (uint64_t{1} << i)) {
+        nh ^= d >> (63 - i);
+        nl ^= d << (i + 1);
+      }
+    }
+  }
+  for (int i = 63; i >= k; --i) {
+    if (nl & (uint64_t{1} << i)) nl ^= d >> (63 - i);
+  }
+  return nl;
+}
+
+// x * y as a 128-bit GF(2) product.
+void PolyMult(uint64_t x, uint64_t y, uint64_t* ph, uint64_t* pl) {
+  uint64_t hi = 0, lo = 0;
+  if (x & 1) lo = y;
+  for (int i = 1; i < 64; ++i) {
+    if (x & (uint64_t{1} << i)) {
+      hi ^= y >> (64 - i);
+      lo ^= y << i;
+    }
+  }
+  *ph = hi;
+  *pl = lo;
+}
+
+uint64_t PolyMulMod(uint64_t x, uint64_t y, uint64_t d) {
+  uint64_t h, l;
+  PolyMult(x, y, &h, &l);
+  return PolyMod(h, l, d);
+}
+
+}  // namespace
+
+RabinWindow::RabinWindow(uint64_t poly, size_t window_size)
+    : poly_(poly), window_size_(window_size) {
+  SLIM_CHECK(window_size_ > 0 && window_size_ <= buf_.size());
+  int k = Degree(poly_);
+  shift_ = k - 8;
+  SLIM_CHECK(shift_ > 0 && shift_ < 56);
+  // T[j]: reduction of the high byte j about to shift past degree k. The
+  // "| (j << k)" term cancels those high bits in Append8, keeping the
+  // fingerprint below 2^k (LBFS rabinpoly).
+  uint64_t t1 = PolyMod(0, uint64_t{1} << k, poly_);
+  for (uint64_t j = 0; j < 256; ++j) {
+    T_[j] = PolyMulMod(j, t1, poly_) | (j << k);
+  }
+  // U[j]: contribution of byte j leaving a window of window_size bytes.
+  uint64_t sizeshift = 1;
+  for (size_t i = 1; i < window_size_; ++i) sizeshift = Append8(sizeshift, 0);
+  for (uint64_t j = 0; j < 256; ++j) {
+    U_[j] = PolyMulMod(j, sizeshift, poly_);
+  }
+  Reset();
+}
+
+void RabinWindow::Reset() {
+  buf_.fill(0);
+  bufpos_ = 0;
+  fingerprint_ = 0;
+}
+
+uint64_t RabinWindow::Slide(uint8_t byte) {
+  uint8_t out = buf_[bufpos_];
+  buf_[bufpos_] = byte;
+  bufpos_ = (bufpos_ + 1) % window_size_;
+  fingerprint_ = Append8(fingerprint_ ^ U_[out], byte);
+  return fingerprint_;
+}
+
+RabinChunker::RabinChunker(const ChunkerParams& params, uint64_t poly,
+                           size_t window_size)
+    : params_(params),
+      poly_(poly),
+      window_size_(window_size),
+      scratch_(poly, window_size) {
+  SLIM_CHECK(params_.avg_size >= 2 &&
+             (params_.avg_size & (params_.avg_size - 1)) == 0);
+  SLIM_CHECK(params_.min_size >= window_size_);
+  SLIM_CHECK(params_.min_size <= params_.avg_size);
+  SLIM_CHECK(params_.avg_size <= params_.max_size);
+  mask_ = params_.avg_size - 1;
+}
+
+size_t RabinChunker::NextCut(const uint8_t* data, size_t len) const {
+  if (len <= params_.min_size) return len;
+  size_t limit = std::min(len, params_.max_size);
+  RabinWindow& window = scratch_;
+  window.Reset();
+  // Prime the window with the bytes leading up to the first candidate
+  // cut position (a cut at position p tests the window ending at p).
+  for (size_t i = params_.min_size - window_size_; i < params_.min_size;
+       ++i) {
+    window.Slide(data[i]);
+  }
+  if (IsCutFingerprint(window.fingerprint())) return params_.min_size;
+  for (size_t pos = params_.min_size + 1; pos <= limit; ++pos) {
+    window.Slide(data[pos - 1]);
+    if (IsCutFingerprint(window.fingerprint())) return pos;
+  }
+  return limit;
+}
+
+bool RabinChunker::VerifyCut(const uint8_t* data, size_t chunk_len) const {
+  if (chunk_len < params_.min_size) return false;
+  if (chunk_len > params_.max_size) return false;
+  if (chunk_len == params_.max_size) {
+    // A max-size cut is forced, but only if no earlier content cut
+    // exists; the caller relies on duplicate-fingerprint comparison to
+    // weed out mismatches, so treat a forced boundary as acceptable.
+    return true;
+  }
+  RabinWindow& window = scratch_;
+  window.Reset();
+  for (size_t i = chunk_len - window_size_; i < chunk_len; ++i) {
+    window.Slide(data[i]);
+  }
+  return IsCutFingerprint(window.fingerprint());
+}
+
+std::vector<RawChunk> ChunkAll(const Chunker& chunker, std::string_view data) {
+  std::vector<RawChunk> chunks;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t remaining = data.size();
+  size_t offset = 0;
+  while (remaining > 0) {
+    size_t cut = chunker.NextCut(p + offset, remaining);
+    SLIM_CHECK(cut > 0 && cut <= remaining);
+    chunks.push_back(RawChunk{offset, cut});
+    offset += cut;
+    remaining -= cut;
+  }
+  return chunks;
+}
+
+}  // namespace slim::chunking

@@ -1,0 +1,79 @@
+#ifndef SLIMSTORE_CHUNKING_RABIN_H_
+#define SLIMSTORE_CHUNKING_RABIN_H_
+
+#include <array>
+#include <cstdint>
+
+#include "chunking/chunker.h"
+
+namespace slim::chunking {
+
+/// Rabin fingerprinting over GF(2) polynomials (Broder/LBFS style).
+/// Maintains the fingerprint of a sliding window of `window_size` bytes;
+/// table-driven so advancing by one byte costs two table lookups.
+class RabinWindow {
+ public:
+  /// Default irreducible polynomial (degree 53), the one used by LBFS.
+  static constexpr uint64_t kDefaultPoly = 0x3DA3358B4DC173ULL;
+  static constexpr size_t kDefaultWindowSize = 48;
+
+  explicit RabinWindow(uint64_t poly = kDefaultPoly,
+                       size_t window_size = kDefaultWindowSize);
+
+  /// Clears the window to all-zero bytes.
+  void Reset();
+
+  /// Slides one byte in (and the oldest byte out); returns the new
+  /// fingerprint.
+  uint64_t Slide(uint8_t byte);
+
+  uint64_t fingerprint() const { return fingerprint_; }
+  size_t window_size() const { return window_size_; }
+
+ private:
+  uint64_t Append8(uint64_t p, uint8_t byte) const {
+    return ((p << 8) | byte) ^ T_[p >> shift_];
+  }
+
+  uint64_t poly_;
+  size_t window_size_;
+  int shift_;
+  std::array<uint64_t, 256> T_;  // High-byte reduction table.
+  std::array<uint64_t, 256> U_;  // Outgoing-byte removal table.
+  std::array<uint8_t, 256> buf_ = {};  // Circular window buffer.
+  size_t bufpos_ = 0;
+  uint64_t fingerprint_ = 0;
+};
+
+/// Content-defined chunker with the classic Rabin cut condition
+/// (fingerprint & (avg-1)) == avg-1, bounded by min/max size. This is the
+/// compute-heavy baseline of Fig 2 / Fig 5.
+class RabinChunker : public Chunker {
+ public:
+  explicit RabinChunker(const ChunkerParams& params,
+                        uint64_t poly = RabinWindow::kDefaultPoly,
+                        size_t window_size = RabinWindow::kDefaultWindowSize);
+
+  size_t NextCut(const uint8_t* data, size_t len) const override;
+  bool VerifyCut(const uint8_t* data, size_t chunk_len) const override;
+  const ChunkerParams& params() const override { return params_; }
+  const char* name() const override { return "rabin"; }
+  size_t window_size() const override { return window_size_; }
+
+ private:
+  bool IsCutFingerprint(uint64_t fp) const { return (fp & mask_) == mask_; }
+
+  ChunkerParams params_;
+  uint64_t poly_;
+  size_t window_size_;
+  uint64_t mask_;
+  /// Reusable sliding window: the reduction tables are expensive to
+  /// build, so they are computed once here and the window state is
+  /// Reset() per call. This makes the chunker non-thread-safe, per the
+  /// Chunker contract (one instance per job).
+  mutable RabinWindow scratch_;
+};
+
+}  // namespace slim::chunking
+
+#endif  // SLIMSTORE_CHUNKING_RABIN_H_

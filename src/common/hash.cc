@@ -1,0 +1,343 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace slim {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+inline uint32_t RotL32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline uint32_t RotR32(uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) |
+         (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+std::string Fingerprint::ToHex() const {
+  std::string out(kSize * 2, '0');
+  for (size_t i = 0; i < kSize; ++i) {
+    out[2 * i] = kHexDigits[bytes_[i] >> 4];
+    out[2 * i + 1] = kHexDigits[bytes_[i] & 0xf];
+  }
+  return out;
+}
+
+Fingerprint Fingerprint::FromHex(std::string_view hex) {
+  Fingerprint fp;
+  if (hex.size() != kSize * 2) return fp;
+  for (size_t i = 0; i < kSize; ++i) {
+    int hi = HexValue(hex[2 * i]);
+    int lo = HexValue(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return Fingerprint();
+    fp.bytes_[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1
+// ---------------------------------------------------------------------------
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  // Unrolled with a 16-word circular schedule (classic fast software
+  // SHA-1); fingerprinting dominates dedup CPU time, so this path is
+  // deliberately hand-tuned.
+  uint32_t w[16];
+  for (int i = 0; i < 16; ++i) w[i] = LoadBe32(block + 4 * i);
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+
+#define SLIM_SHA1_W(t)                                                  \
+  (w[(t)&15] = RotL32(w[((t)-3) & 15] ^ w[((t)-8) & 15] ^               \
+                          w[((t)-14) & 15] ^ w[(t)&15],                 \
+                      1))
+
+#define SLIM_SHA1_ROUND(a, b, c, d, e, f, k, x)       \
+  do {                                                \
+    (e) += RotL32((a), 5) + (f) + (k) + (x);          \
+    (b) = RotL32((b), 30);                            \
+  } while (0)
+
+#define SLIM_F1(b, c, d) (((b) & (c)) | ((~(b)) & (d)))
+#define SLIM_F2(b, c, d) ((b) ^ (c) ^ (d))
+#define SLIM_F3(b, c, d) (((b) & (c)) | ((b) & (d)) | ((c) & (d)))
+
+#define SLIM_R0(a, b, c, d, e, t) \
+  SLIM_SHA1_ROUND(a, b, c, d, e, SLIM_F1(b, c, d), 0x5A827999, w[(t)&15])
+#define SLIM_R1(a, b, c, d, e, t) \
+  SLIM_SHA1_ROUND(a, b, c, d, e, SLIM_F1(b, c, d), 0x5A827999, SLIM_SHA1_W(t))
+#define SLIM_R2(a, b, c, d, e, t) \
+  SLIM_SHA1_ROUND(a, b, c, d, e, SLIM_F2(b, c, d), 0x6ED9EBA1, SLIM_SHA1_W(t))
+#define SLIM_R3(a, b, c, d, e, t) \
+  SLIM_SHA1_ROUND(a, b, c, d, e, SLIM_F3(b, c, d), 0x8F1BBCDC, SLIM_SHA1_W(t))
+#define SLIM_R4(a, b, c, d, e, t) \
+  SLIM_SHA1_ROUND(a, b, c, d, e, SLIM_F2(b, c, d), 0xCA62C1D6, SLIM_SHA1_W(t))
+
+  SLIM_R0(a, b, c, d, e, 0);  SLIM_R0(e, a, b, c, d, 1);
+  SLIM_R0(d, e, a, b, c, 2);  SLIM_R0(c, d, e, a, b, 3);
+  SLIM_R0(b, c, d, e, a, 4);  SLIM_R0(a, b, c, d, e, 5);
+  SLIM_R0(e, a, b, c, d, 6);  SLIM_R0(d, e, a, b, c, 7);
+  SLIM_R0(c, d, e, a, b, 8);  SLIM_R0(b, c, d, e, a, 9);
+  SLIM_R0(a, b, c, d, e, 10); SLIM_R0(e, a, b, c, d, 11);
+  SLIM_R0(d, e, a, b, c, 12); SLIM_R0(c, d, e, a, b, 13);
+  SLIM_R0(b, c, d, e, a, 14); SLIM_R0(a, b, c, d, e, 15);
+  SLIM_R1(e, a, b, c, d, 16); SLIM_R1(d, e, a, b, c, 17);
+  SLIM_R1(c, d, e, a, b, 18); SLIM_R1(b, c, d, e, a, 19);
+
+  SLIM_R2(a, b, c, d, e, 20); SLIM_R2(e, a, b, c, d, 21);
+  SLIM_R2(d, e, a, b, c, 22); SLIM_R2(c, d, e, a, b, 23);
+  SLIM_R2(b, c, d, e, a, 24); SLIM_R2(a, b, c, d, e, 25);
+  SLIM_R2(e, a, b, c, d, 26); SLIM_R2(d, e, a, b, c, 27);
+  SLIM_R2(c, d, e, a, b, 28); SLIM_R2(b, c, d, e, a, 29);
+  SLIM_R2(a, b, c, d, e, 30); SLIM_R2(e, a, b, c, d, 31);
+  SLIM_R2(d, e, a, b, c, 32); SLIM_R2(c, d, e, a, b, 33);
+  SLIM_R2(b, c, d, e, a, 34); SLIM_R2(a, b, c, d, e, 35);
+  SLIM_R2(e, a, b, c, d, 36); SLIM_R2(d, e, a, b, c, 37);
+  SLIM_R2(c, d, e, a, b, 38); SLIM_R2(b, c, d, e, a, 39);
+
+  SLIM_R3(a, b, c, d, e, 40); SLIM_R3(e, a, b, c, d, 41);
+  SLIM_R3(d, e, a, b, c, 42); SLIM_R3(c, d, e, a, b, 43);
+  SLIM_R3(b, c, d, e, a, 44); SLIM_R3(a, b, c, d, e, 45);
+  SLIM_R3(e, a, b, c, d, 46); SLIM_R3(d, e, a, b, c, 47);
+  SLIM_R3(c, d, e, a, b, 48); SLIM_R3(b, c, d, e, a, 49);
+  SLIM_R3(a, b, c, d, e, 50); SLIM_R3(e, a, b, c, d, 51);
+  SLIM_R3(d, e, a, b, c, 52); SLIM_R3(c, d, e, a, b, 53);
+  SLIM_R3(b, c, d, e, a, 54); SLIM_R3(a, b, c, d, e, 55);
+  SLIM_R3(e, a, b, c, d, 56); SLIM_R3(d, e, a, b, c, 57);
+  SLIM_R3(c, d, e, a, b, 58); SLIM_R3(b, c, d, e, a, 59);
+
+  SLIM_R4(a, b, c, d, e, 60); SLIM_R4(e, a, b, c, d, 61);
+  SLIM_R4(d, e, a, b, c, 62); SLIM_R4(c, d, e, a, b, 63);
+  SLIM_R4(b, c, d, e, a, 64); SLIM_R4(a, b, c, d, e, 65);
+  SLIM_R4(e, a, b, c, d, 66); SLIM_R4(d, e, a, b, c, 67);
+  SLIM_R4(c, d, e, a, b, 68); SLIM_R4(b, c, d, e, a, 69);
+  SLIM_R4(a, b, c, d, e, 70); SLIM_R4(e, a, b, c, d, 71);
+  SLIM_R4(d, e, a, b, c, 72); SLIM_R4(c, d, e, a, b, 73);
+  SLIM_R4(b, c, d, e, a, 74); SLIM_R4(a, b, c, d, e, 75);
+  SLIM_R4(e, a, b, c, d, 76); SLIM_R4(d, e, a, b, c, 77);
+  SLIM_R4(c, d, e, a, b, 78); SLIM_R4(b, c, d, e, a, 79);
+
+#undef SLIM_SHA1_W
+#undef SLIM_SHA1_ROUND
+#undef SLIM_F1
+#undef SLIM_F2
+#undef SLIM_F3
+#undef SLIM_R0
+#undef SLIM_R1
+#undef SLIM_R2
+#undef SLIM_R3
+#undef SLIM_R4
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Fingerprint Sha1::Finish() {
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  // total_len_ is mutated by the padding Updates; bit_len was captured
+  // before so the length field is correct.
+  while (buffer_len_ != 56) Update(&zero, 1);
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(len_be, 8);
+
+  Fingerprint fp;
+  for (int i = 0; i < 5; ++i) StoreBe32(fp.data() + 4 * i, h_[i]);
+  return fp;
+}
+
+Fingerprint Sha1::Hash(const void* data, size_t len) {
+  Sha1 h;
+  h.Update(data, len);
+  return h.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+}  // namespace
+
+void Sha256::Reset() {
+  h_[0] = 0x6a09e667;
+  h_[1] = 0xbb67ae85;
+  h_[2] = 0x3c6ef372;
+  h_[3] = 0xa54ff53a;
+  h_[4] = 0x510e527f;
+  h_[5] = 0x9b05688c;
+  h_[6] = 0x1f83d9ab;
+  h_[7] = 0x5be0cd19;
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha256::ProcessBlock(const uint8_t* block) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = LoadBe32(block + 4 * i);
+  for (int i = 16; i < 64; ++i) {
+    uint32_t s0 = RotR32(w[i - 15], 7) ^ RotR32(w[i - 15], 18) ^
+                  (w[i - 15] >> 3);
+    uint32_t s1 = RotR32(w[i - 2], 17) ^ RotR32(w[i - 2], 19) ^
+                  (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t s1 = RotR32(e, 6) ^ RotR32(e, 11) ^ RotR32(e, 25);
+    uint32_t ch = (e & f) ^ ((~e) & g);
+    uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+    uint32_t s0 = RotR32(a, 2) ^ RotR32(a, 13) ^ RotR32(a, 22);
+    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+std::array<uint8_t, Sha256::kDigestSize> Sha256::Finish() {
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(len_be, 8);
+
+  std::array<uint8_t, kDigestSize> digest;
+  for (int i = 0; i < 8; ++i) StoreBe32(digest.data() + 4 * i, h_[i]);
+  return digest;
+}
+
+std::array<uint8_t, Sha256::kDigestSize> Sha256::Hash(const void* data,
+                                                      size_t len) {
+  Sha256 h;
+  h.Update(data, len);
+  return h.Finish();
+}
+
+}  // namespace slim

@@ -1,0 +1,53 @@
+#ifndef SLIMSTORE_COMMON_LOGGING_H_
+#define SLIMSTORE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace slim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal process-wide logger. Defaults to kWarn so tests and benches
+/// stay quiet; examples raise it to kInfo.
+class Logger {
+ public:
+  static Logger& Get() {
+    static Logger* instance = new Logger();
+    return *instance;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Log(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+                 msg.c_str());
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+inline void LogInfo(const std::string& msg) {
+  Logger::Get().Log(LogLevel::kInfo, msg);
+}
+inline void LogWarn(const std::string& msg) {
+  Logger::Get().Log(LogLevel::kWarn, msg);
+}
+inline void LogError(const std::string& msg) {
+  Logger::Get().Log(LogLevel::kError, msg);
+}
+inline void LogDebug(const std::string& msg) {
+  Logger::Get().Log(LogLevel::kDebug, msg);
+}
+
+}  // namespace slim
+
+#endif  // SLIMSTORE_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#ifndef SLIMSTORE_COMMON_MACROS_H_
+#define SLIMSTORE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Aborts the process if `cond` is false. Used for programmer errors and
+/// broken invariants, never for recoverable conditions (those return
+/// Status).
+#define SLIM_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SLIM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Aborts if `status_expr` is not OK. For call sites where failure is a
+/// bug (e.g. writing to an in-memory store that cannot fail).
+#define SLIM_CHECK_OK(status_expr)                                         \
+  do {                                                                     \
+    const ::slim::Status _slim_st = (status_expr);                         \
+    if (!_slim_st.ok()) {                                                  \
+      std::fprintf(stderr, "SLIM_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, _slim_st.ToString().c_str());       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define SLIM_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::slim::Status _slim_st = (expr);              \
+    if (!_slim_st.ok()) return _slim_st;           \
+  } while (0)
+
+#define SLIM_CONCAT_IMPL(a, b) a##b
+#define SLIM_CONCAT(a, b) SLIM_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), returns its Status on error, otherwise
+/// moves the value into `lhs`.
+#define SLIM_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto SLIM_CONCAT(_slim_res_, __LINE__) = (rexpr);                  \
+  if (!SLIM_CONCAT(_slim_res_, __LINE__).ok())                       \
+    return SLIM_CONCAT(_slim_res_, __LINE__).status();               \
+  lhs = std::move(SLIM_CONCAT(_slim_res_, __LINE__)).value()
+
+#endif  // SLIMSTORE_COMMON_MACROS_H_

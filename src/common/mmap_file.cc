@@ -1,0 +1,44 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace slim {
+
+Result<std::unique_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* base = nullptr;
+  if (size > 0) {
+    base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      ::close(fd);
+      return Status::IoError("mmap " + path + ": " + std::strerror(errno));
+    }
+    // The backup pipeline scans forward once.
+    ::madvise(base, size, MADV_SEQUENTIAL);
+  }
+  ::close(fd);  // The mapping keeps the file alive.
+  return std::unique_ptr<MmapFile>(new MmapFile(base, size));
+}
+
+MmapFile::~MmapFile() {
+  if (base_ != nullptr && size_ > 0) {
+    ::munmap(base_, size_);
+  }
+}
+
+}  // namespace slim

@@ -1,0 +1,39 @@
+#ifndef SLIMSTORE_COMMON_MMAP_FILE_H_
+#define SLIMSTORE_COMMON_MMAP_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace slim {
+
+/// Read-only memory-mapped file. Lets multi-GB backup sources be chunked
+/// without loading them into anonymous memory: the OS pages the mapping
+/// in and out as the (single forward pass) backup pipeline scans it.
+class MmapFile {
+ public:
+  /// Maps the whole file read-only. Empty files map to an empty view.
+  static Result<std::unique_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::string_view data() const {
+    return std::string_view(static_cast<const char*>(base_), size_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(void* base, size_t size) : base_(base), size_(size) {}
+
+  void* base_;
+  size_t size_;
+};
+
+}  // namespace slim
+
+#endif  // SLIMSTORE_COMMON_MMAP_FILE_H_

@@ -1,0 +1,80 @@
+#ifndef SLIMSTORE_COMMON_RNG_H_
+#define SLIMSTORE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace slim {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All workload generators
+/// use this so datasets are reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5157534c494d5354ULL) {
+    // Seed the four lanes with splitmix64, never all-zero.
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x = Mix64(x + 0x9e3779b97f4a7c15ULL);
+      lane = x | 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = RotL(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = RotL(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fills `out` with n pseudo-random bytes.
+  void FillBytes(std::string* out, size_t n) {
+    out->clear();
+    out->reserve(n);
+    while (out->size() + 8 <= n) {
+      uint64_t v = Next();
+      out->append(reinterpret_cast<const char*>(&v), 8);
+    }
+    uint64_t v = Next();
+    out->append(reinterpret_cast<const char*>(&v), n - out->size());
+  }
+
+  std::string RandomBytes(size_t n) {
+    std::string out;
+    FillBytes(&out, n);
+    return out;
+  }
+
+ private:
+  static uint64_t RotL(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace slim
+
+#endif  // SLIMSTORE_COMMON_RNG_H_

@@ -1,0 +1,64 @@
+#ifndef SLIMSTORE_COMMON_STOPWATCH_H_
+#define SLIMSTORE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace slim {
+
+/// Monotonic wall-clock stopwatch for measuring CPU-side phase times
+/// (chunking, fingerprinting, index lookups) in benchmarks and the
+/// time-breakdown instrumentation of Fig 2 / Fig 5d.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  /// Nanoseconds since construction or the last Restart().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Now() { return Clock::now(); }
+
+  Clock::time_point start_;
+};
+
+/// Accumulates nanoseconds across many timed sections; used by the
+/// backup pipeline to attribute CPU time to chunking / fingerprinting /
+/// indexing / other.
+class PhaseTimer {
+ public:
+  void Add(uint64_t nanos) { total_nanos_ += nanos; }
+  uint64_t total_nanos() const { return total_nanos_; }
+  double total_seconds() const { return total_nanos_ * 1e-9; }
+  void Reset() { total_nanos_ = 0; }
+
+ private:
+  uint64_t total_nanos_ = 0;
+};
+
+/// RAII helper: adds the elapsed time of a scope to a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer* timer) : timer_(timer) {}
+  ~ScopedPhase() { timer_->Add(watch_.ElapsedNanos()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  Stopwatch watch_;
+};
+
+}  // namespace slim
+
+#endif  // SLIMSTORE_COMMON_STOPWATCH_H_

@@ -1,0 +1,49 @@
+#ifndef SLIMSTORE_COMMON_THREAD_POOL_H_
+#define SLIMSTORE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slim {
+
+/// Fixed-size worker pool used by the LAW prefetcher, G-node background
+/// jobs, and the multi-node scaling experiments. Tasks are plain
+/// std::function<void()>; completion is observed via WaitIdle().
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  /// Stops accepting work, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: task or shutdown.
+  std::condition_variable idle_cv_;   // Signals WaitIdle: all done.
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace slim
+
+#endif  // SLIMSTORE_COMMON_THREAD_POOL_H_

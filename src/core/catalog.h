@@ -1,0 +1,85 @@
+#ifndef SLIMSTORE_CORE_CATALOG_H_
+#define SLIMSTORE_CORE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "format/chunk.h"
+#include "index/similar_file_index.h"
+#include "oss/object_store.h"
+
+namespace slim::core {
+
+/// Bookkeeping for one live backup version.
+struct VersionInfo {
+  std::string file_id;
+  uint64_t version = 0;
+  uint64_t logical_bytes = 0;
+  /// Containers created by this backup (plus SCC outputs for it).
+  std::vector<format::ContainerId> new_containers;
+  /// Every container the version's recipe references.
+  std::vector<format::ContainerId> referenced_containers;
+  /// Garbage associated with this version during deduplication (the
+  /// precomputed Mark phase of §VI-B): containers that fell out of the
+  /// next version's reference set, plus sparse containers compacted
+  /// away.
+  std::vector<format::ContainerId> garbage_containers;
+  /// True until G-node has run reverse dedup + SCC for this backup.
+  bool gnode_pending = true;
+  /// Sparse containers the backup job identified (SCC input).
+  std::vector<format::ContainerId> sparse_containers;
+};
+
+/// In-memory system catalog: which versions exist, what they reference,
+/// and the per-version garbage lists that make version collection a
+/// sweep-only operation. Thread-safe.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  void RecordBackup(VersionInfo info);
+  /// Appends extra containers (e.g. SCC outputs) to a version.
+  void AddNewContainers(const std::string& file_id, uint64_t version,
+                        const std::vector<format::ContainerId>& ids);
+  void AddGarbage(const std::string& file_id, uint64_t version,
+                  const std::vector<format::ContainerId>& ids);
+  void SetReferenced(const std::string& file_id, uint64_t version,
+                     std::vector<format::ContainerId> ids);
+  void MarkGnodeDone(const std::string& file_id, uint64_t version);
+  void Erase(const std::string& file_id, uint64_t version);
+
+  std::optional<VersionInfo> Get(const std::string& file_id,
+                                 uint64_t version) const;
+
+  /// All live versions (of every file).
+  std::vector<index::FileVersion> LiveVersions() const;
+  /// Referenced-container sets of all live versions except (file_id,
+  /// version) — the cheap verification input for precomputed GC.
+  std::vector<std::vector<format::ContainerId>> LiveReferencedSetsExcept(
+      const std::string& file_id, uint64_t version) const;
+  /// Versions whose G-node pass is still pending.
+  std::vector<index::FileVersion> GnodePending() const;
+
+  /// Live versions of one file, ascending.
+  std::vector<uint64_t> VersionsOf(const std::string& file_id) const;
+
+  /// Persists the catalog to one OSS object / restores it (system
+  /// reopen).
+  Status Save(oss::ObjectStore* store, const std::string& key) const;
+  Status Load(oss::ObjectStore* store, const std::string& key);
+
+ private:
+  using Key = std::pair<std::string, uint64_t>;
+
+  mutable std::mutex mu_;
+  std::map<Key, VersionInfo> versions_;
+};
+
+}  // namespace slim::core
+
+#endif  // SLIMSTORE_CORE_CATALOG_H_

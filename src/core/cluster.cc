@@ -1,0 +1,99 @@
+#include "core/cluster.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace slim::core {
+
+namespace {
+
+size_t NodesNeeded(size_t jobs, size_t per_node, size_t max_nodes) {
+  if (per_node == 0) return 1;
+  size_t nodes = (jobs + per_node - 1) / per_node;
+  return std::min(std::max<size_t>(nodes, 1), max_nodes);
+}
+
+}  // namespace
+
+Result<ParallelRunStats> Cluster::ParallelBackup(
+    const std::vector<BackupJob>& jobs) {
+  ParallelRunStats stats;
+  stats.jobs = jobs.size();
+  stats.lnodes_used =
+      NodesNeeded(jobs.size(), options_.backup_jobs_per_node,
+                  options_.num_lnodes);
+  stats.concurrency = std::min(
+      jobs.size(), stats.lnodes_used * options_.backup_jobs_per_node);
+  if (jobs.empty()) return stats;
+
+  std::mutex mu;
+  Status first_error;
+  std::atomic<uint64_t> bytes{0};
+
+  Stopwatch watch;
+  {
+    ThreadPool pool(stats.concurrency);
+    for (const BackupJob& job : jobs) {
+      pool.Submit([&, job] {
+        auto result = store_->Backup(job.file_id, *job.data);
+        if (result.ok()) {
+          bytes.fetch_add(result.value().logical_bytes,
+                          std::memory_order_relaxed);
+        } else {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = result.status();
+        }
+      });
+    }
+    pool.WaitIdle();
+  }
+  stats.elapsed_seconds = watch.ElapsedSeconds();
+  stats.logical_bytes = bytes.load();
+  if (!first_error.ok()) return first_error;
+  return stats;
+}
+
+Result<ParallelRunStats> Cluster::ParallelRestore(
+    const std::vector<index::FileVersion>& jobs,
+    const lnode::RestoreOptions* override_options) {
+  ParallelRunStats stats;
+  stats.jobs = jobs.size();
+  stats.lnodes_used =
+      NodesNeeded(jobs.size(), options_.restore_jobs_per_node,
+                  options_.num_lnodes);
+  stats.concurrency = std::min(
+      jobs.size(), stats.lnodes_used * options_.restore_jobs_per_node);
+  if (jobs.empty()) return stats;
+
+  std::mutex mu;
+  Status first_error;
+  std::atomic<uint64_t> bytes{0};
+
+  Stopwatch watch;
+  {
+    ThreadPool pool(stats.concurrency);
+    for (const auto& job : jobs) {
+      pool.Submit([&, job] {
+        lnode::RestoreStats rstats;
+        auto result = store_->Restore(job.file_id, job.version, &rstats,
+                                      override_options);
+        if (result.ok()) {
+          bytes.fetch_add(result.value().size(), std::memory_order_relaxed);
+        } else {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = result.status();
+        }
+      });
+    }
+    pool.WaitIdle();
+  }
+  stats.elapsed_seconds = watch.ElapsedSeconds();
+  stats.logical_bytes = bytes.load();
+  if (!first_error.ok()) return first_error;
+  return stats;
+}
+
+}  // namespace slim::core

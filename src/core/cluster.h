@@ -1,0 +1,75 @@
+#ifndef SLIMSTORE_CORE_CLUSTER_H_
+#define SLIMSTORE_CORE_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "index/similar_file_index.h"
+
+namespace slim::core {
+
+/// One backup job: a file and the bytes of its next version.
+struct BackupJob {
+  std::string file_id;
+  const std::string* data = nullptr;
+};
+
+/// Aggregate result of a parallel job wave.
+struct ParallelRunStats {
+  size_t jobs = 0;
+  size_t lnodes_used = 0;
+  size_t concurrency = 0;
+  uint64_t logical_bytes = 0;
+  double elapsed_seconds = 0;
+
+  double AggregateThroughputMBps() const {
+    return elapsed_seconds <= 0
+               ? 0.0
+               : (logical_bytes / (1024.0 * 1024.0)) / elapsed_seconds;
+  }
+};
+
+/// The computing layer (paper §III-B / Fig 10): a pool of stateless
+/// L-nodes executing backup and restore jobs in parallel against the
+/// shared storage layer. Because L-nodes keep no state, a job can run on
+/// any node; the cluster simply caps concurrent jobs per node and spills
+/// excess jobs onto additional nodes, which is exactly the elasticity
+/// the paper measures (linear throughput scaling in Fig 10a/b).
+///
+/// Nodes are modeled as job slots on threads: every job talks to the
+/// same (thread-safe, latency-simulated) OSS, so contention structure
+/// matches the paper's setup.
+class Cluster {
+ public:
+  struct Options {
+    size_t num_lnodes = 6;
+    /// Paper: one L-node carries up to 13 concurrent backup jobs...
+    size_t backup_jobs_per_node = 13;
+    /// ...and up to 8 concurrent restore jobs (network-bound).
+    size_t restore_jobs_per_node = 8;
+  };
+
+  Cluster(SlimStore* store, Options options)
+      : store_(store), options_(options) {}
+
+  /// Runs all backup jobs, using as many L-nodes as the per-node cap
+  /// requires (up to num_lnodes; beyond that, jobs queue).
+  Result<ParallelRunStats> ParallelBackup(const std::vector<BackupJob>& jobs);
+
+  /// Runs all restore jobs in parallel; `override_options` applies to
+  /// every job (e.g. prefetch thread count).
+  Result<ParallelRunStats> ParallelRestore(
+      const std::vector<index::FileVersion>& jobs,
+      const lnode::RestoreOptions* override_options = nullptr);
+
+  const Options& options() const { return options_; }
+
+ private:
+  SlimStore* store_;
+  Options options_;
+};
+
+}  // namespace slim::core
+
+#endif  // SLIMSTORE_CORE_CLUSTER_H_

@@ -1,0 +1,231 @@
+#include "core/slimstore.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/mmap_file.h"
+
+namespace slim::core {
+
+using format::ContainerId;
+
+SlimStore::SlimStore(oss::ObjectStore* store, SlimStoreOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      containers_(store, options_.root + "/containers"),
+      recipes_(store, options_.root + "/recipes"),
+      global_index_(store, options_.root + "/gindex") {}
+
+void SlimStore::FinishBackup(const lnode::BackupStats& stats) {
+  VersionInfo info;
+  info.file_id = stats.file_id;
+  info.version = stats.version;
+  info.logical_bytes = stats.logical_bytes;
+  info.new_containers = stats.new_containers;
+  info.referenced_containers = stats.referenced_containers;
+  info.sparse_containers = stats.sparse_containers;
+  catalog_.RecordBackup(std::move(info));
+
+  // Precomputed mark phase (§VI-B, category 1): containers referenced by
+  // the previous version but no longer by this one are associated with
+  // the previous version as garbage.
+  if (stats.version > 0) {
+    auto prev = catalog_.Get(stats.file_id, stats.version - 1);
+    if (prev.has_value()) {
+      std::unordered_set<ContainerId> now(
+          stats.referenced_containers.begin(),
+          stats.referenced_containers.end());
+      std::vector<ContainerId> dropped;
+      for (ContainerId cid : prev->referenced_containers) {
+        if (now.count(cid) == 0) dropped.push_back(cid);
+      }
+      catalog_.AddGarbage(stats.file_id, stats.version - 1, dropped);
+    }
+  }
+}
+
+Result<lnode::BackupStats> SlimStore::Backup(const std::string& file_id,
+                                             std::string_view data) {
+  lnode::BackupPipeline pipeline(&containers_, &recipes_, &similar_files_,
+                                 options_.backup);
+  uint64_t version = pipeline.AllocateVersion(file_id);
+  auto stats = pipeline.Backup(file_id, data, version);
+  if (!stats.ok()) return stats.status();
+  FinishBackup(stats.value());
+
+  if (options_.auto_gnode) {
+    auto cycle = RunGNodeCycle();
+    if (!cycle.ok()) return cycle.status();
+  }
+  return stats;
+}
+
+Result<lnode::BackupStats> SlimStore::BackupStream(
+    const std::string& file_id, lnode::ByteSource* source) {
+  lnode::BackupPipeline pipeline(&containers_, &recipes_, &similar_files_,
+                                 options_.backup);
+  uint64_t version = pipeline.AllocateVersion(file_id);
+  auto stats = pipeline.BackupStream(file_id, source, version);
+  if (!stats.ok()) return stats.status();
+  FinishBackup(stats.value());
+  return stats;
+}
+
+Result<lnode::BackupStats> SlimStore::BackupFile(
+    const std::string& path, const std::string& file_id) {
+  auto mapped = MmapFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  return Backup(file_id.empty() ? path : file_id, mapped.value()->data());
+}
+
+Result<std::string> SlimStore::Restore(
+    const std::string& file_id, uint64_t version,
+    lnode::RestoreStats* stats,
+    const lnode::RestoreOptions* override_options) {
+  lnode::RestoreOptions opts =
+      override_options != nullptr ? *override_options : options_.restore;
+  if (opts.global_index == nullptr) opts.global_index = &global_index_;
+  lnode::RestorePipeline pipeline(&containers_, &recipes_, opts);
+  return pipeline.Restore(file_id, version, stats);
+}
+
+Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
+  std::lock_guard<std::mutex> lock(gnode_mu_);
+  GNodeCycleStats cycle;
+
+  for (const auto& pending : catalog_.GnodePending()) {
+    auto info = catalog_.Get(pending.file_id, pending.version);
+    if (!info.has_value()) continue;
+
+    std::vector<ContainerId> all_new = info->new_containers;
+
+    // Sparse container compaction first: it may emit new containers
+    // which reverse dedup then also filters.
+    if (options_.enable_scc && !info->sparse_containers.empty()) {
+      gnode::SccOptions scc_options = options_.scc;
+      scc_options.container_capacity = options_.backup.container_capacity;
+      scc_options.sample_ratio = options_.backup.sample_ratio;
+      gnode::SparseContainerCompactor scc(&containers_, &recipes_,
+                                          &global_index_, scc_options);
+      std::vector<ContainerId> scc_new;
+      auto scc_stats =
+          scc.Compact(pending.file_id, pending.version,
+                      info->sparse_containers, &scc_new);
+      if (!scc_stats.ok()) return scc_stats.status();
+      cycle.scc += scc_stats.value();
+      if (!scc_new.empty()) {
+        catalog_.AddNewContainers(pending.file_id, pending.version, scc_new);
+        all_new.insert(all_new.end(), scc_new.begin(), scc_new.end());
+        // The recipe changed: refresh the referenced set.
+        auto recipe = recipes_.ReadRecipe(pending.file_id, pending.version);
+        if (recipe.ok()) {
+          catalog_.SetReferenced(
+              pending.file_id, pending.version,
+              format::CollectReferencedContainers(recipe.value()));
+        }
+        // Compacted sparse containers become garbage associated with
+        // this version (§VI-B, category 2).
+        catalog_.AddGarbage(pending.file_id, pending.version,
+                            info->sparse_containers);
+      }
+    }
+
+    if (options_.enable_reverse_dedup) {
+      gnode::ReverseDeduplicator reverse(&containers_, &global_index_,
+                                         options_.reverse_dedup);
+      auto rd_stats = reverse.ProcessNewContainers(all_new);
+      if (!rd_stats.ok()) return rd_stats.status();
+      cycle.reverse_dedup += rd_stats.value();
+    }
+
+    catalog_.MarkGnodeDone(pending.file_id, pending.version);
+    ++cycle.backups_processed;
+  }
+  return cycle;
+}
+
+Result<gnode::GcStats> SlimStore::DeleteVersion(const std::string& file_id,
+                                                uint64_t version,
+                                                bool use_precomputed) {
+  std::lock_guard<std::mutex> lock(gnode_mu_);
+  auto info = catalog_.Get(file_id, version);
+  if (!info.has_value()) {
+    return Status::NotFound("unknown version of " + file_id);
+  }
+  gnode::VersionCollector collector(&containers_, &recipes_, &similar_files_,
+                                    &global_index_);
+  Result<gnode::GcStats> result =
+      use_precomputed
+          ? collector.CollectPrecomputed(
+                file_id, version,
+                [&] {
+                  // Candidates: the precomputed garbage list plus this
+                  // version's own references (covers last-version
+                  // deletion, where nothing newer superseded them).
+                  std::vector<ContainerId> c = info->garbage_containers;
+                  c.insert(c.end(), info->referenced_containers.begin(),
+                           info->referenced_containers.end());
+                  std::sort(c.begin(), c.end());
+                  c.erase(std::unique(c.begin(), c.end()), c.end());
+                  return c;
+                }(),
+                catalog_.LiveReferencedSetsExcept(file_id, version))
+          : collector.CollectMarkSweep(file_id, version,
+                                       catalog_.LiveVersions());
+  if (!result.ok()) return result.status();
+  catalog_.Erase(file_id, version);
+  return result;
+}
+
+Result<VerifyReport> SlimStore::VerifyRepository() {
+  std::lock_guard<std::mutex> lock(gnode_mu_);
+  RepositoryVerifier verifier(&containers_, &recipes_, &global_index_,
+                              &catalog_);
+  return verifier.Verify();
+}
+
+Status SlimStore::SaveState() {
+  std::lock_guard<std::mutex> lock(gnode_mu_);
+  SLIM_RETURN_IF_ERROR(
+      similar_files_.Save(store_, options_.root + "/state/similar-index"));
+  SLIM_RETURN_IF_ERROR(
+      catalog_.Save(store_, options_.root + "/state/catalog"));
+  return global_index_.Flush();
+}
+
+Status SlimStore::OpenExisting() {
+  std::lock_guard<std::mutex> lock(gnode_mu_);
+  SLIM_RETURN_IF_ERROR(
+      similar_files_.Load(store_, options_.root + "/state/similar-index"));
+  SLIM_RETURN_IF_ERROR(
+      catalog_.Load(store_, options_.root + "/state/catalog"));
+  SLIM_RETURN_IF_ERROR(global_index_.Open());
+  return containers_.RecoverNextId();
+}
+
+Result<SpaceReport> SlimStore::GetSpaceReport() const {
+  SpaceReport report;
+  auto containers = oss::TotalBytesWithPrefix(
+      *store_, options_.root + "/containers/data-");
+  if (!containers.ok()) return containers.status();
+  report.container_bytes = containers.value();
+
+  auto metas = oss::TotalBytesWithPrefix(*store_,
+                                         options_.root + "/containers/meta-");
+  if (!metas.ok()) return metas.status();
+  report.meta_bytes = metas.value();
+
+  auto recipes =
+      oss::TotalBytesWithPrefix(*store_, options_.root + "/recipes/");
+  if (!recipes.ok()) return recipes.status();
+  report.recipe_bytes = recipes.value();
+
+  auto gindex =
+      oss::TotalBytesWithPrefix(*store_, options_.root + "/gindex/");
+  if (!gindex.ok()) return gindex.status();
+  report.index_bytes = gindex.value();
+  return report;
+}
+
+}  // namespace slim::core

@@ -1,0 +1,150 @@
+#ifndef SLIMSTORE_CORE_SLIMSTORE_H_
+#define SLIMSTORE_CORE_SLIMSTORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/catalog.h"
+#include "core/verifier.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "gnode/reverse_dedup.h"
+#include "gnode/scc.h"
+#include "gnode/version_collector.h"
+#include "index/global_index.h"
+#include "index/similar_file_index.h"
+#include "lnode/backup_pipeline.h"
+#include "lnode/restore_pipeline.h"
+#include "oss/object_store.h"
+
+namespace slim::core {
+
+/// Top-level configuration.
+struct SlimStoreOptions {
+  lnode::BackupOptions backup;
+  lnode::RestoreOptions restore;
+  gnode::ReverseDedupOptions reverse_dedup;
+  gnode::SccOptions scc;
+  /// Run the G-node cycle (SCC + reverse dedup) synchronously after each
+  /// backup. Off by default: the paper runs G-node offline; call
+  /// RunGNodeCycle() when convenient.
+  bool auto_gnode = false;
+  /// Enable sparse container compaction during G-node cycles.
+  bool enable_scc = true;
+  /// Enable global reverse deduplication during G-node cycles.
+  bool enable_reverse_dedup = true;
+  /// Key prefix under which all system objects live on OSS.
+  std::string root = "slim";
+};
+
+/// Aggregate result of one G-node cycle.
+struct GNodeCycleStats {
+  gnode::SccStats scc;
+  gnode::ReverseDedupStats reverse_dedup;
+  size_t backups_processed = 0;
+};
+
+/// Storage-space accounting (Fig 9 / Fig 10c).
+struct SpaceReport {
+  uint64_t container_bytes = 0;  // Payload objects.
+  uint64_t meta_bytes = 0;       // Container metas.
+  uint64_t recipe_bytes = 0;     // Recipes + tocs + recipe indexes.
+  uint64_t index_bytes = 0;      // Global index (Rocks-OSS runs).
+  uint64_t total() const {
+    return container_bytes + meta_bytes + recipe_bytes + index_bytes;
+  }
+};
+
+/// The public face of the system: a cloud-based deduplication store for
+/// multi-version backups (the paper's SLIMSTORE). Wraps the storage
+/// layer on a user-provided ObjectStore and exposes the L-node online
+/// services (Backup / Restore) plus the G-node offline services
+/// (RunGNodeCycle / DeleteVersion).
+///
+/// Thread-safe: concurrent Backup and Restore calls model jobs running
+/// in parallel on (possibly several) L-nodes.
+class SlimStore {
+ public:
+  /// `store` (typically a SimulatedOss over a MemoryObjectStore, or a
+  /// real OSS binding) must outlive this object.
+  SlimStore(oss::ObjectStore* store, SlimStoreOptions options);
+
+  /// Backs up one file's next version. Returns the job's statistics
+  /// (version number, dedup ratio, throughput, CPU breakdown...).
+  Result<lnode::BackupStats> Backup(const std::string& file_id,
+                                    std::string_view data);
+
+  /// Streaming backup: consumes `source` with bounded memory
+  /// (O(segment + lookahead)); ideal for pipes and very large inputs.
+  Result<lnode::BackupStats> BackupStream(const std::string& file_id,
+                                          lnode::ByteSource* source);
+
+  /// Backs up a file from the local filesystem via a read-only memory
+  /// map: multi-GB sources are paged by the OS instead of loaded into
+  /// anonymous memory. `file_id` defaults to `path`.
+  Result<lnode::BackupStats> BackupFile(const std::string& path,
+                                        const std::string& file_id = "");
+
+  /// Restores (file, version) byte-identically. `override_options`
+  /// replaces the default restore options for this call (cache sizes,
+  /// prefetch threads...).
+  Result<std::string> Restore(const std::string& file_id, uint64_t version,
+                              lnode::RestoreStats* stats = nullptr,
+                              const lnode::RestoreOptions* override_options =
+                                  nullptr);
+
+  /// Runs the offline G-node pass for every backup not yet processed:
+  /// sparse container compaction (§V-B), then global reverse
+  /// deduplication (§VI-A).
+  Result<GNodeCycleStats> RunGNodeCycle();
+
+  /// Deletes a version and reclaims its garbage containers. Uses the
+  /// precomputed garbage lists (fast sweep, §VI-B) when
+  /// `use_precomputed`, otherwise full mark-and-sweep.
+  Result<gnode::GcStats> DeleteVersion(const std::string& file_id,
+                                       uint64_t version,
+                                       bool use_precomputed = true);
+
+  /// Current OSS space usage split by object class.
+  Result<SpaceReport> GetSpaceReport() const;
+
+  /// Offline fsck: proves every live version restorable (container
+  /// checksums, chunk resolution incl. redirects, catalog agreement).
+  Result<VerifyReport> VerifyRepository();
+
+  /// Checkpoints all in-memory system state (similar file index,
+  /// catalog, global-index memtable) to OSS. Call before shutdown.
+  Status SaveState();
+  /// Recovers system state from a previous SaveState on the same OSS
+  /// root: indexes, catalog, and the container id allocator.
+  Status OpenExisting();
+
+  // Component access (benchmarks, tests, baselines).
+  format::ContainerStore* container_store() { return &containers_; }
+  format::RecipeStore* recipe_store() { return &recipes_; }
+  index::SimilarFileIndex* similar_file_index() { return &similar_files_; }
+  index::GlobalIndex* global_index() { return &global_index_; }
+  Catalog* catalog() { return &catalog_; }
+  const SlimStoreOptions& options() const { return options_; }
+  oss::ObjectStore* object_store() { return store_; }
+
+ private:
+  /// Catalog + garbage bookkeeping shared by all backup entry points.
+  void FinishBackup(const lnode::BackupStats& stats);
+
+  oss::ObjectStore* store_;
+  SlimStoreOptions options_;
+  format::ContainerStore containers_;
+  format::RecipeStore recipes_;
+  index::SimilarFileIndex similar_files_;
+  index::GlobalIndex global_index_;
+  Catalog catalog_;
+  std::mutex gnode_mu_;  // One G-node: cycles are serialized.
+};
+
+}  // namespace slim::core
+
+#endif  // SLIMSTORE_CORE_SLIMSTORE_H_

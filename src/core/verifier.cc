@@ -1,0 +1,110 @@
+#include "core/verifier.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace slim::core {
+
+using format::ContainerId;
+
+Result<VerifyReport> RepositoryVerifier::Verify() {
+  VerifyReport report;
+
+  // --- 1. Container integrity (decode + checksum happen in
+  // ReadContainer) and a directory map for the recipe pass.
+  std::unordered_map<ContainerId,
+                     std::unordered_map<Fingerprint, uint32_t>>
+      directories;
+  auto ids = containers_->ListContainerIds();
+  if (!ids.ok()) return ids.status();
+  for (ContainerId id : ids.value()) {
+    auto loaded = containers_->ReadContainer(id);
+    if (!loaded.ok()) {
+      report.problems.push_back("container " + std::to_string(id) + ": " +
+                                loaded.status().ToString());
+      continue;
+    }
+    ++report.containers_checked;
+    auto& directory = directories[id];
+    for (const format::ChunkLocation& loc :
+         loaded.value().directory.chunks) {
+      directory[loc.fp] = loc.size;
+    }
+  }
+
+  // --- 2. Every live version's physical chunk records resolve.
+  auto resolve = [&](const format::ChunkRecord& rec,
+                     const std::string& where) {
+    ++report.chunks_checked;
+    auto dit = directories.find(rec.container_id);
+    if (dit != directories.end()) {
+      auto cit = dit->second.find(rec.fp);
+      if (cit != dit->second.end()) {
+        if (cit->second != rec.size) {
+          report.problems.push_back(where + ": size mismatch for " +
+                                    rec.fp.ToHex());
+        }
+        return;
+      }
+    }
+    // Moved by reverse dedup / SCC: chase the redirect.
+    if (global_index_ == nullptr) {
+      report.problems.push_back(where + ": chunk " + rec.fp.ToHex() +
+                                " missing and no global index");
+      return;
+    }
+    auto owner = global_index_->Get(rec.fp);
+    if (!owner.ok()) {
+      report.problems.push_back(where + ": chunk " + rec.fp.ToHex() +
+                                " missing; index: " +
+                                owner.status().ToString());
+      return;
+    }
+    auto oit = directories.find(owner.value());
+    if (oit == directories.end() || oit->second.count(rec.fp) == 0) {
+      report.problems.push_back(where + ": redirect for " +
+                                rec.fp.ToHex() + " points to container " +
+                                std::to_string(owner.value()) +
+                                " which lacks it");
+      return;
+    }
+    ++report.redirected_chunks;
+  };
+
+  for (const auto& fv : catalog_->LiveVersions()) {
+    const std::string where =
+        fv.file_id + "@v" + std::to_string(fv.version);
+    auto recipe = recipes_->ReadRecipe(fv.file_id, fv.version);
+    if (!recipe.ok()) {
+      report.problems.push_back(where + ": recipe unreadable: " +
+                                recipe.status().ToString());
+      continue;
+    }
+    ++report.versions_checked;
+    for (const auto& rec : recipe.value().Flatten()) {
+      resolve(rec, where);
+    }
+
+    // --- 3. Catalog referenced-set agreement (GC safety: the catalog
+    // must cover at least everything the recipe can reference).
+    auto info = catalog_->Get(fv.file_id, fv.version);
+    if (info.has_value()) {
+      std::unordered_set<ContainerId> recorded(
+          info->referenced_containers.begin(),
+          info->referenced_containers.end());
+      for (ContainerId cid :
+           format::CollectReferencedContainers(recipe.value())) {
+        if (recorded.count(cid) == 0) {
+          report.problems.push_back(
+              where + ": catalog misses referenced container " +
+              std::to_string(cid));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace slim::core

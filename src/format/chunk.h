@@ -1,0 +1,77 @@
+#ifndef SLIMSTORE_FORMAT_CHUNK_H_
+#define SLIMSTORE_FORMAT_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace slim::format {
+
+/// Identifier of a container object on OSS.
+using ContainerId = uint64_t;
+inline constexpr ContainerId kInvalidContainerId =
+    ~static_cast<ContainerId>(0);
+
+/// One entry of a file recipe: the paper's quadruple
+/// <fp, containerID, size, duplicateTimes>, extended with the superchunk
+/// metadata of §IV-C (a superchunk record additionally stores the
+/// fingerprint of the first CDC chunk it contains, used to detect
+/// superchunk matches in later versions).
+struct ChunkRecord {
+  Fingerprint fp;
+  ContainerId container_id = kInvalidContainerId;
+  uint32_t size = 0;
+  /// How many consecutive historical versions confirmed this chunk as a
+  /// duplicate; drives history-aware chunk merging.
+  uint32_t duplicate_times = 0;
+  bool is_superchunk = false;
+  Fingerprint first_chunk_fp;
+  /// Superchunk records keep the original constituent records, so a
+  /// later version whose content diverged inside the superchunk can
+  /// still deduplicate the unmodified constituents at small-chunk
+  /// granularity (their data lives on in the old containers). Null for
+  /// regular chunks.
+  std::shared_ptr<const std::vector<ChunkRecord>> constituents;
+
+  friend bool operator==(const ChunkRecord& a, const ChunkRecord& b) {
+    if (!(a.fp == b.fp && a.container_id == b.container_id &&
+          a.size == b.size && a.duplicate_times == b.duplicate_times &&
+          a.is_superchunk == b.is_superchunk)) {
+      return false;
+    }
+    if (!a.is_superchunk) return true;
+    if (!(a.first_chunk_fp == b.first_chunk_fp)) return false;
+    const bool ha = a.constituents != nullptr && !a.constituents->empty();
+    const bool hb = b.constituents != nullptr && !b.constituents->empty();
+    if (ha != hb) return false;
+    return !ha || *a.constituents == *b.constituents;
+  }
+};
+
+void EncodeChunkRecord(std::string* dst, const ChunkRecord& record);
+Status DecodeChunkRecord(Decoder* dec, ChunkRecord* record);
+
+/// A segment recipe: the chunk records of one segment (a run of
+/// consecutive chunks in the backup stream). Segments are the unit of
+/// similarity detection and recipe prefetching.
+struct SegmentRecipe {
+  std::vector<ChunkRecord> records;
+
+  uint64_t LogicalBytes() const {
+    uint64_t total = 0;
+    for (const auto& r : records) total += r.size;
+    return total;
+  }
+
+  void Encode(std::string* dst) const;
+  static Status Decode(std::string_view data, SegmentRecipe* out);
+};
+
+}  // namespace slim::format
+
+#endif  // SLIMSTORE_FORMAT_CHUNK_H_

@@ -1,0 +1,173 @@
+#ifndef SLIMSTORE_FORMAT_CONTAINER_H_
+#define SLIMSTORE_FORMAT_CONTAINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "format/chunk.h"
+#include "oss/object_store.h"
+
+namespace slim::format {
+
+/// Location of one chunk inside a container's payload.
+struct ChunkLocation {
+  Fingerprint fp;
+  uint32_t offset = 0;
+  uint32_t size = 0;
+  /// Tombstone set by G-node reverse deduplication. The bytes remain in
+  /// the payload until the container is compacted.
+  bool deleted = false;
+};
+
+/// Per-container metadata kept as a separate (small) OSS object so
+/// G-node can tombstone chunks and track utilization without rewriting
+/// the container payload (paper §VI-A).
+struct ContainerMeta {
+  ContainerId id = kInvalidContainerId;
+  std::vector<ChunkLocation> chunks;
+  uint64_t data_size = 0;
+  /// FNV-1a of the payload; verified on read to detect corruption.
+  uint64_t payload_checksum = 0;
+
+  size_t DeletedCount() const {
+    size_t n = 0;
+    for (const auto& c : chunks) n += c.deleted ? 1 : 0;
+    return n;
+  }
+  /// Fraction of chunks tombstoned by reverse dedup ("stale chunks").
+  double DeletedFraction() const {
+    return chunks.empty()
+               ? 0.0
+               : static_cast<double>(DeletedCount()) / chunks.size();
+  }
+
+  const ChunkLocation* Find(const Fingerprint& fp) const {
+    for (const auto& c : chunks) {
+      if (c.fp == fp) return &c;
+    }
+    return nullptr;
+  }
+
+  std::string Encode() const;
+  static Status Decode(std::string_view data, ContainerMeta* out);
+};
+
+/// Accumulates unique chunks until the container reaches capacity. The
+/// basic storage/access unit of backup data (paper §III-B): whole
+/// containers are what restore fetches from OSS, giving rise to the
+/// physical locality every cache policy exploits.
+class ContainerBuilder {
+ public:
+  ContainerBuilder(ContainerId id, size_t capacity_bytes)
+      : capacity_(capacity_bytes) {
+    meta_.id = id;
+  }
+
+  /// Appends a chunk if it fits. Returns false (and leaves the builder
+  /// unchanged) when adding would exceed capacity and the container
+  /// already holds at least one chunk.
+  bool Add(const Fingerprint& fp, std::string_view data);
+
+  bool empty() const { return meta_.chunks.empty(); }
+  size_t payload_size() const { return payload_.size(); }
+  size_t chunk_count() const { return meta_.chunks.size(); }
+  ContainerId id() const { return meta_.id; }
+
+  /// Finalizes checksum and releases the payload + meta pair.
+  void Finish(std::string* payload, ContainerMeta* meta);
+
+ private:
+  size_t capacity_;
+  std::string payload_;
+  ContainerMeta meta_;
+};
+
+/// Container store over OSS. Each container is two objects:
+/// "<prefix>/data-<id>" (self-describing payload: directory + bytes) and
+/// "<prefix>/meta-<id>" (the mutable ContainerMeta).
+class ContainerStore {
+ public:
+  /// `store` must outlive this object.
+  ContainerStore(oss::ObjectStore* store, std::string prefix);
+
+  /// Reserves a fresh container id (process-unique, monotonically
+  /// increasing; ids order containers by creation time, which the
+  /// new-version/old-version distinction of SCC and reverse dedup uses).
+  ContainerId AllocateId();
+
+  /// Scans existing containers and advances the id allocator past them
+  /// (reopening an existing store).
+  Status RecoverNextId();
+
+  /// Persists a finished builder (payload + meta objects).
+  Status Write(ContainerBuilder&& builder);
+  Status WritePayloadAndMeta(std::string payload, const ContainerMeta& meta);
+
+  /// Fetches the full payload object *including* its directory header,
+  /// verifies the checksum, and returns the parsed directory plus the
+  /// raw chunk bytes area. One OSS GET.
+  struct LoadedContainer {
+    ContainerMeta directory;
+    std::string payload;  // Chunk bytes only (header stripped).
+
+    /// Bytes of the chunk with this fingerprint, or nullopt if absent
+    /// (e.g. compacted away).
+    std::optional<std::string_view> GetChunk(const Fingerprint& fp) const;
+  };
+  Result<LoadedContainer> ReadContainer(ContainerId id) const;
+
+  /// Reads only the (small) mutable meta object.
+  Result<ContainerMeta> ReadMeta(ContainerId id) const;
+  /// Overwrites the meta object (tombstone updates).
+  Status WriteMeta(const ContainerMeta& meta);
+
+  /// Rewrites the container without its tombstoned chunks; offsets are
+  /// recomputed and both objects replaced. Returns the reclaimed bytes.
+  Result<uint64_t> CompactContainer(ContainerId id);
+
+  /// Total chunk count of a container, served from an in-memory cache
+  /// when possible (populated on writes and reads). Sparse-container
+  /// detection calls this once per referenced container per backup, so
+  /// avoiding an OSS meta read each time matters.
+  Result<size_t> ChunkCount(ContainerId id) const;
+
+  Status Delete(ContainerId id);
+  Result<bool> Exists(ContainerId id) const;
+
+  Result<std::vector<ContainerId>> ListContainerIds() const;
+  /// Total payload-object bytes currently stored (space accounting).
+  Result<uint64_t> TotalStoredBytes() const;
+
+  oss::ObjectStore* object_store() const { return store_; }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string DataKey(ContainerId id) const;
+  std::string MetaKey(ContainerId id) const;
+
+  oss::ObjectStore* store_;
+  std::string prefix_;
+  std::atomic<ContainerId> next_id_{0};
+
+  mutable std::mutex count_mu_;
+  mutable std::unordered_map<ContainerId, size_t> chunk_counts_;
+};
+
+/// Serializes a self-describing payload object (directory + bytes).
+std::string EncodeContainerPayload(const ContainerMeta& meta,
+                                   std::string_view payload);
+/// Parses a payload object produced by EncodeContainerPayload.
+Status DecodeContainerPayload(std::string_view object, ContainerMeta* meta,
+                              std::string* payload);
+
+}  // namespace slim::format
+
+#endif  // SLIMSTORE_FORMAT_CONTAINER_H_

@@ -1,0 +1,347 @@
+#include "format/recipe.h"
+
+#include <cinttypes>
+#include <mutex>
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace slim::format {
+
+namespace {
+constexpr uint32_t kRecipeMagic = 0x534c5231;  // "SLR1"
+constexpr uint32_t kIndexMagic = 0x534c4931;   // "SLI1"
+}  // namespace
+
+std::vector<ContainerId> CollectReferencedContainers(const Recipe& recipe) {
+  std::unordered_map<ContainerId, bool> seen;
+  std::vector<ContainerId> out;
+  auto add = [&](ContainerId cid) {
+    if (cid == kInvalidContainerId) return;  // Logical superchunks.
+    if (!seen.emplace(cid, true).second) return;
+    out.push_back(cid);
+  };
+  for (const auto& segment : recipe.segments) {
+    for (const auto& record : segment.records) {
+      add(record.container_id);
+      if (record.constituents != nullptr) {
+        for (const auto& constituent : *record.constituents) {
+          add(constituent.container_id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ChunkRecord> Recipe::Flatten() const {
+  std::vector<ChunkRecord> out;
+  out.reserve(TotalChunks());
+  for (const auto& seg : segments) {
+    for (const auto& record : seg.records) {
+      // Superchunks are logical: restore operates on their physical
+      // constituents.
+      if (record.is_superchunk && record.constituents != nullptr &&
+          !record.constituents->empty()) {
+        out.insert(out.end(), record.constituents->begin(),
+                   record.constituents->end());
+      } else {
+        out.push_back(record);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RecipeIndex
+// ---------------------------------------------------------------------------
+
+RecipeIndex RecipeIndex::Build(const Recipe& recipe, uint32_t sample_ratio) {
+  RecipeIndex index;
+  index.file_id = recipe.file_id;
+  index.version = recipe.version;
+  for (uint32_t ordinal = 0; ordinal < recipe.segments.size(); ++ordinal) {
+    const SegmentRecipe& seg = recipe.segments[ordinal];
+    bool sampled_any = false;
+    for (const ChunkRecord& record : seg.records) {
+      if (IsSampleFingerprint(record.fp, sample_ratio)) {
+        index.sample_to_segment.emplace(record.fp, ordinal);
+        sampled_any = true;
+      }
+      // A superchunk can only be re-discovered through its first CDC
+      // chunk (Algorithm 1), so that fingerprint is always indexed; its
+      // sampled constituents are indexed too so a partially-diverged
+      // span still finds this segment (small-chunk fallback).
+      if (record.is_superchunk) {
+        index.sample_to_segment.emplace(record.first_chunk_fp, ordinal);
+        sampled_any = true;
+        if (record.constituents != nullptr) {
+          for (const ChunkRecord& constituent : *record.constituents) {
+            if (IsSampleFingerprint(constituent.fp, sample_ratio)) {
+              index.sample_to_segment.emplace(constituent.fp, ordinal);
+            }
+          }
+        }
+      }
+    }
+    // Guarantee discoverability of every segment.
+    if (!sampled_any && !seg.records.empty()) {
+      index.sample_to_segment.emplace(seg.records.front().fp, ordinal);
+    }
+  }
+  return index;
+}
+
+std::string RecipeIndex::Encode() const {
+  std::string out;
+  PutFixed32(&out, kIndexMagic);
+  PutLengthPrefixed(&out, file_id);
+  PutFixed64(&out, version);
+  PutVarint64(&out, sample_to_segment.size());
+  for (const auto& [fp, ordinal] : sample_to_segment) {
+    PutFingerprint(&out, fp);
+    PutFixed32(&out, ordinal);
+  }
+  return out;
+}
+
+Status RecipeIndex::Decode(std::string_view data, RecipeIndex* out) {
+  Decoder dec(data);
+  uint32_t magic = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadFixed32(&magic));
+  if (magic != kIndexMagic) return Status::Corruption("recipe index magic");
+  std::string_view id;
+  SLIM_RETURN_IF_ERROR(dec.ReadLengthPrefixed(&id));
+  out->file_id = std::string(id);
+  SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&out->version));
+  uint64_t count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&count));
+  out->sample_to_segment.clear();
+  out->sample_to_segment.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Fingerprint fp;
+    uint32_t ordinal = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadFingerprint(&fp));
+    SLIM_RETURN_IF_ERROR(dec.ReadFixed32(&ordinal));
+    out->sample_to_segment.emplace(fp, ordinal);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RecipeStore
+// ---------------------------------------------------------------------------
+
+std::string EscapeFileId(const std::string& file_id) {
+  std::string out;
+  out.reserve(file_id.size());
+  for (char c : file_id) {
+    if (c == '/' || c == '%') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", static_cast<uint8_t>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+RecipeStore::RecipeStore(oss::ObjectStore* store, std::string prefix)
+    : store_(store), prefix_(std::move(prefix)) {}
+
+namespace {
+std::string VersionSuffix(uint64_t version) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012" PRIu64, version);
+  return buf;
+}
+}  // namespace
+
+std::string RecipeStore::RecipeKey(const std::string& file_id,
+                                   uint64_t version) const {
+  return prefix_ + "/recipe/" + EscapeFileId(file_id) + "/" +
+         VersionSuffix(version);
+}
+
+std::string RecipeStore::TocKey(const std::string& file_id,
+                                uint64_t version) const {
+  return prefix_ + "/toc/" + EscapeFileId(file_id) + "/" +
+         VersionSuffix(version);
+}
+
+std::string RecipeStore::IndexKey(const std::string& file_id,
+                                  uint64_t version) const {
+  return prefix_ + "/index/" + EscapeFileId(file_id) + "/" +
+         VersionSuffix(version);
+}
+
+Status RecipeStore::WriteRecipe(const Recipe& recipe, uint32_t sample_ratio) {
+  // Header.
+  std::string header;
+  PutFixed32(&header, kRecipeMagic);
+  PutLengthPrefixed(&header, recipe.file_id);
+  PutFixed64(&header, recipe.version);
+  PutVarint64(&header, recipe.segments.size());
+
+  // Segment bodies and table of contents (absolute ranges).
+  std::string body;
+  std::string toc;
+  PutVarint64(&toc, recipe.segments.size());
+  for (const SegmentRecipe& seg : recipe.segments) {
+    std::string encoded;
+    seg.Encode(&encoded);
+    PutFixed64(&toc, header.size() + body.size());
+    PutFixed64(&toc, encoded.size());
+    body += encoded;
+  }
+
+  SLIM_RETURN_IF_ERROR(
+      store_->Put(RecipeKey(recipe.file_id, recipe.version), header + body));
+  SLIM_RETURN_IF_ERROR(
+      store_->Put(TocKey(recipe.file_id, recipe.version), toc));
+  RecipeIndex index = RecipeIndex::Build(recipe, sample_ratio);
+  SLIM_RETURN_IF_ERROR(store_->Put(IndexKey(recipe.file_id, recipe.version),
+                                   index.Encode()));
+  {
+    // Invalidate any stale cached toc for this key (recipe rewrite).
+    std::lock_guard<std::mutex> lock(toc_mu_);
+    toc_cache_.erase(TocKey(recipe.file_id, recipe.version));
+  }
+  return Status::Ok();
+}
+
+Result<Recipe> RecipeStore::ReadRecipe(const std::string& file_id,
+                                       uint64_t version) const {
+  auto object = store_->Get(RecipeKey(file_id, version));
+  if (!object.ok()) return object.status();
+  Decoder dec(object.value());
+  uint32_t magic = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadFixed32(&magic));
+  if (magic != kRecipeMagic) return Status::Corruption("recipe magic");
+  std::string_view id;
+  SLIM_RETURN_IF_ERROR(dec.ReadLengthPrefixed(&id));
+  Recipe recipe;
+  recipe.file_id = std::string(id);
+  SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&recipe.version));
+  uint64_t seg_count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&seg_count));
+  recipe.segments.resize(seg_count);
+  for (uint64_t i = 0; i < seg_count; ++i) {
+    uint64_t record_count = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&record_count));
+    recipe.segments[i].records.resize(record_count);
+    for (uint64_t j = 0; j < record_count; ++j) {
+      SLIM_RETURN_IF_ERROR(
+          DecodeChunkRecord(&dec, &recipe.segments[i].records[j]));
+    }
+  }
+  return recipe;
+}
+
+Result<RecipeIndex> RecipeStore::ReadIndex(const std::string& file_id,
+                                           uint64_t version) const {
+  auto object = store_->Get(IndexKey(file_id, version));
+  if (!object.ok()) return object.status();
+  RecipeIndex index;
+  SLIM_RETURN_IF_ERROR(RecipeIndex::Decode(object.value(), &index));
+  return index;
+}
+
+Result<RecipeStore::Toc> RecipeStore::GetToc(const std::string& file_id,
+                                             uint64_t version) {
+  const std::string key = TocKey(file_id, version);
+  {
+    std::lock_guard<std::mutex> lock(toc_mu_);
+    auto it = toc_cache_.find(key);
+    if (it != toc_cache_.end()) return it->second;
+  }
+  auto object = store_->Get(key);
+  if (!object.ok()) return object.status();
+  Decoder dec(object.value());
+  uint64_t count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&count));
+  Toc toc;
+  toc.ranges.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t offset = 0, length = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&offset));
+    SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&length));
+    toc.ranges.emplace_back(offset, length);
+  }
+  {
+    std::lock_guard<std::mutex> lock(toc_mu_);
+    toc_cache_[key] = toc;
+  }
+  return toc;
+}
+
+Result<SegmentRecipe> RecipeStore::ReadSegment(const std::string& file_id,
+                                               uint64_t version,
+                                               uint32_t segment_ordinal) {
+  auto toc = GetToc(file_id, version);
+  if (!toc.ok()) return toc.status();
+  if (segment_ordinal >= toc.value().ranges.size()) {
+    return Status::InvalidArgument("segment ordinal out of range");
+  }
+  auto [offset, length] = toc.value().ranges[segment_ordinal];
+  auto bytes = store_->GetRange(RecipeKey(file_id, version), offset, length);
+  if (!bytes.ok()) return bytes.status();
+  SegmentRecipe segment;
+  SLIM_RETURN_IF_ERROR(SegmentRecipe::Decode(bytes.value(), &segment));
+  return segment;
+}
+
+Result<std::vector<SegmentRecipe>> RecipeStore::ReadSegmentRange(
+    const std::string& file_id, uint64_t version, uint32_t first_ordinal,
+    uint32_t count) {
+  auto toc = GetToc(file_id, version);
+  if (!toc.ok()) return toc.status();
+  const auto& ranges = toc.value().ranges;
+  if (first_ordinal >= ranges.size()) {
+    return Status::InvalidArgument("segment ordinal out of range");
+  }
+  uint32_t last = std::min<size_t>(first_ordinal + count, ranges.size());
+  uint64_t begin = ranges[first_ordinal].first;
+  uint64_t end = ranges[last - 1].first + ranges[last - 1].second;
+  auto bytes =
+      store_->GetRange(RecipeKey(file_id, version), begin, end - begin);
+  if (!bytes.ok()) return bytes.status();
+  std::vector<SegmentRecipe> out;
+  out.reserve(last - first_ordinal);
+  for (uint32_t i = first_ordinal; i < last; ++i) {
+    SegmentRecipe segment;
+    std::string_view body(bytes.value());
+    SLIM_RETURN_IF_ERROR(SegmentRecipe::Decode(
+        body.substr(ranges[i].first - begin, ranges[i].second), &segment));
+    out.push_back(std::move(segment));
+  }
+  return out;
+}
+
+Status RecipeStore::DeleteVersion(const std::string& file_id,
+                                  uint64_t version) {
+  SLIM_RETURN_IF_ERROR(store_->Delete(RecipeKey(file_id, version)));
+  SLIM_RETURN_IF_ERROR(store_->Delete(TocKey(file_id, version)));
+  SLIM_RETURN_IF_ERROR(store_->Delete(IndexKey(file_id, version)));
+  std::lock_guard<std::mutex> lock(toc_mu_);
+  toc_cache_.erase(TocKey(file_id, version));
+  return Status::Ok();
+}
+
+Result<std::vector<uint64_t>> RecipeStore::ListVersions(
+    const std::string& file_id) const {
+  const std::string prefix = prefix_ + "/recipe/" + EscapeFileId(file_id) +
+                             "/";
+  auto keys = store_->List(prefix);
+  if (!keys.ok()) return keys.status();
+  std::vector<uint64_t> versions;
+  versions.reserve(keys.value().size());
+  for (const auto& key : keys.value()) {
+    versions.push_back(std::stoull(key.substr(prefix.size())));
+  }
+  return versions;
+}
+
+}  // namespace slim::format

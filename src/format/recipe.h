@@ -1,0 +1,128 @@
+#ifndef SLIMSTORE_FORMAT_RECIPE_H_
+#define SLIMSTORE_FORMAT_RECIPE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "format/chunk.h"
+#include "oss/object_store.h"
+
+namespace slim::format {
+
+/// The recipe of one backup version of one file: the logical sequence of
+/// chunks, grouped into segments (paper §III-B). Restoring the file is
+/// replaying this sequence.
+struct Recipe {
+  std::string file_id;
+  uint64_t version = 0;
+  std::vector<SegmentRecipe> segments;
+
+  uint64_t TotalChunks() const {
+    uint64_t n = 0;
+    for (const auto& s : segments) n += s.records.size();
+    return n;
+  }
+  uint64_t LogicalBytes() const {
+    uint64_t n = 0;
+    for (const auto& s : segments) n += s.LogicalBytes();
+    return n;
+  }
+  /// All *physical* chunk records in stream order (restore order):
+  /// logical superchunk records are expanded into their constituents.
+  std::vector<ChunkRecord> Flatten() const;
+};
+
+/// Recipe index (paper §III-B): representative (sampled) fingerprints of
+/// each segment mapped to the segment's ordinal, so a backup job can
+/// locate the similar segment recipe of the historical version with one
+/// lookup and fetch just that segment.
+struct RecipeIndex {
+  std::string file_id;
+  uint64_t version = 0;
+  std::unordered_map<Fingerprint, uint32_t> sample_to_segment;
+
+  /// Builds the index for `recipe` by sampling fingerprints whose 64-bit
+  /// prefix is 0 mod `sample_ratio` (the paper's "mod R == 0" random
+  /// sampling). The first chunk of each segment is always included so
+  /// every segment is discoverable.
+  static RecipeIndex Build(const Recipe& recipe, uint32_t sample_ratio);
+
+  std::string Encode() const;
+  static Status Decode(std::string_view data, RecipeIndex* out);
+};
+
+/// True if `fp` is selected by "mod R == 0" sampling.
+inline bool IsSampleFingerprint(const Fingerprint& fp,
+                                uint32_t sample_ratio) {
+  return sample_ratio <= 1 || fp.Prefix64() % sample_ratio == 0;
+}
+
+/// Recipe store on OSS. Three objects per (file, version):
+///   "<prefix>/recipe/<file>/<version>"  — header + concatenated segments
+///   "<prefix>/toc/<file>/<version>"     — per-segment byte ranges, so a
+///                                         segment fetch is 1 range-read
+///   "<prefix>/index/<file>/<version>"   — the RecipeIndex
+class RecipeStore {
+ public:
+  RecipeStore(oss::ObjectStore* store, std::string prefix);
+
+  /// Persists the recipe, its table of contents and its index (index is
+  /// built with `sample_ratio`).
+  Status WriteRecipe(const Recipe& recipe, uint32_t sample_ratio);
+
+  Result<Recipe> ReadRecipe(const std::string& file_id,
+                            uint64_t version) const;
+  Result<RecipeIndex> ReadIndex(const std::string& file_id,
+                                uint64_t version) const;
+  /// Fetches a single segment recipe via one OSS range read (plus a
+  /// cached table-of-contents read on first use).
+  Result<SegmentRecipe> ReadSegment(const std::string& file_id,
+                                    uint64_t version,
+                                    uint32_t segment_ordinal);
+
+  /// Fetches up to `count` consecutive segment recipes starting at
+  /// `first_ordinal` with ONE range read (segments are contiguous in
+  /// the recipe object). Returns fewer when the recipe ends earlier.
+  Result<std::vector<SegmentRecipe>> ReadSegmentRange(
+      const std::string& file_id, uint64_t version, uint32_t first_ordinal,
+      uint32_t count);
+
+  Status DeleteVersion(const std::string& file_id, uint64_t version);
+  Result<std::vector<uint64_t>> ListVersions(const std::string& file_id)
+      const;
+
+  oss::ObjectStore* object_store() const { return store_; }
+
+ private:
+  struct Toc {
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (offset, length)
+  };
+
+  std::string RecipeKey(const std::string& file_id, uint64_t version) const;
+  std::string TocKey(const std::string& file_id, uint64_t version) const;
+  std::string IndexKey(const std::string& file_id, uint64_t version) const;
+  Result<Toc> GetToc(const std::string& file_id, uint64_t version);
+
+  oss::ObjectStore* store_;
+  std::string prefix_;
+
+  mutable std::mutex toc_mu_;
+  std::unordered_map<std::string, Toc> toc_cache_;  // Keyed by TocKey.
+};
+
+/// Escapes a file id for embedding in an object key ('/' and '%').
+std::string EscapeFileId(const std::string& file_id);
+
+/// Every container id the recipe can reference, including superchunk
+/// constituents (a later dedup fallback may resurrect references to
+/// them, so GC must treat them as live).
+std::vector<ContainerId> CollectReferencedContainers(const Recipe& recipe);
+
+}  // namespace slim::format
+
+#endif  // SLIMSTORE_FORMAT_RECIPE_H_

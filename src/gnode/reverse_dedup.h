@@ -1,0 +1,78 @@
+#ifndef SLIMSTORE_GNODE_REVERSE_DEDUP_H_
+#define SLIMSTORE_GNODE_REVERSE_DEDUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "format/container.h"
+#include "index/global_index.h"
+
+namespace slim::gnode {
+
+struct ReverseDedupOptions {
+  /// A tombstoned container is physically rewritten (invalid chunks
+  /// dropped) once this fraction of its chunks is deleted (§VI-A: "such
+  /// as 20%").
+  double rewrite_threshold = 0.20;
+};
+
+struct ReverseDedupStats {
+  uint64_t chunks_filtered = 0;
+  uint64_t bloom_negatives = 0;   // Skipped by the global bloom filter.
+  uint64_t duplicates_found = 0;  // Copies tombstoned in old containers.
+  uint64_t index_inserts = 0;
+  uint64_t containers_rewritten = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t meta_cache_hits = 0;
+
+  ReverseDedupStats& operator+=(const ReverseDedupStats& rhs) {
+    chunks_filtered += rhs.chunks_filtered;
+    bloom_negatives += rhs.bloom_negatives;
+    duplicates_found += rhs.duplicates_found;
+    index_inserts += rhs.index_inserts;
+    containers_rewritten += rhs.containers_rewritten;
+    bytes_reclaimed += rhs.bytes_reclaimed;
+    meta_cache_hits += rhs.meta_cache_hits;
+    return *this;
+  }
+};
+
+/// Global reverse deduplication on the G-node (paper §VI-A). Offline, it
+/// filters every chunk of the containers a backup job just produced
+/// against the global fingerprint index:
+///
+///   * never-seen chunks are registered (fp -> new container);
+///   * a chunk that already exists in an *older* container is a
+///     duplicate the fast online path missed. The OLD copy is deleted
+///     (tombstoned in the old container's meta) and the index re-pointed
+///     at the new container — preserving the data layout of the new
+///     version and pushing the storage cost onto old versions, which may
+///     later pay one extra global-index lookup on restore.
+///
+/// A global bloom filter short-circuits unique chunks, and old-container
+/// metas are cached for the duration of a batch to exploit physical
+/// locality (duplicates cluster by container).
+class ReverseDeduplicator {
+ public:
+  ReverseDeduplicator(format::ContainerStore* containers,
+                      index::GlobalIndex* global_index,
+                      ReverseDedupOptions options = {})
+      : containers_(containers),
+        global_index_(global_index),
+        options_(options) {}
+
+  /// Filters all chunks of `new_containers` (ids from
+  /// BackupStats::new_containers, in creation order).
+  Result<ReverseDedupStats> ProcessNewContainers(
+      const std::vector<format::ContainerId>& new_containers);
+
+ private:
+  format::ContainerStore* containers_;
+  index::GlobalIndex* global_index_;
+  ReverseDedupOptions options_;
+};
+
+}  // namespace slim::gnode
+
+#endif  // SLIMSTORE_GNODE_REVERSE_DEDUP_H_

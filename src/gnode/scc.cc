@@ -1,0 +1,143 @@
+#include "gnode/scc.h"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace slim::gnode {
+
+using format::ChunkRecord;
+using format::ContainerBuilder;
+using format::ContainerId;
+
+Result<SccStats> SparseContainerCompactor::Compact(
+    const std::string& file_id, uint64_t version,
+    const std::vector<ContainerId>& sparse_containers,
+    std::vector<ContainerId>* new_container_ids) {
+  SccStats stats;
+  if (sparse_containers.empty()) return stats;
+
+  auto recipe = recipes_->ReadRecipe(file_id, version);
+  if (!recipe.ok()) return recipe.status();
+
+  std::unordered_set<ContainerId> sparse(sparse_containers.begin(),
+                                         sparse_containers.end());
+
+  // Which physical chunks of each sparse container does this version
+  // use? (Flatten expands logical superchunks into constituents.)
+  std::unordered_map<ContainerId, std::vector<Fingerprint>> wanted;
+  std::unordered_set<Fingerprint> seen;
+  for (const auto& record : recipe.value().Flatten()) {
+    if (sparse.count(record.container_id) == 0) continue;
+    if (!seen.insert(record.fp).second) continue;
+    wanted[record.container_id].push_back(record.fp);
+  }
+  if (wanted.empty()) return stats;
+
+  // Move the wanted chunks into fresh, dense containers.
+  std::unordered_map<Fingerprint, ContainerId> moved;
+  std::optional<ContainerBuilder> builder;
+  auto flush_builder = [&]() -> Status {
+    if (!builder.has_value() || builder->empty()) return Status::Ok();
+    ContainerId id = builder->id();
+    SLIM_RETURN_IF_ERROR(containers_->Write(std::move(*builder)));
+    builder.reset();
+    if (new_container_ids != nullptr) new_container_ids->push_back(id);
+    ++stats.new_containers;
+    return Status::Ok();
+  };
+
+  // Phase A: copy wanted chunks into dense containers and tombstone the
+  // source metas. Source payloads are NOT touched yet, so concurrent
+  // restores keep working.
+  std::vector<ContainerId> to_compact;
+  for (const auto& [cid, fps] : wanted) {
+    auto loaded = containers_->ReadContainer(cid);
+    if (!loaded.ok()) return loaded.status();
+    auto meta = containers_->ReadMeta(cid);
+    if (!meta.ok()) return meta.status();
+
+    for (const Fingerprint& fp : fps) {
+      auto bytes = loaded.value().GetChunk(fp);
+      if (!bytes.has_value()) continue;  // Already moved previously.
+      if (!builder.has_value()) {
+        builder.emplace(containers_->AllocateId(),
+                        options_.container_capacity);
+      }
+      if (!builder->Add(fp, *bytes)) {
+        SLIM_RETURN_IF_ERROR(flush_builder());
+        builder.emplace(containers_->AllocateId(),
+                        options_.container_capacity);
+        SLIM_CHECK(builder->Add(fp, *bytes));
+      }
+      moved[fp] = builder->id();
+      ++stats.chunks_moved;
+      stats.bytes_moved += bytes->size();
+      // Tombstone the source copy.
+      for (format::ChunkLocation& loc : meta.value().chunks) {
+        if (loc.fp == fp && !loc.deleted) {
+          loc.deleted = true;
+          break;
+        }
+      }
+    }
+    SLIM_RETURN_IF_ERROR(containers_->WriteMeta(meta.value()));
+    to_compact.push_back(cid);
+    ++stats.sparse_containers_processed;
+  }
+  SLIM_RETURN_IF_ERROR(flush_builder());
+
+  // Update the recipe so this version's restore sees the dense layout.
+  // Superchunk constituents are shared immutable vectors: copy-on-write
+  // when any of their records moved.
+  format::Recipe updated = std::move(recipe).value();
+  for (auto& segment : updated.segments) {
+    for (auto& record : segment.records) {
+      auto it = moved.find(record.fp);
+      if (it != moved.end()) record.container_id = it->second;
+      if (record.is_superchunk && record.constituents != nullptr) {
+        bool any_moved = false;
+        for (const auto& constituent : *record.constituents) {
+          if (moved.count(constituent.fp) > 0) {
+            any_moved = true;
+            break;
+          }
+        }
+        if (any_moved) {
+          auto rewritten = std::make_shared<std::vector<format::ChunkRecord>>(
+              *record.constituents);
+          for (auto& constituent : *rewritten) {
+            auto mit = moved.find(constituent.fp);
+            if (mit != moved.end()) constituent.container_id = mit->second;
+          }
+          record.constituents = std::move(rewritten);
+        }
+      }
+    }
+  }
+  SLIM_RETURN_IF_ERROR(
+      recipes_->WriteRecipe(updated, options_.sample_ratio));
+
+  // Re-point the global index so older versions can chase moved chunks.
+  if (global_index_ != nullptr) {
+    for (const auto& [fp, cid] : moved) {
+      SLIM_RETURN_IF_ERROR(global_index_->Put(fp, cid));
+    }
+    SLIM_RETURN_IF_ERROR(global_index_->Flush());
+  }
+
+  // Phase B: only now that the new copies, the updated recipe and the
+  // index redirects are all durable, physically drop the moved bytes
+  // from the sparse sources. A concurrent restore can never observe a
+  // chunk as both compacted-away and unredirected.
+  for (ContainerId cid : to_compact) {
+    auto reclaimed = containers_->CompactContainer(cid);
+    if (!reclaimed.ok()) return reclaimed.status();
+    stats.bytes_reclaimed += reclaimed.value();
+  }
+  return stats;
+}
+
+}  // namespace slim::gnode

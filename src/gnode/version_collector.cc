@@ -1,0 +1,97 @@
+#include "gnode/version_collector.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace slim::gnode {
+
+using format::ContainerId;
+
+Status VersionCollector::ReclaimContainer(ContainerId cid, GcStats* stats) {
+  // Scrub global-index entries that still point to this container, so
+  // future redirects cannot land on a deleted object.
+  auto meta = containers_->ReadMeta(cid);
+  if (meta.ok() && global_index_ != nullptr) {
+    for (const format::ChunkLocation& loc : meta.value().chunks) {
+      auto owner = global_index_->Get(loc.fp);
+      if (owner.ok() && owner.value() == cid) {
+        SLIM_RETURN_IF_ERROR(global_index_->Delete(loc.fp));
+        ++stats->index_entries_removed;
+      }
+    }
+  }
+  // Account reclaimed bytes from the meta (payload size).
+  if (meta.ok()) stats->bytes_reclaimed += meta.value().data_size;
+  SLIM_RETURN_IF_ERROR(containers_->Delete(cid));
+  ++stats->containers_deleted;
+  return Status::Ok();
+}
+
+Result<GcStats> VersionCollector::CollectMarkSweep(
+    const std::string& file_id, uint64_t version,
+    const std::vector<index::FileVersion>& live_versions) {
+  GcStats stats;
+
+  // Candidates: everything the deleted version references.
+  auto recipe = recipes_->ReadRecipe(file_id, version);
+  if (!recipe.ok()) return recipe.status();
+  auto candidate_list = format::CollectReferencedContainers(recipe.value());
+  std::unordered_set<ContainerId> candidates(candidate_list.begin(),
+                                             candidate_list.end());
+
+  // Mark: containers referenced by any live version.
+  std::unordered_set<ContainerId> marked;
+  for (const auto& live : live_versions) {
+    if (live.file_id == file_id && live.version == version) continue;
+    auto live_recipe = recipes_->ReadRecipe(live.file_id, live.version);
+    if (!live_recipe.ok()) return live_recipe.status();
+    for (format::ContainerId cid :
+         format::CollectReferencedContainers(live_recipe.value())) {
+      marked.insert(cid);
+    }
+  }
+
+  // Sweep.
+  for (ContainerId cid : candidates) {
+    ++stats.candidates_checked;
+    if (marked.count(cid) > 0) continue;
+    SLIM_RETURN_IF_ERROR(ReclaimContainer(cid, &stats));
+  }
+
+  SLIM_RETURN_IF_ERROR(recipes_->DeleteVersion(file_id, version));
+  similar_files_->RemoveFileVersion(file_id, version);
+  if (global_index_ != nullptr) {
+    SLIM_RETURN_IF_ERROR(global_index_->Flush());
+  }
+  return stats;
+}
+
+Result<GcStats> VersionCollector::CollectPrecomputed(
+    const std::string& file_id, uint64_t version,
+    const std::vector<ContainerId>& garbage_candidates,
+    const std::vector<std::vector<ContainerId>>& live_referenced_sets) {
+  GcStats stats;
+
+  std::unordered_set<ContainerId> live;
+  for (const auto& set : live_referenced_sets) {
+    live.insert(set.begin(), set.end());
+  }
+
+  for (ContainerId cid : garbage_candidates) {
+    ++stats.candidates_checked;
+    if (live.count(cid) > 0) continue;
+    auto exists = containers_->Exists(cid);
+    if (!exists.ok() || !exists.value()) continue;  // Already reclaimed.
+    SLIM_RETURN_IF_ERROR(ReclaimContainer(cid, &stats));
+  }
+
+  SLIM_RETURN_IF_ERROR(recipes_->DeleteVersion(file_id, version));
+  similar_files_->RemoveFileVersion(file_id, version);
+  if (global_index_ != nullptr) {
+    SLIM_RETURN_IF_ERROR(global_index_->Flush());
+  }
+  return stats;
+}
+
+}  // namespace slim::gnode

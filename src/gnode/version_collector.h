@@ -1,0 +1,79 @@
+#ifndef SLIMSTORE_GNODE_VERSION_COLLECTOR_H_
+#define SLIMSTORE_GNODE_VERSION_COLLECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "index/global_index.h"
+#include "index/similar_file_index.h"
+
+namespace slim::gnode {
+
+struct GcStats {
+  uint64_t containers_deleted = 0;
+  uint64_t bytes_reclaimed = 0;
+  uint64_t index_entries_removed = 0;
+  uint64_t candidates_checked = 0;
+};
+
+/// Version collection on the G-node (paper §VI-B): reclaims the space of
+/// deleted (expired) backup versions.
+///
+/// Two modes are provided:
+///  * CollectMarkSweep — the classic safe path: mark every container
+///    referenced by any live version, sweep the deleted version's
+///    containers that are unmarked.
+///  * CollectPrecomputed — the paper's accelerated path: the mark phase
+///    effectively happened during deduplication (containers that fell
+///    out of the next version's reference set, plus compacted sparse
+///    containers, were associated with this version as garbage), so
+///    deleting a version only sweeps its associated garbage list.
+///
+/// Both delete the version's recipe objects, clean the similar file
+/// index, and remove global-index entries that still point at reclaimed
+/// containers.
+class VersionCollector {
+ public:
+  VersionCollector(format::ContainerStore* containers,
+                   format::RecipeStore* recipes,
+                   index::SimilarFileIndex* similar_files,
+                   index::GlobalIndex* global_index)
+      : containers_(containers),
+        recipes_(recipes),
+        similar_files_(similar_files),
+        global_index_(global_index) {}
+
+  /// Mark-and-sweep collection of (file_id, version). `live_versions`
+  /// must list every version (of every file) that remains live.
+  Result<GcStats> CollectMarkSweep(
+      const std::string& file_id, uint64_t version,
+      const std::vector<index::FileVersion>& live_versions);
+
+  /// Fast sweep using a precomputed garbage list: candidate containers
+  /// were associated with this version during deduplication. Each is
+  /// still verified against `live_versions` cheaply via the provided
+  /// referenced-container sets (no recipe reads).
+  Result<GcStats> CollectPrecomputed(
+      const std::string& file_id, uint64_t version,
+      const std::vector<format::ContainerId>& garbage_candidates,
+      const std::vector<std::vector<format::ContainerId>>&
+          live_referenced_sets);
+
+ private:
+  /// Deletes one container and scrubs global-index entries that still
+  /// point at it.
+  Status ReclaimContainer(format::ContainerId cid, GcStats* stats);
+
+  format::ContainerStore* containers_;
+  format::RecipeStore* recipes_;
+  index::SimilarFileIndex* similar_files_;
+  index::GlobalIndex* global_index_;
+};
+
+}  // namespace slim::gnode
+
+#endif  // SLIMSTORE_GNODE_VERSION_COLLECTOR_H_

@@ -1,0 +1,99 @@
+#include "index/bloom.h"
+
+#include <algorithm>
+
+namespace slim::index {
+
+namespace {
+// k ~= bits_per_item * ln(2), clamped to a sane range.
+uint32_t OptimalHashes(size_t bits_per_item) {
+  uint32_t k = static_cast<uint32_t>(bits_per_item * 0.69);
+  return std::clamp<uint32_t>(k, 1, 16);
+}
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_items, size_t bits_per_item)
+    : num_hashes_(OptimalHashes(bits_per_item)) {
+  size_t nbits = std::max<size_t>(64, expected_items * bits_per_item);
+  bits_.assign((nbits + 63) / 64, 0);
+}
+
+void BloomFilter::Add(const Fingerprint& fp) {
+  uint64_t h1 = fp.Prefix64();
+  uint64_t h2 = fp.Second64() | 1;
+  uint64_t nbits = bits_.size() * 64;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % nbits;
+    bits_[bit / 64] |= (uint64_t{1} << (bit % 64));
+  }
+  ++added_;
+}
+
+bool BloomFilter::MayContain(const Fingerprint& fp) const {
+  uint64_t h1 = fp.Prefix64();
+  uint64_t h2 = fp.Second64() | 1;
+  uint64_t nbits = bits_.size() * 64;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % nbits;
+    if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  added_ = 0;
+}
+
+CountingBloomFilter::CountingBloomFilter(size_t expected_items,
+                                         size_t counters_per_item)
+    : num_hashes_(OptimalHashes(counters_per_item)) {
+  size_t n = std::max<size_t>(64, expected_items * counters_per_item);
+  counters_.assign(n, 0);
+}
+
+void CountingBloomFilter::Positions(const Fingerprint& fp,
+                                    std::vector<size_t>* out) const {
+  out->clear();
+  uint64_t h1 = fp.Prefix64();
+  uint64_t h2 = fp.Second64() | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    out->push_back((h1 + i * h2) % counters_.size());
+  }
+}
+
+void CountingBloomFilter::Add(const Fingerprint& fp) {
+  std::vector<size_t> pos;
+  Positions(fp, &pos);
+  for (size_t p : pos) {
+    if (counters_[p] < kMaxCount) ++counters_[p];
+  }
+}
+
+void CountingBloomFilter::Remove(const Fingerprint& fp) {
+  std::vector<size_t> pos;
+  Positions(fp, &pos);
+  for (size_t p : pos) {
+    if (counters_[p] > 0) --counters_[p];
+  }
+}
+
+bool CountingBloomFilter::MayContain(const Fingerprint& fp) const {
+  return CountEstimate(fp) > 0;
+}
+
+uint32_t CountingBloomFilter::CountEstimate(const Fingerprint& fp) const {
+  std::vector<size_t> pos;
+  Positions(fp, &pos);
+  uint32_t min_count = kMaxCount;
+  for (size_t p : pos) {
+    min_count = std::min<uint32_t>(min_count, counters_[p]);
+  }
+  return min_count;
+}
+
+void CountingBloomFilter::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+}  // namespace slim::index

@@ -1,0 +1,63 @@
+#ifndef SLIMSTORE_INDEX_BLOOM_H_
+#define SLIMSTORE_INDEX_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace slim::index {
+
+/// Standard bloom filter over fingerprints, using double hashing on the
+/// two independent 64-bit halves of the SHA-1 digest. Used by G-node's
+/// reverse deduplication to skip chunks that are certainly unique
+/// (paper §VI-A) and by RocksOss runs.
+class BloomFilter {
+ public:
+  /// `expected_items` with `bits_per_item` budget (10 bits ≈ 1% FPR).
+  BloomFilter(size_t expected_items, size_t bits_per_item = 10);
+
+  void Add(const Fingerprint& fp);
+  bool MayContain(const Fingerprint& fp) const;
+  void Clear();
+
+  size_t bit_count() const { return bits_.size() * 64; }
+  uint64_t added_count() const { return added_; }
+
+ private:
+  std::vector<uint64_t> bits_;
+  uint32_t num_hashes_;
+  uint64_t added_ = 0;
+};
+
+/// Counting bloom filter: like BloomFilter but with saturating 16-bit
+/// counters, supporting removal. The full-vision restore cache (paper
+/// §V-A) builds one CBF per restoring file to track how many future
+/// references each chunk still has; a chunk whose count reaches zero is
+/// dead and evictable.
+class CountingBloomFilter {
+ public:
+  CountingBloomFilter(size_t expected_items, size_t counters_per_item = 10);
+
+  void Add(const Fingerprint& fp);
+  /// Decrements the chunk's counters (no-op at zero).
+  void Remove(const Fingerprint& fp);
+  /// True if the chunk may still have references (count estimate > 0).
+  bool MayContain(const Fingerprint& fp) const;
+  /// Conservative (over-)estimate of the remaining reference count: the
+  /// minimum counter across the k positions.
+  uint32_t CountEstimate(const Fingerprint& fp) const;
+  void Clear();
+
+ private:
+  static constexpr uint16_t kMaxCount = 0xffff;
+
+  void Positions(const Fingerprint& fp, std::vector<size_t>* out) const;
+
+  std::vector<uint16_t> counters_;
+  uint32_t num_hashes_;
+};
+
+}  // namespace slim::index
+
+#endif  // SLIMSTORE_INDEX_BLOOM_H_

@@ -1,0 +1,94 @@
+#include "index/dedup_cache.h"
+
+#include "common/macros.h"
+
+namespace slim::index {
+
+uint64_t DedupCache::AddSegment(format::SegmentRecipe segment) {
+  while (segments_.size() >= capacity_) EvictOne();
+  uint64_t seq = next_seq_++;
+  for (uint32_t i = 0; i < segment.records.size(); ++i) {
+    // First occurrence wins: keep the earliest position so Next() walks
+    // forward through the segment.
+    fp_map_.emplace(segment.records[i].fp, Handle{seq, i});
+  }
+  segments_.emplace(seq, std::move(segment));
+  lru_.push_front(seq);
+  lru_pos_[seq] = lru_.begin();
+  return seq;
+}
+
+std::optional<DedupCache::Handle> DedupCache::Lookup(const Fingerprint& fp) {
+  auto it = fp_map_.find(fp);
+  if (it == fp_map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  // The mapping may be stale (segment evicted); check residency.
+  if (segments_.count(it->second.segment_seq) == 0) {
+    fp_map_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  Touch(it->second.segment_seq);
+  return it->second;
+}
+
+const format::ChunkRecord& DedupCache::Record(const Handle& handle) const {
+  auto it = segments_.find(handle.segment_seq);
+  SLIM_CHECK(it != segments_.end());
+  SLIM_CHECK(handle.record_index < it->second.records.size());
+  return it->second.records[handle.record_index];
+}
+
+const format::ChunkRecord* DedupCache::TryRecord(const Handle& handle) const {
+  auto it = segments_.find(handle.segment_seq);
+  if (it == segments_.end()) return nullptr;
+  if (handle.record_index >= it->second.records.size()) return nullptr;
+  return &it->second.records[handle.record_index];
+}
+
+std::optional<DedupCache::Handle> DedupCache::Next(
+    const Handle& handle) const {
+  auto it = segments_.find(handle.segment_seq);
+  if (it == segments_.end()) return std::nullopt;
+  if (handle.record_index + 1 >= it->second.records.size()) {
+    return std::nullopt;
+  }
+  return Handle{handle.segment_seq, handle.record_index + 1};
+}
+
+void DedupCache::Clear() {
+  segments_.clear();
+  fp_map_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+}
+
+void DedupCache::EvictOne() {
+  if (lru_.empty()) return;
+  uint64_t victim = lru_.back();
+  lru_.pop_back();
+  lru_pos_.erase(victim);
+  auto seg_it = segments_.find(victim);
+  if (seg_it != segments_.end()) {
+    for (const auto& record : seg_it->second.records) {
+      auto fit = fp_map_.find(record.fp);
+      if (fit != fp_map_.end() && fit->second.segment_seq == victim) {
+        fp_map_.erase(fit);
+      }
+    }
+    segments_.erase(seg_it);
+  }
+}
+
+void DedupCache::Touch(uint64_t seq) {
+  auto it = lru_pos_.find(seq);
+  if (it == lru_pos_.end()) return;
+  lru_.erase(it->second);
+  lru_.push_front(seq);
+  lru_pos_[seq] = lru_.begin();
+}
+
+}  // namespace slim::index

@@ -1,0 +1,78 @@
+#ifndef SLIMSTORE_INDEX_DEDUP_CACHE_H_
+#define SLIMSTORE_INDEX_DEDUP_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "format/chunk.h"
+
+namespace slim::index {
+
+/// The dedup cache of the backup workflow (paper §IV-A STEP 2): segment
+/// recipes prefetched from the historical/similar version, indexed by
+/// chunk fingerprint. Thanks to logical locality, once one sampled chunk
+/// of a segment matches, its neighbors resolve from this cache without
+/// further OSS access.
+///
+/// The cache also answers "what chunk follows this one in the previous
+/// version?", which drives history-aware skip chunking (§IV-B) and
+/// superchunk verification (§IV-C).
+class DedupCache {
+ public:
+  /// Opaque position of a chunk record inside a cached segment.
+  struct Handle {
+    uint64_t segment_seq = 0;
+    uint32_t record_index = 0;
+  };
+
+  explicit DedupCache(size_t capacity_segments = 64)
+      : capacity_(capacity_segments) {}
+
+  /// Inserts a prefetched segment recipe; evicts the least recently used
+  /// segment beyond capacity. Returns the new segment's sequence number.
+  uint64_t AddSegment(format::SegmentRecipe segment);
+
+  /// Finds a cached record with this fingerprint (first occurrence).
+  std::optional<Handle> Lookup(const Fingerprint& fp);
+
+  /// The record at `handle`. Handle must come from Lookup/Next on this
+  /// cache and the segment must still be resident (guaranteed between a
+  /// Lookup and the next AddSegment burst of at most `capacity` inserts).
+  const format::ChunkRecord& Record(const Handle& handle) const;
+
+  /// Position of the next record in the same segment, if any.
+  std::optional<Handle> Next(const Handle& handle) const;
+
+  /// Like Record() but returns nullptr when the segment has been evicted
+  /// (stale handle) instead of aborting.
+  const format::ChunkRecord* TryRecord(const Handle& handle) const;
+
+  bool Contains(const Fingerprint& fp) const {
+    return fp_map_.count(fp) > 0;
+  }
+
+  size_t segment_count() const { return segments_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void Clear();
+
+ private:
+  void EvictOne();
+  void Touch(uint64_t seq);
+
+  size_t capacity_;
+  uint64_t next_seq_ = 1;
+  std::unordered_map<uint64_t, format::SegmentRecipe> segments_;
+  std::unordered_map<Fingerprint, Handle> fp_map_;
+  std::list<uint64_t> lru_;  // Front = most recent.
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_pos_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace slim::index
+
+#endif  // SLIMSTORE_INDEX_DEDUP_CACHE_H_

@@ -1,0 +1,50 @@
+#include "index/global_index.h"
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace slim::index {
+
+GlobalIndex::GlobalIndex(oss::ObjectStore* store, const std::string& name,
+                         uint64_t expected_chunks)
+    : db_(store, name, oss::RocksOssOptions{}),
+      bloom_(expected_chunks, /*bits_per_item=*/10) {}
+
+Status GlobalIndex::Open() {
+  SLIM_RETURN_IF_ERROR(db_.Open());
+  // Rebuild the bloom filter from persisted state.
+  auto entries = db_.Scan("", "");
+  if (!entries.ok()) return entries.status();
+  bloom_.Clear();
+  for (const auto& [key, value] : entries.value()) {
+    if (key.size() != Fingerprint::kSize) continue;
+    Fingerprint fp;
+    std::memcpy(fp.data(), key.data(), Fingerprint::kSize);
+    bloom_.Add(fp);
+  }
+  return Status::Ok();
+}
+
+Status GlobalIndex::Put(const Fingerprint& fp,
+                        format::ContainerId container_id) {
+  std::string value;
+  PutFixed64(&value, container_id);
+  SLIM_RETURN_IF_ERROR(db_.Put(KeyOf(fp), value));
+  bloom_.Add(fp);
+  return Status::Ok();
+}
+
+Result<format::ContainerId> GlobalIndex::Get(const Fingerprint& fp) {
+  auto value = db_.Get(KeyOf(fp));
+  if (!value.ok()) return value.status();
+  Decoder dec(value.value());
+  uint64_t container_id = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&container_id));
+  return static_cast<format::ContainerId>(container_id);
+}
+
+Status GlobalIndex::Delete(const Fingerprint& fp) {
+  return db_.Delete(KeyOf(fp));
+}
+
+}  // namespace slim::index

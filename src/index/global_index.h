@@ -1,0 +1,67 @@
+#ifndef SLIMSTORE_INDEX_GLOBAL_INDEX_H_
+#define SLIMSTORE_INDEX_GLOBAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "format/chunk.h"
+#include "index/bloom.h"
+#include "oss/rocks_oss.h"
+
+namespace slim::index {
+
+/// The global fingerprint index of §III-B/§VI-A: fingerprint -> container
+/// id for every chunk of a user, stored in Rocks-OSS. Only G-node reads
+/// it (exact reverse deduplication and redirect lookups when restoring
+/// reverse-deduplicated old versions); it is never on the online backup
+/// path.
+///
+/// A memory-resident bloom filter in front of the LSM quickly rules out
+/// chunks that were never stored, which is the common case while G-node
+/// filters freshly written containers.
+class GlobalIndex {
+ public:
+  /// `store` must outlive this object.
+  GlobalIndex(oss::ObjectStore* store, const std::string& name,
+              uint64_t expected_chunks = 1 << 20);
+
+  /// Loads persisted LSM runs (reopen).
+  Status Open();
+
+  /// Records (or re-points) the container that owns `fp`.
+  Status Put(const Fingerprint& fp, format::ContainerId container_id);
+
+  /// Container currently owning `fp`; NotFound if never stored.
+  Result<format::ContainerId> Get(const Fingerprint& fp);
+
+  Status Delete(const Fingerprint& fp);
+
+  /// Fast in-memory pre-filter: false means `fp` was definitely never
+  /// Put. (False positives fall through to the LSM.)
+  bool MayContain(const Fingerprint& fp) const {
+    return bloom_.MayContain(fp);
+  }
+
+  /// Flushes the memtable so all entries are OSS-persistent.
+  Status Flush() { return db_.Flush(); }
+  Status Compact() { return db_.Compact(); }
+
+  oss::RocksOss* db() { return &db_; }
+
+ private:
+  static std::string KeyOf(const Fingerprint& fp) {
+    return std::string(reinterpret_cast<const char*>(fp.data()),
+                       Fingerprint::kSize);
+  }
+
+  oss::RocksOss db_;
+  BloomFilter bloom_;
+};
+
+}  // namespace slim::index
+
+#endif  // SLIMSTORE_INDEX_GLOBAL_INDEX_H_

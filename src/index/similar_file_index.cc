@@ -1,0 +1,163 @@
+#include "index/similar_file_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace slim::index {
+
+void SimilarFileIndex::AddFileVersion(
+    const std::string& file_id, uint64_t version,
+    const std::vector<Fingerprint>& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Fingerprint& fp : samples) {
+    samples_[fp].push_back(Entry{file_id, version});
+  }
+  auto it = latest_.find(file_id);
+  if (it == latest_.end() || it->second < version) {
+    latest_[file_id] = version;
+  }
+}
+
+std::optional<uint64_t> SimilarFileIndex::LatestVersion(
+    const std::string& file_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latest_.find(file_id);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<FileVersion> SimilarFileIndex::FindSimilar(
+    const std::vector<Fingerprint>& samples, size_t min_shared) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Count shared samples per (file, version).
+  std::map<std::pair<std::string, uint64_t>, size_t> shared;
+  for (const Fingerprint& fp : samples) {
+    auto it = samples_.find(fp);
+    if (it == samples_.end()) continue;
+    for (const Entry& e : it->second) {
+      ++shared[{e.file_id, e.version}];
+    }
+  }
+  const std::pair<std::string, uint64_t>* best = nullptr;
+  size_t best_count = 0;
+  for (const auto& [key, count] : shared) {
+    // Prefer more shared samples; break ties toward newer versions.
+    if (count > best_count ||
+        (count == best_count && best != nullptr &&
+         key.second > best->second)) {
+      best = &key;
+      best_count = count;
+    }
+  }
+  if (best == nullptr || best_count < min_shared) return std::nullopt;
+  return FileVersion{best->first, best->second};
+}
+
+void SimilarFileIndex::RemoveFileVersion(const std::string& file_id,
+                                         uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = samples_.begin(); it != samples_.end();) {
+    auto& entries = it->second;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) {
+                                   return e.file_id == file_id &&
+                                          e.version == version;
+                                 }),
+                  entries.end());
+    if (entries.empty()) {
+      it = samples_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto lit = latest_.find(file_id);
+  if (lit != latest_.end() && lit->second == version) {
+    // Fall back to the newest remaining version of this file.
+    uint64_t newest = 0;
+    bool found = false;
+    for (const auto& [fp, entries] : samples_) {
+      for (const Entry& e : entries) {
+        if (e.file_id == file_id && (!found || e.version > newest)) {
+          newest = e.version;
+          found = true;
+        }
+      }
+    }
+    if (found) {
+      lit->second = newest;
+    } else {
+      latest_.erase(lit);
+    }
+  }
+}
+
+Status SimilarFileIndex::Save(oss::ObjectStore* store,
+                              const std::string& key) const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PutVarint64(&out, samples_.size());
+    for (const auto& [fp, entries] : samples_) {
+      PutFingerprint(&out, fp);
+      PutVarint64(&out, entries.size());
+      for (const Entry& e : entries) {
+        PutLengthPrefixed(&out, e.file_id);
+        PutFixed64(&out, e.version);
+      }
+    }
+    PutVarint64(&out, latest_.size());
+    for (const auto& [file_id, version] : latest_) {
+      PutLengthPrefixed(&out, file_id);
+      PutFixed64(&out, version);
+    }
+  }
+  return store->Put(key, std::move(out));
+}
+
+Status SimilarFileIndex::Load(oss::ObjectStore* store,
+                              const std::string& key) {
+  auto object = store->Get(key);
+  if (!object.ok()) return object.status();
+  Decoder dec(object.value());
+  decltype(samples_) new_samples;
+  decltype(latest_) new_latest;
+  uint64_t sample_count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&sample_count));
+  for (uint64_t i = 0; i < sample_count; ++i) {
+    Fingerprint fp;
+    SLIM_RETURN_IF_ERROR(dec.ReadFingerprint(&fp));
+    uint64_t entry_count = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&entry_count));
+    auto& entries = new_samples[fp];
+    for (uint64_t j = 0; j < entry_count; ++j) {
+      std::string_view id;
+      uint64_t version = 0;
+      SLIM_RETURN_IF_ERROR(dec.ReadLengthPrefixed(&id));
+      SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&version));
+      entries.push_back(Entry{std::string(id), version});
+    }
+  }
+  uint64_t latest_count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&latest_count));
+  for (uint64_t i = 0; i < latest_count; ++i) {
+    std::string_view id;
+    uint64_t version = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadLengthPrefixed(&id));
+    SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&version));
+    new_latest[std::string(id)] = version;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = std::move(new_samples);
+  latest_ = std::move(new_latest);
+  return Status::Ok();
+}
+
+size_t SimilarFileIndex::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+}  // namespace slim::index

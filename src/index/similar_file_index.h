@@ -1,0 +1,77 @@
+#ifndef SLIMSTORE_INDEX_SIMILAR_FILE_INDEX_H_
+#define SLIMSTORE_INDEX_SIMILAR_FILE_INDEX_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "oss/object_store.h"
+
+namespace slim::index {
+
+/// Identity of one backup version of one file.
+struct FileVersion {
+  std::string file_id;
+  uint64_t version = 0;
+
+  friend bool operator==(const FileVersion& a, const FileVersion& b) {
+    return a.file_id == b.file_id && a.version == b.version;
+  }
+};
+
+/// The similar file index of §III-B: representative fingerprints of each
+/// file version, used in STEP 1 of the backup workflow to detect a
+/// historical version (exact name match) or a similar file (Broder
+/// sampling: files sharing representative fingerprints are similar).
+///
+/// Kept in memory and check-pointed to one OSS object; it is small
+/// because it holds only samples.
+class SimilarFileIndex {
+ public:
+  SimilarFileIndex() = default;
+
+  /// Registers a new backup version with its sampled fingerprints.
+  /// Also updates the latest-version catalog used for name matching.
+  void AddFileVersion(const std::string& file_id, uint64_t version,
+                      const std::vector<Fingerprint>& samples);
+
+  /// Latest version of this exact file id, if any (the paper's "search
+  /// by file path and file name first").
+  std::optional<uint64_t> LatestVersion(const std::string& file_id) const;
+
+  /// Finds the file version sharing the most representative
+  /// fingerprints with `samples`. Returns nullopt if nothing shares at
+  /// least `min_shared` samples.
+  std::optional<FileVersion> FindSimilar(
+      const std::vector<Fingerprint>& samples, size_t min_shared = 1) const;
+
+  /// Removes a version's samples (version collection).
+  void RemoveFileVersion(const std::string& file_id, uint64_t version);
+
+  /// Persists to / restores from one OSS object.
+  Status Save(oss::ObjectStore* store, const std::string& key) const;
+  Status Load(oss::ObjectStore* store, const std::string& key);
+
+  size_t sample_count() const;
+
+ private:
+  struct Entry {
+    std::string file_id;
+    uint64_t version;
+  };
+
+  mutable std::mutex mu_;
+  // Sample fingerprint -> owning versions (usually 1-2 entries).
+  std::unordered_map<Fingerprint, std::vector<Entry>> samples_;
+  // file id -> latest version.
+  std::unordered_map<std::string, uint64_t> latest_;
+};
+
+}  // namespace slim::index
+
+#endif  // SLIMSTORE_INDEX_SIMILAR_FILE_INDEX_H_

@@ -1,0 +1,713 @@
+#include "lnode/backup_pipeline.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace slim::lnode {
+
+using format::ChunkRecord;
+using format::ContainerBuilder;
+using format::ContainerId;
+using format::Recipe;
+using format::SegmentRecipe;
+using index::DedupCache;
+
+/// Per-job working state. A fresh JobState per Backup() call is what
+/// makes the L-node stateless across jobs.
+struct BackupPipeline::JobState {
+  StreamWindow* window = nullptr;
+
+  std::optional<index::FileVersion> base;
+  std::optional<format::RecipeIndex> base_index;
+  std::unordered_set<uint32_t> fetched_segments;
+  // Base segment ordinal <-> dedup-cache segment sequence, so the
+  // skip-chunking chain can continue into the next base segment.
+  std::unordered_map<uint32_t, uint64_t> ordinal_to_seq;
+  std::unordered_map<uint64_t, uint32_t> seq_to_ordinal;
+  DedupCache cache;
+
+  BackupStats stats;
+
+  Recipe recipe;
+  SegmentRecipe current_segment;
+
+  std::optional<ContainerBuilder> builder;
+
+  // Pending run of consecutive duplicates eligible for chunk merging.
+  struct PendingRun {
+    size_t start_pos = 0;
+    uint64_t bytes = 0;
+    std::vector<ChunkRecord> records;
+  } run;
+
+  // Skip-chunking / superchunk continuation state.
+  std::optional<DedupCache::Handle> last_match;
+
+  // first-chunk fingerprint -> cached superchunk record.
+  std::unordered_map<Fingerprint, DedupCache::Handle> super_first;
+
+  // Constituents of cached superchunks: the small-chunk fallback when a
+  // superchunk only partially matches the new version.
+  std::unordered_map<Fingerprint, ChunkRecord> constituent_map;
+
+  // Chunks stored earlier in this same job, so self-references within
+  // the stream deduplicate online instead of being stored twice.
+  std::unordered_map<Fingerprint, ChunkRecord> new_chunks;
+
+  // Distinct referenced chunks per (pre-existing) container, for sparse
+  // container identification.
+  std::unordered_map<ContainerId, std::unordered_set<Fingerprint>>
+      referenced;
+
+  PhaseTimer t_chunking;
+  PhaseTimer t_fingerprint;
+  PhaseTimer t_index;
+
+  explicit JobState(size_t cache_segments) : cache(cache_segments) {}
+};
+
+namespace {
+
+/// One chunk of the input segment being assembled (phase 1 output).
+struct BatchEntry {
+  size_t pos = 0;
+  uint32_t len = 0;
+  Fingerprint fp;
+  /// Resolved as duplicate during the boundary scan (skip chunking,
+  /// superchunk match, or dedup-cache hit)?
+  bool resolved = false;
+  format::ChunkRecord base;  // The matched base record when resolved.
+};
+
+}  // namespace
+
+BackupPipeline::BackupPipeline(format::ContainerStore* containers,
+                               format::RecipeStore* recipes,
+                               index::SimilarFileIndex* similar_files,
+                               BackupOptions options)
+    : containers_(containers),
+      recipes_(recipes),
+      similar_files_(similar_files),
+      options_(options),
+      chunker_(chunking::CreateChunker(options.chunker_type,
+                                       options.chunker_params)) {}
+
+uint64_t BackupPipeline::AllocateVersion(const std::string& file_id) const {
+  auto latest = similar_files_->LatestVersion(file_id);
+  return latest.has_value() ? *latest + 1 : 0;
+}
+
+std::optional<index::FileVersion> BackupPipeline::DetectBase(
+    const std::string& file_id, JobState* job) {
+  // Exact name match first: the latest historical version of this file.
+  auto latest = similar_files_->LatestVersion(file_id);
+  if (latest.has_value()) {
+    job->stats.detection = BaseDetection::kByName;
+    return index::FileVersion{file_id, *latest};
+  }
+
+  // Fallback: chunk and sample the file header, then consult the similar
+  // file index (Broder sampling). For large files only the header is
+  // examined ("the common solution for large files is to only sample the
+  // header chunks").
+  auto header_avail =
+      job->window->Ensure(0, options_.similarity_header_bytes);
+  if (!header_avail.ok()) return std::nullopt;
+  size_t header = header_avail.value();
+  std::vector<Fingerprint> samples;
+  size_t pos = 0;
+  while (pos < header) {
+    std::string_view view = job->window->View(pos, header - pos);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(view.data());
+    size_t len;
+    {
+      ScopedPhase phase(&job->t_chunking);
+      len = chunker_->NextCut(p, view.size());
+    }
+    Fingerprint fp;
+    {
+      ScopedPhase phase(&job->t_fingerprint);
+      fp = Sha1::Hash(p, len);
+    }
+    if (format::IsSampleFingerprint(fp, options_.sample_ratio)) {
+      samples.push_back(fp);
+    }
+    pos += len;
+  }
+  std::optional<index::FileVersion> similar;
+  {
+    ScopedPhase phase(&job->t_index);
+    similar =
+        similar_files_->FindSimilar(samples, options_.min_similarity_samples);
+  }
+  if (similar.has_value()) {
+    job->stats.detection = BaseDetection::kBySimilarity;
+  }
+  return similar;
+}
+
+std::optional<uint64_t> BackupPipeline::PrefetchSegmentOrdinal(
+    uint32_t ordinal, JobState* job) {
+  if (!job->base.has_value()) return std::nullopt;
+  auto cached = job->ordinal_to_seq.find(ordinal);
+  if (cached != job->ordinal_to_seq.end()) return cached->second;
+  if (!job->fetched_segments.insert(ordinal).second) return std::nullopt;
+  auto segment = recipes_->ReadSegment(job->base->file_id,
+                                       job->base->version, ordinal);
+  if (!segment.ok()) return std::nullopt;
+  ++job->stats.segments_fetched;
+  uint64_t seq = job->cache.AddSegment(std::move(segment).value());
+  job->ordinal_to_seq[ordinal] = seq;
+  job->seq_to_ordinal[seq] = ordinal;
+  // Register superchunk first-chunk fingerprints for Algorithm 1.
+  for (uint32_t i = 0;; ++i) {
+    const ChunkRecord* rec = job->cache.TryRecord(DedupCache::Handle{seq, i});
+    if (rec == nullptr) break;
+    if (rec->is_superchunk) {
+      job->super_first[rec->first_chunk_fp] = DedupCache::Handle{seq, i};
+      if (rec->constituents != nullptr) {
+        for (const ChunkRecord& constituent : *rec->constituents) {
+          job->constituent_map.emplace(constituent.fp, constituent);
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+void BackupPipeline::PrefetchSegmentFor(const Fingerprint& fp,
+                                        JobState* job) {
+  if (!job->base_index.has_value()) return;
+  auto it = job->base_index->sample_to_segment.find(fp);
+  if (it == job->base_index->sample_to_segment.end()) return;
+  PrefetchSegmentOrdinal(it->second, job);
+}
+
+void BackupPipeline::EmitRecord(const ChunkRecord& record, JobState* job) {
+  job->current_segment.records.push_back(record);
+}
+
+// Attempts to match superchunk `sc` against the input at `pos`.
+// Cheap pre-check first: the last constituent's fingerprint at its
+// expected offset. Any insertion/deletion inside the span shifts it and
+// any tail modification changes it, so most failed spans are rejected
+// after hashing one small chunk instead of the whole span.
+bool BackupPipeline::MatchSuperchunk(const ChunkRecord& sc, size_t pos,
+                                     JobState* job) {
+  if (!sc.is_superchunk) return false;
+  auto avail = job->window->Ensure(pos, sc.size);
+  if (!avail.ok() || avail.value() < sc.size) return false;
+  if (sc.constituents != nullptr && !sc.constituents->empty()) {
+    const ChunkRecord& last = sc.constituents->back();
+    if (last.size <= sc.size) {
+      std::string_view tail =
+          job->window->View(pos + sc.size - last.size, last.size);
+      Fingerprint fp;
+      {
+        ScopedPhase phase(&job->t_fingerprint);
+        fp = Sha1::Hash(tail.data(), tail.size());
+      }
+      if (fp != last.fp) return false;
+    }
+  }
+  std::string_view span = job->window->View(pos, sc.size);
+  Fingerprint span_fp;
+  {
+    ScopedPhase phase(&job->t_fingerprint);
+    span_fp = Sha1::Hash(span.data(), span.size());
+  }
+  return span_fp == sc.fp;
+}
+
+Status BackupPipeline::StoreNewChunk(const Fingerprint& fp,
+                                     std::string_view bytes,
+                                     ChunkRecord* record, JobState* job) {
+  if (!job->builder.has_value()) {
+    job->builder.emplace(containers_->AllocateId(),
+                         options_.container_capacity);
+  }
+  if (!job->builder->Add(fp, bytes)) {
+    SLIM_RETURN_IF_ERROR(FlushContainer(job));
+    job->builder.emplace(containers_->AllocateId(),
+                         options_.container_capacity);
+    SLIM_CHECK(job->builder->Add(fp, bytes));
+  }
+  record->fp = fp;
+  record->container_id = job->builder->id();
+  record->size = static_cast<uint32_t>(bytes.size());
+  record->duplicate_times = 0;
+  job->stats.new_bytes += bytes.size();
+  return Status::Ok();
+}
+
+Status BackupPipeline::FlushContainer(JobState* job) {
+  if (!job->builder.has_value() || job->builder->empty()) return Status::Ok();
+  ContainerId id = job->builder->id();
+  SLIM_RETURN_IF_ERROR(containers_->Write(std::move(*job->builder)));
+  job->builder.reset();
+  job->stats.new_containers.push_back(id);
+  return Status::Ok();
+}
+
+Status BackupPipeline::MaybeMergePendingRun(JobState* job, bool force) {
+  (void)force;
+  auto& run = job->run;
+  if (run.records.empty()) return Status::Ok();
+  if (options_.chunk_merging &&
+      run.records.size() >= options_.min_merge_chunks) {
+    // Merge the run into a *logical* superchunk: one record whose
+    // fingerprint covers the whole span so future versions can match
+    // the range with a single comparison. No data is re-stored — the
+    // constituents' physical copies keep serving restores.
+    std::string_view bytes =
+        job->window->View(run.start_pos, static_cast<size_t>(run.bytes));
+    ChunkRecord record;
+    {
+      ScopedPhase phase(&job->t_fingerprint);
+      record.fp = Sha1::Hash(bytes.data(), bytes.size());
+    }
+    record.container_id = format::kInvalidContainerId;
+    record.size = static_cast<uint32_t>(run.bytes);
+    record.is_superchunk = true;
+    record.first_chunk_fp = run.records.front().fp;
+    record.duplicate_times = run.records.front().duplicate_times;
+    record.constituents =
+        std::make_shared<const std::vector<ChunkRecord>>(run.records);
+    EmitRecord(record, job);
+    job->stats.total_chunks += 1;
+    job->stats.dup_chunks += 1;
+    job->stats.dup_bytes += run.bytes;
+    job->stats.superchunks_formed += 1;
+    for (const ChunkRecord& constituent : run.records) {
+      job->referenced[constituent.container_id].insert(constituent.fp);
+    }
+  } else {
+    // Not worth merging: emit the duplicates individually.
+    for (const ChunkRecord& record : run.records) {
+      EmitRecord(record, job);
+      job->stats.total_chunks += 1;
+      job->stats.dup_chunks += 1;
+      job->stats.dup_bytes += record.size;
+      job->referenced[record.container_id].insert(record.fp);
+    }
+  }
+  run.records.clear();
+  run.bytes = 0;
+  run.start_pos = 0;
+  return Status::Ok();
+}
+
+Status BackupPipeline::EmitDuplicate(const ChunkRecord& base_record,
+                                     bool increment_dup_times,
+                                     size_t stream_pos, JobState* job) {
+  // HAR baseline mode: a duplicate whose copy lives in a sparse
+  // container (identified by the previous backup) is rewritten.
+  if (options_.har_rewrite_containers != nullptr &&
+      !base_record.is_superchunk &&
+      options_.har_rewrite_containers->count(base_record.container_id) > 0) {
+    SLIM_RETURN_IF_ERROR(MaybeMergePendingRun(job, true));
+    ChunkRecord rewritten;
+    SLIM_RETURN_IF_ERROR(StoreNewChunk(
+        base_record.fp, job->window->View(stream_pos, base_record.size),
+        &rewritten, job));
+    rewritten.duplicate_times = base_record.duplicate_times;
+    EmitRecord(rewritten, job);
+    job->stats.total_chunks += 1;
+    job->stats.rewritten_chunks += 1;
+    job->new_chunks.emplace(rewritten.fp, rewritten);
+    return Status::Ok();
+  }
+  ChunkRecord record = base_record;
+  if (increment_dup_times) {
+    record.duplicate_times = base_record.duplicate_times + 1;
+  }
+  if (record.is_superchunk) {
+    ++job->stats.superchunks_matched;
+  }
+  // History-aware chunk merging: extend the pending duplicate run when
+  // this chunk has been a duplicate long enough (§IV-C).
+  if (options_.chunk_merging && !record.is_superchunk &&
+      increment_dup_times &&
+      record.duplicate_times >= options_.merge_threshold &&
+      job->run.bytes + record.size <= options_.max_superchunk_bytes) {
+    if (job->run.records.empty()) job->run.start_pos = stream_pos;
+    job->run.records.push_back(record);
+    job->run.bytes += record.size;
+    return Status::Ok();
+  }
+  SLIM_RETURN_IF_ERROR(MaybeMergePendingRun(job, true));
+  EmitRecord(record, job);
+  job->stats.total_chunks += 1;
+  job->stats.dup_chunks += 1;
+  job->stats.dup_bytes += record.size;
+  if (record.is_superchunk && record.constituents != nullptr) {
+    for (const ChunkRecord& constituent : *record.constituents) {
+      job->referenced[constituent.container_id].insert(constituent.fp);
+    }
+  } else {
+    job->referenced[record.container_id].insert(record.fp);
+  }
+  return Status::Ok();
+}
+
+Result<BackupStats> BackupPipeline::Backup(const std::string& file_id,
+                                           std::string_view data,
+                                           uint64_t version) {
+  StreamWindow window(data);
+  return BackupFromWindow(file_id, &window, version);
+}
+
+Result<BackupStats> BackupPipeline::BackupStream(const std::string& file_id,
+                                                 ByteSource* source,
+                                                 uint64_t version) {
+  StreamWindow window(source);
+  return BackupFromWindow(file_id, &window, version);
+}
+
+Result<BackupStats> BackupPipeline::BackupFromWindow(
+    const std::string& file_id, StreamWindow* window, uint64_t version) {
+  Stopwatch total_watch;
+  JobState job(options_.dedup_cache_segments);
+  job.window = window;
+  job.stats.file_id = file_id;
+  job.stats.version = version;
+  job.recipe.file_id = file_id;
+  job.recipe.version = version;
+
+  // STEP 1: detect a historical version or similar file, fetch its
+  // recipe index.
+  job.base = DetectBase(file_id, &job);
+  if (job.base.has_value()) {
+    ScopedPhase phase(&job.t_index);
+    auto base_index =
+        recipes_->ReadIndex(job.base->file_id, job.base->version);
+    if (base_index.ok()) {
+      job.base_index = std::move(base_index).value();
+    }
+  }
+
+  // STEP 2: process the stream one input segment at a time. Each batch
+  // runs three phases — (1) boundary scan with history-aware skip
+  // chunking and superchunk matching, (2) similar-segment prefetch for
+  // the batch's unresolved fingerprints, (3) in-order resolution — so
+  // that every chunk of the batch benefits from segments prefetched by
+  // any of its sampled neighbors (the paper's "a range of duplicate
+  // chunks in the vicinity can be filtered").
+  uint64_t pos = 0;
+  std::vector<BatchEntry> entries;
+  for (;;) {
+    auto at_eof = window->AtEof(pos);
+    if (!at_eof.ok()) return at_eof.status();
+    if (at_eof.value()) break;
+    // ---- Phase 1: boundary scan.
+    entries.clear();
+    uint64_t batch_bytes = 0;
+    for (;;) {
+      if (batch_bytes >= options_.segment_bytes ||
+          entries.size() >= options_.segment_max_chunks) {
+        break;
+      }
+      auto eof = window->AtEof(pos);
+      if (!eof.ok()) return eof.status();
+      if (eof.value()) break;
+
+      // History-aware continuation from the last matched record.
+      if (job.last_match.has_value()) {
+        auto next = job.cache.Next(*job.last_match);
+        if (!next.has_value()) {
+          // Segment exhausted: by logical locality the stream most
+          // likely continues into the next base segment — fetch it and
+          // chain into its first record.
+          auto oit = job.seq_to_ordinal.find(job.last_match->segment_seq);
+          if (oit != job.seq_to_ordinal.end()) {
+            ScopedPhase phase(&job.t_index);
+            auto seq = PrefetchSegmentOrdinal(oit->second + 1, &job);
+            if (seq.has_value()) next = DedupCache::Handle{*seq, 0};
+          }
+        }
+        const ChunkRecord* expect =
+            next.has_value() ? job.cache.TryRecord(*next) : nullptr;
+        if (expect != nullptr && expect->is_superchunk &&
+            options_.chunk_merging) {
+          if (MatchSuperchunk(*expect, pos, &job)) {
+            BatchEntry e;
+            e.pos = pos;
+            e.len = expect->size;
+            e.fp = expect->fp;
+            e.resolved = true;
+            e.base = *expect;
+            entries.push_back(e);
+            batch_bytes += e.len;
+            pos += e.len;
+            job.last_match = next;
+            continue;
+          }
+        } else if (expect != nullptr && !expect->is_superchunk &&
+                   options_.skip_chunking && expect->size > 0 &&
+                   [&] {
+                     auto a = window->Ensure(pos, expect->size);
+                     return a.ok() && a.value() >= expect->size;
+                   }()) {
+          // Skip chunking (§IV-B): jump |c_m^{n-1}| bytes; if the cut
+          // condition holds there and the fingerprint matches, the
+          // byte-by-byte scan was saved.
+          std::string_view candidate = window->View(pos, expect->size);
+          const uint8_t* cp =
+              reinterpret_cast<const uint8_t*>(candidate.data());
+          bool cut_ok;
+          {
+            ScopedPhase phase(&job.t_chunking);
+            cut_ok = chunker_->VerifyCut(cp, expect->size);
+          }
+          if (cut_ok) {
+            Fingerprint fp;
+            {
+              ScopedPhase phase(&job.t_fingerprint);
+              fp = Sha1::Hash(cp, expect->size);
+            }
+            if (fp == expect->fp) {
+              ++job.stats.skip_successes;
+              BatchEntry e;
+              e.pos = pos;
+              e.len = expect->size;
+              e.fp = fp;
+              e.resolved = true;
+              e.base = *expect;
+              entries.push_back(e);
+              batch_bytes += e.len;
+              pos += e.len;
+              job.last_match = next;
+              continue;
+            }
+          }
+          ++job.stats.skip_failures;
+        }
+        job.last_match.reset();
+      }
+
+      // Plain CDC boundary + fingerprint. The chunker never looks more
+      // than max_size bytes ahead.
+      auto scan_avail =
+          window->Ensure(pos, options_.chunker_params.max_size);
+      if (!scan_avail.ok()) return scan_avail.status();
+      std::string_view scan = window->View(pos, scan_avail.value());
+      const uint8_t* sp = reinterpret_cast<const uint8_t*>(scan.data());
+      size_t len;
+      {
+        ScopedPhase phase(&job.t_chunking);
+        len = chunker_->NextCut(sp, scan.size());
+      }
+      Fingerprint fp;
+      {
+        ScopedPhase phase(&job.t_fingerprint);
+        fp = Sha1::Hash(sp, len);
+      }
+
+      // Dedup-cache lookup; on a miss, prefetch the similar segment
+      // right away (STEP 2: each sampled chunk consults the recipe
+      // index) and retry, so the rest of the segment — and the skip
+      // chunking chain — engages immediately.
+      std::optional<DedupCache::Handle> handle;
+      {
+        ScopedPhase phase(&job.t_index);
+        handle = job.cache.Lookup(fp);
+        if (!handle.has_value()) {
+          PrefetchSegmentFor(fp, &job);
+          handle = job.cache.Lookup(fp);
+        }
+      }
+
+      // Superchunk match by first chunk (Algorithm 1) — checked after
+      // the prefetch so a superchunk discovered by this very chunk
+      // matches immediately and hooks up the continuation chain.
+      if (options_.chunk_merging) {
+        auto sit = job.super_first.find(fp);
+        if (sit != job.super_first.end()) {
+          const ChunkRecord* sc = job.cache.TryRecord(sit->second);
+          if (sc != nullptr && sc->is_superchunk &&
+              MatchSuperchunk(*sc, pos, &job)) {
+            BatchEntry e;
+            e.pos = pos;
+            e.len = sc->size;
+            e.fp = sc->fp;
+            e.resolved = true;
+            e.base = *sc;
+            entries.push_back(e);
+            batch_bytes += e.len;
+            pos += e.len;
+            job.last_match = sit->second;
+            continue;
+          }
+        }
+      }
+
+      BatchEntry e;
+      e.pos = pos;
+      e.len = static_cast<uint32_t>(len);
+      e.fp = fp;
+      if (handle.has_value()) {
+        const ChunkRecord* rec = job.cache.TryRecord(*handle);
+        if (rec != nullptr) {
+          e.resolved = true;
+          e.base = *rec;
+          job.last_match = handle;
+        }
+      }
+      entries.push_back(e);
+      batch_bytes += len;
+      pos += len;
+    }
+
+    // ---- Phase 2: coalesce runs of unresolved entries into
+    // superchunks that phase 2 just made visible (Algorithm 1 applied
+    // retroactively to this batch: the CDC boundaries inside a
+    // duplicate superchunk are reproducible, so the span aligns with a
+    // whole number of entries).
+    if (options_.chunk_merging && !job.super_first.empty()) {
+      std::vector<BatchEntry> coalesced;
+      coalesced.reserve(entries.size());
+      size_t i = 0;
+      while (i < entries.size()) {
+        const BatchEntry& e = entries[i];
+        if (!e.resolved) {
+          auto sit = job.super_first.find(e.fp);
+          if (sit != job.super_first.end()) {
+            const ChunkRecord* sc = job.cache.TryRecord(sit->second);
+            if (sc != nullptr && sc->is_superchunk) {
+              // Does the superchunk span cover a whole run of entries?
+              uint64_t span = 0;
+              size_t j = i;
+              while (j < entries.size() && span < sc->size) {
+                span += entries[j].len;
+                ++j;
+              }
+              if (span == sc->size && MatchSuperchunk(*sc, e.pos, &job)) {
+                BatchEntry merged;
+                merged.pos = e.pos;
+                merged.len = sc->size;
+                merged.fp = sc->fp;
+                merged.resolved = true;
+                merged.base = *sc;
+                coalesced.push_back(merged);
+                i = j;
+                continue;
+              }
+            }
+          }
+        }
+        coalesced.push_back(e);
+        ++i;
+      }
+      entries = std::move(coalesced);
+    }
+
+    // ---- Phase 3: resolve in stream order and emit records.
+    for (const BatchEntry& e : entries) {
+      if (e.resolved) {
+        SLIM_RETURN_IF_ERROR(EmitDuplicate(e.base, true, e.pos, &job));
+        continue;
+      }
+      // Prefer the copy this job already stored over a historical copy:
+      // referencing a single (fresh) container keeps the new version's
+      // locality and avoids split references to the same chunk.
+      auto self_it = job.new_chunks.find(e.fp);
+      if (self_it != job.new_chunks.end()) {
+        SLIM_RETURN_IF_ERROR(
+            EmitDuplicate(self_it->second, false, e.pos, &job));
+        continue;
+      }
+      std::optional<DedupCache::Handle> handle;
+      {
+        ScopedPhase phase(&job.t_index);
+        handle = job.cache.Lookup(e.fp);
+      }
+      if (handle.has_value()) {
+        const ChunkRecord* rec = job.cache.TryRecord(*handle);
+        if (rec != nullptr) {
+          SLIM_RETURN_IF_ERROR(EmitDuplicate(*rec, true, e.pos, &job));
+          continue;
+        }
+      }
+      // Superchunk fallback: the chunk is a constituent of a cached
+      // superchunk whose full-span match failed — its original copy
+      // still lives in an old container.
+      auto cit = job.constituent_map.find(e.fp);
+      if (cit != job.constituent_map.end()) {
+        SLIM_RETURN_IF_ERROR(EmitDuplicate(cit->second, true, e.pos, &job));
+        continue;
+      }
+      SLIM_RETURN_IF_ERROR(MaybeMergePendingRun(&job, true));
+      ChunkRecord record;
+      SLIM_RETURN_IF_ERROR(StoreNewChunk(
+          e.fp, job.window->View(e.pos, e.len), &record, &job));
+      EmitRecord(record, &job);
+      job.stats.total_chunks += 1;
+      job.new_chunks.emplace(e.fp, record);
+    }
+
+    // ---- Batch end: flush the pending run, close the recipe segment,
+    // and release the batch's bytes (streaming memory stays bounded).
+    SLIM_RETURN_IF_ERROR(MaybeMergePendingRun(&job, true));
+    if (!job.current_segment.records.empty()) {
+      job.recipe.segments.push_back(std::move(job.current_segment));
+      job.current_segment = SegmentRecipe();
+    }
+    window->DiscardBefore(pos);
+  }
+  job.stats.logical_bytes = pos;
+  job.stats.peak_stream_buffer_bytes = window->peak_buffer_bytes();
+
+  // STEP 3: persist containers + recipe.
+  SLIM_RETURN_IF_ERROR(FlushContainer(&job));
+  SLIM_RETURN_IF_ERROR(
+      recipes_->WriteRecipe(job.recipe, options_.sample_ratio));
+
+  // Register this version in the similar file index.
+  std::vector<Fingerprint> samples;
+  for (const auto& segment : job.recipe.segments) {
+    for (const auto& record : segment.records) {
+      if (format::IsSampleFingerprint(record.fp, options_.sample_ratio)) {
+        samples.push_back(record.fp);
+      }
+    }
+  }
+  similar_files_->AddFileVersion(file_id, version, samples);
+
+  job.stats.elapsed_seconds = total_watch.ElapsedSeconds();
+  job.stats.cpu.chunking_nanos = job.t_chunking.total_nanos();
+  job.stats.cpu.fingerprint_nanos = job.t_fingerprint.total_nanos();
+  job.stats.cpu.index_nanos = job.t_index.total_nanos();
+  uint64_t accounted = job.stats.cpu.chunking_nanos +
+                       job.stats.cpu.fingerprint_nanos +
+                       job.stats.cpu.index_nanos;
+  uint64_t total_nanos = total_watch.ElapsedNanos();
+  job.stats.cpu.other_nanos =
+      total_nanos > accounted ? total_nanos - accounted : 0;
+
+  // Mark phase input for version collection: all containers this
+  // version's recipe references (superchunk constituents included).
+  job.stats.referenced_containers =
+      format::CollectReferencedContainers(job.recipe);
+
+  // Sparse container identification (input to G-node SCC): utilization
+  // of every pre-existing container referenced by this backup.
+  std::unordered_set<ContainerId> own(job.stats.new_containers.begin(),
+                                      job.stats.new_containers.end());
+  for (const auto& [cid, fps] : job.referenced) {
+    if (own.count(cid) > 0) continue;
+    auto count = containers_->ChunkCount(cid);
+    if (!count.ok()) continue;
+    size_t total = count.value();
+    if (total == 0) continue;
+    double utilization = static_cast<double>(fps.size()) / total;
+    if (utilization < options_.sparse_utilization_threshold) {
+      job.stats.sparse_containers.push_back(cid);
+    }
+  }
+
+  return std::move(job.stats);
+}
+
+}  // namespace slim::lnode

@@ -1,0 +1,209 @@
+#ifndef SLIMSTORE_LNODE_BACKUP_PIPELINE_H_
+#define SLIMSTORE_LNODE_BACKUP_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "index/dedup_cache.h"
+#include "lnode/stream_window.h"
+#include "index/similar_file_index.h"
+
+namespace slim::lnode {
+
+/// Tunables of the online deduplication workflow (paper §IV).
+struct BackupOptions {
+  chunking::ChunkerType chunker_type = chunking::ChunkerType::kFastCdc;
+  chunking::ChunkerParams chunker_params =
+      chunking::ChunkerParams::FromAverage(4096);
+
+  /// History-aware skip chunking (§IV-B).
+  bool skip_chunking = true;
+  /// History-aware chunk merging / superchunks (§IV-C).
+  bool chunk_merging = false;
+  /// Merge a run of consecutive duplicates once each chunk's
+  /// duplicateTimes reaches this threshold.
+  uint32_t merge_threshold = 5;
+  /// Runs shorter than this are not worth a superchunk.
+  uint32_t min_merge_chunks = 4;
+  /// Upper bound on superchunk size.
+  size_t max_superchunk_bytes = 1 << 20;  // 1 MiB
+
+  /// "mod R == 0" sampling ratio for recipe/similarity indexes.
+  uint32_t sample_ratio = 32;
+  /// Consecutive segment recipes fetched per OSS range read.
+  uint32_t segment_prefetch_batch = 4;
+  /// Segment boundary: whichever of bytes / chunk count trips first.
+  size_t segment_bytes = 1 << 20;  // 1 MiB logical
+  size_t segment_max_chunks = 1024;
+
+  size_t container_capacity = 1 << 22;  // 4 MiB
+  size_t dedup_cache_segments = 64;
+
+  /// Containers whose utilization by this backup is below this threshold
+  /// are reported as sparse (input to SCC, §V-B).
+  double sparse_utilization_threshold = 0.30;
+  /// Only containers older than the current backup's first new container
+  /// can be sparse (fresh containers are still being filled).
+  /// Header bytes chunked for similarity detection when the file name is
+  /// unknown (STEP 1 fallback).
+  size_t similarity_header_bytes = 4 << 20;
+  /// Minimum shared samples to accept a similar file.
+  size_t min_similarity_samples = 1;
+
+  /// HAR-style rewriting (baseline mode, Fu et al. ATC'14): duplicate
+  /// chunks that live in these containers — the sparse containers the
+  /// *previous* backup identified — are stored again instead of
+  /// referenced, trading dedup ratio for restore locality of the next
+  /// version. Null disables rewriting (SlimStore itself uses SCC
+  /// instead).
+  std::shared_ptr<const std::unordered_set<format::ContainerId>>
+      har_rewrite_containers;
+};
+
+/// How the historical base version was found.
+enum class BaseDetection { kNone, kByName, kBySimilarity };
+
+/// CPU time attribution (Fig 2 / Fig 5d).
+struct CpuBreakdown {
+  uint64_t chunking_nanos = 0;
+  uint64_t fingerprint_nanos = 0;
+  uint64_t index_nanos = 0;
+  uint64_t other_nanos = 0;
+
+  uint64_t total_nanos() const {
+    return chunking_nanos + fingerprint_nanos + index_nanos + other_nanos;
+  }
+};
+
+/// Everything a backup job reports.
+struct BackupStats {
+  std::string file_id;
+  uint64_t version = 0;
+  BaseDetection detection = BaseDetection::kNone;
+
+  uint64_t logical_bytes = 0;   // Input size.
+  uint64_t dup_bytes = 0;       // Removed as duplicates.
+  uint64_t new_bytes = 0;       // Stored into containers.
+  uint64_t total_chunks = 0;
+  uint64_t dup_chunks = 0;
+  uint64_t superchunks_formed = 0;
+  uint64_t superchunks_matched = 0;
+  uint64_t skip_successes = 0;
+  uint64_t skip_failures = 0;
+  uint64_t segments_fetched = 0;
+  /// Duplicates stored again by HAR rewriting (baseline mode only).
+  uint64_t rewritten_chunks = 0;
+
+  CpuBreakdown cpu;
+  double elapsed_seconds = 0;
+  /// High-water mark of the streaming window buffer (0 for in-memory
+  /// backups): proves streaming memory stays bounded.
+  uint64_t peak_stream_buffer_bytes = 0;
+
+  std::vector<format::ContainerId> new_containers;
+  std::vector<format::ContainerId> sparse_containers;
+  /// Every container the new recipe references (new + historical); used
+  /// by version collection's mark phase (§VI-B).
+  std::vector<format::ContainerId> referenced_containers;
+
+  double DedupRatio() const {
+    return logical_bytes == 0
+               ? 0.0
+               : static_cast<double>(dup_bytes) / logical_bytes;
+  }
+  double ThroughputMBps() const {
+    return elapsed_seconds <= 0
+               ? 0.0
+               : (logical_bytes / (1024.0 * 1024.0)) / elapsed_seconds;
+  }
+  double MeanChunkBytes() const {
+    return total_chunks == 0
+               ? 0.0
+               : static_cast<double>(logical_bytes) / total_chunks;
+  }
+};
+
+/// Online deduplication on the L-node (paper §IV). Stateless between
+/// jobs: everything needed is fetched from the storage layer during the
+/// job, which is what lets L-nodes scale elastically.
+class BackupPipeline {
+ public:
+  /// All pointers must outlive the pipeline; they are the OSS-resident
+  /// storage layer plus the (shared, in-memory) similar file index.
+  BackupPipeline(format::ContainerStore* containers,
+                 format::RecipeStore* recipes,
+                 index::SimilarFileIndex* similar_files,
+                 BackupOptions options);
+
+  /// Deduplicates one backup file and persists containers + recipe +
+  /// indexes. `version` must be greater than any existing version of
+  /// this file (use AllocateVersion for convenience).
+  Result<BackupStats> Backup(const std::string& file_id,
+                             std::string_view data, uint64_t version);
+
+  /// Streaming variant: consumes `source` with O(segment + lookahead)
+  /// memory instead of requiring the whole input in one buffer.
+  Result<BackupStats> BackupStream(const std::string& file_id,
+                                   ByteSource* source, uint64_t version);
+
+  /// Next version number for the file (latest + 1, or 0).
+  uint64_t AllocateVersion(const std::string& file_id) const;
+
+  const BackupOptions& options() const { return options_; }
+
+ private:
+  struct JobState;
+
+  /// Shared implementation behind Backup / BackupStream.
+  Result<BackupStats> BackupFromWindow(const std::string& file_id,
+                                       StreamWindow* window,
+                                       uint64_t version);
+
+  /// STEP 1: find the historical version or a similar file.
+  std::optional<index::FileVersion> DetectBase(const std::string& file_id,
+                                               JobState* job);
+
+  /// If `fp` is a sampled fingerprint of the base version, fetches the
+  /// matching segment recipe into the dedup cache (STEP 2 prefetch).
+  void PrefetchSegmentFor(const Fingerprint& fp, JobState* job);
+  /// Fetches base segment `ordinal` into the dedup cache (once);
+  /// returns its cache sequence number.
+  std::optional<uint64_t> PrefetchSegmentOrdinal(uint32_t ordinal,
+                                                 JobState* job);
+
+  /// True iff the superchunk record matches the input bytes at `pos`.
+  bool MatchSuperchunk(const format::ChunkRecord& sc, size_t pos,
+                       JobState* job);
+  /// Emits a record to the current segment.
+  void EmitRecord(const format::ChunkRecord& record, JobState* job);
+  /// Emits a duplicate record (with history-aware merging bookkeeping).
+  Status EmitDuplicate(const format::ChunkRecord& base_record,
+                       bool increment_dup_times, size_t stream_pos,
+                       JobState* job);
+  /// Stores a unique chunk's bytes, flushing full containers.
+  Status StoreNewChunk(const Fingerprint& fp, std::string_view bytes,
+                       format::ChunkRecord* record, JobState* job);
+  Status FlushContainer(JobState* job);
+  /// Tries to merge the pending duplicate run into a superchunk.
+  Status MaybeMergePendingRun(JobState* job, bool force);
+
+  format::ContainerStore* containers_;
+  format::RecipeStore* recipes_;
+  index::SimilarFileIndex* similar_files_;
+  BackupOptions options_;
+  std::unique_ptr<chunking::Chunker> chunker_;
+};
+
+}  // namespace slim::lnode
+
+#endif  // SLIMSTORE_LNODE_BACKUP_PIPELINE_H_

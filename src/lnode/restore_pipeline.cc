@@ -1,0 +1,374 @@
+#include "lnode/restore_pipeline.h"
+
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "index/bloom.h"
+
+namespace slim::lnode {
+
+using format::ChunkRecord;
+using format::ContainerId;
+
+/// Per-restore shared state. All mutable members are guarded by mu
+/// (prefetch workers and the restore cursor both touch the caches).
+struct RestoreJob {
+  std::vector<ChunkRecord> seq;
+  index::CountingBloomFilter cbf;
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Cache_m: fingerprint -> chunk bytes, insertion-ordered for eviction.
+  std::unordered_map<Fingerprint, std::string> mem;
+  uint64_t mem_bytes = 0;
+  std::list<Fingerprint> mem_order;
+
+  // Cache_d (local disk spill).
+  std::unordered_map<Fingerprint, std::string> disk;
+  uint64_t disk_bytes = 0;
+  std::list<Fingerprint> disk_order;
+
+  // Multiset of fingerprints inside the look-ahead window.
+  std::unordered_map<Fingerprint, uint32_t> law;
+
+  // Containers already read / currently being read in this job.
+  std::unordered_set<ContainerId> fetched;
+  std::unordered_set<ContainerId> inflight;
+  // Directory of every container read so far: which fingerprints it
+  // holds. Lets the cursor skip a useless re-read when a chunk is known
+  // to have been moved away (reverse dedup / SCC) and go straight to
+  // the global-index redirect.
+  std::unordered_map<ContainerId, std::unordered_set<Fingerprint>>
+      directories;
+
+  RestoreStats stats;
+  Status failure;  // First asynchronous failure, returned at the end.
+
+  explicit RestoreJob(size_t expected_chunks)
+      : cbf(expected_chunks, /*counters_per_item=*/10) {}
+};
+
+// The helpers below assume job->mu is held unless stated otherwise.
+namespace {
+
+enum class ChunkStatus { kInWindow, kLater, kUseless };
+
+ChunkStatus StatusOfLocked(RestoreJob* job, const Fingerprint& fp,
+                           const index::CountingBloomFilter& cbf) {
+  auto it = job->law.find(fp);
+  if (it != job->law.end() && it->second > 0) return ChunkStatus::kInWindow;
+  if (cbf.CountEstimate(fp) > 0) return ChunkStatus::kLater;
+  return ChunkStatus::kUseless;
+}
+
+void DiskInsertLocked(RestoreJob* job, size_t capacity,
+                      const Fingerprint& fp, std::string bytes) {
+  if (capacity == 0) return;
+  if (job->disk.count(fp) > 0) return;
+  job->disk_bytes += bytes.size();
+  job->disk.emplace(fp, std::move(bytes));
+  job->disk_order.push_back(fp);
+  ++job->stats.disk_spills;
+  while (job->disk_bytes > capacity && !job->disk_order.empty()) {
+    Fingerprint victim = job->disk_order.front();
+    job->disk_order.pop_front();
+    auto it = job->disk.find(victim);
+    if (it == job->disk.end()) continue;  // Stale order entry.
+    job->disk_bytes -= it->second.size();
+    job->disk.erase(it);
+  }
+}
+
+// Frees Cache_m down to capacity: drop S_U, spill S_L to disk, and as a
+// last resort spill S_I too (full-vision policy, §V-A).
+void EvictLocked(RestoreJob* job, size_t mem_capacity,
+                 size_t disk_capacity) {
+  while (job->mem_bytes > mem_capacity && !job->mem.empty()) {
+    auto useless_it = job->mem_order.end();
+    auto later_it = job->mem_order.end();
+    for (auto it = job->mem_order.begin(); it != job->mem_order.end();) {
+      if (job->mem.count(*it) == 0) {
+        it = job->mem_order.erase(it);  // Stale entry.
+        continue;
+      }
+      ChunkStatus status = StatusOfLocked(job, *it, job->cbf);
+      if (status == ChunkStatus::kUseless) {
+        useless_it = it;
+        break;
+      }
+      if (status == ChunkStatus::kLater && later_it == job->mem_order.end()) {
+        later_it = it;
+      }
+      ++it;
+    }
+    const bool drop = useless_it != job->mem_order.end();
+    auto victim_it = drop ? useless_it
+                          : (later_it != job->mem_order.end()
+                                 ? later_it
+                                 : job->mem_order.begin());
+    if (victim_it == job->mem_order.end()) break;
+    Fingerprint victim = *victim_it;
+    job->mem_order.erase(victim_it);
+    auto mit = job->mem.find(victim);
+    if (mit == job->mem.end()) continue;
+    std::string bytes = std::move(mit->second);
+    job->mem_bytes -= bytes.size();
+    job->mem.erase(mit);
+    if (!drop) {
+      // S_L or (rarely) S_I victim: keep it on local disk rather than
+      // paying another OSS read later.
+      DiskInsertLocked(job, disk_capacity, victim, std::move(bytes));
+    }
+  }
+}
+
+void InsertChunkLocked(RestoreJob* job, size_t mem_capacity,
+                       size_t disk_capacity, const Fingerprint& fp,
+                       std::string_view bytes) {
+  if (job->mem.count(fp) > 0 || job->disk.count(fp) > 0) return;
+  ChunkStatus status = StatusOfLocked(job, fp, job->cbf);
+  if (status == ChunkStatus::kUseless) return;
+  job->mem_bytes += bytes.size();
+  job->mem.emplace(fp, std::string(bytes));
+  job->mem_order.push_back(fp);
+  EvictLocked(job, mem_capacity, disk_capacity);
+}
+
+}  // namespace
+
+Result<std::string> RestorePipeline::Restore(const std::string& file_id,
+                                             uint64_t version,
+                                             RestoreStats* stats) {
+  std::string output;
+  Status status = RestoreToSink(
+      file_id, version,
+      [&output](std::string_view bytes) {
+        output.append(bytes.data(), bytes.size());
+        return Status::Ok();
+      },
+      stats);
+  if (!status.ok()) return status;
+  return output;
+}
+
+Status RestorePipeline::RestoreToSink(const std::string& file_id,
+                                      uint64_t version, const Sink& sink,
+                                      RestoreStats* stats) {
+  Stopwatch total_watch;
+
+  auto recipe = recipes_->ReadRecipe(file_id, version);
+  if (!recipe.ok()) return recipe.status();
+
+  RestoreJob job(recipe.value().TotalChunks());
+  job.seq = recipe.value().Flatten();
+  job.stats.logical_bytes = recipe.value().LogicalBytes();
+
+  // Full restore information: every future reference counted up front.
+  for (const ChunkRecord& rec : job.seq) job.cbf.Add(rec.fp);
+
+  const size_t mem_capacity = options_.cache_bytes;
+  const size_t disk_capacity = options_.disk_cache_bytes;
+  const size_t law_size = options_.law_chunks;
+
+  // Fetches one container and populates the cache with its useful
+  // chunks. Returns the loaded container so callers can pull the chunk
+  // they were after. Called WITHOUT job.mu held; `cid` must already be
+  // in job.inflight.
+  auto fetch_container =
+      [&](ContainerId cid) -> Result<format::ContainerStore::LoadedContainer> {
+    auto loaded = containers_->ReadContainer(cid);
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (loaded.ok()) {
+      ++job.stats.containers_fetched;
+      job.stats.bytes_fetched += loaded.value().payload.size();
+      auto& directory = job.directories[cid];
+      for (const format::ChunkLocation& loc :
+           loaded.value().directory.chunks) {
+        auto bytes = loaded.value().GetChunk(loc.fp);
+        if (!bytes.has_value()) continue;
+        directory.insert(loc.fp);
+        InsertChunkLocked(&job, mem_capacity, disk_capacity, loc.fp,
+                          *bytes);
+      }
+      job.fetched.insert(cid);
+    }
+    job.inflight.erase(cid);
+    job.cv.notify_all();
+    return loaded;
+  };
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.prefetch_threads > 0) {
+    pool = std::make_unique<ThreadPool>(options_.prefetch_threads);
+  }
+
+  // Schedules a background prefetch of the container owning seq[idx],
+  // if it has not been read yet. job.mu must be held.
+  auto maybe_prefetch_locked = [&](size_t idx) {
+    if (pool == nullptr || idx >= job.seq.size()) return;
+    ContainerId cid = job.seq[idx].container_id;
+    if (job.fetched.count(cid) > 0 || job.inflight.count(cid) > 0) return;
+    job.inflight.insert(cid);
+    pool->Submit([&, cid] {
+      auto result = fetch_container(cid);
+      if (!result.ok()) {
+        std::lock_guard<std::mutex> lock(job.mu);
+        if (job.failure.ok()) job.failure = result.status();
+      }
+    });
+  };
+
+  // Prime the look-ahead window with the first `law_size` records.
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    for (size_t i = 0; i < job.seq.size() && i < law_size; ++i) {
+      ++job.law[job.seq[i].fp];
+      maybe_prefetch_locked(i);
+    }
+  }
+
+  for (size_t i = 0; i < job.seq.size(); ++i) {
+    const ChunkRecord& rec = job.seq[i];
+
+    std::string chunk_bytes;
+    bool have = false;
+    {
+      std::unique_lock<std::mutex> lock(job.mu);
+      for (;;) {
+        auto mit = job.mem.find(rec.fp);
+        if (mit != job.mem.end()) {
+          chunk_bytes = mit->second;
+          ++job.stats.cache_hits;
+          have = true;
+          break;
+        }
+        auto dit = job.disk.find(rec.fp);
+        if (dit != job.disk.end()) {
+          chunk_bytes = dit->second;
+          ++job.stats.disk_hits;
+          have = true;
+          break;
+        }
+        // Not cached. If its container is being prefetched, wait for
+        // that read to finish rather than issuing a duplicate one.
+        if (job.inflight.count(rec.container_id) > 0) {
+          job.cv.wait(lock);
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (!have) {
+      // If this container was already read and its directory provably
+      // lacks the chunk, skip the useless re-read and redirect.
+      bool known_absent = false;
+      {
+        std::lock_guard<std::mutex> lock(job.mu);
+        auto dit = job.directories.find(rec.container_id);
+        if (dit != job.directories.end() &&
+            dit->second.count(rec.fp) == 0) {
+          known_absent = true;
+        }
+      }
+      std::optional<std::string> found;
+      if (!known_absent) {
+        // Synchronous fetch (prefetch disabled, cache too small, or the
+        // chunk moved). Mark in-flight so concurrent prefetchers skip
+        // it.
+        {
+          std::lock_guard<std::mutex> lock(job.mu);
+          job.inflight.insert(rec.container_id);
+        }
+        auto loaded = fetch_container(rec.container_id);
+        if (loaded.ok()) {
+          auto bytes = loaded.value().GetChunk(rec.fp);
+          if (bytes.has_value()) found = std::string(*bytes);
+        } else if (!loaded.status().IsNotFound()) {
+          return loaded.status();
+        }
+      }
+      if (!found.has_value()) {
+        // Redirect: reverse dedup / SCC moved this chunk into a newer
+        // container; the global index knows where (§VI-A).
+        if (options_.global_index == nullptr) {
+          return Status::Corruption(
+              "chunk missing from container and no global index: " +
+              rec.fp.ToHex());
+        }
+        auto redirect = options_.global_index->Get(rec.fp);
+        if (!redirect.ok()) return redirect.status();
+        {
+          std::lock_guard<std::mutex> lock(job.mu);
+          ++job.stats.redirects;
+          job.inflight.insert(redirect.value());
+        }
+        auto redirected = fetch_container(redirect.value());
+        if (!redirected.ok()) return redirected.status();
+        auto bytes = redirected.value().GetChunk(rec.fp);
+        if (!bytes.has_value()) {
+          return Status::Corruption("chunk missing after redirect: " +
+                                    rec.fp.ToHex());
+        }
+        found = std::string(*bytes);
+      }
+      chunk_bytes = std::move(*found);
+    }
+
+    if (chunk_bytes.size() != rec.size) {
+      return Status::Corruption("chunk size mismatch for " + rec.fp.ToHex());
+    }
+    SLIM_RETURN_IF_ERROR(sink(chunk_bytes));
+
+    // Consumption bookkeeping: slide the LAW, decrement the CBF, drop
+    // chunks that became useless, and prefetch the record entering the
+    // window.
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      ++job.stats.chunks_restored;
+      auto lit = job.law.find(rec.fp);
+      if (lit != job.law.end()) {
+        if (--lit->second == 0) job.law.erase(lit);
+      }
+      job.cbf.Remove(rec.fp);
+      if (StatusOfLocked(&job, rec.fp, job.cbf) == ChunkStatus::kUseless) {
+        auto mit = job.mem.find(rec.fp);
+        if (mit != job.mem.end()) {
+          job.mem_bytes -= mit->second.size();
+          job.mem.erase(mit);
+        }
+        auto dit = job.disk.find(rec.fp);
+        if (dit != job.disk.end()) {
+          job.disk_bytes -= dit->second.size();
+          job.disk.erase(dit);
+        }
+      }
+      size_t entering = i + law_size;
+      if (entering < job.seq.size()) {
+        ++job.law[job.seq[entering].fp];
+        maybe_prefetch_locked(entering);
+      }
+      if (!job.failure.ok()) return job.failure;
+    }
+  }
+
+  if (pool != nullptr) pool->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (!job.failure.ok()) return job.failure;
+  }
+
+  job.stats.elapsed_seconds = total_watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = job.stats;
+  return Status::Ok();
+}
+
+}  // namespace slim::lnode

@@ -1,0 +1,68 @@
+#include "lnode/stream_window.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace slim::lnode {
+
+Result<size_t> StreamWindow::Ensure(uint64_t pos, size_t len) {
+  if (source_ == nullptr) {
+    // Preloaded: everything is always available.
+    if (pos >= preloaded_.size()) return size_t{0};
+    return std::min<size_t>(len, preloaded_.size() - pos);
+  }
+  SLIM_CHECK(pos >= base_);
+  uint64_t want_end = pos + len;
+  while (!eof_known_ && base_ + buffer_.size() < want_end) {
+    size_t old_size = buffer_.size();
+    size_t to_read = static_cast<size_t>(want_end - base_) - old_size;
+    // Read in generous blocks to amortize virtual-call overhead.
+    to_read = std::max<size_t>(to_read, 256 << 10);
+    buffer_.resize(old_size + to_read);
+    auto n = source_->Read(buffer_.data() + old_size, to_read);
+    if (!n.ok()) {
+      buffer_.resize(old_size);
+      return n.status();
+    }
+    buffer_.resize(old_size + n.value());
+    if (n.value() == 0) {
+      eof_known_ = true;
+      eof_pos_ = base_ + buffer_.size();
+    }
+  }
+  peak_buffer_ = std::max(peak_buffer_, buffer_.size());
+  uint64_t avail_end = base_ + buffer_.size();
+  if (pos >= avail_end) return size_t{0};
+  return static_cast<size_t>(std::min<uint64_t>(len, avail_end - pos));
+}
+
+std::string_view StreamWindow::View(uint64_t pos, size_t len) const {
+  if (source_ == nullptr) {
+    SLIM_CHECK(pos + len <= preloaded_.size());
+    return preloaded_.substr(pos, len);
+  }
+  SLIM_CHECK(pos >= base_);
+  SLIM_CHECK(pos - base_ + len <= buffer_.size());
+  return std::string_view(buffer_).substr(static_cast<size_t>(pos - base_),
+                                          len);
+}
+
+Result<bool> StreamWindow::AtEof(uint64_t pos) {
+  if (source_ == nullptr) return pos >= preloaded_.size();
+  if (eof_known_ && pos >= eof_pos_) return true;
+  auto avail = Ensure(pos, 1);
+  if (!avail.ok()) return avail.status();
+  return avail.value() == 0;
+}
+
+void StreamWindow::DiscardBefore(uint64_t pos) {
+  if (source_ == nullptr) return;
+  if (pos <= base_) return;
+  size_t drop = static_cast<size_t>(
+      std::min<uint64_t>(pos - base_, buffer_.size()));
+  buffer_.erase(0, drop);
+  base_ += drop;
+}
+
+}  // namespace slim::lnode

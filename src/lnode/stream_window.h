@@ -1,0 +1,89 @@
+#ifndef SLIMSTORE_LNODE_STREAM_WINDOW_H_
+#define SLIMSTORE_LNODE_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace slim::lnode {
+
+/// Pull-based byte source for streaming backups ("the L-node starts to
+/// receive the input file stream", paper §III-B).
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to `n` bytes into `buf`. Returns the number of bytes read;
+  /// 0 means end of stream.
+  virtual Result<size_t> Read(char* buf, size_t n) = 0;
+};
+
+/// Adapts any std::istream.
+class IstreamSource : public ByteSource {
+ public:
+  explicit IstreamSource(std::istream* in) : in_(in) {}
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    in_->read(buf, static_cast<std::streamsize>(n));
+    if (in_->bad()) return Status::IoError("stream read failed");
+    return static_cast<size_t>(in_->gcount());
+  }
+
+ private:
+  std::istream* in_;
+};
+
+/// Sliding window over a ByteSource, addressed by absolute stream
+/// offsets. The backup pipeline only ever needs bytes between the start
+/// of the current input segment and a bounded lookahead (one max-size
+/// chunk or superchunk), so memory stays O(segment + lookahead) no
+/// matter how large the stream is.
+///
+/// Views returned by View() are invalidated by the next Ensure() or
+/// DiscardBefore() call — take them immediately before use.
+class StreamWindow {
+ public:
+  /// Streaming mode: pulls from `source` (not owned).
+  explicit StreamWindow(ByteSource* source) : source_(source) {}
+
+  /// Preloaded mode: the whole input is already in memory; zero-copy.
+  explicit StreamWindow(std::string_view preloaded)
+      : preloaded_(preloaded), eof_pos_(preloaded.size()), eof_known_(true) {}
+
+  /// Makes bytes [pos, pos+len) available if the stream has them.
+  /// Returns the number of bytes actually available at `pos` (< len only
+  /// at end of stream). `pos` must be >= the last DiscardBefore() point.
+  Result<size_t> Ensure(uint64_t pos, size_t len);
+
+  /// View of [pos, pos+len); the range must have been Ensured.
+  std::string_view View(uint64_t pos, size_t len) const;
+
+  /// True when `pos` is at or past the end of the stream. Only reliable
+  /// after an Ensure() probed at/behind `pos`; Ensure(pos, 1) == 0 is
+  /// the definitive test, which this performs on demand.
+  Result<bool> AtEof(uint64_t pos);
+
+  /// Releases buffered bytes before `pos` (no-op in preloaded mode).
+  void DiscardBefore(uint64_t pos);
+
+  /// High-water mark of the internal buffer (0 in preloaded mode):
+  /// proves streaming memory stays bounded.
+  size_t peak_buffer_bytes() const { return peak_buffer_; }
+
+ private:
+  ByteSource* source_ = nullptr;
+  std::string_view preloaded_;
+
+  std::string buffer_;      // Bytes [base_, base_ + buffer_.size()).
+  uint64_t base_ = 0;
+  uint64_t eof_pos_ = 0;
+  bool eof_known_ = false;
+  size_t peak_buffer_ = 0;
+};
+
+}  // namespace slim::lnode
+
+#endif  // SLIMSTORE_LNODE_STREAM_WINDOW_H_

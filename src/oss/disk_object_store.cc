@@ -1,0 +1,161 @@
+#include "oss/disk_object_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <system_error>
+
+namespace slim::oss {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<DiskObjectStore>> DiskObjectStore::Open(
+    const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::IoError("cannot create root " + root + ": " +
+                           ec.message());
+  }
+  return std::unique_ptr<DiskObjectStore>(new DiskObjectStore(root));
+}
+
+std::string DiskObjectStore::EncodeKey(const std::string& key) {
+  // Percent-encode everything outside [A-Za-z0-9._-]. Keys become flat
+  // file names, and lexicographic order of encodings matches key order
+  // for the characters we care about.
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(key.size());
+  for (unsigned char c : key) {
+    if (std::isalnum(c) || c == '.' || c == '_' || c == '-') {
+      out += static_cast<char>(c);
+    } else {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    }
+  }
+  return out;
+}
+
+std::string DiskObjectStore::DecodeKey(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '%' && i + 2 < name.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      int hi = hex(name[i + 1]), lo = hex(name[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += name[i];
+  }
+  return out;
+}
+
+fs::path DiskObjectStore::PathFor(const std::string& key) const {
+  return fs::path(root_) / EncodeKey(key);
+}
+
+Status DiskObjectStore::Put(const std::string& key, std::string value) {
+  std::unique_lock lock(mu_);
+  fs::path target = PathFor(key);
+  fs::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp.string());
+    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    if (!out) return Status::IoError("short write to " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) return Status::IoError("rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+Result<std::string> DiskObjectStore::Get(const std::string& key) {
+  std::shared_lock lock(mu_);
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) return Status::NotFound("object: " + key);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + key);
+  return data;
+}
+
+Result<std::string> DiskObjectStore::GetRange(const std::string& key,
+                                              uint64_t offset,
+                                              uint64_t len) {
+  std::shared_lock lock(mu_);
+  std::error_code ec;
+  auto size = fs::file_size(PathFor(key), ec);
+  if (ec) return Status::NotFound("object: " + key);
+  if (offset > size) {
+    return Status::InvalidArgument("range offset beyond object end: " + key);
+  }
+  uint64_t take = std::min<uint64_t>(len, size - offset);
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) return Status::NotFound("object: " + key);
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string data(take, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(take));
+  if (static_cast<uint64_t>(in.gcount()) != take) {
+    return Status::IoError("short range read: " + key);
+  }
+  return data;
+}
+
+Status DiskObjectStore::Delete(const std::string& key) {
+  std::unique_lock lock(mu_);
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);  // Missing file is fine (idempotent).
+  if (ec) return Status::IoError("delete failed: " + ec.message());
+  return Status::Ok();
+}
+
+Result<bool> DiskObjectStore::Exists(const std::string& key) {
+  std::shared_lock lock(mu_);
+  std::error_code ec;
+  bool exists = fs::exists(PathFor(key), ec);
+  if (ec) return Status::IoError(ec.message());
+  return exists;
+}
+
+Result<uint64_t> DiskObjectStore::Size(const std::string& key) {
+  std::shared_lock lock(mu_);
+  std::error_code ec;
+  auto size = fs::file_size(PathFor(key), ec);
+  if (ec) return Status::NotFound("object: " + key);
+  return static_cast<uint64_t>(size);
+}
+
+Result<std::vector<std::string>> DiskObjectStore::List(
+    const std::string& prefix) {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") continue;
+    std::string key = DecodeKey(name);
+    if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
+  }
+  if (ec) return Status::IoError(ec.message());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace slim::oss

@@ -1,0 +1,53 @@
+#ifndef SLIMSTORE_OSS_DISK_OBJECT_STORE_H_
+#define SLIMSTORE_OSS_DISK_OBJECT_STORE_H_
+
+#include <filesystem>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "oss/object_store.h"
+
+namespace slim::oss {
+
+/// Filesystem-backed ObjectStore: each object is a file under a root
+/// directory, with the key percent-encoded into a flat file name (no
+/// surprise directory trees from arbitrary keys). Suitable as a durable
+/// local backend (the "ossfs" role) and for the CLI tool; swap in a real
+/// cloud SDK binding by implementing ObjectStore against it.
+///
+/// Writes are atomic (temp file + rename), so a crashed writer never
+/// leaves a torn object behind.
+class DiskObjectStore : public ObjectStore {
+ public:
+  /// Creates `root` if needed.
+  static Result<std::unique_ptr<DiskObjectStore>> Open(
+      const std::string& root);
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit DiskObjectStore(std::string root) : root_(std::move(root)) {}
+
+  std::filesystem::path PathFor(const std::string& key) const;
+  static std::string EncodeKey(const std::string& key);
+  static std::string DecodeKey(const std::string& name);
+
+  std::string root_;
+  // Guards cross-file operations (List vs concurrent Put/Delete).
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_DISK_OBJECT_STORE_H_

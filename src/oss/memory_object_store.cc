@@ -1,0 +1,80 @@
+#include "oss/memory_object_store.h"
+
+#include <mutex>
+
+namespace slim::oss {
+
+Status MemoryObjectStore::Put(const std::string& key, std::string value) {
+  std::unique_lock lock(mu_);
+  objects_[key] = std::move(value);
+  return Status::Ok();
+}
+
+Result<std::string> MemoryObjectStore::Get(const std::string& key) {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("object: " + key);
+  return it->second;
+}
+
+Result<std::string> MemoryObjectStore::GetRange(const std::string& key,
+                                                uint64_t offset,
+                                                uint64_t len) {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("object: " + key);
+  const std::string& v = it->second;
+  if (offset > v.size()) {
+    return Status::InvalidArgument("range offset beyond object end: " + key);
+  }
+  return v.substr(offset, len);
+}
+
+Status MemoryObjectStore::Delete(const std::string& key) {
+  std::unique_lock lock(mu_);
+  objects_.erase(key);
+  return Status::Ok();
+}
+
+Result<bool> MemoryObjectStore::Exists(const std::string& key) {
+  std::shared_lock lock(mu_);
+  return objects_.count(key) > 0;
+}
+
+Result<uint64_t> MemoryObjectStore::Size(const std::string& key) {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("object: " + key);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Result<std::vector<std::string>> MemoryObjectStore::List(
+    const std::string& prefix) {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+size_t MemoryObjectStore::ObjectCount() const {
+  std::shared_lock lock(mu_);
+  return objects_.size();
+}
+
+Result<uint64_t> TotalBytesWithPrefix(ObjectStore& store,
+                                      const std::string& prefix) {
+  auto keys = store.List(prefix);
+  if (!keys.ok()) return keys.status();
+  uint64_t total = 0;
+  for (const auto& key : keys.value()) {
+    auto size = store.Size(key);
+    if (!size.ok()) continue;  // Deleted concurrently; skip.
+    total += size.value();
+  }
+  return total;
+}
+
+}  // namespace slim::oss

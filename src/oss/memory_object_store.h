@@ -1,0 +1,40 @@
+#ifndef SLIMSTORE_OSS_MEMORY_OBJECT_STORE_H_
+#define SLIMSTORE_OSS_MEMORY_OBJECT_STORE_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "oss/object_store.h"
+
+namespace slim::oss {
+
+/// In-process ObjectStore backed by a sorted map. This is the substrate
+/// under SimulatedOss in every test and benchmark: it provides correct,
+/// thread-safe object semantics while SimulatedOss adds the cloud cost
+/// model on top.
+class MemoryObjectStore : public ObjectStore {
+ public:
+  MemoryObjectStore() = default;
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  /// Number of stored objects (test/diagnostic helper).
+  size_t ObjectCount() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::string> objects_;
+};
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_MEMORY_OBJECT_STORE_H_

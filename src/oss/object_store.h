@@ -1,0 +1,56 @@
+#ifndef SLIMSTORE_OSS_OBJECT_STORE_H_
+#define SLIMSTORE_OSS_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slim::oss {
+
+/// Abstract cloud object storage (the paper's OSS: Alibaba OSS / Amazon
+/// S3). Objects are immutable blobs addressed by string keys; the only
+/// operations are whole/range reads, whole writes, deletes and prefix
+/// listing — exactly the surface SlimStore's storage layer relies on.
+///
+/// Implementations must be thread-safe: L-nodes issue concurrent reads
+/// (multi-channel parallel read is a core OSS property the paper's
+/// LAW-prefetcher exploits).
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Creates or replaces the object at `key`.
+  virtual Status Put(const std::string& key, std::string value) = 0;
+
+  /// Reads the whole object. NotFound if absent.
+  virtual Result<std::string> Get(const std::string& key) = 0;
+
+  /// Reads `len` bytes starting at `offset`. Reading past the end returns
+  /// the available suffix (like HTTP range requests); offset beyond the
+  /// object is InvalidArgument.
+  virtual Result<std::string> GetRange(const std::string& key,
+                                       uint64_t offset, uint64_t len) = 0;
+
+  /// Removes the object. Deleting a missing key is OK (idempotent), to
+  /// match real object stores.
+  virtual Status Delete(const std::string& key) = 0;
+
+  virtual Result<bool> Exists(const std::string& key) = 0;
+
+  /// Object size in bytes. NotFound if absent.
+  virtual Result<uint64_t> Size(const std::string& key) = 0;
+
+  /// All keys with the given prefix, sorted.
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
+};
+
+/// Sums the sizes of all objects whose key starts with `prefix`. Used by
+/// the space-cost experiments (Fig 9, Fig 10c).
+Result<uint64_t> TotalBytesWithPrefix(ObjectStore& store,
+                                      const std::string& prefix);
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_OBJECT_STORE_H_

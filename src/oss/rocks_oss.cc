@@ -1,0 +1,312 @@
+#include "oss/rocks_oss.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace slim::oss {
+
+namespace {
+
+// Run object layout:
+//   fixed64 entry_count
+//   fixed32 bloom_hashes
+//   fixed64 bloom_word_count, then bloom words
+//   entry_count * { varint key_len, key, fixed32 flags(1=tombstone),
+//                   varint value_len, value }
+constexpr uint32_t kTombstoneFlag = 1;
+
+void BloomAdd(std::vector<uint64_t>* bits, uint32_t hashes,
+              const std::string& key) {
+  if (bits->empty()) return;
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  uint64_t nbits = bits->size() * 64;
+  for (uint32_t i = 0; i < hashes; ++i) {
+    uint64_t bit = (h1 + i * h2) % nbits;
+    (*bits)[bit / 64] |= (uint64_t{1} << (bit % 64));
+  }
+}
+
+bool BloomTest(const std::vector<uint64_t>& bits, uint32_t hashes,
+               const std::string& key) {
+  if (bits.empty()) return true;
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  uint64_t nbits = bits.size() * 64;
+  for (uint32_t i = 0; i < hashes; ++i) {
+    uint64_t bit = (h1 + i * h2) % nbits;
+    if ((bits[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RocksOss::RocksOss(ObjectStore* store, std::string name,
+                   RocksOssOptions options)
+    : store_(store), name_(std::move(name)), options_(options) {}
+
+std::string RocksOss::RunObjectKey(uint64_t id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(id));
+  return name_ + "/run-" + buf;
+}
+
+Status RocksOss::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto keys = store_->List(name_ + "/run-");
+  if (!keys.ok()) return keys.status();
+  runs_.clear();
+  for (const std::string& key : keys.value()) {
+    auto data = store_->Get(key);
+    if (!data.ok()) return data.status();
+    Memtable entries;
+    SLIM_RETURN_IF_ERROR(ParseRun(data.value(), &entries));
+    Run run;
+    run.key = key;
+    // Recover id from the key suffix.
+    run.id = std::stoull(key.substr(key.rfind('-') + 1));
+    next_run_id_ = std::max(next_run_id_, run.id + 1);
+    // Rebuild the bloom filter from entries.
+    if (options_.bloom_bits_per_key > 0 && !entries.empty()) {
+      uint64_t nbits =
+          std::max<uint64_t>(64, entries.size() * options_.bloom_bits_per_key);
+      run.bloom.assign((nbits + 63) / 64, 0);
+      run.bloom_hashes = 6;
+      for (const auto& [k, v] : entries) {
+        BloomAdd(&run.bloom, run.bloom_hashes, k);
+      }
+    }
+    run.entry_count = entries.size();
+    runs_.push_back(std::move(run));
+  }
+  std::sort(runs_.begin(), runs_.end(),
+            [](const Run& a, const Run& b) { return a.id < b.id; });
+  return Status::Ok();
+}
+
+Status RocksOss::Put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = memtable_.insert_or_assign(key, value);
+  (void)it;
+  (void)inserted;
+  memtable_bytes_ += key.size() + value.size() + 16;
+  if (memtable_bytes_ >= options_.memtable_limit_bytes) {
+    return FlushLocked();
+  }
+  return Status::Ok();
+}
+
+Status RocksOss::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  memtable_.insert_or_assign(key, std::nullopt);
+  memtable_bytes_ += key.size() + 16;
+  if (memtable_bytes_ >= options_.memtable_limit_bytes) {
+    return FlushLocked();
+  }
+  return Status::Ok();
+}
+
+Result<std::string> RocksOss::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (!it->second.has_value()) return Status::NotFound("tombstoned: " + key);
+    return *it->second;
+  }
+  // Newest run first.
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    if (!BloomMayContain(*rit, key)) {
+      ++bloom_skips_;
+      continue;
+    }
+    auto entries = LoadRunLocked(*rit);
+    if (!entries.ok()) return entries.status();
+    auto eit = entries.value()->find(key);
+    if (eit != entries.value()->end()) {
+      if (!eit->second.has_value()) {
+        return Status::NotFound("tombstoned: " + key);
+      }
+      return *eit->second;
+    }
+  }
+  return Status::NotFound("key: " + key);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> RocksOss::Scan(
+    const std::string& start, const std::string& end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Merge all sources; newer sources win. Apply oldest first and
+  // overwrite, then strip tombstones.
+  std::map<std::string, std::optional<std::string>> merged;
+  auto in_range = [&](const std::string& k) {
+    if (k < start) return false;
+    if (!end.empty() && k >= end) return false;
+    return true;
+  };
+  for (const Run& run : runs_) {
+    auto entries = LoadRunLocked(run);
+    if (!entries.ok()) return entries.status();
+    for (const auto& [k, v] : *entries.value()) {
+      if (in_range(k)) merged[k] = v;
+    }
+  }
+  for (const auto& [k, v] : memtable_) {
+    if (in_range(k)) merged[k] = v;
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(merged.size());
+  for (auto& [k, v] : merged) {
+    if (v.has_value()) out.emplace_back(k, std::move(*v));
+  }
+  return out;
+}
+
+Status RocksOss::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status RocksOss::FlushLocked() {
+  if (memtable_.empty()) return Status::Ok();
+  Run run;
+  run.id = next_run_id_++;
+  run.key = RunObjectKey(run.id);
+  std::string payload = SerializeRun(memtable_, options_, &run);
+  SLIM_RETURN_IF_ERROR(store_->Put(run.key, std::move(payload)));
+  // Cache the freshly flushed run: it is the most likely to be read.
+  auto cached = std::make_shared<Memtable>(std::move(memtable_));
+  run_cache_[run.id] = cached;
+  cache_lru_.push_front(run.id);
+  while (cache_lru_.size() > options_.run_cache_capacity) {
+    run_cache_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  runs_.push_back(std::move(run));
+  if (options_.max_runs > 0 && runs_.size() >= options_.max_runs) {
+    return CompactLocked();
+  }
+  return Status::Ok();
+}
+
+Status RocksOss::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status RocksOss::CompactLocked() {
+  if (runs_.size() <= 1) return Status::Ok();
+  Memtable merged;
+  for (const Run& run : runs_) {
+    auto entries = LoadRunLocked(run);
+    if (!entries.ok()) return entries.status();
+    for (const auto& [k, v] : *entries.value()) merged[k] = v;
+  }
+  // Drop tombstones: after a full merge nothing older can resurrect.
+  for (auto it = merged.begin(); it != merged.end();) {
+    if (!it->second.has_value()) {
+      it = merged.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<Run> old_runs = std::move(runs_);
+  runs_.clear();
+  if (!merged.empty()) {
+    Run run;
+    run.id = next_run_id_++;
+    run.key = RunObjectKey(run.id);
+    std::string payload = SerializeRun(merged, options_, &run);
+    SLIM_RETURN_IF_ERROR(store_->Put(run.key, std::move(payload)));
+    run_cache_[run.id] = std::make_shared<Memtable>(std::move(merged));
+    cache_lru_.push_front(run.id);
+    runs_.push_back(std::move(run));
+  }
+  for (const Run& old : old_runs) {
+    SLIM_RETURN_IF_ERROR(store_->Delete(old.key));
+    run_cache_.erase(old.id);
+    cache_lru_.remove(old.id);
+  }
+  while (cache_lru_.size() > options_.run_cache_capacity) {
+    run_cache_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+  return Status::Ok();
+}
+
+size_t RocksOss::run_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+std::string RocksOss::SerializeRun(const Memtable& entries,
+                                   const RocksOssOptions& options, Run* run) {
+  if (options.bloom_bits_per_key > 0 && !entries.empty()) {
+    uint64_t nbits =
+        std::max<uint64_t>(64, entries.size() * options.bloom_bits_per_key);
+    run->bloom.assign((nbits + 63) / 64, 0);
+    run->bloom_hashes = 6;
+  }
+  std::string out;
+  PutFixed64(&out, entries.size());
+  for (const auto& [key, value] : entries) {
+    PutLengthPrefixed(&out, key);
+    PutFixed32(&out, value.has_value() ? 0 : kTombstoneFlag);
+    PutLengthPrefixed(&out, value.has_value() ? *value : "");
+    if (!run->bloom.empty()) BloomAdd(&run->bloom, run->bloom_hashes, key);
+  }
+  run->entry_count = entries.size();
+  return out;
+}
+
+Status RocksOss::ParseRun(const std::string& data, Memtable* entries) {
+  Decoder dec(data);
+  uint64_t count = 0;
+  SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view key, value;
+    uint32_t flags = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadLengthPrefixed(&key));
+    SLIM_RETURN_IF_ERROR(dec.ReadFixed32(&flags));
+    SLIM_RETURN_IF_ERROR(dec.ReadLengthPrefixed(&value));
+    if (flags & kTombstoneFlag) {
+      entries->emplace(std::string(key), std::nullopt);
+    } else {
+      entries->emplace(std::string(key), std::string(value));
+    }
+  }
+  return Status::Ok();
+}
+
+bool RocksOss::BloomMayContain(const Run& run, const std::string& key) {
+  return BloomTest(run.bloom, run.bloom_hashes, key);
+}
+
+Result<std::shared_ptr<RocksOss::Memtable>> RocksOss::LoadRunLocked(
+    const Run& run) {
+  auto it = run_cache_.find(run.id);
+  if (it != run_cache_.end()) {
+    cache_lru_.remove(run.id);
+    cache_lru_.push_front(run.id);
+    return it->second;
+  }
+  auto data = store_->Get(run.key);
+  if (!data.ok()) return data.status();
+  auto entries = std::make_shared<Memtable>();
+  SLIM_RETURN_IF_ERROR(ParseRun(data.value(), entries.get()));
+  run_cache_[run.id] = entries;
+  cache_lru_.push_front(run.id);
+  while (cache_lru_.size() > options_.run_cache_capacity) {
+    run_cache_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
+  return entries;
+}
+
+}  // namespace slim::oss

@@ -1,0 +1,121 @@
+#ifndef SLIMSTORE_OSS_ROCKS_OSS_H_
+#define SLIMSTORE_OSS_ROCKS_OSS_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oss/object_store.h"
+
+namespace slim::oss {
+
+/// Options for RocksOss.
+struct RocksOssOptions {
+  /// Memtable is flushed to a sorted run on OSS once it holds this many
+  /// bytes of keys+values.
+  uint64_t memtable_limit_bytes = 1 << 20;  // 1 MiB
+  /// Bloom filter budget per key in each run (0 disables blooms).
+  uint32_t bloom_bits_per_key = 10;
+  /// A full compaction is triggered automatically once this many runs
+  /// exist. 0 disables auto-compaction.
+  uint32_t max_runs = 8;
+  /// How many run payloads to keep cached in L-node memory.
+  uint32_t run_cache_capacity = 4;
+};
+
+/// "Rocks-OSS" (paper §III-B): a RocksDB-style LSM key-value store whose
+/// persistent runs live on OSS. SlimStore's global fingerprint index is
+/// stored here. The design mirrors an LSM at miniature scale:
+///
+///   * writes & deletes go to an in-memory memtable (tombstones included);
+///   * the memtable flushes to an immutable sorted-run object on OSS;
+///   * each run carries a bloom filter, kept in memory, so point lookups
+///     skip runs that cannot contain the key;
+///   * reads consult memtable, then runs newest -> oldest;
+///   * compaction merges all runs into one, dropping tombstones.
+///
+/// Thread-safe (single mutex; the global index is G-node-only and never
+/// on the online critical path).
+class RocksOss {
+ public:
+  /// `store` must outlive this object. `name` prefixes all OSS keys
+  /// ("<name>/run-<n>").
+  RocksOss(ObjectStore* store, std::string name, RocksOssOptions options);
+
+  /// Loads existing runs from OSS (crash recovery / reopen). Memtable
+  /// contents that were never flushed are not recoverable, mirroring a
+  /// WAL-less cache; SlimStore flushes after each G-node cycle.
+  Status Open();
+
+  Status Put(const std::string& key, const std::string& value);
+  Status Delete(const std::string& key);
+
+  /// Point lookup. NotFound if the key is absent or tombstoned.
+  Result<std::string> Get(const std::string& key);
+
+  /// All live (non-tombstoned) entries in [start, end). Pass "" as end
+  /// for "to the last key".
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      const std::string& start, const std::string& end);
+
+  /// Forces the memtable to a run on OSS.
+  Status Flush();
+
+  /// Merges all runs into a single run, dropping tombstones and
+  /// shadowed versions.
+  Status Compact();
+
+  /// Number of persistent runs currently on OSS.
+  size_t run_count() const;
+  /// Bloom-filter negatives that skipped an OSS read (diagnostic).
+  uint64_t bloom_skips() const { return bloom_skips_; }
+
+ private:
+  struct Run {
+    uint64_t id = 0;
+    std::string key;                // OSS object key.
+    std::vector<uint64_t> bloom;    // Bit array.
+    uint32_t bloom_hashes = 0;
+    uint64_t entry_count = 0;
+  };
+
+  // Entry value: nullopt = tombstone.
+  using Memtable = std::map<std::string, std::optional<std::string>>;
+
+  std::string RunObjectKey(uint64_t id) const;
+  static std::string SerializeRun(const Memtable& entries,
+                                  const RocksOssOptions& options, Run* run);
+  static Status ParseRun(const std::string& data, Memtable* entries);
+  static bool BloomMayContain(const Run& run, const std::string& key);
+
+  Status FlushLocked();
+  Status CompactLocked();
+  Result<std::shared_ptr<Memtable>> LoadRunLocked(const Run& run);
+
+  ObjectStore* store_;
+  const std::string name_;
+  const RocksOssOptions options_;
+
+  mutable std::mutex mu_;
+  Memtable memtable_;
+  uint64_t memtable_bytes_ = 0;
+  std::vector<Run> runs_;  // Oldest first.
+  uint64_t next_run_id_ = 0;
+
+  // LRU cache of parsed run payloads keyed by run id.
+  std::list<uint64_t> cache_lru_;
+  std::unordered_map<uint64_t, std::shared_ptr<Memtable>> run_cache_;
+
+  uint64_t bloom_skips_ = 0;
+};
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_ROCKS_OSS_H_

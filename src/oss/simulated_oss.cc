@@ -1,0 +1,122 @@
+#include "oss/simulated_oss.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace slim::oss {
+
+Status SimulatedOss::MaybeInjectFailure(const char* op,
+                                        const std::string& key) {
+  if (injector_) return injector_(op, key);
+  return Status::Ok();
+}
+
+void SimulatedOss::Charge(uint64_t cost_nanos) {
+  sim_cost_nanos_.fetch_add(cost_nanos, std::memory_order_relaxed);
+  if (model_.sleep_for_cost && cost_nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(cost_nanos));
+  }
+}
+
+Status SimulatedOss::Put(const std::string& key, std::string value) {
+  SLIM_RETURN_IF_ERROR(MaybeInjectFailure("put", key));
+  put_requests_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(value.size(), std::memory_order_relaxed);
+  Charge(model_.WriteCostNanos(value.size()));
+  return inner_->Put(key, std::move(value));
+}
+
+Result<std::string> SimulatedOss::Get(const std::string& key) {
+  {
+    Status s = MaybeInjectFailure("get", key);
+    if (!s.ok()) return s;
+  }
+  get_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto result = inner_->Get(key);
+  if (result.ok()) {
+    bytes_read_.fetch_add(result.value().size(), std::memory_order_relaxed);
+    Charge(model_.ReadCostNanos(result.value().size()));
+  } else {
+    Charge(model_.request_latency_nanos);
+  }
+  return result;
+}
+
+Result<std::string> SimulatedOss::GetRange(const std::string& key,
+                                           uint64_t offset, uint64_t len) {
+  {
+    Status s = MaybeInjectFailure("get", key);
+    if (!s.ok()) return s;
+  }
+  get_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto result = inner_->GetRange(key, offset, len);
+  if (result.ok()) {
+    bytes_read_.fetch_add(result.value().size(), std::memory_order_relaxed);
+    Charge(model_.ReadCostNanos(result.value().size()));
+  } else {
+    Charge(model_.request_latency_nanos);
+  }
+  return result;
+}
+
+Status SimulatedOss::Delete(const std::string& key) {
+  SLIM_RETURN_IF_ERROR(MaybeInjectFailure("delete", key));
+  delete_requests_.fetch_add(1, std::memory_order_relaxed);
+  Charge(model_.request_latency_nanos);
+  return inner_->Delete(key);
+}
+
+Result<bool> SimulatedOss::Exists(const std::string& key) {
+  {
+    Status s = MaybeInjectFailure("exists", key);
+    if (!s.ok()) return s;
+  }
+  Charge(model_.request_latency_nanos);
+  return inner_->Exists(key);
+}
+
+Result<uint64_t> SimulatedOss::Size(const std::string& key) {
+  {
+    Status s = MaybeInjectFailure("size", key);
+    if (!s.ok()) return s;
+  }
+  Charge(model_.request_latency_nanos);
+  return inner_->Size(key);
+}
+
+Result<std::vector<std::string>> SimulatedOss::List(
+    const std::string& prefix) {
+  {
+    Status s = MaybeInjectFailure("list", prefix);
+    if (!s.ok()) return s;
+  }
+  list_requests_.fetch_add(1, std::memory_order_relaxed);
+  Charge(model_.request_latency_nanos);
+  return inner_->List(prefix);
+}
+
+OssMetricsSnapshot SimulatedOss::metrics() const {
+  OssMetricsSnapshot snap;
+  snap.get_requests = get_requests_.load(std::memory_order_relaxed);
+  snap.put_requests = put_requests_.load(std::memory_order_relaxed);
+  snap.delete_requests = delete_requests_.load(std::memory_order_relaxed);
+  snap.list_requests = list_requests_.load(std::memory_order_relaxed);
+  snap.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  snap.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  snap.sim_cost_nanos = sim_cost_nanos_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void SimulatedOss::ResetMetrics() {
+  get_requests_ = 0;
+  put_requests_ = 0;
+  delete_requests_ = 0;
+  list_requests_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+  sim_cost_nanos_ = 0;
+}
+
+}  // namespace slim::oss

@@ -1,0 +1,126 @@
+#ifndef SLIMSTORE_OSS_SIMULATED_OSS_H_
+#define SLIMSTORE_OSS_SIMULATED_OSS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oss/object_store.h"
+
+namespace slim::oss {
+
+/// Cost model for remote object storage. Defaults approximate the
+/// relationship the paper relies on: high per-request latency, modest
+/// single-channel bandwidth, and linear scaling across parallel channels
+/// (each calling thread is its own channel).
+struct OssCostModel {
+  /// Fixed cost charged per request (HTTP round trip).
+  uint64_t request_latency_nanos = 200 * 1000;  // 200 us
+  /// Transfer cost per byte read (1e9/bw_bytes_per_sec). Default
+  /// ~200 MB/s single channel.
+  double read_nanos_per_byte = 5.0;
+  /// Transfer cost per byte written. Default ~200 MB/s.
+  double write_nanos_per_byte = 5.0;
+  /// If true, each request really sleeps for its cost, so multi-threaded
+  /// prefetching measurably hides latency (Table II). If false, costs are
+  /// only accounted, which is enough for counting experiments.
+  bool sleep_for_cost = true;
+
+  uint64_t ReadCostNanos(uint64_t bytes) const {
+    return request_latency_nanos +
+           static_cast<uint64_t>(read_nanos_per_byte * bytes);
+  }
+  uint64_t WriteCostNanos(uint64_t bytes) const {
+    return request_latency_nanos +
+           static_cast<uint64_t>(write_nanos_per_byte * bytes);
+  }
+};
+
+/// Snapshot of accumulated I/O accounting.
+struct OssMetricsSnapshot {
+  uint64_t get_requests = 0;
+  uint64_t put_requests = 0;
+  uint64_t delete_requests = 0;
+  uint64_t list_requests = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  /// Sum of per-request simulated costs. This is the single-channel
+  /// (serialized) I/O time; dividing data volume by it gives the
+  /// simulated single-channel throughput.
+  uint64_t sim_cost_nanos = 0;
+
+  OssMetricsSnapshot operator-(const OssMetricsSnapshot& rhs) const {
+    OssMetricsSnapshot d;
+    d.get_requests = get_requests - rhs.get_requests;
+    d.put_requests = put_requests - rhs.put_requests;
+    d.delete_requests = delete_requests - rhs.delete_requests;
+    d.list_requests = list_requests - rhs.list_requests;
+    d.bytes_read = bytes_read - rhs.bytes_read;
+    d.bytes_written = bytes_written - rhs.bytes_written;
+    d.sim_cost_nanos = sim_cost_nanos - rhs.sim_cost_nanos;
+    return d;
+  }
+};
+
+/// Hook for failure injection in tests: return a non-OK status to make
+/// the operation fail without touching the inner store. `op` is one of
+/// "get", "put", "delete", "list", "exists", "size".
+using FailureInjector =
+    std::function<Status(const std::string& op, const std::string& key)>;
+
+/// Decorator that turns any ObjectStore into a "remote" one by charging
+/// (and optionally sleeping for) per-request latency and per-byte
+/// transfer costs, while recording full I/O metrics. All SlimStore
+/// components talk to OSS through this class, so every experiment's
+/// container-read counts and bandwidth figures are exact measurements.
+class SimulatedOss : public ObjectStore {
+ public:
+  /// Does not take ownership of `inner`.
+  SimulatedOss(ObjectStore* inner, OssCostModel model)
+      : inner_(inner), model_(model) {}
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  OssMetricsSnapshot metrics() const;
+  void ResetMetrics();
+
+  const OssCostModel& cost_model() const { return model_; }
+  void set_cost_model(const OssCostModel& model) { model_ = model; }
+
+  /// Installs (or clears, with nullptr) a failure injector.
+  void set_failure_injector(FailureInjector injector) {
+    injector_ = std::move(injector);
+  }
+
+  ObjectStore* inner() { return inner_; }
+
+ private:
+  Status MaybeInjectFailure(const char* op, const std::string& key);
+  void Charge(uint64_t cost_nanos);
+
+  ObjectStore* inner_;
+  OssCostModel model_;
+  FailureInjector injector_;
+
+  std::atomic<uint64_t> get_requests_{0};
+  std::atomic<uint64_t> put_requests_{0};
+  std::atomic<uint64_t> delete_requests_{0};
+  std::atomic<uint64_t> list_requests_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> sim_cost_nanos_{0};
+};
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_SIMULATED_OSS_H_

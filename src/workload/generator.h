@@ -1,0 +1,137 @@
+#ifndef SLIMSTORE_WORKLOAD_GENERATOR_H_
+#define SLIMSTORE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace slim::workload {
+
+/// Options for the multi-version file generator.
+struct GeneratorOptions {
+  /// Size of version 0.
+  size_t base_size = 8 << 20;
+  /// Target fraction of bytes that survive unchanged from version n to
+  /// n+1 (the paper's "duplication ratio between versions").
+  double duplication_ratio = 0.84;
+  /// Fraction of blocks whose content duplicates another block of the
+  /// same file (the paper's "self-reference": 20% for S-DB, ~0.1% for
+  /// R-Data).
+  double self_reference = 0.20;
+  /// Granularity of mutations and self-referencing copies.
+  size_t block_size = 4096;
+  /// Of the mutated byte budget, how much is applied as insertions /
+  /// deletions (the rest is in-place modification). Insertions and
+  /// deletions shift content, exercising CDC boundary resynchronization.
+  double insert_fraction = 0.10;
+  double delete_fraction = 0.10;
+  uint64_t seed = 1;
+};
+
+/// Generates one file's consecutive backup versions by applying
+/// insert/update/delete mutations, the way the paper synthesized its
+/// S-DB dataset ("each table is simulated by the insert, update, and
+/// delete operations"). Fully deterministic given the seed.
+class VersionedFileGenerator {
+ public:
+  explicit VersionedFileGenerator(GeneratorOptions options);
+
+  /// Content of the current version.
+  const std::string& data() const { return data_; }
+  uint64_t version() const { return version_; }
+
+  /// Advances to the next version by mutating ~(1 - duplication_ratio)
+  /// of the bytes.
+  void Mutate();
+
+  /// Mutates with an explicit per-step duplication ratio (overrides the
+  /// configured one; used by sweeps over file characteristics).
+  void MutateWithRatio(double duplication_ratio);
+
+ private:
+  /// Fresh content of `n` bytes; honors self_reference by sometimes
+  /// copying an existing block of the file.
+  std::string NewContent(size_t n);
+
+  GeneratorOptions options_;
+  Rng rng_;
+  std::string data_;
+  uint64_t version_ = 0;
+};
+
+/// One file of a dataset at one version.
+struct DatasetFile {
+  std::string file_id;
+  const std::string* data;  // Owned by the dataset.
+};
+
+/// A synthetic stand-in for the paper's S-DB dataset (Table I): a set of
+/// database files backed up for `num_versions` versions, with the
+/// per-file duplication ratio spread uniformly over
+/// [min_duplication, max_duplication] (paper: 0.65–0.95, average 0.84)
+/// and 20% self-reference. Scaled down in bytes, identical in structure.
+struct SdbOptions {
+  size_t num_files = 4;
+  size_t file_size = 4 << 20;
+  size_t num_versions = 25;
+  double min_duplication = 0.65;
+  double max_duplication = 0.95;
+  double self_reference = 0.20;
+  uint64_t seed = 42;
+};
+
+/// A synthetic stand-in for the paper's R-Data dataset (Table I): many
+/// smaller files, high duplication (0.92), negligible self-reference.
+struct RdataOptions {
+  size_t num_files = 24;
+  size_t file_size = 512 << 10;
+  size_t num_versions = 13;
+  double duplication = 0.92;
+  double self_reference = 0.001;
+  uint64_t seed = 7;
+};
+
+/// Materializes a multi-file multi-version dataset one version at a
+/// time. Memory footprint is one version of every file.
+class Dataset {
+ public:
+  /// file duplication ratio of file i spread over [min_dup, max_dup].
+  static Dataset MakeSdb(const SdbOptions& options);
+  static Dataset MakeRdata(const RdataOptions& options);
+
+  size_t file_count() const { return generators_.size(); }
+  size_t num_versions() const { return num_versions_; }
+  uint64_t current_version() const { return current_version_; }
+
+  /// Files at the current version.
+  std::vector<DatasetFile> files() const;
+  const std::string& file_data(size_t i) const;
+  const std::string& file_id(size_t i) const { return file_ids_[i]; }
+  double file_duplication(size_t i) const { return duplications_[i]; }
+
+  /// Advances every file to the next version. Returns false once
+  /// num_versions have been produced.
+  bool NextVersion();
+
+ private:
+  Dataset() = default;
+
+  std::vector<VersionedFileGenerator> generators_;
+  std::vector<std::string> file_ids_;
+  std::vector<double> duplications_;
+  size_t num_versions_ = 0;
+  uint64_t current_version_ = 0;
+};
+
+/// Measured characteristics of consecutive versions (for Table I).
+struct PairStats {
+  double byte_duplication = 0;  // Fraction of bytes shared (block level).
+};
+PairStats MeasureDuplication(const std::string& prev, const std::string& cur,
+                             size_t block_size = 4096);
+
+}  // namespace slim::workload
+
+#endif  // SLIMSTORE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,568 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/slimstore.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+using core::SlimStore;
+using core::SlimStoreOptions;
+using lnode::BackupOptions;
+using lnode::RestoreOptions;
+using lnode::RestoreStats;
+using workload::GeneratorOptions;
+using workload::VersionedFileGenerator;
+
+/// Small-scale options so tests run in milliseconds.
+SlimStoreOptions TestOptions() {
+  SlimStoreOptions options;
+  options.backup.chunker_type = chunking::ChunkerType::kFastCdc;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 32 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.segment_max_chunks = 64;
+  options.backup.sample_ratio = 4;
+  options.restore.cache_bytes = 1 << 20;
+  options.restore.disk_cache_bytes = 4 << 20;
+  options.restore.law_chunks = 128;
+  options.restore.prefetch_threads = 0;
+  return options;
+}
+
+GeneratorOptions TestGenerator(uint64_t seed = 1, size_t size = 256 << 10) {
+  GeneratorOptions gen;
+  gen.base_size = size;
+  gen.duplication_ratio = 0.85;
+  gen.self_reference = 0.2;
+  gen.block_size = 1024;
+  gen.seed = seed;
+  return gen;
+}
+
+class BackupRestoreTest : public ::testing::Test {
+ protected:
+  BackupRestoreTest() : store_(&oss_, TestOptions()) {}
+
+  std::string MustRestore(const std::string& file, uint64_t version,
+                          RestoreStats* stats = nullptr) {
+    auto result = store_.Restore(file, version, stats);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? result.value() : std::string();
+  }
+
+  oss::MemoryObjectStore oss_;
+  SlimStore store_;
+};
+
+TEST_F(BackupRestoreTest, SingleVersionRoundTrip) {
+  VersionedFileGenerator gen(TestGenerator());
+  auto stats = store_.Backup("f.db", gen.data());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.value().version, 0u);
+  EXPECT_EQ(stats.value().logical_bytes, gen.data().size());
+  EXPECT_GT(stats.value().total_chunks, 10u);
+  EXPECT_EQ(MustRestore("f.db", 0), gen.data());
+}
+
+TEST_F(BackupRestoreTest, EmptyFile) {
+  auto stats = store_.Backup("empty", "");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(MustRestore("empty", 0), "");
+}
+
+TEST_F(BackupRestoreTest, TinyFile) {
+  auto stats = store_.Backup("tiny", "hello world");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().total_chunks, 1u);
+  EXPECT_EQ(MustRestore("tiny", 0), "hello world");
+}
+
+TEST_F(BackupRestoreTest, MultiVersionRoundTrip) {
+  VersionedFileGenerator gen(TestGenerator());
+  std::vector<std::string> versions;
+  for (int v = 0; v < 5; ++v) {
+    versions.push_back(gen.data());
+    auto stats = store_.Backup("f.db", gen.data());
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats.value().version, static_cast<uint64_t>(v));
+    gen.Mutate();
+  }
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(MustRestore("f.db", v), versions[v]) << "version " << v;
+  }
+}
+
+TEST_F(BackupRestoreTest, SecondVersionDeduplicates) {
+  VersionedFileGenerator gen(TestGenerator());
+  ASSERT_TRUE(store_.Backup("f.db", gen.data()).ok());
+  gen.Mutate();
+  auto stats = store_.Backup("f.db", gen.data());
+  ASSERT_TRUE(stats.ok());
+  // ~85% duplication: the online path must find most of it.
+  EXPECT_GT(stats.value().DedupRatio(), 0.5);
+  EXPECT_EQ(stats.value().detection, lnode::BaseDetection::kByName);
+}
+
+TEST_F(BackupRestoreTest, IdenticalVersionDeduplicatesAlmostEverything) {
+  VersionedFileGenerator gen(TestGenerator());
+  ASSERT_TRUE(store_.Backup("f.db", gen.data()).ok());
+  auto stats = store_.Backup("f.db", gen.data());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().DedupRatio(), 0.99);
+  EXPECT_EQ(MustRestore("f.db", 1), gen.data());
+}
+
+TEST_F(BackupRestoreTest, RenamedFileDetectedBySimilarity) {
+  VersionedFileGenerator gen(TestGenerator());
+  ASSERT_TRUE(store_.Backup("old-name.db", gen.data()).ok());
+  gen.Mutate();
+  auto stats = store_.Backup("new-name.db", gen.data());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().detection, lnode::BaseDetection::kBySimilarity);
+  EXPECT_GT(stats.value().DedupRatio(), 0.5);
+  EXPECT_EQ(MustRestore("new-name.db", 0), gen.data());
+}
+
+TEST_F(BackupRestoreTest, UnrelatedFileHasNoDuplicates) {
+  VersionedFileGenerator a(TestGenerator(1));
+  VersionedFileGenerator b(TestGenerator(999));
+  ASSERT_TRUE(store_.Backup("a", a.data()).ok());
+  auto stats = store_.Backup("b", b.data());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats.value().DedupRatio(), 0.35);  // Only self-references.
+  EXPECT_EQ(MustRestore("b", 0), b.data());
+}
+
+TEST_F(BackupRestoreTest, RestoreStatsArePopulated) {
+  VersionedFileGenerator gen(TestGenerator());
+  ASSERT_TRUE(store_.Backup("f", gen.data()).ok());
+  RestoreStats stats;
+  MustRestore("f", 0, &stats);
+  EXPECT_EQ(stats.logical_bytes, gen.data().size());
+  EXPECT_GT(stats.chunks_restored, 0u);
+  EXPECT_GT(stats.containers_fetched, 0u);
+  EXPECT_GT(stats.ThroughputMBps(), 0.0);
+  EXPECT_GT(stats.ContainersPer100MB(), 0.0);
+}
+
+TEST_F(BackupRestoreTest, RestoreUnknownVersionFails) {
+  EXPECT_FALSE(store_.Restore("ghost", 0).ok());
+}
+
+// --- Skip chunking -----------------------------------------------------
+
+class SkipChunkingTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SkipChunkingTest, SameBytesWithAndWithoutSkip) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions options = TestOptions();
+  options.backup.skip_chunking = GetParam();
+  options.backup.chunker_type = chunking::ChunkerType::kRabin;
+  SlimStore store(&oss, options);
+
+  VersionedFileGenerator gen(TestGenerator(3));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 4; ++v) {
+    versions.push_back(gen.data());
+    auto stats = store.Backup("f", gen.data());
+    ASSERT_TRUE(stats.ok());
+    if (GetParam() && v > 0) {
+      EXPECT_GT(stats.value().skip_successes, 0u) << "version " << v;
+    }
+    gen.Mutate();
+  }
+  for (int v = 0; v < 4; ++v) {
+    auto restored = store.Restore("f", v);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OnOff, SkipChunkingTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "SkipOn" : "SkipOff";
+                         });
+
+TEST(SkipChunkingEffectTest, SkipDoesNotHurtDedupRatio) {
+  auto run = [](bool skip) {
+    oss::MemoryObjectStore oss;
+    SlimStoreOptions options = TestOptions();
+    options.backup.skip_chunking = skip;
+    SlimStore store(&oss, options);
+    VersionedFileGenerator gen(TestGenerator(5));
+    double last_ratio = 0;
+    for (int v = 0; v < 4; ++v) {
+      auto stats = store.Backup("f", gen.data());
+      EXPECT_TRUE(stats.ok());
+      last_ratio = stats.value().DedupRatio();
+      gen.Mutate();
+    }
+    return last_ratio;
+  };
+  double with = run(true);
+  double without = run(false);
+  EXPECT_NEAR(with, without, 0.02);
+}
+
+// --- Chunk merging (superchunks) ---------------------------------------
+
+TEST(ChunkMergingTest, SuperchunksFormAfterThresholdAndRestoreIntact) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions options = TestOptions();
+  options.backup.chunk_merging = true;
+  options.backup.merge_threshold = 3;
+  options.backup.min_merge_chunks = 2;
+  SlimStore store(&oss, options);
+
+  VersionedFileGenerator gen(TestGenerator(7));
+  std::vector<std::string> versions;
+  uint64_t total_superchunks = 0;
+  uint64_t matched_superchunks = 0;
+  for (int v = 0; v < 8; ++v) {
+    versions.push_back(gen.data());
+    auto stats = store.Backup("f", gen.data());
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    total_superchunks += stats.value().superchunks_formed;
+    matched_superchunks += stats.value().superchunks_matched;
+    gen.Mutate();
+  }
+  EXPECT_GT(total_superchunks, 0u);
+  EXPECT_GT(matched_superchunks, 0u);
+  for (int v = 0; v < 8; ++v) {
+    auto restored = store.Restore("f", v);
+    ASSERT_TRUE(restored.ok()) << "version " << v << ": "
+                               << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]) << "version " << v;
+  }
+}
+
+TEST(ChunkMergingTest, MeanChunkSizeGrows) {
+  auto run = [](bool merging) {
+    oss::MemoryObjectStore oss;
+    SlimStoreOptions options = TestOptions();
+    options.backup.chunk_merging = merging;
+    options.backup.merge_threshold = 2;
+    options.backup.min_merge_chunks = 2;
+    SlimStore store(&oss, options);
+    // High-duplication file: the case merging targets (paper Fig 6).
+    GeneratorOptions gopts = TestGenerator(11);
+    gopts.duplication_ratio = 0.95;
+    VersionedFileGenerator gen(gopts);
+    double mean = 0;
+    for (int v = 0; v < 6; ++v) {
+      auto stats = store.Backup("f", gen.data());
+      EXPECT_TRUE(stats.ok());
+      mean = stats.value().MeanChunkBytes();
+      gen.Mutate();
+    }
+    return mean;
+  };
+  EXPECT_GT(run(true), run(false) * 1.3);
+}
+
+// --- G-node ------------------------------------------------------------
+
+TEST(GNodeTest, CycleKeepsAllVersionsRestorable) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions options = TestOptions();
+  SlimStore store(&oss, options);
+
+  VersionedFileGenerator gen(TestGenerator(13));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 6; ++v) {
+    versions.push_back(gen.data());
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    auto cycle = store.RunGNodeCycle();
+    ASSERT_TRUE(cycle.ok()) << cycle.status();
+    gen.Mutate();
+  }
+  for (int v = 0; v < 6; ++v) {
+    auto restored = store.Restore("f", v);
+    ASSERT_TRUE(restored.ok()) << "version " << v << ": "
+                               << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]) << "version " << v;
+  }
+}
+
+TEST(GNodeTest, ReverseDedupRemovesMissedDuplicates) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions options = TestOptions();
+  // Cripple the online dedup so the offline pass has work to do: no
+  // similarity detection means version 1 re-stores everything.
+  options.backup.sample_ratio = 1u << 30;
+  options.enable_scc = false;
+  SlimStore store(&oss, options);
+
+  VersionedFileGenerator gen(TestGenerator(17, 128 << 10));
+  std::string v0 = gen.data();
+  ASSERT_TRUE(store.Backup("f", v0).ok());
+  ASSERT_TRUE(store.RunGNodeCycle().ok());
+
+  // Same content again: the online path misses the duplicates (no
+  // samples), the global pass must find them.
+  ASSERT_TRUE(store.Backup("g", v0).ok());
+  auto space_before = store.GetSpaceReport();
+  ASSERT_TRUE(space_before.ok());
+  auto cycle = store.RunGNodeCycle();
+  ASSERT_TRUE(cycle.ok());
+  EXPECT_GT(cycle.value().reverse_dedup.duplicates_found, 0u);
+  EXPECT_GT(cycle.value().reverse_dedup.bytes_reclaimed, 0u);
+  auto space_after = store.GetSpaceReport();
+  ASSERT_TRUE(space_after.ok());
+  EXPECT_LT(space_after.value().container_bytes,
+            space_before.value().container_bytes);
+
+  // Both files still restore correctly (old version needs redirects).
+  auto f = store.Restore("f", 0);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f.value(), v0);
+  auto g = store.Restore("g", 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value(), v0);
+}
+
+TEST(GNodeTest, SccReducesContainerReadsForNewVersion) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions base = TestOptions();
+  base.backup.sparse_utilization_threshold = 0.5;
+  base.enable_reverse_dedup = false;
+
+  auto run = [&](bool scc) {
+    oss::MemoryObjectStore inner;
+    SlimStoreOptions options = base;
+    options.enable_scc = scc;
+    SlimStore store(&inner, options);
+    VersionedFileGenerator gen(TestGenerator(19));
+    for (int v = 0; v < 10; ++v) {
+      EXPECT_TRUE(store.Backup("f", gen.data()).ok());
+      EXPECT_TRUE(store.RunGNodeCycle().ok());
+      gen.Mutate();
+    }
+    RestoreStats stats;
+    RestoreOptions ropts = options.restore;
+    auto restored = store.Restore("f", 9, &stats, &ropts);
+    EXPECT_TRUE(restored.ok());
+    return stats.containers_fetched;
+  };
+  uint64_t with_scc = run(true);
+  uint64_t without_scc = run(false);
+  EXPECT_LT(with_scc, without_scc);
+}
+
+TEST(GNodeTest, VersionCollectionReclaimsSpace) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions options = TestOptions();
+  // Small containers + a fast-changing file so containers actually fall
+  // out of the newer versions' reference sets.
+  options.backup.container_capacity = 8 << 10;
+  SlimStore store(&oss, options);
+
+  GeneratorOptions gopts = TestGenerator(23);
+  gopts.duplication_ratio = 0.45;
+  VersionedFileGenerator gen(gopts);
+  std::vector<std::string> versions;
+  for (int v = 0; v < 6; ++v) {
+    versions.push_back(gen.data());
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    gen.Mutate();
+  }
+  auto before = store.GetSpaceReport();
+  ASSERT_TRUE(before.ok());
+
+  // Delete the three oldest versions.
+  for (uint64_t v = 0; v < 3; ++v) {
+    auto gc = store.DeleteVersion("f", v, /*use_precomputed=*/true);
+    ASSERT_TRUE(gc.ok()) << gc.status();
+  }
+  auto after = store.GetSpaceReport();
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after.value().container_bytes, before.value().container_bytes);
+
+  // Remaining versions still restore byte-identically.
+  for (uint64_t v = 3; v < 6; ++v) {
+    auto restored = store.Restore("f", v);
+    ASSERT_TRUE(restored.ok()) << "version " << v;
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+  // Deleted versions are gone.
+  EXPECT_FALSE(store.Restore("f", 0).ok());
+}
+
+TEST(GNodeTest, MarkSweepMatchesPrecomputed) {
+  auto run = [](bool precomputed) {
+    oss::MemoryObjectStore oss;
+    SlimStore store(&oss, TestOptions());
+    VersionedFileGenerator gen(TestGenerator(29));
+    std::vector<std::string> versions;
+    for (int v = 0; v < 5; ++v) {
+      versions.push_back(gen.data());
+      EXPECT_TRUE(store.Backup("f", gen.data()).ok());
+      gen.Mutate();
+    }
+    EXPECT_TRUE(store.DeleteVersion("f", 0, precomputed).ok());
+    EXPECT_TRUE(store.DeleteVersion("f", 1, precomputed).ok());
+    for (int v = 2; v < 5; ++v) {
+      auto restored = store.Restore("f", v);
+      EXPECT_TRUE(restored.ok());
+      if (restored.ok()) EXPECT_EQ(restored.value(), versions[v]);
+    }
+    auto report = store.GetSpaceReport();
+    EXPECT_TRUE(report.ok());
+    return report.value().container_bytes;
+  };
+  uint64_t fast = run(true);
+  uint64_t safe = run(false);
+  // Mark-and-sweep reclaims at least as much as the precomputed sweep
+  // never less... both should land in the same ballpark.
+  EXPECT_NEAR(static_cast<double>(fast), static_cast<double>(safe),
+              static_cast<double>(safe) * 0.2);
+}
+
+// --- Prefetching / FV cache --------------------------------------------
+
+TEST(RestoreCacheTest, PrefetchingProducesSameBytes) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, TestOptions());
+  VersionedFileGenerator gen(TestGenerator(31));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 3; ++v) {
+    versions.push_back(gen.data());
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    gen.Mutate();
+  }
+  RestoreOptions opts = TestOptions().restore;
+  opts.prefetch_threads = 4;
+  for (int v = 0; v < 3; ++v) {
+    RestoreStats stats;
+    auto restored = store.Restore("f", v, &stats, &opts);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+}
+
+TEST(RestoreCacheTest, FullVisionReadsEachContainerOnceWithAmpleCache) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, TestOptions());
+  VersionedFileGenerator gen(TestGenerator(37));
+  for (int v = 0; v < 4; ++v) {
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    gen.Mutate();
+  }
+  RestoreOptions opts = TestOptions().restore;
+  opts.cache_bytes = 64 << 20;  // Ample: no capacity evictions.
+  RestoreStats stats;
+  auto restored = store.Restore("f", 3, &stats, &opts);
+  ASSERT_TRUE(restored.ok());
+
+  // Count distinct containers in the recipe.
+  auto recipe = store.recipe_store()->ReadRecipe("f", 3);
+  ASSERT_TRUE(recipe.ok());
+  std::set<format::ContainerId> distinct;
+  for (const auto& seg : recipe.value().segments) {
+    for (const auto& rec : seg.records) distinct.insert(rec.container_id);
+  }
+  EXPECT_EQ(stats.containers_fetched, distinct.size());
+}
+
+TEST(RestoreCacheTest, TinyCacheStillCorrect) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, TestOptions());
+  VersionedFileGenerator gen(TestGenerator(41));
+  for (int v = 0; v < 3; ++v) {
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    if (v < 2) gen.Mutate();
+  }
+  RestoreOptions opts = TestOptions().restore;
+  opts.cache_bytes = 4 << 10;       // Pathologically small.
+  opts.disk_cache_bytes = 8 << 10;  // Tiny disk spill too.
+  opts.law_chunks = 16;
+  RestoreStats stats;
+  auto restored = store.Restore("f", 2, &stats, &opts);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), gen.data());
+}
+
+// --- Cluster ------------------------------------------------------------
+
+TEST(ClusterTest, ParallelBackupAndRestore) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, TestOptions());
+  core::Cluster::Options copts;
+  copts.num_lnodes = 2;
+  copts.backup_jobs_per_node = 4;
+  core::Cluster cluster(&store, copts);
+
+  std::vector<std::string> contents;
+  std::vector<core::BackupJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    VersionedFileGenerator gen(TestGenerator(100 + i, 64 << 10));
+    contents.push_back(gen.data());
+  }
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({"file-" + std::to_string(i), &contents[i]});
+  }
+  auto run = cluster.ParallelBackup(jobs);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run.value().jobs, 6u);
+  EXPECT_EQ(run.value().lnodes_used, 2u);
+  EXPECT_GT(run.value().AggregateThroughputMBps(), 0.0);
+
+  std::vector<index::FileVersion> restores;
+  for (int i = 0; i < 6; ++i) {
+    restores.push_back({"file-" + std::to_string(i), 0});
+  }
+  auto rrun = cluster.ParallelRestore(restores);
+  ASSERT_TRUE(rrun.ok()) << rrun.status();
+  EXPECT_EQ(rrun.value().logical_bytes, 6u * (64 << 10));
+
+  for (int i = 0; i < 6; ++i) {
+    auto restored = store.Restore("file-" + std::to_string(i), 0);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), contents[i]);
+  }
+}
+
+// --- Failure injection ---------------------------------------------------
+
+TEST(FailureTest, BackupSurfacesOssWriteErrors) {
+  oss::MemoryObjectStore inner;
+  oss::OssCostModel model;
+  model.sleep_for_cost = false;
+  oss::SimulatedOss oss(&inner, model);
+  SlimStore store(&oss, TestOptions());
+  oss.set_failure_injector([](const std::string& op, const std::string&) {
+    if (op == "put") return Status::IoError("injected write failure");
+    return Status::Ok();
+  });
+  VersionedFileGenerator gen(TestGenerator(43, 64 << 10));
+  auto stats = store.Backup("f", gen.data());
+  EXPECT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsIoError());
+}
+
+TEST(FailureTest, RestoreSurfacesOssReadErrors) {
+  oss::MemoryObjectStore inner;
+  oss::OssCostModel model;
+  model.sleep_for_cost = false;
+  oss::SimulatedOss oss(&inner, model);
+  SlimStore store(&oss, TestOptions());
+  VersionedFileGenerator gen(TestGenerator(47, 64 << 10));
+  ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+  oss.set_failure_injector([](const std::string& op, const std::string& key) {
+    if (op == "get" && key.find("/containers/data-") != std::string::npos) {
+      return Status::IoError("injected read failure");
+    }
+    return Status::Ok();
+  });
+  EXPECT_FALSE(store.Restore("f", 0).ok());
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/restic_like.h"
+#include "baselines/restore_baselines.h"
+#include "baselines/silo.h"
+#include "baselines/sparse_indexing.h"
+#include "core/slimstore.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim::baselines {
+namespace {
+
+using workload::GeneratorOptions;
+using workload::VersionedFileGenerator;
+
+GeneratorOptions TestGenerator(uint64_t seed = 1, size_t size = 256 << 10) {
+  GeneratorOptions gen;
+  gen.base_size = size;
+  gen.duplication_ratio = 0.85;
+  gen.self_reference = 0.2;
+  gen.block_size = 1024;
+  gen.seed = seed;
+  return gen;
+}
+
+SiloOptions SmallSilo() {
+  SiloOptions options;
+  options.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.segment_bytes = 16 << 10;
+  options.block_segments = 8;
+  options.container_capacity = 32 << 10;
+  return options;
+}
+
+SparseIndexingOptions SmallSparse() {
+  SparseIndexingOptions options;
+  options.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.segment_bytes = 16 << 10;
+  options.sample_ratio = 4;
+  options.container_capacity = 32 << 10;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// SiLO
+// ---------------------------------------------------------------------------
+
+TEST(SiloTest, DeduplicatesAcrossVersions) {
+  oss::MemoryObjectStore oss;
+  SiloDedup silo(&oss, "silo", SmallSilo());
+  VersionedFileGenerator gen(TestGenerator(3));
+  auto v0 = silo.Backup("f", gen.data());
+  ASSERT_TRUE(v0.ok()) << v0.status();
+  EXPECT_LT(v0.value().DedupRatio(), 0.35);
+  gen.Mutate();
+  auto v1 = silo.Backup("f", gen.data());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_GT(v1.value().DedupRatio(), 0.5);
+}
+
+TEST(SiloTest, RecipesAreRestorable) {
+  oss::MemoryObjectStore oss;
+  SiloDedup silo(&oss, "silo", SmallSilo());
+  VersionedFileGenerator gen(TestGenerator(5));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 3; ++v) {
+    versions.push_back(gen.data());
+    ASSERT_TRUE(silo.Backup("f", gen.data()).ok());
+    gen.Mutate();
+  }
+  BaselineRestoreOptions ropts;
+  BaselineRestorer restorer(silo.container_store(), silo.recipe_store(),
+                            RestorePolicy::kLruContainer, ropts);
+  for (int v = 0; v < 3; ++v) {
+    lnode::RestoreStats stats;
+    auto restored = restorer.Restore("f", v, &stats);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+}
+
+TEST(SiloTest, IdenticalBackupNearFullDedup) {
+  oss::MemoryObjectStore oss;
+  SiloDedup silo(&oss, "silo", SmallSilo());
+  VersionedFileGenerator gen(TestGenerator(7));
+  ASSERT_TRUE(silo.Backup("f", gen.data()).ok());
+  auto again = silo.Backup("f", gen.data());
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(again.value().DedupRatio(), 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse Indexing
+// ---------------------------------------------------------------------------
+
+TEST(SparseIndexingTest, DeduplicatesAcrossVersions) {
+  oss::MemoryObjectStore oss;
+  SparseIndexingDedup sparse(&oss, "sparse", SmallSparse());
+  VersionedFileGenerator gen(TestGenerator(9));
+  ASSERT_TRUE(sparse.Backup("f", gen.data()).ok());
+  gen.Mutate();
+  auto v1 = sparse.Backup("f", gen.data());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_GT(v1.value().DedupRatio(), 0.5);
+}
+
+TEST(SparseIndexingTest, RecipesAreRestorable) {
+  oss::MemoryObjectStore oss;
+  SparseIndexingDedup sparse(&oss, "sparse", SmallSparse());
+  VersionedFileGenerator gen(TestGenerator(11));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 3; ++v) {
+    versions.push_back(gen.data());
+    ASSERT_TRUE(sparse.Backup("f", gen.data()).ok());
+    gen.Mutate();
+  }
+  BaselineRestoreOptions ropts;
+  BaselineRestorer restorer(sparse.container_store(), sparse.recipe_store(),
+                            RestorePolicy::kFaa, ropts);
+  for (int v = 0; v < 3; ++v) {
+    auto restored = restorer.Restore("f", v, nullptr);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+}
+
+TEST(SparseIndexingTest, ChampionCapBoundsWork) {
+  oss::MemoryObjectStore oss;
+  SparseIndexingOptions options = SmallSparse();
+  options.max_champions = 1;
+  SparseIndexingDedup sparse(&oss, "sparse", options);
+  VersionedFileGenerator gen(TestGenerator(13));
+  ASSERT_TRUE(sparse.Backup("f", gen.data()).ok());
+  gen.Mutate();
+  auto v1 = sparse.Backup("f", gen.data());
+  ASSERT_TRUE(v1.ok());
+  // Still finds duplicates, though fewer than with more champions.
+  EXPECT_GT(v1.value().DedupRatio(), 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline restore caches (against SlimStore-written data)
+// ---------------------------------------------------------------------------
+
+class RestorePolicyTest : public ::testing::TestWithParam<RestorePolicy> {};
+
+TEST_P(RestorePolicyTest, RestoresByteIdentical) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 32 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.sample_ratio = 4;
+  core::SlimStore store(&oss, options);
+
+  VersionedFileGenerator gen(TestGenerator(15));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 4; ++v) {
+    versions.push_back(gen.data());
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    gen.Mutate();
+  }
+
+  BaselineRestoreOptions ropts;
+  ropts.cache_bytes = 256 << 10;
+  ropts.law_chunks = 128;
+  ropts.global_index = store.global_index();
+  BaselineRestorer restorer(store.container_store(), store.recipe_store(),
+                            GetParam(), ropts);
+  for (int v = 0; v < 4; ++v) {
+    lnode::RestoreStats stats;
+    auto restored = restorer.Restore("f", v, &stats);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]) << "version " << v;
+    EXPECT_GT(stats.containers_fetched, 0u);
+    EXPECT_EQ(stats.logical_bytes, versions[v].size());
+  }
+}
+
+TEST_P(RestorePolicyTest, TinyCacheStillCorrect) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  core::SlimStore store(&oss, options);
+  VersionedFileGenerator gen(TestGenerator(17, 128 << 10));
+  for (int v = 0; v < 3; ++v) {
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    if (v < 2) gen.Mutate();
+  }
+  BaselineRestoreOptions ropts;
+  ropts.cache_bytes = 32 << 10;  // Roughly two containers.
+  ropts.law_chunks = 32;
+  ropts.global_index = store.global_index();
+  BaselineRestorer restorer(store.container_store(), store.recipe_store(),
+                            GetParam(), ropts);
+  auto restored = restorer.Restore("f", 2, nullptr);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value(), gen.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, RestorePolicyTest,
+                         ::testing::Values(RestorePolicy::kLruContainer,
+                                           RestorePolicy::kOptContainer,
+                                           RestorePolicy::kFaa,
+                                           RestorePolicy::kAlacc),
+                         [](const auto& info) {
+                           return std::string(
+                               RestorePolicyName(info.param));
+                         });
+
+TEST(RestorePolicyComparisonTest, OptBeatsLruOnFragmentedStream) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  core::SlimStore store(&oss, options);
+  VersionedFileGenerator gen(TestGenerator(19));
+  for (int v = 0; v < 8; ++v) {
+    ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+    if (v < 7) gen.Mutate();
+  }
+  auto fetches = [&](RestorePolicy policy) {
+    BaselineRestoreOptions ropts;
+    ropts.cache_bytes = 64 << 10;
+    ropts.law_chunks = 256;
+    ropts.global_index = store.global_index();
+    BaselineRestorer restorer(store.container_store(), store.recipe_store(),
+                              policy, ropts);
+    lnode::RestoreStats stats;
+    auto restored = restorer.Restore("f", 7, &stats);
+    EXPECT_TRUE(restored.ok());
+    return stats.containers_fetched;
+  };
+  EXPECT_LE(fetches(RestorePolicy::kOptContainer),
+            fetches(RestorePolicy::kLruContainer));
+}
+
+// ---------------------------------------------------------------------------
+// HAR rewriting (pipeline option)
+// ---------------------------------------------------------------------------
+
+TEST(HarTest, RewritesDuplicatesInSparseContainers) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  options.backup.sparse_utilization_threshold = 0.9;  // Most are "sparse".
+  options.enable_scc = false;
+  options.enable_reverse_dedup = false;
+  core::SlimStore store(&oss, options);
+
+  VersionedFileGenerator gen(TestGenerator(21));
+  ASSERT_TRUE(store.Backup("f", gen.data()).ok());
+  gen.Mutate();
+  auto v1 = store.Backup("f", gen.data());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_FALSE(v1.value().sparse_containers.empty());
+
+  // Third backup in HAR mode: rewrite duplicates living in the sparse
+  // containers v1 identified.
+  gen.Mutate();
+  auto rewrite_set =
+      std::make_shared<std::unordered_set<format::ContainerId>>(
+          v1.value().sparse_containers.begin(),
+          v1.value().sparse_containers.end());
+  lnode::BackupOptions har_options = options.backup;
+  har_options.har_rewrite_containers = rewrite_set;
+  lnode::BackupPipeline har(store.container_store(), store.recipe_store(),
+                            store.similar_file_index(), har_options);
+  auto v2 = har.Backup("f", gen.data(), 2);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_GT(v2.value().rewritten_chunks, 0u);
+
+  // The rewritten version restores byte-identically.
+  auto restored = store.Restore("f", 2);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value(), gen.data());
+}
+
+// ---------------------------------------------------------------------------
+// ResticLike
+// ---------------------------------------------------------------------------
+
+TEST(ResticLikeTest, BackupRestoreRoundTrip) {
+  oss::MemoryObjectStore oss;
+  ResticLikeOptions options;
+  options.chunker_params = chunking::ChunkerParams::FromAverage(8 << 10);
+  options.pack_capacity = 64 << 10;
+  ResticLike restic(&oss, "restic", options);
+
+  VersionedFileGenerator gen(TestGenerator(23));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 3; ++v) {
+    versions.push_back(gen.data());
+    auto stats = restic.Backup("f", gen.data());
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats.value().version, static_cast<uint64_t>(v));
+    gen.Mutate();
+  }
+  for (int v = 0; v < 3; ++v) {
+    lnode::RestoreStats stats;
+    auto restored = restic.Restore("f", v, &stats);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+}
+
+TEST(ResticLikeTest, ExactDedupAcrossFiles) {
+  oss::MemoryObjectStore oss;
+  ResticLikeOptions options;
+  options.chunker_params = chunking::ChunkerParams::FromAverage(8 << 10);
+  ResticLike restic(&oss, "restic", options);
+  VersionedFileGenerator gen(TestGenerator(29));
+  ASSERT_TRUE(restic.Backup("a", gen.data()).ok());
+  // Same bytes under a different name: the global index catches all of
+  // it (content addressing).
+  auto stats = restic.Backup("b", gen.data());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().DedupRatio(), 0.99);
+}
+
+TEST(ResticLikeTest, ConcurrentBackupsSerializeButSucceed) {
+  oss::MemoryObjectStore oss;
+  ResticLikeOptions options;
+  options.chunker_params = chunking::ChunkerParams::FromAverage(8 << 10);
+  ResticLike restic(&oss, "restic", options);
+
+  std::vector<std::string> contents;
+  for (int i = 0; i < 4; ++i) {
+    VersionedFileGenerator gen(TestGenerator(31 + i, 64 << 10));
+    contents.push_back(gen.data());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      auto stats = restic.Backup("file-" + std::to_string(i), contents[i]);
+      if (!stats.ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 0; i < 4; ++i) {
+    auto restored = restic.Restore("file-" + std::to_string(i), 0);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), contents[i]);
+  }
+}
+
+TEST(ResticLikeTest, OccupiedBytesTracksPacks) {
+  oss::MemoryObjectStore oss;
+  ResticLike restic(&oss, "restic");
+  VersionedFileGenerator gen(TestGenerator(37, 64 << 10));
+  ASSERT_TRUE(restic.Backup("f", gen.data()).ok());
+  auto bytes = restic.OccupiedBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GT(bytes.value(), 32u << 10);
+}
+
+}  // namespace
+}  // namespace slim::baselines

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "chunking/chunker.h"
+#include "chunking/gear.h"
+#include "chunking/rabin.h"
+#include "common/rng.h"
+
+namespace slim::chunking {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  return rng.RandomBytes(n);
+}
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+// ---------------------------------------------------------------------------
+// RabinWindow basics
+// ---------------------------------------------------------------------------
+
+TEST(RabinWindowTest, DeterministicFingerprints) {
+  RabinWindow a, b;
+  std::string data = RandomData(1000);
+  uint64_t last_a = 0, last_b = 0;
+  for (char c : data) {
+    last_a = a.Slide(static_cast<uint8_t>(c));
+    last_b = b.Slide(static_cast<uint8_t>(c));
+  }
+  EXPECT_EQ(last_a, last_b);
+}
+
+TEST(RabinWindowTest, WindowedProperty) {
+  // After sliding in more than window_size bytes, the fingerprint
+  // depends only on the last window_size bytes.
+  const size_t w = RabinWindow::kDefaultWindowSize;
+  std::string prefix1 = RandomData(500, 1);
+  std::string prefix2 = RandomData(300, 2);
+  std::string suffix = RandomData(w, 3);
+
+  RabinWindow a;
+  for (char c : prefix1 + suffix) a.Slide(static_cast<uint8_t>(c));
+  RabinWindow b;
+  for (char c : prefix2 + suffix) b.Slide(static_cast<uint8_t>(c));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(RabinWindowTest, ResetClearsState) {
+  RabinWindow w;
+  for (int i = 0; i < 100; ++i) w.Slide(static_cast<uint8_t>(i));
+  w.Reset();
+  EXPECT_EQ(w.fingerprint(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared chunker properties (parameterized over all CDC algorithms)
+// ---------------------------------------------------------------------------
+
+class CdcChunkerTest : public ::testing::TestWithParam<ChunkerType> {
+ protected:
+  std::unique_ptr<Chunker> Make(size_t avg = 4096) {
+    return CreateChunker(GetParam(), ChunkerParams::FromAverage(avg));
+  }
+};
+
+TEST_P(CdcChunkerTest, ChunksCoverWholeBuffer) {
+  auto chunker = Make();
+  std::string data = RandomData(1 << 20);
+  auto chunks = ChunkAll(*chunker, data);
+  ASSERT_FALSE(chunks.empty());
+  size_t pos = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, pos);
+    pos += c.size;
+  }
+  EXPECT_EQ(pos, data.size());
+}
+
+TEST_P(CdcChunkerTest, RespectsSizeBounds) {
+  auto chunker = Make();
+  const auto& params = chunker->params();
+  std::string data = RandomData(1 << 20);
+  auto chunks = ChunkAll(*chunker, data);
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {  // Last chunk may be short.
+    EXPECT_GE(chunks[i].size, params.min_size);
+    EXPECT_LE(chunks[i].size, params.max_size);
+  }
+}
+
+TEST_P(CdcChunkerTest, MeanChunkSizeNearTarget) {
+  auto chunker = Make(4096);
+  std::string data = RandomData(4 << 20);
+  auto chunks = ChunkAll(*chunker, data);
+  double mean = static_cast<double>(data.size()) / chunks.size();
+  // CDC with min/max clamping lands above the mask average; accept a
+  // generous band.
+  EXPECT_GT(mean, 4096 * 0.5);
+  EXPECT_LT(mean, 4096 * 4.0);
+}
+
+TEST_P(CdcChunkerTest, Deterministic) {
+  auto c1 = Make();
+  auto c2 = Make();
+  std::string data = RandomData(256 << 10);
+  auto a = ChunkAll(*c1, data);
+  auto b = ChunkAll(*c2, data);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+TEST_P(CdcChunkerTest, BoundaryShiftResynchronizes) {
+  if (GetParam() == ChunkerType::kFixed) GTEST_SKIP();
+  auto chunker = Make();
+  std::string data = RandomData(1 << 20);
+  // Insert 7 bytes near the front: CDC must resynchronize so most
+  // chunks (by content) are unchanged.
+  std::string shifted = data.substr(0, 1000) + "INSERT!" + data.substr(1000);
+
+  auto a = ChunkAll(*chunker, data);
+  auto b = ChunkAll(*chunker, shifted);
+
+  std::set<std::pair<size_t, uint64_t>> a_contents;  // (size, hash)
+  for (const auto& c : a) {
+    a_contents.insert({c.size, Fnv1a64(data.data() + c.offset, c.size)});
+  }
+  size_t shared = 0;
+  for (const auto& c : b) {
+    if (a_contents.count(
+            {c.size, Fnv1a64(shifted.data() + c.offset, c.size)}) > 0) {
+      ++shared;
+    }
+  }
+  // The vast majority of chunks must survive the shift.
+  EXPECT_GT(shared, b.size() * 8 / 10);
+}
+
+TEST_P(CdcChunkerTest, VerifyCutAgreesWithScan) {
+  auto chunker = Make();
+  std::string data = RandomData(512 << 10, 99);
+  auto chunks = ChunkAll(*chunker, data);
+  size_t checked = 0;
+  for (const auto& c : chunks) {
+    // Skip the trailing end-of-buffer chunk (not a content cut).
+    if (c.offset + c.size == data.size()) continue;
+    EXPECT_TRUE(chunker->VerifyCut(Bytes(data) + c.offset, c.size))
+        << "chunk at " << c.offset << " size " << c.size;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_P(CdcChunkerTest, VerifyCutRejectsOutOfBounds) {
+  auto chunker = Make();
+  const auto& params = chunker->params();
+  std::string data = RandomData(64 << 10);
+  EXPECT_FALSE(chunker->VerifyCut(Bytes(data), params.min_size - 1));
+  EXPECT_FALSE(chunker->VerifyCut(Bytes(data), params.max_size + 1));
+}
+
+TEST_P(CdcChunkerTest, VerifyCutAcceptsForcedMaxBoundary) {
+  auto chunker = Make();
+  std::string data = RandomData(1 << 20, 5);
+  EXPECT_TRUE(chunker->VerifyCut(Bytes(data), chunker->params().max_size));
+}
+
+TEST_P(CdcChunkerTest, ShortInputIsOneChunk) {
+  auto chunker = Make();
+  std::string data = RandomData(100);
+  auto chunks = ChunkAll(*chunker, data);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCdc, CdcChunkerTest,
+                         ::testing::Values(ChunkerType::kRabin,
+                                           ChunkerType::kGear,
+                                           ChunkerType::kFastCdc),
+                         [](const auto& info) {
+                           return std::string(ChunkerTypeName(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Per-algorithm specifics
+// ---------------------------------------------------------------------------
+
+TEST(FixedChunkerTest, CutsAtExactMultiples) {
+  FixedChunker chunker(ChunkerParams::FromAverage(4096));
+  std::string data = RandomData(10000);
+  auto chunks = ChunkAll(chunker, data);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].size, 4096u);
+  EXPECT_EQ(chunks[1].size, 4096u);
+  EXPECT_EQ(chunks[2].size, 10000u - 8192u);
+}
+
+TEST(FixedChunkerTest, VerifyCutOnlyAcceptsFixedSize) {
+  FixedChunker chunker(ChunkerParams::FromAverage(4096));
+  std::string data = RandomData(8192);
+  EXPECT_TRUE(chunker.VerifyCut(Bytes(data), 4096));
+  EXPECT_FALSE(chunker.VerifyCut(Bytes(data), 4095));
+}
+
+TEST(FastCdcTest, DistributionTighterThanGear) {
+  // Normalized chunking should concentrate sizes around the average:
+  // compare the standard deviation of chunk sizes.
+  auto gear = CreateChunker(ChunkerType::kGear,
+                            ChunkerParams::FromAverage(4096));
+  auto fast = CreateChunker(ChunkerType::kFastCdc,
+                            ChunkerParams::FromAverage(4096));
+  std::string data = RandomData(8 << 20, 31);
+
+  auto stddev = [&](const std::vector<RawChunk>& chunks) {
+    double mean = 0;
+    for (const auto& c : chunks) mean += c.size;
+    mean /= chunks.size();
+    double var = 0;
+    for (const auto& c : chunks) {
+      var += (c.size - mean) * (c.size - mean);
+    }
+    return std::sqrt(var / chunks.size()) / mean;  // Coefficient of var.
+  };
+  double cv_gear = stddev(ChunkAll(*gear, data));
+  double cv_fast = stddev(ChunkAll(*fast, data));
+  EXPECT_LT(cv_fast, cv_gear);
+}
+
+TEST(GearTableTest, StableAcrossCalls) {
+  const auto& t1 = GearTable();
+  const auto& t2 = GearTable();
+  EXPECT_EQ(&t1, &t2);
+  EXPECT_NE(t1[0], t1[1]);
+}
+
+TEST(ChunkerFactoryTest, NamesMatch) {
+  EXPECT_STREQ(ChunkerTypeName(ChunkerType::kRabin), "rabin");
+  EXPECT_STREQ(ChunkerTypeName(ChunkerType::kFastCdc), "fastcdc");
+  auto c = CreateChunker(ChunkerType::kGear, ChunkerParams::FromAverage(8192));
+  EXPECT_STREQ(c->name(), "gear");
+}
+
+TEST(ChunkerParamsTest, FromAverageDerivesBounds) {
+  auto p = ChunkerParams::FromAverage(8192);
+  EXPECT_EQ(p.min_size, 2048u);
+  EXPECT_EQ(p.max_size, 65536u);
+}
+
+// Identical content after a duplicate boundary yields identical chunks:
+// the property skip chunking relies on.
+TEST(SkipChunkingPropertyTest, DuplicateRegionsProduceSameCuts) {
+  auto chunker = CreateChunker(ChunkerType::kFastCdc,
+                               ChunkerParams::FromAverage(4096));
+  std::string shared = RandomData(256 << 10, 8);
+  std::string v1 = RandomData(50 << 10, 9) + shared;
+  std::string v2 = RandomData(70 << 10, 10) + shared;
+
+  auto c1 = ChunkAll(*chunker, v1);
+  auto c2 = ChunkAll(*chunker, v2);
+
+  // Collect chunk content hashes from the shared tail of both versions.
+  auto tail_hashes = [&](const std::string& data,
+                         const std::vector<RawChunk>& chunks,
+                         size_t tail_start) {
+    std::vector<uint64_t> hashes;
+    for (const auto& c : chunks) {
+      if (c.offset >= tail_start) {
+        hashes.push_back(Fnv1a64(data.data() + c.offset, c.size));
+      }
+    }
+    return hashes;
+  };
+  auto h1 = tail_hashes(v1, c1, v1.size() - (200 << 10));
+  auto h2 = tail_hashes(v2, c2, v2.size() - (200 << 10));
+  // After resynchronization the two tails chunk identically.
+  ASSERT_GT(h1.size(), 10u);
+  EXPECT_EQ(h1, h2);
+}
+
+}  // namespace
+}  // namespace slim::chunking

@@ -1,0 +1,195 @@
+// Concurrency stress: the storage layer and stateless L-node services
+// must stay correct under parallel backups, restores and interleaved
+// G-node activity (this is the architecture's whole point).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "core/slimstore.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+core::SlimStoreOptions SmallOptions() {
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  return options;
+}
+
+std::string Content(uint64_t seed, size_t size = 64 << 10) {
+  workload::GeneratorOptions gen;
+  gen.base_size = size;
+  gen.block_size = 1024;
+  gen.seed = seed;
+  return workload::VersionedFileGenerator(gen).data();
+}
+
+TEST(ConcurrencyTest, ParallelBackupsOfDistinctFiles) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, SmallOptions());
+  constexpr int kThreads = 8;
+  std::vector<std::string> contents;
+  for (int i = 0; i < kThreads; ++i) contents.push_back(Content(100 + i));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto stats = store.Backup("file-" + std::to_string(i), contents[i]);
+      if (!stats.ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 0; i < kThreads; ++i) {
+    auto restored = store.Restore("file-" + std::to_string(i), 0);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), contents[i]);
+  }
+}
+
+TEST(ConcurrencyTest, ParallelRestoresShareContainers) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, SmallOptions());
+  std::string content = Content(7, 128 << 10);
+  ASSERT_TRUE(store.Backup("f", content).ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      lnode::RestoreOptions opts = SmallOptions().restore;
+      opts.prefetch_threads = 2;
+      lnode::RestoreStats stats;
+      auto out = store.Restore("f", 0, &stats, &opts);
+      if (!out.ok() || out.value() != content) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, BackupsWhileRestoring) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, SmallOptions());
+  workload::GeneratorOptions gen;
+  gen.base_size = 64 << 10;
+  gen.block_size = 1024;
+  gen.seed = 42;
+  workload::VersionedFileGenerator file(gen);
+  std::string v0 = file.data();
+  ASSERT_TRUE(store.Backup("f", v0).ok());
+
+  std::atomic<int> failures{0};
+  std::thread restorer([&] {
+    for (int i = 0; i < 10; ++i) {
+      auto out = store.Restore("f", 0);
+      if (!out.ok() || out.value() != v0) failures.fetch_add(1);
+    }
+  });
+  std::thread backer([&] {
+    for (int i = 0; i < 5; ++i) {
+      file.Mutate();
+      if (!store.Backup("g" + std::to_string(i), file.data()).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  restorer.join();
+  backer.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, GnodeCycleConcurrentWithRestores) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, SmallOptions());
+  workload::GeneratorOptions gen;
+  gen.base_size = 96 << 10;
+  gen.duplication_ratio = 0.85;
+  gen.block_size = 1024;
+  gen.seed = 21;
+  workload::VersionedFileGenerator file(gen);
+  std::vector<std::string> versions;
+  for (int v = 0; v < 4; ++v) {
+    versions.push_back(file.data());
+    ASSERT_TRUE(store.Backup("f", file.data()).ok());
+    file.Mutate();
+  }
+
+  // Restores of the NEWEST version race with the G-node pass. (The
+  // paper's invariant: G-node never touches the newest version's
+  // layout, and redirects cover everything it moves.)
+  std::atomic<int> failures{0};
+  std::thread restorer([&] {
+    for (int i = 0; i < 8; ++i) {
+      auto out = store.Restore("f", 3);
+      if (!out.ok() || out.value() != versions[3]) failures.fetch_add(1);
+    }
+  });
+  std::thread gnode([&] {
+    if (!store.RunGNodeCycle().ok()) failures.fetch_add(1);
+  });
+  restorer.join();
+  gnode.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Everything still consistent afterwards.
+  auto report = store.VerifyRepository();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().problems.front();
+}
+
+// ---------------------------------------------------------------------------
+// MmapFile / BackupFile
+// ---------------------------------------------------------------------------
+
+TEST(MmapFileTest, MapsAndBacksUpFromDisk) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("slim-mmap-" + std::to_string(::getpid()) + ".bin");
+  std::string content = Content(77, 200 << 10);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+
+  auto mapped = MmapFile::Open(path.string());
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped.value()->size(), content.size());
+  EXPECT_EQ(mapped.value()->data(), content);
+
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, SmallOptions());
+  auto stats = store.BackupFile(path.string(), "mapped-file");
+  ASSERT_TRUE(stats.ok());
+  auto restored = store.Restore("mapped-file", 0);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), content);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, EmptyFile) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("slim-mmap-empty-" + std::to_string(::getpid()));
+  { std::ofstream out(path, std::ios::binary); }
+  auto mapped = MmapFile::Open(path.string());
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped.value()->size(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, MissingFileFails) {
+  EXPECT_FALSE(MmapFile::Open("/nonexistent/never/file").ok());
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/cluster.h"
+#include "core/slimstore.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+VersionInfo MakeInfo(const std::string& file, uint64_t version,
+                     std::vector<format::ContainerId> referenced = {}) {
+  VersionInfo info;
+  info.file_id = file;
+  info.version = version;
+  info.referenced_containers = std::move(referenced);
+  return info;
+}
+
+TEST(CatalogTest, RecordAndGet) {
+  Catalog catalog;
+  catalog.RecordBackup(MakeInfo("f", 0, {1, 2}));
+  auto info = catalog.Get("f", 0);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->referenced_containers,
+            (std::vector<format::ContainerId>{1, 2}));
+  EXPECT_TRUE(info->gnode_pending);
+  EXPECT_FALSE(catalog.Get("f", 1).has_value());
+}
+
+TEST(CatalogTest, LiveVersionsAndVersionsOf) {
+  Catalog catalog;
+  catalog.RecordBackup(MakeInfo("a", 0));
+  catalog.RecordBackup(MakeInfo("a", 2));
+  catalog.RecordBackup(MakeInfo("b", 1));
+  EXPECT_EQ(catalog.LiveVersions().size(), 3u);
+  EXPECT_EQ(catalog.VersionsOf("a"), (std::vector<uint64_t>{0, 2}));
+  catalog.Erase("a", 0);
+  EXPECT_EQ(catalog.VersionsOf("a"), (std::vector<uint64_t>{2}));
+}
+
+TEST(CatalogTest, GnodePendingLifecycle) {
+  Catalog catalog;
+  catalog.RecordBackup(MakeInfo("f", 0));
+  catalog.RecordBackup(MakeInfo("f", 1));
+  EXPECT_EQ(catalog.GnodePending().size(), 2u);
+  catalog.MarkGnodeDone("f", 0);
+  auto pending = catalog.GnodePending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].version, 1u);
+}
+
+TEST(CatalogTest, GarbageAndNewContainerAccumulation) {
+  Catalog catalog;
+  catalog.RecordBackup(MakeInfo("f", 0));
+  catalog.AddGarbage("f", 0, {7, 8});
+  catalog.AddGarbage("f", 0, {9});
+  catalog.AddNewContainers("f", 0, {10});
+  auto info = catalog.Get("f", 0);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->garbage_containers,
+            (std::vector<format::ContainerId>{7, 8, 9}));
+  EXPECT_EQ(info->new_containers,
+            (std::vector<format::ContainerId>{10}));
+  // Updates to unknown versions are ignored, not fatal.
+  catalog.AddGarbage("ghost", 5, {1});
+}
+
+TEST(CatalogTest, LiveReferencedSetsExcludesTarget) {
+  Catalog catalog;
+  catalog.RecordBackup(MakeInfo("f", 0, {1}));
+  catalog.RecordBackup(MakeInfo("f", 1, {2}));
+  catalog.RecordBackup(MakeInfo("g", 0, {3}));
+  auto sets = catalog.LiveReferencedSetsExcept("f", 0);
+  EXPECT_EQ(sets.size(), 2u);
+  for (const auto& set : sets) {
+    EXPECT_NE(set, (std::vector<format::ContainerId>{1}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SlimStore facade behaviors
+// ---------------------------------------------------------------------------
+
+SlimStoreOptions SmallOptions() {
+  SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  return options;
+}
+
+workload::GeneratorOptions Gen(uint64_t seed, size_t size = 96 << 10) {
+  workload::GeneratorOptions gen;
+  gen.base_size = size;
+  gen.duplication_ratio = 0.85;
+  gen.block_size = 1024;
+  gen.seed = seed;
+  return gen;
+}
+
+TEST(SlimStoreTest, AutoGnodeRunsCyclePerBackup) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions options = SmallOptions();
+  options.auto_gnode = true;
+  SlimStore store(&oss, options);
+  workload::VersionedFileGenerator file(Gen(3));
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+  EXPECT_TRUE(store.catalog()->GnodePending().empty());
+}
+
+TEST(SlimStoreTest, SpaceReportBreaksDownByClass) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  workload::VersionedFileGenerator file(Gen(5));
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+  auto report = store.GetSpaceReport();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().container_bytes, 64u << 10);
+  EXPECT_GT(report.value().meta_bytes, 0u);
+  EXPECT_GT(report.value().recipe_bytes, 0u);
+  EXPECT_EQ(report.value().total(),
+            report.value().container_bytes + report.value().meta_bytes +
+                report.value().recipe_bytes + report.value().index_bytes);
+}
+
+TEST(SlimStoreTest, MultipleFilesShareContainersAfterGDedup) {
+  oss::MemoryObjectStore oss;
+  SlimStoreOptions options = SmallOptions();
+  // No similarity detection: copies are only caught by G-dedupe.
+  options.backup.sample_ratio = 1u << 30;
+  options.backup.min_similarity_samples = 1000000;
+  options.enable_scc = false;
+  SlimStore store(&oss, options);
+
+  workload::VersionedFileGenerator file(Gen(7));
+  ASSERT_TRUE(store.Backup("a", file.data()).ok());
+  ASSERT_TRUE(store.Backup("b", file.data()).ok());
+  auto before = store.GetSpaceReport().value().container_bytes;
+  ASSERT_TRUE(store.RunGNodeCycle().ok());
+  auto after = store.GetSpaceReport().value().container_bytes;
+  EXPECT_LT(after, before);
+
+  // Both restore fine, b without redirects (it kept its copies),
+  // a with redirects.
+  auto ra = store.Restore("a", 0);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  EXPECT_EQ(ra.value(), file.data());
+  auto rb = store.Restore("b", 0);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb.value(), file.data());
+}
+
+TEST(SlimStoreTest, DeleteUnknownVersionFails) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  EXPECT_TRUE(store.DeleteVersion("nope", 0).status().IsNotFound());
+}
+
+TEST(SlimStoreTest, DeleteAllVersionsReclaimsNearlyEverything) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  workload::VersionedFileGenerator file(Gen(11));
+  for (int v = 0; v < 3; ++v) {
+    ASSERT_TRUE(store.Backup("f", file.data()).ok());
+    file.Mutate();
+  }
+  for (uint64_t v = 0; v < 3; ++v) {
+    ASSERT_TRUE(store.DeleteVersion("f", v).ok());
+  }
+  auto report = store.GetSpaceReport();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().container_bytes, 0u);
+  EXPECT_TRUE(store.catalog()->LiveVersions().empty());
+}
+
+TEST(SlimStoreTest, DeleteMiddleVersionKeepsNeighborsRestorable) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  workload::VersionedFileGenerator file(Gen(13));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 3; ++v) {
+    versions.push_back(file.data());
+    ASSERT_TRUE(store.Backup("f", file.data()).ok());
+    file.Mutate();
+  }
+  ASSERT_TRUE(store.DeleteVersion("f", 1).ok());
+  auto v0 = store.Restore("f", 0);
+  ASSERT_TRUE(v0.ok()) << v0.status();
+  EXPECT_EQ(v0.value(), versions[0]);
+  auto v2 = store.Restore("f", 2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value(), versions[2]);
+  EXPECT_FALSE(store.Restore("f", 1).ok());
+}
+
+TEST(SlimStoreTest, VersionNumbersContinueAfterDeletion) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  workload::VersionedFileGenerator file(Gen(17));
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+  file.Mutate();
+  auto v1 = store.Backup("f", file.data());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value().version, 1u);
+  ASSERT_TRUE(store.DeleteVersion("f", 0).ok());
+  file.Mutate();
+  auto v2 = store.Backup("f", file.data());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value().version, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster sizing
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTest, NodeSpillMath) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  Cluster::Options copts;
+  copts.num_lnodes = 3;
+  copts.backup_jobs_per_node = 2;
+  Cluster cluster(&store, copts);
+
+  std::vector<std::string> contents;
+  for (int i = 0; i < 5; ++i) {
+    contents.push_back(
+        workload::VersionedFileGenerator(Gen(50 + i, 16 << 10)).data());
+  }
+  std::vector<BackupJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back({"f" + std::to_string(i), &contents[i]});
+  }
+  auto run = cluster.ParallelBackup(jobs);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().lnodes_used, 3u);  // ceil(5/2)
+  EXPECT_EQ(run.value().concurrency, 5u);
+}
+
+TEST(ClusterTest, EmptyWaveIsOk) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  Cluster cluster(&store, {});
+  auto run = cluster.ParallelBackup({});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().jobs, 0u);
+}
+
+TEST(ClusterTest, RestoreFailuresPropagate) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  Cluster cluster(&store, {});
+  auto run = cluster.ParallelRestore({{"ghost", 0}});
+  EXPECT_FALSE(run.ok());
+}
+
+}  // namespace
+}  // namespace slim::core

@@ -1,0 +1,135 @@
+// Additional format-layer coverage: batched segment range reads (the
+// skip-chain prefetch primitive), container chunk-count cache and id
+// recovery.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "format/container.h"
+#include "format/recipe.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+
+namespace slim::format {
+namespace {
+
+Fingerprint FpOf(const std::string& s) { return Sha1::Hash(s); }
+
+Recipe MakeRecipe(size_t num_segments, size_t records_per_segment) {
+  Recipe recipe;
+  recipe.file_id = "f";
+  recipe.version = 0;
+  for (size_t s = 0; s < num_segments; ++s) {
+    SegmentRecipe seg;
+    for (size_t r = 0; r < records_per_segment; ++r) {
+      ChunkRecord rec;
+      rec.fp = FpOf("c-" + std::to_string(s) + "-" + std::to_string(r));
+      rec.container_id = s;
+      rec.size = 10;
+      seg.records.push_back(rec);
+    }
+    recipe.segments.push_back(std::move(seg));
+  }
+  return recipe;
+}
+
+TEST(ReadSegmentRangeTest, FetchesConsecutiveSegmentsInOneRead) {
+  oss::MemoryObjectStore inner;
+  oss::OssCostModel model;
+  model.sleep_for_cost = false;
+  oss::SimulatedOss oss(&inner, model);
+  RecipeStore store(&oss, "r");
+  Recipe recipe = MakeRecipe(8, 5);
+  ASSERT_TRUE(store.WriteRecipe(recipe, 4).ok());
+
+  auto before = oss.metrics();
+  auto segments = store.ReadSegmentRange("f", 0, 2, 4);
+  ASSERT_TRUE(segments.ok());
+  auto delta = oss.metrics() - before;
+  ASSERT_EQ(segments.value().size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(segments.value()[i].records, recipe.segments[2 + i].records);
+  }
+  // One GET for the toc (first use) + one range GET for the 4 segments.
+  EXPECT_LE(delta.get_requests, 2u);
+}
+
+TEST(ReadSegmentRangeTest, ClampsAtRecipeEnd) {
+  oss::MemoryObjectStore store;
+  RecipeStore recipes(&store, "r");
+  Recipe recipe = MakeRecipe(3, 2);
+  ASSERT_TRUE(recipes.WriteRecipe(recipe, 4).ok());
+  auto segments = recipes.ReadSegmentRange("f", 0, 2, 10);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_EQ(segments.value().size(), 1u);
+  EXPECT_FALSE(recipes.ReadSegmentRange("f", 0, 3, 1).ok());
+}
+
+TEST(ChunkCountCacheTest, ServedFromMemoryAfterWrite) {
+  oss::MemoryObjectStore inner;
+  oss::OssCostModel model;
+  model.sleep_for_cost = false;
+  oss::SimulatedOss oss(&inner, model);
+  ContainerStore store(&oss, "c");
+  ContainerBuilder builder(store.AllocateId(), 1 << 20);
+  ASSERT_TRUE(builder.Add(FpOf("a"), "aaa"));
+  ASSERT_TRUE(builder.Add(FpOf("b"), "bbb"));
+  ContainerId id = builder.id();
+  ASSERT_TRUE(store.Write(std::move(builder)).ok());
+
+  auto before = oss.metrics();
+  for (int i = 0; i < 10; ++i) {
+    auto count = store.ChunkCount(id);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count.value(), 2u);
+  }
+  auto delta = oss.metrics() - before;
+  EXPECT_EQ(delta.get_requests, 0u);  // All served from the cache.
+}
+
+TEST(ChunkCountCacheTest, ColdCacheReadsMetaOnce) {
+  oss::MemoryObjectStore inner;
+  oss::OssCostModel model;
+  model.sleep_for_cost = false;
+  oss::SimulatedOss oss(&inner, model);
+  ContainerId id;
+  {
+    ContainerStore writer(&oss, "c");
+    ContainerBuilder builder(writer.AllocateId(), 1 << 20);
+    ASSERT_TRUE(builder.Add(FpOf("x"), "xx"));
+    id = builder.id();
+    ASSERT_TRUE(writer.Write(std::move(builder)).ok());
+  }
+  ContainerStore reader(&oss, "c");  // Fresh cache.
+  auto before = oss.metrics();
+  ASSERT_TRUE(reader.ChunkCount(id).ok());
+  ASSERT_TRUE(reader.ChunkCount(id).ok());
+  auto delta = oss.metrics() - before;
+  EXPECT_EQ(delta.get_requests, 1u);
+}
+
+TEST(RecoverNextIdTest, SkipsPastExistingContainers) {
+  oss::MemoryObjectStore oss;
+  {
+    ContainerStore store(&oss, "c");
+    for (int i = 0; i < 5; ++i) {
+      ContainerBuilder builder(store.AllocateId(), 1 << 20);
+      ASSERT_TRUE(builder.Add(FpOf("k" + std::to_string(i)), "v"));
+      ASSERT_TRUE(store.Write(std::move(builder)).ok());
+    }
+  }
+  ContainerStore reopened(&oss, "c");
+  ASSERT_TRUE(reopened.RecoverNextId().ok());
+  EXPECT_GE(reopened.AllocateId(), 5u);
+}
+
+TEST(RecoverNextIdTest, EmptyStoreStartsAtZero) {
+  oss::MemoryObjectStore oss;
+  ContainerStore store(&oss, "c");
+  ASSERT_TRUE(store.RecoverNextId().ok());
+  EXPECT_EQ(store.AllocateId(), 0u);
+}
+
+}  // namespace
+}  // namespace slim::format

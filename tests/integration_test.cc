@@ -1,0 +1,135 @@
+// Whole-system integration: the scaled S-DB dataset through the full
+// lifecycle — multi-file backups over many versions, interleaved G-node
+// cycles, retention, verification, and byte-exact restores of retained
+// versions. This is the closest test to how the paper's evaluation
+// actually drives the system.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+TEST(IntegrationTest, SdbLifecycle) {
+  oss::MemoryObjectStore inner;
+  oss::OssCostModel model;
+  model.sleep_for_cost = false;
+  oss::SimulatedOss oss(&inner, model);
+
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 32 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.sample_ratio = 4;
+  options.backup.chunk_merging = true;
+  options.backup.merge_threshold = 3;
+  options.backup.min_merge_chunks = 2;
+  core::SlimStore store(&oss, options);
+
+  workload::SdbOptions sdb;
+  sdb.num_files = 3;
+  sdb.file_size = 128 << 10;
+  sdb.num_versions = 8;
+  sdb.seed = 2026;
+  workload::Dataset dataset = workload::Dataset::MakeSdb(sdb);
+
+  constexpr uint64_t kRetain = 4;
+  // (file, version) -> expected bytes for retained versions.
+  std::map<std::pair<std::string, uint64_t>, std::string> retained;
+
+  uint64_t version = 0;
+  for (;;) {
+    for (size_t f = 0; f < dataset.file_count(); ++f) {
+      auto stats = store.Backup(dataset.file_id(f), dataset.file_data(f));
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      ASSERT_EQ(stats.value().version, version);
+      retained[{dataset.file_id(f), version}] = dataset.file_data(f);
+    }
+    ASSERT_TRUE(store.RunGNodeCycle().ok());
+
+    if (version >= kRetain) {
+      uint64_t expired = version - kRetain;
+      for (size_t f = 0; f < dataset.file_count(); ++f) {
+        ASSERT_TRUE(
+            store.DeleteVersion(dataset.file_id(f), expired).ok());
+        retained.erase({dataset.file_id(f), expired});
+      }
+    }
+    if (!dataset.NextVersion()) break;
+    ++version;
+  }
+
+  // The repository self-checks clean.
+  auto report = store.VerifyRepository();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().problems.front();
+  EXPECT_EQ(report.value().versions_checked,
+            dataset.file_count() * kRetain);
+
+  // Every retained version restores byte-identically.
+  for (const auto& [key, expected] : retained) {
+    lnode::RestoreStats stats;
+    auto restored = store.Restore(key.first, key.second, &stats);
+    ASSERT_TRUE(restored.ok())
+        << key.first << " v" << key.second << ": " << restored.status();
+    EXPECT_EQ(restored.value(), expected)
+        << key.first << " v" << key.second;
+  }
+
+  // Expired versions are really gone.
+  EXPECT_FALSE(store.Restore(dataset.file_id(0), 0).ok());
+
+  // Dedup across the whole run did its job: stored bytes far below
+  // logical bytes of all retained data, let alone all backed-up data.
+  auto space = store.GetSpaceReport();
+  ASSERT_TRUE(space.ok());
+  uint64_t retained_logical = 0;
+  for (const auto& [key, data] : retained) retained_logical += data.size();
+  EXPECT_LT(space.value().container_bytes, retained_logical);
+}
+
+TEST(IntegrationTest, RdataManySmallFiles) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  core::SlimStore store(&oss, options);
+
+  workload::RdataOptions rdata;
+  rdata.num_files = 10;
+  rdata.file_size = 24 << 10;
+  rdata.num_versions = 4;
+  rdata.seed = 404;
+  workload::Dataset dataset = workload::Dataset::MakeRdata(rdata);
+
+  std::map<std::pair<size_t, uint64_t>, std::string> all;
+  uint64_t version = 0;
+  for (;;) {
+    for (size_t f = 0; f < dataset.file_count(); ++f) {
+      ASSERT_TRUE(
+          store.Backup(dataset.file_id(f), dataset.file_data(f)).ok());
+      all[{f, version}] = dataset.file_data(f);
+    }
+    if (!dataset.NextVersion()) break;
+    ++version;
+  }
+  ASSERT_TRUE(store.RunGNodeCycle().ok());
+
+  for (const auto& [key, expected] : all) {
+    auto restored = store.Restore(dataset.file_id(key.first), key.second);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored.value(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+#include "oss/memory_object_store.h"
+#include "oss/rocks_oss.h"
+#include "oss/simulated_oss.h"
+
+namespace slim::oss {
+namespace {
+
+OssCostModel FastModel() {
+  OssCostModel model;
+  model.sleep_for_cost = false;  // Account only; tests stay fast.
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryObjectStore
+// ---------------------------------------------------------------------------
+
+TEST(MemoryObjectStoreTest, PutGetRoundTrip) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("a/b", "hello").ok());
+  auto v = store.Get("a/b");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "hello");
+}
+
+TEST(MemoryObjectStoreTest, GetMissingIsNotFound) {
+  MemoryObjectStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+  EXPECT_TRUE(store.Size("nope").status().IsNotFound());
+}
+
+TEST(MemoryObjectStoreTest, PutOverwrites) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("k", "v1").ok());
+  ASSERT_TRUE(store.Put("k", "v2").ok());
+  EXPECT_EQ(store.Get("k").value(), "v2");
+  EXPECT_EQ(store.ObjectCount(), 1u);
+}
+
+TEST(MemoryObjectStoreTest, GetRangeSemantics) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("k", "0123456789").ok());
+  EXPECT_EQ(store.GetRange("k", 2, 3).value(), "234");
+  // Reading past the end returns the available suffix.
+  EXPECT_EQ(store.GetRange("k", 8, 100).value(), "89");
+  // Offset at exactly the end is an empty read.
+  EXPECT_EQ(store.GetRange("k", 10, 1).value(), "");
+  // Offset beyond the end is an error.
+  EXPECT_FALSE(store.GetRange("k", 11, 1).ok());
+}
+
+TEST(MemoryObjectStoreTest, DeleteIsIdempotent) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_TRUE(store.Delete("k").ok());
+  EXPECT_TRUE(store.Delete("k").ok());
+  EXPECT_FALSE(store.Exists("k").value());
+}
+
+TEST(MemoryObjectStoreTest, ListByPrefixSorted) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("x/2", "").ok());
+  ASSERT_TRUE(store.Put("x/1", "").ok());
+  ASSERT_TRUE(store.Put("y/1", "").ok());
+  ASSERT_TRUE(store.Put("x", "").ok());
+  auto keys = store.List("x/");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys.value().size(), 2u);
+  EXPECT_EQ(keys.value()[0], "x/1");
+  EXPECT_EQ(keys.value()[1], "x/2");
+}
+
+TEST(MemoryObjectStoreTest, TotalBytesWithPrefix) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("p/a", "12345").ok());
+  ASSERT_TRUE(store.Put("p/b", "123").ok());
+  ASSERT_TRUE(store.Put("q/c", "1").ok());
+  EXPECT_EQ(TotalBytesWithPrefix(store, "p/").value(), 8u);
+}
+
+TEST(MemoryObjectStoreTest, ConcurrentPutsAreSafe) {
+  MemoryObjectStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(
+            store.Put("k" + std::to_string(t) + "-" + std::to_string(i),
+                      "v")
+                .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.ObjectCount(), 800u);
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedOss
+// ---------------------------------------------------------------------------
+
+TEST(SimulatedOssTest, CountsRequestsAndBytes) {
+  MemoryObjectStore inner;
+  SimulatedOss oss(&inner, FastModel());
+  ASSERT_TRUE(oss.Put("k", std::string(1000, 'x')).ok());
+  ASSERT_TRUE(oss.Get("k").ok());
+  ASSERT_TRUE(oss.Get("k").ok());
+  auto m = oss.metrics();
+  EXPECT_EQ(m.put_requests, 1u);
+  EXPECT_EQ(m.get_requests, 2u);
+  EXPECT_EQ(m.bytes_written, 1000u);
+  EXPECT_EQ(m.bytes_read, 2000u);
+  EXPECT_GT(m.sim_cost_nanos, 0u);
+}
+
+TEST(SimulatedOssTest, CostModelArithmetic) {
+  OssCostModel model;
+  model.request_latency_nanos = 1000;
+  model.read_nanos_per_byte = 2.0;
+  EXPECT_EQ(model.ReadCostNanos(500), 1000u + 1000u);
+}
+
+TEST(SimulatedOssTest, ResetMetrics) {
+  MemoryObjectStore inner;
+  SimulatedOss oss(&inner, FastModel());
+  ASSERT_TRUE(oss.Put("k", "v").ok());
+  oss.ResetMetrics();
+  auto m = oss.metrics();
+  EXPECT_EQ(m.put_requests, 0u);
+  EXPECT_EQ(m.bytes_written, 0u);
+}
+
+TEST(SimulatedOssTest, MetricsSnapshotDiff) {
+  MemoryObjectStore inner;
+  SimulatedOss oss(&inner, FastModel());
+  ASSERT_TRUE(oss.Put("k", "vvvv").ok());
+  auto before = oss.metrics();
+  ASSERT_TRUE(oss.Get("k").ok());
+  auto delta = oss.metrics() - before;
+  EXPECT_EQ(delta.get_requests, 1u);
+  EXPECT_EQ(delta.put_requests, 0u);
+  EXPECT_EQ(delta.bytes_read, 4u);
+}
+
+TEST(SimulatedOssTest, FailureInjection) {
+  MemoryObjectStore inner;
+  SimulatedOss oss(&inner, FastModel());
+  ASSERT_TRUE(oss.Put("k", "v").ok());
+  oss.set_failure_injector([](const std::string& op, const std::string&) {
+    if (op == "get") return Status::IoError("injected");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(oss.Get("k").status().IsIoError());
+  // Other ops still work.
+  EXPECT_TRUE(oss.Put("k2", "v").ok());
+  oss.set_failure_injector(nullptr);
+  EXPECT_TRUE(oss.Get("k").ok());
+}
+
+TEST(SimulatedOssTest, PassesThroughNotFound) {
+  MemoryObjectStore inner;
+  SimulatedOss oss(&inner, FastModel());
+  EXPECT_TRUE(oss.Get("missing").status().IsNotFound());
+}
+
+TEST(SimulatedOssTest, SleepForCostActuallySleeps) {
+  MemoryObjectStore inner;
+  OssCostModel model;
+  model.request_latency_nanos = 5 * 1000 * 1000;  // 5 ms
+  model.read_nanos_per_byte = 0;
+  model.write_nanos_per_byte = 0;
+  model.sleep_for_cost = true;
+  SimulatedOss oss(&inner, model);
+  ASSERT_TRUE(oss.Put("k", "v").ok());
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(oss.Get("k").ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            4);
+}
+
+// ---------------------------------------------------------------------------
+// RocksOss
+// ---------------------------------------------------------------------------
+
+RocksOssOptions SmallLsm() {
+  RocksOssOptions options;
+  options.memtable_limit_bytes = 4096;
+  options.max_runs = 4;
+  return options;
+}
+
+TEST(RocksOssTest, PutGetRoundTrip) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  ASSERT_TRUE(db.Put("key", "value").ok());
+  EXPECT_EQ(db.Get("key").value(), "value");
+}
+
+TEST(RocksOssTest, GetMissing) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  EXPECT_TRUE(db.Get("missing").status().IsNotFound());
+}
+
+TEST(RocksOssTest, OverwriteTakesLatest) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  ASSERT_TRUE(db.Put("k", "v1").ok());
+  ASSERT_TRUE(db.Flush().ok());
+  ASSERT_TRUE(db.Put("k", "v2").ok());
+  EXPECT_EQ(db.Get("k").value(), "v2");
+}
+
+TEST(RocksOssTest, DeleteTombstonesAcrossFlush) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  ASSERT_TRUE(db.Flush().ok());
+  ASSERT_TRUE(db.Delete("k").ok());
+  EXPECT_TRUE(db.Get("k").status().IsNotFound());
+  ASSERT_TRUE(db.Flush().ok());
+  EXPECT_TRUE(db.Get("k").status().IsNotFound());
+  ASSERT_TRUE(db.Compact().ok());
+  EXPECT_TRUE(db.Get("k").status().IsNotFound());
+}
+
+TEST(RocksOssTest, FlushPersistsRunsOnOss) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  ASSERT_TRUE(db.Flush().ok());
+  EXPECT_EQ(db.run_count(), 1u);
+  EXPECT_FALSE(store.List("db/run-").value().empty());
+}
+
+TEST(RocksOssTest, AutoFlushOnMemtableLimit) {
+  MemoryObjectStore store;
+  RocksOssOptions options = SmallLsm();
+  options.memtable_limit_bytes = 256;
+  RocksOss db(&store, "db", options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Put("key-" + std::to_string(i), "some value").ok());
+  }
+  EXPECT_GE(db.run_count(), 1u);
+  // All keys still readable.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(db.Get("key-" + std::to_string(i)).ok());
+  }
+}
+
+TEST(RocksOssTest, CompactMergesToSingleRun) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(db.Put("k" + std::to_string(batch * 10 + i), "v").ok());
+    }
+    ASSERT_TRUE(db.Flush().ok());
+  }
+  EXPECT_EQ(db.run_count(), 3u);
+  ASSERT_TRUE(db.Compact().ok());
+  EXPECT_EQ(db.run_count(), 1u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(db.Get("k" + std::to_string(i)).ok());
+  }
+  // Old run objects are deleted from OSS.
+  EXPECT_EQ(store.List("db/run-").value().size(), 1u);
+}
+
+TEST(RocksOssTest, ScanRangeMergesAllSources) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  ASSERT_TRUE(db.Put("b", "2").ok());
+  ASSERT_TRUE(db.Flush().ok());
+  ASSERT_TRUE(db.Put("b", "2x").ok());  // Overwrite in memtable.
+  ASSERT_TRUE(db.Put("c", "3").ok());
+  ASSERT_TRUE(db.Delete("a").ok());
+  auto scan = db.Scan("", "");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().size(), 2u);
+  EXPECT_EQ(scan.value()[0].first, "b");
+  EXPECT_EQ(scan.value()[0].second, "2x");
+  EXPECT_EQ(scan.value()[1].first, "c");
+}
+
+TEST(RocksOssTest, ScanRespectsBounds) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  for (char c = 'a'; c <= 'f'; ++c) {
+    ASSERT_TRUE(db.Put(std::string(1, c), "v").ok());
+  }
+  auto scan = db.Scan("b", "e");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().size(), 3u);
+  EXPECT_EQ(scan.value().front().first, "b");
+  EXPECT_EQ(scan.value().back().first, "d");
+}
+
+TEST(RocksOssTest, ReopenRecoversFlushedState) {
+  MemoryObjectStore store;
+  {
+    RocksOss db(&store, "db", SmallLsm());
+    ASSERT_TRUE(db.Put("persisted", "yes").ok());
+    ASSERT_TRUE(db.Put("dropped", "tomb").ok());
+    ASSERT_TRUE(db.Delete("dropped").ok());
+    ASSERT_TRUE(db.Flush().ok());
+  }
+  RocksOss db(&store, "db", SmallLsm());
+  ASSERT_TRUE(db.Open().ok());
+  EXPECT_EQ(db.Get("persisted").value(), "yes");
+  EXPECT_TRUE(db.Get("dropped").status().IsNotFound());
+  // New writes get fresh run ids that do not collide.
+  ASSERT_TRUE(db.Put("after", "reopen").ok());
+  ASSERT_TRUE(db.Flush().ok());
+  EXPECT_EQ(db.Get("after").value(), "reopen");
+}
+
+TEST(RocksOssTest, RandomizedAgainstMapOracle) {
+  MemoryObjectStore store;
+  RocksOssOptions options = SmallLsm();
+  options.memtable_limit_bytes = 512;
+  options.max_runs = 3;
+  RocksOss db(&store, "db", options);
+  std::map<std::string, std::string> oracle;
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(200));
+    double p = rng.NextDouble();
+    if (p < 0.5) {
+      std::string value = "v" + std::to_string(rng.Next() % 100000);
+      ASSERT_TRUE(db.Put(key, value).ok());
+      oracle[key] = value;
+    } else if (p < 0.7) {
+      ASSERT_TRUE(db.Delete(key).ok());
+      oracle.erase(key);
+    } else if (p < 0.72) {
+      ASSERT_TRUE(db.Compact().ok());
+    } else {
+      auto got = db.Get(key);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        EXPECT_EQ(got.value(), it->second);
+      }
+    }
+  }
+  // Final full comparison via Scan.
+  auto scan = db.Scan("", "");
+  ASSERT_TRUE(scan.ok());
+  std::map<std::string, std::string> scanned(scan.value().begin(),
+                                             scan.value().end());
+  EXPECT_EQ(scanned, oracle);
+}
+
+TEST(RocksOssTest, BloomSkipsReduceReads) {
+  MemoryObjectStore store;
+  RocksOss db(&store, "db", SmallLsm());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Put("present-" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(db.Flush().ok());
+  for (int i = 0; i < 200; ++i) {
+    (void)db.Get("absent-" + std::to_string(i));
+  }
+  EXPECT_GT(db.bloom_skips(), 150u);
+}
+
+}  // namespace
+}  // namespace slim::oss

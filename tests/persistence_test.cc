@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "oss/disk_object_store.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DiskObjectStore
+// ---------------------------------------------------------------------------
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  DiskStoreTest() {
+    root_ = std::filesystem::temp_directory_path() /
+            ("slimstore-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    auto store = oss::DiskObjectStore::Open(root_.string());
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(store).value();
+  }
+  ~DiskStoreTest() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+  std::unique_ptr<oss::DiskObjectStore> store_;
+};
+
+TEST_F(DiskStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store_->Put("a/b/c", "disk bytes").ok());
+  auto got = store_->Get("a/b/c");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "disk bytes");
+}
+
+TEST_F(DiskStoreTest, MissingIsNotFound) {
+  EXPECT_TRUE(store_->Get("ghost").status().IsNotFound());
+  EXPECT_TRUE(store_->Size("ghost").status().IsNotFound());
+  EXPECT_FALSE(store_->Exists("ghost").value());
+}
+
+TEST_F(DiskStoreTest, BinaryContentSurvives) {
+  std::string blob;
+  for (int i = 0; i < 512; ++i) blob.push_back(static_cast<char>(i % 256));
+  ASSERT_TRUE(store_->Put("bin", blob).ok());
+  EXPECT_EQ(store_->Get("bin").value(), blob);
+  EXPECT_EQ(store_->Size("bin").value(), blob.size());
+}
+
+TEST_F(DiskStoreTest, RangeReads) {
+  ASSERT_TRUE(store_->Put("r", "0123456789").ok());
+  EXPECT_EQ(store_->GetRange("r", 3, 4).value(), "3456");
+  EXPECT_EQ(store_->GetRange("r", 8, 100).value(), "89");
+  EXPECT_FALSE(store_->GetRange("r", 11, 1).ok());
+}
+
+TEST_F(DiskStoreTest, KeysWithSpecialCharacters) {
+  std::vector<std::string> keys = {"slash/key", "percent%key",
+                                   "spaces and stuff", "dots..dots",
+                                   "unicode-\xc3\xa9"};
+  for (const auto& key : keys) {
+    ASSERT_TRUE(store_->Put(key, "v-" + key).ok());
+  }
+  for (const auto& key : keys) {
+    auto got = store_->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(got.value(), "v-" + key);
+  }
+}
+
+TEST_F(DiskStoreTest, ListByPrefixDecodesKeys) {
+  ASSERT_TRUE(store_->Put("pre/x", "").ok());
+  ASSERT_TRUE(store_->Put("pre/y", "").ok());
+  ASSERT_TRUE(store_->Put("other/z", "").ok());
+  auto keys = store_->List("pre/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value(),
+            (std::vector<std::string>{"pre/x", "pre/y"}));
+}
+
+TEST_F(DiskStoreTest, DeleteIsIdempotent) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  EXPECT_TRUE(store_->Delete("k").ok());
+  EXPECT_TRUE(store_->Delete("k").ok());
+  EXPECT_FALSE(store_->Exists("k").value());
+}
+
+TEST_F(DiskStoreTest, OverwriteIsAtomicallyVisible) {
+  ASSERT_TRUE(store_->Put("k", "old").ok());
+  ASSERT_TRUE(store_->Put("k", "new").ok());
+  EXPECT_EQ(store_->Get("k").value(), "new");
+  // No .tmp leftovers appear in listings.
+  EXPECT_EQ(store_->List("k").value().size(), 1u);
+}
+
+TEST_F(DiskStoreTest, FullSlimStoreLifecycleOnDisk) {
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  core::SlimStore store(store_.get(), options);
+
+  workload::GeneratorOptions gen;
+  gen.base_size = 64 << 10;
+  gen.block_size = 1024;
+  gen.seed = 5;
+  workload::VersionedFileGenerator file(gen);
+  std::string v0 = file.data();
+  ASSERT_TRUE(store.Backup("disk/file", v0).ok());
+  ASSERT_TRUE(store.RunGNodeCycle().ok());
+  auto restored = store.Restore("disk/file", 0);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value(), v0);
+}
+
+// ---------------------------------------------------------------------------
+// SlimStore state persistence (SaveState / OpenExisting)
+// ---------------------------------------------------------------------------
+
+core::SlimStoreOptions SmallOptions() {
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  return options;
+}
+
+TEST(PersistenceTest, ReopenedStoreStillDeduplicatesAndRestores) {
+  oss::MemoryObjectStore oss;
+  workload::GeneratorOptions gen;
+  gen.base_size = 96 << 10;
+  gen.duplication_ratio = 0.85;
+  gen.block_size = 1024;
+  gen.seed = 71;
+  workload::VersionedFileGenerator file(gen);
+
+  std::vector<std::string> versions;
+  {
+    core::SlimStore store(&oss, SmallOptions());
+    for (int v = 0; v < 2; ++v) {
+      versions.push_back(file.data());
+      ASSERT_TRUE(store.Backup("f", file.data()).ok());
+      file.Mutate();
+    }
+    ASSERT_TRUE(store.RunGNodeCycle().ok());
+    ASSERT_TRUE(store.SaveState().ok());
+  }
+
+  // A fresh process: same OSS, new SlimStore.
+  core::SlimStore reopened(&oss, SmallOptions());
+  ASSERT_TRUE(reopened.OpenExisting().ok());
+
+  // The catalog knows the history.
+  EXPECT_EQ(reopened.catalog()->VersionsOf("f"),
+            (std::vector<uint64_t>{0, 1}));
+
+  // Old versions restore.
+  for (int v = 0; v < 2; ++v) {
+    auto restored = reopened.Restore("f", v);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+
+  // A new backup continues the version chain AND deduplicates against
+  // the pre-reopen history (name detection via the reloaded index).
+  versions.push_back(file.data());
+  auto stats = reopened.Backup("f", file.data());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().version, 2u);
+  EXPECT_GT(stats.value().DedupRatio(), 0.5);
+  auto restored = reopened.Restore("f", 2);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), versions[2]);
+}
+
+TEST(PersistenceTest, ContainerIdsDoNotCollideAfterReopen) {
+  oss::MemoryObjectStore oss;
+  workload::GeneratorOptions gen;
+  gen.base_size = 32 << 10;
+  gen.block_size = 1024;
+  gen.seed = 73;
+  {
+    core::SlimStore store(&oss, SmallOptions());
+    workload::VersionedFileGenerator file(gen);
+    ASSERT_TRUE(store.Backup("f", file.data()).ok());
+    ASSERT_TRUE(store.SaveState().ok());
+  }
+  core::SlimStore reopened(&oss, SmallOptions());
+  ASSERT_TRUE(reopened.OpenExisting().ok());
+  size_t containers_before =
+      reopened.container_store()->ListContainerIds().value().size();
+  workload::GeneratorOptions gen2 = gen;
+  gen2.seed = 74;  // Different content: no dedup.
+  workload::VersionedFileGenerator other(gen2);
+  ASSERT_TRUE(reopened.Backup("g", other.data()).ok());
+  // New containers were appended, none overwritten.
+  EXPECT_GT(reopened.container_store()->ListContainerIds().value().size(),
+            containers_before);
+  auto f = reopened.Restore("f", 0);
+  ASSERT_TRUE(f.ok());
+  auto g = reopened.Restore("g", 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value(), other.data());
+}
+
+TEST(PersistenceTest, OpenExistingOnEmptyRootFails) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, SmallOptions());
+  EXPECT_FALSE(store.OpenExisting().ok());
+}
+
+TEST(PersistenceTest, CatalogSaveLoadRoundTrip) {
+  oss::MemoryObjectStore oss;
+  core::Catalog catalog;
+  core::VersionInfo info;
+  info.file_id = "f";
+  info.version = 3;
+  info.logical_bytes = 12345;
+  info.new_containers = {1, 2};
+  info.referenced_containers = {1, 2, 3};
+  info.garbage_containers = {0};
+  info.sparse_containers = {3};
+  info.gnode_pending = false;
+  catalog.RecordBackup(info);
+  ASSERT_TRUE(catalog.Save(&oss, "cat").ok());
+
+  core::Catalog loaded;
+  ASSERT_TRUE(loaded.Load(&oss, "cat").ok());
+  auto got = loaded.Get("f", 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->logical_bytes, 12345u);
+  EXPECT_EQ(got->referenced_containers,
+            (std::vector<format::ContainerId>{1, 2, 3}));
+  EXPECT_EQ(got->garbage_containers,
+            (std::vector<format::ContainerId>{0}));
+  EXPECT_FALSE(got->gnode_pending);
+  EXPECT_TRUE(loaded.GnodePending().empty());
+}
+
+}  // namespace
+}  // namespace slim

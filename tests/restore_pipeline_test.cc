@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+#include "workload/generator.h"
+
+namespace slim::lnode {
+namespace {
+
+core::SlimStoreOptions SmallOptions() {
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.sample_ratio = 4;
+  options.restore.cache_bytes = 256 << 10;
+  options.restore.disk_cache_bytes = 1 << 20;
+  options.restore.law_chunks = 64;
+  return options;
+}
+
+/// Fixture: a store with a few versions backed up, plus OSS metrics.
+class RestorePipelineTest : public ::testing::Test {
+ protected:
+  RestorePipelineTest() {
+    oss::OssCostModel model;
+    model.sleep_for_cost = false;
+    oss_ = std::make_unique<oss::SimulatedOss>(&backing_, model);
+    store_ = std::make_unique<core::SlimStore>(oss_.get(), SmallOptions());
+
+    workload::GeneratorOptions gen;
+    gen.base_size = 128 << 10;
+    gen.duplication_ratio = 0.85;
+    gen.self_reference = 0.2;
+    gen.block_size = 1024;
+    gen.seed = 99;
+    workload::VersionedFileGenerator file(gen);
+    for (int v = 0; v < 4; ++v) {
+      versions_.push_back(file.data());
+      EXPECT_TRUE(store_->Backup("f", file.data()).ok());
+      file.Mutate();
+    }
+  }
+
+  RestoreOptions Opts() { return SmallOptions().restore; }
+
+  oss::MemoryObjectStore backing_;
+  std::unique_ptr<oss::SimulatedOss> oss_;
+  std::unique_ptr<core::SlimStore> store_;
+  std::vector<std::string> versions_;
+};
+
+TEST_F(RestorePipelineTest, LawSizeSweepAllCorrect) {
+  for (size_t law : {1u, 4u, 32u, 256u, 100000u}) {
+    RestoreOptions opts = Opts();
+    opts.law_chunks = law;
+    RestoreStats stats;
+    auto out = store_->Restore("f", 3, &stats, &opts);
+    ASSERT_TRUE(out.ok()) << "law " << law;
+    EXPECT_EQ(out.value(), versions_[3]) << "law " << law;
+  }
+}
+
+TEST_F(RestorePipelineTest, PrefetchThreadSweepAllCorrect) {
+  for (size_t threads : {0u, 1u, 3u, 8u}) {
+    RestoreOptions opts = Opts();
+    opts.prefetch_threads = threads;
+    RestoreStats stats;
+    auto out = store_->Restore("f", 2, &stats, &opts);
+    ASSERT_TRUE(out.ok()) << "threads " << threads;
+    EXPECT_EQ(out.value(), versions_[2]);
+  }
+}
+
+TEST_F(RestorePipelineTest, PrefetchDoesNotIncreaseContainerReads) {
+  RestoreOptions opts = Opts();
+  opts.cache_bytes = 8 << 20;  // Ample.
+  RestoreStats no_prefetch;
+  ASSERT_TRUE(store_->Restore("f", 3, &no_prefetch, &opts).ok());
+  opts.prefetch_threads = 4;
+  RestoreStats with_prefetch;
+  ASSERT_TRUE(store_->Restore("f", 3, &with_prefetch, &opts).ok());
+  // Prefetching must not cause duplicate fetches (the in-flight set
+  // deduplicates reads).
+  EXPECT_LE(with_prefetch.containers_fetched,
+            no_prefetch.containers_fetched + 2);
+}
+
+TEST_F(RestorePipelineTest, DiskCacheAbsorbsMemoryPressure) {
+  RestoreOptions opts = Opts();
+  opts.cache_bytes = 8 << 10;        // ~half a container.
+  opts.disk_cache_bytes = 8 << 20;   // Plenty of spill room.
+  RestoreStats with_disk;
+  ASSERT_TRUE(store_->Restore("f", 3, &with_disk, &opts).ok());
+
+  opts.disk_cache_bytes = 0;  // No spill: evictions become re-reads.
+  RestoreStats without_disk;
+  ASSERT_TRUE(store_->Restore("f", 3, &without_disk, &opts).ok());
+
+  EXPECT_GT(with_disk.disk_spills, 0u);
+  EXPECT_LE(with_disk.containers_fetched, without_disk.containers_fetched);
+}
+
+TEST_F(RestorePipelineTest, RedirectsAfterGnodeReorganization) {
+  ASSERT_TRUE(store_->RunGNodeCycle().ok());
+  // Old versions may need global-index redirects now; all must restore.
+  for (int v = 0; v < 4; ++v) {
+    RestoreStats stats;
+    auto out = store_->Restore("f", v, &stats, nullptr);
+    ASSERT_TRUE(out.ok()) << "version " << v << ": " << out.status();
+    EXPECT_EQ(out.value(), versions_[v]);
+  }
+}
+
+TEST_F(RestorePipelineTest, KnownAbsentChunksDoNotRereadContainers) {
+  ASSERT_TRUE(store_->RunGNodeCycle().ok());
+  RestoreStats stats;
+  auto out = store_->Restore("f", 0, &stats, nullptr);
+  ASSERT_TRUE(out.ok());
+  if (stats.redirects > 0) {
+    // With the directory cache, fetches stay bounded by (distinct
+    // recipe containers + distinct redirect targets); far below
+    // one fetch per redirected chunk.
+    EXPECT_LT(stats.containers_fetched,
+              stats.chunks_restored);
+  }
+}
+
+TEST_F(RestorePipelineTest, StatsAccounting) {
+  RestoreStats stats;
+  auto out = store_->Restore("f", 1, &stats, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.logical_bytes, versions_[1].size());
+  EXPECT_EQ(stats.chunks_restored,
+            store_->recipe_store()->ReadRecipe("f", 1).value().Flatten()
+                .size());
+  EXPECT_GT(stats.bytes_fetched, 0u);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+}
+
+TEST_F(RestorePipelineTest, PrefetchSurfacesInjectedErrors) {
+  oss_->set_failure_injector(
+      [](const std::string& op, const std::string& key) {
+        if (op == "get" &&
+            key.find("/containers/data-") != std::string::npos) {
+          return Status::IoError("injected");
+        }
+        return Status::Ok();
+      });
+  RestoreOptions opts = Opts();
+  opts.prefetch_threads = 4;
+  auto out = store_->Restore("f", 3, nullptr, &opts);
+  EXPECT_FALSE(out.ok());
+  oss_->set_failure_injector(nullptr);
+}
+
+TEST_F(RestorePipelineTest, CorruptContainerDetected) {
+  // Flip a byte in one container payload; restore must fail with
+  // Corruption, not return wrong bytes.
+  auto keys = backing_.List("slim/containers/data-");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_FALSE(keys.value().empty());
+  const std::string& victim = keys.value()[keys.value().size() / 2];
+  auto object = backing_.Get(victim);
+  ASSERT_TRUE(object.ok());
+  std::string mutated = object.value();
+  mutated[mutated.size() / 2] ^= 0x1;
+  ASSERT_TRUE(backing_.Put(victim, mutated).ok());
+
+  bool any_failed = false;
+  for (int v = 0; v < 4; ++v) {
+    auto out = store_->Restore("f", v);
+    if (!out.ok()) {
+      any_failed = true;
+      EXPECT_TRUE(out.status().IsCorruption()) << out.status();
+    } else {
+      EXPECT_EQ(out.value(), versions_[v]);
+    }
+  }
+  EXPECT_TRUE(any_failed);
+}
+
+TEST_F(RestorePipelineTest, ZeroCacheCapacityStillCorrect) {
+  RestoreOptions opts = Opts();
+  opts.cache_bytes = 0;
+  opts.disk_cache_bytes = 0;
+  auto out = store_->Restore("f", 3, nullptr, &opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), versions_[3]);
+}
+
+}  // namespace
+}  // namespace slim::lnode

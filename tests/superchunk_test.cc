@@ -1,0 +1,255 @@
+// Focused tests for history-aware chunk merging (paper §IV-C,
+// Algorithm 1) and its interaction with the rest of the system.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "format/recipe.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+core::SlimStoreOptions MergingOptions() {
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 32 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.sample_ratio = 4;
+  options.backup.chunk_merging = true;
+  options.backup.merge_threshold = 2;
+  options.backup.min_merge_chunks = 2;
+  return options;
+}
+
+workload::GeneratorOptions Gen(uint64_t seed, double dup = 0.9) {
+  workload::GeneratorOptions gen;
+  gen.base_size = 128 << 10;
+  gen.duplication_ratio = dup;
+  gen.block_size = 1024;
+  gen.seed = seed;
+  return gen;
+}
+
+/// Backs up `n` versions; returns the store (moves ownership pattern:
+/// caller owns oss).
+std::vector<std::string> BackupVersions(core::SlimStore* store,
+                                        workload::VersionedFileGenerator* f,
+                                        int n) {
+  std::vector<std::string> versions;
+  for (int v = 0; v < n; ++v) {
+    versions.push_back(f->data());
+    EXPECT_TRUE(store->Backup("f", f->data()).ok());
+    f->Mutate();
+  }
+  return versions;
+}
+
+TEST(SuperchunkTest, RecordsAreLogicalNotStored) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, MergingOptions());
+  workload::VersionedFileGenerator file(Gen(1));
+  BackupVersions(&store, &file, 5);
+
+  auto recipe = store.recipe_store()->ReadRecipe("f", 4);
+  ASSERT_TRUE(recipe.ok());
+  size_t superchunks = 0;
+  for (const auto& seg : recipe.value().segments) {
+    for (const auto& rec : seg.records) {
+      if (!rec.is_superchunk) continue;
+      ++superchunks;
+      // Logical: no container of its own, constituents present, sizes
+      // add up, first_chunk matches.
+      EXPECT_EQ(rec.container_id, format::kInvalidContainerId);
+      ASSERT_NE(rec.constituents, nullptr);
+      ASSERT_FALSE(rec.constituents->empty());
+      uint64_t sum = 0;
+      for (const auto& c : *rec.constituents) {
+        sum += c.size;
+        EXPECT_NE(c.container_id, format::kInvalidContainerId);
+        EXPECT_FALSE(c.is_superchunk);
+      }
+      EXPECT_EQ(sum, rec.size);
+      EXPECT_EQ(rec.first_chunk_fp, rec.constituents->front().fp);
+    }
+  }
+  EXPECT_GT(superchunks, 0u);
+}
+
+TEST(SuperchunkTest, FlattenExpandsToPhysicalChunks) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, MergingOptions());
+  workload::VersionedFileGenerator file(Gen(2));
+  BackupVersions(&store, &file, 5);
+
+  auto recipe = store.recipe_store()->ReadRecipe("f", 4);
+  ASSERT_TRUE(recipe.ok());
+  uint64_t flat_bytes = 0;
+  for (const auto& rec : recipe.value().Flatten()) {
+    EXPECT_FALSE(rec.is_superchunk);
+    EXPECT_NE(rec.container_id, format::kInvalidContainerId);
+    flat_bytes += rec.size;
+  }
+  EXPECT_EQ(flat_bytes, recipe.value().LogicalBytes());
+}
+
+TEST(SuperchunkTest, StableContentConvergesToFewRecords) {
+  // A file that never changes: after the threshold, each segment
+  // becomes a handful of superchunk records.
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, MergingOptions());
+  workload::VersionedFileGenerator file(Gen(3));
+  const std::string frozen = file.data();
+  uint64_t first_chunks = 0, last_chunks = 0;
+  for (int v = 0; v < 5; ++v) {
+    auto stats = store.Backup("f", frozen);
+    ASSERT_TRUE(stats.ok());
+    if (v == 0) first_chunks = stats.value().total_chunks;
+    last_chunks = stats.value().total_chunks;
+  }
+  EXPECT_LT(last_chunks, first_chunks / 3);
+  auto restored = store.Restore("f", 4);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), frozen);
+}
+
+TEST(SuperchunkTest, BrokenSuperchunkFallsBackToConstituents) {
+  oss::MemoryObjectStore oss;
+  core::SlimStore store(&oss, MergingOptions());
+  workload::VersionedFileGenerator file(Gen(4, 0.97));
+  // Stabilize: superchunks form.
+  std::string stable = file.data();
+  for (int v = 0; v < 4; ++v) {
+    ASSERT_TRUE(store.Backup("f", stable).ok());
+  }
+  // Now mutate a small region in the middle: most constituents of the
+  // broken superchunk must still deduplicate.
+  std::string mutated = stable;
+  for (size_t i = 60 << 10; i < (62 << 10); ++i) {
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x5a);
+  }
+  auto stats = store.Backup("f", mutated);
+  ASSERT_TRUE(stats.ok());
+  // ~2 KB of 128 KB changed: dedup should stay very high thanks to the
+  // constituent fallback.
+  EXPECT_GT(stats.value().DedupRatio(), 0.9);
+  auto restored = store.Restore("f", 4);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), mutated);
+}
+
+TEST(SuperchunkTest, MaxSuperchunkBytesIsHonored) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options = MergingOptions();
+  options.backup.max_superchunk_bytes = 8 << 10;
+  core::SlimStore store(&oss, options);
+  workload::VersionedFileGenerator file(Gen(5));
+  const std::string frozen = file.data();
+  for (int v = 0; v < 4; ++v) {
+    ASSERT_TRUE(store.Backup("f", frozen).ok());
+  }
+  auto recipe = store.recipe_store()->ReadRecipe("f", 3);
+  ASSERT_TRUE(recipe.ok());
+  for (const auto& seg : recipe.value().segments) {
+    for (const auto& rec : seg.records) {
+      if (rec.is_superchunk) {
+        EXPECT_LE(rec.size, (8u << 10) + options.backup.chunker_params
+                                             .max_size);
+      }
+    }
+  }
+}
+
+TEST(SuperchunkTest, MergeThresholdDelaysMerging) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options = MergingOptions();
+  options.backup.merge_threshold = 4;
+  core::SlimStore store(&oss, options);
+  workload::VersionedFileGenerator file(Gen(6));
+  const std::string frozen = file.data();
+  // duplicateTimes reaches 4 at the 5th backup (v4): no superchunks
+  // before that.
+  for (int v = 0; v < 4; ++v) {
+    auto stats = store.Backup("f", frozen);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().superchunks_formed, 0u) << "version " << v;
+  }
+  auto stats = store.Backup("f", frozen);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().superchunks_formed, 0u);
+}
+
+TEST(SuperchunkTest, RecipeIndexSamplesConstituents) {
+  format::Recipe recipe;
+  recipe.file_id = "f";
+  recipe.version = 0;
+  format::SegmentRecipe seg;
+  format::ChunkRecord sc;
+  sc.fp = Sha1::Hash("span");
+  sc.is_superchunk = true;
+  sc.size = 30;
+  sc.first_chunk_fp = Sha1::Hash("first");
+  auto constituents =
+      std::make_shared<std::vector<format::ChunkRecord>>();
+  for (int i = 0; i < 10; ++i) {
+    format::ChunkRecord c;
+    c.fp = Sha1::Hash("c" + std::to_string(i));
+    c.size = 3;
+    c.container_id = 1;
+    constituents->push_back(c);
+  }
+  sc.constituents = constituents;
+  seg.records.push_back(sc);
+  recipe.segments.push_back(seg);
+
+  auto index = format::RecipeIndex::Build(recipe, /*sample_ratio=*/1);
+  // With R=1 every constituent fp is a sample, plus the first-chunk fp.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(index.sample_to_segment.count(
+                    Sha1::Hash("c" + std::to_string(i))) > 0)
+        << i;
+  }
+  EXPECT_TRUE(index.sample_to_segment.count(Sha1::Hash("first")) > 0);
+}
+
+TEST(SuperchunkTest, GnodePassesPreserveMergedRecipes) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options = MergingOptions();
+  options.backup.sparse_utilization_threshold = 0.5;
+  core::SlimStore store(&oss, options);
+  workload::VersionedFileGenerator file(Gen(7, 0.85));
+  std::vector<std::string> versions;
+  for (int v = 0; v < 6; ++v) {
+    versions.push_back(file.data());
+    ASSERT_TRUE(store.Backup("f", file.data()).ok());
+    ASSERT_TRUE(store.RunGNodeCycle().ok());
+    file.Mutate();
+  }
+  for (int v = 0; v < 6; ++v) {
+    auto restored = store.Restore("f", v);
+    ASSERT_TRUE(restored.ok()) << "v" << v << ": " << restored.status();
+    EXPECT_EQ(restored.value(), versions[v]);
+  }
+}
+
+TEST(SuperchunkTest, MergingOffMeansNoSuperchunks) {
+  oss::MemoryObjectStore oss;
+  core::SlimStoreOptions options = MergingOptions();
+  options.backup.chunk_merging = false;
+  core::SlimStore store(&oss, options);
+  workload::VersionedFileGenerator file(Gen(8));
+  const std::string frozen = file.data();
+  for (int v = 0; v < 5; ++v) {
+    auto stats = store.Backup("f", frozen);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().superchunks_formed, 0u);
+    EXPECT_EQ(stats.value().superchunks_matched, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace slim

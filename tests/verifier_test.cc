@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "lnode/restore_pipeline.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim::core {
+namespace {
+
+SlimStoreOptions SmallOptions() {
+  SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 16 << 10;
+  options.backup.sample_ratio = 4;
+  return options;
+}
+
+workload::VersionedFileGenerator MakeFile(uint64_t seed = 61) {
+  workload::GeneratorOptions gen;
+  gen.base_size = 96 << 10;
+  gen.duplication_ratio = 0.85;
+  gen.block_size = 1024;
+  gen.seed = seed;
+  return workload::VersionedFileGenerator(gen);
+}
+
+TEST(VerifierTest, CleanRepositoryPasses) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  auto file = MakeFile();
+  for (int v = 0; v < 3; ++v) {
+    ASSERT_TRUE(store.Backup("f", file.data()).ok());
+    file.Mutate();
+  }
+  auto report = store.VerifyRepository();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok()) << report.value().problems.front();
+  EXPECT_EQ(report.value().versions_checked, 3u);
+  EXPECT_GT(report.value().chunks_checked, 100u);
+  EXPECT_GT(report.value().containers_checked, 0u);
+}
+
+TEST(VerifierTest, PassesAfterGnodeWithRedirects) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  auto file = MakeFile(62);
+  for (int v = 0; v < 5; ++v) {
+    ASSERT_TRUE(store.Backup("f", file.data()).ok());
+    ASSERT_TRUE(store.RunGNodeCycle().ok());
+    file.Mutate();
+  }
+  auto report = store.VerifyRepository();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().ok())
+      << report.value().problems.front();
+}
+
+TEST(VerifierTest, DetectsCorruptedContainer) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  auto file = MakeFile(63);
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+
+  auto keys = oss.List("slim/containers/data-");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_FALSE(keys.value().empty());
+  auto object = oss.Get(keys.value()[0]);
+  ASSERT_TRUE(object.ok());
+  std::string mutated = object.value();
+  mutated[mutated.size() - 1] ^= 0xff;
+  ASSERT_TRUE(oss.Put(keys.value()[0], mutated).ok());
+
+  auto report = store.VerifyRepository();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().ok());
+}
+
+TEST(VerifierTest, DetectsDeletedContainer) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  auto file = MakeFile(64);
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+  auto keys = oss.List("slim/containers/data-");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(oss.Delete(keys.value()[0]).ok());
+  auto report = store.VerifyRepository();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().ok());
+}
+
+TEST(VerifierTest, DetectsMissingRecipe) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  auto file = MakeFile(65);
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+  ASSERT_TRUE(store.recipe_store()->DeleteVersion("f", 0).ok());
+  auto report = store.VerifyRepository();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().ok());
+}
+
+// ---------------------------------------------------------------------------
+// RestoreToSink
+// ---------------------------------------------------------------------------
+
+TEST(RestoreToSinkTest, StreamsSameBytesAsRestore) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  auto file = MakeFile(66);
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+
+  lnode::RestoreOptions opts = SmallOptions().restore;
+  opts.global_index = store.global_index();
+  lnode::RestorePipeline pipeline(store.container_store(),
+                                  store.recipe_store(), opts);
+  std::string streamed;
+  size_t pushes = 0;
+  Status s = pipeline.RestoreToSink(
+      "f", 0,
+      [&](std::string_view bytes) {
+        streamed.append(bytes.data(), bytes.size());
+        ++pushes;
+        return Status::Ok();
+      },
+      nullptr);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(streamed, file.data());
+  EXPECT_GT(pushes, 10u);  // Chunk-granular pushes, not one big blob.
+}
+
+TEST(RestoreToSinkTest, SinkErrorAbortsRestore) {
+  oss::MemoryObjectStore oss;
+  SlimStore store(&oss, SmallOptions());
+  auto file = MakeFile(67);
+  ASSERT_TRUE(store.Backup("f", file.data()).ok());
+
+  lnode::RestoreOptions opts = SmallOptions().restore;
+  opts.global_index = store.global_index();
+  lnode::RestorePipeline pipeline(store.container_store(),
+                                  store.recipe_store(), opts);
+  size_t pushes = 0;
+  Status s = pipeline.RestoreToSink(
+      "f", 0,
+      [&](std::string_view) {
+        if (++pushes == 3) return Status::IoError("client went away");
+        return Status::Ok();
+      },
+      nullptr);
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(pushes, 3u);
+}
+
+}  // namespace
+}  // namespace slim::core

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "workload/generator.h"
+
+namespace slim::workload {
+namespace {
+
+GeneratorOptions SmallOptions(uint64_t seed = 1) {
+  GeneratorOptions options;
+  options.base_size = 256 << 10;
+  options.duplication_ratio = 0.85;
+  options.self_reference = 0.2;
+  options.block_size = 1024;
+  options.seed = seed;
+  return options;
+}
+
+TEST(GeneratorTest, BaseSizeHonored) {
+  VersionedFileGenerator gen(SmallOptions());
+  EXPECT_EQ(gen.data().size(), 256u << 10);
+  EXPECT_EQ(gen.version(), 0u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  VersionedFileGenerator a(SmallOptions(7));
+  VersionedFileGenerator b(SmallOptions(7));
+  EXPECT_EQ(a.data(), b.data());
+  a.Mutate();
+  b.Mutate();
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.version(), 1u);
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentContent) {
+  VersionedFileGenerator a(SmallOptions(1));
+  VersionedFileGenerator b(SmallOptions(2));
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(GeneratorTest, MutationChangesRoughlyTargetFraction) {
+  for (double target : {0.95, 0.85, 0.70}) {
+    GeneratorOptions options = SmallOptions(11);
+    options.duplication_ratio = target;
+    VersionedFileGenerator gen(options);
+    std::string before = gen.data();
+    gen.Mutate();
+    double measured =
+        MeasureDuplication(before, gen.data(), 1024).byte_duplication;
+    // CDC-measured duplication tracks the configured ratio within a
+    // modest band (boundary chunks cost a little).
+    EXPECT_NEAR(measured, target, 0.08) << "target " << target;
+  }
+}
+
+TEST(GeneratorTest, SizeStaysRoughlyStable) {
+  VersionedFileGenerator gen(SmallOptions(13));
+  size_t base = gen.data().size();
+  for (int i = 0; i < 20; ++i) gen.Mutate();
+  // Inserts and deletes are balanced in expectation.
+  EXPECT_GT(gen.data().size(), base / 2);
+  EXPECT_LT(gen.data().size(), base * 2);
+}
+
+TEST(GeneratorTest, SelfReferenceProducesInternalDuplicates) {
+  GeneratorOptions with = SmallOptions(17);
+  with.self_reference = 0.3;
+  GeneratorOptions without = SmallOptions(17);
+  without.self_reference = 0.0;
+
+  auto dup_blocks = [](const std::string& data) {
+    std::set<uint64_t> seen;
+    size_t dups = 0, total = 0;
+    for (size_t off = 0; off + 1024 <= data.size(); off += 1024) {
+      if (!seen.insert(Fnv1a64(data.data() + off, 1024)).second) ++dups;
+      ++total;
+    }
+    return static_cast<double>(dups) / total;
+  };
+  EXPECT_GT(dup_blocks(VersionedFileGenerator(with).data()), 0.15);
+  EXPECT_LT(dup_blocks(VersionedFileGenerator(without).data()), 0.02);
+}
+
+TEST(GeneratorTest, MutateWithExplicitRatio) {
+  VersionedFileGenerator gen(SmallOptions(19));
+  std::string before = gen.data();
+  gen.MutateWithRatio(0.5);
+  double measured =
+      MeasureDuplication(before, gen.data(), 1024).byte_duplication;
+  EXPECT_LT(measured, 0.75);
+}
+
+TEST(DatasetTest, SdbShape) {
+  SdbOptions options;
+  options.num_files = 3;
+  options.file_size = 64 << 10;
+  options.num_versions = 5;
+  Dataset ds = Dataset::MakeSdb(options);
+  EXPECT_EQ(ds.file_count(), 3u);
+  EXPECT_EQ(ds.num_versions(), 5u);
+  EXPECT_EQ(ds.files().size(), 3u);
+  // Duplication ratios spread across [min, max].
+  EXPECT_DOUBLE_EQ(ds.file_duplication(0), 0.65);
+  EXPECT_DOUBLE_EQ(ds.file_duplication(2), 0.95);
+  // Version stepping.
+  int steps = 0;
+  while (ds.NextVersion()) ++steps;
+  EXPECT_EQ(steps, 4);
+  EXPECT_EQ(ds.current_version(), 4u);
+}
+
+TEST(DatasetTest, RdataShape) {
+  RdataOptions options;
+  options.num_files = 5;
+  options.file_size = 32 << 10;
+  options.num_versions = 3;
+  Dataset ds = Dataset::MakeRdata(options);
+  EXPECT_EQ(ds.file_count(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(ds.file_duplication(i), 0.92);
+    EXPECT_EQ(ds.file_data(i).size(), 32u << 10);
+  }
+  EXPECT_NE(ds.file_id(0), ds.file_id(1));
+}
+
+TEST(DatasetTest, FilesEvolveIndependently) {
+  SdbOptions options;
+  options.num_files = 2;
+  options.file_size = 64 << 10;
+  options.num_versions = 3;
+  Dataset ds = Dataset::MakeSdb(options);
+  std::string f0 = ds.file_data(0);
+  std::string f1 = ds.file_data(1);
+  EXPECT_NE(f0, f1);
+  ASSERT_TRUE(ds.NextVersion());
+  EXPECT_NE(ds.file_data(0), f0);
+  EXPECT_NE(ds.file_data(1), f1);
+}
+
+TEST(MeasureDuplicationTest, IdenticalIsOne) {
+  VersionedFileGenerator gen(SmallOptions(23));
+  EXPECT_DOUBLE_EQ(
+      MeasureDuplication(gen.data(), gen.data(), 1024).byte_duplication,
+      1.0);
+}
+
+TEST(MeasureDuplicationTest, UnrelatedIsNearZero) {
+  VersionedFileGenerator a(SmallOptions(29));
+  GeneratorOptions bo = SmallOptions(31);
+  bo.self_reference = 0;
+  VersionedFileGenerator b(bo);
+  EXPECT_LT(MeasureDuplication(a.data(), b.data(), 1024).byte_duplication,
+            0.02);
+}
+
+TEST(MeasureDuplicationTest, RobustToInsertions) {
+  VersionedFileGenerator gen(SmallOptions(37));
+  std::string shifted =
+      gen.data().substr(0, 100) + "X" + gen.data().substr(100);
+  // One inserted byte must not destroy the measured duplication
+  // (content-defined measurement).
+  EXPECT_GT(MeasureDuplication(gen.data(), shifted, 1024).byte_duplication,
+            0.9);
+}
+
+TEST(MeasureDuplicationTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(MeasureDuplication("abc", "", 1024).byte_duplication,
+                   0.0);
+}
+
+}  // namespace
+}  // namespace slim::workload

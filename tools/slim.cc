@@ -1,0 +1,237 @@
+// slim — command-line interface to a SlimStore repository.
+//
+// The repository is a directory of objects (DiskObjectStore); swap in a
+// real cloud ObjectStore binding to talk to actual OSS/S3.
+//
+//   slim -r REPO init
+//   slim -r REPO backup  FILE...           back up files (next version)
+//   slim -r REPO restore FILE VERSION OUT  restore one version to OUT
+//   slim -r REPO list [FILE]               list files / versions
+//   slim -r REPO gnode                     run the offline G-node pass
+//   slim -r REPO forget FILE VERSION       delete a version + GC
+//   slim -r REPO space                     space report
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "oss/disk_object_store.h"
+
+namespace {
+
+using namespace slim;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: slim -r REPO COMMAND ...\n"
+      "  init                      create a repository\n"
+      "  backup FILE...            back up files (next version each)\n"
+      "  restore FILE VER OUT      restore FILE version VER into OUT\n"
+      "  list [FILE]               list backed-up files / versions\n"
+      "  gnode                     run reverse dedup + compaction\n"
+      "  forget FILE VER           delete a version and collect garbage\n"
+      "  space                     print the space report\n"
+      "  verify                    check repository consistency\n");
+  return 2;
+}
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+// Persist state after every mutating command so the repo survives
+// process exits; reload it (if present) on startup.
+class Repo {
+ public:
+  static Result<std::unique_ptr<Repo>> Open(const std::string& root,
+                                            bool must_exist) {
+    auto disk = oss::DiskObjectStore::Open(root);
+    if (!disk.ok()) return disk.status();
+    auto repo = std::unique_ptr<Repo>(new Repo(std::move(disk).value()));
+    auto marker = repo->disk_->Exists("slim/state/catalog");
+    if (marker.ok() && marker.value()) {
+      Status s = repo->store_->OpenExisting();
+      if (!s.ok()) return s;
+    } else if (must_exist) {
+      return Status::NotFound("no repository at " + root +
+                              " (run: slim -r " + root + " init)");
+    }
+    return repo;
+  }
+
+  core::SlimStore* store() { return store_.get(); }
+  Status Save() { return store_->SaveState(); }
+
+ private:
+  explicit Repo(std::unique_ptr<oss::DiskObjectStore> disk)
+      : disk_(std::move(disk)) {
+    core::SlimStoreOptions options;
+    options.backup.chunk_merging = true;
+    store_ = std::make_unique<core::SlimStore>(disk_.get(), options);
+  }
+
+  std::unique_ptr<oss::DiskObjectStore> disk_;
+  std::unique_ptr<core::SlimStore> store_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string repo_root;
+  int argi = 1;
+  if (argi + 1 < argc && std::strcmp(argv[argi], "-r") == 0) {
+    repo_root = argv[argi + 1];
+    argi += 2;
+  }
+  if (repo_root.empty() || argi >= argc) return Usage();
+  std::string command = argv[argi++];
+
+  bool must_exist = command != "init";
+  auto repo = Repo::Open(repo_root, must_exist);
+  if (!repo.ok()) return Fail(repo.status());
+  core::SlimStore* store = repo.value()->store();
+
+  if (command == "init") {
+    if (!repo.value()->Save().ok()) return 1;
+    std::printf("initialized repository at %s\n", repo_root.c_str());
+    return 0;
+  }
+
+  if (command == "backup") {
+    if (argi >= argc) return Usage();
+    for (; argi < argc; ++argi) {
+      // Memory-mapped: large files are paged, not loaded.
+      auto stats = store->BackupFile(argv[argi]);
+      if (!stats.ok()) return Fail(stats.status());
+      std::printf("%s: version %llu, %.1f MB, dedup %.1f%%, %llu new "
+                  "containers\n",
+                  argv[argi], (unsigned long long)stats.value().version,
+                  stats.value().logical_bytes / (1024.0 * 1024.0),
+                  100 * stats.value().DedupRatio(),
+                  (unsigned long long)stats.value().new_containers.size());
+    }
+    Status s = repo.value()->Save();
+    if (!s.ok()) return Fail(s);
+    return 0;
+  }
+
+  if (command == "restore") {
+    if (argi + 2 >= argc) return Usage();
+    std::string file = argv[argi];
+    uint64_t version = std::stoull(argv[argi + 1]);
+    std::string out = argv[argi + 2];
+    lnode::RestoreStats stats;
+    auto data = store->Restore(file, version, &stats);
+    if (!data.ok()) return Fail(data.status());
+    Status s = WriteFile(out, data.value());
+    if (!s.ok()) return Fail(s);
+    std::printf("restored %s v%llu -> %s (%.1f MB, %llu containers "
+                "read)\n",
+                file.c_str(), (unsigned long long)version, out.c_str(),
+                data.value().size() / (1024.0 * 1024.0),
+                (unsigned long long)stats.containers_fetched);
+    return 0;
+  }
+
+  if (command == "list") {
+    std::vector<index::FileVersion> versions =
+        store->catalog()->LiveVersions();
+    std::string filter = argi < argc ? argv[argi] : "";
+    for (const auto& fv : versions) {
+      if (!filter.empty() && fv.file_id != filter) continue;
+      auto info = store->catalog()->Get(fv.file_id, fv.version);
+      std::printf("%-40s v%-6llu %10.1f MB%s\n", fv.file_id.c_str(),
+                  (unsigned long long)fv.version,
+                  info.has_value()
+                      ? info->logical_bytes / (1024.0 * 1024.0)
+                      : 0.0,
+                  info.has_value() && info->gnode_pending
+                      ? "  (g-node pending)"
+                      : "");
+    }
+    return 0;
+  }
+
+  if (command == "gnode") {
+    auto cycle = store->RunGNodeCycle();
+    if (!cycle.ok()) return Fail(cycle.status());
+    Status s = repo.value()->Save();
+    if (!s.ok()) return Fail(s);
+    std::printf("g-node: %zu backups processed, %llu duplicates removed, "
+                "%llu chunks compacted, %llu bytes reclaimed\n",
+                cycle.value().backups_processed,
+                (unsigned long long)cycle.value()
+                    .reverse_dedup.duplicates_found,
+                (unsigned long long)cycle.value().scc.chunks_moved,
+                (unsigned long long)(cycle.value()
+                                         .reverse_dedup.bytes_reclaimed +
+                                     cycle.value().scc.bytes_reclaimed));
+    return 0;
+  }
+
+  if (command == "forget") {
+    if (argi + 1 >= argc) return Usage();
+    std::string file = argv[argi];
+    uint64_t version = std::stoull(argv[argi + 1]);
+    auto gc = store->DeleteVersion(file, version);
+    if (!gc.ok()) return Fail(gc.status());
+    Status s = repo.value()->Save();
+    if (!s.ok()) return Fail(s);
+    std::printf("forgot %s v%llu: %llu containers reclaimed (%.1f MB)\n",
+                file.c_str(), (unsigned long long)version,
+                (unsigned long long)gc.value().containers_deleted,
+                gc.value().bytes_reclaimed / (1024.0 * 1024.0));
+    return 0;
+  }
+
+  if (command == "verify") {
+    auto report = store->VerifyRepository();
+    if (!report.ok()) return Fail(report.status());
+    std::printf("checked %llu versions, %llu chunks, %llu containers "
+                "(%llu redirected chunks)\n",
+                (unsigned long long)report.value().versions_checked,
+                (unsigned long long)report.value().chunks_checked,
+                (unsigned long long)report.value().containers_checked,
+                (unsigned long long)report.value().redirected_chunks);
+    if (!report.value().ok()) {
+      for (const auto& problem : report.value().problems) {
+        std::fprintf(stderr, "PROBLEM: %s\n", problem.c_str());
+      }
+      return 1;
+    }
+    std::printf("repository OK\n");
+    return 0;
+  }
+
+  if (command == "space") {
+    auto report = store->GetSpaceReport();
+    if (!report.ok()) return Fail(report.status());
+    std::printf("containers: %10.2f MB\n",
+                report.value().container_bytes / (1024.0 * 1024.0));
+    std::printf("metadata:   %10.2f MB\n",
+                report.value().meta_bytes / (1024.0 * 1024.0));
+    std::printf("recipes:    %10.2f MB\n",
+                report.value().recipe_bytes / (1024.0 * 1024.0));
+    std::printf("index:      %10.2f MB\n",
+                report.value().index_bytes / (1024.0 * 1024.0));
+    std::printf("total:      %10.2f MB\n",
+                report.value().total() / (1024.0 * 1024.0));
+    return 0;
+  }
+
+  return Usage();
+}
