@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_restic.dir/fig10_restic.cc.o"
+  "CMakeFiles/fig10_restic.dir/fig10_restic.cc.o.d"
+  "fig10_restic"
+  "fig10_restic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_restic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

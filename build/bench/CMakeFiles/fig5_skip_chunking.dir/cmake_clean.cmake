@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_skip_chunking.dir/fig5_skip_chunking.cc.o"
+  "CMakeFiles/fig5_skip_chunking.dir/fig5_skip_chunking.cc.o.d"
+  "fig5_skip_chunking"
+  "fig5_skip_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_skip_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

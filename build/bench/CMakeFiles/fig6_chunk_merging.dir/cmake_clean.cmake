@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_chunk_merging.dir/fig6_chunk_merging.cc.o"
+  "CMakeFiles/fig6_chunk_merging.dir/fig6_chunk_merging.cc.o.d"
+  "fig6_chunk_merging"
+  "fig6_chunk_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_chunk_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dedup_comparison.dir/fig7_dedup_comparison.cc.o"
+  "CMakeFiles/fig7_dedup_comparison.dir/fig7_dedup_comparison.cc.o.d"
+  "fig7_dedup_comparison"
+  "fig7_dedup_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dedup_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_restore.dir/fig8_restore.cc.o"
+  "CMakeFiles/fig8_restore.dir/fig8_restore.cc.o.d"
+  "fig8_restore"
+  "fig8_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

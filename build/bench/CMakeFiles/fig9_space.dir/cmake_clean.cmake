@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_space.dir/fig9_space.cc.o"
+  "CMakeFiles/fig9_space.dir/fig9_space.cc.o.d"
+  "fig9_space"
+  "fig9_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

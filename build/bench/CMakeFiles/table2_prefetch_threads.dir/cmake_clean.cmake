@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_prefetch_threads.dir/table2_prefetch_threads.cc.o"
+  "CMakeFiles/table2_prefetch_threads.dir/table2_prefetch_threads.cc.o.d"
+  "table2_prefetch_threads"
+  "table2_prefetch_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_prefetch_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

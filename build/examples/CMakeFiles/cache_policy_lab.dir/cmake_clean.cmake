@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_policy_lab.dir/cache_policy_lab.cpp.o"
+  "CMakeFiles/cache_policy_lab.dir/cache_policy_lab.cpp.o.d"
+  "cache_policy_lab"
+  "cache_policy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_policy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

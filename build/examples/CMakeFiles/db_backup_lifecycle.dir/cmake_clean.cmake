@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_backup_lifecycle.dir/db_backup_lifecycle.cpp.o"
+  "CMakeFiles/db_backup_lifecycle.dir/db_backup_lifecycle.cpp.o.d"
+  "db_backup_lifecycle"
+  "db_backup_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_backup_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

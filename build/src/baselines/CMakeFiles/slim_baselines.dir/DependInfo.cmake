@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/restic_like.cc" "src/baselines/CMakeFiles/slim_baselines.dir/restic_like.cc.o" "gcc" "src/baselines/CMakeFiles/slim_baselines.dir/restic_like.cc.o.d"
+  "/root/repo/src/baselines/restore_baselines.cc" "src/baselines/CMakeFiles/slim_baselines.dir/restore_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/slim_baselines.dir/restore_baselines.cc.o.d"
+  "/root/repo/src/baselines/silo.cc" "src/baselines/CMakeFiles/slim_baselines.dir/silo.cc.o" "gcc" "src/baselines/CMakeFiles/slim_baselines.dir/silo.cc.o.d"
+  "/root/repo/src/baselines/sparse_indexing.cc" "src/baselines/CMakeFiles/slim_baselines.dir/sparse_indexing.cc.o" "gcc" "src/baselines/CMakeFiles/slim_baselines.dir/sparse_indexing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oss/CMakeFiles/slim_oss.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/slim_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/slim_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/slim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/lnode/CMakeFiles/slim_lnode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

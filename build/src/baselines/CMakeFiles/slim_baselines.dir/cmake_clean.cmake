@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_baselines.dir/restic_like.cc.o"
+  "CMakeFiles/slim_baselines.dir/restic_like.cc.o.d"
+  "CMakeFiles/slim_baselines.dir/restore_baselines.cc.o"
+  "CMakeFiles/slim_baselines.dir/restore_baselines.cc.o.d"
+  "CMakeFiles/slim_baselines.dir/silo.cc.o"
+  "CMakeFiles/slim_baselines.dir/silo.cc.o.d"
+  "CMakeFiles/slim_baselines.dir/sparse_indexing.cc.o"
+  "CMakeFiles/slim_baselines.dir/sparse_indexing.cc.o.d"
+  "libslim_baselines.a"
+  "libslim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

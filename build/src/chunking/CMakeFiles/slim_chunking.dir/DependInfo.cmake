@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunking/chunker.cc" "src/chunking/CMakeFiles/slim_chunking.dir/chunker.cc.o" "gcc" "src/chunking/CMakeFiles/slim_chunking.dir/chunker.cc.o.d"
+  "/root/repo/src/chunking/gear.cc" "src/chunking/CMakeFiles/slim_chunking.dir/gear.cc.o" "gcc" "src/chunking/CMakeFiles/slim_chunking.dir/gear.cc.o.d"
+  "/root/repo/src/chunking/rabin.cc" "src/chunking/CMakeFiles/slim_chunking.dir/rabin.cc.o" "gcc" "src/chunking/CMakeFiles/slim_chunking.dir/rabin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_chunking.dir/chunker.cc.o"
+  "CMakeFiles/slim_chunking.dir/chunker.cc.o.d"
+  "CMakeFiles/slim_chunking.dir/gear.cc.o"
+  "CMakeFiles/slim_chunking.dir/gear.cc.o.d"
+  "CMakeFiles/slim_chunking.dir/rabin.cc.o"
+  "CMakeFiles/slim_chunking.dir/rabin.cc.o.d"
+  "libslim_chunking.a"
+  "libslim_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_common.dir/hash.cc.o"
+  "CMakeFiles/slim_common.dir/hash.cc.o.d"
+  "CMakeFiles/slim_common.dir/mmap_file.cc.o"
+  "CMakeFiles/slim_common.dir/mmap_file.cc.o.d"
+  "CMakeFiles/slim_common.dir/status.cc.o"
+  "CMakeFiles/slim_common.dir/status.cc.o.d"
+  "CMakeFiles/slim_common.dir/thread_pool.cc.o"
+  "CMakeFiles/slim_common.dir/thread_pool.cc.o.d"
+  "libslim_common.a"
+  "libslim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_core.dir/catalog.cc.o"
+  "CMakeFiles/slim_core.dir/catalog.cc.o.d"
+  "CMakeFiles/slim_core.dir/cluster.cc.o"
+  "CMakeFiles/slim_core.dir/cluster.cc.o.d"
+  "CMakeFiles/slim_core.dir/slimstore.cc.o"
+  "CMakeFiles/slim_core.dir/slimstore.cc.o.d"
+  "CMakeFiles/slim_core.dir/verifier.cc.o"
+  "CMakeFiles/slim_core.dir/verifier.cc.o.d"
+  "libslim_core.a"
+  "libslim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

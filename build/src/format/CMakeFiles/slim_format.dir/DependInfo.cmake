@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/chunk.cc" "src/format/CMakeFiles/slim_format.dir/chunk.cc.o" "gcc" "src/format/CMakeFiles/slim_format.dir/chunk.cc.o.d"
+  "/root/repo/src/format/container.cc" "src/format/CMakeFiles/slim_format.dir/container.cc.o" "gcc" "src/format/CMakeFiles/slim_format.dir/container.cc.o.d"
+  "/root/repo/src/format/recipe.cc" "src/format/CMakeFiles/slim_format.dir/recipe.cc.o" "gcc" "src/format/CMakeFiles/slim_format.dir/recipe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oss/CMakeFiles/slim_oss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

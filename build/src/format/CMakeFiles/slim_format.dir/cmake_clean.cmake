@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_format.dir/chunk.cc.o"
+  "CMakeFiles/slim_format.dir/chunk.cc.o.d"
+  "CMakeFiles/slim_format.dir/container.cc.o"
+  "CMakeFiles/slim_format.dir/container.cc.o.d"
+  "CMakeFiles/slim_format.dir/recipe.cc.o"
+  "CMakeFiles/slim_format.dir/recipe.cc.o.d"
+  "libslim_format.a"
+  "libslim_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnode/reverse_dedup.cc" "src/gnode/CMakeFiles/slim_gnode.dir/reverse_dedup.cc.o" "gcc" "src/gnode/CMakeFiles/slim_gnode.dir/reverse_dedup.cc.o.d"
+  "/root/repo/src/gnode/scc.cc" "src/gnode/CMakeFiles/slim_gnode.dir/scc.cc.o" "gcc" "src/gnode/CMakeFiles/slim_gnode.dir/scc.cc.o.d"
+  "/root/repo/src/gnode/version_collector.cc" "src/gnode/CMakeFiles/slim_gnode.dir/version_collector.cc.o" "gcc" "src/gnode/CMakeFiles/slim_gnode.dir/version_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oss/CMakeFiles/slim_oss.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/slim_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/slim_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

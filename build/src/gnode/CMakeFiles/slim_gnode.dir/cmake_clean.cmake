@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_gnode.dir/reverse_dedup.cc.o"
+  "CMakeFiles/slim_gnode.dir/reverse_dedup.cc.o.d"
+  "CMakeFiles/slim_gnode.dir/scc.cc.o"
+  "CMakeFiles/slim_gnode.dir/scc.cc.o.d"
+  "CMakeFiles/slim_gnode.dir/version_collector.cc.o"
+  "CMakeFiles/slim_gnode.dir/version_collector.cc.o.d"
+  "libslim_gnode.a"
+  "libslim_gnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_gnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

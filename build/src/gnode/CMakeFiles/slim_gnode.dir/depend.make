@@ -1,0 +1,2 @@
+# Empty dependencies file for slim_gnode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bloom.cc" "src/index/CMakeFiles/slim_index.dir/bloom.cc.o" "gcc" "src/index/CMakeFiles/slim_index.dir/bloom.cc.o.d"
+  "/root/repo/src/index/dedup_cache.cc" "src/index/CMakeFiles/slim_index.dir/dedup_cache.cc.o" "gcc" "src/index/CMakeFiles/slim_index.dir/dedup_cache.cc.o.d"
+  "/root/repo/src/index/global_index.cc" "src/index/CMakeFiles/slim_index.dir/global_index.cc.o" "gcc" "src/index/CMakeFiles/slim_index.dir/global_index.cc.o.d"
+  "/root/repo/src/index/similar_file_index.cc" "src/index/CMakeFiles/slim_index.dir/similar_file_index.cc.o" "gcc" "src/index/CMakeFiles/slim_index.dir/similar_file_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oss/CMakeFiles/slim_oss.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/slim_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

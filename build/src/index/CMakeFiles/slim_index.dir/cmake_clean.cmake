@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_index.dir/bloom.cc.o"
+  "CMakeFiles/slim_index.dir/bloom.cc.o.d"
+  "CMakeFiles/slim_index.dir/dedup_cache.cc.o"
+  "CMakeFiles/slim_index.dir/dedup_cache.cc.o.d"
+  "CMakeFiles/slim_index.dir/global_index.cc.o"
+  "CMakeFiles/slim_index.dir/global_index.cc.o.d"
+  "CMakeFiles/slim_index.dir/similar_file_index.cc.o"
+  "CMakeFiles/slim_index.dir/similar_file_index.cc.o.d"
+  "libslim_index.a"
+  "libslim_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

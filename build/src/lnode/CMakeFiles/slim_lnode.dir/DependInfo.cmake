@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lnode/backup_pipeline.cc" "src/lnode/CMakeFiles/slim_lnode.dir/backup_pipeline.cc.o" "gcc" "src/lnode/CMakeFiles/slim_lnode.dir/backup_pipeline.cc.o.d"
+  "/root/repo/src/lnode/restore_pipeline.cc" "src/lnode/CMakeFiles/slim_lnode.dir/restore_pipeline.cc.o" "gcc" "src/lnode/CMakeFiles/slim_lnode.dir/restore_pipeline.cc.o.d"
+  "/root/repo/src/lnode/stream_window.cc" "src/lnode/CMakeFiles/slim_lnode.dir/stream_window.cc.o" "gcc" "src/lnode/CMakeFiles/slim_lnode.dir/stream_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/oss/CMakeFiles/slim_oss.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/slim_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/slim_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/slim_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

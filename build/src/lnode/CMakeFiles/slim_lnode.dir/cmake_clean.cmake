@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_lnode.dir/backup_pipeline.cc.o"
+  "CMakeFiles/slim_lnode.dir/backup_pipeline.cc.o.d"
+  "CMakeFiles/slim_lnode.dir/restore_pipeline.cc.o"
+  "CMakeFiles/slim_lnode.dir/restore_pipeline.cc.o.d"
+  "CMakeFiles/slim_lnode.dir/stream_window.cc.o"
+  "CMakeFiles/slim_lnode.dir/stream_window.cc.o.d"
+  "libslim_lnode.a"
+  "libslim_lnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_lnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

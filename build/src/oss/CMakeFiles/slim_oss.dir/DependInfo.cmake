@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oss/disk_object_store.cc" "src/oss/CMakeFiles/slim_oss.dir/disk_object_store.cc.o" "gcc" "src/oss/CMakeFiles/slim_oss.dir/disk_object_store.cc.o.d"
+  "/root/repo/src/oss/memory_object_store.cc" "src/oss/CMakeFiles/slim_oss.dir/memory_object_store.cc.o" "gcc" "src/oss/CMakeFiles/slim_oss.dir/memory_object_store.cc.o.d"
+  "/root/repo/src/oss/rocks_oss.cc" "src/oss/CMakeFiles/slim_oss.dir/rocks_oss.cc.o" "gcc" "src/oss/CMakeFiles/slim_oss.dir/rocks_oss.cc.o.d"
+  "/root/repo/src/oss/simulated_oss.cc" "src/oss/CMakeFiles/slim_oss.dir/simulated_oss.cc.o" "gcc" "src/oss/CMakeFiles/slim_oss.dir/simulated_oss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_oss.dir/disk_object_store.cc.o"
+  "CMakeFiles/slim_oss.dir/disk_object_store.cc.o.d"
+  "CMakeFiles/slim_oss.dir/memory_object_store.cc.o"
+  "CMakeFiles/slim_oss.dir/memory_object_store.cc.o.d"
+  "CMakeFiles/slim_oss.dir/rocks_oss.cc.o"
+  "CMakeFiles/slim_oss.dir/rocks_oss.cc.o.d"
+  "CMakeFiles/slim_oss.dir/simulated_oss.cc.o"
+  "CMakeFiles/slim_oss.dir/simulated_oss.cc.o.d"
+  "libslim_oss.a"
+  "libslim_oss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_oss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

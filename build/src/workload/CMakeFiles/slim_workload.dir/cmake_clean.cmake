@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_workload.dir/generator.cc.o"
+  "CMakeFiles/slim_workload.dir/generator.cc.o.d"
+  "libslim_workload.a"
+  "libslim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_restore_test.dir/backup_restore_test.cc.o"
+  "CMakeFiles/backup_restore_test.dir/backup_restore_test.cc.o.d"
+  "backup_restore_test"
+  "backup_restore_test.pdb"
+  "backup_restore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_restore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

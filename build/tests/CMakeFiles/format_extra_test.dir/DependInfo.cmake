@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/format_extra_test.cc" "tests/CMakeFiles/format_extra_test.dir/format_extra_test.cc.o" "gcc" "tests/CMakeFiles/format_extra_test.dir/format_extra_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/slim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/slim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnode/CMakeFiles/slim_gnode.dir/DependInfo.cmake"
+  "/root/repo/build/src/lnode/CMakeFiles/slim_lnode.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/slim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/slim_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/oss/CMakeFiles/slim_oss.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/slim_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/slim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_extra_test.dir/format_extra_test.cc.o"
+  "CMakeFiles/format_extra_test.dir/format_extra_test.cc.o.d"
+  "format_extra_test"
+  "format_extra_test.pdb"
+  "format_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnode_test.dir/gnode_test.cc.o"
+  "CMakeFiles/gnode_test.dir/gnode_test.cc.o.d"
+  "gnode_test"
+  "gnode_test.pdb"
+  "gnode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

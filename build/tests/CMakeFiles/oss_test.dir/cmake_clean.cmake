@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oss_test.dir/oss_test.cc.o"
+  "CMakeFiles/oss_test.dir/oss_test.cc.o.d"
+  "oss_test"
+  "oss_test.pdb"
+  "oss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_pipeline_test.dir/restore_pipeline_test.cc.o"
+  "CMakeFiles/restore_pipeline_test.dir/restore_pipeline_test.cc.o.d"
+  "restore_pipeline_test"
+  "restore_pipeline_test.pdb"
+  "restore_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

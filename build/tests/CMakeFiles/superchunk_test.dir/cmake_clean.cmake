@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superchunk_test.dir/superchunk_test.cc.o"
+  "CMakeFiles/superchunk_test.dir/superchunk_test.cc.o.d"
+  "superchunk_test"
+  "superchunk_test.pdb"
+  "superchunk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superchunk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

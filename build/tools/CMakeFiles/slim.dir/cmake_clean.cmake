@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim.dir/slim.cc.o"
+  "CMakeFiles/slim.dir/slim.cc.o.d"
+  "slim"
+  "slim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "bash" "-c" "    set -e; R=\$(mktemp -d); trap 'rm -rf \$R' EXIT;     /root/repo/build/tools/slim -r \$R/repo init;     head -c 200000 /dev/urandom > \$R/f.bin;     /root/repo/build/tools/slim -r \$R/repo backup \$R/f.bin;     cat \$R/f.bin \$R/f.bin | head -c 250000 > \$R/f2.bin; mv \$R/f2.bin \$R/f.bin;     /root/repo/build/tools/slim -r \$R/repo backup \$R/f.bin;     /root/repo/build/tools/slim -r \$R/repo gnode;     /root/repo/build/tools/slim -r \$R/repo verify;     /root/repo/build/tools/slim -r \$R/repo restore \$R/f.bin 1 \$R/out.bin;     cmp \$R/f.bin \$R/out.bin;     /root/repo/build/tools/slim -r \$R/repo forget \$R/f.bin 0;     /root/repo/build/tools/slim -r \$R/repo verify")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
