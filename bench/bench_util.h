@@ -3,11 +3,13 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
 #include "core/slimstore.h"
+#include "obs/export.h"
 #include "oss/memory_object_store.h"
 #include "oss/simulated_oss.h"
 #include "workload/generator.h"
@@ -109,6 +111,20 @@ inline core::SlimStoreOptions BenchStoreOptions() {
   options.restore.disk_cache_bytes = 16 << 20;
   options.restore.law_chunks = 1024;
   return options;
+}
+
+/// Writes the full metrics-registry snapshot as JSON into the current
+/// directory ("bench-<name>-metrics.json"), so runs can be diffed and
+/// post-processed. Prints where the snapshot went.
+inline void DumpMetricsJson(const std::string& bench_name) {
+  std::string path = "bench-" + bench_name + "-metrics.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << obs::RenderRegistry(obs::ExportFormat::kJson);
+  std::printf("\nmetrics snapshot: %s\n", path.c_str());
 }
 
 }  // namespace slim::bench

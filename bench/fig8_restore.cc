@@ -204,5 +204,6 @@ int main() {
             "with SCC the reads/100MB stabilize over versions instead of "
             "growing; with LAW prefetching SCC+FV reaches ~9.75x HAR+OPT "
             "and ~16.35x ALACC, and new versions restore as fast as old.");
+  DumpMetricsJson("fig8_restore");
   return 0;
 }

@@ -49,5 +49,6 @@ int main() {
   Row("%s", "\nPaper shape: throughput climbs steeply with threads and "
             "plateaus once prefetch outruns restore (6 threads: 36 -> "
             "207 MB/s at paper scale).");
+  DumpMetricsJson("table2_prefetch_threads");
   return 0;
 }

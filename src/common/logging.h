@@ -1,9 +1,15 @@
 #ifndef SLIMSTORE_COMMON_LOGGING_H_
 #define SLIMSTORE_COMMON_LOGGING_H_
 
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace slim {
 
@@ -11,8 +17,17 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Minimal process-wide logger. Defaults to kWarn so tests and benches
 /// stay quiet; examples raise it to kInfo.
+///
+/// Each line carries a UTC timestamp, the level, and a component tag:
+///   [2026-08-06 12:34:56.789] [WARN] [oss] slow request
+/// Warning and error volumes are tracked as gauges in the metrics
+/// registry (log.warnings / log.errors), and tests can capture output
+/// via set_sink().
 class Logger {
  public:
+  /// Receives every formatted line that passes the level filter.
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
   static Logger& Get() {
     static Logger* instance = new Logger();
     return *instance;
@@ -21,18 +36,59 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  /// Routes log lines to `sink` instead of stderr; nullptr restores
+  /// stderr output.
+  void set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = std::move(sink);
+  }
+
   void Log(LogLevel level, const std::string& msg) {
+    Log(level, "slim", msg);
+  }
+
+  void Log(LogLevel level, const std::string& component,
+           const std::string& msg) {
+    if (level == LogLevel::kWarn) warnings_->Add(1);
+    if (level == LogLevel::kError) errors_->Add(1);
     if (level < level_) return;
     static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::string line = "[" + TimestampUtc() + "] [" +
+                       kNames[static_cast<int>(level)] + "] [" + component +
+                       "] " + msg;
     std::lock_guard<std::mutex> lock(mu_);
-    std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
-                 msg.c_str());
+    if (sink_) {
+      sink_(level, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
 
  private:
-  Logger() = default;
+  Logger()
+      : warnings_(&obs::MetricsRegistry::Get().gauge("log.warnings")),
+        errors_(&obs::MetricsRegistry::Get().gauge("log.errors")) {}
+
+  static std::string TimestampUtc() {
+    using namespace std::chrono;
+    auto now = system_clock::now();
+    std::time_t secs = system_clock::to_time_t(now);
+    auto millis =
+        duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+    return buf;
+  }
+
   LogLevel level_ = LogLevel::kWarn;
   std::mutex mu_;
+  Sink sink_;
+  obs::Gauge* warnings_;
+  obs::Gauge* errors_;
 };
 
 inline void LogInfo(const std::string& msg) {
@@ -46,6 +102,19 @@ inline void LogError(const std::string& msg) {
 }
 inline void LogDebug(const std::string& msg) {
   Logger::Get().Log(LogLevel::kDebug, msg);
+}
+
+inline void LogInfo(const std::string& component, const std::string& msg) {
+  Logger::Get().Log(LogLevel::kInfo, component, msg);
+}
+inline void LogWarn(const std::string& component, const std::string& msg) {
+  Logger::Get().Log(LogLevel::kWarn, component, msg);
+}
+inline void LogError(const std::string& component, const std::string& msg) {
+  Logger::Get().Log(LogLevel::kError, component, msg);
+}
+inline void LogDebug(const std::string& component, const std::string& msg) {
+  Logger::Get().Log(LogLevel::kDebug, component, msg);
 }
 
 }  // namespace slim

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace slim::core {
 
@@ -14,6 +15,13 @@ size_t NodesNeeded(size_t jobs, size_t per_node, size_t max_nodes) {
   if (per_node == 0) return 1;
   size_t nodes = (jobs + per_node - 1) / per_node;
   return std::min(std::max<size_t>(nodes, 1), max_nodes);
+}
+
+// Registry counter tagged with the simulated L-node that ran the job,
+// e.g. "cluster.node3.backup.jobs". Jobs map to nodes round-robin.
+obs::Counter& NodeCounter(size_t node, const char* suffix) {
+  return obs::MetricsRegistry::Get().counter(
+      "cluster.node" + std::to_string(node) + "." + suffix);
 }
 
 }  // namespace
@@ -36,10 +44,15 @@ Result<ParallelRunStats> Cluster::ParallelBackup(
   Stopwatch watch;
   {
     ThreadPool pool(stats.concurrency);
+    size_t job_index = 0;
     for (const BackupJob& job : jobs) {
-      pool.Submit([&, job] {
+      const size_t node = job_index++ % stats.lnodes_used;
+      pool.Submit([&, job, node] {
         auto result = store_->Backup(job.file_id, *job.data);
         if (result.ok()) {
+          NodeCounter(node, "backup.jobs").Inc();
+          NodeCounter(node, "backup.bytes")
+              .Inc(result.value().logical_bytes);
           bytes.fetch_add(result.value().logical_bytes,
                           std::memory_order_relaxed);
         } else {
@@ -52,6 +65,10 @@ Result<ParallelRunStats> Cluster::ParallelBackup(
   }
   stats.elapsed_seconds = watch.ElapsedSeconds();
   stats.logical_bytes = bytes.load();
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.counter("cluster.backup.waves").Inc();
+  reg.gauge("cluster.backup.last_lnodes_used")
+      .Set(static_cast<int64_t>(stats.lnodes_used));
   if (!first_error.ok()) return first_error;
   return stats;
 }
@@ -75,12 +92,16 @@ Result<ParallelRunStats> Cluster::ParallelRestore(
   Stopwatch watch;
   {
     ThreadPool pool(stats.concurrency);
+    size_t job_index = 0;
     for (const auto& job : jobs) {
-      pool.Submit([&, job] {
+      const size_t node = job_index++ % stats.lnodes_used;
+      pool.Submit([&, job, node] {
         lnode::RestoreStats rstats;
         auto result = store_->Restore(job.file_id, job.version, &rstats,
                                       override_options);
         if (result.ok()) {
+          NodeCounter(node, "restore.jobs").Inc();
+          NodeCounter(node, "restore.bytes").Inc(result.value().size());
           bytes.fetch_add(result.value().size(), std::memory_order_relaxed);
         } else {
           std::lock_guard<std::mutex> lock(mu);
@@ -92,6 +113,10 @@ Result<ParallelRunStats> Cluster::ParallelRestore(
   }
   stats.elapsed_seconds = watch.ElapsedSeconds();
   stats.logical_bytes = bytes.load();
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.counter("cluster.restore.waves").Inc();
+  reg.gauge("cluster.restore.last_lnodes_used")
+      .Set(static_cast<int64_t>(stats.lnodes_used));
   if (!first_error.ok()) return first_error;
   return stats;
 }

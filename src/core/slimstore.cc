@@ -228,4 +228,8 @@ Result<SpaceReport> SlimStore::GetSpaceReport() const {
   return report;
 }
 
+std::string SlimStore::GetMetricsReport(obs::ExportFormat format) {
+  return obs::RenderRegistry(format);
+}
+
 }  // namespace slim::core

@@ -18,6 +18,7 @@
 #include "index/similar_file_index.h"
 #include "lnode/backup_pipeline.h"
 #include "lnode/restore_pipeline.h"
+#include "obs/export.h"
 #include "oss/object_store.h"
 
 namespace slim::core {
@@ -110,6 +111,13 @@ class SlimStore {
 
   /// Current OSS space usage split by object class.
   Result<SpaceReport> GetSpaceReport() const;
+
+  /// Renders the process-wide metrics registry (OSS traffic, pipeline
+  /// counters, index/bloom stats, G-node work...) in the given format.
+  /// The registry is process-global, so with several SlimStore
+  /// instances the report covers all of them.
+  static std::string GetMetricsReport(
+      obs::ExportFormat format = obs::ExportFormat::kTable);
 
   /// Offline fsck: proves every live version restorable (container
   /// checksums, chunk resolution incl. redirects, catalog agreement).

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace slim::gnode {
 
@@ -12,6 +13,7 @@ using format::ContainerMeta;
 Result<ReverseDedupStats> ReverseDeduplicator::ProcessNewContainers(
     const std::vector<ContainerId>& new_containers) {
   ReverseDedupStats stats;
+  obs::Span span("gnode.rd.process");
 
   // Meta cache for tombstoned old containers: exploits the physical
   // locality the paper points out — once one duplicate lands in an old
@@ -85,6 +87,15 @@ Result<ReverseDedupStats> ReverseDeduplicator::ProcessNewContainers(
   }
 
   SLIM_RETURN_IF_ERROR(global_index_->Flush());
+
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.counter("gnode.rd.runs").Inc();
+  reg.counter("gnode.rd.chunks_filtered").Inc(stats.chunks_filtered);
+  reg.counter("gnode.rd.bloom_negatives").Inc(stats.bloom_negatives);
+  reg.counter("gnode.rd.duplicates_found").Inc(stats.duplicates_found);
+  reg.counter("gnode.rd.index_inserts").Inc(stats.index_inserts);
+  reg.counter("gnode.rd.containers_rewritten").Inc(stats.containers_rewritten);
+  reg.counter("gnode.rd.bytes_reclaimed").Inc(stats.bytes_reclaimed);
   return stats;
 }
 

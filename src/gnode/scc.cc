@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace slim::gnode {
 
@@ -18,6 +19,7 @@ Result<SccStats> SparseContainerCompactor::Compact(
     std::vector<ContainerId>* new_container_ids) {
   SccStats stats;
   if (sparse_containers.empty()) return stats;
+  obs::Span span("gnode.scc.compact");
 
   auto recipe = recipes_->ReadRecipe(file_id, version);
   if (!recipe.ok()) return recipe.status();
@@ -137,6 +139,15 @@ Result<SccStats> SparseContainerCompactor::Compact(
     if (!reclaimed.ok()) return reclaimed.status();
     stats.bytes_reclaimed += reclaimed.value();
   }
+
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.counter("gnode.scc.runs").Inc();
+  reg.counter("gnode.scc.sparse_processed")
+      .Inc(stats.sparse_containers_processed);
+  reg.counter("gnode.scc.chunks_moved").Inc(stats.chunks_moved);
+  reg.counter("gnode.scc.bytes_moved").Inc(stats.bytes_moved);
+  reg.counter("gnode.scc.new_containers").Inc(stats.new_containers);
+  reg.counter("gnode.scc.bytes_reclaimed").Inc(stats.bytes_reclaimed);
   return stats;
 }
 

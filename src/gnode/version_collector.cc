@@ -3,10 +3,25 @@
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace slim::gnode {
 
 using format::ContainerId;
+
+namespace {
+
+void RecordGcStats(const GcStats& stats) {
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.counter("gnode.gc.runs").Inc();
+  reg.counter("gnode.gc.candidates_checked").Inc(stats.candidates_checked);
+  reg.counter("gnode.gc.containers_deleted").Inc(stats.containers_deleted);
+  reg.counter("gnode.gc.bytes_reclaimed").Inc(stats.bytes_reclaimed);
+  reg.counter("gnode.gc.index_entries_removed")
+      .Inc(stats.index_entries_removed);
+}
+
+}  // namespace
 
 Status VersionCollector::ReclaimContainer(ContainerId cid, GcStats* stats) {
   // Scrub global-index entries that still point to this container, so
@@ -32,6 +47,7 @@ Result<GcStats> VersionCollector::CollectMarkSweep(
     const std::string& file_id, uint64_t version,
     const std::vector<index::FileVersion>& live_versions) {
   GcStats stats;
+  obs::Span span("gnode.gc.mark_sweep");
 
   // Candidates: everything the deleted version references.
   auto recipe = recipes_->ReadRecipe(file_id, version);
@@ -64,6 +80,7 @@ Result<GcStats> VersionCollector::CollectMarkSweep(
   if (global_index_ != nullptr) {
     SLIM_RETURN_IF_ERROR(global_index_->Flush());
   }
+  RecordGcStats(stats);
   return stats;
 }
 
@@ -72,6 +89,7 @@ Result<GcStats> VersionCollector::CollectPrecomputed(
     const std::vector<ContainerId>& garbage_candidates,
     const std::vector<std::vector<ContainerId>>& live_referenced_sets) {
   GcStats stats;
+  obs::Span span("gnode.gc.precomputed");
 
   std::unordered_set<ContainerId> live;
   for (const auto& set : live_referenced_sets) {
@@ -91,6 +109,7 @@ Result<GcStats> VersionCollector::CollectPrecomputed(
   if (global_index_ != nullptr) {
     SLIM_RETURN_IF_ERROR(global_index_->Flush());
   }
+  RecordGcStats(stats);
   return stats;
 }
 

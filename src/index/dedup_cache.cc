@@ -1,8 +1,25 @@
 #include "index/dedup_cache.h"
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace slim::index {
+
+namespace {
+
+/// Process-wide aggregates across every per-job cache instance.
+obs::Counter& GlobalHits() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Get().counter("dedup_cache.hits");
+  return c;
+}
+obs::Counter& GlobalMisses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Get().counter("dedup_cache.misses");
+  return c;
+}
+
+}  // namespace
 
 uint64_t DedupCache::AddSegment(format::SegmentRecipe segment) {
   while (segments_.size() >= capacity_) EvictOne();
@@ -22,15 +39,18 @@ std::optional<DedupCache::Handle> DedupCache::Lookup(const Fingerprint& fp) {
   auto it = fp_map_.find(fp);
   if (it == fp_map_.end()) {
     ++misses_;
+    GlobalMisses().Inc();
     return std::nullopt;
   }
   // The mapping may be stale (segment evicted); check residency.
   if (segments_.count(it->second.segment_seq) == 0) {
     fp_map_.erase(it);
     ++misses_;
+    GlobalMisses().Inc();
     return std::nullopt;
   }
   ++hits_;
+  GlobalHits().Inc();
   Touch(it->second.segment_seq);
   return it->second;
 }

@@ -8,7 +8,15 @@ namespace slim::index {
 GlobalIndex::GlobalIndex(oss::ObjectStore* store, const std::string& name,
                          uint64_t expected_chunks)
     : db_(store, name, oss::RocksOssOptions{}),
-      bloom_(expected_chunks, /*bits_per_item=*/10) {}
+      bloom_(expected_chunks, /*bits_per_item=*/10) {
+  auto& reg = obs::MetricsRegistry::Get();
+  m_puts_ = &reg.counter("gindex.puts");
+  m_gets_ = &reg.counter("gindex.gets");
+  m_hits_ = &reg.counter("gindex.hits");
+  m_misses_ = &reg.counter("gindex.misses");
+  m_bloom_maybe_ = &reg.counter("gindex.bloom.maybe");
+  m_bloom_negative_ = &reg.counter("gindex.bloom.negatives");
+}
 
 Status GlobalIndex::Open() {
   SLIM_RETURN_IF_ERROR(db_.Open());
@@ -27,6 +35,7 @@ Status GlobalIndex::Open() {
 
 Status GlobalIndex::Put(const Fingerprint& fp,
                         format::ContainerId container_id) {
+  m_puts_->Inc();
   std::string value;
   PutFixed64(&value, container_id);
   SLIM_RETURN_IF_ERROR(db_.Put(KeyOf(fp), value));
@@ -35,8 +44,13 @@ Status GlobalIndex::Put(const Fingerprint& fp,
 }
 
 Result<format::ContainerId> GlobalIndex::Get(const Fingerprint& fp) {
+  m_gets_->Inc();
   auto value = db_.Get(KeyOf(fp));
-  if (!value.ok()) return value.status();
+  if (!value.ok()) {
+    if (value.status().IsNotFound()) m_misses_->Inc();
+    return value.status();
+  }
+  m_hits_->Inc();
   Decoder dec(value.value());
   uint64_t container_id = 0;
   SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&container_id));

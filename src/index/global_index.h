@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "format/chunk.h"
 #include "index/bloom.h"
+#include "obs/metrics.h"
 #include "oss/rocks_oss.h"
 
 namespace slim::index {
@@ -43,7 +44,9 @@ class GlobalIndex {
   /// Fast in-memory pre-filter: false means `fp` was definitely never
   /// Put. (False positives fall through to the LSM.)
   bool MayContain(const Fingerprint& fp) const {
-    return bloom_.MayContain(fp);
+    bool may = bloom_.MayContain(fp);
+    (may ? m_bloom_maybe_ : m_bloom_negative_)->Inc();
+    return may;
   }
 
   /// Flushes the memtable so all entries are OSS-persistent.
@@ -60,6 +63,14 @@ class GlobalIndex {
 
   oss::RocksOss db_;
   BloomFilter bloom_;
+
+  // Process-wide registry handles ("gindex.*").
+  obs::Counter* m_puts_;
+  obs::Counter* m_gets_;
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_bloom_maybe_;
+  obs::Counter* m_bloom_negative_;
 };
 
 }  // namespace slim::index

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace slim::lnode {
 
@@ -369,6 +370,7 @@ Result<BackupStats> BackupPipeline::BackupStream(const std::string& file_id,
 Result<BackupStats> BackupPipeline::BackupFromWindow(
     const std::string& file_id, StreamWindow* window, uint64_t version) {
   Stopwatch total_watch;
+  obs::Span backup_span("backup");
   JobState job(options_.dedup_cache_segments);
   job.window = window;
   job.stats.file_id = file_id;
@@ -378,13 +380,16 @@ Result<BackupStats> BackupPipeline::BackupFromWindow(
 
   // STEP 1: detect a historical version or similar file, fetch its
   // recipe index.
-  job.base = DetectBase(file_id, &job);
-  if (job.base.has_value()) {
-    ScopedPhase phase(&job.t_index);
-    auto base_index =
-        recipes_->ReadIndex(job.base->file_id, job.base->version);
-    if (base_index.ok()) {
-      job.base_index = std::move(base_index).value();
+  {
+    obs::Span span("backup.detect_base");
+    job.base = DetectBase(file_id, &job);
+    if (job.base.has_value()) {
+      ScopedPhase phase(&job.t_index);
+      auto base_index =
+          recipes_->ReadIndex(job.base->file_id, job.base->version);
+      if (base_index.ok()) {
+        job.base_index = std::move(base_index).value();
+      }
     }
   }
 
@@ -660,9 +665,12 @@ Result<BackupStats> BackupPipeline::BackupFromWindow(
   job.stats.peak_stream_buffer_bytes = window->peak_buffer_bytes();
 
   // STEP 3: persist containers + recipe.
-  SLIM_RETURN_IF_ERROR(FlushContainer(&job));
-  SLIM_RETURN_IF_ERROR(
-      recipes_->WriteRecipe(job.recipe, options_.sample_ratio));
+  {
+    obs::Span span("backup.persist");
+    SLIM_RETURN_IF_ERROR(FlushContainer(&job));
+    SLIM_RETURN_IF_ERROR(
+        recipes_->WriteRecipe(job.recipe, options_.sample_ratio));
+  }
 
   // Register this version in the similar file index.
   std::vector<Fingerprint> samples;
@@ -685,6 +693,25 @@ Result<BackupStats> BackupPipeline::BackupFromWindow(
   uint64_t total_nanos = total_watch.ElapsedNanos();
   job.stats.cpu.other_nanos =
       total_nanos > accounted ? total_nanos - accounted : 0;
+
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.counter("backup.jobs").Inc();
+  reg.counter("backup.logical_bytes").Inc(job.stats.logical_bytes);
+  reg.counter("backup.dup_bytes").Inc(job.stats.dup_bytes);
+  reg.counter("backup.new_bytes").Inc(job.stats.new_bytes);
+  reg.counter("backup.chunks").Inc(job.stats.total_chunks);
+  reg.counter("backup.dup_chunks").Inc(job.stats.dup_chunks);
+  reg.counter("backup.rewritten_chunks").Inc(job.stats.rewritten_chunks);
+  reg.counter("backup.superchunks.formed").Inc(job.stats.superchunks_formed);
+  reg.counter("backup.superchunks.matched").Inc(job.stats.superchunks_matched);
+  reg.counter("backup.skip.successes").Inc(job.stats.skip_successes);
+  reg.counter("backup.skip.failures").Inc(job.stats.skip_failures);
+  reg.counter("backup.segments_fetched").Inc(job.stats.segments_fetched);
+  reg.histogram("backup.chunking_ns").Record(job.stats.cpu.chunking_nanos);
+  reg.histogram("backup.fingerprint_ns")
+      .Record(job.stats.cpu.fingerprint_nanos);
+  reg.histogram("backup.index_ns").Record(job.stats.cpu.index_nanos);
+  reg.histogram("backup.latency_ns").Record(total_nanos);
 
   // Mark phase input for version collection: all containers this
   // version's recipe references (superchunk constituents included).

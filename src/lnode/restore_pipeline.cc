@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "index/bloom.h"
+#include "obs/trace.h"
 
 namespace slim::lnode {
 
@@ -163,8 +164,16 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
                                       uint64_t version, const Sink& sink,
                                       RestoreStats* stats) {
   Stopwatch total_watch;
+  obs::Span restore_span("restore");
+  const uint64_t restore_span_id = restore_span.id();
+  auto& reg = obs::MetricsRegistry::Get();
+  obs::Histogram& fetch_latency =
+      reg.histogram("restore.container_fetch_ns");
 
-  auto recipe = recipes_->ReadRecipe(file_id, version);
+  Result<format::Recipe> recipe = [&] {
+    obs::Span span("restore.read_recipe");
+    return recipes_->ReadRecipe(file_id, version);
+  }();
   if (!recipe.ok()) return recipe.status();
 
   RestoreJob job(recipe.value().TotalChunks());
@@ -184,6 +193,10 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
   // in job.inflight.
   auto fetch_container =
       [&](ContainerId cid) -> Result<format::ContainerStore::LoadedContainer> {
+    // Explicit parent: prefetch workers run on pool threads, so the
+    // thread-local context alone would not nest them under the restore.
+    obs::Span fetch_span("restore.fetch_container", restore_span_id);
+    obs::ScopedTimer fetch_timer(&fetch_latency);
     auto loaded = containers_->ReadContainer(cid);
     std::lock_guard<std::mutex> lock(job.mu);
     if (loaded.ok()) {
@@ -367,6 +380,19 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
   }
 
   job.stats.elapsed_seconds = total_watch.ElapsedSeconds();
+
+  reg.counter("restore.jobs").Inc();
+  reg.counter("restore.chunks").Inc(job.stats.chunks_restored);
+  reg.counter("restore.logical_bytes").Inc(job.stats.logical_bytes);
+  reg.counter("restore.containers_fetched").Inc(job.stats.containers_fetched);
+  reg.counter("restore.bytes_fetched").Inc(job.stats.bytes_fetched);
+  reg.counter("restore.cache.mem_hits").Inc(job.stats.cache_hits);
+  reg.counter("restore.cache.disk_hits").Inc(job.stats.disk_hits);
+  reg.counter("restore.cache.spills").Inc(job.stats.disk_spills);
+  reg.counter("restore.redirects").Inc(job.stats.redirects);
+  reg.histogram("restore.latency_ns")
+      .Record(static_cast<uint64_t>(job.stats.elapsed_seconds * 1e9));
+
   if (stats != nullptr) *stats = job.stats;
   return Status::Ok();
 }

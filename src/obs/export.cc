@@ -1,0 +1,170 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace slim::obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dots and dashes map to
+/// underscores and everything gets the "slim_" namespace prefix.
+std::string PromName(const std::string& name) {
+  std::string out = "slim_";
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    Appendf(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+            JsonEscape(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    Appendf(&out, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+            JsonEscape(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    Appendf(&out,
+            "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+            ", \"min\": %" PRIu64 ", \"max\": %" PRIu64 ", \"p50\": %" PRIu64
+            ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64 "}",
+            first ? "" : ",", JsonEscape(name).c_str(), h.count, h.sum, h.min,
+            h.max, h.p50, h.p95, h.p99);
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ToPrometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    std::string prom = PromName(name);
+    Appendf(&out, "# TYPE %s counter\n%s %" PRIu64 "\n", prom.c_str(),
+            prom.c_str(), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string prom = PromName(name);
+    Appendf(&out, "# TYPE %s gauge\n%s %" PRId64 "\n", prom.c_str(),
+            prom.c_str(), value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string prom = PromName(name);
+    Appendf(&out, "# TYPE %s summary\n", prom.c_str());
+    Appendf(&out, "%s{quantile=\"0.5\"} %" PRIu64 "\n", prom.c_str(), h.p50);
+    Appendf(&out, "%s{quantile=\"0.95\"} %" PRIu64 "\n", prom.c_str(), h.p95);
+    Appendf(&out, "%s{quantile=\"0.99\"} %" PRIu64 "\n", prom.c_str(), h.p99);
+    Appendf(&out, "%s_sum %" PRIu64 "\n", prom.c_str(), h.sum);
+    Appendf(&out, "%s_count %" PRIu64 "\n", prom.c_str(), h.count);
+  }
+  return out;
+}
+
+std::string ToTable(const MetricsSnapshot& snap) {
+  std::string out;
+  if (!snap.counters.empty()) {
+    out += "-- counters --\n";
+    for (const auto& [name, value] : snap.counters) {
+      Appendf(&out, "%-44s %20" PRIu64 "\n", name.c_str(), value);
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "-- gauges --\n";
+    for (const auto& [name, value] : snap.gauges) {
+      Appendf(&out, "%-44s %20" PRId64 "\n", name.c_str(), value);
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "-- histograms --\n";
+    Appendf(&out, "%-44s %10s %12s %12s %12s %12s\n", "", "count", "mean",
+            "p50", "p95", "p99");
+    for (const auto& [name, h] : snap.histograms) {
+      Appendf(&out, "%-44s %10" PRIu64 " %12.0f %12" PRIu64 " %12" PRIu64
+              " %12" PRIu64 "\n",
+              name.c_str(), h.count, h.mean(), h.p50, h.p95, h.p99);
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+}  // namespace
+
+std::string Render(const MetricsSnapshot& snapshot, ExportFormat format) {
+  switch (format) {
+    case ExportFormat::kJson: return ToJson(snapshot);
+    case ExportFormat::kPrometheus: return ToPrometheus(snapshot);
+    case ExportFormat::kTable: return ToTable(snapshot);
+  }
+  return "";
+}
+
+std::string RenderRegistry(ExportFormat format) {
+  return Render(MetricsRegistry::Get().Snapshot(), format);
+}
+
+std::string RenderTrace(const TraceSink& sink, size_t max_spans) {
+  std::vector<SpanRecord> spans = sink.Snapshot();
+  std::string out;
+  size_t start = spans.size() > max_spans ? spans.size() - max_spans : 0;
+  for (size_t i = start; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::string indent(std::min<uint32_t>(s.depth, 16) * 2, ' ');
+    Appendf(&out, "%s%-*s %10.3f ms  (span %" PRIu64 " parent %" PRIu64 ")\n",
+            indent.c_str(), static_cast<int>(40 - indent.size()),
+            s.name.c_str(), s.duration_nanos / 1e6, s.id, s.parent_id);
+  }
+  if (out.empty()) out = "(no spans recorded)\n";
+  return out;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,30 @@
+#ifndef SLIMSTORE_OBS_EXPORT_H_
+#define SLIMSTORE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace slim::obs {
+
+enum class ExportFormat {
+  kTable,       // Human-readable aligned table.
+  kJson,        // {"counters":{...},"gauges":{...},"histograms":{...}}
+  kPrometheus,  // Prometheus text exposition format (0.0.4).
+};
+
+/// Renders a snapshot in the requested format. Output is deterministic
+/// for a given snapshot (names sorted lexicographically).
+std::string Render(const MetricsSnapshot& snapshot, ExportFormat format);
+
+/// Convenience: snapshot the process-wide registry and render it.
+std::string RenderRegistry(ExportFormat format);
+
+/// Human-readable dump of the spans retained by the TraceSink, oldest
+/// first, indented by depth.
+std::string RenderTrace(const TraceSink& sink, size_t max_spans = 64);
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_EXPORT_H_

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace slim::obs {
+
+namespace {
+
+/// Bucket index of `value`: its bit width, so bucket i spans
+/// [2^(i-1), 2^i) for i >= 1 and bucket 0 holds only 0.
+size_t BucketOf(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+/// Inclusive upper bound of bucket i.
+uint64_t BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[std::min(BucketOf(value), kBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::ValueAtPercentile(double p) const {
+  uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile sample, 1-based; p=0 maps to the first one.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * total);
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      uint64_t lo = min_.load(std::memory_order_relaxed);
+      uint64_t hi = max_.load(std::memory_order_relaxed);
+      return std::clamp(BucketUpperBound(i), lo, hi);
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::Stats() const {
+  HistogramStats s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.p50 = ValueAtPercentile(50);
+    s.p95 = ValueAtPercentile(95);
+    s.p99 = ValueAtPercentile(99);
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Stats();
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,121 @@
+#ifndef SLIMSTORE_OBS_METRICS_H_
+#define SLIMSTORE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace slim::obs {
+
+/// Monotonically increasing event count. All mutators are lock-free
+/// relaxed atomics: safe to hit from any thread on hot paths.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depths, warning counts, bytes held).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Aggregate statistics extracted from a Histogram at snapshot time.
+struct HistogramStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Fixed-bucket histogram for latency-style values (nanoseconds).
+/// Bucket i counts values whose bit width is i (power-of-two bounds), so
+/// Record() is a handful of relaxed atomic ops and never allocates.
+/// Percentiles are resolved to a bucket's upper bound and clamped to the
+/// exact observed [min, max], which makes the edges precise:
+/// ValueAtPercentile(0) == min, ValueAtPercentile(100) == max.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// `p` in [0, 100]. Returns 0 when empty.
+  uint64_t ValueAtPercentile(double p) const;
+
+  HistogramStats Stats() const;
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Everything the registry knows, frozen at one instant. Keys are metric
+/// names; maps are sorted so exporters emit deterministic output.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramStats> histograms;
+};
+
+/// Process-wide registry of named metrics. Registration (name lookup)
+/// takes a mutex; returned references are stable for the process
+/// lifetime, so hot paths resolve their metric once and then update it
+/// lock-free. Names are dotted lowercase paths ("oss.get.requests").
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive). Used by
+  /// tests and by CLI/bench runs that want per-phase deltas.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // Node-based maps: element addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_METRICS_H_

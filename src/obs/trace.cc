@@ -1,0 +1,126 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace slim::obs {
+
+namespace {
+
+struct ThreadSpanContext {
+  uint64_t current_id = 0;
+  uint32_t depth = 0;
+};
+
+thread_local ThreadSpanContext tls_span_context;
+
+std::atomic<uint64_t> next_span_id{1};
+
+}  // namespace
+
+uint64_t TraceNowNanos() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+TraceSink& TraceSink::Get() {
+  static TraceSink* instance = new TraceSink();
+  return *instance;
+}
+
+void TraceSink::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  if (capacity_ == 0) return;
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+uint64_t TraceSink::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void TraceSink::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  ring_.clear();
+  next_ = 0;
+}
+
+size_t TraceSink::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+Span::Span(std::string name) : name_(std::move(name)) {
+  Open(tls_span_context.current_id, tls_span_context.depth,
+       /*from_context=*/true);
+}
+
+Span::Span(std::string name, uint64_t parent_id) : name_(std::move(name)) {
+  // Depth is unknowable across threads; treat the explicit parent as one
+  // level up. Still pushed onto this thread's context so further spans
+  // opened inside the scope nest under this one.
+  Open(parent_id, parent_id == 0 ? 0 : 1, /*from_context=*/false);
+}
+
+void Span::Open(uint64_t parent_id, uint32_t depth, bool from_context) {
+  id_ = next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = parent_id;
+  depth_ = depth;
+  from_context_ = from_context;
+  saved_current_ = tls_span_context.current_id;
+  saved_depth_ = tls_span_context.depth;
+  tls_span_context.current_id = id_;
+  tls_span_context.depth = depth_ + 1;
+  start_nanos_ = TraceNowNanos();
+}
+
+Span::~Span() {
+  uint64_t end = TraceNowNanos();
+  tls_span_context.current_id = saved_current_;
+  tls_span_context.depth = saved_depth_;
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.depth = depth_;
+  record.name = std::move(name_);
+  record.start_nanos = start_nanos_;
+  record.duration_nanos = end - start_nanos_;
+  TraceSink::Get().Record(std::move(record));
+}
+
+uint64_t Span::CurrentId() { return tls_span_context.current_id; }
+
+ScopedTimer::~ScopedTimer() {
+  uint64_t elapsed = TraceNowNanos() - start_;
+  if (histogram_ != nullptr) histogram_->Record(elapsed);
+  if (counter_ != nullptr) counter_->Inc();
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,108 @@
+#ifndef SLIMSTORE_OBS_TRACE_H_
+#define SLIMSTORE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+/// One finished span, as stored in the trace ring buffer.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root.
+  uint32_t depth = 0;
+  std::string name;
+  uint64_t start_nanos = 0;  // Since the process trace epoch.
+  uint64_t duration_nanos = 0;
+};
+
+/// Process-wide ring buffer of completed spans. Bounded: once full, the
+/// oldest spans are overwritten, so tracing can stay on permanently.
+class TraceSink {
+ public:
+  static TraceSink& Get();
+
+  void Record(SpanRecord record);
+
+  /// All retained spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  void Clear();
+  /// Total spans ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
+ private:
+  explicit TraceSink(size_t capacity = 4096) : capacity_(capacity) {}
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<SpanRecord> ring_;
+  size_t next_ = 0;  // Overwrite cursor once the ring is full.
+  uint64_t total_ = 0;
+};
+
+/// Nanoseconds since the process trace epoch (first use).
+uint64_t TraceNowNanos();
+
+/// RAII span: names a unit of work, times it, and records it to the
+/// TraceSink on destruction. Spans nest via a thread-local context: a
+/// Span created while another is open on the same thread becomes its
+/// child. Work handed to another thread (e.g. restore prefetchers) can
+/// nest explicitly by passing the parent's id captured beforehand.
+class Span {
+ public:
+  explicit Span(std::string name);
+  /// Explicit parent, for spans opened on a different thread than the
+  /// logical parent. `parent_id` 0 makes this a root span.
+  Span(std::string name, uint64_t parent_id);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Id of the innermost open span on this thread (0 if none).
+  static uint64_t CurrentId();
+
+ private:
+  void Open(uint64_t parent_id, uint32_t depth, bool from_context);
+
+  std::string name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint32_t depth_ = 0;
+  uint64_t start_nanos_ = 0;
+  bool from_context_ = false;  // Restore the thread-local stack on close?
+  uint64_t saved_current_ = 0;
+  uint32_t saved_depth_ = 0;
+};
+
+/// RAII timer: adds the elapsed nanoseconds of its scope to a Histogram
+/// (and optionally bumps a Counter once). Cheaper than a Span — nothing
+/// is recorded to the trace ring — so it suits per-chunk hot paths.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, Counter* counter = nullptr)
+      : histogram_(histogram), counter_(counter), start_(TraceNowNanos()) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  Counter* counter_;
+  uint64_t start_;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_TRACE_H_

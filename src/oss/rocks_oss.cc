@@ -47,7 +47,22 @@ bool BloomTest(const std::vector<uint64_t>& bits, uint32_t hashes,
 
 RocksOss::RocksOss(ObjectStore* store, std::string name,
                    RocksOssOptions options)
-    : store_(store), name_(std::move(name)), options_(options) {}
+    : store_(store), name_(std::move(name)), options_(options) {
+  auto& reg = obs::MetricsRegistry::Get();
+  metrics_.flushes = &reg.counter("rocksoss.memtable.flushes");
+  metrics_.flush_bytes = &reg.counter("rocksoss.memtable.flush_bytes");
+  metrics_.compactions = &reg.counter("rocksoss.compactions");
+  metrics_.compaction_input_runs =
+      &reg.counter("rocksoss.compaction.input_runs");
+  metrics_.compaction_bytes = &reg.counter("rocksoss.compaction.bytes");
+  metrics_.bloom_negatives = &reg.counter("rocksoss.bloom.negatives");
+  metrics_.bloom_true_positives =
+      &reg.counter("rocksoss.bloom.true_positives");
+  metrics_.bloom_false_positives =
+      &reg.counter("rocksoss.bloom.false_positives");
+  metrics_.run_cache_hits = &reg.counter("rocksoss.run_cache.hits");
+  metrics_.run_cache_misses = &reg.counter("rocksoss.run_cache.misses");
+}
 
 std::string RocksOss::RunObjectKey(uint64_t id) const {
   char buf[32];
@@ -118,21 +133,26 @@ Result<std::string> RocksOss::Get(const std::string& key) {
     if (!it->second.has_value()) return Status::NotFound("tombstoned: " + key);
     return *it->second;
   }
-  // Newest run first.
+  // Newest run first. A bloom pass that the run then fails to satisfy
+  // is a false positive (a wasted run read); a pass confirmed by the
+  // run is a true positive.
   for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
     if (!BloomMayContain(*rit, key)) {
       ++bloom_skips_;
+      metrics_.bloom_negatives->Inc();
       continue;
     }
     auto entries = LoadRunLocked(*rit);
     if (!entries.ok()) return entries.status();
     auto eit = entries.value()->find(key);
     if (eit != entries.value()->end()) {
+      metrics_.bloom_true_positives->Inc();
       if (!eit->second.has_value()) {
         return Status::NotFound("tombstoned: " + key);
       }
       return *eit->second;
     }
+    metrics_.bloom_false_positives->Inc();
   }
   return Status::NotFound("key: " + key);
 }
@@ -177,6 +197,8 @@ Status RocksOss::FlushLocked() {
   run.id = next_run_id_++;
   run.key = RunObjectKey(run.id);
   std::string payload = SerializeRun(memtable_, options_, &run);
+  metrics_.flushes->Inc();
+  metrics_.flush_bytes->Inc(payload.size());
   SLIM_RETURN_IF_ERROR(store_->Put(run.key, std::move(payload)));
   // Cache the freshly flushed run: it is the most likely to be read.
   auto cached = std::make_shared<Memtable>(std::move(memtable_));
@@ -202,6 +224,8 @@ Status RocksOss::Compact() {
 
 Status RocksOss::CompactLocked() {
   if (runs_.size() <= 1) return Status::Ok();
+  metrics_.compactions->Inc();
+  metrics_.compaction_input_runs->Inc(runs_.size());
   Memtable merged;
   for (const Run& run : runs_) {
     auto entries = LoadRunLocked(run);
@@ -223,6 +247,7 @@ Status RocksOss::CompactLocked() {
     run.id = next_run_id_++;
     run.key = RunObjectKey(run.id);
     std::string payload = SerializeRun(merged, options_, &run);
+    metrics_.compaction_bytes->Inc(payload.size());
     SLIM_RETURN_IF_ERROR(store_->Put(run.key, std::move(payload)));
     run_cache_[run.id] = std::make_shared<Memtable>(std::move(merged));
     cache_lru_.push_front(run.id);
@@ -292,10 +317,12 @@ Result<std::shared_ptr<RocksOss::Memtable>> RocksOss::LoadRunLocked(
     const Run& run) {
   auto it = run_cache_.find(run.id);
   if (it != run_cache_.end()) {
+    metrics_.run_cache_hits->Inc();
     cache_lru_.remove(run.id);
     cache_lru_.push_front(run.id);
     return it->second;
   }
+  metrics_.run_cache_misses->Inc();
   auto data = store_->Get(run.key);
   if (!data.ok()) return data.status();
   auto entries = std::make_shared<Memtable>();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "oss/object_store.h"
 
 namespace slim::oss {
@@ -114,6 +115,22 @@ class RocksOss {
   std::unordered_map<uint64_t, std::shared_ptr<Memtable>> run_cache_;
 
   uint64_t bloom_skips_ = 0;
+
+  // Process-wide registry handles ("rocksoss.*"), shared across all
+  // RocksOss instances.
+  struct Metrics {
+    obs::Counter* flushes;
+    obs::Counter* flush_bytes;
+    obs::Counter* compactions;
+    obs::Counter* compaction_input_runs;
+    obs::Counter* compaction_bytes;
+    obs::Counter* bloom_negatives;
+    obs::Counter* bloom_true_positives;
+    obs::Counter* bloom_false_positives;
+    obs::Counter* run_cache_hits;
+    obs::Counter* run_cache_misses;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace slim::oss

@@ -7,6 +7,25 @@
 
 namespace slim::oss {
 
+SimulatedOss::SimulatedOss(ObjectStore* inner, OssCostModel model)
+    : inner_(inner), model_(model) {
+  auto& reg = obs::MetricsRegistry::Get();
+  auto op = [&reg](const char* name) {
+    std::string base = std::string("oss.") + name;
+    return OpMetrics{&reg.counter(base + ".requests"),
+                     &reg.counter(base + ".bytes"),
+                     &reg.histogram(base + ".latency_ns")};
+  };
+  m_get_ = op("get");
+  m_getrange_ = op("getrange");
+  m_put_ = op("put");
+  m_delete_ = op("delete");
+  m_list_ = op("list");
+  m_exists_ = op("exists");
+  m_size_ = op("size");
+  m_errors_ = &reg.counter("oss.errors");
+}
+
 Status SimulatedOss::MaybeInjectFailure(const char* op,
                                         const std::string& key) {
   if (injector_) return injector_(op, key);
@@ -24,7 +43,11 @@ Status SimulatedOss::Put(const std::string& key, std::string value) {
   SLIM_RETURN_IF_ERROR(MaybeInjectFailure("put", key));
   put_requests_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(value.size(), std::memory_order_relaxed);
-  Charge(model_.WriteCostNanos(value.size()));
+  uint64_t cost = model_.WriteCostNanos(value.size());
+  m_put_.requests->Inc();
+  m_put_.bytes->Inc(value.size());
+  m_put_.latency->Record(cost);
+  Charge(cost);
   return inner_->Put(key, std::move(value));
 }
 
@@ -34,11 +57,17 @@ Result<std::string> SimulatedOss::Get(const std::string& key) {
     if (!s.ok()) return s;
   }
   get_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_get_.requests->Inc();
   auto result = inner_->Get(key);
   if (result.ok()) {
+    uint64_t cost = model_.ReadCostNanos(result.value().size());
     bytes_read_.fetch_add(result.value().size(), std::memory_order_relaxed);
-    Charge(model_.ReadCostNanos(result.value().size()));
+    m_get_.bytes->Inc(result.value().size());
+    m_get_.latency->Record(cost);
+    Charge(cost);
   } else {
+    m_errors_->Inc();
+    m_get_.latency->Record(model_.request_latency_nanos);
     Charge(model_.request_latency_nanos);
   }
   return result;
@@ -50,12 +79,19 @@ Result<std::string> SimulatedOss::GetRange(const std::string& key,
     Status s = MaybeInjectFailure("get", key);
     if (!s.ok()) return s;
   }
-  get_requests_.fetch_add(1, std::memory_order_relaxed);
+  getrange_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_getrange_.requests->Inc();
   auto result = inner_->GetRange(key, offset, len);
   if (result.ok()) {
-    bytes_read_.fetch_add(result.value().size(), std::memory_order_relaxed);
-    Charge(model_.ReadCostNanos(result.value().size()));
+    uint64_t cost = model_.ReadCostNanos(result.value().size());
+    ranged_bytes_read_.fetch_add(result.value().size(),
+                                 std::memory_order_relaxed);
+    m_getrange_.bytes->Inc(result.value().size());
+    m_getrange_.latency->Record(cost);
+    Charge(cost);
   } else {
+    m_errors_->Inc();
+    m_getrange_.latency->Record(model_.request_latency_nanos);
     Charge(model_.request_latency_nanos);
   }
   return result;
@@ -64,6 +100,8 @@ Result<std::string> SimulatedOss::GetRange(const std::string& key,
 Status SimulatedOss::Delete(const std::string& key) {
   SLIM_RETURN_IF_ERROR(MaybeInjectFailure("delete", key));
   delete_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_delete_.requests->Inc();
+  m_delete_.latency->Record(model_.request_latency_nanos);
   Charge(model_.request_latency_nanos);
   return inner_->Delete(key);
 }
@@ -73,6 +111,9 @@ Result<bool> SimulatedOss::Exists(const std::string& key) {
     Status s = MaybeInjectFailure("exists", key);
     if (!s.ok()) return s;
   }
+  exists_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_exists_.requests->Inc();
+  m_exists_.latency->Record(model_.request_latency_nanos);
   Charge(model_.request_latency_nanos);
   return inner_->Exists(key);
 }
@@ -82,6 +123,9 @@ Result<uint64_t> SimulatedOss::Size(const std::string& key) {
     Status s = MaybeInjectFailure("size", key);
     if (!s.ok()) return s;
   }
+  size_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_size_.requests->Inc();
+  m_size_.latency->Record(model_.request_latency_nanos);
   Charge(model_.request_latency_nanos);
   return inner_->Size(key);
 }
@@ -93,6 +137,8 @@ Result<std::vector<std::string>> SimulatedOss::List(
     if (!s.ok()) return s;
   }
   list_requests_.fetch_add(1, std::memory_order_relaxed);
+  m_list_.requests->Inc();
+  m_list_.latency->Record(model_.request_latency_nanos);
   Charge(model_.request_latency_nanos);
   return inner_->List(prefix);
 }
@@ -100,10 +146,16 @@ Result<std::vector<std::string>> SimulatedOss::List(
 OssMetricsSnapshot SimulatedOss::metrics() const {
   OssMetricsSnapshot snap;
   snap.get_requests = get_requests_.load(std::memory_order_relaxed);
+  snap.getrange_requests =
+      getrange_requests_.load(std::memory_order_relaxed);
   snap.put_requests = put_requests_.load(std::memory_order_relaxed);
   snap.delete_requests = delete_requests_.load(std::memory_order_relaxed);
   snap.list_requests = list_requests_.load(std::memory_order_relaxed);
+  snap.exists_requests = exists_requests_.load(std::memory_order_relaxed);
+  snap.size_requests = size_requests_.load(std::memory_order_relaxed);
   snap.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  snap.ranged_bytes_read =
+      ranged_bytes_read_.load(std::memory_order_relaxed);
   snap.bytes_written = bytes_written_.load(std::memory_order_relaxed);
   snap.sim_cost_nanos = sim_cost_nanos_.load(std::memory_order_relaxed);
   return snap;
@@ -111,10 +163,14 @@ OssMetricsSnapshot SimulatedOss::metrics() const {
 
 void SimulatedOss::ResetMetrics() {
   get_requests_ = 0;
+  getrange_requests_ = 0;
   put_requests_ = 0;
   delete_requests_ = 0;
   list_requests_ = 0;
+  exists_requests_ = 0;
+  size_requests_ = 0;
   bytes_read_ = 0;
+  ranged_bytes_read_ = 0;
   bytes_written_ = 0;
   sim_cost_nanos_ = 0;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "oss/object_store.h"
 
 namespace slim::oss {
@@ -39,26 +40,43 @@ struct OssCostModel {
   }
 };
 
-/// Snapshot of accumulated I/O accounting.
+/// Snapshot of accumulated I/O accounting. Every operation type is
+/// counted separately: full Gets and ranged Gets are distinguished so
+/// restore read-amplification (full container reads) is exact, and the
+/// metadata probes Exists/Size are visible instead of free.
 struct OssMetricsSnapshot {
-  uint64_t get_requests = 0;
+  uint64_t get_requests = 0;       // Full-object Gets only.
+  uint64_t getrange_requests = 0;  // Ranged reads (segment prefetch).
   uint64_t put_requests = 0;
   uint64_t delete_requests = 0;
   uint64_t list_requests = 0;
-  uint64_t bytes_read = 0;
+  uint64_t exists_requests = 0;
+  uint64_t size_requests = 0;
+  uint64_t bytes_read = 0;         // Full-Get payload bytes.
+  uint64_t ranged_bytes_read = 0;  // GetRange payload bytes.
   uint64_t bytes_written = 0;
   /// Sum of per-request simulated costs. This is the single-channel
   /// (serialized) I/O time; dividing data volume by it gives the
   /// simulated single-channel throughput.
   uint64_t sim_cost_nanos = 0;
 
+  uint64_t total_requests() const {
+    return get_requests + getrange_requests + put_requests +
+           delete_requests + list_requests + exists_requests + size_requests;
+  }
+  uint64_t total_bytes_read() const { return bytes_read + ranged_bytes_read; }
+
   OssMetricsSnapshot operator-(const OssMetricsSnapshot& rhs) const {
     OssMetricsSnapshot d;
     d.get_requests = get_requests - rhs.get_requests;
+    d.getrange_requests = getrange_requests - rhs.getrange_requests;
     d.put_requests = put_requests - rhs.put_requests;
     d.delete_requests = delete_requests - rhs.delete_requests;
     d.list_requests = list_requests - rhs.list_requests;
+    d.exists_requests = exists_requests - rhs.exists_requests;
+    d.size_requests = size_requests - rhs.size_requests;
     d.bytes_read = bytes_read - rhs.bytes_read;
+    d.ranged_bytes_read = ranged_bytes_read - rhs.ranged_bytes_read;
     d.bytes_written = bytes_written - rhs.bytes_written;
     d.sim_cost_nanos = sim_cost_nanos - rhs.sim_cost_nanos;
     return d;
@@ -76,11 +94,15 @@ using FailureInjector =
 /// transfer costs, while recording full I/O metrics. All SlimStore
 /// components talk to OSS through this class, so every experiment's
 /// container-read counts and bandwidth figures are exact measurements.
+///
+/// Besides the per-instance snapshot, every operation feeds the
+/// process-wide obs::MetricsRegistry ("oss.<op>.requests",
+/// "oss.<op>.bytes", "oss.<op>.latency_ns"), which aggregates across
+/// concurrent jobs and instances.
 class SimulatedOss : public ObjectStore {
  public:
   /// Does not take ownership of `inner`.
-  SimulatedOss(ObjectStore* inner, OssCostModel model)
-      : inner_(inner), model_(model) {}
+  SimulatedOss(ObjectStore* inner, OssCostModel model);
 
   Status Put(const std::string& key, std::string value) override;
   Result<std::string> Get(const std::string& key) override;
@@ -113,12 +135,31 @@ class SimulatedOss : public ObjectStore {
   FailureInjector injector_;
 
   std::atomic<uint64_t> get_requests_{0};
+  std::atomic<uint64_t> getrange_requests_{0};
   std::atomic<uint64_t> put_requests_{0};
   std::atomic<uint64_t> delete_requests_{0};
   std::atomic<uint64_t> list_requests_{0};
+  std::atomic<uint64_t> exists_requests_{0};
+  std::atomic<uint64_t> size_requests_{0};
   std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> ranged_bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> sim_cost_nanos_{0};
+
+  // Registry handles, resolved once (hot-path updates are lock-free).
+  struct OpMetrics {
+    obs::Counter* requests;
+    obs::Counter* bytes;
+    obs::Histogram* latency;
+  };
+  OpMetrics m_get_;
+  OpMetrics m_getrange_;
+  OpMetrics m_put_;
+  OpMetrics m_delete_;
+  OpMetrics m_list_;
+  OpMetrics m_exists_;
+  OpMetrics m_size_;
+  obs::Counter* m_errors_;
 };
 
 }  // namespace slim::oss

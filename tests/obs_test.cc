@@ -1,0 +1,278 @@
+// Tests for the observability layer: metrics registry, histograms,
+// spans/tracing, exporters, and the logger integration.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace slim::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter& c = MetricsRegistry::Get().counter("obs_test.counter.mt");
+  c.Reset();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge& g = MetricsRegistry::Get().gauge("obs_test.gauge");
+  g.Set(10);
+  g.Add(5);
+  g.Sub(20);
+  EXPECT_EQ(g.value(), -5);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(RegistryTest, SameNameSameHandle) {
+  Counter& a = MetricsRegistry::Get().counter("obs_test.same");
+  Counter& b = MetricsRegistry::Get().counter("obs_test.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(HistogramTest, EmptyReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+  EXPECT_EQ(h.Stats().p99, 0u);
+}
+
+TEST(HistogramTest, SingleValueIsExactAtEveryPercentile) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.ValueAtPercentile(0), 42u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 42u);
+  EXPECT_EQ(h.ValueAtPercentile(99), 42u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 42u);
+  HistogramStats s = h.Stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 42u);
+  EXPECT_EQ(s.min, 42u);
+  EXPECT_EQ(s.max, 42u);
+}
+
+TEST(HistogramTest, PercentileEdgesOnUniformRange) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  // Edges are exact (clamped to observed min/max).
+  EXPECT_EQ(h.ValueAtPercentile(0), 1u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 1000u);
+  // Interior percentiles resolve to a power-of-two bucket bound: the
+  // true p50 (500) lies in bucket [256, 511], so within one bucket.
+  uint64_t p50 = h.ValueAtPercentile(50);
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 1000u);
+  uint64_t p99 = h.ValueAtPercentile(99);
+  EXPECT_GE(p99, 512u);
+  EXPECT_LE(p99, 1000u);
+  EXPECT_LE(h.ValueAtPercentile(50), h.ValueAtPercentile(95));
+  EXPECT_LE(h.ValueAtPercentile(95), h.ValueAtPercentile(99));
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram& h = MetricsRegistry::Get().histogram("obs_test.hist.mt");
+  h.Reset();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + i % 977 + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_GE(h.Stats().min, 1u);
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsHandles) {
+  auto& reg = MetricsRegistry::Get();
+  Counter& c = reg.counter("obs_test.resetall.c");
+  Histogram& h = reg.histogram("obs_test.resetall.h");
+  c.Inc(5);
+  h.Record(9);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  // The same references keep working after the reset.
+  c.Inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(SpanTest, NestingViaThreadLocalContext) {
+  TraceSink::Get().Clear();
+  uint64_t outer_id = 0;
+  {
+    Span outer("obs_test.outer");
+    outer_id = outer.id();
+    EXPECT_EQ(Span::CurrentId(), outer_id);
+    {
+      Span inner("obs_test.inner");
+      EXPECT_EQ(Span::CurrentId(), inner.id());
+    }
+    EXPECT_EQ(Span::CurrentId(), outer_id);
+  }
+  EXPECT_EQ(Span::CurrentId(), 0u);
+
+  std::vector<SpanRecord> spans = TraceSink::Get().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order: inner closes (and records) first.
+  EXPECT_EQ(spans[0].name, "obs_test.inner");
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "obs_test.outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST(SpanTest, ExplicitParentCrossesThreads) {
+  TraceSink::Get().Clear();
+  uint64_t root_id = 0;
+  {
+    Span root("obs_test.root");
+    root_id = root.id();
+    std::thread worker([root_id] {
+      // A worker thread has no inherited context; nest explicitly, the
+      // way restore prefetchers attach to their restore span.
+      Span child("obs_test.remote_child", root_id);
+      EXPECT_EQ(child.id() != 0u, true);
+    });
+    worker.join();
+  }
+  std::vector<SpanRecord> spans = TraceSink::Get().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "obs_test.remote_child");
+  EXPECT_EQ(spans[0].parent_id, root_id);
+  EXPECT_EQ(spans[0].depth, 1u);
+}
+
+TEST(SpanTest, RingBufferOverwritesOldest) {
+  TraceSink::Get().Clear();
+  size_t original = TraceSink::Get().capacity();
+  TraceSink::Get().set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    Span s("obs_test.ring" + std::to_string(i));
+  }
+  std::vector<SpanRecord> spans = TraceSink::Get().Snapshot();
+  EXPECT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.back().name, "obs_test.ring9");
+  EXPECT_EQ(spans.front().name, "obs_test.ring6");
+  TraceSink::Get().set_capacity(original);
+}
+
+TEST(ScopedTimerTest, RecordsOnceAndBumpsCounter) {
+  Histogram h;
+  Counter c;
+  {
+    ScopedTimer timer(&h, &c);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ExportTest, JsonContainsRegisteredMetrics) {
+  auto& reg = MetricsRegistry::Get();
+  reg.counter("obs_test.json.counter").Reset();
+  reg.counter("obs_test.json.counter").Inc(7);
+  reg.gauge("obs_test.json.gauge").Set(-3);
+  reg.histogram("obs_test.json.hist").Reset();
+  reg.histogram("obs_test.json.hist").Record(100);
+
+  std::string json = RenderRegistry(ExportFormat::kJson);
+  EXPECT_NE(json.find("\"obs_test.json.counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json.gauge\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json.hist\": {\"count\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusNamesAreSanitized) {
+  auto& reg = MetricsRegistry::Get();
+  reg.counter("obs_test.prom.counter").Reset();
+  reg.counter("obs_test.prom.counter").Inc(11);
+  reg.histogram("obs_test.prom.hist").Record(50);
+
+  std::string prom = RenderRegistry(ExportFormat::kPrometheus);
+  EXPECT_NE(prom.find("# TYPE slim_obs_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("slim_obs_test_prom_counter 11"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE slim_obs_test_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("slim_obs_test_prom_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("slim_obs_test_prom_hist_count 1"), std::string::npos);
+  // No raw dots survive in metric names.
+  EXPECT_EQ(prom.find("slim_obs_test.prom"), std::string::npos);
+}
+
+TEST(ExportTest, TableListsSections) {
+  auto& reg = MetricsRegistry::Get();
+  reg.counter("obs_test.table.counter").Inc();
+  std::string table = RenderRegistry(ExportFormat::kTable);
+  EXPECT_NE(table.find("-- counters --"), std::string::npos);
+  EXPECT_NE(table.find("obs_test.table.counter"), std::string::npos);
+}
+
+TEST(ExportTest, TraceRendersSpanTree) {
+  TraceSink::Get().Clear();
+  {
+    Span outer("obs_test.render_outer");
+    Span inner("obs_test.render_inner");
+  }
+  std::string trace = RenderTrace(TraceSink::Get());
+  EXPECT_NE(trace.find("obs_test.render_outer"), std::string::npos);
+  // The child is indented under its parent.
+  EXPECT_NE(trace.find("  obs_test.render_inner"), std::string::npos);
+}
+
+TEST(LoggerTest, SinkCapturesFormattedLines) {
+  std::vector<std::string> lines;
+  Logger::Get().set_sink(
+      [&lines](LogLevel, const std::string& line) { lines.push_back(line); });
+  LogWarn("oss", "slow request");
+  Logger::Get().set_sink(nullptr);
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[WARN] [oss] slow request"), std::string::npos);
+  // Timestamped: "[YYYY-MM-DD HH:MM:SS.mmm]" prefix.
+  EXPECT_EQ(lines[0][0], '[');
+  EXPECT_EQ(lines[0].substr(5, 1), "-");
+}
+
+TEST(LoggerTest, WarnAndErrorCountsTrackedAsGauges) {
+  auto& reg = MetricsRegistry::Get();
+  Logger::Get().set_sink([](LogLevel, const std::string&) {});
+  int64_t warns_before = reg.gauge("log.warnings").value();
+  int64_t errors_before = reg.gauge("log.errors").value();
+  LogWarn("test", "w");
+  LogError("test", "e");
+  LogDebug("test", "suppressed but fine");
+  Logger::Get().set_sink(nullptr);
+  EXPECT_EQ(reg.gauge("log.warnings").value(), warns_before + 1);
+  EXPECT_EQ(reg.gauge("log.errors").value(), errors_before + 1);
+}
+
+}  // namespace
+}  // namespace slim::obs

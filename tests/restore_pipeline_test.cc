@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/slimstore.h"
+#include "obs/metrics.h"
 #include "oss/memory_object_store.h"
 #include "oss/simulated_oss.h"
 #include "workload/generator.h"
@@ -182,6 +183,32 @@ TEST_F(RestorePipelineTest, CorruptContainerDetected) {
     }
   }
   EXPECT_TRUE(any_failed);
+}
+
+TEST_F(RestorePipelineTest, RegistryReconcilesWithRestoreStats) {
+  auto& reg = obs::MetricsRegistry::Get();
+  obs::Counter& oss_gets = reg.counter("oss.get.requests");
+  obs::Counter& fetched = reg.counter("restore.containers_fetched");
+
+  // Calibrate what reading this version's recipe costs in full-object
+  // Gets (the only non-container reads a redirect-free restore does).
+  uint64_t before_recipe = oss_gets.value();
+  ASSERT_TRUE(store_->recipe_store()->ReadRecipe("f", 2).ok());
+  uint64_t recipe_gets = oss_gets.value() - before_recipe;
+
+  uint64_t gets_before = oss_gets.value();
+  uint64_t fetched_before = fetched.value();
+  RestoreStats stats;
+  auto out = store_->Restore("f", 2, &stats, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), versions_[2]);
+  ASSERT_EQ(stats.redirects, 0u);  // No G-node cycle ran.
+
+  // Registry and per-job stats must agree: every OSS Get of the restore
+  // is either the recipe read or one container fetch.
+  EXPECT_EQ(fetched.value() - fetched_before, stats.containers_fetched);
+  EXPECT_EQ(oss_gets.value() - gets_before,
+            recipe_gets + stats.containers_fetched);
 }
 
 TEST_F(RestorePipelineTest, ZeroCacheCapacityStillCorrect) {

@@ -10,6 +10,7 @@
 //   slim -r REPO gnode                     run the offline G-node pass
 //   slim -r REPO forget FILE VERSION       delete a version + GC
 //   slim -r REPO space                     space report
+//   slim -r REPO stats [--json|--prom]     metrics + recent trace spans
 
 #include <cstdio>
 #include <cstring>
@@ -19,7 +20,10 @@
 #include <vector>
 
 #include "core/slimstore.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "oss/disk_object_store.h"
+#include "oss/simulated_oss.h"
 
 namespace {
 
@@ -36,7 +40,9 @@ int Usage() {
       "  gnode                     run reverse dedup + compaction\n"
       "  forget FILE VER           delete a version and collect garbage\n"
       "  space                     print the space report\n"
-      "  verify                    check repository consistency\n");
+      "  verify                    check repository consistency\n"
+      "  stats [--json|--prom]     print OSS/pipeline metrics and recent "
+      "trace spans\n");
   return 2;
 }
 
@@ -74,12 +80,22 @@ class Repo {
  private:
   explicit Repo(std::unique_ptr<oss::DiskObjectStore> disk)
       : disk_(std::move(disk)) {
+    // Zero-cost SimulatedOss layer: no latency model, no sleeping —
+    // just the per-operation metrics, so `slim stats` can report OSS
+    // traffic against a plain directory store.
+    oss::OssCostModel model;
+    model.request_latency_nanos = 0;
+    model.read_nanos_per_byte = 0;
+    model.write_nanos_per_byte = 0;
+    model.sleep_for_cost = false;
+    metered_ = std::make_unique<oss::SimulatedOss>(disk_.get(), model);
     core::SlimStoreOptions options;
     options.backup.chunk_merging = true;
-    store_ = std::make_unique<core::SlimStore>(disk_.get(), options);
+    store_ = std::make_unique<core::SlimStore>(metered_.get(), options);
   }
 
   std::unique_ptr<oss::DiskObjectStore> disk_;
+  std::unique_ptr<oss::SimulatedOss> metered_;
   std::unique_ptr<core::SlimStore> store_;
 };
 
@@ -214,6 +230,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("repository OK\n");
+    return 0;
+  }
+
+  if (command == "stats") {
+    obs::ExportFormat format = obs::ExportFormat::kTable;
+    if (argi < argc) {
+      if (std::strcmp(argv[argi], "--json") == 0) {
+        format = obs::ExportFormat::kJson;
+      } else if (std::strcmp(argv[argi], "--prom") == 0) {
+        format = obs::ExportFormat::kPrometheus;
+      } else {
+        return Usage();
+      }
+    }
+    // Warm the counters with a cheap pass over the repo so a fresh
+    // process still reports real OSS traffic.
+    auto space = store->GetSpaceReport();
+    if (!space.ok()) return Fail(space.status());
+    std::printf("%s", core::SlimStore::GetMetricsReport(format).c_str());
+    if (format == obs::ExportFormat::kTable) {
+      std::printf("%s", obs::RenderTrace(obs::TraceSink::Get()).c_str());
+    }
     return 0;
   }
 
