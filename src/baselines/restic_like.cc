@@ -28,7 +28,7 @@ Result<lnode::BackupStats> ResticLike::Backup(const std::string& file_id,
 
   // The whole job holds the repository lock: restic's shared index
   // cannot admit a second concurrent writer.
-  std::lock_guard<std::mutex> repo_lock(repo_mu_);
+  MutexLock repo_lock(repo_mu_);
 
   lnode::BackupStats stats;
   stats.file_id = file_id;
@@ -121,7 +121,7 @@ Result<std::string> ResticLike::Restore(const std::string& file_id,
   Stopwatch watch;
   // Index reads take the repository lock, serializing restores with any
   // other repository activity.
-  std::lock_guard<std::mutex> repo_lock(repo_mu_);
+  MutexLock repo_lock(repo_mu_);
 
   auto recipe = recipes_.ReadRecipe(file_id, version);
   if (!recipe.ok()) return recipe.status();

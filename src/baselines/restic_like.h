@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "chunking/chunker.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "format/container.h"
 #include "format/recipe.h"
@@ -61,9 +61,11 @@ class ResticLike {
 
   /// The repository lock: Restic's shared index forces one writer at a
   /// time; index reads during restore take it too.
-  mutable std::mutex repo_mu_;
-  std::unordered_map<Fingerprint, format::ChunkRecord> global_index_;
-  std::unordered_map<std::string, uint64_t> versions_;
+  mutable Mutex repo_mu_;
+  std::unordered_map<Fingerprint, format::ChunkRecord> global_index_
+      SLIM_GUARDED_BY(repo_mu_);
+  std::unordered_map<std::string, uint64_t> versions_
+      SLIM_GUARDED_BY(repo_mu_);
 };
 
 }  // namespace slim::baselines

@@ -276,7 +276,8 @@ Result<std::string> BaselineRestorer::RestoreAlacc(
   output.reserve(stats->logical_bytes);
 
   const size_t faa_bytes = std::max<size_t>(
-      static_cast<size_t>(options_.cache_bytes * options_.alacc_faa_fraction),
+      static_cast<size_t>(static_cast<double>(options_.cache_bytes) *
+                          options_.alacc_faa_fraction),
       1 << 16);
   const size_t chunk_cache_capacity = options_.cache_bytes > faa_bytes
                                           ? options_.cache_bytes - faa_bytes

@@ -44,7 +44,7 @@ std::array<uint64_t, 256> MakeGearTable() {
 }  // namespace
 
 const std::array<uint64_t, 256>& GearTable() {
-  static const std::array<uint64_t, 256>* table =
+  static const std::array<uint64_t, 256>* table =  // lint:allow-new (leaky singleton)
       new std::array<uint64_t, 256>(MakeGearTable());
   return *table;
 }

@@ -1,14 +1,15 @@
 #ifndef SLIMSTORE_COMMON_LOGGING_H_
 #define SLIMSTORE_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace slim {
@@ -29,17 +30,19 @@ class Logger {
   using Sink = std::function<void(LogLevel, const std::string& line)>;
 
   static Logger& Get() {
-    static Logger* instance = new Logger();
+    static Logger* instance = new Logger();  // lint:allow-new (leaky singleton)
     return *instance;
   }
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Routes log lines to `sink` instead of stderr; nullptr restores
   /// stderr output.
-  void set_sink(Sink sink) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void set_sink(Sink sink) SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     sink_ = std::move(sink);
   }
 
@@ -48,15 +51,15 @@ class Logger {
   }
 
   void Log(LogLevel level, const std::string& component,
-           const std::string& msg) {
+           const std::string& msg) SLIM_EXCLUDES(mu_) {
     if (level == LogLevel::kWarn) warnings_->Add(1);
     if (level == LogLevel::kError) errors_->Add(1);
-    if (level < level_) return;
+    if (level < this->level()) return;
     static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
     std::string line = "[" + TimestampUtc() + "] [" +
                        kNames[static_cast<int>(level)] + "] [" + component +
                        "] " + msg;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (sink_) {
       sink_(level, line);
     } else {
@@ -70,11 +73,12 @@ class Logger {
         errors_(&obs::MetricsRegistry::Get().gauge("log.errors")) {}
 
   static std::string TimestampUtc() {
-    using namespace std::chrono;
-    auto now = system_clock::now();
-    std::time_t secs = system_clock::to_time_t(now);
-    auto millis =
-        duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+    auto now = std::chrono::system_clock::now();
+    std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
     std::tm tm{};
     gmtime_r(&secs, &tm);
     char buf[48];
@@ -84,9 +88,9 @@ class Logger {
     return buf;
   }
 
-  LogLevel level_ = LogLevel::kWarn;
-  std::mutex mu_;
-  Sink sink_;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Mutex mu_;
+  Sink sink_ SLIM_GUARDED_BY(mu_);
   obs::Gauge* warnings_;
   obs::Gauge* errors_;
 };

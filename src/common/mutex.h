@@ -1,0 +1,123 @@
+#ifndef SLIMSTORE_COMMON_MUTEX_H_
+#define SLIMSTORE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace slim {
+
+/// Capability-annotated wrapper around std::mutex. All SlimStore code
+/// uses this (never raw std::mutex) so that clang's `-Wthread-safety`
+/// can prove every access to SLIM_GUARDED_BY state happens under the
+/// right lock. Zero overhead: the wrapper is a plain std::mutex plus
+/// attributes the optimizer never sees.
+class SLIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SLIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() SLIM_RELEASE() { mu_.unlock(); }
+  bool TryLock() SLIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over slim::Mutex (the only idiomatic way to lock
+/// one; prefer this over manual Lock/Unlock pairs).
+class SLIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SLIM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SLIM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Capability-annotated wrapper around std::shared_mutex for
+/// reader/writer paths (object-store read caches).
+class SLIM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SLIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() SLIM_RELEASE() { mu_.unlock(); }
+  void LockShared() SLIM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SLIM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class SLIM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SLIM_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() SLIM_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class SLIM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SLIM_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() SLIM_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with slim::Mutex. Wait() requires the mutex
+/// held; write the predicate loop in the caller (which the analysis can
+/// then check) rather than passing a lambda:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Spurious wakeups possible; always re-check the predicate.
+  void Wait(Mutex& mu) SLIM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's MutexLock.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace slim
+
+#endif  // SLIMSTORE_COMMON_MUTEX_H_

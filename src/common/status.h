@@ -30,7 +30,12 @@ const char* StatusCodeName(StatusCode code);
 /// paths (storage I/O, (de)serialization, index lookups).
 ///
 /// An OK status carries no message and allocates nothing.
-class Status {
+///
+/// The class-level [[nodiscard]] makes every function returning Status
+/// by value warn when the result is dropped; with -Werror (the CI
+/// default) a silently swallowed error is a compile failure. Call sites
+/// that deliberately ignore a Status must say so with IgnoreError().
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -83,6 +88,10 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards this status. The only sanctioned way to ignore
+  /// an error (e.g. best-effort cleanup); greppable, unlike a cast.
+  void IgnoreError() const {}
+
  private:
   StatusCode code_;
   std::string message_;
@@ -96,7 +105,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// absl::StatusOr. Accessing value() on an error aborts the process, so
 /// callers must check ok() (or use SLIM_ASSIGN_OR_RETURN).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning code.
   Result(T value) : rep_(std::move(value)) {}
@@ -120,9 +129,23 @@ class Result {
   T* operator->() { return &value(); }
   const T* operator->() const { return &value(); }
 
+  /// The contained value, or `fallback` on error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  /// Explicitly discards this result (value and error alike). See
+  /// Status::IgnoreError().
+  void IgnoreError() const {}
+
  private:
   std::variant<T, Status> rep_;
 };
+
+/// Abseil-style spelling; Result<T> and StatusOr<T> are the same type.
+template <typename T>
+using StatusOr = Result<T>;
 
 }  // namespace slim
 

@@ -22,7 +22,9 @@ class Stopwatch {
             .count());
   }
 
-  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -38,7 +40,9 @@ class PhaseTimer {
  public:
   void Add(uint64_t nanos) { total_nanos_ += nanos; }
   uint64_t total_nanos() const { return total_nanos_; }
-  double total_seconds() const { return total_nanos_ * 1e-9; }
+  double total_seconds() const {
+    return static_cast<double>(total_nanos_) * 1e-9;
+  }
   void Reset() { total_nanos_ = 0; }
 
  private:

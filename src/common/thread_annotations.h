@@ -1,0 +1,75 @@
+#ifndef SLIMSTORE_COMMON_THREAD_ANNOTATIONS_H_
+#define SLIMSTORE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (the Abseil/LevelDB
+/// idiom). Under clang, `-Wthread-safety` turns unlocked access to
+/// `SLIM_GUARDED_BY` state and mismatched lock/unlock pairs into compile
+/// errors; under other compilers every macro expands to nothing.
+///
+/// Annotate *state* with SLIM_GUARDED_BY(mu_) and *functions* with
+/// SLIM_REQUIRES(mu_) / SLIM_EXCLUDES(mu_). Use the slim::Mutex /
+/// slim::MutexLock wrappers from common/mutex.h — std::mutex carries no
+/// capability attributes, so the analysis cannot see it.
+
+#if defined(__clang__)
+#define SLIM_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define SLIM_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define SLIM_CAPABILITY(x) SLIM_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SLIM_SCOPED_CAPABILITY \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define SLIM_GUARDED_BY(x) SLIM_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define SLIM_PT_GUARDED_BY(x) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function may only be called while holding the capability exclusively.
+#define SLIM_REQUIRES(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while holding the capability (shared).
+#define SLIM_REQUIRES_SHARED(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define SLIM_ACQUIRE(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define SLIM_ACQUIRE_SHARED(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive or shared).
+#define SLIM_RELEASE(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define SLIM_RELEASE_SHARED(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success value.
+#define SLIM_TRY_ACQUIRE(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// prevention for self-locking public APIs).
+#define SLIM_EXCLUDES(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define SLIM_RETURN_CAPABILITY(x) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only where
+/// the locking pattern is correct but inexpressible (e.g. lock handoff).
+#define SLIM_NO_THREAD_SAFETY_ANALYSIS \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // SLIMSTORE_COMMON_THREAD_ANNOTATIONS_H_

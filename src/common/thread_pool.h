@@ -1,12 +1,12 @@
 #ifndef SLIMSTORE_COMMON_THREAD_POOL_H_
 #define SLIMSTORE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace slim {
 
@@ -22,26 +22,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SLIM_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and all workers are idle.
-  void WaitIdle();
+  void WaitIdle() SLIM_EXCLUDES(mu_);
 
   /// Stops accepting work, drains the queue, joins workers. Idempotent.
-  void Shutdown();
+  void Shutdown() SLIM_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SLIM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // Signals workers: task or shutdown.
-  std::condition_variable idle_cv_;   // Signals WaitIdle: all done.
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_;  // Signals workers: task or shutdown.
+  CondVar idle_cv_;  // Signals WaitIdle: all done.
+  std::deque<std::function<void()>> queue_ SLIM_GUARDED_BY(mu_);
+  size_t active_ SLIM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SLIM_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // Written in ctor, joined once.
 };
 
 }  // namespace slim

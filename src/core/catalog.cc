@@ -31,14 +31,14 @@ Status DecodeIds(Decoder* dec, std::vector<format::ContainerId>* ids) {
 }  // namespace
 
 void Catalog::RecordBackup(VersionInfo info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Key key{info.file_id, info.version};
   versions_[key] = std::move(info);
 }
 
 void Catalog::AddNewContainers(const std::string& file_id, uint64_t version,
                                const std::vector<format::ContainerId>& ids) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = versions_.find({file_id, version});
   if (it == versions_.end()) return;
   it->second.new_containers.insert(it->second.new_containers.end(),
@@ -47,7 +47,7 @@ void Catalog::AddNewContainers(const std::string& file_id, uint64_t version,
 
 void Catalog::AddGarbage(const std::string& file_id, uint64_t version,
                          const std::vector<format::ContainerId>& ids) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = versions_.find({file_id, version});
   if (it == versions_.end()) return;
   it->second.garbage_containers.insert(it->second.garbage_containers.end(),
@@ -56,33 +56,33 @@ void Catalog::AddGarbage(const std::string& file_id, uint64_t version,
 
 void Catalog::SetReferenced(const std::string& file_id, uint64_t version,
                             std::vector<format::ContainerId> ids) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = versions_.find({file_id, version});
   if (it == versions_.end()) return;
   it->second.referenced_containers = std::move(ids);
 }
 
 void Catalog::MarkGnodeDone(const std::string& file_id, uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = versions_.find({file_id, version});
   if (it != versions_.end()) it->second.gnode_pending = false;
 }
 
 void Catalog::Erase(const std::string& file_id, uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   versions_.erase({file_id, version});
 }
 
 std::optional<VersionInfo> Catalog::Get(const std::string& file_id,
                                         uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = versions_.find({file_id, version});
   if (it == versions_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<index::FileVersion> Catalog::LiveVersions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<index::FileVersion> out;
   out.reserve(versions_.size());
   for (const auto& [key, info] : versions_) {
@@ -94,7 +94,7 @@ std::vector<index::FileVersion> Catalog::LiveVersions() const {
 std::vector<std::vector<format::ContainerId>>
 Catalog::LiveReferencedSetsExcept(const std::string& file_id,
                                   uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::vector<format::ContainerId>> out;
   for (const auto& [key, info] : versions_) {
     if (key.first == file_id && key.second == version) continue;
@@ -104,7 +104,7 @@ Catalog::LiveReferencedSetsExcept(const std::string& file_id,
 }
 
 std::vector<index::FileVersion> Catalog::GnodePending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<index::FileVersion> out;
   for (const auto& [key, info] : versions_) {
     if (info.gnode_pending) {
@@ -115,7 +115,7 @@ std::vector<index::FileVersion> Catalog::GnodePending() const {
 }
 
 std::vector<uint64_t> Catalog::VersionsOf(const std::string& file_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<uint64_t> out;
   for (const auto& [key, info] : versions_) {
     if (key.first == file_id) out.push_back(key.second);
@@ -127,7 +127,7 @@ std::vector<uint64_t> Catalog::VersionsOf(const std::string& file_id) const {
 Status Catalog::Save(oss::ObjectStore* store, const std::string& key) const {
   std::string out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PutVarint64(&out, versions_.size());
     for (const auto& [k, info] : versions_) {
       PutLengthPrefixed(&out, info.file_id);
@@ -167,7 +167,7 @@ Status Catalog::Load(oss::ObjectStore* store, const std::string& key) {
     Key k{info.file_id, info.version};
     loaded.emplace(std::move(k), std::move(info));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   versions_ = std::move(loaded);
   return Status::Ok();
 }

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "format/chunk.h"
 #include "index/similar_file_index.h"
@@ -76,8 +76,8 @@ class Catalog {
  private:
   using Key = std::pair<std::string, uint64_t>;
 
-  mutable std::mutex mu_;
-  std::map<Key, VersionInfo> versions_;
+  mutable Mutex mu_;
+  std::map<Key, VersionInfo> versions_ SLIM_GUARDED_BY(mu_);
 };
 
 }  // namespace slim::core

@@ -1,8 +1,8 @@
 #include "core/cluster.h"
 
 #include <atomic>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -37,7 +37,7 @@ Result<ParallelRunStats> Cluster::ParallelBackup(
       jobs.size(), stats.lnodes_used * options_.backup_jobs_per_node);
   if (jobs.empty()) return stats;
 
-  std::mutex mu;
+  Mutex mu;
   Status first_error;
   std::atomic<uint64_t> bytes{0};
 
@@ -56,7 +56,7 @@ Result<ParallelRunStats> Cluster::ParallelBackup(
           bytes.fetch_add(result.value().logical_bytes,
                           std::memory_order_relaxed);
         } else {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           if (first_error.ok()) first_error = result.status();
         }
       });
@@ -85,7 +85,7 @@ Result<ParallelRunStats> Cluster::ParallelRestore(
       jobs.size(), stats.lnodes_used * options_.restore_jobs_per_node);
   if (jobs.empty()) return stats;
 
-  std::mutex mu;
+  Mutex mu;
   Status first_error;
   std::atomic<uint64_t> bytes{0};
 
@@ -104,7 +104,7 @@ Result<ParallelRunStats> Cluster::ParallelRestore(
           NodeCounter(node, "restore.bytes").Inc(result.value().size());
           bytes.fetch_add(result.value().size(), std::memory_order_relaxed);
         } else {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           if (first_error.ok()) first_error = result.status();
         }
       });

@@ -26,7 +26,8 @@ struct ParallelRunStats {
   double AggregateThroughputMBps() const {
     return elapsed_seconds <= 0
                ? 0.0
-               : (logical_bytes / (1024.0 * 1024.0)) / elapsed_seconds;
+               : (static_cast<double>(logical_bytes) / (1024.0 * 1024.0)) /
+                     elapsed_seconds;
   }
 };
 

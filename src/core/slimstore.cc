@@ -91,7 +91,7 @@ Result<std::string> SlimStore::Restore(
 }
 
 Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
-  std::lock_guard<std::mutex> lock(gnode_mu_);
+  MutexLock lock(gnode_mu_);
   GNodeCycleStats cycle;
 
   for (const auto& pending : catalog_.GnodePending()) {
@@ -148,7 +148,7 @@ Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
 Result<gnode::GcStats> SlimStore::DeleteVersion(const std::string& file_id,
                                                 uint64_t version,
                                                 bool use_precomputed) {
-  std::lock_guard<std::mutex> lock(gnode_mu_);
+  MutexLock lock(gnode_mu_);
   auto info = catalog_.Get(file_id, version);
   if (!info.has_value()) {
     return Status::NotFound("unknown version of " + file_id);
@@ -179,14 +179,14 @@ Result<gnode::GcStats> SlimStore::DeleteVersion(const std::string& file_id,
 }
 
 Result<VerifyReport> SlimStore::VerifyRepository() {
-  std::lock_guard<std::mutex> lock(gnode_mu_);
+  MutexLock lock(gnode_mu_);
   RepositoryVerifier verifier(&containers_, &recipes_, &global_index_,
                               &catalog_);
   return verifier.Verify();
 }
 
 Status SlimStore::SaveState() {
-  std::lock_guard<std::mutex> lock(gnode_mu_);
+  MutexLock lock(gnode_mu_);
   SLIM_RETURN_IF_ERROR(
       similar_files_.Save(store_, options_.root + "/state/similar-index"));
   SLIM_RETURN_IF_ERROR(
@@ -195,7 +195,7 @@ Status SlimStore::SaveState() {
 }
 
 Status SlimStore::OpenExisting() {
-  std::lock_guard<std::mutex> lock(gnode_mu_);
+  MutexLock lock(gnode_mu_);
   SLIM_RETURN_IF_ERROR(
       similar_files_.Load(store_, options_.root + "/state/similar-index"));
   SLIM_RETURN_IF_ERROR(

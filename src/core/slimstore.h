@@ -2,10 +2,10 @@
 #define SLIMSTORE_CORE_SLIMSTORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/catalog.h"
 #include "core/verifier.h"
@@ -150,7 +150,10 @@ class SlimStore {
   index::SimilarFileIndex similar_files_;
   index::GlobalIndex global_index_;
   Catalog catalog_;
-  std::mutex gnode_mu_;  // One G-node: cycles are serialized.
+  // One G-node: cycles are serialized. Guards the offline
+  // mutate-everything phases (SCC / reverse dedup / GC), whose
+  // footprint spans containers_, global_index_ and catalog_.
+  Mutex gnode_mu_;
 };
 
 }  // namespace slim::core

@@ -1,7 +1,6 @@
 #include "format/container.h"
 
 #include <cinttypes>
-#include <mutex>
 
 #include "common/coding.h"
 #include "common/macros.h"
@@ -170,7 +169,7 @@ Status ContainerStore::WritePayloadAndMeta(std::string payload,
       store_->Put(DataKey(meta.id), EncodeContainerPayload(meta, payload)));
   SLIM_RETURN_IF_ERROR(store_->Put(MetaKey(meta.id), meta.Encode()));
   {
-    std::lock_guard<std::mutex> lock(count_mu_);
+    MutexLock lock(count_mu_);
     chunk_counts_[meta.id] = meta.chunks.size();
   }
   return Status::Ok();
@@ -178,14 +177,14 @@ Status ContainerStore::WritePayloadAndMeta(std::string payload,
 
 Result<size_t> ContainerStore::ChunkCount(ContainerId id) const {
   {
-    std::lock_guard<std::mutex> lock(count_mu_);
+    MutexLock lock(count_mu_);
     auto it = chunk_counts_.find(id);
     if (it != chunk_counts_.end()) return it->second;
   }
   auto meta = ReadMeta(id);
   if (!meta.ok()) return meta.status();
   size_t count = meta.value().chunks.size();
-  std::lock_guard<std::mutex> lock(count_mu_);
+  MutexLock lock(count_mu_);
   chunk_counts_[id] = count;
   return count;
 }
@@ -252,7 +251,7 @@ Result<uint64_t> ContainerStore::CompactContainer(ContainerId id) {
 Status ContainerStore::Delete(ContainerId id) {
   SLIM_RETURN_IF_ERROR(store_->Delete(DataKey(id)));
   SLIM_RETURN_IF_ERROR(store_->Delete(MetaKey(id)));
-  std::lock_guard<std::mutex> lock(count_mu_);
+  MutexLock lock(count_mu_);
   chunk_counts_.erase(id);
   return Status::Ok();
 }

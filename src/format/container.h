@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <optional>
 #include <string>
@@ -11,6 +10,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "format/chunk.h"
 #include "oss/object_store.h"
@@ -46,7 +46,8 @@ struct ContainerMeta {
   double DeletedFraction() const {
     return chunks.empty()
                ? 0.0
-               : static_cast<double>(DeletedCount()) / chunks.size();
+               : static_cast<double>(DeletedCount()) /
+                     static_cast<double>(chunks.size());
   }
 
   const ChunkLocation* Find(const Fingerprint& fp) const {
@@ -157,8 +158,9 @@ class ContainerStore {
   std::string prefix_;
   std::atomic<ContainerId> next_id_{0};
 
-  mutable std::mutex count_mu_;
-  mutable std::unordered_map<ContainerId, size_t> chunk_counts_;
+  mutable Mutex count_mu_;
+  mutable std::unordered_map<ContainerId, size_t> chunk_counts_
+      SLIM_GUARDED_BY(count_mu_);
 };
 
 /// Serializes a self-describing payload object (directory + bytes).

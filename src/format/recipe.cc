@@ -1,7 +1,6 @@
 #include "format/recipe.h"
 
 #include <cinttypes>
-#include <mutex>
 
 #include "common/coding.h"
 #include "common/macros.h"
@@ -206,7 +205,7 @@ Status RecipeStore::WriteRecipe(const Recipe& recipe, uint32_t sample_ratio) {
                                    index.Encode()));
   {
     // Invalidate any stale cached toc for this key (recipe rewrite).
-    std::lock_guard<std::mutex> lock(toc_mu_);
+    MutexLock lock(toc_mu_);
     toc_cache_.erase(TocKey(recipe.file_id, recipe.version));
   }
   return Status::Ok();
@@ -253,7 +252,7 @@ Result<RecipeStore::Toc> RecipeStore::GetToc(const std::string& file_id,
                                              uint64_t version) {
   const std::string key = TocKey(file_id, version);
   {
-    std::lock_guard<std::mutex> lock(toc_mu_);
+    MutexLock lock(toc_mu_);
     auto it = toc_cache_.find(key);
     if (it != toc_cache_.end()) return it->second;
   }
@@ -271,7 +270,7 @@ Result<RecipeStore::Toc> RecipeStore::GetToc(const std::string& file_id,
     toc.ranges.emplace_back(offset, length);
   }
   {
-    std::lock_guard<std::mutex> lock(toc_mu_);
+    MutexLock lock(toc_mu_);
     toc_cache_[key] = toc;
   }
   return toc;
@@ -302,7 +301,8 @@ Result<std::vector<SegmentRecipe>> RecipeStore::ReadSegmentRange(
   if (first_ordinal >= ranges.size()) {
     return Status::InvalidArgument("segment ordinal out of range");
   }
-  uint32_t last = std::min<size_t>(first_ordinal + count, ranges.size());
+  uint32_t last = static_cast<uint32_t>(
+      std::min<size_t>(first_ordinal + count, ranges.size()));
   uint64_t begin = ranges[first_ordinal].first;
   uint64_t end = ranges[last - 1].first + ranges[last - 1].second;
   auto bytes =
@@ -325,7 +325,7 @@ Status RecipeStore::DeleteVersion(const std::string& file_id,
   SLIM_RETURN_IF_ERROR(store_->Delete(RecipeKey(file_id, version)));
   SLIM_RETURN_IF_ERROR(store_->Delete(TocKey(file_id, version)));
   SLIM_RETURN_IF_ERROR(store_->Delete(IndexKey(file_id, version)));
-  std::lock_guard<std::mutex> lock(toc_mu_);
+  MutexLock lock(toc_mu_);
   toc_cache_.erase(TocKey(file_id, version));
   return Status::Ok();
 }

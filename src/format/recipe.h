@@ -2,12 +2,12 @@
 #define SLIMSTORE_FORMAT_RECIPE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "format/chunk.h"
 #include "oss/object_store.h"
@@ -111,8 +111,9 @@ class RecipeStore {
   oss::ObjectStore* store_;
   std::string prefix_;
 
-  mutable std::mutex toc_mu_;
-  std::unordered_map<std::string, Toc> toc_cache_;  // Keyed by TocKey.
+  mutable Mutex toc_mu_;
+  std::unordered_map<std::string, Toc> toc_cache_
+      SLIM_GUARDED_BY(toc_mu_);  // Keyed by TocKey.
 };
 
 /// Escapes a file id for embedding in an object key ('/' and '%').

@@ -7,7 +7,7 @@ namespace slim::index {
 namespace {
 // k ~= bits_per_item * ln(2), clamped to a sane range.
 uint32_t OptimalHashes(size_t bits_per_item) {
-  uint32_t k = static_cast<uint32_t>(bits_per_item * 0.69);
+  uint32_t k = static_cast<uint32_t>(static_cast<double>(bits_per_item) * 0.69);
   return std::clamp<uint32_t>(k, 1, 16);
 }
 }  // namespace

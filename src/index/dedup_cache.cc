@@ -22,6 +22,7 @@ obs::Counter& GlobalMisses() {
 }  // namespace
 
 uint64_t DedupCache::AddSegment(format::SegmentRecipe segment) {
+  MutexLock lock(mu_);
   while (segments_.size() >= capacity_) EvictOne();
   uint64_t seq = next_seq_++;
   for (uint32_t i = 0; i < segment.records.size(); ++i) {
@@ -36,6 +37,7 @@ uint64_t DedupCache::AddSegment(format::SegmentRecipe segment) {
 }
 
 std::optional<DedupCache::Handle> DedupCache::Lookup(const Fingerprint& fp) {
+  MutexLock lock(mu_);
   auto it = fp_map_.find(fp);
   if (it == fp_map_.end()) {
     ++misses_;
@@ -56,6 +58,7 @@ std::optional<DedupCache::Handle> DedupCache::Lookup(const Fingerprint& fp) {
 }
 
 const format::ChunkRecord& DedupCache::Record(const Handle& handle) const {
+  MutexLock lock(mu_);
   auto it = segments_.find(handle.segment_seq);
   SLIM_CHECK(it != segments_.end());
   SLIM_CHECK(handle.record_index < it->second.records.size());
@@ -63,6 +66,7 @@ const format::ChunkRecord& DedupCache::Record(const Handle& handle) const {
 }
 
 const format::ChunkRecord* DedupCache::TryRecord(const Handle& handle) const {
+  MutexLock lock(mu_);
   auto it = segments_.find(handle.segment_seq);
   if (it == segments_.end()) return nullptr;
   if (handle.record_index >= it->second.records.size()) return nullptr;
@@ -71,6 +75,7 @@ const format::ChunkRecord* DedupCache::TryRecord(const Handle& handle) const {
 
 std::optional<DedupCache::Handle> DedupCache::Next(
     const Handle& handle) const {
+  MutexLock lock(mu_);
   auto it = segments_.find(handle.segment_seq);
   if (it == segments_.end()) return std::nullopt;
   if (handle.record_index + 1 >= it->second.records.size()) {
@@ -80,6 +85,7 @@ std::optional<DedupCache::Handle> DedupCache::Next(
 }
 
 void DedupCache::Clear() {
+  MutexLock lock(mu_);
   segments_.clear();
   fp_map_.clear();
   lru_.clear();

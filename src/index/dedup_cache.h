@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "format/chunk.h"
 
 namespace slim::index {
@@ -33,44 +34,62 @@ class DedupCache {
 
   /// Inserts a prefetched segment recipe; evicts the least recently used
   /// segment beyond capacity. Returns the new segment's sequence number.
-  uint64_t AddSegment(format::SegmentRecipe segment);
+  uint64_t AddSegment(format::SegmentRecipe segment) SLIM_EXCLUDES(mu_);
 
   /// Finds a cached record with this fingerprint (first occurrence).
-  std::optional<Handle> Lookup(const Fingerprint& fp);
+  std::optional<Handle> Lookup(const Fingerprint& fp) SLIM_EXCLUDES(mu_);
 
   /// The record at `handle`. Handle must come from Lookup/Next on this
   /// cache and the segment must still be resident (guaranteed between a
   /// Lookup and the next AddSegment burst of at most `capacity` inserts).
-  const format::ChunkRecord& Record(const Handle& handle) const;
+  const format::ChunkRecord& Record(const Handle& handle) const
+      SLIM_EXCLUDES(mu_);
 
   /// Position of the next record in the same segment, if any.
-  std::optional<Handle> Next(const Handle& handle) const;
+  std::optional<Handle> Next(const Handle& handle) const SLIM_EXCLUDES(mu_);
 
   /// Like Record() but returns nullptr when the segment has been evicted
   /// (stale handle) instead of aborting.
-  const format::ChunkRecord* TryRecord(const Handle& handle) const;
+  const format::ChunkRecord* TryRecord(const Handle& handle) const
+      SLIM_EXCLUDES(mu_);
 
-  bool Contains(const Fingerprint& fp) const {
+  bool Contains(const Fingerprint& fp) const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return fp_map_.count(fp) > 0;
   }
 
-  size_t segment_count() const { return segments_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void Clear();
+  size_t segment_count() const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return segments_.size();
+  }
+  uint64_t hits() const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return misses_;
+  }
+  void Clear() SLIM_EXCLUDES(mu_);
 
  private:
-  void EvictOne();
-  void Touch(uint64_t seq);
+  void EvictOne() SLIM_REQUIRES(mu_);
+  void Touch(uint64_t seq) SLIM_REQUIRES(mu_);
 
+  // A DedupCache is normally owned by one backup job, but G-node
+  // filtering and the cluster harness may probe it concurrently, so all
+  // state is mutex-guarded (uncontended in the common case).
+  mutable Mutex mu_;
   size_t capacity_;
-  uint64_t next_seq_ = 1;
-  std::unordered_map<uint64_t, format::SegmentRecipe> segments_;
-  std::unordered_map<Fingerprint, Handle> fp_map_;
-  std::list<uint64_t> lru_;  // Front = most recent.
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_pos_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  uint64_t next_seq_ SLIM_GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, format::SegmentRecipe> segments_
+      SLIM_GUARDED_BY(mu_);
+  std::unordered_map<Fingerprint, Handle> fp_map_ SLIM_GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ SLIM_GUARDED_BY(mu_);  // Front = most recent.
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_pos_
+      SLIM_GUARDED_BY(mu_);
+  uint64_t hits_ SLIM_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ SLIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace slim::index

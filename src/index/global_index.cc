@@ -23,6 +23,7 @@ Status GlobalIndex::Open() {
   // Rebuild the bloom filter from persisted state.
   auto entries = db_.Scan("", "");
   if (!entries.ok()) return entries.status();
+  WriterMutexLock lock(bloom_mu_);
   bloom_.Clear();
   for (const auto& [key, value] : entries.value()) {
     if (key.size() != Fingerprint::kSize) continue;
@@ -39,6 +40,7 @@ Status GlobalIndex::Put(const Fingerprint& fp,
   std::string value;
   PutFixed64(&value, container_id);
   SLIM_RETURN_IF_ERROR(db_.Put(KeyOf(fp), value));
+  WriterMutexLock lock(bloom_mu_);
   bloom_.Add(fp);
   return Status::Ok();
 }

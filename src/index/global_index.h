@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "format/chunk.h"
 #include "index/bloom.h"
@@ -31,10 +32,11 @@ class GlobalIndex {
               uint64_t expected_chunks = 1 << 20);
 
   /// Loads persisted LSM runs (reopen).
-  Status Open();
+  Status Open() SLIM_EXCLUDES(bloom_mu_);
 
   /// Records (or re-points) the container that owns `fp`.
-  Status Put(const Fingerprint& fp, format::ContainerId container_id);
+  Status Put(const Fingerprint& fp, format::ContainerId container_id)
+      SLIM_EXCLUDES(bloom_mu_);
 
   /// Container currently owning `fp`; NotFound if never stored.
   Result<format::ContainerId> Get(const Fingerprint& fp);
@@ -43,8 +45,12 @@ class GlobalIndex {
 
   /// Fast in-memory pre-filter: false means `fp` was definitely never
   /// Put. (False positives fall through to the LSM.)
-  bool MayContain(const Fingerprint& fp) const {
-    bool may = bloom_.MayContain(fp);
+  bool MayContain(const Fingerprint& fp) const SLIM_EXCLUDES(bloom_mu_) {
+    bool may;
+    {
+      ReaderMutexLock lock(bloom_mu_);
+      may = bloom_.MayContain(fp);
+    }
     (may ? m_bloom_maybe_ : m_bloom_negative_)->Inc();
     return may;
   }
@@ -62,7 +68,10 @@ class GlobalIndex {
   }
 
   oss::RocksOss db_;
-  BloomFilter bloom_;
+  // Readers (MayContain) and writers (Put/Open rebuild) overlap when
+  // G-node filtering runs concurrently with restores.
+  mutable SharedMutex bloom_mu_;
+  BloomFilter bloom_ SLIM_GUARDED_BY(bloom_mu_);
 
   // Process-wide registry handles ("gindex.*").
   obs::Counter* m_puts_;

@@ -11,7 +11,7 @@ namespace slim::index {
 void SimilarFileIndex::AddFileVersion(
     const std::string& file_id, uint64_t version,
     const std::vector<Fingerprint>& samples) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Fingerprint& fp : samples) {
     samples_[fp].push_back(Entry{file_id, version});
   }
@@ -23,7 +23,7 @@ void SimilarFileIndex::AddFileVersion(
 
 std::optional<uint64_t> SimilarFileIndex::LatestVersion(
     const std::string& file_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = latest_.find(file_id);
   if (it == latest_.end()) return std::nullopt;
   return it->second;
@@ -31,7 +31,7 @@ std::optional<uint64_t> SimilarFileIndex::LatestVersion(
 
 std::optional<FileVersion> SimilarFileIndex::FindSimilar(
     const std::vector<Fingerprint>& samples, size_t min_shared) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Count shared samples per (file, version).
   std::map<std::pair<std::string, uint64_t>, size_t> shared;
   for (const Fingerprint& fp : samples) {
@@ -58,7 +58,7 @@ std::optional<FileVersion> SimilarFileIndex::FindSimilar(
 
 void SimilarFileIndex::RemoveFileVersion(const std::string& file_id,
                                          uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = samples_.begin(); it != samples_.end();) {
     auto& entries = it->second;
     entries.erase(std::remove_if(entries.begin(), entries.end(),
@@ -98,7 +98,7 @@ Status SimilarFileIndex::Save(oss::ObjectStore* store,
                               const std::string& key) const {
   std::string out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PutVarint64(&out, samples_.size());
     for (const auto& [fp, entries] : samples_) {
       PutFingerprint(&out, fp);
@@ -149,14 +149,14 @@ Status SimilarFileIndex::Load(oss::ObjectStore* store,
     SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&version));
     new_latest[std::string(id)] = version;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_ = std::move(new_samples);
   latest_ = std::move(new_latest);
   return Status::Ok();
 }
 
 size_t SimilarFileIndex::sample_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return samples_.size();
 }
 

@@ -2,13 +2,13 @@
 #define SLIMSTORE_INDEX_SIMILAR_FILE_INDEX_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "oss/object_store.h"
 
@@ -65,11 +65,12 @@ class SimilarFileIndex {
     uint64_t version;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Sample fingerprint -> owning versions (usually 1-2 entries).
-  std::unordered_map<Fingerprint, std::vector<Entry>> samples_;
+  std::unordered_map<Fingerprint, std::vector<Entry>> samples_
+      SLIM_GUARDED_BY(mu_);
   // file id -> latest version.
-  std::unordered_map<std::string, uint64_t> latest_;
+  std::unordered_map<std::string, uint64_t> latest_ SLIM_GUARDED_BY(mu_);
 };
 
 }  // namespace slim::index

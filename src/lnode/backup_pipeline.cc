@@ -728,7 +728,8 @@ Result<BackupStats> BackupPipeline::BackupFromWindow(
     if (!count.ok()) continue;
     size_t total = count.value();
     if (total == 0) continue;
-    double utilization = static_cast<double>(fps.size()) / total;
+    double utilization =
+        static_cast<double>(fps.size()) / static_cast<double>(total);
     if (utilization < options_.sparse_utilization_threshold) {
       job.stats.sparse_containers.push_back(cid);
     }

@@ -119,17 +119,20 @@ struct BackupStats {
   double DedupRatio() const {
     return logical_bytes == 0
                ? 0.0
-               : static_cast<double>(dup_bytes) / logical_bytes;
+               : static_cast<double>(dup_bytes) /
+                     static_cast<double>(logical_bytes);
   }
   double ThroughputMBps() const {
     return elapsed_seconds <= 0
                ? 0.0
-               : (logical_bytes / (1024.0 * 1024.0)) / elapsed_seconds;
+               : (static_cast<double>(logical_bytes) / (1024.0 * 1024.0)) /
+                     elapsed_seconds;
   }
   double MeanChunkBytes() const {
     return total_chunks == 0
                ? 0.0
-               : static_cast<double>(logical_bytes) / total_chunks;
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(total_chunks);
   }
 };
 

@@ -1,13 +1,12 @@
 #include "lnode/restore_pipeline.h"
 
-#include <condition_variable>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "index/bloom.h"
@@ -21,49 +20,55 @@ using format::ContainerId;
 /// Per-restore shared state. All mutable members are guarded by mu
 /// (prefetch workers and the restore cursor both touch the caches).
 struct RestoreJob {
+  // Restore sequence: written once before any prefetch thread starts,
+  // read-only afterwards (hence not guarded).
   std::vector<ChunkRecord> seq;
-  index::CountingBloomFilter cbf;
 
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
+
+  index::CountingBloomFilter cbf SLIM_GUARDED_BY(mu);
 
   // Cache_m: fingerprint -> chunk bytes, insertion-ordered for eviction.
-  std::unordered_map<Fingerprint, std::string> mem;
-  uint64_t mem_bytes = 0;
-  std::list<Fingerprint> mem_order;
+  std::unordered_map<Fingerprint, std::string> mem SLIM_GUARDED_BY(mu);
+  uint64_t mem_bytes SLIM_GUARDED_BY(mu) = 0;
+  std::list<Fingerprint> mem_order SLIM_GUARDED_BY(mu);
 
   // Cache_d (local disk spill).
-  std::unordered_map<Fingerprint, std::string> disk;
-  uint64_t disk_bytes = 0;
-  std::list<Fingerprint> disk_order;
+  std::unordered_map<Fingerprint, std::string> disk SLIM_GUARDED_BY(mu);
+  uint64_t disk_bytes SLIM_GUARDED_BY(mu) = 0;
+  std::list<Fingerprint> disk_order SLIM_GUARDED_BY(mu);
 
   // Multiset of fingerprints inside the look-ahead window.
-  std::unordered_map<Fingerprint, uint32_t> law;
+  std::unordered_map<Fingerprint, uint32_t> law SLIM_GUARDED_BY(mu);
 
   // Containers already read / currently being read in this job.
-  std::unordered_set<ContainerId> fetched;
-  std::unordered_set<ContainerId> inflight;
+  std::unordered_set<ContainerId> fetched SLIM_GUARDED_BY(mu);
+  std::unordered_set<ContainerId> inflight SLIM_GUARDED_BY(mu);
   // Directory of every container read so far: which fingerprints it
   // holds. Lets the cursor skip a useless re-read when a chunk is known
   // to have been moved away (reverse dedup / SCC) and go straight to
   // the global-index redirect.
   std::unordered_map<ContainerId, std::unordered_set<Fingerprint>>
-      directories;
+      directories SLIM_GUARDED_BY(mu);
 
-  RestoreStats stats;
-  Status failure;  // First asynchronous failure, returned at the end.
+  RestoreStats stats SLIM_GUARDED_BY(mu);
+  // First asynchronous failure, returned at the end.
+  Status failure SLIM_GUARDED_BY(mu);
 
   explicit RestoreJob(size_t expected_chunks)
       : cbf(expected_chunks, /*counters_per_item=*/10) {}
 };
 
-// The helpers below assume job->mu is held unless stated otherwise.
+// The helpers below require job->mu held, which clang's thread-safety
+// analysis enforces via the SLIM_REQUIRES annotations.
 namespace {
 
 enum class ChunkStatus { kInWindow, kLater, kUseless };
 
 ChunkStatus StatusOfLocked(RestoreJob* job, const Fingerprint& fp,
-                           const index::CountingBloomFilter& cbf) {
+                           const index::CountingBloomFilter& cbf)
+    SLIM_REQUIRES(job->mu) {
   auto it = job->law.find(fp);
   if (it != job->law.end() && it->second > 0) return ChunkStatus::kInWindow;
   if (cbf.CountEstimate(fp) > 0) return ChunkStatus::kLater;
@@ -71,7 +76,8 @@ ChunkStatus StatusOfLocked(RestoreJob* job, const Fingerprint& fp,
 }
 
 void DiskInsertLocked(RestoreJob* job, size_t capacity,
-                      const Fingerprint& fp, std::string bytes) {
+                      const Fingerprint& fp, std::string bytes)
+    SLIM_REQUIRES(job->mu) {
   if (capacity == 0) return;
   if (job->disk.count(fp) > 0) return;
   job->disk_bytes += bytes.size();
@@ -91,7 +97,7 @@ void DiskInsertLocked(RestoreJob* job, size_t capacity,
 // Frees Cache_m down to capacity: drop S_U, spill S_L to disk, and as a
 // last resort spill S_I too (full-vision policy, §V-A).
 void EvictLocked(RestoreJob* job, size_t mem_capacity,
-                 size_t disk_capacity) {
+                 size_t disk_capacity) SLIM_REQUIRES(job->mu) {
   while (job->mem_bytes > mem_capacity && !job->mem.empty()) {
     auto useless_it = job->mem_order.end();
     auto later_it = job->mem_order.end();
@@ -133,7 +139,7 @@ void EvictLocked(RestoreJob* job, size_t mem_capacity,
 
 void InsertChunkLocked(RestoreJob* job, size_t mem_capacity,
                        size_t disk_capacity, const Fingerprint& fp,
-                       std::string_view bytes) {
+                       std::string_view bytes) SLIM_REQUIRES(job->mu) {
   if (job->mem.count(fp) > 0 || job->disk.count(fp) > 0) return;
   ChunkStatus status = StatusOfLocked(job, fp, job->cbf);
   if (status == ChunkStatus::kUseless) return;
@@ -141,6 +147,19 @@ void InsertChunkLocked(RestoreJob* job, size_t mem_capacity,
   job->mem.emplace(fp, std::string(bytes));
   job->mem_order.push_back(fp);
   EvictLocked(job, mem_capacity, disk_capacity);
+}
+
+// Schedules a background prefetch of the container owning seq[idx], if
+// it has not been read yet. `spawn` runs the actual fetch on the pool;
+// it must outlive the pool.
+void MaybePrefetchLocked(RestoreJob* job, ThreadPool* pool,
+                         const std::function<void(ContainerId)>& spawn,
+                         size_t idx) SLIM_REQUIRES(job->mu) {
+  if (pool == nullptr || idx >= job->seq.size()) return;
+  ContainerId cid = job->seq[idx].container_id;
+  if (job->fetched.count(cid) > 0 || job->inflight.count(cid) > 0) return;
+  job->inflight.insert(cid);
+  pool->Submit([&spawn, cid] { spawn(cid); });
 }
 
 }  // namespace
@@ -178,10 +197,12 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
 
   RestoreJob job(recipe.value().TotalChunks());
   job.seq = recipe.value().Flatten();
-  job.stats.logical_bytes = recipe.value().LogicalBytes();
-
-  // Full restore information: every future reference counted up front.
-  for (const ChunkRecord& rec : job.seq) job.cbf.Add(rec.fp);
+  {
+    MutexLock lock(job.mu);
+    job.stats.logical_bytes = recipe.value().LogicalBytes();
+    // Full restore information: every future reference counted up front.
+    for (const ChunkRecord& rec : job.seq) job.cbf.Add(rec.fp);
+  }
 
   const size_t mem_capacity = options_.cache_bytes;
   const size_t disk_capacity = options_.disk_cache_bytes;
@@ -198,7 +219,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
     obs::Span fetch_span("restore.fetch_container", restore_span_id);
     obs::ScopedTimer fetch_timer(&fetch_latency);
     auto loaded = containers_->ReadContainer(cid);
-    std::lock_guard<std::mutex> lock(job.mu);
+    MutexLock lock(job.mu);
     if (loaded.ok()) {
       ++job.stats.containers_fetched;
       job.stats.bytes_fetched += loaded.value().payload.size();
@@ -214,7 +235,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
       job.fetched.insert(cid);
     }
     job.inflight.erase(cid);
-    job.cv.notify_all();
+    job.cv.NotifyAll();
     return loaded;
   };
 
@@ -223,28 +244,21 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
     pool = std::make_unique<ThreadPool>(options_.prefetch_threads);
   }
 
-  // Schedules a background prefetch of the container owning seq[idx],
-  // if it has not been read yet. job.mu must be held.
-  auto maybe_prefetch_locked = [&](size_t idx) {
-    if (pool == nullptr || idx >= job.seq.size()) return;
-    ContainerId cid = job.seq[idx].container_id;
-    if (job.fetched.count(cid) > 0 || job.inflight.count(cid) > 0) return;
-    job.inflight.insert(cid);
-    pool->Submit([&, cid] {
-      auto result = fetch_container(cid);
-      if (!result.ok()) {
-        std::lock_guard<std::mutex> lock(job.mu);
-        if (job.failure.ok()) job.failure = result.status();
-      }
-    });
+  // Runs one prefetch on a pool thread, recording the first failure.
+  std::function<void(ContainerId)> spawn_fetch = [&](ContainerId cid) {
+    auto result = fetch_container(cid);
+    if (!result.ok()) {
+      MutexLock lock(job.mu);
+      if (job.failure.ok()) job.failure = result.status();
+    }
   };
 
   // Prime the look-ahead window with the first `law_size` records.
   {
-    std::lock_guard<std::mutex> lock(job.mu);
+    MutexLock lock(job.mu);
     for (size_t i = 0; i < job.seq.size() && i < law_size; ++i) {
       ++job.law[job.seq[i].fp];
-      maybe_prefetch_locked(i);
+      MaybePrefetchLocked(&job, pool.get(), spawn_fetch, i);
     }
   }
 
@@ -254,7 +268,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
     std::string chunk_bytes;
     bool have = false;
     {
-      std::unique_lock<std::mutex> lock(job.mu);
+      MutexLock lock(job.mu);
       for (;;) {
         auto mit = job.mem.find(rec.fp);
         if (mit != job.mem.end()) {
@@ -273,7 +287,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
         // Not cached. If its container is being prefetched, wait for
         // that read to finish rather than issuing a duplicate one.
         if (job.inflight.count(rec.container_id) > 0) {
-          job.cv.wait(lock);
+          job.cv.Wait(job.mu);
           continue;
         }
         break;
@@ -285,7 +299,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
       // lacks the chunk, skip the useless re-read and redirect.
       bool known_absent = false;
       {
-        std::lock_guard<std::mutex> lock(job.mu);
+        MutexLock lock(job.mu);
         auto dit = job.directories.find(rec.container_id);
         if (dit != job.directories.end() &&
             dit->second.count(rec.fp) == 0) {
@@ -298,7 +312,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
         // chunk moved). Mark in-flight so concurrent prefetchers skip
         // it.
         {
-          std::lock_guard<std::mutex> lock(job.mu);
+          MutexLock lock(job.mu);
           job.inflight.insert(rec.container_id);
         }
         auto loaded = fetch_container(rec.container_id);
@@ -320,7 +334,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
         auto redirect = options_.global_index->Get(rec.fp);
         if (!redirect.ok()) return redirect.status();
         {
-          std::lock_guard<std::mutex> lock(job.mu);
+          MutexLock lock(job.mu);
           ++job.stats.redirects;
           job.inflight.insert(redirect.value());
         }
@@ -345,7 +359,7 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
     // chunks that became useless, and prefetch the record entering the
     // window.
     {
-      std::lock_guard<std::mutex> lock(job.mu);
+      MutexLock lock(job.mu);
       ++job.stats.chunks_restored;
       auto lit = job.law.find(rec.fp);
       if (lit != job.law.end()) {
@@ -367,33 +381,36 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
       size_t entering = i + law_size;
       if (entering < job.seq.size()) {
         ++job.law[job.seq[entering].fp];
-        maybe_prefetch_locked(entering);
+        MaybePrefetchLocked(&job, pool.get(), spawn_fetch, entering);
       }
       if (!job.failure.ok()) return job.failure;
     }
   }
 
   if (pool != nullptr) pool->Shutdown();
+
+  RestoreStats final_stats;
   {
-    std::lock_guard<std::mutex> lock(job.mu);
+    MutexLock lock(job.mu);
     if (!job.failure.ok()) return job.failure;
+    job.stats.elapsed_seconds = total_watch.ElapsedSeconds();
+    final_stats = job.stats;
   }
 
-  job.stats.elapsed_seconds = total_watch.ElapsedSeconds();
-
   reg.counter("restore.jobs").Inc();
-  reg.counter("restore.chunks").Inc(job.stats.chunks_restored);
-  reg.counter("restore.logical_bytes").Inc(job.stats.logical_bytes);
-  reg.counter("restore.containers_fetched").Inc(job.stats.containers_fetched);
-  reg.counter("restore.bytes_fetched").Inc(job.stats.bytes_fetched);
-  reg.counter("restore.cache.mem_hits").Inc(job.stats.cache_hits);
-  reg.counter("restore.cache.disk_hits").Inc(job.stats.disk_hits);
-  reg.counter("restore.cache.spills").Inc(job.stats.disk_spills);
-  reg.counter("restore.redirects").Inc(job.stats.redirects);
+  reg.counter("restore.chunks").Inc(final_stats.chunks_restored);
+  reg.counter("restore.logical_bytes").Inc(final_stats.logical_bytes);
+  reg.counter("restore.containers_fetched")
+      .Inc(final_stats.containers_fetched);
+  reg.counter("restore.bytes_fetched").Inc(final_stats.bytes_fetched);
+  reg.counter("restore.cache.mem_hits").Inc(final_stats.cache_hits);
+  reg.counter("restore.cache.disk_hits").Inc(final_stats.disk_hits);
+  reg.counter("restore.cache.spills").Inc(final_stats.disk_spills);
+  reg.counter("restore.redirects").Inc(final_stats.redirects);
   reg.histogram("restore.latency_ns")
-      .Record(static_cast<uint64_t>(job.stats.elapsed_seconds * 1e9));
+      .Record(static_cast<uint64_t>(final_stats.elapsed_seconds * 1e9));
 
-  if (stats != nullptr) *stats = job.stats;
+  if (stats != nullptr) *stats = final_stats;
   return Status::Ok();
 }
 

@@ -48,13 +48,14 @@ struct RestoreStats {
   double ThroughputMBps() const {
     return elapsed_seconds <= 0
                ? 0.0
-               : (logical_bytes / (1024.0 * 1024.0)) / elapsed_seconds;
+               : (static_cast<double>(logical_bytes) / (1024.0 * 1024.0)) /
+                     elapsed_seconds;
   }
   double ContainersPer100MB() const {
     return logical_bytes == 0
                ? 0.0
-               : containers_fetched * 100.0 * 1024.0 * 1024.0 /
-                     logical_bytes;
+               : static_cast<double>(containers_fetched) * 100.0 * 1024.0 *
+                     1024.0 / static_cast<double>(logical_bytes);
   }
 };
 

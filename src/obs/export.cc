@@ -161,7 +161,8 @@ std::string RenderTrace(const TraceSink& sink, size_t max_spans) {
     std::string indent(std::min<uint32_t>(s.depth, 16) * 2, ' ');
     Appendf(&out, "%s%-*s %10.3f ms  (span %" PRIu64 " parent %" PRIu64 ")\n",
             indent.c_str(), static_cast<int>(40 - indent.size()),
-            s.name.c_str(), s.duration_nanos / 1e6, s.id, s.parent_id);
+            s.name.c_str(), static_cast<double>(s.duration_nanos) / 1e6, s.id,
+            s.parent_id);
   }
   if (out.empty()) out = "(no spans recorded)\n";
   return out;

@@ -42,7 +42,8 @@ uint64_t Histogram::ValueAtPercentile(double p) const {
   if (total == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
   // Rank of the percentile sample, 1-based; p=0 maps to the first one.
-  uint64_t rank = static_cast<uint64_t>(p / 100.0 * total);
+  uint64_t rank =
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
@@ -79,33 +80,33 @@ void Histogram::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Get() {
-  static MetricsRegistry* instance = new MetricsRegistry();
+  static MetricsRegistry* instance = new MetricsRegistry();  // lint:allow-new (leaky singleton)
   return *instance;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -114,7 +115,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -6,8 +6,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace slim::obs {
 
@@ -47,7 +48,7 @@ struct HistogramStats {
   uint64_t p99 = 0;
 
   double mean() const {
-    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
   }
 };
 
@@ -96,24 +97,24 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Get();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) SLIM_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) SLIM_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) SLIM_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SLIM_EXCLUDES(mu_);
 
   /// Zeroes every registered metric (registrations survive). Used by
   /// tests and by CLI/bench runs that want per-phase deltas.
-  void ResetAll();
+  void ResetAll() SLIM_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Node-based maps: element addresses are stable across inserts.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ SLIM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SLIM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ SLIM_GUARDED_BY(mu_);
 };
 
 }  // namespace slim::obs

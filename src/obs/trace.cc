@@ -27,12 +27,12 @@ uint64_t TraceNowNanos() {
 }
 
 TraceSink& TraceSink::Get() {
-  static TraceSink* instance = new TraceSink();
+  static TraceSink* instance = new TraceSink();  // lint:allow-new (leaky singleton)
   return *instance;
 }
 
 void TraceSink::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
@@ -44,7 +44,7 @@ void TraceSink::Record(SpanRecord record) {
 }
 
 std::vector<SpanRecord> TraceSink::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   // next_ is the oldest slot once the ring has wrapped.
@@ -55,25 +55,25 @@ std::vector<SpanRecord> TraceSink::Snapshot() const {
 }
 
 void TraceSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
 }
 
 uint64_t TraceSink::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 
 void TraceSink::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity;
   ring_.clear();
   next_ = 0;
 }
 
 size_t TraceSink::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 

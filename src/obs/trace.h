@@ -2,10 +2,10 @@
 #define SLIMSTORE_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 namespace slim::obs {
@@ -26,26 +26,26 @@ class TraceSink {
  public:
   static TraceSink& Get();
 
-  void Record(SpanRecord record);
+  void Record(SpanRecord record) SLIM_EXCLUDES(mu_);
 
   /// All retained spans, oldest first.
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const SLIM_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() SLIM_EXCLUDES(mu_);
   /// Total spans ever recorded (including overwritten ones).
-  uint64_t total_recorded() const;
+  uint64_t total_recorded() const SLIM_EXCLUDES(mu_);
 
-  void set_capacity(size_t capacity);
-  size_t capacity() const;
+  void set_capacity(size_t capacity) SLIM_EXCLUDES(mu_);
+  size_t capacity() const SLIM_EXCLUDES(mu_);
 
  private:
   explicit TraceSink(size_t capacity = 4096) : capacity_(capacity) {}
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::vector<SpanRecord> ring_;
-  size_t next_ = 0;  // Overwrite cursor once the ring is full.
-  uint64_t total_ = 0;
+  mutable Mutex mu_;
+  size_t capacity_ SLIM_GUARDED_BY(mu_);
+  std::vector<SpanRecord> ring_ SLIM_GUARDED_BY(mu_);
+  size_t next_ SLIM_GUARDED_BY(mu_) = 0;  // Overwrite cursor once full.
+  uint64_t total_ SLIM_GUARDED_BY(mu_) = 0;
 };
 
 /// Nanoseconds since the process trace epoch (first use).

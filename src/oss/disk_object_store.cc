@@ -4,7 +4,6 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <system_error>
 
 namespace slim::oss {
@@ -69,7 +68,7 @@ fs::path DiskObjectStore::PathFor(const std::string& key) const {
 }
 
 Status DiskObjectStore::Put(const std::string& key, std::string value) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   fs::path target = PathFor(key);
   fs::path tmp = target;
   tmp += ".tmp";
@@ -86,7 +85,7 @@ Status DiskObjectStore::Put(const std::string& key, std::string value) {
 }
 
 Result<std::string> DiskObjectStore::Get(const std::string& key) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::ifstream in(PathFor(key), std::ios::binary);
   if (!in) return Status::NotFound("object: " + key);
   std::string data((std::istreambuf_iterator<char>(in)),
@@ -98,7 +97,7 @@ Result<std::string> DiskObjectStore::Get(const std::string& key) {
 Result<std::string> DiskObjectStore::GetRange(const std::string& key,
                                               uint64_t offset,
                                               uint64_t len) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::error_code ec;
   auto size = fs::file_size(PathFor(key), ec);
   if (ec) return Status::NotFound("object: " + key);
@@ -118,7 +117,7 @@ Result<std::string> DiskObjectStore::GetRange(const std::string& key,
 }
 
 Status DiskObjectStore::Delete(const std::string& key) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   std::error_code ec;
   fs::remove(PathFor(key), ec);  // Missing file is fine (idempotent).
   if (ec) return Status::IoError("delete failed: " + ec.message());
@@ -126,7 +125,7 @@ Status DiskObjectStore::Delete(const std::string& key) {
 }
 
 Result<bool> DiskObjectStore::Exists(const std::string& key) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::error_code ec;
   bool exists = fs::exists(PathFor(key), ec);
   if (ec) return Status::IoError(ec.message());
@@ -134,7 +133,7 @@ Result<bool> DiskObjectStore::Exists(const std::string& key) {
 }
 
 Result<uint64_t> DiskObjectStore::Size(const std::string& key) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::error_code ec;
   auto size = fs::file_size(PathFor(key), ec);
   if (ec) return Status::NotFound("object: " + key);
@@ -143,7 +142,7 @@ Result<uint64_t> DiskObjectStore::Size(const std::string& key) {
 
 Result<std::vector<std::string>> DiskObjectStore::List(
     const std::string& prefix) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> keys;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(root_, ec)) {

@@ -3,10 +3,10 @@
 
 #include <filesystem>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "oss/object_store.h"
 
 namespace slim::oss {
@@ -44,8 +44,9 @@ class DiskObjectStore : public ObjectStore {
   static std::string DecodeKey(const std::string& name);
 
   std::string root_;
-  // Guards cross-file operations (List vs concurrent Put/Delete).
-  mutable std::shared_mutex mu_;
+  // Guards cross-file operations (List vs concurrent Put/Delete);
+  // the protected state is the directory tree itself, not a member.
+  mutable SharedMutex mu_;
 };
 
 }  // namespace slim::oss

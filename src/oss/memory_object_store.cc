@@ -1,17 +1,15 @@
 #include "oss/memory_object_store.h"
 
-#include <mutex>
-
 namespace slim::oss {
 
 Status MemoryObjectStore::Put(const std::string& key, std::string value) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   objects_[key] = std::move(value);
   return Status::Ok();
 }
 
 Result<std::string> MemoryObjectStore::Get(const std::string& key) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("object: " + key);
   return it->second;
@@ -20,7 +18,7 @@ Result<std::string> MemoryObjectStore::Get(const std::string& key) {
 Result<std::string> MemoryObjectStore::GetRange(const std::string& key,
                                                 uint64_t offset,
                                                 uint64_t len) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("object: " + key);
   const std::string& v = it->second;
@@ -31,18 +29,18 @@ Result<std::string> MemoryObjectStore::GetRange(const std::string& key,
 }
 
 Status MemoryObjectStore::Delete(const std::string& key) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   objects_.erase(key);
   return Status::Ok();
 }
 
 Result<bool> MemoryObjectStore::Exists(const std::string& key) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return objects_.count(key) > 0;
 }
 
 Result<uint64_t> MemoryObjectStore::Size(const std::string& key) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("object: " + key);
   return static_cast<uint64_t>(it->second.size());
@@ -50,7 +48,7 @@ Result<uint64_t> MemoryObjectStore::Size(const std::string& key) {
 
 Result<std::vector<std::string>> MemoryObjectStore::List(
     const std::string& prefix) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -60,7 +58,7 @@ Result<std::vector<std::string>> MemoryObjectStore::List(
 }
 
 size_t MemoryObjectStore::ObjectCount() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return objects_.size();
 }
 

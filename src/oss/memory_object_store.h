@@ -2,10 +2,10 @@
 #define SLIMSTORE_OSS_MEMORY_OBJECT_STORE_H_
 
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "oss/object_store.h"
 
 namespace slim::oss {
@@ -31,8 +31,8 @@ class MemoryObjectStore : public ObjectStore {
   size_t ObjectCount() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::string> objects_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::string> objects_ SLIM_GUARDED_BY(mu_);
 };
 
 }  // namespace slim::oss

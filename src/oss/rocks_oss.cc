@@ -72,7 +72,7 @@ std::string RocksOss::RunObjectKey(uint64_t id) const {
 }
 
 Status RocksOss::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto keys = store_->List(name_ + "/run-");
   if (!keys.ok()) return keys.status();
   runs_.clear();
@@ -105,10 +105,8 @@ Status RocksOss::Open() {
 }
 
 Status RocksOss::Put(const std::string& key, const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = memtable_.insert_or_assign(key, value);
-  (void)it;
-  (void)inserted;
+  MutexLock lock(mu_);
+  memtable_.insert_or_assign(key, value);
   memtable_bytes_ += key.size() + value.size() + 16;
   if (memtable_bytes_ >= options_.memtable_limit_bytes) {
     return FlushLocked();
@@ -117,7 +115,7 @@ Status RocksOss::Put(const std::string& key, const std::string& value) {
 }
 
 Status RocksOss::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   memtable_.insert_or_assign(key, std::nullopt);
   memtable_bytes_ += key.size() + 16;
   if (memtable_bytes_ >= options_.memtable_limit_bytes) {
@@ -127,7 +125,7 @@ Status RocksOss::Delete(const std::string& key) {
 }
 
 Result<std::string> RocksOss::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = memtable_.find(key);
   if (it != memtable_.end()) {
     if (!it->second.has_value()) return Status::NotFound("tombstoned: " + key);
@@ -159,7 +157,7 @@ Result<std::string> RocksOss::Get(const std::string& key) {
 
 Result<std::vector<std::pair<std::string, std::string>>> RocksOss::Scan(
     const std::string& start, const std::string& end) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Merge all sources; newer sources win. Apply oldest first and
   // overwrite, then strip tombstones.
   std::map<std::string, std::optional<std::string>> merged;
@@ -187,7 +185,7 @@ Result<std::vector<std::pair<std::string, std::string>>> RocksOss::Scan(
 }
 
 Status RocksOss::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushLocked();
 }
 
@@ -218,7 +216,7 @@ Status RocksOss::FlushLocked() {
 }
 
 Status RocksOss::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return CompactLocked();
 }
 
@@ -266,7 +264,7 @@ Status RocksOss::CompactLocked() {
 }
 
 size_t RocksOss::run_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return runs_.size();
 }
 

@@ -5,12 +5,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "oss/object_store.h"
@@ -53,30 +53,34 @@ class RocksOss {
   /// Loads existing runs from OSS (crash recovery / reopen). Memtable
   /// contents that were never flushed are not recoverable, mirroring a
   /// WAL-less cache; SlimStore flushes after each G-node cycle.
-  Status Open();
+  Status Open() SLIM_EXCLUDES(mu_);
 
-  Status Put(const std::string& key, const std::string& value);
-  Status Delete(const std::string& key);
+  Status Put(const std::string& key, const std::string& value)
+      SLIM_EXCLUDES(mu_);
+  Status Delete(const std::string& key) SLIM_EXCLUDES(mu_);
 
   /// Point lookup. NotFound if the key is absent or tombstoned.
-  Result<std::string> Get(const std::string& key);
+  Result<std::string> Get(const std::string& key) SLIM_EXCLUDES(mu_);
 
   /// All live (non-tombstoned) entries in [start, end). Pass "" as end
   /// for "to the last key".
   Result<std::vector<std::pair<std::string, std::string>>> Scan(
-      const std::string& start, const std::string& end);
+      const std::string& start, const std::string& end) SLIM_EXCLUDES(mu_);
 
   /// Forces the memtable to a run on OSS.
-  Status Flush();
+  Status Flush() SLIM_EXCLUDES(mu_);
 
   /// Merges all runs into a single run, dropping tombstones and
   /// shadowed versions.
-  Status Compact();
+  Status Compact() SLIM_EXCLUDES(mu_);
 
   /// Number of persistent runs currently on OSS.
-  size_t run_count() const;
+  size_t run_count() const SLIM_EXCLUDES(mu_);
   /// Bloom-filter negatives that skipped an OSS read (diagnostic).
-  uint64_t bloom_skips() const { return bloom_skips_; }
+  uint64_t bloom_skips() const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return bloom_skips_;
+  }
 
  private:
   struct Run {
@@ -96,25 +100,27 @@ class RocksOss {
   static Status ParseRun(const std::string& data, Memtable* entries);
   static bool BloomMayContain(const Run& run, const std::string& key);
 
-  Status FlushLocked();
-  Status CompactLocked();
-  Result<std::shared_ptr<Memtable>> LoadRunLocked(const Run& run);
+  Status FlushLocked() SLIM_REQUIRES(mu_);
+  Status CompactLocked() SLIM_REQUIRES(mu_);
+  Result<std::shared_ptr<Memtable>> LoadRunLocked(const Run& run)
+      SLIM_REQUIRES(mu_);
 
   ObjectStore* store_;
   const std::string name_;
   const RocksOssOptions options_;
 
-  mutable std::mutex mu_;
-  Memtable memtable_;
-  uint64_t memtable_bytes_ = 0;
-  std::vector<Run> runs_;  // Oldest first.
-  uint64_t next_run_id_ = 0;
+  mutable Mutex mu_;
+  Memtable memtable_ SLIM_GUARDED_BY(mu_);
+  uint64_t memtable_bytes_ SLIM_GUARDED_BY(mu_) = 0;
+  std::vector<Run> runs_ SLIM_GUARDED_BY(mu_);  // Oldest first.
+  uint64_t next_run_id_ SLIM_GUARDED_BY(mu_) = 0;
 
   // LRU cache of parsed run payloads keyed by run id.
-  std::list<uint64_t> cache_lru_;
-  std::unordered_map<uint64_t, std::shared_ptr<Memtable>> run_cache_;
+  std::list<uint64_t> cache_lru_ SLIM_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::shared_ptr<Memtable>> run_cache_
+      SLIM_GUARDED_BY(mu_);
 
-  uint64_t bloom_skips_ = 0;
+  uint64_t bloom_skips_ SLIM_GUARDED_BY(mu_) = 0;
 
   // Process-wide registry handles ("rocksoss.*"), shared across all
   // RocksOss instances.

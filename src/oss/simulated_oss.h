@@ -32,11 +32,12 @@ struct OssCostModel {
 
   uint64_t ReadCostNanos(uint64_t bytes) const {
     return request_latency_nanos +
-           static_cast<uint64_t>(read_nanos_per_byte * bytes);
+           static_cast<uint64_t>(read_nanos_per_byte * static_cast<double>(bytes));
   }
   uint64_t WriteCostNanos(uint64_t bytes) const {
     return request_latency_nanos +
-           static_cast<uint64_t>(write_nanos_per_byte * bytes);
+           static_cast<uint64_t>(write_nanos_per_byte *
+                                 static_cast<double>(bytes));
   }
 };
 

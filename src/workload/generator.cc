@@ -44,7 +44,8 @@ void VersionedFileGenerator::Mutate() {
 void VersionedFileGenerator::MutateWithRatio(double duplication_ratio) {
   duplication_ratio = std::clamp(duplication_ratio, 0.0, 1.0);
   uint64_t budget =
-      static_cast<uint64_t>(data_.size() * (1.0 - duplication_ratio));
+      static_cast<uint64_t>(static_cast<double>(data_.size()) *
+                            (1.0 - duplication_ratio));
   while (budget > 0 && data_.size() > options_.block_size * 4) {
     // Mutation span: 2..9 blocks. Fewer, larger spans keep the
     // chunk-boundary waste low so the configured byte-level ratio
@@ -85,7 +86,8 @@ Dataset Dataset::MakeSdb(const SdbOptions& options) {
     // between versions from 0.65 to 0.95".
     double t = options.num_files <= 1
                    ? 0.5
-                   : static_cast<double>(i) / (options.num_files - 1);
+                   : static_cast<double>(i) /
+                         static_cast<double>(options.num_files - 1);
     gen.duplication_ratio =
         options.min_duplication +
         t * (options.max_duplication - options.min_duplication);
@@ -156,7 +158,8 @@ PairStats MeasureDuplication(const std::string& prev, const std::string& cur,
   }
   stats.byte_duplication =
       total_bytes == 0 ? 0.0
-                       : static_cast<double>(shared_bytes) / total_bytes;
+                       : static_cast<double>(shared_bytes) /
+                             static_cast<double>(total_bytes);
   return stats;
 }
 

@@ -186,8 +186,8 @@ TEST_P(SkipChunkingTest, SameBytesWithAndWithoutSkip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(OnOff, SkipChunkingTest, ::testing::Bool(),
-                         [](const auto& info) {
-                           return info.param ? "SkipOn" : "SkipOff";
+                         [](const auto& param_info) {
+                           return param_info.param ? "SkipOn" : "SkipOff";
                          });
 
 TEST(SkipChunkingEffectTest, SkipDoesNotHurtDedupRatio) {
@@ -411,7 +411,9 @@ TEST(GNodeTest, MarkSweepMatchesPrecomputed) {
     for (int v = 2; v < 5; ++v) {
       auto restored = store.Restore("f", v);
       EXPECT_TRUE(restored.ok());
-      if (restored.ok()) EXPECT_EQ(restored.value(), versions[v]);
+      if (restored.ok()) {
+        EXPECT_EQ(restored.value(), versions[v]);
+      }
     }
     auto report = store.GetSpaceReport();
     EXPECT_TRUE(report.ok());

@@ -210,9 +210,9 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, RestorePolicyTest,
                                            RestorePolicy::kOptContainer,
                                            RestorePolicy::kFaa,
                                            RestorePolicy::kAlacc),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               RestorePolicyName(info.param));
+                               RestorePolicyName(param_info.param));
                          });
 
 TEST(RestorePolicyComparisonTest, OptBeatsLruOnFragmentedStream) {

@@ -185,8 +185,8 @@ INSTANTIATE_TEST_SUITE_P(AllCdc, CdcChunkerTest,
                          ::testing::Values(ChunkerType::kRabin,
                                            ChunkerType::kGear,
                                            ChunkerType::kFastCdc),
-                         [](const auto& info) {
-                           return std::string(ChunkerTypeName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(ChunkerTypeName(param_info.param));
                          });
 
 // ---------------------------------------------------------------------------

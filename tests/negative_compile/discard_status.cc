@@ -1,0 +1,33 @@
+// Negative-compile fixture: proves the class-level [[nodiscard]] on
+// slim::Status and slim::Result actually rejects swallowed errors.
+//
+// Built twice by tests/CMakeLists.txt with -Werror=unused-result:
+//   * without NEGCOMPILE_VIOLATE — must compile (control, so a failure of
+//     the violating build can only come from the guarded lines);
+//   * with NEGCOMPILE_VIOLATE — must FAIL to compile (WILL_FAIL ctest).
+
+#include "common/status.h"
+
+namespace slim {
+namespace {
+
+Status MightFail() { return Status::IoError("boom"); }
+Result<int> MightFailWithValue() { return Status::NotFound("gone"); }
+
+void Caller() {
+#ifdef NEGCOMPILE_VIOLATE
+  MightFail();           // error: ignoring [[nodiscard]] Status
+  MightFailWithValue();  // error: ignoring [[nodiscard]] Result<int>
+#else
+  MightFail().IgnoreError();
+  MightFailWithValue().IgnoreError();
+#endif
+}
+
+}  // namespace
+}  // namespace slim
+
+int main() {
+  slim::Caller();
+  return 0;
+}

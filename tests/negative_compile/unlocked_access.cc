@@ -1,0 +1,42 @@
+// Negative-compile fixture: proves the capability annotations on
+// slim::Mutex catch an unlocked access to SLIM_GUARDED_BY state.
+//
+// Clang-only (GCC compiles the annotations away). Built twice with
+// -Wthread-safety -Werror=thread-safety-analysis:
+//   * without NEGCOMPILE_VIOLATE — must compile (control);
+//   * with NEGCOMPILE_VIOLATE — must FAIL to compile (WILL_FAIL ctest).
+
+#include "common/mutex.h"
+
+namespace slim {
+namespace {
+
+class Counter {
+ public:
+  void Increment() SLIM_EXCLUDES(mu_) {
+#ifdef NEGCOMPILE_VIOLATE
+    ++count_;  // error: writing count_ requires holding mutex mu_
+#else
+    MutexLock lock(mu_);
+    ++count_;
+#endif
+  }
+
+  int Get() const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ SLIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+}  // namespace slim
+
+int main() {
+  slim::Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

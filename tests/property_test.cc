@@ -123,8 +123,8 @@ std::vector<Config> AllConfigs() {
 
 INSTANTIATE_TEST_SUITE_P(AllFeatureCombos, LifecyclePropertyTest,
                          ::testing::ValuesIn(AllConfigs()),
-                         [](const auto& info) {
-                           return ConfigName(info.param);
+                         [](const auto& param_info) {
+                           return ConfigName(param_info.param);
                          });
 
 // Seed sweep with the full feature set on: different content shapes.

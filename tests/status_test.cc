@@ -1,0 +1,151 @@
+// Exercises the Status/Result error-handling contract the whole tree is
+// built on: the [[nodiscard]] discipline (IgnoreError as the only
+// sanctioned discard), the propagation macros, and the StatusOr alias.
+// The negative side — that a *discarded* Status fails to compile — is
+// covered by the negative_compile/ ctest targets.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace slim {
+namespace {
+
+Status FailIf(bool fail) {
+  if (fail) return Status::IoError("disk on fire");
+  return Status::Ok();
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+// --------------------------------------------------------------------------
+// IgnoreError: the sanctioned, greppable way to drop a Status.
+// --------------------------------------------------------------------------
+
+TEST(StatusDisciplineTest, IgnoreErrorCompilesForStatusAndResult) {
+  FailIf(true).IgnoreError();
+  FailIf(false).IgnoreError();
+  ParsePositive(-1).IgnoreError();
+  ParsePositive(7).IgnoreError();
+}
+
+TEST(StatusDisciplineTest, IgnoreErrorDoesNotAlterStatus) {
+  Status s = Status::Corruption("torn page");
+  s.IgnoreError();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "torn page");
+}
+
+// --------------------------------------------------------------------------
+// SLIM_RETURN_IF_ERROR
+// --------------------------------------------------------------------------
+
+Status ChainTwo(bool first_fails, bool second_fails, int* steps) {
+  SLIM_RETURN_IF_ERROR(FailIf(first_fails));
+  ++*steps;
+  SLIM_RETURN_IF_ERROR(FailIf(second_fails));
+  ++*steps;
+  return Status::Ok();
+}
+
+TEST(ReturnIfErrorTest, PropagatesFirstFailure) {
+  int steps = 0;
+  Status s = ChainTwo(true, false, &steps);
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(steps, 0);
+}
+
+TEST(ReturnIfErrorTest, PropagatesSecondFailure) {
+  int steps = 0;
+  Status s = ChainTwo(false, true, &steps);
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(steps, 1);
+}
+
+TEST(ReturnIfErrorTest, FallsThroughOnOk) {
+  int steps = 0;
+  EXPECT_TRUE(ChainTwo(false, false, &steps).ok());
+  EXPECT_EQ(steps, 2);
+}
+
+// --------------------------------------------------------------------------
+// SLIM_ASSIGN_OR_RETURN
+// --------------------------------------------------------------------------
+
+Result<int> DoubleIfPositive(int v) {
+  SLIM_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(AssignOrReturnTest, AssignsOnOk) {
+  auto r = DoubleIfPositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(AssignOrReturnTest, PropagatesErrorStatus) {
+  auto r = DoubleIfPositive(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "not positive");
+}
+
+Result<std::string> MoveOnlyChain() {
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<int> boxed,
+                        Result<std::unique_ptr<int>>(std::make_unique<int>(9)));
+  return std::to_string(*boxed);
+}
+
+TEST(AssignOrReturnTest, MovesMoveOnlyValues) {
+  auto r = MoveOnlyChain();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "9");
+}
+
+// --------------------------------------------------------------------------
+// Result / StatusOr surface
+// --------------------------------------------------------------------------
+
+TEST(StatusOrTest, AliasIsSameType) {
+  static_assert(std::is_same_v<StatusOr<int>, Result<int>>,
+                "StatusOr must alias Result");
+  StatusOr<int> r = 5;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(StatusOrTest, ValueOrFallsBackOnError) {
+  StatusOr<int> bad = Status::NotFound("gone");
+  EXPECT_EQ(bad.value_or(-1), -1);
+  StatusOr<int> good = 11;
+  EXPECT_EQ(good.value_or(-1), 11);
+}
+
+TEST(StatusOrTest, ArrowAndDerefReachValue) {
+  StatusOr<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ(*r, "abc");
+}
+
+TEST(StatusOrTest, StatusOfOkResultIsOk) {
+  StatusOr<int> r = 1;
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusOrTest, MoveOutLeavesNoCopy) {
+  StatusOr<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace slim

@@ -155,7 +155,9 @@ TEST(StreamingBackupTest, MultiVersionLifecycleWithBoundedMemory) {
     // few segments).
     EXPECT_LT(stats.value().peak_stream_buffer_bytes, 320u << 10)
         << "version " << v;
-    if (v > 0) EXPECT_GT(stats.value().DedupRatio(), 0.5);
+    if (v > 0) {
+      EXPECT_GT(stats.value().DedupRatio(), 0.5);
+    }
     file.Mutate();
   }
   for (int v = 0; v < 4; ++v) {

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""SlimStore repo lint: dependency-free structural invariants.
+
+Checks (each maps to a stable rule id, printed with every finding):
+
+  include-guard         every header under src/ and bench/ carries an
+                        #ifndef/#define guard derived from its path
+                        (src/common/status.h -> SLIMSTORE_COMMON_STATUS_H_).
+  using-namespace       no `using namespace` at any scope in headers
+                        (function-local `using namespace std::chrono` in a
+                        .cc is fine; headers leak it into every includer).
+  metric-once           every obs metric name literal passed to
+                        MetricsRegistry counter()/gauge()/histogram() is
+                        registered at exactly one source location, so two
+                        subsystems cannot silently alias one time series.
+  raw-new               no raw `new` in src/: use std::make_unique /
+                        make_shared. Private-constructor factories may wrap
+                        `new` directly in a unique_ptr/shared_ptr on the
+                        same line; leaky singletons carry an explicit
+                        `// lint:allow-new` tag.
+  std-mutex             no std::mutex / lock_guard / unique_lock /
+                        shared_mutex / scoped_lock / condition_variable in
+                        src/ outside common/mutex.h: the capability-
+                        annotated slim::Mutex wrappers are mandatory so
+                        clang -Wthread-safety can see every lock.
+
+Usage:
+  tools/lint.py              lint the repo (exit 1 on findings)
+  tools/lint.py --self-test  run against tools/lint_fixtures/ and verify
+                             each bad fixture trips exactly its rule
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join("tools", "lint_fixtures")
+
+# Directories scanned in normal mode, relative to repo root.
+SCAN_DIRS = ("src", "tests", "bench", "tools", "examples")
+SKIP_DIR_NAMES = {".git", "build", "lint_fixtures"}
+SKIP_DIR_PREFIXES = ("build-",)
+
+HEADER_EXTS = (".h", ".hpp")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+ALLOW_NEW_TAG = "lint:allow-new"
+
+GUARD_RE = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+METRIC_RE = re.compile(r"\.(?:counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:<]")
+SMART_PTR_WRAP_RE = re.compile(r"(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b")
+STD_SYNC_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b"
+)
+COMMENT_RE = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def expected_guard(rel_path):
+    """src/common/status.h -> SLIMSTORE_COMMON_STATUS_H_ (src/ stripped,
+    other top dirs kept: bench/bench_util.h -> SLIMSTORE_BENCH_BENCH_UTIL_H_)."""
+    parts = rel_path.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return "SLIMSTORE_" + stem.upper() + "_"
+
+
+def strip_line_comment(line):
+    return COMMENT_RE.sub("", line)
+
+
+def check_include_guard(rel_path, text, findings):
+    match = GUARD_RE.search(text)
+    want = expected_guard(rel_path)
+    if match is None:
+        findings.append(
+            Finding("include-guard", rel_path, 1,
+                    f"missing include guard (expected {want})"))
+        return
+    got = match.group(1)
+    line = text[: match.start()].count("\n") + 1
+    if got != want:
+        findings.append(
+            Finding("include-guard", rel_path, line,
+                    f"include guard {got} does not match path (expected {want})"))
+    elif f"#define {want}" not in text:
+        findings.append(
+            Finding("include-guard", rel_path, line,
+                    f"#ifndef {want} has no matching #define"))
+
+
+def check_using_namespace(rel_path, lines, findings):
+    for i, line in enumerate(lines, 1):
+        if USING_NAMESPACE_RE.match(strip_line_comment(line)):
+            findings.append(
+                Finding("using-namespace", rel_path, i,
+                        "`using namespace` in a header leaks into every includer"))
+
+
+def check_raw_new(rel_path, lines, findings):
+    for i, line in enumerate(lines, 1):
+        # The tag may sit on the previous line when clang-format wraps
+        # the allocation onto its own line.
+        if ALLOW_NEW_TAG in line or (i >= 2 and ALLOW_NEW_TAG in lines[i - 2]):
+            continue
+        code = strip_line_comment(line)
+        if NEW_RE.search(code) and not SMART_PTR_WRAP_RE.search(code):
+            findings.append(
+                Finding("raw-new", rel_path, i,
+                        "raw `new`: use std::make_unique/make_shared "
+                        f"(or tag `// {ALLOW_NEW_TAG}` with a reason)"))
+
+
+def check_std_mutex(rel_path, lines, findings):
+    norm = rel_path.replace(os.sep, "/")
+    if norm in ("src/common/mutex.h", "src/common/thread_annotations.h"):
+        return
+    for i, line in enumerate(lines, 1):
+        m = STD_SYNC_RE.search(strip_line_comment(line))
+        if m:
+            findings.append(
+                Finding("std-mutex", rel_path, i,
+                        f"{m.group(0)} bypasses thread-safety analysis; "
+                        "use slim::Mutex/MutexLock/CondVar (common/mutex.h)"))
+
+
+def collect_metric_sites(rel_path, lines, sites):
+    for i, line in enumerate(lines, 1):
+        for name in METRIC_RE.findall(strip_line_comment(line)):
+            sites.setdefault(name, []).append((rel_path, i))
+
+
+def iter_files(root, rel_dirs):
+    for rel_dir in rel_dirs:
+        top = os.path.join(root, rel_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in SKIP_DIR_NAMES
+                and not d.startswith(SKIP_DIR_PREFIXES))
+            for fname in sorted(filenames):
+                if fname.endswith(SOURCE_EXTS):
+                    path = os.path.join(dirpath, fname)
+                    yield os.path.relpath(path, root)
+
+
+def lint_file(root, rel_path, metric_sites, findings):
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        text = f.read()
+    lines = text.splitlines()
+    is_header = rel_path.endswith(HEADER_EXTS)
+    top = rel_path.split(os.sep)[0]
+
+    if is_header and top in ("src", "bench"):
+        check_include_guard(rel_path, text, findings)
+    if is_header:
+        check_using_namespace(rel_path, lines, findings)
+    if top == "src":
+        check_raw_new(rel_path, lines, findings)
+        check_std_mutex(rel_path, lines, findings)
+        collect_metric_sites(rel_path, lines, metric_sites)
+
+
+def check_metric_uniqueness(metric_sites, findings):
+    for name, sites in sorted(metric_sites.items()):
+        if len(sites) > 1:
+            for path, line in sites:
+                others = ", ".join(
+                    f"{p}:{l}" for p, l in sites if (p, l) != (path, line))
+                findings.append(
+                    Finding("metric-once", path, line,
+                            f"metric \"{name}\" registered at {len(sites)} "
+                            f"sites (also {others}); share the handle instead"))
+
+
+def run_lint(root, rel_dirs=SCAN_DIRS):
+    findings = []
+    metric_sites = {}
+    count = 0
+    for rel_path in iter_files(root, rel_dirs):
+        lint_file(root, rel_path, metric_sites, findings)
+        count += 1
+    check_metric_uniqueness(metric_sites, findings)
+    return findings, count
+
+
+def self_test():
+    """Every bad_<rule>* fixture must trip exactly its rule; good_* must
+    pass clean. Fixtures live in tools/lint_fixtures/ inside a fake tree
+    (fixture 'src/...' paths) so path-scoped rules apply."""
+    fixture_root = os.path.join(REPO_ROOT, FIXTURE_DIR)
+    if not os.path.isdir(fixture_root):
+        print(f"self-test: fixture dir {FIXTURE_DIR} missing", file=sys.stderr)
+        return 1
+    failures = []
+    findings, count = run_lint(fixture_root)
+    if count == 0:
+        print("self-test: no fixtures found", file=sys.stderr)
+        return 1
+    by_file = {}
+    for f in findings:
+        by_file.setdefault(os.path.basename(f.path), set()).add(f.rule)
+
+    for rel_path in iter_files(fixture_root, SCAN_DIRS):
+        base = os.path.basename(rel_path)
+        rules = by_file.get(base, set())
+        if base.startswith("bad_"):
+            expect = base[len("bad_"):].rsplit(".", 1)[0]
+            expect = re.sub(r"_\d+$", "", expect).replace("_", "-")
+            if expect not in rules:
+                failures.append(f"{rel_path}: expected [{expect}] to fire, "
+                                f"got {sorted(rules) or 'nothing'}")
+            if rules - {expect}:
+                failures.append(f"{rel_path}: unexpected extra rules "
+                                f"{sorted(rules - {expect})}")
+        elif base.startswith("good_") and rules:
+            failures.append(f"{rel_path}: clean fixture tripped "
+                            f"{sorted(rules)}")
+
+    if failures:
+        print("lint self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"lint self-test ok ({count} fixtures)")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    findings, count = run_lint(REPO_ROOT)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint: {len(findings)} finding(s) in {count} files")
+        return 1
+    print(f"lint: clean ({count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

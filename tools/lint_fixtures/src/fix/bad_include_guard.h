@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+// Fixture: guard does not match the path-derived SLIMSTORE_... form.
+inline int FixtureBadGuard() { return 1; }
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,8 @@
+// Fixture: the metric name below is also registered in
+// bad_metric_once_2.cc, so two subsystems would alias one time series.
+struct FixtureRegistry1 {
+  int& counter(const char*);
+};
+void FixtureMetricA(FixtureRegistry1& r) {
+  r.counter("fixture.duplicated.metric");
+}

@@ -1,0 +1,8 @@
+// Fixture: second registration site for the same metric name; see
+// bad_metric_once_1.cc.
+struct FixtureRegistry2 {
+  int& counter(const char*);
+};
+void FixtureMetricB(FixtureRegistry2& r) {
+  r.counter("fixture.duplicated.metric");
+}

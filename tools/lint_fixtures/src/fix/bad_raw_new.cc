@@ -1,0 +1,2 @@
+// Fixture: raw `new` without a smart-pointer wrapper or allow tag.
+int* FixtureRawNew() { return new int(42); }

@@ -1,0 +1,4 @@
+// Fixture: raw std::mutex instead of the annotated slim::Mutex wrapper.
+#include <mutex>
+
+std::mutex fixture_mu;

@@ -1,0 +1,9 @@
+#ifndef SLIMSTORE_FIX_BAD_USING_NAMESPACE_H_
+#define SLIMSTORE_FIX_BAD_USING_NAMESPACE_H_
+
+#include <string>
+
+// Fixture: namespace-level using-directive in a header.
+using namespace std;
+
+#endif  // SLIMSTORE_FIX_BAD_USING_NAMESPACE_H_

@@ -1,0 +1,11 @@
+#ifndef SLIMSTORE_FIX_GOOD_CLEAN_H_
+#define SLIMSTORE_FIX_GOOD_CLEAN_H_
+
+// Fixture: a fully conforming header; must produce zero findings.
+namespace slim::fix {
+
+inline int GoodClean() { return 0; }
+
+}  // namespace slim::fix
+
+#endif  // SLIMSTORE_FIX_GOOD_CLEAN_H_

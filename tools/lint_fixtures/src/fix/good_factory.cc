@@ -1,0 +1,24 @@
+// Fixture: sanctioned `new` forms — a private-constructor factory that
+// wraps `new` in a smart pointer on the same line, and a tagged leaky
+// singleton — plus a metric registered exactly once.
+#include <memory>
+
+struct FixtureWidget {
+  static std::unique_ptr<FixtureWidget> Make() {
+    return std::unique_ptr<FixtureWidget>(new FixtureWidget());
+  }
+};
+
+struct FixtureSingleton {
+  static FixtureSingleton& Get() {
+    static FixtureSingleton* instance = new FixtureSingleton();  // lint:allow-new (leaky singleton)
+    return *instance;
+  }
+};
+
+struct FixtureRegistry3 {
+  int& counter(const char*);
+};
+void FixtureMetricUnique(FixtureRegistry3& r) {
+  r.counter("fixture.unique.metric");
+}
