@@ -239,12 +239,9 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
     return loaded;
   };
 
-  std::unique_ptr<ThreadPool> pool;
-  if (options_.prefetch_threads > 0) {
-    pool = std::make_unique<ThreadPool>(options_.prefetch_threads);
-  }
-
   // Runs one prefetch on a pool thread, recording the first failure.
+  // Declared before the pool: queued tasks reference it, so it must be
+  // destroyed after the pool's destructor joins the workers.
   std::function<void(ContainerId)> spawn_fetch = [&](ContainerId cid) {
     auto result = fetch_container(cid);
     if (!result.ok()) {
@@ -252,6 +249,11 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
       if (job.failure.ok()) job.failure = result.status();
     }
   };
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.prefetch_threads > 0) {
+    pool = std::make_unique<ThreadPool>(options_.prefetch_threads);
+  }
 
   // Prime the look-ahead window with the first `law_size` records.
   {
