@@ -21,10 +21,19 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kUnavailable,        // Transient: the service/object store is flaky.
+  kDeadlineExceeded,   // Transient: the operation timed out.
 };
 
 /// Returns a stable human-readable name ("NotFound", ...) for `code`.
 const char* StatusCodeName(StatusCode code);
+
+/// True for statuses that model transient storage failures which a
+/// retry-with-backoff layer may safely repeat: Unavailable,
+/// DeadlineExceeded and ResourceExhausted. Everything else (NotFound,
+/// InvalidArgument, Corruption, IoError, ...) is permanent: retrying
+/// cannot help and only hides bugs.
+bool IsRetryableStatusCode(StatusCode code);
 
 /// Lightweight status object used instead of exceptions on all fallible
 /// paths (storage I/O, (de)serialization, index lookups).
@@ -76,11 +85,23 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  /// See IsRetryableStatusCode().
+  bool IsRetryable() const { return IsRetryableStatusCode(code_); }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -50,8 +50,12 @@ void Catalog::AddGarbage(const std::string& file_id, uint64_t version,
   MutexLock lock(mu_);
   auto it = versions_.find({file_id, version});
   if (it == versions_.end()) return;
-  it->second.garbage_containers.insert(it->second.garbage_containers.end(),
-                                       ids.begin(), ids.end());
+  auto& garbage = it->second.garbage_containers;
+  garbage.insert(garbage.end(), ids.begin(), ids.end());
+  // Idempotent under G-node retries: an interrupted cycle may re-add
+  // the same sparse containers when it is re-run.
+  std::sort(garbage.begin(), garbage.end());
+  garbage.erase(std::unique(garbage.begin(), garbage.end()), garbage.end());
 }
 
 void Catalog::SetReferenced(const std::string& file_id, uint64_t version,

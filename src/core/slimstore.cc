@@ -117,18 +117,27 @@ Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
       if (!scc_new.empty()) {
         catalog_.AddNewContainers(pending.file_id, pending.version, scc_new);
         all_new.insert(all_new.end(), scc_new.begin(), scc_new.end());
-        // The recipe changed: refresh the referenced set.
-        auto recipe = recipes_.ReadRecipe(pending.file_id, pending.version);
-        if (recipe.ok()) {
-          catalog_.SetReferenced(
-              pending.file_id, pending.version,
-              format::CollectReferencedContainers(recipe.value()));
-        }
-        // Compacted sparse containers become garbage associated with
-        // this version (§VI-B, category 2).
-        catalog_.AddGarbage(pending.file_id, pending.version,
-                            info->sparse_containers);
       }
+      // Refresh the catalog from durable state after EVERY successful
+      // compaction call — including a pure no-op retry. An earlier,
+      // interrupted cycle may have rewritten the recipe (or done the
+      // rewrite and then failed this very refresh), in which case the
+      // stats of the convergent retry show no work at all, yet the
+      // in-memory referenced set is still pre-SCC. Unconditional
+      // refresh is safe: the recipe is the authority on what this
+      // version references, and a failed read must fail the cycle so a
+      // later retry redoes the refresh.
+      auto recipe = recipes_.ReadRecipe(pending.file_id, pending.version);
+      if (!recipe.ok()) return recipe.status();
+      catalog_.SetReferenced(
+          pending.file_id, pending.version,
+          format::CollectReferencedContainers(recipe.value()));
+      // Compacted sparse containers become garbage associated with
+      // this version (§VI-B, category 2). After a successful Compact
+      // the recipe no longer points into them. AddGarbage dedupes, so
+      // re-adding on a retry is harmless.
+      catalog_.AddGarbage(pending.file_id, pending.version,
+                          info->sparse_containers);
     }
 
     if (options_.enable_reverse_dedup) {

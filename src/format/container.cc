@@ -167,7 +167,14 @@ Status ContainerStore::WritePayloadAndMeta(std::string payload,
                                            const ContainerMeta& meta) {
   SLIM_RETURN_IF_ERROR(
       store_->Put(DataKey(meta.id), EncodeContainerPayload(meta, payload)));
-  SLIM_RETURN_IF_ERROR(store_->Put(MetaKey(meta.id), meta.Encode()));
+  Status meta_status = store_->Put(MetaKey(meta.id), meta.Encode());
+  if (!meta_status.ok()) {
+    // A data object without its meta is invisible to every reader but
+    // still occupies space; reclaim it best-effort so a failed write
+    // leaves no trace.
+    store_->Delete(DataKey(meta.id)).IgnoreError();
+    return meta_status;
+  }
   {
     MutexLock lock(count_mu_);
     chunk_counts_[meta.id] = meta.chunks.size();

@@ -196,13 +196,19 @@ Status RecipeStore::WriteRecipe(const Recipe& recipe, uint32_t sample_ratio) {
     body += encoded;
   }
 
+  // The recipe object is the authoritative one: ReadRecipe,
+  // ListVersions and restores consult it alone, while toc/index only
+  // accelerate segment prefetch. Writing it LAST makes it the commit
+  // point — if any earlier Put fails, the old recipe (and the
+  // containers it references) stays fully intact, so callers like SCC
+  // can roll back their new containers safely.
   SLIM_RETURN_IF_ERROR(
-      store_->Put(RecipeKey(recipe.file_id, recipe.version), header + body));
-  SLIM_RETURN_IF_ERROR(
-      store_->Put(TocKey(recipe.file_id, recipe.version), toc));
+      store_->Put(TocKey(recipe.file_id, recipe.version), std::move(toc)));
   RecipeIndex index = RecipeIndex::Build(recipe, sample_ratio);
   SLIM_RETURN_IF_ERROR(store_->Put(IndexKey(recipe.file_id, recipe.version),
                                    index.Encode()));
+  SLIM_RETURN_IF_ERROR(
+      store_->Put(RecipeKey(recipe.file_id, recipe.version), header + body));
   {
     // Invalidate any stale cached toc for this key (recipe rewrite).
     MutexLock lock(toc_mu_);

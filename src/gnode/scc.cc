@@ -3,6 +3,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/macros.h"
 #include "obs/trace.h"
@@ -13,6 +14,21 @@ using format::ChunkRecord;
 using format::ContainerBuilder;
 using format::ContainerId;
 
+// Failure-atomicity structure (exercised by the fault-injection sweep):
+//
+//   1. Copy phase: wanted chunks are copied into fresh containers. No
+//      existing object is modified, so on failure the new containers
+//      are deleted (best effort) and the repository is exactly as
+//      before — the caller can retry from scratch.
+//   2. Commit point: the rewritten recipe is Put. Before it lands the
+//      old layout is authoritative; after it lands the new one is.
+//   3. Roll-forward: tombstoning of the source copies, global-index
+//      redirects and physical compaction are all *derived from durable
+//      state* (the recipe and the container metas), never from in-core
+//      bookkeeping of this run. A retry after a mid-roll-forward
+//      failure recomputes the remaining work from what it reads and
+//      finishes it, so repeated Compact calls converge to the same
+//      final layout as an uninterrupted run.
 Result<SccStats> SparseContainerCompactor::Compact(
     const std::string& file_id, uint64_t version,
     const std::vector<ContainerId>& sparse_containers,
@@ -24,8 +40,15 @@ Result<SccStats> SparseContainerCompactor::Compact(
   auto recipe = recipes_->ReadRecipe(file_id, version);
   if (!recipe.ok()) return recipe.status();
 
-  std::unordered_set<ContainerId> sparse(sparse_containers.begin(),
-                                         sparse_containers.end());
+  // Deterministic iteration order: the caller's order, duplicates
+  // dropped. (An unordered_map walk here would make the packing of
+  // moved chunks — and thus the injected-fault schedule in tests —
+  // depend on hash seeding.)
+  std::vector<ContainerId> sources;
+  std::unordered_set<ContainerId> sparse;
+  for (ContainerId cid : sparse_containers) {
+    if (sparse.insert(cid).second) sources.push_back(cid);
+  }
 
   // Which physical chunks of each sparse container does this version
   // use? (Flatten expands logical superchunks into constituents.)
@@ -36,104 +59,148 @@ Result<SccStats> SparseContainerCompactor::Compact(
     if (!seen.insert(record.fp).second) continue;
     wanted[record.container_id].push_back(record.fp);
   }
-  if (wanted.empty()) return stats;
 
-  // Move the wanted chunks into fresh, dense containers.
+  // --- Copy phase -------------------------------------------------------
+  // Move the wanted chunks into fresh, dense containers. Source
+  // payloads and metas are NOT touched, so concurrent restores keep
+  // working and a failure can be rolled back completely.
   std::unordered_map<Fingerprint, ContainerId> moved;
+  std::vector<ContainerId> created;
   std::optional<ContainerBuilder> builder;
   auto flush_builder = [&]() -> Status {
     if (!builder.has_value() || builder->empty()) return Status::Ok();
     ContainerId id = builder->id();
     SLIM_RETURN_IF_ERROR(containers_->Write(std::move(*builder)));
     builder.reset();
-    if (new_container_ids != nullptr) new_container_ids->push_back(id);
-    ++stats.new_containers;
+    created.push_back(id);
     return Status::Ok();
   };
-
-  // Phase A: copy wanted chunks into dense containers and tombstone the
-  // source metas. Source payloads are NOT touched yet, so concurrent
-  // restores keep working.
-  std::vector<ContainerId> to_compact;
-  for (const auto& [cid, fps] : wanted) {
-    auto loaded = containers_->ReadContainer(cid);
-    if (!loaded.ok()) return loaded.status();
-    auto meta = containers_->ReadMeta(cid);
-    if (!meta.ok()) return meta.status();
-
-    for (const Fingerprint& fp : fps) {
-      auto bytes = loaded.value().GetChunk(fp);
-      if (!bytes.has_value()) continue;  // Already moved previously.
-      if (!builder.has_value()) {
-        builder.emplace(containers_->AllocateId(),
-                        options_.container_capacity);
-      }
-      if (!builder->Add(fp, *bytes)) {
-        SLIM_RETURN_IF_ERROR(flush_builder());
-        builder.emplace(containers_->AllocateId(),
-                        options_.container_capacity);
-        SLIM_CHECK(builder->Add(fp, *bytes));
-      }
-      moved[fp] = builder->id();
-      ++stats.chunks_moved;
-      stats.bytes_moved += bytes->size();
-      // Tombstone the source copy.
-      for (format::ChunkLocation& loc : meta.value().chunks) {
-        if (loc.fp == fp && !loc.deleted) {
-          loc.deleted = true;
-          break;
+  // Undoes the copy phase: removes every freshly written container.
+  // Cleanup is best-effort — a leftover unreferenced container wastes
+  // space but is invisible to reads and will be recopied on retry.
+  auto rollback = [&]() {
+    for (ContainerId id : created) {
+      containers_->Delete(id).IgnoreError();
+    }
+  };
+  auto copy_phase = [&]() -> Status {
+    for (ContainerId cid : sources) {
+      auto it = wanted.find(cid);
+      if (it == wanted.end()) continue;
+      auto loaded = containers_->ReadContainer(cid);
+      if (!loaded.ok()) return loaded.status();
+      for (const Fingerprint& fp : it->second) {
+        auto bytes = loaded.value().GetChunk(fp);
+        if (!bytes.has_value()) continue;  // Already moved previously.
+        if (!builder.has_value()) {
+          builder.emplace(containers_->AllocateId(),
+                          options_.container_capacity);
         }
+        if (!builder->Add(fp, *bytes)) {
+          SLIM_RETURN_IF_ERROR(flush_builder());
+          builder.emplace(containers_->AllocateId(),
+                          options_.container_capacity);
+          SLIM_CHECK(builder->Add(fp, *bytes));
+        }
+        moved[fp] = builder->id();
+        ++stats.chunks_moved;
+        stats.bytes_moved += bytes->size();
       }
     }
-    SLIM_RETURN_IF_ERROR(containers_->WriteMeta(meta.value()));
-    to_compact.push_back(cid);
-    ++stats.sparse_containers_processed;
+    return flush_builder();
+  };
+  {
+    Status copied = copy_phase();
+    if (!copied.ok()) {
+      rollback();
+      return copied;
+    }
   }
-  SLIM_RETURN_IF_ERROR(flush_builder());
 
-  // Update the recipe so this version's restore sees the dense layout.
+  // --- Commit point -----------------------------------------------------
+  // Rewrite the recipe so this version's restore sees the dense layout.
   // Superchunk constituents are shared immutable vectors: copy-on-write
   // when any of their records moved.
   format::Recipe updated = std::move(recipe).value();
-  for (auto& segment : updated.segments) {
-    for (auto& record : segment.records) {
-      auto it = moved.find(record.fp);
-      if (it != moved.end()) record.container_id = it->second;
-      if (record.is_superchunk && record.constituents != nullptr) {
-        bool any_moved = false;
-        for (const auto& constituent : *record.constituents) {
-          if (moved.count(constituent.fp) > 0) {
-            any_moved = true;
-            break;
+  if (!moved.empty()) {
+    for (auto& segment : updated.segments) {
+      for (auto& record : segment.records) {
+        auto it = moved.find(record.fp);
+        if (it != moved.end()) record.container_id = it->second;
+        if (record.is_superchunk && record.constituents != nullptr) {
+          bool any_moved = false;
+          for (const auto& constituent : *record.constituents) {
+            if (moved.count(constituent.fp) > 0) {
+              any_moved = true;
+              break;
+            }
           }
-        }
-        if (any_moved) {
-          auto rewritten = std::make_shared<std::vector<format::ChunkRecord>>(
-              *record.constituents);
-          for (auto& constituent : *rewritten) {
-            auto mit = moved.find(constituent.fp);
-            if (mit != moved.end()) constituent.container_id = mit->second;
+          if (any_moved) {
+            auto rewritten =
+                std::make_shared<std::vector<format::ChunkRecord>>(
+                    *record.constituents);
+            for (auto& constituent : *rewritten) {
+              auto mit = moved.find(constituent.fp);
+              if (mit != moved.end()) constituent.container_id = mit->second;
+            }
+            record.constituents = std::move(rewritten);
           }
-          record.constituents = std::move(rewritten);
         }
       }
     }
-  }
-  SLIM_RETURN_IF_ERROR(
-      recipes_->WriteRecipe(updated, options_.sample_ratio));
-
-  // Re-point the global index so older versions can chase moved chunks.
-  if (global_index_ != nullptr) {
-    for (const auto& [fp, cid] : moved) {
-      SLIM_RETURN_IF_ERROR(global_index_->Put(fp, cid));
+    Status committed = recipes_->WriteRecipe(updated, options_.sample_ratio);
+    if (!committed.ok()) {
+      rollback();
+      return committed;
     }
+  }
+  // The new containers are durable and referenced: report them.
+  if (new_container_ids != nullptr) {
+    new_container_ids->insert(new_container_ids->end(), created.begin(),
+                              created.end());
+  }
+  stats.new_containers += created.size();
+
+  // --- Roll-forward -----------------------------------------------------
+  // Where does the (now durable) recipe place each chunk it references?
+  // First placement wins, matching Flatten order.
+  std::unordered_map<Fingerprint, ContainerId> recipe_loc;
+  for (const auto& record : updated.Flatten()) {
+    recipe_loc.emplace(record.fp, record.container_id);
+  }
+
+  // Tombstone every live source copy the recipe has abandoned and
+  // redirect the global index at the surviving copy, so older versions
+  // chasing a moved chunk find it. Derived purely from recipe + metas:
+  // a retry resumes here even when the copy phase had nothing to do.
+  std::vector<ContainerId> to_compact;
+  for (ContainerId cid : sources) {
+    auto meta = containers_->ReadMeta(cid);
+    if (!meta.ok()) return meta.status();
+    bool changed = false;
+    for (format::ChunkLocation& loc : meta.value().chunks) {
+      if (loc.deleted) continue;
+      auto it = recipe_loc.find(loc.fp);
+      if (it == recipe_loc.end() || it->second == cid) continue;
+      loc.deleted = true;
+      changed = true;
+      if (global_index_ != nullptr) {
+        SLIM_RETURN_IF_ERROR(global_index_->Put(loc.fp, it->second));
+      }
+    }
+    if (changed) {
+      SLIM_RETURN_IF_ERROR(containers_->WriteMeta(meta.value()));
+      ++stats.sparse_containers_processed;
+    }
+    if (meta.value().DeletedCount() > 0) to_compact.push_back(cid);
+  }
+  if (global_index_ != nullptr) {
     SLIM_RETURN_IF_ERROR(global_index_->Flush());
   }
 
-  // Phase B: only now that the new copies, the updated recipe and the
-  // index redirects are all durable, physically drop the moved bytes
-  // from the sparse sources. A concurrent restore can never observe a
-  // chunk as both compacted-away and unredirected.
+  // Physically drop the tombstoned bytes. Only now that the new copies,
+  // the updated recipe and the index redirects are all durable can a
+  // chunk never be observed as both compacted-away and unredirected.
   for (ContainerId cid : to_compact) {
     auto reclaimed = containers_->CompactContainer(cid);
     if (!reclaimed.ok()) return reclaimed.status();

@@ -1,5 +1,7 @@
 #include "index/global_index.h"
 
+#include <utility>
+
 #include "common/coding.h"
 #include "common/macros.h"
 
@@ -39,7 +41,7 @@ Status GlobalIndex::Put(const Fingerprint& fp,
   m_puts_->Inc();
   std::string value;
   PutFixed64(&value, container_id);
-  SLIM_RETURN_IF_ERROR(db_.Put(KeyOf(fp), value));
+  SLIM_RETURN_IF_ERROR(db_.Put(KeyOf(fp), std::move(value)));
   WriterMutexLock lock(bloom_mu_);
   bloom_.Add(fp);
   return Status::Ok();

@@ -245,6 +245,11 @@ Status RestorePipeline::RestoreToSink(const std::string& file_id,
   std::function<void(ContainerId)> spawn_fetch = [&](ContainerId cid) {
     auto result = fetch_container(cid);
     if (!result.ok()) {
+      // NotFound is not fatal for a speculative prefetch: the chunk may
+      // have been relocated by the G-node, and the synchronous path
+      // resolves that through the global-index redirect. Poisoning
+      // job.failure here would abort a restore that can still succeed.
+      if (result.status().IsNotFound()) return;
       MutexLock lock(job.mu);
       if (job.failure.ok()) job.failure = result.status();
     }

@@ -71,7 +71,10 @@ Status DiskObjectStore::Put(const std::string& key, std::string value) {
   WriterMutexLock lock(mu_);
   fs::path target = PathFor(key);
   fs::path tmp = target;
-  tmp += ".tmp";
+  // '#' is never produced by EncodeKey, so "#tmp" cannot collide with
+  // (or be mistaken for) the encoding of any user key — unlike ".tmp",
+  // which a key literally ending in ".tmp" would also encode to.
+  tmp += "#tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot open " + tmp.string());
@@ -148,7 +151,7 @@ Result<std::vector<std::string>> DiskObjectStore::List(
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
     if (!entry.is_regular_file()) continue;
     std::string name = entry.path().filename().string();
-    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") continue;
+    if (name.size() > 4 && name.substr(name.size() - 4) == "#tmp") continue;
     std::string key = DecodeKey(name);
     if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
   }

@@ -1,0 +1,246 @@
+#include "oss/fault_injecting_object_store.h"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace slim::oss {
+
+namespace {
+
+// Separator that cannot collide with op names or percent-encoded keys.
+constexpr char kSep = '\x1f';
+
+}  // namespace
+
+FaultProfile FaultProfile::TransientLight(uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.transient_error_prob = 0.05;
+  p.latency_spike_prob = 0.02;
+  p.latency_spike_nanos = 2 * 1000 * 1000;
+  return p;
+}
+
+FaultProfile FaultProfile::TransientHeavy(uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.transient_error_prob = 0.35;
+  p.deadline_fraction = 0.5;
+  return p;
+}
+
+FaultProfile FaultProfile::CrashCut(uint64_t fail_after, uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.fail_after_ops = fail_after;
+  return p;
+}
+
+FaultProfile FaultProfile::PermanentPrefix(std::string prefix,
+                                           uint64_t seed) {
+  FaultProfile p;
+  p.seed = seed;
+  p.permanent_error_prefixes.push_back(std::move(prefix));
+  return p;
+}
+
+Result<FaultProfile> ParseFaultProfile(const std::string& spec) {
+  FaultProfile profile;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      // Preset names keep the seed accumulated so far.
+      uint64_t seed = profile.seed;
+      if (token == "transient-light") {
+        profile = FaultProfile::TransientLight(seed);
+      } else if (token == "transient-heavy") {
+        profile = FaultProfile::TransientHeavy(seed);
+      } else if (token == "crash") {
+        profile = FaultProfile::CrashCut(200, seed);
+      } else if (token == "permanent") {
+        profile = FaultProfile::PermanentPrefix("container/", seed);
+      } else {
+        return Status::InvalidArgument("unknown fault preset: " + token);
+      }
+      continue;
+    }
+
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        profile.seed = std::stoull(value);
+      } else if (key == "transient") {
+        profile.transient_error_prob = std::stod(value);
+      } else if (key == "deadline_frac") {
+        profile.deadline_fraction = std::stod(value);
+      } else if (key == "spike_p") {
+        profile.latency_spike_prob = std::stod(value);
+      } else if (key == "spike_ns") {
+        profile.latency_spike_nanos = std::stoull(value);
+      } else if (key == "sleep_on_spike") {
+        profile.sleep_on_spike = (value == "1" || value == "true");
+      } else if (key == "fail_after") {
+        profile.fail_after_ops = std::stoull(value);
+      } else if (key == "permanent_prefix") {
+        profile.permanent_error_prefixes.push_back(value);
+      } else {
+        return Status::InvalidArgument("unknown fault profile key: " + key);
+      }
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad value for fault profile key " +
+                                     key + ": " + value);
+    }
+  }
+  return profile;
+}
+
+FaultInjectingObjectStore::FaultInjectingObjectStore(ObjectStore* inner,
+                                                     FaultProfile profile)
+    : inner_(inner),
+      profile_(std::move(profile)),
+      m_injected_(&obs::MetricsRegistry::Get().counter("oss.fault.injected")) {
+}
+
+void FaultInjectingObjectStore::set_enabled(bool enabled) {
+  MutexLock lock(mu_);
+  enabled_ = enabled;
+}
+
+bool FaultInjectingObjectStore::enabled() const {
+  MutexLock lock(mu_);
+  return enabled_;
+}
+
+std::vector<InjectedFault> FaultInjectingObjectStore::injection_log() const {
+  MutexLock lock(mu_);
+  return log_;
+}
+
+uint64_t FaultInjectingObjectStore::injected_error_count() const {
+  MutexLock lock(mu_);
+  uint64_t n = 0;
+  for (const auto& event : log_) {
+    if (event.code != StatusCode::kOk) ++n;
+  }
+  return n;
+}
+
+void FaultInjectingObjectStore::Reset() {
+  MutexLock lock(mu_);
+  ops_admitted_ = 0;
+  occurrences_.clear();
+  log_.clear();
+}
+
+Status FaultInjectingObjectStore::Admit(const char* op,
+                                        const std::string& key) {
+  uint64_t spike_nanos = 0;
+  {
+    MutexLock lock(mu_);
+    if (!enabled_) return Status::Ok();
+
+    uint64_t op_index = ops_admitted_++;
+
+    auto inject = [&](Status status) {
+      m_injected_->Inc();
+      log_.push_back(InjectedFault{op, key, op_index, status.code(), 0});
+      return status;
+    };
+
+    for (const auto& prefix : profile_.permanent_error_prefixes) {
+      if (key.compare(0, prefix.size(), prefix) == 0) {
+        return inject(Status::IoError(std::string("injected permanent fault: ") +
+                                      op + " " + key));
+      }
+    }
+
+    if (profile_.fail_after_ops > 0 && op_index >= profile_.fail_after_ops) {
+      return inject(Status::Unavailable(
+          std::string("injected crash cut after ") +
+          std::to_string(profile_.fail_after_ops) + " ops: " + op));
+    }
+
+    // Hash-derived draw: a pure function of (seed, op, key, occurrence).
+    std::string id = std::string(op) + kSep + key;
+    uint64_t occurrence = occurrences_[id]++;
+    Rng rng(Fnv1a64(id.data(), id.size()) ^
+            Mix64(profile_.seed + occurrence));
+
+    if (profile_.transient_error_prob > 0.0 &&
+        rng.Bernoulli(profile_.transient_error_prob)) {
+      std::string msg = std::string("injected transient fault: ") + op +
+                        " " + key + " (occurrence " +
+                        std::to_string(occurrence) + ")";
+      Status status = rng.Bernoulli(profile_.deadline_fraction)
+                          ? Status::DeadlineExceeded(std::move(msg))
+                          : Status::Unavailable(std::move(msg));
+      return inject(std::move(status));
+    }
+
+    if (profile_.latency_spike_prob > 0.0 &&
+        rng.Bernoulli(profile_.latency_spike_prob)) {
+      m_injected_->Inc();
+      log_.push_back(InjectedFault{op, key, op_index, StatusCode::kOk,
+                                   profile_.latency_spike_nanos});
+      spike_nanos = profile_.latency_spike_nanos;
+    }
+  }
+  if (spike_nanos > 0 && profile_.sleep_on_spike) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(spike_nanos));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingObjectStore::Put(const std::string& key,
+                                      std::string value) {
+  SLIM_RETURN_IF_ERROR(Admit("put", key));
+  return inner_->Put(key, std::move(value));
+}
+
+Result<std::string> FaultInjectingObjectStore::Get(const std::string& key) {
+  SLIM_RETURN_IF_ERROR(Admit("get", key));
+  return inner_->Get(key);
+}
+
+Result<std::string> FaultInjectingObjectStore::GetRange(
+    const std::string& key, uint64_t offset, uint64_t len) {
+  SLIM_RETURN_IF_ERROR(Admit("getrange", key));
+  return inner_->GetRange(key, offset, len);
+}
+
+Status FaultInjectingObjectStore::Delete(const std::string& key) {
+  SLIM_RETURN_IF_ERROR(Admit("delete", key));
+  return inner_->Delete(key);
+}
+
+Result<bool> FaultInjectingObjectStore::Exists(const std::string& key) {
+  SLIM_RETURN_IF_ERROR(Admit("exists", key));
+  return inner_->Exists(key);
+}
+
+Result<uint64_t> FaultInjectingObjectStore::Size(const std::string& key) {
+  SLIM_RETURN_IF_ERROR(Admit("size", key));
+  return inner_->Size(key);
+}
+
+Result<std::vector<std::string>> FaultInjectingObjectStore::List(
+    const std::string& prefix) {
+  SLIM_RETURN_IF_ERROR(Admit("list", prefix));
+  return inner_->List(prefix);
+}
+
+}  // namespace slim::oss

@@ -1,0 +1,139 @@
+#ifndef SLIMSTORE_OSS_FAULT_INJECTING_OBJECT_STORE_H_
+#define SLIMSTORE_OSS_FAULT_INJECTING_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "oss/object_store.h"
+
+namespace slim::oss {
+
+/// Declarative description of the faults a FaultInjectingObjectStore
+/// injects. Everything is derived from `seed` plus the operation
+/// history, so a given profile replays the exact same fault sequence on
+/// every run (see FaultInjectingObjectStore for the determinism
+/// contract).
+struct FaultProfile {
+  /// Seed for all probabilistic decisions.
+  uint64_t seed = 1;
+
+  /// Per-operation probability of a transient error. A transient error
+  /// is DeadlineExceeded with probability `deadline_fraction`, else
+  /// Unavailable. Both are retryable (IsRetryableStatusCode).
+  double transient_error_prob = 0.0;
+  double deadline_fraction = 0.3;
+
+  /// Per-operation probability of an injected latency spike. Spikes are
+  /// recorded in the injection log; the store additionally sleeps for
+  /// `latency_spike_nanos` only when `sleep_on_spike` is set (tests keep
+  /// it off so sweeps stay fast).
+  double latency_spike_prob = 0.0;
+  uint64_t latency_spike_nanos = 0;
+  bool sleep_on_spike = false;
+
+  /// Crash-style cut: after this many operations have been admitted
+  /// (counted across all ops and keys), every further operation fails
+  /// Unavailable until the profile is disabled. 0 disables the cut.
+  uint64_t fail_after_ops = 0;
+
+  /// Permanent-error keyspace: any operation on a key starting with one
+  /// of these prefixes fails IoError (non-retryable) every time.
+  std::vector<std::string> permanent_error_prefixes;
+
+  /// Named presets used by the fault sweep and the `--fault-profile`
+  /// CLI flag.
+  static FaultProfile TransientLight(uint64_t seed);
+  static FaultProfile TransientHeavy(uint64_t seed);
+  static FaultProfile CrashCut(uint64_t fail_after, uint64_t seed);
+  static FaultProfile PermanentPrefix(std::string prefix, uint64_t seed);
+};
+
+/// Parses a profile spec of comma-separated tokens. A token is either a
+/// preset name (`transient-light`, `transient-heavy`, `crash`,
+/// `permanent`) or `key=value` with keys: seed, transient,
+/// deadline_frac, spike_p, spike_ns, sleep_on_spike, fail_after,
+/// permanent_prefix (repeatable). Later tokens override earlier ones,
+/// so "transient-heavy,seed=7,transient=0.5" works as expected.
+Result<FaultProfile> ParseFaultProfile(const std::string& spec);
+
+/// One injected event, in admission order.
+struct InjectedFault {
+  std::string op;     // "put", "get", "getrange", "delete", ...
+  std::string key;    // Key (or prefix, for List) the op targeted.
+  uint64_t op_index;  // Global operation number at injection time.
+  StatusCode code;    // kOk for a pure latency spike.
+  uint64_t latency_nanos = 0;  // Non-zero only for latency spikes.
+};
+
+/// Decorator that makes any ObjectStore fail the way real cloud object
+/// stores do: transient Unavailable/DeadlineExceeded, latency spikes,
+/// hard crash-style cuts after N operations, and permanently broken key
+/// ranges. Faults are injected before the inner store is touched, so an
+/// injected failure never leaves partial inner state.
+///
+/// Determinism contract: probabilistic decisions do NOT consume a
+/// shared RNG stream. Each decision is drawn from an Rng seeded by
+/// hash(seed, op, key, per-(op,key) occurrence number), so the verdict
+/// for "the 3rd Get of container/00000007" is a pure function of the
+/// profile — independent of thread interleaving with other keys. Only
+/// `fail_after_ops` and the `op_index` recorded in the log depend on
+/// the global admission order, which is deterministic when the caller
+/// is single-threaded (the fault sweep restores with
+/// prefetch_threads=0 for exactly this reason).
+///
+/// Does not take ownership of the inner store. Thread-safe.
+class FaultInjectingObjectStore : public ObjectStore {
+ public:
+  FaultInjectingObjectStore(ObjectStore* inner, FaultProfile profile);
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  /// Injection on/off switch; the store passes everything through while
+  /// disabled (ops are not counted against fail_after_ops either).
+  /// Lets tests run a clean phase, arm faults, then disarm for a
+  /// recovery phase without rebuilding the stack.
+  void set_enabled(bool enabled) SLIM_EXCLUDES(mu_);
+  bool enabled() const SLIM_EXCLUDES(mu_);
+
+  const FaultProfile& profile() const { return profile_; }
+
+  /// Everything injected so far, in admission order.
+  std::vector<InjectedFault> injection_log() const SLIM_EXCLUDES(mu_);
+  /// Number of injected errors (log entries with a non-OK code).
+  uint64_t injected_error_count() const SLIM_EXCLUDES(mu_);
+  /// Resets the log, the global op counter and all per-key occurrence
+  /// counters, so the next op replays the profile from the start.
+  void Reset() SLIM_EXCLUDES(mu_);
+
+  ObjectStore* inner() { return inner_; }
+
+ private:
+  /// Admission check shared by every op. Returns OK to pass through.
+  Status Admit(const char* op, const std::string& key) SLIM_EXCLUDES(mu_);
+
+  ObjectStore* inner_;
+  const FaultProfile profile_;
+  obs::Counter* m_injected_;
+
+  mutable Mutex mu_;
+  bool enabled_ SLIM_GUARDED_BY(mu_) = true;
+  uint64_t ops_admitted_ SLIM_GUARDED_BY(mu_) = 0;
+  std::map<std::string, uint64_t> occurrences_ SLIM_GUARDED_BY(mu_);
+  std::vector<InjectedFault> log_ SLIM_GUARDED_BY(mu_);
+};
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_FAULT_INJECTING_OBJECT_STORE_H_

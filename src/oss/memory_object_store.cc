@@ -69,7 +69,13 @@ Result<uint64_t> TotalBytesWithPrefix(ObjectStore& store,
   uint64_t total = 0;
   for (const auto& key : keys.value()) {
     auto size = store.Size(key);
-    if (!size.ok()) continue;  // Deleted concurrently; skip.
+    if (!size.ok()) {
+      // NotFound means deleted concurrently — skip. Anything else
+      // (Unavailable, IoError, ...) would silently under-report space
+      // costs, so propagate it.
+      if (size.status().IsNotFound()) continue;
+      return size.status();
+    }
     total += size.value();
   }
   return total;

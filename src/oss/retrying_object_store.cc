@@ -1,0 +1,94 @@
+#include "oss/retrying_object_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace slim::oss {
+
+RetryingObjectStore::RetryingObjectStore(ObjectStore* inner,
+                                         RetryPolicy policy)
+    : inner_(inner), policy_(policy), rng_(policy.seed) {
+  auto& registry = obs::MetricsRegistry::Get();
+  m_retries_ = &registry.counter("oss.retry.attempts");
+  m_success_ = &registry.counter("oss.retry.success");
+  m_exhausted_ = &registry.counter("oss.retry.exhausted");
+  m_permanent_ = &registry.counter("oss.retry.permanent");
+  m_budget_exhausted_ = &registry.counter("oss.retry.budget_exhausted");
+  m_backoff_ = &registry.histogram("oss.retry.backoff_ns");
+}
+
+RetryStatsSnapshot RetryingObjectStore::stats() const {
+  RetryStatsSnapshot s;
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.successes_after_retry =
+      successes_after_retry_.load(std::memory_order_relaxed);
+  s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  s.permanent_errors = permanent_errors_.load(std::memory_order_relaxed);
+  s.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RetryingObjectStore::Backoff(uint64_t* backoff) {
+  double jitter;
+  {
+    MutexLock lock(mu_);
+    jitter = (rng_.NextDouble() * 2.0 - 1.0) * policy_.jitter_fraction;
+  }
+  double jittered = static_cast<double>(*backoff) * (1.0 + jitter);
+  uint64_t delay_nanos =
+      jittered <= 0.0 ? 0 : static_cast<uint64_t>(jittered);
+
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  m_retries_->Inc();
+  m_backoff_->Record(delay_nanos);
+
+  if (policy_.sleep_on_backoff && delay_nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay_nanos));
+  }
+
+  double next = static_cast<double>(*backoff) * policy_.multiplier;
+  *backoff = std::min(policy_.max_backoff_nanos,
+                      next >= static_cast<double>(policy_.max_backoff_nanos)
+                          ? policy_.max_backoff_nanos
+                          : static_cast<uint64_t>(next));
+}
+
+Status RetryingObjectStore::Put(const std::string& key, std::string value) {
+  return RunWithRetry([&](bool final_attempt) {
+    // Each non-final attempt keeps `value` intact in case it must be
+    // resent; only the last possible attempt gets to move it.
+    return inner_->Put(key, final_attempt ? std::move(value) : value);
+  });
+}
+
+Result<std::string> RetryingObjectStore::Get(const std::string& key) {
+  return RunWithRetry([&](bool) { return inner_->Get(key); });
+}
+
+Result<std::string> RetryingObjectStore::GetRange(const std::string& key,
+                                                  uint64_t offset,
+                                                  uint64_t len) {
+  return RunWithRetry(
+      [&](bool) { return inner_->GetRange(key, offset, len); });
+}
+
+Status RetryingObjectStore::Delete(const std::string& key) {
+  return RunWithRetry([&](bool) { return inner_->Delete(key); });
+}
+
+Result<bool> RetryingObjectStore::Exists(const std::string& key) {
+  return RunWithRetry([&](bool) { return inner_->Exists(key); });
+}
+
+Result<uint64_t> RetryingObjectStore::Size(const std::string& key) {
+  return RunWithRetry([&](bool) { return inner_->Size(key); });
+}
+
+Result<std::vector<std::string>> RetryingObjectStore::List(
+    const std::string& prefix) {
+  return RunWithRetry([&](bool) { return inner_->List(prefix); });
+}
+
+}  // namespace slim::oss

@@ -1,0 +1,167 @@
+#ifndef SLIMSTORE_OSS_RETRYING_OBJECT_STORE_H_
+#define SLIMSTORE_OSS_RETRYING_OBJECT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "oss/object_store.h"
+
+namespace slim::oss {
+
+/// Retry behaviour for RetryingObjectStore: capped exponential backoff
+/// with deterministic jitter and a global retry budget.
+struct RetryPolicy {
+  /// Total attempts per operation (first try + retries). Must be >= 1.
+  int max_attempts = 4;
+
+  /// Backoff before retry k (1-based) is
+  ///   min(initial * multiplier^(k-1), max) * (1 + jitter)
+  /// with jitter drawn uniformly from [-jitter_fraction, +jitter_fraction]
+  /// by a seeded Rng, so a single-threaded run replays identically.
+  uint64_t initial_backoff_nanos = 1 * 1000 * 1000;   // 1 ms
+  uint64_t max_backoff_nanos = 100 * 1000 * 1000;     // 100 ms
+  double multiplier = 2.0;
+  double jitter_fraction = 0.2;
+
+  /// Upper bound on retries across the store's lifetime. Once spent, all
+  /// further failures pass through on the first attempt — a circuit
+  /// breaker against retry storms when the backend is hard down.
+  uint64_t retry_budget = 1 << 20;
+
+  /// If false (tests, simulations), backoff is computed and recorded in
+  /// the oss.retry.backoff_ns histogram but not actually slept.
+  bool sleep_on_backoff = false;
+
+  /// Seed for the jitter Rng.
+  uint64_t seed = 1;
+};
+
+/// Point-in-time view of a RetryingObjectStore's own counters (the
+/// process-global oss.retry.* metrics aggregate across instances; tests
+/// want per-instance numbers).
+struct RetryStatsSnapshot {
+  uint64_t retries = 0;             // Backoff-then-retry transitions.
+  uint64_t successes_after_retry = 0;  // Ops that needed >= 1 retry, then passed.
+  uint64_t exhausted = 0;           // Ops that failed all max_attempts tries.
+  uint64_t permanent_errors = 0;    // Non-retryable failures passed through.
+  uint64_t budget_exhausted = 0;    // Retries suppressed by the spent budget.
+};
+
+/// Decorator that retries transient failures (IsRetryableStatusCode:
+/// Unavailable, DeadlineExceeded, ResourceExhausted) of the inner store
+/// with capped exponential backoff and deterministic jitter. Permanent
+/// errors (NotFound, InvalidArgument, Corruption, IoError, ...) pass
+/// through untouched on the first attempt — retrying those only hides
+/// bugs and burns budget.
+///
+/// Stacking order (see DESIGN.md "Failure model"): retries belong
+/// OUTSIDE fault injection and OUTSIDE the cost model, i.e.
+///   Retrying(FaultInjecting(SimulatedOss(backing)))
+/// so each attempt is charged and each attempt re-rolls the injected
+/// fault — exactly how a real client retries a real flaky store.
+///
+/// Safe only because ObjectStore ops are idempotent: Put is a full
+/// overwrite, Delete of a missing key is OK, reads are pure.
+///
+/// Does not take ownership of the inner store. Thread-safe; the jitter
+/// Rng is mutex-protected (its draw order — hence exact backoff values —
+/// is deterministic when calls are single-threaded).
+class RetryingObjectStore : public ObjectStore {
+ public:
+  RetryingObjectStore(ObjectStore* inner, RetryPolicy policy);
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  RetryStatsSnapshot stats() const;
+
+  const RetryPolicy& policy() const { return policy_; }
+  ObjectStore* inner() { return inner_; }
+
+ private:
+  static const Status& StatusOf(const Status& s) { return s; }
+  template <typename T>
+  static const Status& StatusOf(const Result<T>& r) {
+    return r.status();
+  }
+
+  /// Runs `fn(final_attempt)` under the retry loop. `fn` must be
+  /// idempotent; `final_attempt` is true when no further retry can
+  /// happen (lets Put move its value on the last try).
+  template <typename Fn>
+  auto RunWithRetry(Fn&& fn) -> decltype(fn(true)) {
+    uint64_t backoff = policy_.initial_backoff_nanos;
+    for (int attempt = 1;; ++attempt) {
+      bool out_of_attempts = attempt >= policy_.max_attempts;
+      bool out_of_budget =
+          retries_.load(std::memory_order_relaxed) >= policy_.retry_budget;
+      bool final_attempt = out_of_attempts || out_of_budget;
+
+      auto result = fn(final_attempt);
+      const Status& status = StatusOf(result);
+      if (status.ok()) {
+        if (attempt > 1) {
+          successes_after_retry_.fetch_add(1, std::memory_order_relaxed);
+          m_success_->Inc();
+        }
+        return result;
+      }
+      if (!status.IsRetryable()) {
+        permanent_errors_.fetch_add(1, std::memory_order_relaxed);
+        m_permanent_->Inc();
+        return result;
+      }
+      if (out_of_attempts) {
+        exhausted_.fetch_add(1, std::memory_order_relaxed);
+        m_exhausted_->Inc();
+        return result;
+      }
+      if (out_of_budget) {
+        budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+        m_budget_exhausted_->Inc();
+        return result;
+      }
+      Backoff(&backoff);
+    }
+  }
+
+  /// Sleeps (optionally) for the jittered current backoff and advances
+  /// `*backoff` exponentially, capped at max_backoff_nanos.
+  void Backoff(uint64_t* backoff) SLIM_EXCLUDES(mu_);
+
+  ObjectStore* inner_;
+  const RetryPolicy policy_;
+
+  mutable Mutex mu_;
+  Rng rng_ SLIM_GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> successes_after_retry_{0};
+  std::atomic<uint64_t> exhausted_{0};
+  std::atomic<uint64_t> permanent_errors_{0};
+  std::atomic<uint64_t> budget_exhausted_{0};
+
+  // Registry handles, resolved once in the constructor.
+  obs::Counter* m_retries_;
+  obs::Counter* m_success_;
+  obs::Counter* m_exhausted_;
+  obs::Counter* m_permanent_;
+  obs::Counter* m_budget_exhausted_;
+  obs::Histogram* m_backoff_;
+};
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_RETRYING_OBJECT_STORE_H_

@@ -238,8 +238,10 @@ Status RocksOss::CompactLocked() {
       ++it;
     }
   }
-  std::vector<Run> old_runs = std::move(runs_);
-  runs_.clear();
+  // Write the merged run BEFORE touching runs_: if the Put fails the
+  // in-memory state (and the OSS) is exactly what it was, so reads keep
+  // working and a retried Compact starts over cleanly.
+  std::vector<Run> new_runs;
   if (!merged.empty()) {
     Run run;
     run.id = next_run_id_++;
@@ -249,13 +251,23 @@ Status RocksOss::CompactLocked() {
     SLIM_RETURN_IF_ERROR(store_->Put(run.key, std::move(payload)));
     run_cache_[run.id] = std::make_shared<Memtable>(std::move(merged));
     cache_lru_.push_front(run.id);
-    runs_.push_back(std::move(run));
+    new_runs.push_back(std::move(run));
   }
+  std::vector<Run> old_runs = std::move(runs_);
+  runs_ = std::move(new_runs);
+  // Old run objects are now shadowed by the merged run (it holds every
+  // live key, and tombstones in old runs only ever map to NotFound), so
+  // a failed delete leaks space but can never corrupt reads — even
+  // after a reopen that re-lists the leaked objects. Delete them all,
+  // then report the first failure.
+  Status delete_status;
   for (const Run& old : old_runs) {
-    SLIM_RETURN_IF_ERROR(store_->Delete(old.key));
+    Status s = store_->Delete(old.key);
+    if (!s.ok() && delete_status.ok()) delete_status = std::move(s);
     run_cache_.erase(old.id);
     cache_lru_.remove(old.id);
   }
+  SLIM_RETURN_IF_ERROR(delete_status);
   while (cache_lru_.size() > options_.run_cache_capacity) {
     run_cache_.erase(cache_lru_.back());
     cache_lru_.pop_back();

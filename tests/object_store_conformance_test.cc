@@ -1,0 +1,259 @@
+// Contract suite for the ObjectStore interface (see object_store.h):
+// every implementation — in-memory, on-disk, cost-model decorator, and
+// the fault-injection/retry decorators with transient faults fully
+// hidden by retries — must agree on Put-overwrite, GetRange
+// suffix/past-end/InvalidArgument semantics, idempotent Delete and
+// sorted List, or backups written through one store would not restore
+// through another.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oss/disk_object_store.h"
+#include "oss/fault_injecting_object_store.h"
+#include "oss/memory_object_store.h"
+#include "oss/object_store.h"
+#include "oss/retrying_object_store.h"
+#include "oss/simulated_oss.h"
+
+namespace slim::oss {
+namespace {
+
+// Owns whatever stack of objects backs the store under test.
+struct StoreFixture {
+  ObjectStore* store = nullptr;
+  std::function<void()> cleanup;
+
+  ~StoreFixture() {
+    if (cleanup) cleanup();
+  }
+};
+
+struct StoreParam {
+  const char* name;
+  std::function<std::unique_ptr<StoreFixture>()> make;
+};
+
+std::filesystem::path FreshDiskRoot() {
+  static int counter = 0;
+  auto root = std::filesystem::temp_directory_path() /
+              ("slimstore-conformance-" + std::to_string(::getpid()) + "-" +
+               std::to_string(counter++));
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+OssCostModel ZeroCostModel() {
+  OssCostModel model;
+  model.sleep_for_cost = false;
+  return model;
+}
+
+std::vector<StoreParam> AllStores() {
+  std::vector<StoreParam> params;
+  params.push_back({"memory", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto mem = std::make_shared<MemoryObjectStore>();
+                      fixture->store = mem.get();
+                      fixture->cleanup = [mem] {};
+                      return fixture;
+                    }});
+  params.push_back({"disk", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto root = FreshDiskRoot();
+                      auto disk = DiskObjectStore::Open(root.string());
+                      EXPECT_TRUE(disk.ok());
+                      auto owned =
+                          std::shared_ptr<DiskObjectStore>(std::move(disk).value());
+                      fixture->store = owned.get();
+                      fixture->cleanup = [owned, root] {
+                        std::filesystem::remove_all(root);
+                      };
+                      return fixture;
+                    }});
+  params.push_back({"simulated", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto mem = std::make_shared<MemoryObjectStore>();
+                      auto sim =
+                          std::make_shared<SimulatedOss>(mem.get(), ZeroCostModel());
+                      fixture->store = sim.get();
+                      fixture->cleanup = [mem, sim] {};
+                      return fixture;
+                    }});
+  // Transient faults below a retry layer with enough attempts: the
+  // contract must be indistinguishable from a clean store.
+  params.push_back({"faulty_retried", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto mem = std::make_shared<MemoryObjectStore>();
+                      FaultProfile profile;
+                      profile.seed = 7;
+                      profile.transient_error_prob = 0.2;
+                      auto faulty = std::make_shared<FaultInjectingObjectStore>(
+                          mem.get(), profile);
+                      RetryPolicy policy;
+                      policy.max_attempts = 12;
+                      auto retrying = std::make_shared<RetryingObjectStore>(
+                          faulty.get(), policy);
+                      fixture->store = retrying.get();
+                      fixture->cleanup = [mem, faulty, retrying] {};
+                      return fixture;
+                    }});
+  return params;
+}
+
+class ObjectStoreConformanceTest
+    : public ::testing::TestWithParam<StoreParam> {
+ protected:
+  void SetUp() override {
+    fixture_ = GetParam().make();
+    ASSERT_NE(fixture_->store, nullptr);
+  }
+
+  ObjectStore& store() { return *fixture_->store; }
+
+  std::unique_ptr<StoreFixture> fixture_;
+};
+
+TEST_P(ObjectStoreConformanceTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store().Put("k", "hello world").ok());
+  auto got = store().Get("k");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.value(), "hello world");
+}
+
+TEST_P(ObjectStoreConformanceTest, PutOverwritesExistingObject) {
+  ASSERT_TRUE(store().Put("k", "first").ok());
+  ASSERT_TRUE(store().Put("k", "second, longer value").ok());
+  EXPECT_EQ(store().Get("k").value(), "second, longer value");
+  ASSERT_TRUE(store().Put("k", "3rd").ok());
+  EXPECT_EQ(store().Get("k").value(), "3rd");
+  EXPECT_EQ(store().Size("k").value(), 3u);
+}
+
+TEST_P(ObjectStoreConformanceTest, EmptyValueRoundTrips) {
+  ASSERT_TRUE(store().Put("empty", "").ok());
+  auto got = store().Get("empty");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "");
+  EXPECT_EQ(store().Size("empty").value(), 0u);
+  EXPECT_TRUE(store().Exists("empty").value());
+}
+
+TEST_P(ObjectStoreConformanceTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(store().Get("ghost").status().IsNotFound());
+  EXPECT_TRUE(store().Size("ghost").status().IsNotFound());
+  EXPECT_FALSE(store().Exists("ghost").value());
+}
+
+TEST_P(ObjectStoreConformanceTest, GetRangeInterior) {
+  ASSERT_TRUE(store().Put("k", "0123456789").ok());
+  auto got = store().GetRange("k", 2, 5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "23456");
+}
+
+TEST_P(ObjectStoreConformanceTest, GetRangePastEndReturnsSuffix) {
+  ASSERT_TRUE(store().Put("k", "0123456789").ok());
+  auto got = store().GetRange("k", 7, 100);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "789");
+}
+
+TEST_P(ObjectStoreConformanceTest, GetRangeAtExactEndIsEmpty) {
+  ASSERT_TRUE(store().Put("k", "0123456789").ok());
+  auto got = store().GetRange("k", 10, 5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "");
+}
+
+TEST_P(ObjectStoreConformanceTest, GetRangeBeyondEndIsInvalidArgument) {
+  ASSERT_TRUE(store().Put("k", "0123456789").ok());
+  auto got = store().GetRange("k", 11, 1);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(ObjectStoreConformanceTest, GetRangeMissingIsNotFound) {
+  EXPECT_TRUE(store().GetRange("ghost", 0, 4).status().IsNotFound());
+}
+
+TEST_P(ObjectStoreConformanceTest, DeleteIsIdempotent) {
+  ASSERT_TRUE(store().Put("k", "v").ok());
+  ASSERT_TRUE(store().Delete("k").ok());
+  EXPECT_TRUE(store().Get("k").status().IsNotFound());
+  // Deleting again (and deleting a never-existing key) is still OK.
+  EXPECT_TRUE(store().Delete("k").ok());
+  EXPECT_TRUE(store().Delete("never-existed").ok());
+}
+
+TEST_P(ObjectStoreConformanceTest, ListReturnsSortedPrefixMatches) {
+  ASSERT_TRUE(store().Put("a/2", "v").ok());
+  ASSERT_TRUE(store().Put("a/1", "v").ok());
+  ASSERT_TRUE(store().Put("a/3", "v").ok());
+  ASSERT_TRUE(store().Put("b/1", "v").ok());
+  auto keys = store().List("a/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value(),
+            (std::vector<std::string>{"a/1", "a/2", "a/3"}));
+}
+
+TEST_P(ObjectStoreConformanceTest, ListEmptyPrefixReturnsEverything) {
+  ASSERT_TRUE(store().Put("x", "v").ok());
+  ASSERT_TRUE(store().Put("y", "v").ok());
+  auto keys = store().List("");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST_P(ObjectStoreConformanceTest, ListExcludesDeleted) {
+  ASSERT_TRUE(store().Put("p/keep", "v").ok());
+  ASSERT_TRUE(store().Put("p/drop", "v").ok());
+  ASSERT_TRUE(store().Delete("p/drop").ok());
+  auto keys = store().List("p/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value(), (std::vector<std::string>{"p/keep"}));
+}
+
+TEST_P(ObjectStoreConformanceTest, KeysNeedingEncodingRoundTrip) {
+  // Slashes, percent signs, spaces, high bytes — everything a container
+  // or recipe key might legally contain.
+  const std::vector<std::string> keys = {
+      "containers/data-00000042", "odd %25 key", "spaces and\ttabs",
+      std::string("nul\0byte", 8), "high\xff\xfe bytes"};
+  for (const auto& key : keys) {
+    ASSERT_TRUE(store().Put(key, "payload:" + key).ok()) << key;
+  }
+  for (const auto& key : keys) {
+    auto got = store().Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(got.value(), "payload:" + key);
+  }
+  auto listed = store().List("");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().size(), keys.size());
+}
+
+TEST_P(ObjectStoreConformanceTest, KeyEndingInTmpSuffixIsListed) {
+  // Regression: DiskObjectStore used a ".tmp" suffix for its atomic
+  // write staging files and skipped that suffix in List, silently
+  // hiding any user key that itself ends in ".tmp".
+  ASSERT_TRUE(store().Put("snapshot.tmp", "v").ok());
+  auto keys = store().List("");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value(), (std::vector<std::string>{"snapshot.tmp"}));
+  EXPECT_TRUE(store().Exists("snapshot.tmp").value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, ObjectStoreConformanceTest, ::testing::ValuesIn(AllStores()),
+    [](const ::testing::TestParamInfo<StoreParam>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace slim::oss

@@ -4,8 +4,11 @@
 #include <string>
 #include <thread>
 
+#include "common/macros.h"
 #include "common/rng.h"
+#include "oss/fault_injecting_object_store.h"
 #include "oss/memory_object_store.h"
+#include "oss/retrying_object_store.h"
 #include "oss/rocks_oss.h"
 #include "oss/simulated_oss.h"
 
@@ -375,6 +378,331 @@ TEST(RocksOssTest, BloomSkipsReduceReads) {
     db.Get("absent-" + std::to_string(i)).IgnoreError();
   }
   EXPECT_GT(db.bloom_skips(), 150u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingObjectStore
+// ---------------------------------------------------------------------------
+
+std::string LogString(const FaultInjectingObjectStore& store) {
+  std::string out;
+  for (const InjectedFault& fault : store.injection_log()) {
+    out += fault.op + " " + fault.key + " #" +
+           std::to_string(fault.op_index) + " " + StatusCodeName(fault.code) +
+           " " + std::to_string(fault.latency_nanos) + "\n";
+  }
+  return out;
+}
+
+TEST(FaultInjectingTest, DisabledPassesEverythingThrough) {
+  MemoryObjectStore mem;
+  FaultProfile profile;
+  profile.transient_error_prob = 1.0;  // Would fail every op if armed.
+  FaultInjectingObjectStore faulty(&mem, profile);
+  faulty.set_enabled(false);
+  EXPECT_TRUE(faulty.Put("k", "v").ok());
+  EXPECT_EQ(faulty.Get("k").value(), "v");
+  EXPECT_TRUE(faulty.injection_log().empty());
+}
+
+TEST(FaultInjectingTest, CertainTransientFailsWithoutTouchingInner) {
+  MemoryObjectStore mem;
+  FaultProfile profile;
+  profile.transient_error_prob = 1.0;
+  FaultInjectingObjectStore faulty(&mem, profile);
+  Status put = faulty.Put("k", "v");
+  ASSERT_FALSE(put.ok());
+  EXPECT_TRUE(put.IsRetryable());
+  // Faults strike BEFORE delegation: the inner store must be untouched.
+  EXPECT_TRUE(mem.Get("k").status().IsNotFound());
+  EXPECT_EQ(faulty.injected_error_count(), 1u);
+}
+
+TEST(FaultInjectingTest, CrashCutFailsEveryOpAfterN) {
+  MemoryObjectStore mem;
+  FaultInjectingObjectStore faulty(&mem, FaultProfile::CrashCut(3, 1));
+  EXPECT_TRUE(faulty.Put("a", "1").ok());
+  EXPECT_TRUE(faulty.Put("b", "2").ok());
+  EXPECT_TRUE(faulty.Get("a").ok());
+  // Ops 3, 4, ... all fail Unavailable.
+  for (int i = 0; i < 5; ++i) {
+    auto got = faulty.Get("a");
+    ASSERT_FALSE(got.ok());
+    EXPECT_TRUE(got.status().IsUnavailable());
+  }
+  // The data written before the cut is intact underneath.
+  EXPECT_EQ(mem.Get("a").value(), "1");
+}
+
+TEST(FaultInjectingTest, PermanentPrefixFailsIoErrorOnlyInsidePrefix) {
+  MemoryObjectStore mem;
+  FaultInjectingObjectStore faulty(
+      &mem, FaultProfile::PermanentPrefix("broken/", 1));
+  Status put = faulty.Put("broken/key", "v");
+  ASSERT_FALSE(put.ok());
+  EXPECT_EQ(put.code(), StatusCode::kIoError);
+  EXPECT_FALSE(put.IsRetryable());
+  EXPECT_TRUE(faulty.Put("healthy/key", "v").ok());
+  EXPECT_EQ(faulty.Get("healthy/key").value(), "v");
+}
+
+TEST(FaultInjectingTest, LatencySpikeLogsOkEventAndSucceeds) {
+  MemoryObjectStore mem;
+  FaultProfile profile;
+  profile.latency_spike_prob = 1.0;
+  profile.latency_spike_nanos = 123456;
+  // sleep_on_spike stays false: recorded, not slept.
+  FaultInjectingObjectStore faulty(&mem, profile);
+  EXPECT_TRUE(faulty.Put("k", "v").ok());
+  auto log = faulty.injection_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].code, StatusCode::kOk);
+  EXPECT_EQ(log[0].latency_nanos, 123456u);
+  EXPECT_EQ(faulty.injected_error_count(), 0u);
+}
+
+// Replays a fixed operation sequence against the given store.
+void DriveOps(ObjectStore* store) {
+  for (int i = 0; i < 20; ++i) {
+    store->Put("k" + std::to_string(i % 5), "v").IgnoreError();
+    store->Get("k" + std::to_string(i % 3)).IgnoreError();
+    store->Exists("k0").IgnoreError();
+    store->List("k").IgnoreError();
+  }
+}
+
+TEST(FaultInjectingTest, SameSeedSameOpsSameInjectionLog) {
+  FaultProfile profile;
+  profile.seed = 42;
+  profile.transient_error_prob = 0.3;
+  profile.latency_spike_prob = 0.1;
+  profile.latency_spike_nanos = 1000;
+
+  MemoryObjectStore mem_a, mem_b;
+  FaultInjectingObjectStore faulty_a(&mem_a, profile);
+  FaultInjectingObjectStore faulty_b(&mem_b, profile);
+  DriveOps(&faulty_a);
+  DriveOps(&faulty_b);
+  std::string log = LogString(faulty_a);
+  EXPECT_FALSE(log.empty());
+  EXPECT_EQ(log, LogString(faulty_b));
+
+  // Reset replays the profile from scratch on the same instance.
+  faulty_a.Reset();
+  DriveOps(&faulty_a);
+  EXPECT_EQ(LogString(faulty_a), log);
+}
+
+TEST(FaultInjectingTest, DifferentSeedsDiverge) {
+  FaultProfile a_profile, b_profile;
+  a_profile.transient_error_prob = b_profile.transient_error_prob = 0.3;
+  a_profile.seed = 1;
+  b_profile.seed = 2;
+  MemoryObjectStore mem_a, mem_b;
+  FaultInjectingObjectStore faulty_a(&mem_a, a_profile);
+  FaultInjectingObjectStore faulty_b(&mem_b, b_profile);
+  DriveOps(&faulty_a);
+  DriveOps(&faulty_b);
+  EXPECT_NE(LogString(faulty_a), LogString(faulty_b));
+}
+
+TEST(FaultInjectingTest, VerdictsArePerKeyOccurrenceNotGlobalOrder) {
+  // The n-th Get of a given key must get the same verdict no matter what
+  // other keys are interleaved — decisions hash (op, key, occurrence),
+  // they do not consume a shared stream.
+  FaultProfile profile;
+  profile.seed = 9;
+  profile.transient_error_prob = 0.5;
+
+  auto verdicts_for = [&](bool interleave) {
+    MemoryObjectStore mem;
+    FaultInjectingObjectStore faulty(&mem, profile);
+    std::string out;
+    for (int i = 0; i < 16; ++i) {
+      out += faulty.Get("target").ok() ? 'o' : 'x';
+      if (interleave) {
+        faulty.Get("noise-" + std::to_string(i)).IgnoreError();
+        faulty.Put("noise", "v").IgnoreError();
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(verdicts_for(false), verdicts_for(true));
+}
+
+// ---------------------------------------------------------------------------
+// ParseFaultProfile
+// ---------------------------------------------------------------------------
+
+TEST(ParseFaultProfileTest, PresetsMatchFactories) {
+  auto parsed = ParseFaultProfile("transient-heavy");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().transient_error_prob,
+            FaultProfile::TransientHeavy(1).transient_error_prob);
+
+  auto crash = ParseFaultProfile("crash,fail_after=17");
+  ASSERT_TRUE(crash.ok());
+  EXPECT_EQ(crash.value().fail_after_ops, 17u);
+}
+
+TEST(ParseFaultProfileTest, KeyValueTokensOverrideInOrder) {
+  auto parsed = ParseFaultProfile(
+      "transient-light,seed=7,transient=0.5,deadline_frac=0.9,"
+      "spike_p=0.25,spike_ns=5000,fail_after=99,"
+      "permanent_prefix=a/,permanent_prefix=b/");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const FaultProfile& profile = parsed.value();
+  EXPECT_EQ(profile.seed, 7u);
+  EXPECT_DOUBLE_EQ(profile.transient_error_prob, 0.5);
+  EXPECT_DOUBLE_EQ(profile.deadline_fraction, 0.9);
+  EXPECT_DOUBLE_EQ(profile.latency_spike_prob, 0.25);
+  EXPECT_EQ(profile.latency_spike_nanos, 5000u);
+  EXPECT_EQ(profile.fail_after_ops, 99u);
+  EXPECT_EQ(profile.permanent_error_prefixes,
+            (std::vector<std::string>{"a/", "b/"}));
+}
+
+TEST(ParseFaultProfileTest, RejectsUnknownAndMalformedTokens) {
+  EXPECT_EQ(ParseFaultProfile("bogus-preset").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultProfile("transient=not-a-number").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultProfile("unknown_key=3").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// RetryingObjectStore
+// ---------------------------------------------------------------------------
+
+// Test double that fails the next `failures_remaining` operations with
+// `fail_status`, then delegates to an in-memory store.
+class FlakyStore : public ObjectStore {
+ public:
+  Status fail_status = Status::Unavailable("flaky");
+  int failures_remaining = 0;
+  int calls = 0;
+
+  Status Put(const std::string& key, std::string value) override {
+    SLIM_RETURN_IF_ERROR(Next());
+    return mem_.Put(key, std::move(value));
+  }
+  Result<std::string> Get(const std::string& key) override {
+    SLIM_RETURN_IF_ERROR(Next());
+    return mem_.Get(key);
+  }
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override {
+    SLIM_RETURN_IF_ERROR(Next());
+    return mem_.GetRange(key, offset, len);
+  }
+  Status Delete(const std::string& key) override {
+    SLIM_RETURN_IF_ERROR(Next());
+    return mem_.Delete(key);
+  }
+  Result<bool> Exists(const std::string& key) override {
+    SLIM_RETURN_IF_ERROR(Next());
+    return mem_.Exists(key);
+  }
+  Result<uint64_t> Size(const std::string& key) override {
+    SLIM_RETURN_IF_ERROR(Next());
+    return mem_.Size(key);
+  }
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    SLIM_RETURN_IF_ERROR(Next());
+    return mem_.List(prefix);
+  }
+
+ private:
+  Status Next() {
+    ++calls;
+    if (failures_remaining > 0) {
+      --failures_remaining;
+      return fail_status;
+    }
+    return Status::Ok();
+  }
+
+  MemoryObjectStore mem_;
+};
+
+RetryPolicy TestPolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  return policy;  // sleep_on_backoff defaults to false: tests stay fast.
+}
+
+TEST(RetryingTest, SucceedsAfterTransientFailures) {
+  FlakyStore flaky;
+  flaky.failures_remaining = 2;
+  RetryingObjectStore retrying(&flaky, TestPolicy(4));
+  ASSERT_TRUE(retrying.Put("k", "v").ok());
+  EXPECT_EQ(flaky.calls, 3);
+  // The value survived the two copy-attempts before the final move.
+  EXPECT_EQ(retrying.Get("k").value(), "v");
+  RetryStatsSnapshot stats = retrying.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.successes_after_retry, 1u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryingTest, PermanentErrorsPassThroughOnFirstAttempt) {
+  FlakyStore flaky;
+  flaky.fail_status = Status::NotFound("no such object");
+  flaky.failures_remaining = 5;
+  RetryingObjectStore retrying(&flaky, TestPolicy(4));
+  EXPECT_TRUE(retrying.Get("k").status().IsNotFound());
+  EXPECT_EQ(flaky.calls, 1);
+  EXPECT_EQ(retrying.stats().permanent_errors, 1u);
+  EXPECT_EQ(retrying.stats().retries, 0u);
+}
+
+TEST(RetryingTest, ExhaustsAttemptsAndReturnsLastError) {
+  FlakyStore flaky;
+  flaky.failures_remaining = 100;
+  RetryingObjectStore retrying(&flaky, TestPolicy(3));
+  auto got = retrying.Get("k");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsUnavailable());
+  EXPECT_EQ(flaky.calls, 3);
+  RetryStatsSnapshot stats = retrying.stats();
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST(RetryingTest, SpentBudgetSuppressesFurtherRetries) {
+  FlakyStore flaky;
+  flaky.failures_remaining = 100;
+  RetryPolicy policy = TestPolicy(10);
+  policy.retry_budget = 2;
+  RetryingObjectStore retrying(&flaky, policy);
+
+  // First op burns the whole budget (2 retries), then fails on the
+  // budget check; subsequent ops fail on their very first attempt.
+  EXPECT_FALSE(retrying.Get("k").ok());
+  int calls_after_first = flaky.calls;
+  EXPECT_EQ(calls_after_first, 3);
+  EXPECT_FALSE(retrying.Get("k").ok());
+  EXPECT_EQ(flaky.calls, calls_after_first + 1);
+  EXPECT_GE(retrying.stats().budget_exhausted, 2u);
+}
+
+TEST(RetryingTest, StackedOverFaultInjectionAbsorbsLightTransients) {
+  // The canonical deployment stack: Retrying(FaultInjecting(mem)). With
+  // generous attempts, light transients must be fully invisible.
+  MemoryObjectStore mem;
+  FaultInjectingObjectStore faulty(&mem,
+                                   FaultProfile::TransientLight(/*seed=*/3));
+  RetryingObjectStore retrying(&faulty, TestPolicy(8));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(retrying.Put("k" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(retrying.Get("k" + std::to_string(i)).ok());
+  }
+  // And the injector really did fire underneath.
+  EXPECT_GT(faulty.injected_error_count(), 0u);
+  EXPECT_EQ(retrying.stats().exhausted, 0u);
 }
 
 }  // namespace

@@ -147,5 +147,37 @@ TEST(StatusOrTest, MoveOutLeavesNoCopy) {
   EXPECT_EQ(v.size(), 3u);
 }
 
+// --------------------------------------------------------------------------
+// Transient codes and retryability
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, TransientFactoriesCarryCodeAndMessage) {
+  Status unavailable = Status::Unavailable("oss flaking");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(unavailable.IsUnavailable());
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: oss flaking");
+
+  Status deadline = Status::DeadlineExceeded("took too long");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: took too long");
+}
+
+TEST(StatusTest, RetryableIsExactlyTheTransientTriple) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kResourceExhausted));
+
+  // Everything else is permanent: retrying a NotFound or a Corruption
+  // only hides bugs.
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("x").IsRetryable());
+  EXPECT_FALSE(Status::IoError("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::Unimplemented("x").IsRetryable());
+}
+
 }  // namespace
 }  // namespace slim

@@ -23,6 +23,12 @@ Checks (each maps to a stable rule id, printed with every finding):
                         src/ outside common/mutex.h: the capability-
                         annotated slim::Mutex wrappers are mandatory so
                         clang -Wthread-safety can see every lock.
+  oss-put-copy          ObjectStore::Put takes its value by value; passing
+                        a named lvalue as the final argument silently
+                        deep-copies the whole object payload. Wrap it in
+                        std::move (or tag `// lint:allow-put-copy` when the
+                        copy is intentional, e.g. a retry loop that must
+                        keep the value for the next attempt).
 
 Usage:
   tools/lint.py              lint the repo (exit 1 on findings)
@@ -46,6 +52,7 @@ HEADER_EXTS = (".h", ".hpp")
 SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
 
 ALLOW_NEW_TAG = "lint:allow-new"
+ALLOW_PUT_COPY_TAG = "lint:allow-put-copy"
 
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -57,6 +64,9 @@ STD_SYNC_RE = re.compile(
     r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b"
 )
 COMMENT_RE = re.compile(r"//.*$")
+PUT_CALL_RE = re.compile(r"(?:->|\.)\s*Put\s*\(")
+BARE_IDENT_RE = re.compile(r"^[A-Za-z_]\w*$")
+STRING_DECL_RE = re.compile(r"std::string\s+(?:&&?\s*)?([A-Za-z_]\w*)\s*[;=,(){]")
 
 
 class Finding:
@@ -140,6 +150,55 @@ def check_std_mutex(rel_path, lines, findings):
                         "use slim::Mutex/MutexLock/CondVar (common/mutex.h)"))
 
 
+def split_call_args(text, open_paren):
+    """Splits the balanced argument list starting at text[open_paren]
+    ('(') into top-level arguments. Returns (args, end_index) or
+    (None, open_paren) when the parens never balance (macro soup)."""
+    depth = 0
+    args = []
+    start = open_paren + 1
+    for i in range(open_paren, len(text)):
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(text[start:i])
+                return args, i
+        elif c == "," and depth == 1:
+            args.append(text[start:i])
+            start = i + 1
+    return None, open_paren
+
+
+def check_oss_put_copy(rel_path, text, lines, findings):
+    # Only identifiers declared as std::string in this file are
+    # interesting: a bare ContainerId or int passed by value is free, a
+    # bare string is a silent deep copy of an object payload.
+    string_idents = set(STRING_DECL_RE.findall(text))
+    for match in PUT_CALL_RE.finditer(text):
+        open_paren = match.end() - 1
+        args, _ = split_call_args(text, open_paren)
+        if not args or len(args) < 2:
+            continue
+        value_arg = args[-1].strip()
+        if not BARE_IDENT_RE.match(value_arg):
+            continue
+        if value_arg not in string_idents:
+            continue
+        line = text[: match.start()].count("\n") + 1
+        context = lines[line - 1]
+        prev = lines[line - 2] if line >= 2 else ""
+        if ALLOW_PUT_COPY_TAG in context or ALLOW_PUT_COPY_TAG in prev:
+            continue
+        findings.append(
+            Finding("oss-put-copy", rel_path, line,
+                    f"Put(..., {value_arg}) copies the payload; pass "
+                    f"std::move({value_arg}) (or tag "
+                    f"`// {ALLOW_PUT_COPY_TAG}` with a reason)"))
+
+
 def collect_metric_sites(rel_path, lines, sites):
     for i, line in enumerate(lines, 1):
         for name in METRIC_RE.findall(strip_line_comment(line)):
@@ -177,6 +236,8 @@ def lint_file(root, rel_path, metric_sites, findings):
         check_raw_new(rel_path, lines, findings)
         check_std_mutex(rel_path, lines, findings)
         collect_metric_sites(rel_path, lines, metric_sites)
+    if top in ("src", "tools"):
+        check_oss_put_copy(rel_path, text, lines, findings)
 
 
 def check_metric_uniqueness(metric_sites, findings):

@@ -1,0 +1,14 @@
+// Fixture: a named std::string passed to Put without std::move must
+// trip [oss-put-copy] — the payload is silently deep-copied.
+#include <string>
+
+struct Store {
+  int Put(const std::string& key, std::string value);
+};
+
+std::string MakeKey(int a, int b);
+
+int WriteBlob(Store* store) {
+  std::string payload = "big container payload";
+  return store->Put(MakeKey(1, 2), payload);
+}

@@ -1,0 +1,19 @@
+// Fixture: moved strings, literals, cheap ids and tagged intentional
+// copies must all pass [oss-put-copy] clean.
+#include <string>
+#include <utility>
+
+struct Store {
+  int Put(const std::string& key, std::string value);
+};
+
+int WriteBlob(Store* store, unsigned long long container_id) {
+  std::string payload = "big container payload";
+  int rc = store->Put("moved", std::move(payload));
+  rc += store->Put("literal", "inline value");
+  rc += store->Put("cheap", static_cast<char>(container_id));
+  std::string kept = "retry loop keeps the value";
+  rc += store->Put("kept", kept);  // lint:allow-put-copy retried below
+  rc += store->Put("kept-again", std::move(kept));
+  return rc;
+}

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "oss/disk_object_store.h"
+#include "oss/fault_injecting_object_store.h"
+#include "oss/retrying_object_store.h"
 #include "oss/simulated_oss.h"
 
 namespace {
@@ -32,7 +35,7 @@ using namespace slim;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: slim -r REPO COMMAND ...\n"
+      "usage: slim -r REPO [--fault-profile SPEC] COMMAND ...\n"
       "  init                      create a repository\n"
       "  backup FILE...            back up files (next version each)\n"
       "  restore FILE VER OUT      restore FILE version VER into OUT\n"
@@ -42,7 +45,13 @@ int Usage() {
       "  space                     print the space report\n"
       "  verify                    check repository consistency\n"
       "  stats [--json|--prom]     print OSS/pipeline metrics and recent "
-      "trace spans\n");
+      "trace spans\n"
+      "\n"
+      "  --fault-profile SPEC      inject OSS faults under a retry layer\n"
+      "    SPEC is comma-separated preset names (transient-light,\n"
+      "    transient-heavy, crash, permanent) and/or key=value overrides\n"
+      "    (seed, transient, deadline_frac, spike_p, spike_ns, fail_after,\n"
+      "    permanent_prefix). Example: transient-heavy,seed=7\n");
   return 2;
 }
 
@@ -58,11 +67,13 @@ Status WriteFile(const std::string& path, const std::string& data) {
 // process exits; reload it (if present) on startup.
 class Repo {
  public:
-  static Result<std::unique_ptr<Repo>> Open(const std::string& root,
-                                            bool must_exist) {
+  static Result<std::unique_ptr<Repo>> Open(
+      const std::string& root, bool must_exist,
+      const std::optional<oss::FaultProfile>& fault_profile) {
     auto disk = oss::DiskObjectStore::Open(root);
     if (!disk.ok()) return disk.status();
-    auto repo = std::unique_ptr<Repo>(new Repo(std::move(disk).value()));
+    auto repo = std::unique_ptr<Repo>(
+        new Repo(std::move(disk).value(), fault_profile));
     auto marker = repo->disk_->Exists("slim/state/catalog");
     if (marker.ok() && marker.value()) {
       Status s = repo->store_->OpenExisting();
@@ -77,8 +88,23 @@ class Repo {
   core::SlimStore* store() { return store_.get(); }
   Status Save() { return store_->SaveState(); }
 
+  ~Repo() {
+    if (faulty_ == nullptr) return;
+    // Injection summary on every exit path, so fault runs are
+    // self-describing.
+    oss::RetryStatsSnapshot retry = retrying_->stats();
+    std::fprintf(stderr,
+                 "fault injection: %llu faults injected, %llu retries "
+                 "(%llu recovered, %llu exhausted)\n",
+                 (unsigned long long)faulty_->injected_error_count(),
+                 (unsigned long long)retry.retries,
+                 (unsigned long long)retry.successes_after_retry,
+                 (unsigned long long)retry.exhausted);
+  }
+
  private:
-  explicit Repo(std::unique_ptr<oss::DiskObjectStore> disk)
+  Repo(std::unique_ptr<oss::DiskObjectStore> disk,
+       const std::optional<oss::FaultProfile>& fault_profile)
       : disk_(std::move(disk)) {
     // Zero-cost SimulatedOss layer: no latency model, no sleeping —
     // just the per-operation metrics, so `slim stats` can report OSS
@@ -89,13 +115,25 @@ class Repo {
     model.write_nanos_per_byte = 0;
     model.sleep_for_cost = false;
     metered_ = std::make_unique<oss::SimulatedOss>(disk_.get(), model);
+    oss::ObjectStore* top = metered_.get();
+    if (fault_profile.has_value()) {
+      // Retries OUTSIDE injection, so each attempt re-rolls the fault —
+      // the same stack the fault sweep exercises.
+      faulty_ = std::make_unique<oss::FaultInjectingObjectStore>(
+          top, *fault_profile);
+      retrying_ = std::make_unique<oss::RetryingObjectStore>(
+          faulty_.get(), oss::RetryPolicy{});
+      top = retrying_.get();
+    }
     core::SlimStoreOptions options;
     options.backup.chunk_merging = true;
-    store_ = std::make_unique<core::SlimStore>(metered_.get(), options);
+    store_ = std::make_unique<core::SlimStore>(top, options);
   }
 
   std::unique_ptr<oss::DiskObjectStore> disk_;
   std::unique_ptr<oss::SimulatedOss> metered_;
+  std::unique_ptr<oss::FaultInjectingObjectStore> faulty_;
+  std::unique_ptr<oss::RetryingObjectStore> retrying_;
   std::unique_ptr<core::SlimStore> store_;
 };
 
@@ -108,16 +146,26 @@ int Fail(const Status& status) {
 
 int main(int argc, char** argv) {
   std::string repo_root;
+  std::optional<oss::FaultProfile> fault_profile;
   int argi = 1;
-  if (argi + 1 < argc && std::strcmp(argv[argi], "-r") == 0) {
-    repo_root = argv[argi + 1];
-    argi += 2;
+  while (argi + 1 < argc) {
+    if (std::strcmp(argv[argi], "-r") == 0) {
+      repo_root = argv[argi + 1];
+      argi += 2;
+    } else if (std::strcmp(argv[argi], "--fault-profile") == 0) {
+      auto parsed = oss::ParseFaultProfile(argv[argi + 1]);
+      if (!parsed.ok()) return Fail(parsed.status());
+      fault_profile = parsed.value();
+      argi += 2;
+    } else {
+      break;
+    }
   }
   if (repo_root.empty() || argi >= argc) return Usage();
   std::string command = argv[argi++];
 
   bool must_exist = command != "init";
-  auto repo = Repo::Open(repo_root, must_exist);
+  auto repo = Repo::Open(repo_root, must_exist, fault_profile);
   if (!repo.ok()) return Fail(repo.status());
   core::SlimStore* store = repo.value()->store();
 
