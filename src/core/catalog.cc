@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/macros.h"
+#include "durability/checksum.h"
 
 namespace slim::core {
 
@@ -144,11 +145,13 @@ Status Catalog::Save(oss::ObjectStore* store, const std::string& key) const {
       EncodeIds(&out, info.sparse_containers);
     }
   }
-  return store->Put(key, std::move(out));
+  return durability::PutWithFooter(*store, key, std::move(out),
+                                   durability::Component::kState);
 }
 
 Status Catalog::Load(oss::ObjectStore* store, const std::string& key) {
-  auto object = store->Get(key);
+  auto object =
+      durability::GetVerified(*store, key, durability::Component::kState);
   if (!object.ok()) return object.status();
   Decoder dec(object.value());
   uint64_t count = 0;

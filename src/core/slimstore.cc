@@ -194,6 +194,30 @@ Result<VerifyReport> SlimStore::VerifyRepository() {
   return verifier.Verify();
 }
 
+Result<durability::ScrubReport> SlimStore::Scrub(bool repair) {
+  MutexLock lock(gnode_mu_);
+  // The scrubber must see everything the catalog references, including
+  // the global index's persisted runs — flush the memtable so a crash
+  // after backup cannot hide redirects from loss analysis.
+  SLIM_RETURN_IF_ERROR(global_index_.Flush());
+  std::vector<durability::ScrubLiveVersion> live;
+  for (const auto& fv : catalog_.LiveVersions()) {
+    durability::ScrubLiveVersion v;
+    v.file_id = fv.file_id;
+    v.version = fv.version;
+    if (auto info = catalog_.Get(fv.file_id, fv.version); info.has_value()) {
+      v.referenced_containers.assign(info->referenced_containers.begin(),
+                                     info->referenced_containers.end());
+    }
+    live.push_back(std::move(v));
+  }
+  durability::Scrubber scrubber(store_, &containers_, &recipes_,
+                                &global_index_,
+                                options_.durability.replicated,
+                                options_.root, options_.durability.scrub);
+  return scrubber.RunCycle(live, repair);
+}
+
 Status SlimStore::SaveState() {
   MutexLock lock(gnode_mu_);
   SLIM_RETURN_IF_ERROR(

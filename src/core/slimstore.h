@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "core/catalog.h"
 #include "core/verifier.h"
+#include "durability/replicating_object_store.h"
+#include "durability/scrubber.h"
 #include "format/container.h"
 #include "format/recipe.h"
 #include "gnode/reverse_dedup.h"
@@ -22,6 +24,16 @@
 #include "oss/object_store.h"
 
 namespace slim::core {
+
+/// Durability subsystem wiring (checksum scrubbing is always on; these
+/// options add redundancy-aware repair).
+struct DurabilityOptions {
+  durability::ScrubOptions scrub;
+  /// When the ObjectStore handed to SlimStore is (or wraps) a
+  /// ReplicatingObjectStore, point at it here so the scrubber can audit
+  /// and repair individual replicas. Non-owning; may be null.
+  durability::ReplicatingObjectStore* replicated = nullptr;
+};
 
 /// Top-level configuration.
 struct SlimStoreOptions {
@@ -39,6 +51,7 @@ struct SlimStoreOptions {
   bool enable_reverse_dedup = true;
   /// Key prefix under which all system objects live on OSS.
   std::string root = "slim";
+  DurabilityOptions durability;
 };
 
 /// Aggregate result of one G-node cycle.
@@ -122,6 +135,13 @@ class SlimStore {
   /// Offline fsck: proves every live version restorable (container
   /// checksums, chunk resolution incl. redirects, catalog agreement).
   Result<VerifyReport> VerifyRepository();
+
+  /// Runs one cycle of the background scrub-and-repair service over
+  /// every durable object class (see durability::Scrubber). `repair`
+  /// false = detect only. An I/O-budgeted cycle persists a cursor and
+  /// resumes on the next call (report.cycle_complete tells which).
+  /// Offline like the other G-node services: serialized with them.
+  Result<durability::ScrubReport> Scrub(bool repair);
 
   /// Checkpoints all in-memory system state (similar file index,
   /// catalog, global-index memtable) to OSS. Call before shutdown.

@@ -12,24 +12,25 @@ using format::ContainerId;
 Result<VerifyReport> RepositoryVerifier::Verify() {
   VerifyReport report;
 
-  // --- 1. Container integrity (decode + checksum happen in
-  // ReadContainer) and a directory map for the recipe pass.
+  // --- 1. Container integrity via the checksum-footer fast path shared
+  // with the durability scrubber: one GET per container, CRC32C over the
+  // whole object proves it byte-intact, and the directory is decoded in
+  // place without copying the payload out.
   std::unordered_map<ContainerId,
                      std::unordered_map<Fingerprint, uint32_t>>
       directories;
   auto ids = containers_->ListContainerIds();
   if (!ids.ok()) return ids.status();
   for (ContainerId id : ids.value()) {
-    auto loaded = containers_->ReadContainer(id);
-    if (!loaded.ok()) {
+    auto meta = containers_->ReadVerifiedDirectory(id);
+    if (!meta.ok()) {
       report.problems.push_back("container " + std::to_string(id) + ": " +
-                                loaded.status().ToString());
+                                meta.status().ToString());
       continue;
     }
     ++report.containers_checked;
     auto& directory = directories[id];
-    for (const format::ChunkLocation& loc :
-         loaded.value().directory.chunks) {
+    for (const format::ChunkLocation& loc : meta.value().chunks) {
       directory[loc.fp] = loc.size;
     }
   }

@@ -1,0 +1,65 @@
+#include "durability/checksumming_object_store.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace slim::durability {
+
+Status ChecksummingObjectStore::Put(const std::string& key,
+                                    std::string value) {
+  AppendFooter(&value);
+  return inner_->Put(key, std::move(value));
+}
+
+Result<std::string> ChecksummingObjectStore::Get(const std::string& key) {
+  auto object = inner_->Get(key);
+  if (!object.ok()) return object.status();
+  SLIM_RETURN_IF_ERROR(VerifyAndStripFooter(&object.value(), component_));
+  return std::move(object).value();
+}
+
+Result<std::string> ChecksummingObjectStore::GetRange(const std::string& key,
+                                                      uint64_t offset,
+                                                      uint64_t len) {
+  // Range semantics are defined over the logical payload: clamp the
+  // request so the footer can never leak into returned bytes. The
+  // bytes themselves cannot be verified in isolation (that is what
+  // whole-object scrub is for).
+  auto physical = inner_->Size(key);
+  if (!physical.ok()) return physical.status();
+  if (physical.value() < kFooterSize) {
+    return Status::Corruption("object too small for checksum footer: " + key);
+  }
+  const uint64_t logical = physical.value() - kFooterSize;
+  if (offset > logical) {
+    return Status::InvalidArgument("range offset beyond object end");
+  }
+  const uint64_t capped = std::min(len, logical - offset);
+  if (capped == 0) return std::string();
+  return inner_->GetRange(key, offset, capped);
+}
+
+Status ChecksummingObjectStore::Delete(const std::string& key) {
+  return inner_->Delete(key);
+}
+
+Result<bool> ChecksummingObjectStore::Exists(const std::string& key) {
+  return inner_->Exists(key);
+}
+
+Result<uint64_t> ChecksummingObjectStore::Size(const std::string& key) {
+  auto physical = inner_->Size(key);
+  if (!physical.ok()) return physical.status();
+  if (physical.value() < kFooterSize) {
+    return Status::Corruption("object too small for checksum footer: " + key);
+  }
+  return physical.value() - kFooterSize;
+}
+
+Result<std::vector<std::string>> ChecksummingObjectStore::List(
+    const std::string& prefix) {
+  return inner_->List(prefix);
+}
+
+}  // namespace slim::durability

@@ -1,0 +1,50 @@
+#ifndef SLIMSTORE_DURABILITY_CHECKSUMMING_OBJECT_STORE_H_
+#define SLIMSTORE_DURABILITY_CHECKSUMMING_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/checksum.h"
+#include "oss/object_store.h"
+
+namespace slim::durability {
+
+/// Transparent checksum-footer decorator: every Put appends the CRC32C
+/// footer, every Get verifies and strips it (Corruption on mismatch —
+/// corrupt bytes are never returned). Size and GetRange expose the
+/// LOGICAL object (footer excluded) so callers cannot observe the
+/// footer at all and the full ObjectStore contract (suffix reads,
+/// InvalidArgument past the end, exact Size) holds for the logical
+/// payload.
+///
+/// SlimStore's own formats checksum at the consumer layer instead
+/// (container/recipe/index writers call PutWithFooter directly, which
+/// keeps toc range reads one hop); this decorator is for wrapping
+/// arbitrary stores — e.g. giving a ReplicatingObjectStore's validator
+/// footers to arbitrate with, or protecting foreign payloads.
+class ChecksummingObjectStore : public oss::ObjectStore {
+ public:
+  /// `inner` must outlive this object.
+  explicit ChecksummingObjectStore(oss::ObjectStore* inner,
+                                   Component component = Component::kOther)
+      : inner_(inner), component_(component) {}
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+ private:
+  oss::ObjectStore* inner_;
+  Component component_;
+};
+
+}  // namespace slim::durability
+
+#endif  // SLIMSTORE_DURABILITY_CHECKSUMMING_OBJECT_STORE_H_

@@ -1,0 +1,84 @@
+#ifndef SLIMSTORE_DURABILITY_PARITY_H_
+#define SLIMSTORE_DURABILITY_PARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "oss/object_store.h"
+
+namespace slim::durability {
+
+/// One member of a parity group, as recorded in the group's manifest.
+struct ParityMember {
+  std::string key;
+  uint64_t length = 0;
+  uint32_t crc = 0;  // CRC32C of the member's raw object bytes.
+};
+
+/// A decoded parity group object.
+struct ParityGroup {
+  uint64_t group = 0;
+  std::vector<ParityMember> members;
+  /// XOR of all member objects, each zero-padded to the longest.
+  std::string parity;
+};
+
+/// XOR parity over container data objects: a redundancy option that
+/// costs 1/group_size extra space instead of a full replica, at the
+/// price of tolerating one loss per group. Groups are formed by
+/// container id (id / group_size), so consecutively written containers
+/// share a group and SCC churn stays localized.
+///
+/// Parity is maintained lazily by the scrubber (containers are
+/// immutable between G-node cycles, which rewrite them wholesale):
+/// each scrub cycle refreshes stale groups and uses fresh ones to
+/// reconstruct lost members. The manifest pins each member's exact
+/// length and CRC32C, so reconstruction is verified end-to-end — a
+/// stale group can never fabricate plausible-but-wrong bytes.
+class ParityManager {
+ public:
+  /// `store` must outlive this object. Parity objects live at
+  /// "<prefix>/parity-<group>". `group_size` is the max members per
+  /// group (>= 2).
+  ParityManager(oss::ObjectStore* store, std::string prefix,
+                uint32_t group_size);
+
+  uint32_t group_size() const { return group_size_; }
+  uint64_t GroupOfContainer(uint64_t container_id) const {
+    return container_id / group_size_;
+  }
+  std::string KeyFor(uint64_t group) const;
+
+  /// (Re)builds the parity object for `group` over `member_keys`
+  /// (sorted, each currently readable and footer-valid at the top
+  /// store). Fails without writing if any member read fails.
+  Status BuildGroup(uint64_t group, const std::vector<std::string>& member_keys);
+
+  Result<ParityGroup> ReadGroup(uint64_t group) const;
+
+  /// Reconstructs the raw object bytes of `lost_key` from the group's
+  /// parity and the surviving members, verifying the result against the
+  /// manifest CRC. FailedPrecondition when the group is stale (a
+  /// surviving member no longer matches its manifest entry) — stale
+  /// parity must never fabricate data.
+  Result<std::string> Reconstruct(uint64_t group, const std::string& lost_key);
+
+  /// True when the stored group exists and exactly matches the given
+  /// member set (keys, lengths, CRCs) — i.e. reconstruction would
+  /// succeed for any single loss.
+  Result<bool> IsFresh(uint64_t group,
+                       const std::vector<std::string>& member_keys) const;
+
+  Status DeleteGroup(uint64_t group);
+
+ private:
+  oss::ObjectStore* store_;
+  std::string prefix_;
+  uint32_t group_size_;
+};
+
+}  // namespace slim::durability
+
+#endif  // SLIMSTORE_DURABILITY_PARITY_H_

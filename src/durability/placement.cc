@@ -1,0 +1,117 @@
+#include "durability/placement.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace slim::durability {
+
+const char* KeyClassName(KeyClass cls) {
+  switch (cls) {
+    case KeyClass::kContainerData:
+      return "container_data";
+    case KeyClass::kContainerMeta:
+      return "container_meta";
+    case KeyClass::kRecipe:
+      return "recipe";
+    case KeyClass::kRecipeToc:
+      return "toc";
+    case KeyClass::kRecipeIndex:
+      return "recipe_index";
+    case KeyClass::kIndexRun:
+      return "index_run";
+    case KeyClass::kState:
+      return "state";
+    case KeyClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+KeyClass ClassifyKey(std::string_view key) {
+  // Find the position right after component `name` ("name/..." or
+  // ".../name/..."), or npos. Only the FIRST matching component counts,
+  // so escaped file ids deeper in the key cannot confuse the classifier.
+  auto after_component = [&](std::string_view name) -> size_t {
+    size_t pos = 0;
+    while ((pos = key.find(name, pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || key[pos - 1] == '/';
+      const size_t end = pos + name.size();
+      const bool right_ok = end == key.size() || key[end] == '/';
+      if (left_ok && right_ok) return end < key.size() ? end + 1 : end;
+      pos += 1;
+    }
+    return std::string_view::npos;
+  };
+  auto last_name = [&]() -> std::string_view {
+    const size_t slash = key.rfind('/');
+    return slash == std::string_view::npos ? key : key.substr(slash + 1);
+  };
+  // "recipes" is tested before "containers" so an escaped file id that
+  // happens to contain "containers" stays in a recipe class.
+  if (size_t rest = after_component("recipes");
+      rest != std::string_view::npos) {
+    const std::string_view tail = key.substr(std::min(rest, key.size()));
+    if (tail.substr(0, 4) == "toc/") return KeyClass::kRecipeToc;
+    if (tail.substr(0, 6) == "index/") return KeyClass::kRecipeIndex;
+    return KeyClass::kRecipe;
+  }
+  if (after_component("containers") != std::string_view::npos) {
+    return last_name().substr(0, 5) == "meta-" ? KeyClass::kContainerMeta
+                                               : KeyClass::kContainerData;
+  }
+  if (after_component("gindex") != std::string_view::npos) {
+    return KeyClass::kIndexRun;
+  }
+  if (after_component("state") != std::string_view::npos ||
+      after_component("durability") != std::string_view::npos) {
+    return KeyClass::kState;
+  }
+  return KeyClass::kOther;
+}
+
+namespace {
+constexpr size_t kClassCount = static_cast<size_t>(KeyClass::kOther) + 1;
+}  // namespace
+
+PlacementPolicy::PlacementPolicy() : replicas_(kClassCount, 2) {
+  // Small but load-bearing classes: replicate everywhere by default
+  // (UINT32_MAX is clamped to the store count at placement time).
+  set_replicas(KeyClass::kRecipe, UINT32_MAX);
+  set_replicas(KeyClass::kRecipeToc, UINT32_MAX);
+  set_replicas(KeyClass::kRecipeIndex, UINT32_MAX);
+  set_replicas(KeyClass::kContainerMeta, UINT32_MAX);
+  set_replicas(KeyClass::kState, UINT32_MAX);
+}
+
+PlacementPolicy PlacementPolicy::Uniform(uint32_t k) {
+  PlacementPolicy policy;
+  for (size_t i = 0; i < kClassCount; ++i) {
+    policy.set_replicas(static_cast<KeyClass>(i), k);
+  }
+  return policy;
+}
+
+void PlacementPolicy::set_replicas(KeyClass cls, uint32_t k) {
+  replicas_[static_cast<size_t>(cls)] = std::max<uint32_t>(k, 1);
+}
+
+uint32_t PlacementPolicy::replicas(KeyClass cls) const {
+  return replicas_[static_cast<size_t>(cls)];
+}
+
+std::vector<uint32_t> PlacementPolicy::PlacementFor(
+    std::string_view key, uint32_t store_count) const {
+  const uint32_t k =
+      std::min(replicas(ClassifyKey(key)), std::max<uint32_t>(store_count, 1));
+  const uint32_t start = static_cast<uint32_t>(
+      Mix64(Fnv1a64(key)) % std::max<uint32_t>(store_count, 1));
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    out.push_back((start + i) % store_count);
+  }
+  return out;
+}
+
+}  // namespace slim::durability

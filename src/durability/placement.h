@@ -1,0 +1,59 @@
+#ifndef SLIMSTORE_DURABILITY_PLACEMENT_H_
+#define SLIMSTORE_DURABILITY_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slim::durability {
+
+/// Key classes a placement decision can distinguish. Derived purely from
+/// the object key's path shape under the repository root, so every layer
+/// (replication, parity, scrub) classifies identically.
+enum class KeyClass : uint8_t {
+  kContainerData = 0,  // .../containers/data-*
+  kContainerMeta,      // .../containers/meta-*
+  kRecipe,             // .../recipes/recipe/...
+  kRecipeToc,          // .../recipes/toc/...
+  kRecipeIndex,        // .../recipes/index/...
+  kIndexRun,           // .../gindex/...
+  kState,              // .../state/... and .../durability/...
+  kOther,
+};
+const char* KeyClassName(KeyClass cls);
+
+/// Classifies an object key by its path components (root-prefix
+/// agnostic: matches the first recognized component anywhere in the
+/// key).
+KeyClass ClassifyKey(std::string_view key);
+
+/// Per-class replica placement policy. N backing stores exist; each key
+/// class is stored on `replicas(cls)` of them, chosen deterministically
+/// by key hash so placement needs no directory. Small metadata classes
+/// default to max redundancy (they are tiny but each protects many
+/// megabytes of chunk data); bulk container data defaults to 2 copies.
+class PlacementPolicy {
+ public:
+  PlacementPolicy();
+
+  /// Uniform policy: every class gets `k` copies.
+  static PlacementPolicy Uniform(uint32_t k);
+
+  void set_replicas(KeyClass cls, uint32_t k);
+  uint32_t replicas(KeyClass cls) const;
+
+  /// The ordered replica indices (each < store_count) holding `key`.
+  /// First index is the preferred read replica. Deterministic in (key,
+  /// store_count).
+  std::vector<uint32_t> PlacementFor(std::string_view key,
+                                     uint32_t store_count) const;
+
+ private:
+  // Indexed by KeyClass.
+  std::vector<uint32_t> replicas_;
+};
+
+}  // namespace slim::durability
+
+#endif  // SLIMSTORE_DURABILITY_PLACEMENT_H_

@@ -1,0 +1,260 @@
+#include "durability/replicating_object_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace slim::durability {
+
+namespace {
+
+struct ReplicaMetrics {
+  obs::Counter* failovers;
+  obs::Counter* read_repairs;
+  obs::Counter* validator_rejects;
+  obs::Counter* divergence;
+  obs::Counter* scrub_repairs;
+};
+
+ReplicaMetrics& Metrics() {
+  static ReplicaMetrics m = [] {
+    auto& registry = obs::MetricsRegistry::Get();
+    const std::string base = "durability.replica";
+    return ReplicaMetrics{
+        &registry.counter(base + ".failovers"),
+        &registry.counter(base + ".read_repairs"),
+        &registry.counter(base + ".validator_rejects"),
+        &registry.counter(base + ".divergence"),
+        &registry.counter(base + ".scrub_repairs"),
+    };
+  }();
+  return m;
+}
+
+/// Severity order for picking the status to surface when every replica
+/// fails: corruption beats IO errors beats NotFound (an object that is
+/// corrupt *somewhere* must never be reported as cleanly absent).
+int Severity(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kCorruption:
+      return 3;
+    case StatusCode::kNotFound:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kOk:
+      return "ok";
+    case ReplicaState::kMissing:
+      return "missing";
+    case ReplicaState::kCorrupt:
+      return "corrupt";
+    case ReplicaState::kDiverged:
+      return "diverged";
+    case ReplicaState::kError:
+      return "error";
+  }
+  return "error";
+}
+
+ReplicatingObjectStore::ReplicatingObjectStore(
+    std::vector<oss::ObjectStore*> replicas, PlacementPolicy policy,
+    Validator validator)
+    : replicas_(std::move(replicas)),
+      policy_(std::move(policy)),
+      validator_(std::move(validator)) {
+  SLIM_CHECK(!replicas_.empty());
+}
+
+std::vector<uint32_t> ReplicatingObjectStore::PlacementFor(
+    const std::string& key) const {
+  return policy_.PlacementFor(key, static_cast<uint32_t>(replicas_.size()));
+}
+
+Status ReplicatingObjectStore::Put(const std::string& key, std::string value) {
+  const std::vector<uint32_t> placed = PlacementFor(key);
+  for (size_t i = 0; i < placed.size(); ++i) {
+    Status st =
+        (i + 1 == placed.size())
+            ? replicas_[placed[i]]->Put(key, std::move(value))
+            // Earlier replicas must keep the value for the next copy.
+            : replicas_[placed[i]]->Put(key, value);  // lint:allow-put-copy
+    SLIM_RETURN_IF_ERROR(st);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReplicatingObjectStore::Get(const std::string& key) {
+  const std::vector<uint32_t> placed = PlacementFor(key);
+  std::vector<uint32_t> failed;
+  Status worst = Status::NotFound("no replica of " + key);
+  for (uint32_t idx : placed) {
+    auto object = replicas_[idx]->Get(key);
+    if (object.ok()) {
+      if (validator_ && !validator_(object.value())) {
+        Metrics().validator_rejects->Inc();
+        Status rejected =
+            Status::Corruption("replica failed validation: " + key);
+        if (Severity(rejected) > Severity(worst)) worst = rejected;
+        failed.push_back(idx);
+        continue;
+      }
+      if (!failed.empty()) {
+        // Read repair: rewrite the replicas we had to skip.
+        for (uint32_t bad : failed) {
+          replicas_[bad]->Put(key, object.value()).IgnoreError();
+          Metrics().read_repairs->Inc();
+        }
+      }
+      return object;
+    }
+    Metrics().failovers->Inc();
+    if (Severity(object.status()) > Severity(worst)) worst = object.status();
+    failed.push_back(idx);
+  }
+  return worst;
+}
+
+Result<std::string> ReplicatingObjectStore::GetRange(const std::string& key,
+                                                     uint64_t offset,
+                                                     uint64_t len) {
+  // No validator / read repair here: a range cannot be checksummed in
+  // isolation. Failover only; scrub re-establishes replica agreement.
+  const std::vector<uint32_t> placed = PlacementFor(key);
+  Status worst = Status::NotFound("no replica of " + key);
+  for (uint32_t idx : placed) {
+    auto bytes = replicas_[idx]->GetRange(key, offset, len);
+    if (bytes.ok()) return bytes;
+    Metrics().failovers->Inc();
+    if (Severity(bytes.status()) > Severity(worst)) worst = bytes.status();
+  }
+  return worst;
+}
+
+Status ReplicatingObjectStore::Delete(const std::string& key) {
+  // Delete from every replica (not just placed ones) so a policy change
+  // between writes cannot strand copies.
+  for (oss::ObjectStore* replica : replicas_) {
+    SLIM_RETURN_IF_ERROR(replica->Delete(key));
+  }
+  return Status::Ok();
+}
+
+Result<bool> ReplicatingObjectStore::Exists(const std::string& key) {
+  Status worst = Status::Ok();
+  for (uint32_t idx : PlacementFor(key)) {
+    auto exists = replicas_[idx]->Exists(key);
+    if (exists.ok()) {
+      if (exists.value()) return true;
+    } else {
+      worst = exists.status();
+    }
+  }
+  if (!worst.ok()) return worst;
+  return false;
+}
+
+Result<uint64_t> ReplicatingObjectStore::Size(const std::string& key) {
+  Status worst = Status::NotFound("no replica of " + key);
+  for (uint32_t idx : PlacementFor(key)) {
+    auto size = replicas_[idx]->Size(key);
+    if (size.ok()) return size;
+    if (Severity(size.status()) > Severity(worst)) worst = size.status();
+  }
+  return worst;
+}
+
+Result<std::vector<std::string>> ReplicatingObjectStore::List(
+    const std::string& prefix) {
+  // Sorted union across ALL replicas: any replica may hold keys the
+  // others lost.
+  std::vector<std::string> merged;
+  for (oss::ObjectStore* replica : replicas_) {
+    auto keys = replica->List(prefix);
+    if (!keys.ok()) return keys.status();
+    std::vector<std::string> next;
+    next.reserve(merged.size() + keys.value().size());
+    std::set_union(merged.begin(), merged.end(), keys.value().begin(),
+                   keys.value().end(), std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return merged;
+}
+
+Result<KeyScrubReport> ReplicatingObjectStore::ScrubKey(const std::string& key,
+                                                        bool repair) {
+  const std::vector<uint32_t> placed = PlacementFor(key);
+  KeyScrubReport report;
+  report.states.resize(placed.size(), ReplicaState::kError);
+
+  // Probe every placed replica.
+  std::vector<std::string> bytes(placed.size());
+  std::vector<bool> valid(placed.size(), false);
+  for (size_t i = 0; i < placed.size(); ++i) {
+    auto object = replicas_[placed[i]]->Get(key);
+    if (!object.ok()) {
+      report.states[i] = object.status().code() == StatusCode::kNotFound
+                             ? ReplicaState::kMissing
+                             : ReplicaState::kError;
+      continue;
+    }
+    report.bytes_read += object.value().size();
+    if (validator_ && !validator_(object.value())) {
+      report.states[i] = ReplicaState::kCorrupt;
+      continue;
+    }
+    bytes[i] = std::move(object).value();
+    valid[i] = true;
+    report.states[i] = ReplicaState::kOk;
+  }
+
+  // Choose the authoritative copy: majority byte-equality among valid
+  // replicas, ties broken toward the earliest placed one.
+  int chosen = -1;
+  {
+    std::map<std::string_view, std::pair<uint32_t, size_t>> votes;
+    for (size_t i = 0; i < placed.size(); ++i) {
+      if (!valid[i]) continue;
+      auto [it, inserted] =
+          votes.emplace(std::string_view(bytes[i]), std::make_pair(0u, i));
+      it->second.first += 1;
+    }
+    uint32_t best_votes = 0;
+    for (const auto& [view, vote] : votes) {
+      if (vote.first > best_votes ||
+          (vote.first == best_votes &&
+           (chosen < 0 || vote.second < static_cast<size_t>(chosen)))) {
+        best_votes = vote.first;
+        chosen = static_cast<int>(vote.second);
+      }
+    }
+    if (votes.size() > 1) Metrics().divergence->Inc();
+  }
+  report.recoverable = chosen >= 0;
+  if (chosen < 0) return report;  // Nothing valid to repair from.
+
+  // Mark diverged copies; optionally rewrite every non-authoritative
+  // replica from the chosen copy.
+  for (size_t i = 0; i < placed.size(); ++i) {
+    if (valid[i] && bytes[i] != bytes[static_cast<size_t>(chosen)]) {
+      report.states[i] = ReplicaState::kDiverged;
+    }
+    if (report.states[i] == ReplicaState::kOk) continue;
+    if (!repair) continue;
+    SLIM_RETURN_IF_ERROR(replicas_[placed[i]]->Put(
+        key, bytes[static_cast<size_t>(chosen)]));
+    Metrics().scrub_repairs->Inc();
+    report.repaired += 1;
+  }
+  return report;
+}
+
+}  // namespace slim::durability

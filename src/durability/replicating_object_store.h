@@ -1,0 +1,102 @@
+#ifndef SLIMSTORE_DURABILITY_REPLICATING_OBJECT_STORE_H_
+#define SLIMSTORE_DURABILITY_REPLICATING_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/placement.h"
+#include "oss/object_store.h"
+
+namespace slim::durability {
+
+/// State of one replica of one key, as judged by a scrub probe.
+enum class ReplicaState : uint8_t {
+  kOk = 0,     // Present and validator-clean.
+  kMissing,    // NotFound.
+  kCorrupt,    // Present but fails the validator (bad footer).
+  kDiverged,   // Validator-clean but bytes differ from the chosen copy.
+  kError,      // Read failed with a non-NotFound error.
+};
+const char* ReplicaStateName(ReplicaState state);
+
+/// Result of auditing (and optionally repairing) all replicas of a key.
+struct KeyScrubReport {
+  /// Parallel to the placement vector: state of each placed replica.
+  std::vector<ReplicaState> states;
+  /// Replicas rewritten from the chosen good copy.
+  uint32_t repaired = 0;
+  /// Bytes read while probing (scrub I/O accounting).
+  uint64_t bytes_read = 0;
+  bool any_bad() const {
+    for (ReplicaState s : states) {
+      if (s != ReplicaState::kOk) return true;
+    }
+    return false;
+  }
+  /// True when at least one validator-clean copy exists (the key's data
+  /// survives, possibly after repair).
+  bool recoverable = false;
+};
+
+/// k-way replication across N independent backing stores (the paper's
+/// OSS assumed durable; FASTEN-style controlled redundancy restores the
+/// copies dedup removed). Placement is deterministic per key via
+/// PlacementPolicy, so no placement directory exists to lose.
+///
+/// Reads try placed replicas in order and fail over on NotFound /
+/// Corruption / IoError or a validator rejection; a successful read
+/// repairs the replicas that failed before it (read repair). Writes go
+/// to every placed replica and fail if ANY replica write fails (the
+/// retry layer above re-drives the whole Put; replicas may transiently
+/// diverge, which scrub arbitrates later).
+///
+/// Stacks UNDER Retrying/FaultInjecting:
+///   Retrying(FaultInjecting(Replicating({backing stores...})))
+///
+/// The optional validator (typically durability::HasValidFooter) is the
+/// arbitration predicate: without it a bit-flipped replica would be
+/// served verbatim; with it the read fails over and repairs instead.
+class ReplicatingObjectStore : public oss::ObjectStore {
+ public:
+  using Validator = std::function<bool(std::string_view)>;
+
+  /// `replicas` must be non-empty and outlive this object.
+  ReplicatingObjectStore(std::vector<oss::ObjectStore*> replicas,
+                         PlacementPolicy policy, Validator validator = {});
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  size_t replica_count() const { return replicas_.size(); }
+  oss::ObjectStore* replica(size_t i) const { return replicas_[i]; }
+  const PlacementPolicy& policy() const { return policy_; }
+  std::vector<uint32_t> PlacementFor(const std::string& key) const;
+
+  /// Audits every placed replica of `key`; with `repair`, rewrites
+  /// missing/corrupt/diverged replicas from the chosen good copy.
+  /// Divergence between validator-clean copies is resolved by majority
+  /// byte-equality, ties to the earliest placed replica (writes land in
+  /// placement order, so the earliest copy is the most likely complete
+  /// one). Only fails on infrastructure errors, not on bad replicas —
+  /// those are reported in the KeyScrubReport.
+  Result<KeyScrubReport> ScrubKey(const std::string& key, bool repair);
+
+ private:
+  std::vector<oss::ObjectStore*> replicas_;
+  PlacementPolicy policy_;
+  Validator validator_;
+};
+
+}  // namespace slim::durability
+
+#endif  // SLIMSTORE_DURABILITY_REPLICATING_OBJECT_STORE_H_

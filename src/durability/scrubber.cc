@@ -1,0 +1,572 @@
+#include "durability/scrubber.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/coding.h"
+#include "common/macros.h"
+#include "durability/checksum.h"
+#include "durability/placement.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace slim::durability {
+
+namespace {
+
+constexpr uint32_t kCursorMagic = 0x53435355;  // "USCS" LE ("SCUS").
+
+struct ScrubMetrics {
+  obs::Counter* cycles;
+  obs::Counter* objects;
+  obs::Counter* bytes;
+  obs::Counter* problems;
+  obs::Counter* repairs;
+  obs::Counter* unrecoverable;
+};
+
+ScrubMetrics& Metrics() {
+  static ScrubMetrics m = [] {
+    auto& registry = obs::MetricsRegistry::Get();
+    const std::string base = "durability.scrub";
+    return ScrubMetrics{
+        &registry.counter(base + ".cycles"),
+        &registry.counter(base + ".objects_scanned"),
+        &registry.counter(base + ".bytes_verified"),
+        &registry.counter(base + ".problems"),
+        &registry.counter(base + ".repairs"),
+        &registry.counter(base + ".unrecoverable_chunks"),
+    };
+  }();
+  return m;
+}
+
+std::string StatesToString(const KeyScrubReport& audit) {
+  std::string out;
+  for (size_t i = 0; i < audit.states.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ReplicaStateName(audit.states[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One object to examine. Items are ordered by (phase, key): phases put
+/// recipes before containers so dead-container analysis can rely on
+/// recipes having been probed (and replica-repaired) first.
+struct Scrubber::WorkItem {
+  enum class Kind : uint8_t {
+    kState = 0,     // Persisted state + global-index run objects.
+    kRecipe,
+    kToc,
+    kIndex,
+    kContainerData,
+    kContainerMeta,
+  };
+  Kind kind = Kind::kState;
+  std::string key;
+  std::string file_id;
+  uint64_t version = 0;
+  uint64_t container_id = 0;
+
+  uint32_t phase() const {
+    switch (kind) {
+      case Kind::kState:
+        return 0;
+      case Kind::kRecipe:
+      case Kind::kToc:
+      case Kind::kIndex:
+        return 1;
+      case Kind::kContainerData:
+      case Kind::kContainerMeta:
+        return 2;
+    }
+    return 2;
+  }
+  bool After(uint32_t cursor_phase, const std::string& cursor_key) const {
+    return phase() != cursor_phase ? phase() > cursor_phase
+                                   : key > cursor_key;
+  }
+};
+
+/// Durable mid-pass state: where the budgeted pass stopped and which
+/// containers were found dead so far (the completing call needs the
+/// full dead set for exact loss analysis).
+class Scrubber::CycleState {
+ public:
+  uint32_t phase = 0;
+  std::string last_key;        // Last fully processed key.
+  bool started = false;        // False: fresh pass from the beginning.
+  std::set<uint64_t> dead_containers;
+
+  std::string Encode() const {
+    std::string out;
+    PutFixed32(&out, kCursorMagic);
+    PutVarint64(&out, phase);
+    PutLengthPrefixed(&out, last_key);
+    PutVarint64(&out, dead_containers.size());
+    for (uint64_t id : dead_containers) PutFixed64(&out, id);
+    return out;
+  }
+
+  static Result<CycleState> Decode(std::string_view data) {
+    Decoder dec(data);
+    uint32_t magic = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadFixed32(&magic));
+    if (magic != kCursorMagic) return Status::Corruption("scrub cursor magic");
+    CycleState state;
+    state.started = true;
+    uint64_t phase = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&phase));
+    state.phase = static_cast<uint32_t>(phase);
+    std::string_view key;
+    SLIM_RETURN_IF_ERROR(dec.ReadLengthPrefixed(&key));
+    state.last_key = std::string(key);
+    uint64_t count = 0;
+    SLIM_RETURN_IF_ERROR(dec.ReadVarint64(&count));
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id = 0;
+      SLIM_RETURN_IF_ERROR(dec.ReadFixed64(&id));
+      state.dead_containers.insert(id);
+    }
+    return state;
+  }
+};
+
+Scrubber::Scrubber(oss::ObjectStore* store,
+                   format::ContainerStore* containers,
+                   format::RecipeStore* recipes,
+                   index::GlobalIndex* global_index,
+                   ReplicatingObjectStore* replicated, std::string root,
+                   ScrubOptions options)
+    : store_(store),
+      containers_(containers),
+      recipes_(recipes),
+      global_index_(global_index),
+      replicated_(replicated),
+      root_(std::move(root)),
+      options_(options) {}
+
+std::string Scrubber::CursorKey() const {
+  return root_ + "/durability/scrub-cursor";
+}
+
+std::string Scrubber::QuarantinePrefix() const {
+  return root_ + "/durability/quarantine/";
+}
+
+Result<std::vector<Scrubber::WorkItem>> Scrubber::BuildWorkList(
+    const std::vector<ScrubLiveVersion>& live) const {
+  std::vector<WorkItem> items;
+
+  // Phase 0: persisted state + global-index runs. Not derivable from
+  // other objects (state is re-written on SaveState, but between saves
+  // it is the only copy of the catalog), so they are scrubbed too.
+  // A failed List fails the cycle: silently skipping a prefix would
+  // let a transient storm shrink the scan while still reporting a
+  // clean full pass.
+  for (const std::string& prefix :
+       {root_ + "/state/", root_ + "/gindex/"}) {
+    auto keys = store_->List(prefix);
+    if (!keys.ok()) return keys.status();
+    for (const std::string& key : keys.value()) {
+      WorkItem item;
+      item.kind = WorkItem::Kind::kState;
+      item.key = key;
+      items.push_back(std::move(item));
+    }
+  }
+
+  // Phase 1: the recipe/toc/index triple of every live version.
+  std::vector<ScrubLiveVersion> sorted_live = live;
+  std::sort(sorted_live.begin(), sorted_live.end(),
+            [](const ScrubLiveVersion& a, const ScrubLiveVersion& b) {
+              return a.file_id != b.file_id ? a.file_id < b.file_id
+                                            : a.version < b.version;
+            });
+  for (const ScrubLiveVersion& fv : sorted_live) {
+    auto add = [&](WorkItem::Kind kind, std::string key) {
+      WorkItem item;
+      item.kind = kind;
+      item.key = std::move(key);
+      item.file_id = fv.file_id;
+      item.version = fv.version;
+      items.push_back(std::move(item));
+    };
+    add(WorkItem::Kind::kRecipe,
+        recipes_->RecipeObjectKey(fv.file_id, fv.version));
+    add(WorkItem::Kind::kToc, recipes_->TocObjectKey(fv.file_id, fv.version));
+    add(WorkItem::Kind::kIndex,
+        recipes_->IndexObjectKey(fv.file_id, fv.version));
+  }
+
+  // Phase 2: containers — the union of what is listable and what the
+  // catalog says is referenced, so a container lost on EVERY replica
+  // (hence invisible to List) is still examined and reported.
+  std::set<uint64_t> ids;
+  auto listed = containers_->ListContainerIds();
+  if (!listed.ok()) return listed.status();
+  ids.insert(listed.value().begin(), listed.value().end());
+  for (const ScrubLiveVersion& fv : live) {
+    ids.insert(fv.referenced_containers.begin(),
+               fv.referenced_containers.end());
+  }
+  for (uint64_t id : ids) {
+    WorkItem data;
+    data.kind = WorkItem::Kind::kContainerData;
+    data.key = containers_->DataObjectKey(id);
+    data.container_id = id;
+    items.push_back(std::move(data));
+    WorkItem meta;
+    meta.kind = WorkItem::Kind::kContainerMeta;
+    meta.key = containers_->MetaObjectKey(id);
+    meta.container_id = id;
+    items.push_back(std::move(meta));
+  }
+
+  std::stable_sort(items.begin(), items.end(),
+                   [](const WorkItem& a, const WorkItem& b) {
+                     return a.phase() != b.phase() ? a.phase() < b.phase()
+                                                   : a.key < b.key;
+                   });
+  return items;
+}
+
+Result<bool> Scrubber::ProbeAndRepairKey(const std::string& key, bool repair,
+                                         ScrubReport* report) {
+  if (replicated_ != nullptr) {
+    auto audit = replicated_->ScrubKey(key, /*repair=*/false);
+    if (!audit.ok()) return audit.status();
+    report->bytes_verified += audit.value().bytes_read;
+    if (!audit.value().any_bad()) return true;
+
+    for (ReplicaState state : audit.value().states) {
+      if (state != ReplicaState::kOk) ++report->checksum_failures;
+    }
+    report->problems.push_back(
+        key + ": replicas [" + StatesToString(audit.value()) + "]" +
+        (audit.value().recoverable ? "" : " — no intact copy"));
+
+    // Keep the corrupt bytes for forensics before repair overwrites
+    // them.
+    if (repair && options_.quarantine) {
+      const std::vector<uint32_t> placed = replicated_->PlacementFor(key);
+      for (size_t i = 0; i < audit.value().states.size(); ++i) {
+        if (audit.value().states[i] != ReplicaState::kCorrupt) continue;
+        auto corrupt = replicated_->replica(placed[i])->Get(key);
+        if (corrupt.ok()) {
+          store_
+              ->Put(QuarantinePrefix() + key + "#replica-" +
+                        std::to_string(placed[i]),
+                    std::move(corrupt).value())
+              .IgnoreError();
+          ++report->quarantined;
+        }
+      }
+    }
+
+    if (repair && audit.value().recoverable) {
+      auto fixed = replicated_->ScrubKey(key, /*repair=*/true);
+      if (!fixed.ok()) return fixed.status();
+      report->replicas_repaired += fixed.value().repaired;
+      Metrics().repairs->Inc(fixed.value().repaired);
+    }
+    return audit.value().recoverable;
+  }
+
+  // Single backing store: a footer check is the whole probe. The raw
+  // read is deliberate — corrupt bytes must be observable here to be
+  // quarantined.
+  auto object = store_->Get(key);  // lint:allow-unverified-read
+  if (!object.ok()) {
+    if (object.status().code() == StatusCode::kNotFound) {
+      ++report->checksum_failures;
+      report->problems.push_back(key + ": missing");
+      return false;
+    }
+    return object.status();
+  }
+  report->bytes_verified += object.value().size();
+  if (HasValidFooter(object.value())) return true;
+  ++report->checksum_failures;
+  report->problems.push_back(key + ": checksum footer invalid");
+  if (repair && options_.quarantine) {
+    store_->Put(QuarantinePrefix() + key, std::move(object).value())
+        .IgnoreError();
+    ++report->quarantined;
+  }
+  return false;
+}
+
+Status Scrubber::ProcessItem(const WorkItem& item,
+                             const std::vector<ScrubLiveVersion>& live,
+                             bool repair, CycleState* state,
+                             ScrubReport* report) {
+  (void)live;
+  auto intact = ProbeAndRepairKey(item.key, repair, report);
+  if (!intact.ok()) return intact.status();
+  if (intact.value()) {
+    // A container data object that came back to life (earlier cycle
+    // repaired it, or this one did) must not stay in the dead set.
+    if (item.kind == WorkItem::Kind::kContainerData) {
+      state->dead_containers.erase(item.container_id);
+    }
+    return Status::Ok();
+  }
+
+  const std::string where =
+      item.file_id.empty()
+          ? "container " + std::to_string(item.container_id)
+          : item.file_id + "@v" + std::to_string(item.version);
+  switch (item.kind) {
+    case WorkItem::Kind::kState:
+      report->problems.push_back(
+          item.key + ": state object lost (restored on next SaveState; "
+                     "index redirects may degrade until then)");
+      break;
+
+    case WorkItem::Kind::kRecipe: {
+      report->unrecoverable_versions.push_back(
+          {item.file_id, item.version,
+           "recipe object lost with no intact copy"});
+      break;
+    }
+
+    case WorkItem::Kind::kToc:
+    case WorkItem::Kind::kIndex: {
+      const char* what =
+          item.kind == WorkItem::Kind::kToc ? "toc" : "recipe index";
+      if (!repair) {
+        report->problems.push_back(where + ": " + std::string(what) +
+                                   " lost (rebuildable from recipe)");
+        break;
+      }
+      auto recipe = recipes_->ReadRecipe(item.file_id, item.version);
+      if (!recipe.ok()) {
+        report->problems.push_back(
+            where + ": " + std::string(what) +
+            " lost and recipe unreadable: " + recipe.status().ToString());
+        break;
+      }
+      SLIM_RETURN_IF_ERROR(
+          recipes_->WriteRecipe(recipe.value(), options_.index_sample_ratio));
+      ++report->recipes_rebuilt;
+      report->problems.push_back(where + ": " + std::string(what) +
+                                 " rebuilt from recipe");
+      break;
+    }
+
+    case WorkItem::Kind::kContainerData: {
+      // Last line of redundancy: XOR parity.
+      if (options_.parity_group_size > 0) {
+        ParityManager parity(store_, root_ + "/durability",
+                             options_.parity_group_size);
+        auto bytes = parity.Reconstruct(
+            parity.GroupOfContainer(item.container_id), item.key);
+        if (bytes.ok()) {
+          if (repair) {
+            SLIM_RETURN_IF_ERROR(
+                store_->Put(item.key, std::move(bytes).value()));
+            ++report->parity_reconstructed;
+            Metrics().repairs->Inc();
+            report->problems.push_back(where +
+                                       ": data reconstructed from parity");
+            state->dead_containers.erase(item.container_id);
+          } else {
+            report->problems.push_back(
+                where + ": data lost but reconstructible from parity "
+                        "(run repair)");
+          }
+          break;
+        }
+        report->problems.push_back(where + ": parity cannot reconstruct: " +
+                                   bytes.status().ToString());
+      }
+      state->dead_containers.insert(item.container_id);
+      break;
+    }
+
+    case WorkItem::Kind::kContainerMeta: {
+      if (!repair) {
+        report->problems.push_back(
+            where + ": meta lost (rebuildable from data object)");
+        break;
+      }
+      auto directory =
+          containers_->ReadVerifiedDirectory(item.container_id);
+      if (!directory.ok()) {
+        // Data gone too: the data item carries the real loss report.
+        report->problems.push_back(where +
+                                   ": meta lost and data unreadable: " +
+                                   directory.status().ToString());
+        break;
+      }
+      // Reverse-dedup tombstones recorded only in the meta are lost;
+      // the chunks' bytes are still in the payload, so restores stay
+      // byte-identical and the next G-node pass re-tombstones.
+      SLIM_RETURN_IF_ERROR(containers_->WriteMeta(directory.value()));
+      ++report->metas_rebuilt;
+      Metrics().repairs->Inc();
+      report->problems.push_back(where + ": meta rebuilt from data object");
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+void Scrubber::AnalyzeDeadContainers(
+    const std::vector<uint64_t>& dead,
+    const std::vector<ScrubLiveVersion>& live, ScrubReport* report) {
+  if (dead.empty()) return;
+  const std::unordered_set<uint64_t> dead_set(dead.begin(), dead.end());
+
+  // Directory cache of intact containers consulted for redirects.
+  std::unordered_map<uint64_t, std::optional<format::ContainerMeta>>
+      directories;
+  auto directory_of =
+      [&](uint64_t cid) -> const std::optional<format::ContainerMeta>& {
+    auto it = directories.find(cid);
+    if (it == directories.end()) {
+      auto loaded = containers_->ReadVerifiedDirectory(cid);
+      it = directories
+               .emplace(cid, loaded.ok() ? std::optional<format::ContainerMeta>(
+                                               std::move(loaded).value())
+                                         : std::nullopt)
+               .first;
+    }
+    return it->second;
+  };
+
+  for (const ScrubLiveVersion& fv : live) {
+    auto recipe = recipes_->ReadRecipe(fv.file_id, fv.version);
+    if (!recipe.ok()) continue;  // Reported by the recipe work item.
+    for (const format::ChunkRecord& rec : recipe.value().Flatten()) {
+      if (dead_set.count(rec.container_id) == 0) continue;
+      // The recorded container is dead — but reverse dedup / SCC may
+      // have moved the chunk; a live redirect means no loss.
+      bool survives = false;
+      if (global_index_ != nullptr) {
+        auto owner = global_index_->Get(rec.fp);
+        if (owner.ok() && dead_set.count(owner.value()) == 0) {
+          const auto& directory = directory_of(owner.value());
+          if (directory.has_value() &&
+              directory->Find(rec.fp) != nullptr) {
+            survives = true;
+          }
+        }
+      }
+      if (!survives) {
+        report->unrecoverable_chunks.push_back(
+            {fv.file_id, fv.version, rec.container_id, rec.fp});
+      }
+    }
+  }
+  Metrics().unrecoverable->Inc(report->unrecoverable_chunks.size());
+}
+
+Status Scrubber::MaintainParity(const std::vector<uint64_t>& container_ids,
+                                ScrubReport* report) {
+  if (options_.parity_group_size == 0) return Status::Ok();
+  ParityManager parity(store_, root_ + "/durability",
+                       options_.parity_group_size);
+  std::map<uint64_t, std::vector<std::string>> groups;
+  for (uint64_t id : container_ids) {
+    groups[parity.GroupOfContainer(id)].push_back(
+        containers_->DataObjectKey(id));
+  }
+  for (auto& [group, members] : groups) {
+    std::sort(members.begin(), members.end());
+    auto fresh = parity.IsFresh(group, members);
+    if (!fresh.ok()) return fresh.status();
+    if (fresh.value()) continue;
+    Status built = parity.BuildGroup(group, members);
+    if (built.ok()) {
+      ++report->parity_built;
+    } else {
+      // A group with a dead member cannot be rebuilt; the stale object
+      // is left in place (it may still reconstruct that member).
+      report->problems.push_back("parity group " + std::to_string(group) +
+                                 " not refreshed: " + built.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ScrubReport> Scrubber::RunCycle(
+    const std::vector<ScrubLiveVersion>& live, bool repair) {
+  obs::Span span("durability.scrub.cycle");
+  Metrics().cycles->Inc();
+  ScrubReport report;
+
+  // Resume from the durable cursor when a budgeted pass is midway.
+  CycleState state;
+  {
+    auto stored = GetVerified(*store_, CursorKey(), Component::kState);
+    if (stored.ok()) {
+      auto decoded = CycleState::Decode(stored.value());
+      if (decoded.ok()) state = std::move(decoded).value();
+      // A corrupt cursor just restarts the pass: every step is
+      // idempotent.
+    }
+  }
+
+  auto worklist = BuildWorkList(live);
+  if (!worklist.ok()) return worklist.status();
+  const std::vector<WorkItem> items = std::move(worklist).value();
+  std::vector<uint64_t> all_container_ids;
+  for (const WorkItem& item : items) {
+    if (item.kind == WorkItem::Kind::kContainerData) {
+      all_container_ids.push_back(item.container_id);
+    }
+  }
+
+  bool budget_hit = false;
+  for (const WorkItem& item : items) {
+    if (state.started && !item.After(state.phase, state.last_key)) continue;
+    if ((options_.max_objects_per_cycle > 0 &&
+         report.objects_scanned >= options_.max_objects_per_cycle) ||
+        (options_.max_bytes_per_cycle > 0 &&
+         report.bytes_verified >= options_.max_bytes_per_cycle)) {
+      budget_hit = true;
+      break;
+    }
+    SLIM_RETURN_IF_ERROR(ProcessItem(item, live, repair, &state, &report));
+    ++report.objects_scanned;
+    state.phase = item.phase();
+    state.last_key = item.key;
+    state.started = true;
+  }
+
+  if (budget_hit) {
+    // Durable commit of this batch's progress (incl. the accumulated
+    // dead set); crash before this Put re-scrubs the batch, which is
+    // harmless.
+    SLIM_RETURN_IF_ERROR(PutWithFooter(*store_, CursorKey(), state.Encode(),
+                                       Component::kState));
+    report.cycle_complete = false;
+  } else {
+    // Pass finished: exact loss accounting + lazy parity maintenance,
+    // then clear the cursor so the next cycle starts fresh.
+    AnalyzeDeadContainers(
+        std::vector<uint64_t>(state.dead_containers.begin(),
+                              state.dead_containers.end()),
+        live, &report);
+    if (repair) {
+      SLIM_RETURN_IF_ERROR(MaintainParity(all_container_ids, &report));
+    }
+    SLIM_RETURN_IF_ERROR(store_->Delete(CursorKey()));
+    report.cycle_complete = true;
+  }
+
+  Metrics().objects->Inc(report.objects_scanned);
+  Metrics().bytes->Inc(report.bytes_verified);
+  Metrics().problems->Inc(report.problems.size());
+  return report;
+}
+
+}  // namespace slim::durability

@@ -1,0 +1,164 @@
+#ifndef SLIMSTORE_DURABILITY_SCRUBBER_H_
+#define SLIMSTORE_DURABILITY_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "durability/parity.h"
+#include "durability/replicating_object_store.h"
+#include "format/container.h"
+#include "format/recipe.h"
+#include "index/global_index.h"
+#include "oss/object_store.h"
+
+namespace slim::durability {
+
+/// Scrub configuration (SlimStoreOptions::durability.scrub).
+struct ScrubOptions {
+  /// Max objects examined per RunCycle call; 0 = no cap (a full pass).
+  /// A capped cycle persists a cursor and the next call resumes there —
+  /// the configurable I/O budget of a background service.
+  uint64_t max_objects_per_cycle = 0;
+  /// Additional byte budget per cycle; 0 = no cap.
+  uint64_t max_bytes_per_cycle = 0;
+  /// Copy corrupt objects to "<root>/durability/quarantine/..." before
+  /// any repair overwrites them (forensics; repair mode only).
+  bool quarantine = true;
+  /// Containers per XOR parity group; 0 disables parity. Parity groups
+  /// are built/refreshed lazily during repair-mode cycles.
+  uint32_t parity_group_size = 0;
+  /// Sampling ratio used when rebuilding a lost recipe index (must
+  /// match BackupOptions::sample_ratio).
+  uint32_t index_sample_ratio = 32;
+};
+
+/// A live backup version, with the containers its recipe references
+/// (from the catalog). Supplied by the caller so the scrubber stays
+/// below the core layer.
+struct ScrubLiveVersion {
+  std::string file_id;
+  uint64_t version = 0;
+  std::vector<uint64_t> referenced_containers;
+};
+
+/// One chunk that no surviving object can produce.
+struct UnrecoverableChunk {
+  std::string file_id;
+  uint64_t version = 0;
+  uint64_t container_id = 0;
+  Fingerprint fp;
+};
+
+/// One whole version that cannot be enumerated chunk-by-chunk because
+/// its recipe object itself is gone.
+struct UnrecoverableVersion {
+  std::string file_id;
+  uint64_t version = 0;
+  std::string reason;
+};
+
+/// Outcome of one scrub cycle.
+struct ScrubReport {
+  uint64_t objects_scanned = 0;
+  uint64_t bytes_verified = 0;
+  uint64_t checksum_failures = 0;   // Objects with no clean copy at probe.
+  uint64_t replicas_repaired = 0;   // Replica copies rewritten.
+  uint64_t metas_rebuilt = 0;       // Container metas rebuilt from data.
+  uint64_t recipes_rebuilt = 0;     // toc/index rebuilt from the recipe.
+  uint64_t parity_built = 0;        // Parity groups built/refreshed.
+  uint64_t parity_reconstructed = 0;  // Data objects rebuilt from parity.
+  uint64_t quarantined = 0;
+  /// True when this cycle reached the end of the work list (the cursor
+  /// was cleared). False means the I/O budget paused the pass; call
+  /// again to resume.
+  bool cycle_complete = false;
+  /// Human-readable findings (problems found, not necessarily fatal —
+  /// a repaired replica still reports what was wrong).
+  std::vector<std::string> problems;
+  /// The exact loss set: only non-empty when data is gone beyond what
+  /// replicas, parity, and structural rebuilds can recover.
+  std::vector<UnrecoverableChunk> unrecoverable_chunks;
+  std::vector<UnrecoverableVersion> unrecoverable_versions;
+
+  bool clean() const {
+    return problems.empty() && unrecoverable_chunks.empty() &&
+           unrecoverable_versions.empty();
+  }
+  bool data_loss() const {
+    return !unrecoverable_chunks.empty() || !unrecoverable_versions.empty();
+  }
+};
+
+/// Background scrub-and-repair service (G-node style offline pass).
+///
+/// Walks every durable object class — persisted state, global-index
+/// runs, recipe/toc/index triples of live versions, container data and
+/// meta objects — verifying checksum footers and (when running over a
+/// ReplicatingObjectStore) replica agreement. In repair mode it
+/// re-replicates from good copies, reconstructs lost container data
+/// from XOR parity, rebuilds container metas from the data object's
+/// embedded directory and toc/index objects from the recipe, and
+/// quarantines corrupt bytes before overwriting them.
+///
+/// Idempotent and resumable: the work list is deterministic, progress
+/// commits to a durable cursor object only after the examined batch is
+/// fully processed (the same commit-point discipline as SCC), and
+/// re-running any part of a cycle is harmless.
+///
+/// What cannot be repaired is reported exactly: the (file, version,
+/// container, fingerprint) set whose bytes are gone, cross-checked
+/// against global-index redirects so relocated chunks do not count as
+/// lost. Loss is never silent and never fabricated.
+class Scrubber {
+ public:
+  /// All pointers are non-owning. `replicated` may be null (single
+  /// backing store: detection, parity and structural rebuilds still
+  /// work; replica repair does not). `global_index` may be null.
+  Scrubber(oss::ObjectStore* store, format::ContainerStore* containers,
+           format::RecipeStore* recipes, index::GlobalIndex* global_index,
+           ReplicatingObjectStore* replicated, std::string root,
+           ScrubOptions options);
+
+  /// Runs one budgeted cycle over the work list derived from `live`
+  /// (the catalog's live versions). `repair` false = detect only.
+  Result<ScrubReport> RunCycle(const std::vector<ScrubLiveVersion>& live,
+                               bool repair);
+
+  std::string CursorKey() const;
+  std::string QuarantinePrefix() const;
+
+ private:
+  struct WorkItem;
+  class CycleState;
+
+  Result<std::vector<WorkItem>> BuildWorkList(
+      const std::vector<ScrubLiveVersion>& live) const;
+  Status ProcessItem(const WorkItem& item,
+                     const std::vector<ScrubLiveVersion>& live, bool repair,
+                     CycleState* state, ScrubReport* report);
+  /// Probes `key`: replica scrub (with repair) when replicated,
+  /// footer check otherwise. Returns whether a clean copy exists now.
+  Result<bool> ProbeAndRepairKey(const std::string& key, bool repair,
+                                 ScrubReport* report);
+  void Quarantine(const std::string& key, bool repair, ScrubReport* report);
+  void AnalyzeDeadContainers(const std::vector<uint64_t>& dead,
+                             const std::vector<ScrubLiveVersion>& live,
+                             ScrubReport* report);
+  Status MaintainParity(const std::vector<uint64_t>& container_ids,
+                        ScrubReport* report);
+
+  oss::ObjectStore* store_;
+  format::ContainerStore* containers_;
+  format::RecipeStore* recipes_;
+  index::GlobalIndex* global_index_;
+  ReplicatingObjectStore* replicated_;
+  std::string root_;
+  ScrubOptions options_;
+};
+
+}  // namespace slim::durability
+
+#endif  // SLIMSTORE_DURABILITY_SCRUBBER_H_

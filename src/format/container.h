@@ -125,6 +125,13 @@ class ContainerStore {
   };
   Result<LoadedContainer> ReadContainer(ContainerId id) const;
 
+  /// Checksum-footer fast path shared by the verifier and the
+  /// durability scrubber: one OSS GET, CRC32C footer verification over
+  /// the whole object, directory decoded in place — the payload is
+  /// never copied out. Proves the object byte-intact and returns its
+  /// directory.
+  Result<ContainerMeta> ReadVerifiedDirectory(ContainerId id) const;
+
   /// Reads only the (small) mutable meta object.
   Result<ContainerMeta> ReadMeta(ContainerId id) const;
   /// Overwrites the meta object (tombstone updates).
@@ -149,6 +156,10 @@ class ContainerStore {
 
   oss::ObjectStore* object_store() const { return store_; }
   const std::string& prefix() const { return prefix_; }
+
+  /// Object keys (exposed for the durability scrubber's work list).
+  std::string DataObjectKey(ContainerId id) const { return DataKey(id); }
+  std::string MetaObjectKey(ContainerId id) const { return MetaKey(id); }
 
  private:
   std::string DataKey(ContainerId id) const;

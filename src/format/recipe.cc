@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/macros.h"
+#include "durability/checksum.h"
 
 namespace slim::format {
 
@@ -202,13 +203,18 @@ Status RecipeStore::WriteRecipe(const Recipe& recipe, uint32_t sample_ratio) {
   // point — if any earlier Put fails, the old recipe (and the
   // containers it references) stays fully intact, so callers like SCC
   // can roll back their new containers safely.
-  SLIM_RETURN_IF_ERROR(
-      store_->Put(TocKey(recipe.file_id, recipe.version), std::move(toc)));
+  SLIM_RETURN_IF_ERROR(durability::PutWithFooter(
+      *store_, TocKey(recipe.file_id, recipe.version), std::move(toc),
+      durability::Component::kRecipeToc));
   RecipeIndex index = RecipeIndex::Build(recipe, sample_ratio);
-  SLIM_RETURN_IF_ERROR(store_->Put(IndexKey(recipe.file_id, recipe.version),
-                                   index.Encode()));
-  SLIM_RETURN_IF_ERROR(
-      store_->Put(RecipeKey(recipe.file_id, recipe.version), header + body));
+  SLIM_RETURN_IF_ERROR(durability::PutWithFooter(
+      *store_, IndexKey(recipe.file_id, recipe.version), index.Encode(),
+      durability::Component::kRecipeIndex));
+  // The checksum footer is a suffix, so the toc's absolute segment
+  // ranges stay valid for range reads of the recipe object.
+  SLIM_RETURN_IF_ERROR(durability::PutWithFooter(
+      *store_, RecipeKey(recipe.file_id, recipe.version), header + body,
+      durability::Component::kRecipe));
   {
     // Invalidate any stale cached toc for this key (recipe rewrite).
     MutexLock lock(toc_mu_);
@@ -219,7 +225,8 @@ Status RecipeStore::WriteRecipe(const Recipe& recipe, uint32_t sample_ratio) {
 
 Result<Recipe> RecipeStore::ReadRecipe(const std::string& file_id,
                                        uint64_t version) const {
-  auto object = store_->Get(RecipeKey(file_id, version));
+  auto object = durability::GetVerified(*store_, RecipeKey(file_id, version),
+                                        durability::Component::kRecipe);
   if (!object.ok()) return object.status();
   Decoder dec(object.value());
   uint32_t magic = 0;
@@ -247,7 +254,8 @@ Result<Recipe> RecipeStore::ReadRecipe(const std::string& file_id,
 
 Result<RecipeIndex> RecipeStore::ReadIndex(const std::string& file_id,
                                            uint64_t version) const {
-  auto object = store_->Get(IndexKey(file_id, version));
+  auto object = durability::GetVerified(*store_, IndexKey(file_id, version),
+                                        durability::Component::kRecipeIndex);
   if (!object.ok()) return object.status();
   RecipeIndex index;
   SLIM_RETURN_IF_ERROR(RecipeIndex::Decode(object.value(), &index));
@@ -262,7 +270,8 @@ Result<RecipeStore::Toc> RecipeStore::GetToc(const std::string& file_id,
     auto it = toc_cache_.find(key);
     if (it != toc_cache_.end()) return it->second;
   }
-  auto object = store_->Get(key);
+  auto object =
+      durability::GetVerified(*store_, key, durability::Component::kRecipeToc);
   if (!object.ok()) return object.status();
   Decoder dec(object.value());
   uint64_t count = 0;
@@ -291,7 +300,10 @@ Result<SegmentRecipe> RecipeStore::ReadSegment(const std::string& file_id,
     return Status::InvalidArgument("segment ordinal out of range");
   }
   auto [offset, length] = toc.value().ranges[segment_ordinal];
-  auto bytes = store_->GetRange(RecipeKey(file_id, version), offset, length);
+  // Range reads cannot verify the whole-object footer; the segment is
+  // structurally decoded below and whole-object scrub covers the rest.
+  auto bytes = store_->GetRange(RecipeKey(file_id, version), offset,
+                                length);  // lint:allow-unverified-read
   if (!bytes.ok()) return bytes.status();
   SegmentRecipe segment;
   SLIM_RETURN_IF_ERROR(SegmentRecipe::Decode(bytes.value(), &segment));
@@ -311,8 +323,9 @@ Result<std::vector<SegmentRecipe>> RecipeStore::ReadSegmentRange(
       std::min<size_t>(first_ordinal + count, ranges.size()));
   uint64_t begin = ranges[first_ordinal].first;
   uint64_t end = ranges[last - 1].first + ranges[last - 1].second;
-  auto bytes =
-      store_->GetRange(RecipeKey(file_id, version), begin, end - begin);
+  // See ReadSegment: range reads rely on structural decode + scrub.
+  auto bytes = store_->GetRange(RecipeKey(file_id, version), begin,
+                                end - begin);  // lint:allow-unverified-read
   if (!bytes.ok()) return bytes.status();
   std::vector<SegmentRecipe> out;
   out.reserve(last - first_ordinal);

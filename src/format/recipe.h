@@ -98,6 +98,20 @@ class RecipeStore {
 
   oss::ObjectStore* object_store() const { return store_; }
 
+  /// Object keys (exposed for the durability scrubber's work list).
+  std::string RecipeObjectKey(const std::string& file_id,
+                              uint64_t version) const {
+    return RecipeKey(file_id, version);
+  }
+  std::string TocObjectKey(const std::string& file_id,
+                           uint64_t version) const {
+    return TocKey(file_id, version);
+  }
+  std::string IndexObjectKey(const std::string& file_id,
+                             uint64_t version) const {
+    return IndexKey(file_id, version);
+  }
+
  private:
   struct Toc {
     std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (offset, length)

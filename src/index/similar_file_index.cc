@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/macros.h"
+#include "durability/checksum.h"
 
 namespace slim::index {
 
@@ -114,12 +115,14 @@ Status SimilarFileIndex::Save(oss::ObjectStore* store,
       PutFixed64(&out, version);
     }
   }
-  return store->Put(key, std::move(out));
+  return durability::PutWithFooter(*store, key, std::move(out),
+                                   durability::Component::kState);
 }
 
 Status SimilarFileIndex::Load(oss::ObjectStore* store,
                               const std::string& key) {
-  auto object = store->Get(key);
+  auto object =
+      durability::GetVerified(*store, key, durability::Component::kState);
   if (!object.ok()) return object.status();
   Decoder dec(object.value());
   decltype(samples_) new_samples;

@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/hash.h"
 #include "common/macros.h"
+#include "durability/checksum.h"
 
 namespace slim::oss {
 
@@ -77,7 +78,8 @@ Status RocksOss::Open() {
   if (!keys.ok()) return keys.status();
   runs_.clear();
   for (const std::string& key : keys.value()) {
-    auto data = store_->Get(key);
+    auto data = durability::GetVerified(*store_, key,
+                                        durability::Component::kIndexRun);
     if (!data.ok()) return data.status();
     Memtable entries;
     SLIM_RETURN_IF_ERROR(ParseRun(data.value(), &entries));
@@ -197,7 +199,8 @@ Status RocksOss::FlushLocked() {
   std::string payload = SerializeRun(memtable_, options_, &run);
   metrics_.flushes->Inc();
   metrics_.flush_bytes->Inc(payload.size());
-  SLIM_RETURN_IF_ERROR(store_->Put(run.key, std::move(payload)));
+  SLIM_RETURN_IF_ERROR(durability::PutWithFooter(
+      *store_, run.key, std::move(payload), durability::Component::kIndexRun));
   // Cache the freshly flushed run: it is the most likely to be read.
   auto cached = std::make_shared<Memtable>(std::move(memtable_));
   run_cache_[run.id] = cached;
@@ -248,7 +251,9 @@ Status RocksOss::CompactLocked() {
     run.key = RunObjectKey(run.id);
     std::string payload = SerializeRun(merged, options_, &run);
     metrics_.compaction_bytes->Inc(payload.size());
-    SLIM_RETURN_IF_ERROR(store_->Put(run.key, std::move(payload)));
+    SLIM_RETURN_IF_ERROR(durability::PutWithFooter(
+        *store_, run.key, std::move(payload),
+        durability::Component::kIndexRun));
     run_cache_[run.id] = std::make_shared<Memtable>(std::move(merged));
     cache_lru_.push_front(run.id);
     new_runs.push_back(std::move(run));
@@ -333,7 +338,8 @@ Result<std::shared_ptr<RocksOss::Memtable>> RocksOss::LoadRunLocked(
     return it->second;
   }
   metrics_.run_cache_misses->Inc();
-  auto data = store_->Get(run.key);
+  auto data = durability::GetVerified(*store_, run.key,
+                                      durability::Component::kIndexRun);
   if (!data.ok()) return data.status();
   auto entries = std::make_shared<Memtable>();
   SLIM_RETURN_IF_ERROR(ParseRun(data.value(), entries.get()));

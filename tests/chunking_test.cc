@@ -98,7 +98,8 @@ TEST_P(CdcChunkerTest, MeanChunkSizeNearTarget) {
   auto chunker = Make(4096);
   std::string data = RandomData(4 << 20);
   auto chunks = ChunkAll(*chunker, data);
-  double mean = static_cast<double>(data.size()) / chunks.size();
+  double mean = static_cast<double>(data.size()) /
+                static_cast<double>(chunks.size());
   // CDC with min/max clamping lands above the mask average; accept a
   // generous band.
   EXPECT_GT(mean, 4096 * 0.5);
@@ -221,13 +222,15 @@ TEST(FastCdcTest, DistributionTighterThanGear) {
 
   auto stddev = [&](const std::vector<RawChunk>& chunks) {
     double mean = 0;
-    for (const auto& c : chunks) mean += c.size;
-    mean /= chunks.size();
+    for (const auto& c : chunks) mean += static_cast<double>(c.size);
+    mean /= static_cast<double>(chunks.size());
     double var = 0;
     for (const auto& c : chunks) {
-      var += (c.size - mean) * (c.size - mean);
+      const double d = static_cast<double>(c.size) - mean;
+      var += d * d;
     }
-    return std::sqrt(var / chunks.size()) / mean;  // Coefficient of var.
+    return std::sqrt(var / static_cast<double>(chunks.size())) /
+           mean;  // Coefficient of var.
   };
   double cv_gear = stddev(ChunkAll(*gear, data));
   double cv_fast = stddev(ChunkAll(*fast, data));

@@ -216,7 +216,8 @@ TEST_F(ContainerStoreTest, CorruptPayloadDetected) {
   auto object = oss_.Get(key);
   ASSERT_TRUE(object.ok());
   std::string mutated = object.value();
-  mutated[mutated.size() - 2] ^= 0xff;
+  mutated[mutated.size() - 2] =
+      static_cast<char>(mutated[mutated.size() - 2] ^ 0xff);
   ASSERT_TRUE(oss_.Put(key, mutated).ok());
   EXPECT_TRUE(store_.ReadContainer(id).status().IsCorruption());
 }

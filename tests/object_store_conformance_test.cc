@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "durability/checksum.h"
+#include "durability/checksumming_object_store.h"
+#include "durability/placement.h"
+#include "durability/replicating_object_store.h"
 #include "oss/disk_object_store.h"
 #include "oss/fault_injecting_object_store.h"
 #include "oss/memory_object_store.h"
@@ -101,6 +105,59 @@ std::vector<StoreParam> AllStores() {
                           faulty.get(), policy);
                       fixture->store = retrying.get();
                       fixture->cleanup = [mem, faulty, retrying] {};
+                      return fixture;
+                    }});
+  // Durability layers must be contract-transparent: a CRC32C footer on
+  // every stored object and k-way replication across independent
+  // backing stores may not change what callers observe.
+  params.push_back({"checksummed", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto mem = std::make_shared<MemoryObjectStore>();
+                      auto sum = std::make_shared<
+                          durability::ChecksummingObjectStore>(mem.get());
+                      fixture->store = sum.get();
+                      fixture->cleanup = [mem, sum] {};
+                      return fixture;
+                    }});
+  params.push_back({"replicated", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto backing = std::make_shared<
+                          std::vector<std::unique_ptr<MemoryObjectStore>>>();
+                      std::vector<ObjectStore*> replicas;
+                      for (int i = 0; i < 3; ++i) {
+                        backing->push_back(
+                            std::make_unique<MemoryObjectStore>());
+                        replicas.push_back(backing->back().get());
+                      }
+                      auto repl = std::make_shared<
+                          durability::ReplicatingObjectStore>(
+                          std::move(replicas),
+                          durability::PlacementPolicy());
+                      fixture->store = repl.get();
+                      fixture->cleanup = [backing, repl] {};
+                      return fixture;
+                    }});
+  params.push_back({"replicated_checksummed", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto backing = std::make_shared<
+                          std::vector<std::unique_ptr<MemoryObjectStore>>>();
+                      std::vector<ObjectStore*> replicas;
+                      for (int i = 0; i < 3; ++i) {
+                        backing->push_back(
+                            std::make_unique<MemoryObjectStore>());
+                        replicas.push_back(backing->back().get());
+                      }
+                      auto repl = std::make_shared<
+                          durability::ReplicatingObjectStore>(
+                          std::move(replicas),
+                          durability::PlacementPolicy(),
+                          [](std::string_view object) {
+                            return durability::HasValidFooter(object);
+                          });
+                      auto sum = std::make_shared<
+                          durability::ChecksummingObjectStore>(repl.get());
+                      fixture->store = sum.get();
+                      fixture->cleanup = [backing, repl, sum] {};
                       return fixture;
                     }});
   return params;

@@ -144,8 +144,9 @@ TEST_P(SeedSweepTest, FullFeatureLifecycle) {
 
   workload::GeneratorOptions gen;
   gen.base_size = 96 << 10;
-  gen.duplication_ratio = 0.7 + (GetParam() % 3) * 0.1;
-  gen.self_reference = (GetParam() % 2) * 0.25;
+  gen.duplication_ratio =
+      0.7 + static_cast<double>(GetParam() % 3) * 0.1;
+  gen.self_reference = static_cast<double>(GetParam() % 2) * 0.25;
   gen.block_size = 1024;
   gen.seed = GetParam();
   workload::VersionedFileGenerator file(gen);

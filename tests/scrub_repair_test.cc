@@ -1,0 +1,461 @@
+// End-to-end scrub-and-repair sweeps (ctest label: durability).
+//
+// The invariants under test are the durability subsystem's contract:
+//  1. With losses within redundancy (up to one replica of EVERY object
+//     destroyed or bit-rotted), scrub detects everything and repair
+//     converges in at most two cycles to a clean repository from which
+//     every version restores byte-identically.
+//  2. With losses beyond redundancy, scrub reports the EXACT
+//     unrecoverable (version, chunk) set and restores fail cleanly —
+//     corruption is never silent and bytes are never fabricated.
+//  3. Structural rebuilds (container meta from the data object, recipe
+//     toc/index from the recipe, container data from XOR parity) recover
+//     without any replica.
+//  4. A budgeted pass resumes from its durable cursor and finds exactly
+//     what an unbudgeted pass finds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/slimstore.h"
+#include "durability/checksum.h"
+#include "durability/placement.h"
+#include "durability/replicating_object_store.h"
+#include "durability/scrubber.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+constexpr size_t kFiles = 2;
+constexpr size_t kVersions = 3;
+constexpr size_t kBaseSize = 96 << 10;
+
+std::string FileId(size_t f) { return "file-" + std::to_string(f); }
+
+std::vector<std::vector<std::string>> MakeVersions(uint64_t seed) {
+  std::vector<std::vector<std::string>> expected(kFiles);
+  for (size_t f = 0; f < kFiles; ++f) {
+    workload::GeneratorOptions gopts;
+    gopts.base_size = kBaseSize;
+    gopts.duplication_ratio = 0.80;
+    gopts.seed = seed * 1000 + f;
+    workload::VersionedFileGenerator gen(gopts);
+    expected[f].push_back(gen.data());
+    for (size_t v = 1; v < kVersions; ++v) {
+      gen.Mutate();
+      expected[f].push_back(gen.data());
+    }
+  }
+  return expected;
+}
+
+core::SlimStoreOptions SmallContainerOptions() {
+  core::SlimStoreOptions options;
+  // Small containers so every run spans several of them.
+  options.backup.container_capacity = 64 << 10;
+  options.backup.sparse_utilization_threshold = 0.9;
+  return options;
+}
+
+void BackupAll(core::SlimStore* slim,
+               const std::vector<std::vector<std::string>>& expected) {
+  for (size_t v = 0; v < kVersions; ++v) {
+    for (size_t f = 0; f < kFiles; ++f) {
+      auto stats = slim->Backup(FileId(f), expected[f][v]);
+      ASSERT_TRUE(stats.ok()) << stats.status();
+    }
+  }
+}
+
+void ExpectAllRestore(core::SlimStore* slim,
+                      const std::vector<std::vector<std::string>>& expected,
+                      const char* when) {
+  for (size_t f = 0; f < kFiles; ++f) {
+    for (size_t v = 0; v < kVersions; ++v) {
+      auto data = slim->Restore(FileId(f), v);
+      ASSERT_TRUE(data.ok()) << when << ": " << FileId(f) << "@v" << v
+                             << ": " << data.status();
+      ASSERT_EQ(data.value(), expected[f][v])
+          << when << ": " << FileId(f) << "@v" << v << " not byte-identical";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replicated deployment
+// ---------------------------------------------------------------------------
+
+struct ReplicatedUniverse {
+  std::vector<std::unique_ptr<oss::MemoryObjectStore>> backing;
+  std::unique_ptr<durability::ReplicatingObjectStore> replicated;
+  std::unique_ptr<core::SlimStore> slim;
+};
+
+ReplicatedUniverse MakeReplicated(uint32_t n) {
+  ReplicatedUniverse u;
+  std::vector<oss::ObjectStore*> replicas;
+  for (uint32_t i = 0; i < n; ++i) {
+    u.backing.push_back(std::make_unique<oss::MemoryObjectStore>());
+    replicas.push_back(u.backing.back().get());
+  }
+  u.replicated = std::make_unique<durability::ReplicatingObjectStore>(
+      std::move(replicas), durability::PlacementPolicy(),
+      [](std::string_view object) {
+        return durability::HasValidFooter(object);
+      });
+  core::SlimStoreOptions options = SmallContainerOptions();
+  options.durability.replicated = u.replicated.get();
+  u.slim = std::make_unique<core::SlimStore>(u.replicated.get(), options);
+  return u;
+}
+
+// Destroys exactly one replica of every object: keys alternate
+// (deterministically, by key hash) between hard deletion and a byte
+// flip. Returns the number of keys damaged.
+size_t DamageOneReplicaOfEverything(ReplicatedUniverse* u) {
+  auto keys = u->replicated->List("slim/");
+  EXPECT_TRUE(keys.ok());
+  size_t damaged = 0;
+  for (const std::string& key : keys.value()) {
+    auto placed = u->replicated->PlacementFor(key);
+    uint64_t h = Fnv1a64(key);
+    oss::ObjectStore* victim =
+        u->backing[placed[h % placed.size()]].get();
+    auto held = victim->Get(key);
+    if (!held.ok()) continue;
+    if (h % 2 == 0) {
+      EXPECT_TRUE(victim->Delete(key).ok());
+    } else {
+      std::string rotten = std::move(held).value();
+      rotten[h % rotten.size()] =
+          static_cast<char>(rotten[h % rotten.size()] ^ 0x20);
+      EXPECT_TRUE(victim->Put(key, std::move(rotten)).ok());
+    }
+    ++damaged;
+  }
+  return damaged;
+}
+
+TEST(ScrubRepairTest, OneReplicaOfEverythingLostRepairsInTwoCycles) {
+  ReplicatedUniverse u = MakeReplicated(3);
+  auto expected = MakeVersions(41);
+  BackupAll(u.slim.get(), expected);
+  // A G-node pass first, so redirects and rewritten containers are part
+  // of what the sweep must survive.
+  ASSERT_TRUE(u.slim->RunGNodeCycle().ok());
+  ASSERT_TRUE(u.slim->SaveState().ok());
+
+  size_t damaged = DamageOneReplicaOfEverything(&u);
+  ASSERT_GT(damaged, 10u);
+
+  // Detection names every damaged object and fixes nothing.
+  auto detect = u.slim->Scrub(/*repair=*/false);
+  ASSERT_TRUE(detect.ok()) << detect.status();
+  EXPECT_TRUE(detect.value().cycle_complete);
+  EXPECT_GE(detect.value().problems.size(), damaged);
+  EXPECT_EQ(detect.value().replicas_repaired, 0u);
+  EXPECT_FALSE(detect.value().data_loss());
+
+  // Repair converges in at most two cycles.
+  bool clean = false;
+  for (int cycle = 0; cycle < 2 && !clean; ++cycle) {
+    auto repair = u.slim->Scrub(/*repair=*/true);
+    ASSERT_TRUE(repair.ok()) << repair.status();
+    ASSERT_TRUE(repair.value().cycle_complete);
+    EXPECT_FALSE(repair.value().data_loss());
+    clean = repair.value().problems.empty();
+  }
+
+  auto verify = u.slim->Scrub(/*repair=*/false);
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify.value().clean())
+      << "first problem: "
+      << (verify.value().problems.empty() ? "?"
+                                          : verify.value().problems[0]);
+
+  // Bit-rotted replicas were quarantined for forensics before repair.
+  auto quarantine = u.replicated->List("slim/durability/quarantine/");
+  ASSERT_TRUE(quarantine.ok());
+  EXPECT_FALSE(quarantine.value().empty());
+
+  ExpectAllRestore(u.slim.get(), expected, "after repair");
+  auto fsck = u.slim->VerifyRepository();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck.value().ok());
+}
+
+TEST(ScrubRepairTest, DetectionIsDeterministicAndSideEffectFree) {
+  ReplicatedUniverse u = MakeReplicated(3);
+  auto expected = MakeVersions(43);
+  BackupAll(u.slim.get(), expected);
+  ASSERT_TRUE(u.slim->SaveState().ok());
+  ASSERT_GT(DamageOneReplicaOfEverything(&u), 0u);
+
+  auto first = u.slim->Scrub(/*repair=*/false);
+  auto second = u.slim->Scrub(/*repair=*/false);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().problems, second.value().problems);
+  EXPECT_EQ(first.value().checksum_failures,
+            second.value().checksum_failures);
+  EXPECT_EQ(first.value().objects_scanned, second.value().objects_scanned);
+  EXPECT_EQ(first.value().quarantined, 0u);
+  EXPECT_EQ(first.value().replicas_repaired, 0u);
+}
+
+TEST(ScrubRepairTest, LossBeyondRedundancyIsReportedExactly) {
+  ReplicatedUniverse u = MakeReplicated(3);
+  auto expected = MakeVersions(47);
+  BackupAll(u.slim.get(), expected);
+  ASSERT_TRUE(u.slim->SaveState().ok());
+
+  // Kill EVERY replica of one container's data object.
+  auto ids = u.slim->container_store()->ListContainerIds();
+  ASSERT_TRUE(ids.ok());
+  ASSERT_FALSE(ids.value().empty());
+  const uint64_t victim = ids.value()[ids.value().size() / 2];
+  const std::string victim_key =
+      u.slim->container_store()->DataObjectKey(victim);
+  for (auto& replica : u.backing) {
+    ASSERT_TRUE(replica->Delete(victim_key).ok());
+  }
+
+  // The exact expected loss set, derived independently from the live
+  // recipes: every (file, version, fingerprint) whose chunk lives in
+  // the victim container (no G-node ran, so there are no redirects).
+  std::set<std::string> expected_loss;
+  std::set<std::pair<std::string, uint64_t>> affected_versions;
+  for (size_t f = 0; f < kFiles; ++f) {
+    for (size_t v = 0; v < kVersions; ++v) {
+      auto recipe = u.slim->recipe_store()->ReadRecipe(FileId(f), v);
+      ASSERT_TRUE(recipe.ok());
+      for (const auto& rec : recipe.value().Flatten()) {
+        if (rec.container_id == victim) {
+          expected_loss.insert(FileId(f) + "@" + std::to_string(v) + ":" +
+                               rec.fp.ToHex());
+          affected_versions.insert({FileId(f), v});
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(expected_loss.empty());
+
+  auto report = u.slim->Scrub(/*repair=*/true);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report.value().cycle_complete);
+  EXPECT_TRUE(report.value().data_loss());
+  EXPECT_TRUE(report.value().unrecoverable_versions.empty());
+
+  std::set<std::string> reported_loss;
+  for (const auto& c : report.value().unrecoverable_chunks) {
+    EXPECT_EQ(c.container_id, victim);
+    reported_loss.insert(c.file_id + "@" + std::to_string(c.version) + ":" +
+                         c.fp.ToHex());
+  }
+  EXPECT_EQ(reported_loss, expected_loss);
+
+  // Affected versions fail cleanly; unaffected versions still restore
+  // byte-identically.
+  for (size_t f = 0; f < kFiles; ++f) {
+    for (size_t v = 0; v < kVersions; ++v) {
+      auto data = u.slim->Restore(FileId(f), v);
+      if (affected_versions.count({FileId(f), v}) > 0) {
+        EXPECT_FALSE(data.ok()) << FileId(f) << "@v" << v;
+      } else {
+        ASSERT_TRUE(data.ok()) << FileId(f) << "@v" << v << ": "
+                               << data.status();
+        EXPECT_EQ(data.value(), expected[f][v]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-store structural rebuilds
+// ---------------------------------------------------------------------------
+
+TEST(ScrubRepairTest, MetaAndRecipeObjectsRebuildWithoutReplicas) {
+  oss::MemoryObjectStore mem;
+  core::SlimStore slim(&mem, SmallContainerOptions());
+  auto expected = MakeVersions(53);
+  BackupAll(&slim, expected);
+  ASSERT_TRUE(slim.SaveState().ok());
+
+  // Destroy every container meta and every toc + recipe index: all are
+  // structurally derivable (meta from the data object's directory,
+  // toc/index from the recipe).
+  size_t destroyed = 0;
+  for (const char* prefix :
+       {"slim/containers/meta-", "slim/recipes/toc/",
+        "slim/recipes/index/"}) {
+    auto keys = mem.List(prefix);
+    ASSERT_TRUE(keys.ok());
+    for (const std::string& key : keys.value()) {
+      ASSERT_TRUE(mem.Delete(key).ok());
+      ++destroyed;
+    }
+  }
+  ASSERT_GT(destroyed, 0u);
+
+  auto detect = slim.Scrub(/*repair=*/false);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_GE(detect.value().checksum_failures, destroyed);
+  EXPECT_FALSE(detect.value().data_loss());
+
+  auto repair = slim.Scrub(/*repair=*/true);
+  ASSERT_TRUE(repair.ok()) << repair.status();
+  EXPECT_GT(repair.value().metas_rebuilt, 0u);
+  EXPECT_GT(repair.value().recipes_rebuilt, 0u);
+  EXPECT_FALSE(repair.value().data_loss());
+
+  auto verify = slim.Scrub(/*repair=*/false);
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify.value().clean())
+      << (verify.value().problems.empty() ? "?"
+                                          : verify.value().problems[0]);
+  ExpectAllRestore(&slim, expected, "after structural rebuild");
+}
+
+TEST(ScrubRepairTest, ParityReconstructsLostContainerOnSingleStore) {
+  oss::MemoryObjectStore mem;
+  core::SlimStoreOptions options = SmallContainerOptions();
+  options.durability.scrub.parity_group_size = 4;
+  core::SlimStore slim(&mem, options);
+  auto expected = MakeVersions(59);
+  BackupAll(&slim, expected);
+  ASSERT_TRUE(slim.SaveState().ok());
+
+  // First repair cycle builds the parity groups (lazy maintenance).
+  auto build = slim.Scrub(/*repair=*/true);
+  ASSERT_TRUE(build.ok()) << build.status();
+  EXPECT_GT(build.value().parity_built, 0u);
+  EXPECT_TRUE(build.value().clean());
+
+  // Lose one container data object outright — no replica exists; parity
+  // is the only redundancy.
+  auto ids = slim.container_store()->ListContainerIds();
+  ASSERT_TRUE(ids.ok());
+  const uint64_t victim = ids.value().front();
+  ASSERT_TRUE(
+      mem.Delete(slim.container_store()->DataObjectKey(victim)).ok());
+
+  // Detection reports it as reconstructible but does not write.
+  auto detect = slim.Scrub(/*repair=*/false);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_FALSE(detect.value().clean());
+  EXPECT_FALSE(detect.value().data_loss());
+  EXPECT_EQ(detect.value().parity_reconstructed, 0u);
+
+  auto repair = slim.Scrub(/*repair=*/true);
+  ASSERT_TRUE(repair.ok()) << repair.status();
+  EXPECT_EQ(repair.value().parity_reconstructed, 1u);
+  EXPECT_FALSE(repair.value().data_loss());
+
+  auto verify = slim.Scrub(/*repair=*/false);
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify.value().clean());
+  ExpectAllRestore(&slim, expected, "after parity reconstruction");
+
+  // Beyond parity: two losses in one group are unrecoverable — and said
+  // so, not papered over.
+  const uint64_t second = ids.value()[1];
+  ASSERT_TRUE(
+      mem.Delete(slim.container_store()->DataObjectKey(victim)).ok());
+  ASSERT_TRUE(
+      mem.Delete(slim.container_store()->DataObjectKey(second)).ok());
+  auto both = slim.Scrub(/*repair=*/true);
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both.value().data_loss());
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted, resumable cycles
+// ---------------------------------------------------------------------------
+
+TEST(ScrubRepairTest, BudgetedPassResumesFromDurableCursor) {
+  oss::MemoryObjectStore mem;
+  core::SlimStore slim(&mem, SmallContainerOptions());
+  auto expected = MakeVersions(61);
+  BackupAll(&slim, expected);
+  ASSERT_TRUE(slim.SaveState().ok());
+
+  // Damage a few objects so the budgeted pass has real findings.
+  for (const char* prefix : {"slim/containers/meta-", "slim/recipes/toc/"}) {
+    auto keys = mem.List(prefix);
+    ASSERT_TRUE(keys.ok());
+    ASSERT_FALSE(keys.value().empty());
+    ASSERT_TRUE(mem.Delete(keys.value().front()).ok());
+  }
+
+  auto live_of = [&] {
+    std::vector<durability::ScrubLiveVersion> live;
+    for (const auto& fv : slim.catalog()->LiveVersions()) {
+      durability::ScrubLiveVersion v;
+      v.file_id = fv.file_id;
+      v.version = fv.version;
+      auto info = slim.catalog()->Get(fv.file_id, fv.version);
+      if (info.has_value()) {
+        v.referenced_containers.assign(info->referenced_containers.begin(),
+                                       info->referenced_containers.end());
+      }
+      live.push_back(std::move(v));
+    }
+    return live;
+  };
+
+  // Reference: one unbudgeted detection pass.
+  durability::ScrubOptions unbudgeted;
+  durability::Scrubber reference(&mem, slim.container_store(),
+                                 slim.recipe_store(), slim.global_index(),
+                                 nullptr, "slim", unbudgeted);
+  auto whole = reference.RunCycle(live_of(), /*repair=*/false);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(whole.value().cycle_complete);
+  ASSERT_FALSE(whole.value().problems.empty());
+
+  // Budgeted: 5 objects per cycle, resumed via the durable cursor.
+  durability::ScrubOptions budgeted;
+  budgeted.max_objects_per_cycle = 5;
+  durability::Scrubber scrubber(&mem, slim.container_store(),
+                                slim.recipe_store(), slim.global_index(),
+                                nullptr, "slim", budgeted);
+  std::vector<std::string> all_problems;
+  uint64_t total_scanned = 0;
+  size_t cycles = 0;
+  for (;; ++cycles) {
+    ASSERT_LT(cycles, 200u) << "budgeted pass failed to converge";
+    auto cycle = scrubber.RunCycle(live_of(), /*repair=*/false);
+    ASSERT_TRUE(cycle.ok()) << cycle.status();
+    EXPECT_LE(cycle.value().objects_scanned, 5u);
+    total_scanned += cycle.value().objects_scanned;
+    for (const auto& p : cycle.value().problems) all_problems.push_back(p);
+    if (cycle.value().cycle_complete) {
+      EXPECT_FALSE(mem.Exists(scrubber.CursorKey()).value());
+      break;
+    }
+    // Mid-pass: the cursor is durable (a new process could resume).
+    EXPECT_TRUE(mem.Exists(scrubber.CursorKey()).value());
+  }
+  EXPECT_GT(cycles, 1u);
+  // Resume is exact: every work item is processed exactly once across
+  // the budgeted cycles (the cursor object lives outside the scanned
+  // prefixes, so it does not inflate the count).
+  EXPECT_EQ(total_scanned, whole.value().objects_scanned);
+  std::sort(all_problems.begin(), all_problems.end());
+  std::vector<std::string> whole_problems = whole.value().problems;
+  std::sort(whole_problems.begin(), whole_problems.end());
+  EXPECT_EQ(all_problems, whole_problems);
+}
+
+}  // namespace
+}  // namespace slim

@@ -71,7 +71,8 @@ TEST(VerifierTest, DetectsCorruptedContainer) {
   auto object = oss.Get(keys.value()[0]);
   ASSERT_TRUE(object.ok());
   std::string mutated = object.value();
-  mutated[mutated.size() - 1] ^= 0xff;
+  mutated[mutated.size() - 1] =
+      static_cast<char>(mutated[mutated.size() - 1] ^ 0xff);
   ASSERT_TRUE(oss.Put(keys.value()[0], mutated).ok());
 
   auto report = store.VerifyRepository();

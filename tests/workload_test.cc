@@ -77,7 +77,7 @@ TEST(GeneratorTest, SelfReferenceProducesInternalDuplicates) {
       if (!seen.insert(Fnv1a64(data.data() + off, 1024)).second) ++dups;
       ++total;
     }
-    return static_cast<double>(dups) / total;
+    return static_cast<double>(dups) / static_cast<double>(total);
   };
   EXPECT_GT(dup_blocks(VersionedFileGenerator(with).data()), 0.15);
   EXPECT_LT(dup_blocks(VersionedFileGenerator(without).data()), 0.02);

@@ -29,6 +29,20 @@ Checks (each maps to a stable rule id, printed with every finding):
                         std::move (or tag `// lint:allow-put-copy` when the
                         copy is intentional, e.g. a retry loop that must
                         keep the value for the next attempt).
+  oss-verified-read     raw Get/GetRange on an object-store handle (a
+                        receiver named `store`/`*_store`/`oss`/...) in src/
+                        returns payload bytes without checking the CRC32C
+                        footer. Read through durability::GetVerified (or a
+                        ReadVerified* wrapper), or tag the call
+                        `// lint:allow-unverified-read` with a reason (e.g.
+                        the scrubber probing replicas it will arbitrate, or
+                        a range read whose object-level CRC cannot apply).
+                        Pass-through decorators hold their target as
+                        `inner_` and are out of scope: they sit below the
+                        checksum layer. src/baselines/ is exempt (paper
+                        baselines predate the durability subsystem), as is
+                        durability/checksum.cc (it implements the verified
+                        read itself).
 
 Usage:
   tools/lint.py              lint the repo (exit 1 on findings)
@@ -53,6 +67,7 @@ SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
 
 ALLOW_NEW_TAG = "lint:allow-new"
 ALLOW_PUT_COPY_TAG = "lint:allow-put-copy"
+ALLOW_UNVERIFIED_READ_TAG = "lint:allow-unverified-read"
 
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
@@ -65,6 +80,7 @@ STD_SYNC_RE = re.compile(
 )
 COMMENT_RE = re.compile(r"//.*$")
 PUT_CALL_RE = re.compile(r"(?:->|\.)\s*Put\s*\(")
+OSS_READ_RE = re.compile(r"\b(\w*(?:store|oss)_?)\s*(?:->|\.)\s*Get(?:Range)?\s*\(")
 BARE_IDENT_RE = re.compile(r"^[A-Za-z_]\w*$")
 STRING_DECL_RE = re.compile(r"std::string\s+(?:&&?\s*)?([A-Za-z_]\w*)\s*[;=,(){]")
 
@@ -199,6 +215,26 @@ def check_oss_put_copy(rel_path, text, lines, findings):
                     f"`// {ALLOW_PUT_COPY_TAG}` with a reason)"))
 
 
+def check_oss_verified_read(rel_path, lines, findings):
+    norm = rel_path.replace(os.sep, "/")
+    if norm == "src/durability/checksum.cc" or norm.startswith("src/baselines/"):
+        return
+    for i, line in enumerate(lines, 1):
+        # The tag may sit on the previous line, or on the continuation
+        # line when the call's argument list wraps.
+        nearby = lines[max(0, i - 2): i + 1]
+        if any(ALLOW_UNVERIFIED_READ_TAG in l for l in nearby):
+            continue
+        m = OSS_READ_RE.search(strip_line_comment(line))
+        if m:
+            findings.append(
+                Finding("oss-verified-read", rel_path, i,
+                        f"raw object-store read on `{m.group(1)}` returns "
+                        "payload bytes without a CRC32C check; use "
+                        "durability::GetVerified (or tag "
+                        f"`// {ALLOW_UNVERIFIED_READ_TAG}` with a reason)"))
+
+
 def collect_metric_sites(rel_path, lines, sites):
     for i, line in enumerate(lines, 1):
         for name in METRIC_RE.findall(strip_line_comment(line)):
@@ -235,6 +271,7 @@ def lint_file(root, rel_path, metric_sites, findings):
     if top == "src":
         check_raw_new(rel_path, lines, findings)
         check_std_mutex(rel_path, lines, findings)
+        check_oss_verified_read(rel_path, lines, findings)
         collect_metric_sites(rel_path, lines, metric_sites)
     if top in ("src", "tools"):
         check_oss_put_copy(rel_path, text, lines, findings)

@@ -1,0 +1,17 @@
+// Fixture: raw Get/GetRange on an object-store handle returns payload
+// bytes without a CRC32C check and must trip [oss-verified-read].
+#include <string>
+
+struct ObjectStore {
+  std::string Get(const std::string& key);
+  std::string GetRange(const std::string& key, unsigned long offset,
+                       unsigned long len);
+};
+
+struct MetaReader {
+  ObjectStore* store_;
+  std::string ReadMeta(const std::string& key) { return store_->Get(key); }
+  std::string ReadSpan(const std::string& key) {
+    return store_->GetRange(key, 0, 16);
+  }
+};

@@ -1,0 +1,30 @@
+// Fixture: verified reads, tagged intentional raw reads (same line and
+// wrapped continuation), and pass-through decorator reads on `inner_`
+// must all pass [oss-verified-read] clean.
+#include <string>
+
+struct ObjectStore {
+  std::string Get(const std::string& key);
+  std::string GetRange(const std::string& key, unsigned long offset,
+                       unsigned long len);
+};
+
+namespace durability {
+std::string GetVerified(ObjectStore& store, const std::string& key, int);
+}  // namespace durability
+
+struct Reader {
+  ObjectStore* store_;
+  ObjectStore* inner_;
+  std::string ReadVerified(const std::string& key) {
+    return durability::GetVerified(*store_, key, 0);
+  }
+  std::string ProbeReplica(const std::string& key) {
+    return store_->Get(key);  // lint:allow-unverified-read scrub probe
+  }
+  std::string ReadWrapped(const std::string& long_key_name_forcing_wrap) {
+    return store_->GetRange(long_key_name_forcing_wrap, 0,
+                            4096);  // lint:allow-unverified-read range read
+  }
+  std::string PassThrough(const std::string& key) { return inner_->Get(key); }
+};

@@ -3,7 +3,7 @@
 // The repository is a directory of objects (DiskObjectStore); swap in a
 // real cloud ObjectStore binding to talk to actual OSS/S3.
 //
-//   slim -r REPO init
+//   slim -r REPO init [--replicas N]
 //   slim -r REPO backup  FILE...           back up files (next version)
 //   slim -r REPO restore FILE VERSION OUT  restore one version to OUT
 //   slim -r REPO list [FILE]               list files / versions
@@ -11,6 +11,8 @@
 //   slim -r REPO forget FILE VERSION       delete a version + GC
 //   slim -r REPO space                     space report
 //   slim -r REPO stats [--json|--prom]     metrics + recent trace spans
+//   slim -r REPO scrub                     detect corruption / lost replicas
+//   slim -r REPO repair                    scrub + repair what redundancy allows
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +23,9 @@
 #include <vector>
 
 #include "core/slimstore.h"
+#include "durability/checksum.h"
+#include "durability/placement.h"
+#include "durability/replicating_object_store.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "oss/disk_object_store.h"
@@ -35,8 +40,11 @@ using namespace slim;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: slim -r REPO [--fault-profile SPEC] COMMAND ...\n"
-      "  init                      create a repository\n"
+      "usage: slim -r REPO [--fault-profile SPEC] [--parity-group N] "
+      "COMMAND ...\n"
+      "  init [--replicas N]       create a repository; with N >= 2 the\n"
+      "                            objects are replicated across N\n"
+      "                            independent directories (replica-0..)\n"
       "  backup FILE...            back up files (next version each)\n"
       "  restore FILE VER OUT      restore FILE version VER into OUT\n"
       "  list [FILE]               list backed-up files / versions\n"
@@ -46,7 +54,12 @@ int Usage() {
       "  verify                    check repository consistency\n"
       "  stats [--json|--prom]     print OSS/pipeline metrics and recent "
       "trace spans\n"
+      "  scrub                     verify checksums + replicas (detect "
+      "only)\n"
+      "  repair                    scrub and repair from redundancy\n"
       "\n"
+      "  --parity-group N          maintain XOR parity over groups of N\n"
+      "    containers during `repair` (single-store parity protection)\n"
       "  --fault-profile SPEC      inject OSS faults under a retry layer\n"
       "    SPEC is comma-separated preset names (transient-light,\n"
       "    transient-heavy, crash, permanent) and/or key=value overrides\n"
@@ -67,14 +80,40 @@ Status WriteFile(const std::string& path, const std::string& data) {
 // process exits; reload it (if present) on startup.
 class Repo {
  public:
+  /// `init_replicas` >= 2 creates a replicated layout (init only);
+  /// otherwise the layout is detected from the directory structure.
   static Result<std::unique_ptr<Repo>> Open(
       const std::string& root, bool must_exist,
-      const std::optional<oss::FaultProfile>& fault_profile) {
-    auto disk = oss::DiskObjectStore::Open(root);
-    if (!disk.ok()) return disk.status();
+      const std::optional<oss::FaultProfile>& fault_profile,
+      uint32_t init_replicas, uint32_t parity_group) {
+    namespace fs = std::filesystem;
+    uint32_t replica_count = 0;
+    if (fs::is_directory(fs::path(root) / "replica-0")) {
+      while (fs::is_directory(fs::path(root) / ("replica-" +
+                                                std::to_string(
+                                                    replica_count)))) {
+        ++replica_count;
+      }
+    } else if (init_replicas >= 2) {
+      replica_count = init_replicas;
+    }
+
+    std::vector<std::unique_ptr<oss::DiskObjectStore>> disks;
+    if (replica_count >= 2) {
+      for (uint32_t i = 0; i < replica_count; ++i) {
+        auto disk = oss::DiskObjectStore::Open(
+            (fs::path(root) / ("replica-" + std::to_string(i))).string());
+        if (!disk.ok()) return disk.status();
+        disks.push_back(std::move(disk).value());
+      }
+    } else {
+      auto disk = oss::DiskObjectStore::Open(root);
+      if (!disk.ok()) return disk.status();
+      disks.push_back(std::move(disk).value());
+    }
     auto repo = std::unique_ptr<Repo>(
-        new Repo(std::move(disk).value(), fault_profile));
-    auto marker = repo->disk_->Exists("slim/state/catalog");
+        new Repo(std::move(disks), fault_profile, parity_group));
+    auto marker = repo->base_->Exists("slim/state/catalog");
     if (marker.ok() && marker.value()) {
       Status s = repo->store_->OpenExisting();
       if (!s.ok()) return s;
@@ -103,9 +142,24 @@ class Repo {
   }
 
  private:
-  Repo(std::unique_ptr<oss::DiskObjectStore> disk,
-       const std::optional<oss::FaultProfile>& fault_profile)
-      : disk_(std::move(disk)) {
+  Repo(std::vector<std::unique_ptr<oss::DiskObjectStore>> disks,
+       const std::optional<oss::FaultProfile>& fault_profile,
+       uint32_t parity_group)
+      : disks_(std::move(disks)) {
+    base_ = disks_[0].get();
+    if (disks_.size() >= 2) {
+      // k-way replication across the replica directories, arbitrated by
+      // the CRC32C footer every SlimStore object carries: a bit-flipped
+      // replica fails validation, so reads fail over and repair it.
+      std::vector<oss::ObjectStore*> replicas;
+      for (const auto& d : disks_) replicas.push_back(d.get());
+      replicating_ = std::make_unique<durability::ReplicatingObjectStore>(
+          std::move(replicas), durability::PlacementPolicy(),
+          [](std::string_view object) {
+            return durability::HasValidFooter(object);
+          });
+      base_ = replicating_.get();
+    }
     // Zero-cost SimulatedOss layer: no latency model, no sleeping —
     // just the per-operation metrics, so `slim stats` can report OSS
     // traffic against a plain directory store.
@@ -114,7 +168,7 @@ class Repo {
     model.read_nanos_per_byte = 0;
     model.write_nanos_per_byte = 0;
     model.sleep_for_cost = false;
-    metered_ = std::make_unique<oss::SimulatedOss>(disk_.get(), model);
+    metered_ = std::make_unique<oss::SimulatedOss>(base_, model);
     oss::ObjectStore* top = metered_.get();
     if (fault_profile.has_value()) {
       // Retries OUTSIDE injection, so each attempt re-rolls the fault —
@@ -127,15 +181,23 @@ class Repo {
     }
     core::SlimStoreOptions options;
     options.backup.chunk_merging = true;
+    options.durability.replicated = replicating_.get();
+    options.durability.scrub.parity_group_size = parity_group;
     store_ = std::make_unique<core::SlimStore>(top, options);
   }
 
-  std::unique_ptr<oss::DiskObjectStore> disk_;
+  std::vector<std::unique_ptr<oss::DiskObjectStore>> disks_;
+  std::unique_ptr<durability::ReplicatingObjectStore> replicating_;
+  oss::ObjectStore* base_ = nullptr;  // Replicating store or the one disk.
   std::unique_ptr<oss::SimulatedOss> metered_;
   std::unique_ptr<oss::FaultInjectingObjectStore> faulty_;
   std::unique_ptr<oss::RetryingObjectStore> retrying_;
   std::unique_ptr<core::SlimStore> store_;
 };
+
+double Mb(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -147,6 +209,7 @@ int Fail(const Status& status) {
 int main(int argc, char** argv) {
   std::string repo_root;
   std::optional<oss::FaultProfile> fault_profile;
+  uint32_t parity_group = 0;
   int argi = 1;
   while (argi + 1 < argc) {
     if (std::strcmp(argv[argi], "-r") == 0) {
@@ -157,6 +220,9 @@ int main(int argc, char** argv) {
       if (!parsed.ok()) return Fail(parsed.status());
       fault_profile = parsed.value();
       argi += 2;
+    } else if (std::strcmp(argv[argi], "--parity-group") == 0) {
+      parity_group = static_cast<uint32_t>(std::stoul(argv[argi + 1]));
+      argi += 2;
     } else {
       break;
     }
@@ -164,14 +230,27 @@ int main(int argc, char** argv) {
   if (repo_root.empty() || argi >= argc) return Usage();
   std::string command = argv[argi++];
 
+  uint32_t init_replicas = 0;
+  if (command == "init" && argi + 1 < argc &&
+      std::strcmp(argv[argi], "--replicas") == 0) {
+    init_replicas = static_cast<uint32_t>(std::stoul(argv[argi + 1]));
+    argi += 2;
+  }
+
   bool must_exist = command != "init";
-  auto repo = Repo::Open(repo_root, must_exist, fault_profile);
+  auto repo = Repo::Open(repo_root, must_exist, fault_profile,
+                         init_replicas, parity_group);
   if (!repo.ok()) return Fail(repo.status());
   core::SlimStore* store = repo.value()->store();
 
   if (command == "init") {
     if (!repo.value()->Save().ok()) return 1;
-    std::printf("initialized repository at %s\n", repo_root.c_str());
+    if (init_replicas >= 2) {
+      std::printf("initialized repository at %s (%u replicas)\n",
+                  repo_root.c_str(), init_replicas);
+    } else {
+      std::printf("initialized repository at %s\n", repo_root.c_str());
+    }
     return 0;
   }
 
@@ -184,7 +263,7 @@ int main(int argc, char** argv) {
       std::printf("%s: version %llu, %.1f MB, dedup %.1f%%, %llu new "
                   "containers\n",
                   argv[argi], (unsigned long long)stats.value().version,
-                  stats.value().logical_bytes / (1024.0 * 1024.0),
+                  Mb(stats.value().logical_bytes),
                   100 * stats.value().DedupRatio(),
                   (unsigned long long)stats.value().new_containers.size());
     }
@@ -206,7 +285,7 @@ int main(int argc, char** argv) {
     std::printf("restored %s v%llu -> %s (%.1f MB, %llu containers "
                 "read)\n",
                 file.c_str(), (unsigned long long)version, out.c_str(),
-                data.value().size() / (1024.0 * 1024.0),
+                Mb(data.value().size()),
                 (unsigned long long)stats.containers_fetched);
     return 0;
   }
@@ -221,7 +300,7 @@ int main(int argc, char** argv) {
       std::printf("%-40s v%-6llu %10.1f MB%s\n", fv.file_id.c_str(),
                   (unsigned long long)fv.version,
                   info.has_value()
-                      ? info->logical_bytes / (1024.0 * 1024.0)
+                      ? Mb(info->logical_bytes)
                       : 0.0,
                   info.has_value() && info->gnode_pending
                       ? "  (g-node pending)"
@@ -258,7 +337,7 @@ int main(int argc, char** argv) {
     std::printf("forgot %s v%llu: %llu containers reclaimed (%.1f MB)\n",
                 file.c_str(), (unsigned long long)version,
                 (unsigned long long)gc.value().containers_deleted,
-                gc.value().bytes_reclaimed / (1024.0 * 1024.0));
+                Mb(gc.value().bytes_reclaimed));
     return 0;
   }
 
@@ -278,6 +357,76 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("repository OK\n");
+    return 0;
+  }
+
+  if (command == "scrub" || command == "repair") {
+    const bool repair = command == "repair";
+    durability::ScrubReport total;
+    // Drive budgeted cycles until the cursor clears (a full pass). The
+    // default CLI options have no budget, so this is normally one call.
+    for (;;) {
+      auto cycle = store->Scrub(repair);
+      if (!cycle.ok()) return Fail(cycle.status());
+      durability::ScrubReport& r = cycle.value();
+      total.objects_scanned += r.objects_scanned;
+      total.bytes_verified += r.bytes_verified;
+      total.checksum_failures += r.checksum_failures;
+      total.replicas_repaired += r.replicas_repaired;
+      total.metas_rebuilt += r.metas_rebuilt;
+      total.recipes_rebuilt += r.recipes_rebuilt;
+      total.parity_built += r.parity_built;
+      total.parity_reconstructed += r.parity_reconstructed;
+      total.quarantined += r.quarantined;
+      for (auto& p : r.problems) total.problems.push_back(std::move(p));
+      for (auto& c : r.unrecoverable_chunks) {
+        total.unrecoverable_chunks.push_back(std::move(c));
+      }
+      for (auto& v : r.unrecoverable_versions) {
+        total.unrecoverable_versions.push_back(std::move(v));
+      }
+      if (r.cycle_complete) break;
+    }
+    std::printf("scrub: %llu objects, %.1f MB verified",
+                (unsigned long long)total.objects_scanned,
+                Mb(total.bytes_verified));
+    if (repair) {
+      std::printf(
+          ", repaired: %llu replicas, %llu metas, %llu recipe objects, "
+          "%llu from parity (%llu parity groups, %llu quarantined)",
+          (unsigned long long)total.replicas_repaired,
+          (unsigned long long)total.metas_rebuilt,
+          (unsigned long long)total.recipes_rebuilt,
+          (unsigned long long)total.parity_reconstructed,
+          (unsigned long long)total.parity_built,
+          (unsigned long long)total.quarantined);
+    }
+    std::printf("\n");
+    for (const auto& p : total.problems) {
+      std::fprintf(stderr, "PROBLEM: %s\n", p.c_str());
+    }
+    for (const auto& v : total.unrecoverable_versions) {
+      std::fprintf(stderr, "UNRECOVERABLE: %s v%llu: %s\n",
+                   v.file_id.c_str(), (unsigned long long)v.version,
+                   v.reason.c_str());
+    }
+    for (const auto& c : total.unrecoverable_chunks) {
+      std::fprintf(stderr,
+                   "UNRECOVERABLE: %s v%llu chunk %s (container %llu)\n",
+                   c.file_id.c_str(), (unsigned long long)c.version,
+                   c.fp.ToHex().c_str(),
+                   (unsigned long long)c.container_id);
+    }
+    if (total.data_loss()) {
+      std::fprintf(stderr, "scrub: DATA LOSS beyond redundancy\n");
+      return 1;
+    }
+    if (!total.problems.empty()) {
+      // Detect mode exits nonzero on findings; repair mode only when
+      // something could not be fixed (problems are the findings log).
+      if (!repair) return 1;
+    }
+    std::printf(repair ? "repository repaired\n" : "repository OK\n");
     return 0;
   }
 
@@ -307,15 +456,15 @@ int main(int argc, char** argv) {
     auto report = store->GetSpaceReport();
     if (!report.ok()) return Fail(report.status());
     std::printf("containers: %10.2f MB\n",
-                report.value().container_bytes / (1024.0 * 1024.0));
+                Mb(report.value().container_bytes));
     std::printf("metadata:   %10.2f MB\n",
-                report.value().meta_bytes / (1024.0 * 1024.0));
+                Mb(report.value().meta_bytes));
     std::printf("recipes:    %10.2f MB\n",
-                report.value().recipe_bytes / (1024.0 * 1024.0));
+                Mb(report.value().recipe_bytes));
     std::printf("index:      %10.2f MB\n",
-                report.value().index_bytes / (1024.0 * 1024.0));
+                Mb(report.value().index_bytes));
     std::printf("total:      %10.2f MB\n",
-                report.value().total() / (1024.0 * 1024.0));
+                Mb(report.value().total()));
     return 0;
   }
 
