@@ -5,6 +5,9 @@
 //       moved;
 //   (3) container capacity — dedup throughput vs restore reads;
 //   (4) version collection: precomputed sweep vs full mark-and-sweep.
+//
+// Registered as the "ablation.sweeps" harness scenario; the quick suite
+// shrinks the file, version counts, and sweep lists.
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
@@ -14,29 +17,67 @@ using namespace slim::bench;
 
 namespace {
 
-workload::VersionedFileGenerator MakeFile(uint64_t seed = 1212) {
+struct Scale {
+  size_t file_bytes;
+  int sample_versions;
+  std::vector<uint32_t> sample_ratios;
+  int scc_versions;
+  std::vector<double> scc_thresholds;
+  int capacity_versions;
+  std::vector<size_t> capacities;
+  int gc_versions;
+  int gc_deletes;
+};
+
+Scale MakeScale(bool quick) {
+  if (quick) {
+    return Scale{2 << 20,
+                 /*sample_versions=*/4,
+                 {1u, 8u, 64u},
+                 /*scc_versions=*/6,
+                 {0.0, 0.30, 0.70},
+                 /*capacity_versions=*/4,
+                 {64u << 10, 256u << 10},
+                 /*gc_versions=*/8,
+                 /*gc_deletes=*/4};
+  }
+  return Scale{4 << 20,
+               /*sample_versions=*/6,
+               {1u, 2u, 4u, 8u, 16u, 64u},
+               /*scc_versions=*/12,
+               {0.0, 0.15, 0.30, 0.50, 0.70},
+               /*capacity_versions=*/6,
+               {16u << 10, 64u << 10, 256u << 10, 1u << 20},
+               /*gc_versions=*/15,
+               /*gc_deletes=*/8};
+}
+
+workload::VersionedFileGenerator MakeFile(size_t file_bytes,
+                                          uint64_t seed = 1212) {
   workload::GeneratorOptions gen;
-  gen.base_size = 4 << 20;
+  gen.base_size = file_bytes;
   gen.duplication_ratio = 0.84;
   gen.self_reference = 0.2;
   gen.seed = seed;
   return workload::VersionedFileGenerator(gen);
 }
 
-void SweepSampleRatio() {
-  Section("Ablation 1: sampling ratio R (mod R == 0), 6 versions");
+// Returns the dedup ratio at the default R for the scenario summary.
+double SweepSampleRatio(const Scale& scale) {
+  Section("Ablation 1: sampling ratio R (mod R == 0)");
   Row("%-8s %12s %16s %14s", "R", "dedup ratio", "segment fetches",
       "index KB");
-  for (uint32_t ratio : {1u, 2u, 4u, 8u, 16u, 64u}) {
+  double default_r_ratio = 0;
+  for (uint32_t ratio : scale.sample_ratios) {
     oss::MemoryObjectStore inner;
     oss::SimulatedOss oss(&inner, AccountingModel());
     core::SlimStoreOptions options = BenchStoreOptions();
     options.backup.sample_ratio = ratio;
     core::SlimStore store(&oss, options);
-    auto file = MakeFile();
+    auto file = MakeFile(scale.file_bytes);
     double last_ratio = 0;
     uint64_t fetches = 0;
-    for (int v = 0; v < 6; ++v) {
+    for (int v = 0; v < scale.sample_versions; ++v) {
       auto stats = store.Backup("f", file.data());
       SLIM_CHECK_OK(stats.status());
       last_ratio = stats.value().DedupRatio();
@@ -47,26 +88,30 @@ void SweepSampleRatio() {
     Row("%-8u %12.3f %16llu %14.1f", ratio, last_ratio,
         (unsigned long long)fetches,
         index_bytes.ok() ? index_bytes.value() / 1024.0 : 0.0);
+    if (ratio == scale.sample_ratios.front()) default_r_ratio = last_ratio;
   }
   Row("%s", "Expected: dedup ratio stays flat while R is small relative "
             "to segment size, then degrades; index size shrinks ~1/R.");
+  return default_r_ratio;
 }
 
-void SweepSccThreshold() {
-  Section("Ablation 2: SCC utilization threshold, 12 versions, restore "
-          "reads of the newest version");
+// Returns reads/100MB of the newest version at the highest threshold.
+double SweepSccThreshold(const Scale& scale) {
+  Section("Ablation 2: SCC utilization threshold, restore reads of the "
+          "newest version");
   Row("%-12s %16s %14s %16s", "threshold", "reads/100MB", "moved MB",
       "old-v0 reads");
-  for (double threshold : {0.0, 0.15, 0.30, 0.50, 0.70}) {
+  double best_reads = 0;
+  for (double threshold : scale.scc_thresholds) {
     oss::MemoryObjectStore inner;
     oss::SimulatedOss oss(&inner, AccountingModel());
     core::SlimStoreOptions options = BenchStoreOptions();
     options.backup.sparse_utilization_threshold = threshold;
     options.enable_reverse_dedup = false;
     core::SlimStore store(&oss, options);
-    auto file = MakeFile(77);
+    auto file = MakeFile(scale.file_bytes, 77);
     gnode::SccStats scc_total;
-    for (int v = 0; v < 12; ++v) {
+    for (int v = 0; v < scale.scc_versions; ++v) {
       SLIM_CHECK_OK(store.Backup("f", file.data()).status());
       auto cycle = store.RunGNodeCycle();
       SLIM_CHECK_OK(cycle.status());
@@ -74,30 +119,35 @@ void SweepSccThreshold() {
       file.Mutate();
     }
     lnode::RestoreStats newest, oldest;
-    SLIM_CHECK_OK(store.Restore("f", 11, &newest).status());
+    SLIM_CHECK_OK(
+        store.Restore("f", scale.scc_versions - 1, &newest).status());
     SLIM_CHECK_OK(store.Restore("f", 0, &oldest).status());
     Row("%-12.2f %16.1f %14.2f %16.1f", threshold,
         newest.ContainersPer100MB(), Mb(scc_total.bytes_moved),
         oldest.ContainersPer100MB());
+    best_reads = newest.ContainersPer100MB();
   }
   Row("%s", "Expected: higher thresholds compact more (fewer reads for "
             "new versions, more bytes moved, more old-version "
             "redirects).");
+  return best_reads;
 }
 
-void SweepContainerSize() {
-  Section("Ablation 3: container capacity, 6 versions");
+// Returns the best backup throughput across capacities.
+double SweepContainerSize(const Scale& scale) {
+  Section("Ablation 3: container capacity");
   Row("%-12s %14s %16s %14s", "capacity", "backup MB/s", "reads/100MB",
       "containers");
-  for (size_t capacity : {16u << 10, 64u << 10, 256u << 10, 1u << 20}) {
+  double best_thru = 0;
+  for (size_t capacity : scale.capacities) {
     oss::MemoryObjectStore inner;
     oss::SimulatedOss oss(&inner, AccountingModel());
     core::SlimStoreOptions options = BenchStoreOptions();
     options.backup.container_capacity = capacity;
     core::SlimStore store(&oss, options);
-    auto file = MakeFile(55);
+    auto file = MakeFile(scale.file_bytes, 55);
     double thru = 0;
-    for (int v = 0; v < 6; ++v) {
+    for (int v = 0; v < scale.capacity_versions; ++v) {
       auto before = oss.metrics();
       auto stats = store.Backup("f", file.data());
       SLIM_CHECK_OK(stats.status());
@@ -109,39 +159,46 @@ void SweepContainerSize() {
       file.Mutate();
     }
     lnode::RestoreStats stats;
-    SLIM_CHECK_OK(store.Restore("f", 5, &stats).status());
+    SLIM_CHECK_OK(
+        store.Restore("f", scale.capacity_versions - 1, &stats).status());
     size_t count =
         store.container_store()->ListContainerIds().value().size();
-    Row("%-12zu %14.1f %16.1f %14zu", capacity, thru / 5,
+    double avg = thru / (scale.capacity_versions - 1);
+    best_thru = std::max(best_thru, avg);
+    Row("%-12zu %14.1f %16.1f %14zu", capacity, avg,
         stats.ContainersPer100MB(), count);
   }
   Row("%s", "Expected: larger containers cut request counts (fewer reads "
             "per 100MB) at the cost of coarser reclamation.");
+  return best_thru;
 }
 
-void SweepGcStrategy() {
+// Returns mark-sweep wall ms / precomputed wall ms (GC speedup).
+double SweepGcStrategy(const Scale& scale) {
   Section("Ablation 4: version collection — precomputed sweep vs full "
-          "mark-and-sweep (15 versions, delete the 8 oldest)");
+          "mark-and-sweep");
   Row("%-14s %14s %16s %14s", "strategy", "wall ms", "reclaimed MB",
       "space MB");
+  double precomputed_ms = 0, marksweep_ms = 0;
   for (bool precomputed : {true, false}) {
     oss::MemoryObjectStore inner;
     oss::SimulatedOss oss(&inner, AccountingModel());
     core::SlimStoreOptions options = BenchStoreOptions();
     core::SlimStore store(&oss, options);
-    auto file = MakeFile(99);
-    for (int v = 0; v < 15; ++v) {
+    auto file = MakeFile(scale.file_bytes, 99);
+    for (int v = 0; v < scale.gc_versions; ++v) {
       SLIM_CHECK_OK(store.Backup("f", file.data()).status());
       file.Mutate();
     }
     Stopwatch watch;
     uint64_t reclaimed = 0;
-    for (uint64_t v = 0; v < 8; ++v) {
+    for (uint64_t v = 0; v < static_cast<uint64_t>(scale.gc_deletes); ++v) {
       auto gc = store.DeleteVersion("f", v, precomputed);
       SLIM_CHECK_OK(gc.status());
       reclaimed += gc.value().bytes_reclaimed;
     }
     double ms = watch.ElapsedSeconds() * 1e3;
+    (precomputed ? precomputed_ms : marksweep_ms) = ms;
     auto report = store.GetSpaceReport();
     SLIM_CHECK_OK(report.status());
     Row("%-14s %14.1f %16.2f %14.2f",
@@ -150,14 +207,29 @@ void SweepGcStrategy() {
   }
   Row("%s", "Expected: both reclaim the same space; the precomputed "
             "sweep avoids re-reading every live recipe (paper VI-B).");
+  return precomputed_ms > 0 ? marksweep_ms / precomputed_ms : 0.0;
 }
+
+void RunScenario(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  Scale scale = MakeScale(ctx.quick());
+
+  double dedup_ratio = SweepSampleRatio(scale);
+  double scc_reads = SweepSccThreshold(scale);
+  double best_backup_mbps = SweepContainerSize(scale);
+  double gc_speedup = SweepGcStrategy(scale);
+
+  ctx.ReportThroughputMBps(best_backup_mbps);
+  ctx.ReportLogicalBytes(static_cast<uint64_t>(scale.file_bytes) *
+                         static_cast<uint64_t>(scale.capacity_versions));
+  ctx.ReportDedupRatio(dedup_ratio);
+  ctx.ReportExtra("scc_newest_reads_per_100mb", scc_reads);
+  ctx.ReportExtra("gc_precomputed_speedup", gc_speedup);
+}
+
+const obs::BenchRegistration kRegister{
+    {"ablation.sweeps",
+     "Parameter ablations: sample ratio, SCC threshold, container size, GC",
+     /*in_quick=*/true, RunScenario}};
 
 }  // namespace
-
-int main() {
-  SweepSampleRatio();
-  SweepSccThreshold();
-  SweepContainerSize();
-  SweepGcStrategy();
-  return 0;
-}

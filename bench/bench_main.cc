@@ -1,0 +1,64 @@
+// Shared main() for the standalone fig/table bench binaries. Each
+// binary is this file compiled with SLIM_BENCH_DEFAULT_FILTER set to
+// its scenario name; the scenario itself lives in the registry inside
+// slim_bench_scenarios, so `slim bench` and the standalone binaries run
+// byte-identical code.
+//
+// Usage: <binary> [--quick] [--filter SUBSTR] [--repeats N] [--seed S]
+// Default: the full-scale paper reproduction for this binary's
+// scenarios, printing the original human-readable tables.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/bench_harness.h"
+
+#ifndef SLIM_BENCH_DEFAULT_FILTER
+#define SLIM_BENCH_DEFAULT_FILTER ""
+#endif
+
+int main(int argc, char** argv) {
+  slim::obs::BenchRunOptions options;
+  options.suite = "full";
+  options.filter = SLIM_BENCH_DEFAULT_FILTER;
+  options.verbose = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      options.suite = "quick";
+    } else if (arg == "--filter") {
+      options.filter = next();
+    } else if (arg == "--repeats") {
+      options.repeats = std::atoi(next());
+    } else if (arg == "--warmup") {
+      options.warmup = std::atoi(next());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--filter SUBSTR] [--repeats N] "
+                   "[--warmup N] [--seed S]\n",
+                   argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  slim::obs::BenchReport report = slim::obs::RunBenchSuite(options);
+  if (report.scenarios.empty()) {
+    std::fprintf(stderr, "no scenarios matched filter '%s' in suite '%s'\n",
+                 options.filter.c_str(), options.suite.c_str());
+    return 1;
+  }
+  std::printf("\n%s", slim::obs::BenchReportTable(report).c_str());
+  return 0;
+}

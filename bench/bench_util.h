@@ -9,6 +9,7 @@
 
 #include "common/macros.h"
 #include "core/slimstore.h"
+#include "obs/bench_harness.h"
 #include "obs/export.h"
 #include "oss/memory_object_store.h"
 #include "oss/simulated_oss.h"
@@ -16,12 +17,22 @@
 
 namespace slim::bench {
 
+/// When false, Section()/Row() are silent. The harness runner flips
+/// this per run so `slim bench run` stays quiet while the standalone
+/// fig/table binaries keep printing their tables.
+inline bool& TablesEnabled() {
+  static bool enabled = true;
+  return enabled;
+}
+
 /// Prints a section header.
 inline void Section(const std::string& title) {
+  if (!TablesEnabled()) return;
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
 inline void Row(const char* fmt, ...) {
+  if (!TablesEnabled()) return;
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stdout, fmt, args);

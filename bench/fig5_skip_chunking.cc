@@ -4,6 +4,9 @@
 //   (b) dedup ratio vs chunk size (skip does not hurt the ratio);
 //   (c) throughput vs file duplication ratio (higher dup => bigger win);
 //   (d) CPU time breakdown with skip chunking (CDC drops to ~2%).
+//
+// Registered as the "fig5.skip_chunking" harness scenario; the quick
+// suite keeps only the 4 KB column and the duplication sweep endpoints.
 
 #include "bench/bench_util.h"
 
@@ -18,10 +21,15 @@ struct RunResult {
   lnode::CpuBreakdown cpu;
 };
 
+struct Scale {
+  size_t base_size;
+  int versions;
+};
+
 // Backs up `versions` versions of one file and reports the average
 // post-v0 throughput and dedup ratio.
 RunResult Run(chunking::ChunkerType type, size_t avg_chunk, bool skip,
-              double duplication, int versions = 4) {
+              double duplication, const Scale& scale) {
   oss::MemoryObjectStore inner;
   oss::SimulatedOss oss(&inner, AccountingModel());
   core::SlimStoreOptions options = BenchStoreOptions();
@@ -32,7 +40,7 @@ RunResult Run(chunking::ChunkerType type, size_t avg_chunk, bool skip,
   core::SlimStore store(&oss, options);
 
   workload::GeneratorOptions gen;
-  gen.base_size = 6 << 20;
+  gen.base_size = scale.base_size;
   gen.duplication_ratio = duplication;
   gen.self_reference = 0.2;
   gen.seed = 4242;
@@ -40,7 +48,7 @@ RunResult Run(chunking::ChunkerType type, size_t avg_chunk, bool skip,
 
   RunResult result;
   int measured = 0;
-  for (int v = 0; v < versions; ++v) {
+  for (int v = 0; v < scale.versions; ++v) {
     auto before = oss.metrics();
     auto stats = store.Backup("f.db", file.data());
     SLIM_CHECK_OK(stats.status());
@@ -62,47 +70,61 @@ RunResult Run(chunking::ChunkerType type, size_t avg_chunk, bool skip,
   return result;
 }
 
-}  // namespace
-
-int main() {
-  const size_t kSizes[] = {4096, 8192, 16384, 32768, 65536};
+void RunScenario(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  Scale scale{ctx.quick() ? (2u << 20) : (6u << 20), ctx.quick() ? 3 : 4};
+  std::vector<size_t> sizes =
+      ctx.quick() ? std::vector<size_t>{4096}
+                  : std::vector<size_t>{4096, 8192, 16384, 32768, 65536};
+  std::vector<double> dups = ctx.quick()
+                                 ? std::vector<double>{0.65, 0.95}
+                                 : std::vector<double>{0.65, 0.75, 0.85,
+                                                       0.95};
 
   Section("Fig 5(a): dedup throughput (sim MB/s) vs chunk size");
   Row("%-10s %12s %12s %12s %12s", "chunk", "rabin", "rabin+skip",
       "fastcdc", "fcdc+skip");
-  for (size_t size : kSizes) {
-    auto r = Run(chunking::ChunkerType::kRabin, size, false, 0.84);
-    auto rs = Run(chunking::ChunkerType::kRabin, size, true, 0.84);
-    auto f = Run(chunking::ChunkerType::kFastCdc, size, false, 0.84);
-    auto fs = Run(chunking::ChunkerType::kFastCdc, size, true, 0.84);
+  double skip_on_mbps = 0, skip_off_mbps = 0;
+  double skip_on_ratio = 0, skip_off_ratio = 0;
+  for (size_t size : sizes) {
+    auto r = Run(chunking::ChunkerType::kRabin, size, false, 0.84, scale);
+    auto rs = Run(chunking::ChunkerType::kRabin, size, true, 0.84, scale);
+    auto f = Run(chunking::ChunkerType::kFastCdc, size, false, 0.84, scale);
+    auto fs = Run(chunking::ChunkerType::kFastCdc, size, true, 0.84, scale);
     Row("%-10zu %12.1f %12.1f %12.1f %12.1f", size, r.throughput_mbps,
         rs.throughput_mbps, f.throughput_mbps, fs.throughput_mbps);
+    if (size == 4096) {
+      skip_off_mbps = r.throughput_mbps;
+      skip_on_mbps = rs.throughput_mbps;
+      skip_off_ratio = r.dedup_ratio;
+      skip_on_ratio = rs.dedup_ratio;
+    }
   }
 
   Section("Fig 5(b): dedup ratio vs chunk size (skip must not hurt)");
   Row("%-10s %12s %12s %12s %12s", "chunk", "rabin", "rabin+skip",
       "fastcdc", "fcdc+skip");
-  for (size_t size : kSizes) {
-    auto r = Run(chunking::ChunkerType::kRabin, size, false, 0.84);
-    auto rs = Run(chunking::ChunkerType::kRabin, size, true, 0.84);
-    auto f = Run(chunking::ChunkerType::kFastCdc, size, false, 0.84);
-    auto fs = Run(chunking::ChunkerType::kFastCdc, size, true, 0.84);
+  for (size_t size : sizes) {
+    auto r = Run(chunking::ChunkerType::kRabin, size, false, 0.84, scale);
+    auto rs = Run(chunking::ChunkerType::kRabin, size, true, 0.84, scale);
+    auto f = Run(chunking::ChunkerType::kFastCdc, size, false, 0.84, scale);
+    auto fs = Run(chunking::ChunkerType::kFastCdc, size, true, 0.84, scale);
     Row("%-10zu %12.3f %12.3f %12.3f %12.3f", size, r.dedup_ratio,
         rs.dedup_ratio, f.dedup_ratio, fs.dedup_ratio);
   }
 
   Section("Fig 5(c): throughput vs file duplication ratio (Rabin)");
   Row("%-10s %14s %14s %10s", "dup", "no-skip MB/s", "skip MB/s", "gain");
-  for (double dup : {0.65, 0.75, 0.85, 0.95}) {
-    auto off = Run(chunking::ChunkerType::kRabin, 4096, false, dup);
-    auto on = Run(chunking::ChunkerType::kRabin, 4096, true, dup);
+  for (double dup : dups) {
+    auto off = Run(chunking::ChunkerType::kRabin, 4096, false, dup, scale);
+    auto on = Run(chunking::ChunkerType::kRabin, 4096, true, dup, scale);
     Row("%-10.2f %14.1f %14.1f %9.2fx", dup, off.throughput_mbps,
         on.throughput_mbps, on.throughput_mbps / off.throughput_mbps);
   }
 
   Section("Fig 5(d): CPU breakdown with skip chunking (Rabin, 4 KB)");
   for (bool skip : {false, true}) {
-    auto r = Run(chunking::ChunkerType::kRabin, 4096, skip, 0.84);
+    auto r = Run(chunking::ChunkerType::kRabin, 4096, skip, 0.84, scale);
     double total = r.cpu.total_nanos();
     Row("skip=%-5s chunking %5.1f%%  fingerprint %5.1f%%  index %5.1f%%  "
         "other %5.1f%%",
@@ -113,5 +135,20 @@ int main() {
   Row("%s", "\nPaper shape: skip chunking ~2x Rabin / ~1.5x FastCDC "
             "throughput, unchanged dedup ratio, CDC CPU share -> ~2%, "
             "larger gains at higher duplication ratios.");
-  return 0;
+
+  ctx.ReportThroughputMBps(skip_on_mbps);
+  ctx.ReportLogicalBytes(static_cast<uint64_t>(scale.base_size) *
+                         static_cast<uint64_t>(scale.versions));
+  ctx.ReportDedupRatio(skip_on_ratio);
+  ctx.ReportExtra("skip_off_mbps", skip_off_mbps);
+  ctx.ReportExtra("skip_gain",
+                  skip_off_mbps > 0 ? skip_on_mbps / skip_off_mbps : 0.0);
+  ctx.ReportExtra("ratio_delta", skip_off_ratio - skip_on_ratio);
 }
+
+const obs::BenchRegistration kRegister{
+    {"fig5.skip_chunking",
+     "History-aware skip chunking: throughput and dedup-ratio sweeps",
+     /*in_quick=*/true, RunScenario}};
+
+}  // namespace

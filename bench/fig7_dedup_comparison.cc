@@ -4,6 +4,9 @@
 //       before chunk merging triggers (version 6), 1.63x/1.72x after;
 //   (b) dedup ratio: all three nearly equal, SlimStore loses ~1.5%
 //       after merging.
+//
+// Registered as the "fig7.dedup_comparison" harness scenario; the quick
+// suite runs 8 versions of a smaller file.
 
 #include "baselines/silo.h"
 #include "baselines/sparse_indexing.h"
@@ -13,8 +16,7 @@ using namespace slim;
 using namespace slim::bench;
 
 namespace {
-constexpr int kVersions = 25;
-constexpr size_t kFileBytes = 4 << 20;
+
 constexpr uint32_t kMergeThreshold = 5;
 
 struct Series {
@@ -22,16 +24,16 @@ struct Series {
   std::vector<double> ratio;
 };
 
-workload::VersionedFileGenerator MakeFile() {
+workload::VersionedFileGenerator MakeFile(size_t file_bytes) {
   workload::GeneratorOptions gen;
-  gen.base_size = kFileBytes;
+  gen.base_size = file_bytes;
   gen.duplication_ratio = 0.84;
   gen.self_reference = 0.2;
   gen.seed = 31337;
   return workload::VersionedFileGenerator(gen);
 }
 
-Series RunSlimStore() {
+Series RunSlimStore(int versions, size_t file_bytes) {
   oss::MemoryObjectStore inner;
   oss::SimulatedOss oss(&inner, AccountingModel());
   core::SlimStoreOptions options = BenchStoreOptions();
@@ -45,8 +47,8 @@ Series RunSlimStore() {
   core::SlimStore store(&oss, options);
 
   Series series;
-  auto file = MakeFile();
-  for (int v = 0; v < kVersions; ++v) {
+  auto file = MakeFile(file_bytes);
+  for (int v = 0; v < versions; ++v) {
     auto before = oss.metrics();
     auto stats = store.Backup("f.db", file.data());
     SLIM_CHECK_OK(stats.status());
@@ -60,10 +62,11 @@ Series RunSlimStore() {
 }
 
 template <typename Engine>
-Series RunBaseline(Engine* engine, oss::SimulatedOss* oss) {
+Series RunBaseline(Engine* engine, oss::SimulatedOss* oss, int versions,
+                   size_t file_bytes) {
   Series series;
-  auto file = MakeFile();
-  for (int v = 0; v < kVersions; ++v) {
+  auto file = MakeFile(file_bytes);
+  for (int v = 0; v < versions; ++v) {
     auto before = oss->metrics();
     auto stats = engine->Backup("f.db", file.data());
     SLIM_CHECK_OK(stats.status());
@@ -86,10 +89,12 @@ double Avg(const std::vector<double>& v, int from, int to) {
   return n == 0 ? 0 : sum / n;
 }
 
-}  // namespace
+void RunScenario(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  const int versions = ctx.quick() ? 8 : 25;
+  const size_t file_bytes = ctx.quick() ? (2 << 20) : (4 << 20);
 
-int main() {
-  Series slim_series = RunSlimStore();
+  Series slim_series = RunSlimStore(versions, file_bytes);
 
   baselines::SiloOptions silo_options;
   silo_options.chunker_type = chunking::ChunkerType::kRabin;
@@ -99,7 +104,7 @@ int main() {
   oss::MemoryObjectStore silo_inner;
   oss::SimulatedOss silo_oss(&silo_inner, AccountingModel());
   baselines::SiloDedup silo(&silo_oss, "silo", silo_options);
-  Series silo_series = RunBaseline(&silo, &silo_oss);
+  Series silo_series = RunBaseline(&silo, &silo_oss, versions, file_bytes);
 
   baselines::SparseIndexingOptions sparse_options;
   sparse_options.chunker_type = chunking::ChunkerType::kRabin;
@@ -110,40 +115,60 @@ int main() {
   oss::SimulatedOss sparse_oss(&sparse_inner, AccountingModel());
   baselines::SparseIndexingDedup sparse(&sparse_oss, "sparse",
                                         sparse_options);
-  Series sparse_series = RunBaseline(&sparse, &sparse_oss);
+  Series sparse_series =
+      RunBaseline(&sparse, &sparse_oss, versions, file_bytes);
 
-  Section("Fig 7(a): dedup throughput (sim MB/s) over 25 versions");
+  Section("Fig 7(a): dedup throughput (sim MB/s) over versions");
   Row("%-8s %12s %12s %12s", "version", "slimstore", "silo", "sparseidx");
-  for (int v = 0; v < kVersions; ++v) {
+  for (int v = 0; v < versions; ++v) {
     Row("%-8d %12.1f %12.1f %12.1f", v, slim_series.throughput[v],
         silo_series.throughput[v], sparse_series.throughput[v]);
   }
+  double vs_silo_after =
+      Avg(slim_series.throughput, kMergeThreshold + 2, versions) /
+      Avg(silo_series.throughput, kMergeThreshold + 2, versions);
+  double vs_sparse_after =
+      Avg(slim_series.throughput, kMergeThreshold + 2, versions) /
+      Avg(sparse_series.throughput, kMergeThreshold + 2, versions);
   Row("\nspeedup vs SiLO   before v%u: %.2fx   after: %.2fx",
       kMergeThreshold + 1,
       Avg(slim_series.throughput, 1, kMergeThreshold + 1) /
           Avg(silo_series.throughput, 1, kMergeThreshold + 1),
-      Avg(slim_series.throughput, kMergeThreshold + 2, kVersions) /
-          Avg(silo_series.throughput, kMergeThreshold + 2, kVersions));
+      vs_silo_after);
   Row("speedup vs Sparse before v%u: %.2fx   after: %.2fx",
       kMergeThreshold + 1,
       Avg(slim_series.throughput, 1, kMergeThreshold + 1) /
           Avg(sparse_series.throughput, 1, kMergeThreshold + 1),
-      Avg(slim_series.throughput, kMergeThreshold + 2, kVersions) /
-          Avg(sparse_series.throughput, kMergeThreshold + 2, kVersions));
+      vs_sparse_after);
 
   Section("Fig 7(b): dedup ratio over versions");
   Row("%-8s %12s %12s %12s", "version", "slimstore", "silo", "sparseidx");
-  for (int v = 1; v < kVersions; ++v) {
+  for (int v = 1; v < versions; ++v) {
     Row("%-8d %12.3f %12.3f %12.3f", v, slim_series.ratio[v],
         silo_series.ratio[v], sparse_series.ratio[v]);
   }
   Row("\navg ratio v1+: slimstore %.3f  silo %.3f  sparse %.3f "
       "(paper: ~1.5%% loss for slimstore after merging)",
-      Avg(slim_series.ratio, 1, kVersions), Avg(silo_series.ratio, 1,
-                                                kVersions),
-      Avg(sparse_series.ratio, 1, kVersions));
+      Avg(slim_series.ratio, 1, versions),
+      Avg(silo_series.ratio, 1, versions),
+      Avg(sparse_series.ratio, 1, versions));
   Row("%s", "\nPaper shape: SlimStore fastest (1.32x/1.39x pre-merge, "
             "1.63x/1.72x post-merge, with a dip at the merge version); "
             "dedup ratios nearly equal.");
-  return 0;
+
+  ctx.ReportThroughputMBps(Avg(slim_series.throughput, 1, versions));
+  ctx.ReportLogicalBytes(static_cast<uint64_t>(file_bytes) *
+                         static_cast<uint64_t>(versions));
+  ctx.ReportDedupRatio(Avg(slim_series.ratio, 1, versions));
+  ctx.ReportExtra("speedup_vs_silo_after_merge", vs_silo_after);
+  ctx.ReportExtra("speedup_vs_sparse_after_merge", vs_sparse_after);
+  ctx.ReportExtra("silo_mbps", Avg(silo_series.throughput, 1, versions));
+  ctx.ReportExtra("sparse_mbps", Avg(sparse_series.throughput, 1, versions));
 }
+
+const obs::BenchRegistration kRegister{
+    {"fig7.dedup_comparison",
+     "SlimStore vs SiLO vs Sparse Indexing dedup throughput/ratio",
+     /*in_quick=*/true, RunScenario}};
+
+}  // namespace

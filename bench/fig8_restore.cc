@@ -9,6 +9,9 @@
 // Reported per version: restore throughput (simulated MB/s) and
 // containers read per 100 MB restored (read amplification), for three
 // cache sizes. Part (d) enables LAW prefetching on a sleeping OSS.
+//
+// Registered as the "fig8.restore" harness scenario; the quick suite
+// backs up 8 versions and keeps a single cache size.
 
 #include <memory>
 
@@ -22,13 +25,16 @@ using namespace slim::bench;
 
 namespace {
 
-constexpr int kVersions = 25;
-constexpr size_t kFileBytes = 4 << 20;
 const char* kFile = "db/f.db";
 
-workload::VersionedFileGenerator MakeFile() {
+struct Scale {
+  int versions;
+  size_t file_bytes;
+};
+
+workload::VersionedFileGenerator MakeFile(size_t file_bytes) {
   workload::GeneratorOptions gen;
-  gen.base_size = kFileBytes;
+  gen.base_size = file_bytes;
   gen.duplication_ratio = 0.84;
   gen.self_reference = 0.2;
   gen.seed = 8888;
@@ -42,7 +48,7 @@ struct Corpus {
   std::unique_ptr<core::SlimStore> store;
 };
 
-Corpus BuildCorpus(bool scc) {
+Corpus BuildCorpus(bool scc, const Scale& scale) {
   Corpus corpus;
   corpus.inner = std::make_unique<oss::MemoryObjectStore>();
   corpus.oss =
@@ -53,8 +59,8 @@ Corpus BuildCorpus(bool scc) {
   options.enable_reverse_dedup = false;
   corpus.store = std::make_unique<core::SlimStore>(corpus.oss.get(),
                                                    options);
-  auto file = MakeFile();
-  for (int v = 0; v < kVersions; ++v) {
+  auto file = MakeFile(scale.file_bytes);
+  for (int v = 0; v < scale.versions; ++v) {
     SLIM_CHECK_OK(corpus.store->Backup(kFile, file.data()).status());
     if (scc) SLIM_CHECK_OK(corpus.store->RunGNodeCycle().status());
     file.Mutate();
@@ -64,7 +70,7 @@ Corpus BuildCorpus(bool scc) {
 
 // HAR corpus: backups rewrite duplicates located in the previous
 // version's sparse containers.
-Corpus BuildHarCorpus() {
+Corpus BuildHarCorpus(const Scale& scale) {
   Corpus corpus;
   corpus.inner = std::make_unique<oss::MemoryObjectStore>();
   corpus.oss =
@@ -76,9 +82,9 @@ Corpus BuildHarCorpus() {
   corpus.store = std::make_unique<core::SlimStore>(corpus.oss.get(),
                                                    options);
 
-  auto file = MakeFile();
+  auto file = MakeFile(scale.file_bytes);
   std::shared_ptr<std::unordered_set<format::ContainerId>> sparse;
-  for (int v = 0; v < kVersions; ++v) {
+  for (int v = 0; v < scale.versions; ++v) {
     lnode::BackupOptions bopts = options.backup;
     bopts.har_rewrite_containers = sparse;
     lnode::BackupPipeline pipeline(corpus.store->container_store(),
@@ -144,29 +150,36 @@ Point RestoreBaseline(Corpus& corpus, baselines::RestorePolicy policy,
   return point;
 }
 
-}  // namespace
+void RunScenario(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  Scale scale{ctx.quick() ? 8 : 25, ctx.quick() ? (2u << 20) : (4u << 20)};
 
-int main() {
-  Corpus scc = BuildCorpus(/*scc=*/true);
-  Corpus plain = BuildCorpus(/*scc=*/false);
-  Corpus har = BuildHarCorpus();
+  Corpus scc = BuildCorpus(/*scc=*/true, scale);
+  Corpus plain = BuildCorpus(/*scc=*/false, scale);
+  Corpus har = BuildHarCorpus(scale);
 
-  const struct {
+  struct CacheSize {
     const char* label;
     size_t bytes;
-  } kCacheSizes[] = {
-      {"small (2 containers)", 128 << 10},
-      {"medium (8 containers)", 512 << 10},
-      {"large (32 containers)", 2 << 20},
   };
+  std::vector<CacheSize> cache_sizes =
+      ctx.quick() ? std::vector<CacheSize>{{"medium (8 containers)",
+                                            512 << 10}}
+                  : std::vector<CacheSize>{
+                        {"small (2 containers)", 128 << 10},
+                        {"medium (8 containers)", 512 << 10},
+                        {"large (32 containers)", 2 << 20},
+                    };
 
-  for (const auto& cache : kCacheSizes) {
+  double fv_mbps = 0, fv_reads = 0;
+  uint64_t restored_bytes = 0;
+  for (const auto& cache : cache_sizes) {
     Section(std::string("Fig 8: restore, cache = ") + cache.label +
             " — throughput sim MB/s | containers read per 100 MB");
     Row("%-4s | %9s %9s %9s %9s | %8s %8s %8s %8s", "ver", "SCC+FV",
         "HAR+OPT", "ALACC", "LRU", "r/SCCFV", "r/HAROPT", "r/ALACC",
         "r/LRU");
-    for (int v = 0; v < kVersions; v += 2) {
+    for (int v = 0; v < scale.versions; v += 2) {
       Point fv = RestoreFv(scc, v, cache.bytes, 0);
       Point haropt = RestoreBaseline(
           har, baselines::RestorePolicy::kOptContainer, v, cache.bytes,
@@ -180,18 +193,26 @@ int main() {
           fv.throughput, haropt.throughput, alacc.throughput,
           lru.throughput, fv.reads_per_100mb, haropt.reads_per_100mb,
           alacc.reads_per_100mb, lru.reads_per_100mb);
+      fv_mbps = fv.throughput;
+      fv_reads = fv.reads_per_100mb;
+      restored_bytes += scale.file_bytes;
     }
   }
 
-  Section("Fig 8(d): LAW prefetching enabled (6 threads, sleeping OSS) — "
+  size_t prefetch_threads = ctx.quick() ? 2 : 6;
+  Section("Fig 8(d): LAW prefetching enabled (sleeping OSS) — "
           "wall-clock MB/s on the newest and oldest versions");
   // Switch every corpus to the sleeping cost model for this part.
   scc.oss->set_cost_model(SleepingModel());
   plain.oss->set_cost_model(SleepingModel());
   har.oss->set_cost_model(SleepingModel());
   Row("%-4s | %14s %12s %9s", "ver", "SCC+FV+LAWpre", "HAR+OPT", "ALACC");
-  for (int v : {0, 12, 24}) {
-    Point fv = RestoreFv(scc, v, 2 << 20, 6);
+  std::vector<int> law_versions =
+      ctx.quick() ? std::vector<int>{scale.versions - 1}
+                  : std::vector<int>{0, 12, 24};
+  double law_mbps = 0, law_speedup_har = 0;
+  for (int v : law_versions) {
+    Point fv = RestoreFv(scc, v, 2 << 20, prefetch_threads);
     Point haropt = RestoreBaseline(
         har, baselines::RestorePolicy::kOptContainer, v, 2 << 20, true);
     Point alacc = RestoreBaseline(plain, baselines::RestorePolicy::kAlacc,
@@ -199,11 +220,25 @@ int main() {
     Row("%-4d | %14.1f %12.1f %9.1f   (x%.1f vs HAR+OPT, x%.1f vs ALACC)",
         v, fv.throughput, haropt.throughput, alacc.throughput,
         fv.throughput / haropt.throughput, fv.throughput / alacc.throughput);
+    law_mbps = fv.throughput;
+    law_speedup_har = fv.throughput / haropt.throughput;
   }
   Row("%s", "\nPaper shape: FV beats ALACC beats OPT at every cache size; "
             "with SCC the reads/100MB stabilize over versions instead of "
             "growing; with LAW prefetching SCC+FV reaches ~9.75x HAR+OPT "
             "and ~16.35x ALACC, and new versions restore as fast as old.");
-  DumpMetricsJson("fig8_restore");
-  return 0;
+  if (ctx.verbose()) DumpMetricsJson("fig8_restore");
+
+  ctx.ReportThroughputMBps(fv_mbps);
+  ctx.ReportLogicalBytes(restored_bytes);
+  ctx.ReportExtra("fv_reads_per_100mb", fv_reads);
+  ctx.ReportExtra("law_prefetch_mbps", law_mbps);
+  ctx.ReportExtra("law_speedup_vs_har_opt", law_speedup_har);
 }
+
+const obs::BenchRegistration kRegister{
+    {"fig8.restore",
+     "Restore throughput and read amplification: SCC+FV vs baselines",
+     /*in_quick=*/true, RunScenario}};
+
+}  // namespace

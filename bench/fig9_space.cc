@@ -5,6 +5,9 @@
 //       slows after version 10;
 //   (b) space occupied by version 0's containers shrinking over time as
 //       SCC and reverse dedup migrate old bytes into newer versions.
+//
+// Registered as the "fig9.space" harness scenario; the quick suite runs
+// 10 versions with keep-last-5 collection.
 
 #include "bench/bench_util.h"
 
@@ -13,14 +16,17 @@ using namespace slim::bench;
 
 namespace {
 
-constexpr int kVersions = 25;
-constexpr int kKeepLast = 10;
-constexpr size_t kFileBytes = 4 << 20;
 const char* kFile = "db/f.db";
 
-workload::VersionedFileGenerator MakeFile() {
+struct Scale {
+  int versions;
+  int keep_last;
+  size_t file_bytes;
+};
+
+workload::VersionedFileGenerator MakeFile(size_t file_bytes) {
   workload::GeneratorOptions gen;
-  gen.base_size = kFileBytes;
+  gen.base_size = file_bytes;
   gen.duplication_ratio = 0.84;
   gen.self_reference = 0.2;
   gen.seed = 999;
@@ -32,7 +38,7 @@ struct SpaceSeries {
   std::vector<double> version0_mb;    // Version-0 containers' bytes.
 };
 
-SpaceSeries Run(bool gnode, bool collect) {
+SpaceSeries Run(bool gnode, bool collect, const Scale& scale) {
   oss::MemoryObjectStore inner;
   oss::SimulatedOss oss(&inner, AccountingModel());
   core::SlimStoreOptions options = BenchStoreOptions();
@@ -41,13 +47,13 @@ SpaceSeries Run(bool gnode, bool collect) {
   core::SlimStore store(&oss, options);
 
   SpaceSeries series;
-  auto file = MakeFile();
-  for (int v = 0; v < kVersions; ++v) {
+  auto file = MakeFile(scale.file_bytes);
+  for (int v = 0; v < scale.versions; ++v) {
     SLIM_CHECK_OK(store.Backup(kFile, file.data()).status());
     if (gnode) SLIM_CHECK_OK(store.RunGNodeCycle().status());
-    if (collect && v >= kKeepLast) {
+    if (collect && v >= scale.keep_last) {
       SLIM_CHECK_OK(
-          store.DeleteVersion(kFile, v - kKeepLast, true).status());
+          store.DeleteVersion(kFile, v - scale.keep_last, true).status());
     }
     auto report = store.GetSpaceReport();
     SLIM_CHECK_OK(report.status());
@@ -68,19 +74,21 @@ SpaceSeries Run(bool gnode, bool collect) {
   return series;
 }
 
-}  // namespace
+void RunScenario(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  Scale scale{ctx.quick() ? 10 : 25, ctx.quick() ? 5 : 10,
+              ctx.quick() ? (2u << 20) : (4u << 20)};
 
-int main() {
-  SpaceSeries l_only = Run(/*gnode=*/false, /*collect=*/false);
-  SpaceSeries lg = Run(/*gnode=*/true, /*collect=*/false);
-  SpaceSeries collected = Run(/*gnode=*/true, /*collect=*/true);
+  SpaceSeries l_only = Run(/*gnode=*/false, /*collect=*/false, scale);
+  SpaceSeries lg = Run(/*gnode=*/true, /*collect=*/false, scale);
+  SpaceSeries collected = Run(/*gnode=*/true, /*collect=*/true, scale);
 
-  Section("Fig 9(a): occupied container space (MB) over 25 versions");
+  Section("Fig 9(a): occupied container space (MB) over versions");
   Row("%-4s %10s %10s %10s %12s", "ver", "no-dedup", "L-dedupe",
-      "L+G-dedupe", "keep-last-10");
+      "L+G-dedupe", "keep-last-N");
   double logical = 0;
-  auto file = MakeFile();
-  for (int v = 0; v < kVersions; ++v) {
+  auto file = MakeFile(scale.file_bytes);
+  for (int v = 0; v < scale.versions; ++v) {
     logical += Mb(file.data().size());
     Row("%-4d %10.1f %10.1f %10.1f %12.1f", v, logical, l_only.total_mb[v],
         lg.total_mb[v], collected.total_mb[v]);
@@ -97,11 +105,25 @@ int main() {
   Section("Fig 9(b): space still occupied by version 0 (MB) over time "
           "(G-node on, no version collection)");
   Row("%-4s %14s", "ver", "version-0 MB");
-  for (int v = 0; v < kVersions; v += 2) {
+  for (int v = 0; v < scale.versions; v += 2) {
     Row("%-4d %14.2f", v, lg.version0_mb[v]);
   }
   Row("%s", "\nPaper shape: version 0's footprint decays monotonically "
             "as SCC and reverse dedup move shared bytes into newer "
-            "versions; keep-last-10 growth slows after version 10.");
-  return 0;
+            "versions; keep-last-N growth slows after the retention "
+            "window fills.");
+
+  ctx.ReportLogicalBytes(
+      static_cast<uint64_t>(logical * 1024.0 * 1024.0));
+  ctx.ReportDedupRatio(reduction);
+  ctx.ReportExtra("l_dedupe_reduction", reduction);
+  ctx.ReportExtra("g_dedupe_extra_pct", g_extra);
+  ctx.ReportExtra("keep_last_final_mb", collected.total_mb.back());
 }
+
+const obs::BenchRegistration kRegister{
+    {"fig9.space",
+     "Occupied space over versions: L-dedupe, +G-dedupe, collection",
+     /*in_quick=*/true, RunScenario}};
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Harness registrations for the hot primitives behind Fig 2 / Fig 5:
+// CDC chunking algorithms, fingerprint hashing, bloom filters and the
+// skip-chunking cut verification. The google-benchmark binary
+// (micro_benchmarks.cc) remains the precision tool; these scenarios put
+// the same primitives into the perf-trajectory JSON so regressions show
+// up in the quick suite.
+
+#include "bench/bench_util.h"
+#include "chunking/chunker.h"
+#include "chunking/gear.h"
+#include "chunking/rabin.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "index/bloom.h"
+
+using namespace slim;
+using namespace slim::bench;
+
+namespace {
+
+std::string MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return rng.RandomBytes(n);
+}
+
+// Runs fn repeatedly until ~min_seconds elapse; returns MB/s over
+// bytes_per_iter.
+template <typename Fn>
+double MeasureMBps(size_t bytes_per_iter, double min_seconds, Fn&& fn) {
+  Stopwatch watch;
+  size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (watch.ElapsedSeconds() < min_seconds);
+  double secs = watch.ElapsedSeconds();
+  return secs <= 0 ? 0.0
+                   : Mb(static_cast<uint64_t>(bytes_per_iter) * iters) / secs;
+}
+
+void RunChunking(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  const size_t data_bytes = ctx.quick() ? (1u << 20) : (4u << 20);
+  const double min_secs = ctx.quick() ? 0.05 : 0.25;
+  std::string data = MakeData(data_bytes, ctx.seed());
+
+  Section("Microbench: CDC chunking throughput (avg chunk 4 KB)");
+  Row("%-10s %12s", "algorithm", "MB/s");
+  double fastcdc_mbps = 0;
+  struct Algo {
+    const char* label;
+    chunking::ChunkerType type;
+  };
+  for (const Algo& algo :
+       {Algo{"rabin", chunking::ChunkerType::kRabin},
+        Algo{"gear", chunking::ChunkerType::kGear},
+        Algo{"fastcdc", chunking::ChunkerType::kFastCdc}}) {
+    auto chunker = chunking::CreateChunker(
+        algo.type, chunking::ChunkerParams::FromAverage(4096));
+    size_t sink = 0;
+    double mbps = MeasureMBps(data.size(), min_secs, [&] {
+      sink += chunking::ChunkAll(*chunker, data).size();
+    });
+    Row("%-10s %12.1f", algo.label, mbps);
+    if (algo.type == chunking::ChunkerType::kFastCdc) fastcdc_mbps = mbps;
+    ctx.ReportExtra(std::string(algo.label) + "_mbps", mbps);
+    if (sink == 0) Row("%s", "(no chunks)");  // Keeps sink observable.
+  }
+
+  ctx.ReportThroughputMBps(fastcdc_mbps);
+  ctx.ReportLogicalBytes(data_bytes);
+}
+
+void RunHashing(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  const size_t data_bytes = ctx.quick() ? (256u << 10) : (1u << 20);
+  const double min_secs = ctx.quick() ? 0.05 : 0.25;
+  std::string data = MakeData(data_bytes, ctx.seed());
+
+  Section("Microbench: fingerprint hashing throughput");
+  Row("%-10s %12s", "hash", "MB/s");
+  uint64_t sink = 0;
+  double sha1_mbps = MeasureMBps(data.size(), min_secs, [&] {
+    sink += Sha1::Hash(data).bytes()[0];
+  });
+  Row("%-10s %12.1f", "sha1", sha1_mbps);
+  double sha256_mbps = MeasureMBps(data.size(), min_secs, [&] {
+    sink += Sha256::Hash(data.data(), data.size())[0];
+  });
+  Row("%-10s %12.1f", "sha256", sha256_mbps);
+  if (sink == 0) Row("%s", "(degenerate digests)");  // Keeps sink live.
+
+  ctx.ReportThroughputMBps(sha1_mbps);
+  ctx.ReportLogicalBytes(data_bytes);
+  ctx.ReportExtra("sha256_mbps", sha256_mbps);
+}
+
+void RunBloom(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  const double min_secs = ctx.quick() ? 0.05 : 0.25;
+  const size_t batch = 1024;
+  std::vector<Fingerprint> fps;
+  fps.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    fps.push_back(Sha1::Hash("k" + std::to_string(ctx.seed() + i)));
+  }
+
+  Section("Microbench: bloom-filter ops (1024-key batches)");
+  index::BloomFilter bloom(1 << 20);
+  size_t hits = 0;
+  Stopwatch watch;
+  size_t iters = 0;
+  do {
+    for (const auto& fp : fps) {
+      bloom.Add(fp);
+      hits += bloom.MayContain(fp) ? 1 : 0;
+    }
+    ++iters;
+  } while (watch.ElapsedSeconds() < min_secs);
+  double ops_per_sec =
+      static_cast<double>(iters * batch * 2) / watch.ElapsedSeconds();
+  Row("%-22s %14.0f ops/s", "bloom add+contains", ops_per_sec);
+
+  index::CountingBloomFilter cbf(1 << 18);
+  Stopwatch cbf_watch;
+  size_t cbf_iters = 0;
+  do {
+    for (const auto& fp : fps) cbf.Add(fp);
+    for (const auto& fp : fps) hits += cbf.CountEstimate(fp) > 0 ? 1 : 0;
+    for (const auto& fp : fps) cbf.Remove(fp);
+    ++cbf_iters;
+  } while (cbf_watch.ElapsedSeconds() < min_secs);
+  double cbf_ops =
+      static_cast<double>(cbf_iters * batch * 3) / cbf_watch.ElapsedSeconds();
+  Row("%-22s %14.0f ops/s", "counting bloom a/c/r", cbf_ops);
+  if (hits == 0) Row("%s", "(no hits)");  // Keeps hits observable.
+
+  // Report in "MB/s of fingerprints processed" so the shared schema
+  // field stays meaningful (20 bytes per fingerprint op).
+  ctx.ReportThroughputMBps(ops_per_sec * sizeof(Fingerprint) /
+                           (1024.0 * 1024.0));
+  ctx.ReportLogicalBytes(batch * sizeof(Fingerprint));
+  ctx.ReportExtra("bloom_ops_per_sec", ops_per_sec);
+  ctx.ReportExtra("counting_bloom_ops_per_sec", cbf_ops);
+}
+
+const obs::BenchRegistration kRegisterChunking{
+    {"micro.chunking", "CDC chunking throughput: Rabin vs Gear vs FastCDC",
+     /*in_quick=*/true, RunChunking}};
+const obs::BenchRegistration kRegisterHashing{
+    {"micro.hashing", "SHA-1 / SHA-256 fingerprinting throughput",
+     /*in_quick=*/true, RunHashing}};
+const obs::BenchRegistration kRegisterBloom{
+    {"micro.bloom", "Bloom and counting-bloom filter operation rates",
+     /*in_quick=*/false, RunBloom}};
+
+}  // namespace

@@ -4,6 +4,8 @@
 // bytes (see DESIGN.md); version counts, duplication ratios and
 // self-reference levels match the published characteristics. This bench
 // prints both the configured and the *measured* values.
+//
+// Registered as the "table1.datasets" harness scenario.
 
 #include <unordered_map>
 
@@ -78,17 +80,36 @@ void Print(const DatasetSummary& s) {
   Row("%-28s %9.1f%%", "Self-reference", s.self_reference * 100);
 }
 
-}  // namespace
-
-int main() {
+void RunScenario(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
   Section("Table I: dataset characteristics (paper: S-DB 2.44TB/25v/500f/"
           "dup 0.84/self-ref 20%; R-Data 1.53TB/13v/7440f/dup 0.92/0.1%)");
 
   // Slightly smaller than the default bench configs so this table bench
   // runs fast; ratios are scale-invariant.
-  Print(Measure("S-DB", workload::Dataset::MakeSdb(BenchSdb(4, 2 << 20))));
+  size_t sdb_files = ctx.quick() ? 2 : 4;
+  size_t sdb_bytes = ctx.quick() ? (1 << 20) : (2 << 20);
+  size_t rdata_files = ctx.quick() ? 8 : 16;
+  size_t rdata_bytes = ctx.quick() ? (128 << 10) : (256 << 10);
+  DatasetSummary sdb = Measure(
+      "S-DB", workload::Dataset::MakeSdb(BenchSdb(sdb_files, sdb_bytes)));
+  Print(sdb);
   Row("%s", "");
-  Print(Measure("R-Data",
-                workload::Dataset::MakeRdata(BenchRdata(16, 256 << 10))));
-  return 0;
+  DatasetSummary rdata =
+      Measure("R-Data", workload::Dataset::MakeRdata(
+                            BenchRdata(rdata_files, rdata_bytes)));
+  Print(rdata);
+
+  ctx.ReportLogicalBytes(sdb.total_bytes + rdata.total_bytes);
+  ctx.ReportExtra("sdb_avg_duplication", sdb.avg_duplication);
+  ctx.ReportExtra("sdb_self_reference", sdb.self_reference);
+  ctx.ReportExtra("rdata_avg_duplication", rdata.avg_duplication);
+  ctx.ReportExtra("rdata_self_reference", rdata.self_reference);
 }
+
+const obs::BenchRegistration kRegister{
+    {"table1.datasets",
+     "Measured characteristics of the scaled S-DB and R-Data datasets",
+     /*in_quick=*/true, RunScenario}};
+
+}  // namespace

@@ -165,6 +165,9 @@ class ContainerStore {
   std::string DataKey(ContainerId id) const;
   std::string MetaKey(ContainerId id) const;
 
+  // Not SLIM_PT_GUARDED_BY(count_mu_): the store locks for itself and
+  // container I/O runs concurrently; count_mu_ only covers the
+  // chunk-count cache below.
   oss::ObjectStore* store_;
   std::string prefix_;
   std::atomic<ContainerId> next_id_{0};

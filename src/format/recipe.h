@@ -122,6 +122,9 @@ class RecipeStore {
   std::string IndexKey(const std::string& file_id, uint64_t version) const;
   Result<Toc> GetToc(const std::string& file_id, uint64_t version);
 
+  // Not SLIM_PT_GUARDED_BY(toc_mu_): the store locks for itself and
+  // recipe reads/writes run concurrently; toc_mu_ only covers the
+  // parsed-TOC cache below.
   oss::ObjectStore* store_;
   std::string prefix_;
 

@@ -1,0 +1,194 @@
+#include "obs/bench_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace slim::obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+double WallSecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Fold(BenchStat* stat, double sample, int index) {
+  if (index == 0) {
+    stat->mean = stat->min = stat->max = sample;
+    return;
+  }
+  stat->min = std::min(stat->min, sample);
+  stat->max = std::max(stat->max, sample);
+  // Running mean over index+1 samples.
+  stat->mean += (sample - stat->mean) / static_cast<double>(index + 1);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Pulls OSS request/byte totals out of a registry snapshot: every
+/// "oss.<op>.requests" counter contributes to requests; get/put bytes
+/// split into read/write.
+void ExtractOssTotals(const MetricsSnapshot& snap, ScenarioOutcome* out) {
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("oss.", 0) != 0) continue;
+    if (EndsWith(name, ".requests")) out->oss_requests += value;
+  }
+  auto read = snap.counters.find("oss.get.bytes");
+  if (read != snap.counters.end()) out->oss_bytes_read = read->second;
+  auto written = snap.counters.find("oss.put.bytes");
+  if (written != snap.counters.end()) out->oss_bytes_written = written->second;
+}
+
+}  // namespace
+
+BenchRegistry& BenchRegistry::Get() {
+  static BenchRegistry* instance =
+      new BenchRegistry();  // lint:allow-new (leaky singleton)
+  return *instance;
+}
+
+void BenchRegistry::Register(ScenarioSpec spec) {
+  MutexLock lock(mu_);
+  scenarios_.push_back(std::move(spec));
+}
+
+std::vector<ScenarioSpec> BenchRegistry::Select(
+    const std::string& suite, const std::string& filter) const {
+  MutexLock lock(mu_);
+  std::vector<ScenarioSpec> out;
+  for (const ScenarioSpec& spec : scenarios_) {
+    if (suite == "quick" && !spec.in_quick) continue;
+    if (!filter.empty() && spec.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    out.push_back(spec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioSpec& a, const ScenarioSpec& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+BenchReport RunBenchSuite(const BenchRunOptions& options) {
+  BenchReport report;
+  report.suite = options.suite;
+  bool quick = options.suite == "quick";
+  std::vector<ScenarioSpec> scenarios =
+      BenchRegistry::Get().Select(options.suite, options.filter);
+  for (const ScenarioSpec& spec : scenarios) {
+    ScenarioOutcome outcome;
+    outcome.name = spec.name;
+    outcome.repeats = options.repeats;
+    for (int w = 0; w < options.warmup; ++w) {
+      MetricsRegistry::Get().ResetAll();
+      ScenarioContext ctx(options.seed, quick, /*repeat=*/-1,
+                          /*verbose=*/false);
+      spec.fn(ctx);
+    }
+    for (int r = 0; r < options.repeats; ++r) {
+      MetricsRegistry::Get().ResetAll();
+      ScenarioContext ctx(options.seed, quick, r, options.verbose);
+      auto start = std::chrono::steady_clock::now();
+      spec.fn(ctx);
+      double wall = WallSecondsSince(start);
+      Fold(&outcome.wall_seconds, wall, r);
+      Fold(&outcome.throughput_mbps, ctx.throughput_mbps(), r);
+      if (r == options.repeats - 1) {
+        outcome.logical_bytes = ctx.logical_bytes();
+        outcome.dedup_ratio = ctx.dedup_ratio();
+        outcome.extra = ctx.extra();
+        MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+        ExtractOssTotals(snap, &outcome);
+        for (const auto& [name, stats] : snap.histograms) {
+          if (stats.count > 0) outcome.phases[name] = stats;
+        }
+      }
+    }
+    report.scenarios.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+std::string BenchReportJson(const BenchReport& report) {
+  std::string out;
+  Appendf(&out, "{\n  \"schema_version\": %d,\n  \"suite\": \"%s\",\n",
+          BenchReport::kSchemaVersion, report.suite.c_str());
+  out += "  \"scenarios\": [";
+  bool first_scenario = true;
+  for (const ScenarioOutcome& s : report.scenarios) {
+    Appendf(&out, "%s\n    {\n      \"name\": \"%s\",\n      \"repeats\": %d,\n",
+            first_scenario ? "" : ",", s.name.c_str(), s.repeats);
+    Appendf(&out,
+            "      \"wall_seconds\": {\"mean\": %.6f, \"min\": %.6f, "
+            "\"max\": %.6f},\n",
+            s.wall_seconds.mean, s.wall_seconds.min, s.wall_seconds.max);
+    Appendf(&out,
+            "      \"throughput_mbps\": {\"mean\": %.3f, \"min\": %.3f, "
+            "\"max\": %.3f},\n",
+            s.throughput_mbps.mean, s.throughput_mbps.min,
+            s.throughput_mbps.max);
+    Appendf(&out, "      \"logical_bytes\": %" PRIu64 ",\n", s.logical_bytes);
+    Appendf(&out, "      \"dedup_ratio\": %.4f,\n", s.dedup_ratio);
+    Appendf(&out,
+            "      \"oss\": {\"requests\": %" PRIu64
+            ", \"bytes_read\": %" PRIu64 ", \"bytes_written\": %" PRIu64
+            "},\n",
+            s.oss_requests, s.oss_bytes_read, s.oss_bytes_written);
+    out += "      \"phases\": {";
+    bool first_phase = true;
+    for (const auto& [name, h] : s.phases) {
+      Appendf(&out,
+              "%s\n        \"%s\": {\"count\": %" PRIu64 ", \"p50\": %" PRIu64
+              ", \"p90\": %" PRIu64 ", \"p99\": %" PRIu64 "}",
+              first_phase ? "" : ",", name.c_str(), h.count, h.p50, h.p90,
+              h.p99);
+      first_phase = false;
+    }
+    out += first_phase ? "},\n" : "\n      },\n";
+    out += "      \"extra\": {";
+    bool first_extra = true;
+    for (const auto& [key, value] : s.extra) {
+      Appendf(&out, "%s\n        \"%s\": %.6g", first_extra ? "" : ",",
+              key.c_str(), value);
+      first_extra = false;
+    }
+    out += first_extra ? "}\n" : "\n      }\n";
+    out += "    }";
+    first_scenario = false;
+  }
+  out += first_scenario ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string BenchReportTable(const BenchReport& report) {
+  std::string out;
+  Appendf(&out, "%-40s %10s %12s %12s %12s\n", "scenario", "wall s",
+          "MB/s", "oss reqs", "dedup");
+  for (const ScenarioOutcome& s : report.scenarios) {
+    Appendf(&out, "%-40s %10.3f %12.1f %12" PRIu64 " %12.3f\n",
+            s.name.c_str(), s.wall_seconds.mean, s.throughput_mbps.mean,
+            s.oss_requests, s.dedup_ratio);
+  }
+  return out;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,152 @@
+#ifndef SLIMSTORE_OBS_BENCH_HARNESS_H_
+#define SLIMSTORE_OBS_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+/// Handed to every scenario run. Scenarios read the scale knobs (seed,
+/// quick) and report their headline numbers back through it; the runner
+/// folds the reports across repeats into a ScenarioOutcome.
+class ScenarioContext {
+ public:
+  ScenarioContext(uint64_t seed, bool quick, int repeat, bool verbose)
+      : seed_(seed), quick_(quick), repeat_(repeat), verbose_(verbose) {}
+
+  /// Fixed seed for workload generation; identical across repeats so
+  /// every repeat sees the same bytes.
+  uint64_t seed() const { return seed_; }
+  /// True when running the scaled-down CI suite; scenarios shrink their
+  /// version counts / file sizes accordingly.
+  bool quick() const { return quick_; }
+  /// 0-based repeat index (warmup runs use -1).
+  int repeat() const { return repeat_; }
+  /// True when the scenario should print its human-readable tables.
+  bool verbose() const { return verbose_; }
+
+  void ReportThroughputMBps(double v) { throughput_mbps_ = v; }
+  void ReportLogicalBytes(uint64_t bytes) { logical_bytes_ = bytes; }
+  void ReportDedupRatio(double r) { dedup_ratio_ = r; }
+  /// Free-form numeric side channel ("versions", "cache_hit_rate", ...).
+  void ReportExtra(const std::string& key, double value) {
+    extra_[key] = value;
+  }
+
+  double throughput_mbps() const { return throughput_mbps_; }
+  uint64_t logical_bytes() const { return logical_bytes_; }
+  double dedup_ratio() const { return dedup_ratio_; }
+  const std::map<std::string, double>& extra() const { return extra_; }
+
+ private:
+  uint64_t seed_;
+  bool quick_;
+  int repeat_;
+  bool verbose_;
+  double throughput_mbps_ = 0.0;
+  uint64_t logical_bytes_ = 0;
+  double dedup_ratio_ = 0.0;
+  std::map<std::string, double> extra_;
+};
+
+using ScenarioFn = std::function<void(ScenarioContext&)>;
+
+/// A registered bench scenario. Scenarios in the quick suite must stay
+/// CI-cheap (a few seconds); the full suite reproduces paper scale.
+struct ScenarioSpec {
+  std::string name;         // Dotted, e.g. "fig8.restore_throughput".
+  std::string description;  // One line for `slim bench list`.
+  bool in_quick = true;     // Member of the quick suite?
+  ScenarioFn fn;
+};
+
+/// Process-wide scenario registry, populated by static BenchRegistration
+/// objects in the bench scenario translation units.
+class BenchRegistry {
+ public:
+  static BenchRegistry& Get();
+
+  void Register(ScenarioSpec spec) SLIM_EXCLUDES(mu_);
+
+  /// Scenarios of `suite` ("quick" or "full") whose names contain
+  /// `filter` (empty matches all), sorted by name.
+  std::vector<ScenarioSpec> Select(const std::string& suite,
+                                   const std::string& filter) const
+      SLIM_EXCLUDES(mu_);
+
+ private:
+  BenchRegistry() = default;
+
+  mutable Mutex mu_;
+  std::vector<ScenarioSpec> scenarios_ SLIM_GUARDED_BY(mu_);
+};
+
+/// Registers a scenario at static-initialization time:
+///   static BenchRegistration reg{{"fig8.restore", "...", true, Run}};
+struct BenchRegistration {
+  explicit BenchRegistration(ScenarioSpec spec) {
+    BenchRegistry::Get().Register(std::move(spec));
+  }
+};
+
+struct BenchRunOptions {
+  std::string suite = "quick";  // "quick" or "full".
+  std::string filter;           // Substring filter on scenario names.
+  int warmup = 0;               // Discarded runs before measuring.
+  int repeats = 1;              // Measured runs per scenario.
+  uint64_t seed = 20210415;     // Paper-era fixed default.
+  bool verbose = false;         // Let scenarios print their tables.
+};
+
+/// Per-repeat aggregate of one reported number.
+struct BenchStat {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One scenario's folded results across repeats. OSS and phase numbers
+/// come from the final measured repeat (the registry is reset before
+/// each repeat, so they describe exactly one run).
+struct ScenarioOutcome {
+  std::string name;
+  int repeats = 0;
+  BenchStat wall_seconds;
+  BenchStat throughput_mbps;
+  uint64_t logical_bytes = 0;
+  double dedup_ratio = 0.0;
+  uint64_t oss_requests = 0;
+  uint64_t oss_bytes_read = 0;
+  uint64_t oss_bytes_written = 0;
+  /// Histograms with samples in the final repeat, keyed by metric name.
+  std::map<std::string, HistogramStats> phases;
+  std::map<std::string, double> extra;
+};
+
+struct BenchReport {
+  static constexpr int kSchemaVersion = 1;
+  std::string suite;
+  std::vector<ScenarioOutcome> scenarios;
+};
+
+/// Runs the selected scenarios with warmup/repeat control. Resets the
+/// metrics registry around every run, so bench binaries must not rely on
+/// metrics accumulated before this call.
+BenchReport RunBenchSuite(const BenchRunOptions& options);
+
+/// Serializes a report in the schema-versioned BENCH json layout
+/// (see DESIGN.md §6 for the schema).
+std::string BenchReportJson(const BenchReport& report);
+
+/// Renders one line per scenario for terminal output.
+std::string BenchReportTable(const BenchReport& report);
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_BENCH_HARNESS_H_

@@ -1,0 +1,242 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace slim::obs {
+
+namespace {
+
+bool NameContains(const std::string& name, const char* needle) {
+  return name.find(needle) != std::string::npos;
+}
+
+/// Sum of the union of [start, end) intervals. Overlapping spans (e.g.
+/// parallel prefetch threads) count each instant once.
+uint64_t IntervalUnion(std::vector<std::pair<uint64_t, uint64_t>> intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end());
+  uint64_t covered = 0;
+  uint64_t cur_start = intervals[0].first;
+  uint64_t cur_end = intervals[0].second;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first > cur_end) {
+      covered += cur_end - cur_start;
+      cur_start = intervals[i].first;
+      cur_end = intervals[i].second;
+    } else {
+      cur_end = std::max(cur_end, intervals[i].second);
+    }
+  }
+  covered += cur_end - cur_start;
+  return covered;
+}
+
+struct SpanTree {
+  std::map<uint64_t, const SpanRecord*> by_id;
+  std::map<uint64_t, std::vector<const SpanRecord*>> children;
+};
+
+}  // namespace
+
+SpanCategory ClassifySpan(const std::string& name) {
+  static const char* kIoNeedles[] = {"fetch", "persist", "read",
+                                     "write", "oss",     "scrub"};
+  static const char* kComputeNeedles[] = {"chunk",   "fingerprint", "index",
+                                          "detect",  "compact",     "merge",
+                                          "mark",    "process"};
+  for (const char* n : kIoNeedles) {
+    if (NameContains(name, n)) return SpanCategory::kIo;
+  }
+  for (const char* n : kComputeNeedles) {
+    if (NameContains(name, n)) return SpanCategory::kCompute;
+  }
+  return SpanCategory::kOther;
+}
+
+const char* SpanCategoryName(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::kIo: return "io";
+    case SpanCategory::kCompute: return "compute";
+    case SpanCategory::kOther: return "other";
+  }
+  return "other";
+}
+
+std::vector<CriticalPathReport> AnalyzeCriticalPaths(
+    const std::vector<SpanRecord>& spans) {
+  SpanTree tree;
+  for (const SpanRecord& s : spans) tree.by_id[s.id] = &s;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_id != 0 && tree.by_id.count(s.parent_id) > 0) {
+      tree.children[s.parent_id].push_back(&s);
+    } else {
+      roots.push_back(&s);
+    }
+  }
+
+  std::vector<CriticalPathReport> reports;
+  reports.reserve(roots.size());
+  for (const SpanRecord* root : roots) {
+    CriticalPathReport report;
+    report.root_name = root->name;
+    report.root_id = root->id;
+    report.total_nanos = root->duration_nanos;
+
+    // Leaf intervals per category, clamped to the root window: parent
+    // spans cover their children, so only leaves attribute time.
+    uint64_t root_start = root->start_nanos;
+    uint64_t root_end = root->start_nanos + root->duration_nanos;
+    std::vector<std::pair<uint64_t, uint64_t>> all;
+    std::vector<std::pair<uint64_t, uint64_t>> per_category[3];
+    std::vector<const SpanRecord*> stack = {root};
+    while (!stack.empty()) {
+      const SpanRecord* s = stack.back();
+      stack.pop_back();
+      auto it = tree.children.find(s->id);
+      if (it != tree.children.end() && !it->second.empty()) {
+        for (const SpanRecord* child : it->second) stack.push_back(child);
+        continue;
+      }
+      if (s == root) break;  // A leaf root attributes nothing below it.
+      uint64_t start = std::clamp(s->start_nanos, root_start, root_end);
+      uint64_t end = std::clamp(s->start_nanos + s->duration_nanos,
+                                root_start, root_end);
+      if (end <= start) continue;
+      all.emplace_back(start, end);
+      per_category[static_cast<int>(ClassifySpan(s->name))].emplace_back(
+          start, end);
+    }
+    report.io_nanos =
+        IntervalUnion(per_category[static_cast<int>(SpanCategory::kIo)]);
+    report.compute_nanos =
+        IntervalUnion(per_category[static_cast<int>(SpanCategory::kCompute)]);
+    report.other_nanos =
+        IntervalUnion(per_category[static_cast<int>(SpanCategory::kOther)]);
+    uint64_t covered = IntervalUnion(std::move(all));
+    report.idle_nanos =
+        report.total_nanos > covered ? report.total_nanos - covered : 0;
+
+    // Dominant chain: follow the heaviest child from the root down.
+    const SpanRecord* cursor = root;
+    while (cursor != nullptr) {
+      CriticalPathStep step;
+      step.name = cursor->name;
+      step.span_id = cursor->id;
+      step.duration_nanos = cursor->duration_nanos;
+      step.category = ClassifySpan(cursor->name);
+      report.chain.push_back(std::move(step));
+      auto it = tree.children.find(cursor->id);
+      if (it == tree.children.end() || it->second.empty()) break;
+      const SpanRecord* heaviest = it->second[0];
+      for (const SpanRecord* child : it->second) {
+        if (child->duration_nanos > heaviest->duration_nanos) {
+          heaviest = child;
+        }
+      }
+      cursor = heaviest;
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+double Pct(uint64_t part, uint64_t total) {
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(total);
+}
+
+std::string ChromeEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderCriticalPaths(
+    const std::vector<CriticalPathReport>& reports) {
+  std::string out;
+  for (const CriticalPathReport& r : reports) {
+    Appendf(&out, "%s (span %" PRIu64 "): %.3f ms total\n",
+            r.root_name.c_str(), r.root_id,
+            static_cast<double>(r.total_nanos) / 1e6);
+    Appendf(&out,
+            "  io %.3f ms (%.1f%%)  compute %.3f ms (%.1f%%)  other %.3f ms "
+            "(%.1f%%)  idle %.3f ms (%.1f%%)\n",
+            static_cast<double>(r.io_nanos) / 1e6,
+            Pct(r.io_nanos, r.total_nanos),
+            static_cast<double>(r.compute_nanos) / 1e6,
+            Pct(r.compute_nanos, r.total_nanos),
+            static_cast<double>(r.other_nanos) / 1e6,
+            Pct(r.other_nanos, r.total_nanos),
+            static_cast<double>(r.idle_nanos) / 1e6,
+            Pct(r.idle_nanos, r.total_nanos));
+    out += "  critical path:";
+    for (size_t i = 0; i < r.chain.size(); ++i) {
+      const CriticalPathStep& step = r.chain[i];
+      Appendf(&out, "%s %s [%.3f ms, %s]", i == 0 ? "" : " ->",
+              step.name.c_str(),
+              static_cast<double>(step.duration_nanos) / 1e6,
+              SpanCategoryName(step.category));
+    }
+    out += "\n";
+  }
+  if (out.empty()) out = "(no spans recorded)\n";
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    Appendf(&out,
+            "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+            "\"args\": {\"span_id\": %" PRIu64 ", \"parent_id\": %" PRIu64
+            "}}",
+            first ? "" : ",", ChromeEscape(s.name).c_str(),
+            SpanCategoryName(ClassifySpan(s.name)),
+            static_cast<double>(s.start_nanos) / 1e3,
+            static_cast<double>(s.duration_nanos) / 1e3, s.tid, s.id,
+            s.parent_id);
+    first = false;
+  }
+  out += first ? "],\n" : "\n],\n";
+  out += "\"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+}  // namespace slim::obs

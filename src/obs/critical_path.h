@@ -1,0 +1,70 @@
+#ifndef SLIMSTORE_OBS_CRITICAL_PATH_H_
+#define SLIMSTORE_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace slim::obs {
+
+/// Coarse classification of a span by what it spends its time on,
+/// derived from the span name (see ClassifySpan).
+enum class SpanCategory {
+  kIo,       // Object-store / container / recipe transfer work.
+  kCompute,  // Chunking, fingerprinting, index lookups, GC marking.
+  kOther,    // Anything the name heuristic cannot place.
+};
+
+/// Name-based category heuristic: "fetch"/"persist"/"read"/"write"/
+/// "oss"/"scrub" mean I/O; "chunk"/"fingerprint"/"index"/"detect"/
+/// "compact"/"merge"/"mark"/"process" mean compute; otherwise kOther.
+SpanCategory ClassifySpan(const std::string& name);
+
+const char* SpanCategoryName(SpanCategory category);
+
+/// One hop of a critical path: the heaviest child at each tree level.
+struct CriticalPathStep {
+  std::string name;
+  uint64_t span_id = 0;
+  uint64_t duration_nanos = 0;
+  SpanCategory category = SpanCategory::kOther;
+};
+
+/// Where one root job (backup, restore, gnode cycle, ...) spent its
+/// wall time. io/compute are interval unions of the job's *leaf* spans
+/// per category (parallel spans do not double count); idle is wall time
+/// no leaf span covers — scheduling gaps and un-instrumented work.
+struct CriticalPathReport {
+  std::string root_name;
+  uint64_t root_id = 0;
+  uint64_t total_nanos = 0;
+  uint64_t io_nanos = 0;
+  uint64_t compute_nanos = 0;
+  uint64_t other_nanos = 0;
+  uint64_t idle_nanos = 0;
+  /// Dominant chain, root first: at each level the child with the
+  /// largest duration.
+  std::vector<CriticalPathStep> chain;
+};
+
+/// Builds the span tree from a TraceSink snapshot and analyzes every
+/// root span (parent absent or 0). Roots are returned oldest first.
+/// Spans whose parents were evicted from the ring are treated as roots.
+std::vector<CriticalPathReport> AnalyzeCriticalPaths(
+    const std::vector<SpanRecord>& spans);
+
+/// Human-readable rendering of the reports: one block per root with the
+/// attribution split and the dominant chain.
+std::string RenderCriticalPaths(const std::vector<CriticalPathReport>& reports);
+
+/// Serializes spans as Chrome trace_event JSON ("traceEvents" array of
+/// ph:"X" complete events, timestamps in microseconds), loadable in
+/// about:tracing and Perfetto. Spans on the same thread nest by time
+/// containment; cross-thread children appear on their own thread lane.
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_CRITICAL_PATH_H_

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <string_view>
 
 namespace slim::obs {
 
@@ -39,9 +40,9 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-/// Prometheus metric names allow [a-zA-Z0-9_:]; dots and dashes map to
-/// underscores and everything gets the "slim_" namespace prefix.
-std::string PromName(const std::string& name) {
+}  // namespace
+
+std::string PromMetricName(const std::string& name) {
   std::string out = "slim_";
   for (char c : name) {
     out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
@@ -51,6 +52,22 @@ std::string PromName(const std::string& name) {
   }
   return out;
 }
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
 
 std::string ToJson(const MetricsSnapshot& snap) {
   std::string out = "{\n  \"counters\": {";
@@ -75,9 +92,10 @@ std::string ToJson(const MetricsSnapshot& snap) {
     Appendf(&out,
             "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
             ", \"min\": %" PRIu64 ", \"max\": %" PRIu64 ", \"p50\": %" PRIu64
-            ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64 "}",
+            ", \"p90\": %" PRIu64 ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64
+            "}",
             first ? "" : ",", JsonEscape(name).c_str(), h.count, h.sum, h.min,
-            h.max, h.p50, h.p95, h.p99);
+            h.max, h.p50, h.p90, h.p95, h.p99);
     first = false;
   }
   out += first ? "}\n" : "\n  }\n";
@@ -87,20 +105,27 @@ std::string ToJson(const MetricsSnapshot& snap) {
 
 std::string ToPrometheus(const MetricsSnapshot& snap) {
   std::string out;
+  constexpr std::string_view kTotal = "_total";
   for (const auto& [name, value] : snap.counters) {
-    std::string prom = PromName(name);
-    Appendf(&out, "# TYPE %s counter\n%s %" PRIu64 "\n", prom.c_str(),
-            prom.c_str(), value);
+    // Counters carry the conventional `_total` suffix on their samples
+    // (never doubled when the metric name already ends with it).
+    std::string prom = PromMetricName(name);
+    bool has_total = prom.size() >= kTotal.size() &&
+                     prom.compare(prom.size() - kTotal.size(), kTotal.size(),
+                                  kTotal) == 0;
+    Appendf(&out, "# TYPE %s counter\n%s%s %" PRIu64 "\n", prom.c_str(),
+            prom.c_str(), has_total ? "" : "_total", value);
   }
   for (const auto& [name, value] : snap.gauges) {
-    std::string prom = PromName(name);
+    std::string prom = PromMetricName(name);
     Appendf(&out, "# TYPE %s gauge\n%s %" PRId64 "\n", prom.c_str(),
             prom.c_str(), value);
   }
   for (const auto& [name, h] : snap.histograms) {
-    std::string prom = PromName(name);
+    std::string prom = PromMetricName(name);
     Appendf(&out, "# TYPE %s summary\n", prom.c_str());
     Appendf(&out, "%s{quantile=\"0.5\"} %" PRIu64 "\n", prom.c_str(), h.p50);
+    Appendf(&out, "%s{quantile=\"0.9\"} %" PRIu64 "\n", prom.c_str(), h.p90);
     Appendf(&out, "%s{quantile=\"0.95\"} %" PRIu64 "\n", prom.c_str(), h.p95);
     Appendf(&out, "%s{quantile=\"0.99\"} %" PRIu64 "\n", prom.c_str(), h.p99);
     Appendf(&out, "%s_sum %" PRIu64 "\n", prom.c_str(), h.sum);
@@ -125,12 +150,12 @@ std::string ToTable(const MetricsSnapshot& snap) {
   }
   if (!snap.histograms.empty()) {
     out += "-- histograms --\n";
-    Appendf(&out, "%-44s %10s %12s %12s %12s %12s\n", "", "count", "mean",
-            "p50", "p95", "p99");
+    Appendf(&out, "%-44s %10s %12s %12s %12s %12s %12s\n", "", "count",
+            "mean", "p50", "p90", "p95", "p99");
     for (const auto& [name, h] : snap.histograms) {
       Appendf(&out, "%-44s %10" PRIu64 " %12.0f %12" PRIu64 " %12" PRIu64
-              " %12" PRIu64 "\n",
-              name.c_str(), h.count, h.mean(), h.p50, h.p95, h.p99);
+              " %12" PRIu64 " %12" PRIu64 "\n",
+              name.c_str(), h.count, h.mean(), h.p50, h.p90, h.p95, h.p99);
     }
   }
   if (out.empty()) out = "(no metrics recorded)\n";
@@ -165,6 +190,14 @@ std::string RenderTrace(const TraceSink& sink, size_t max_spans) {
             s.parent_id);
   }
   if (out.empty()) out = "(no spans recorded)\n";
+  uint64_t dropped = sink.dropped();
+  if (dropped > 0) {
+    Appendf(&out,
+            "(%" PRIu64
+            " span(s) dropped from the ring buffer; raise capacity to keep "
+            "them)\n",
+            dropped);
+  }
   return out;
 }
 

@@ -18,6 +18,15 @@ enum class ExportFormat {
 /// for a given snapshot (names sorted lexicographically).
 std::string Render(const MetricsSnapshot& snapshot, ExportFormat format);
 
+/// Maps a dotted metric name onto the Prometheus charset [a-zA-Z0-9_:]
+/// with the "slim_" namespace prefix ("oss.get.requests" ->
+/// "slim_oss_get_requests"). Exposed for conformance tests.
+std::string PromMetricName(const std::string& name);
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double-quote, and newline become \\, \", and \n.
+std::string PromEscapeLabelValue(const std::string& value);
+
 /// Convenience: snapshot the process-wide registry and render it.
 std::string RenderRegistry(ExportFormat format);
 

@@ -20,6 +20,13 @@ uint64_t BucketUpperBound(size_t i) {
   return (uint64_t{1} << i) - 1;
 }
 
+/// Inclusive lower bound of bucket i.
+uint64_t BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 65) return UINT64_MAX;
+  return uint64_t{1} << (i - 1);
+}
+
 }  // namespace
 
 void Histogram::Record(uint64_t value) {
@@ -40,21 +47,35 @@ void Histogram::Record(uint64_t value) {
 uint64_t Histogram::ValueAtPercentile(double p) const {
   uint64_t total = count_.load(std::memory_order_relaxed);
   if (total == 0) return 0;
+  uint64_t lo = min_.load(std::memory_order_relaxed);
+  uint64_t hi = max_.load(std::memory_order_relaxed);
   p = std::clamp(p, 0.0, 100.0);
-  // Rank of the percentile sample, 1-based; p=0 maps to the first one.
+  if (p == 0.0) return lo;
+  if (p == 100.0) return hi;
+  // Rank of the percentile sample, 1-based.
   uint64_t rank =
       static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) {
-      uint64_t lo = min_.load(std::memory_order_relaxed);
-      uint64_t hi = max_.load(std::memory_order_relaxed);
-      return std::clamp(BucketUpperBound(i), lo, hi);
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (seen + in_bucket >= rank) {
+      // Interpolate linearly within the bucket, treating its samples as
+      // spread uniformly over [lower, upper].
+      uint64_t lower = BucketLowerBound(i);
+      uint64_t upper = BucketUpperBound(i);
+      double frac = in_bucket == 0
+                        ? 1.0
+                        : static_cast<double>(rank - seen) /
+                              static_cast<double>(in_bucket);
+      uint64_t value =
+          lower + static_cast<uint64_t>(
+                      frac * static_cast<double>(upper - lower));
+      return std::clamp(value, lo, hi);
     }
+    seen += in_bucket;
   }
-  return max_.load(std::memory_order_relaxed);
+  return hi;
 }
 
 HistogramStats Histogram::Stats() const {
@@ -65,6 +86,7 @@ HistogramStats Histogram::Stats() const {
     s.min = min_.load(std::memory_order_relaxed);
     s.max = max_.load(std::memory_order_relaxed);
     s.p50 = ValueAtPercentile(50);
+    s.p90 = ValueAtPercentile(90);
     s.p95 = ValueAtPercentile(95);
     s.p99 = ValueAtPercentile(99);
   }

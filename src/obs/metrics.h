@@ -44,6 +44,7 @@ struct HistogramStats {
   uint64_t min = 0;
   uint64_t max = 0;
   uint64_t p50 = 0;
+  uint64_t p90 = 0;
   uint64_t p95 = 0;
   uint64_t p99 = 0;
 
@@ -55,8 +56,9 @@ struct HistogramStats {
 /// Fixed-bucket histogram for latency-style values (nanoseconds).
 /// Bucket i counts values whose bit width is i (power-of-two bounds), so
 /// Record() is a handful of relaxed atomic ops and never allocates.
-/// Percentiles are resolved to a bucket's upper bound and clamped to the
-/// exact observed [min, max], which makes the edges precise:
+/// Percentiles interpolate linearly within the resolved log2 bucket
+/// (assuming a uniform distribution inside it) and clamp to the exact
+/// observed [min, max], which makes the edges precise:
 /// ValueAtPercentile(0) == min, ValueAtPercentile(100) == max.
 class Histogram {
  public:

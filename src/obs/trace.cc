@@ -15,8 +15,22 @@ struct ThreadSpanContext {
 thread_local ThreadSpanContext tls_span_context;
 
 std::atomic<uint64_t> next_span_id{1};
+std::atomic<uint32_t> next_thread_id{1};
+
+/// Registered once; survives MetricsRegistry::ResetAll() like any other
+/// counter handle.
+Counter& TraceDroppedCounter() {
+  static Counter& c = MetricsRegistry::Get().counter("obs.trace.dropped");
+  return c;
+}
 
 }  // namespace
+
+uint32_t TraceThreadId() {
+  thread_local uint32_t id =
+      next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 uint64_t TraceNowNanos() {
   static const auto epoch = std::chrono::steady_clock::now();
@@ -32,12 +46,16 @@ TraceSink& TraceSink::Get() {
 }
 
 void TraceSink::Record(SpanRecord record) {
+  // Resolved outside mu_ so the registry lock never nests inside it.
+  Counter& dropped_counter = TraceDroppedCounter();
   MutexLock lock(mu_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
     return;
   }
+  ++dropped_;
+  dropped_counter.Inc();
   if (capacity_ == 0) return;
   ring_[next_] = std::move(record);
   next_ = (next_ + 1) % capacity_;
@@ -58,6 +76,7 @@ void TraceSink::Clear() {
   MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
+  dropped_ = 0;
 }
 
 uint64_t TraceSink::total_recorded() const {
@@ -65,11 +84,17 @@ uint64_t TraceSink::total_recorded() const {
   return total_;
 }
 
+uint64_t TraceSink::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
 void TraceSink::set_capacity(size_t capacity) {
   MutexLock lock(mu_);
   capacity_ = capacity;
   ring_.clear();
   next_ = 0;
+  dropped_ = 0;
 }
 
 size_t TraceSink::capacity() const {
@@ -109,6 +134,7 @@ Span::~Span() {
   record.id = id_;
   record.parent_id = parent_id_;
   record.depth = depth_;
+  record.tid = TraceThreadId();
   record.name = std::move(name_);
   record.start_nanos = start_nanos_;
   record.duration_nanos = end - start_nanos_;

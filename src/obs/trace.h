@@ -15,6 +15,7 @@ struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent_id = 0;  // 0 = root.
   uint32_t depth = 0;
+  uint32_t tid = 0;  // Small sequential id of the recording thread.
   std::string name;
   uint64_t start_nanos = 0;  // Since the process trace epoch.
   uint64_t duration_nanos = 0;
@@ -22,6 +23,8 @@ struct SpanRecord {
 
 /// Process-wide ring buffer of completed spans. Bounded: once full, the
 /// oldest spans are overwritten, so tracing can stay on permanently.
+/// Overwrites are not silent: each one bumps the `obs.trace.dropped`
+/// counter and the dropped() tally so truncated traces are detectable.
 class TraceSink {
  public:
   static TraceSink& Get();
@@ -34,6 +37,9 @@ class TraceSink {
   void Clear() SLIM_EXCLUDES(mu_);
   /// Total spans ever recorded (including overwritten ones).
   uint64_t total_recorded() const SLIM_EXCLUDES(mu_);
+  /// Spans overwritten (lost from the ring) since the last Clear() or
+  /// set_capacity() call.
+  uint64_t dropped() const SLIM_EXCLUDES(mu_);
 
   void set_capacity(size_t capacity) SLIM_EXCLUDES(mu_);
   size_t capacity() const SLIM_EXCLUDES(mu_);
@@ -46,7 +52,12 @@ class TraceSink {
   std::vector<SpanRecord> ring_ SLIM_GUARDED_BY(mu_);
   size_t next_ SLIM_GUARDED_BY(mu_) = 0;  // Overwrite cursor once full.
   uint64_t total_ SLIM_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ SLIM_GUARDED_BY(mu_) = 0;
 };
+
+/// Small sequential id of the calling thread (1-based, stable for the
+/// thread's lifetime). Used to tag spans for per-thread trace lanes.
+uint32_t TraceThreadId();
 
 /// Nanoseconds since the process trace epoch (first use).
 uint64_t TraceNowNanos();

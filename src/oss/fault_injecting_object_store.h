@@ -123,6 +123,9 @@ class FaultInjectingObjectStore : public ObjectStore {
   /// Admission check shared by every op. Returns OK to pass through.
   Status Admit(const char* op, const std::string& key) SLIM_EXCLUDES(mu_);
 
+  // Not SLIM_PT_GUARDED_BY(mu_): the inner store locks for itself and
+  // is deliberately called outside mu_ so injection bookkeeping never
+  // serializes real I/O.
   ObjectStore* inner_;
   const FaultProfile profile_;
   obs::Counter* m_injected_;

@@ -141,6 +141,8 @@ class RetryingObjectStore : public ObjectStore {
   /// `*backoff` exponentially, capped at max_backoff_nanos.
   void Backoff(uint64_t* backoff) SLIM_EXCLUDES(mu_);
 
+  // Not SLIM_PT_GUARDED_BY(mu_): mu_ only covers the jitter RNG; the
+  // inner store locks for itself and retried calls must overlap.
   ObjectStore* inner_;
   const RetryPolicy policy_;
 

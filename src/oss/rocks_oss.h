@@ -105,7 +105,10 @@ class RocksOss {
   Result<std::shared_ptr<Memtable>> LoadRunLocked(const Run& run)
       SLIM_REQUIRES(mu_);
 
-  ObjectStore* store_;
+  // Every inner-store access happens inside a flush/compact/load
+  // section, so the pointee rides under mu_ even though the pointer
+  // itself is set once in the constructor.
+  ObjectStore* store_ SLIM_PT_GUARDED_BY(mu_);
   const std::string name_;
   const RocksOssOptions options_;
 

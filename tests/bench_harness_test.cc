@@ -1,0 +1,163 @@
+// Tests for the unified bench harness (src/obs/bench_harness.*):
+// registry selection, warmup/repeat folding, OSS totals extraction, and
+// the schema-versioned BENCH json.
+
+#include "obs/bench_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace slim::obs {
+namespace {
+
+// Invocation log shared by the test scenarios. Each element is the
+// repeat index the scenario saw (-1 = warmup).
+std::vector<int>& Calls() {
+  static std::vector<int> calls;
+  return calls;
+}
+
+void AlphaScenario(ScenarioContext& ctx) {
+  Calls().push_back(ctx.repeat());
+  // Different throughput per repeat exercises the min/mean/max fold.
+  ctx.ReportThroughputMBps(100.0 + 10.0 * ctx.repeat());
+  ctx.ReportLogicalBytes(1 << 20);
+  ctx.ReportDedupRatio(0.84);
+  ctx.ReportExtra("versions", 3.0);
+  auto& reg = MetricsRegistry::Get();
+  reg.counter("oss.get.requests").Inc(7);
+  reg.counter("oss.put.requests").Inc(5);
+  reg.counter("oss.get.bytes").Inc(4096);
+  reg.counter("oss.put.bytes").Inc(2048);
+  reg.histogram("testbench.phase_ns").Record(1000);
+  reg.histogram("testbench.phase_ns").Record(3000);
+}
+
+void BetaScenario(ScenarioContext& ctx) {
+  ctx.ReportThroughputMBps(ctx.quick() ? 1.0 : 2.0);
+}
+
+const BenchRegistration kAlpha{
+    {"testbench.alpha", "fold and oss extraction", /*in_quick=*/true,
+     AlphaScenario}};
+const BenchRegistration kBeta{
+    {"testbench.beta_full_only", "full-suite-only scenario",
+     /*in_quick=*/false, BetaScenario}};
+
+TEST(BenchRegistryTest, SelectFiltersSuiteAndSubstringSorted) {
+  auto all = BenchRegistry::Get().Select("full", "testbench.");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "testbench.alpha");  // Sorted by name.
+  EXPECT_EQ(all[1].name, "testbench.beta_full_only");
+
+  auto quick = BenchRegistry::Get().Select("quick", "testbench.");
+  ASSERT_EQ(quick.size(), 1u);
+  EXPECT_EQ(quick[0].name, "testbench.alpha");
+
+  EXPECT_TRUE(BenchRegistry::Get().Select("quick", "no.such.name").empty());
+}
+
+TEST(BenchRunnerTest, WarmupRunsAreDiscardedAndRepeatsFold) {
+  Calls().clear();
+  BenchRunOptions options;
+  options.suite = "quick";
+  options.filter = "testbench.alpha";
+  options.warmup = 2;
+  options.repeats = 3;
+  BenchReport report = RunBenchSuite(options);
+
+  // 2 warmups (repeat -1) then repeats 0, 1, 2.
+  ASSERT_EQ(Calls().size(), 5u);
+  EXPECT_EQ(Calls()[0], -1);
+  EXPECT_EQ(Calls()[1], -1);
+  EXPECT_EQ(Calls()[2], 0);
+  EXPECT_EQ(Calls()[4], 2);
+
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  const ScenarioOutcome& s = report.scenarios[0];
+  EXPECT_EQ(s.name, "testbench.alpha");
+  EXPECT_EQ(s.repeats, 3);
+  // Throughputs were 100, 110, 120.
+  EXPECT_DOUBLE_EQ(s.throughput_mbps.min, 100.0);
+  EXPECT_DOUBLE_EQ(s.throughput_mbps.max, 120.0);
+  EXPECT_NEAR(s.throughput_mbps.mean, 110.0, 1e-9);
+  EXPECT_GT(s.wall_seconds.mean, 0.0);
+  EXPECT_EQ(s.logical_bytes, 1u << 20);
+  EXPECT_DOUBLE_EQ(s.dedup_ratio, 0.84);
+  EXPECT_DOUBLE_EQ(s.extra.at("versions"), 3.0);
+}
+
+TEST(BenchRunnerTest, OssTotalsComeFromFinalRepeatOnly) {
+  BenchRunOptions options;
+  options.suite = "quick";
+  options.filter = "testbench.alpha";
+  options.repeats = 4;  // Registry resets per repeat: totals stay flat.
+  BenchReport report = RunBenchSuite(options);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  const ScenarioOutcome& s = report.scenarios[0];
+  EXPECT_EQ(s.oss_requests, 12u);  // 7 gets + 5 puts, one repeat.
+  EXPECT_EQ(s.oss_bytes_read, 4096u);
+  EXPECT_EQ(s.oss_bytes_written, 2048u);
+  // Histogram phases with samples surface with quantiles.
+  ASSERT_EQ(s.phases.count("testbench.phase_ns"), 1u);
+  EXPECT_EQ(s.phases.at("testbench.phase_ns").count, 2u);
+  EXPECT_LE(s.phases.at("testbench.phase_ns").p50,
+            s.phases.at("testbench.phase_ns").p99);
+}
+
+TEST(BenchRunnerTest, QuickFlagReachesScenario) {
+  BenchRunOptions options;
+  options.suite = "full";
+  options.filter = "testbench.beta_full_only";
+  BenchReport report = RunBenchSuite(options);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.scenarios[0].throughput_mbps.mean, 2.0);
+  EXPECT_EQ(report.suite, "full");
+}
+
+TEST(BenchJsonTest, SchemaFieldsPresent) {
+  BenchRunOptions options;
+  options.suite = "quick";
+  options.filter = "testbench.alpha";
+  BenchReport report = RunBenchSuite(options);
+  std::string json = BenchReportJson(report);
+
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"suite\": \"quick\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"testbench.alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": {\"mean\": "), std::string::npos);
+  EXPECT_NE(json.find("\"throughput_mbps\": {\"mean\": 100.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"logical_bytes\": 1048576"), std::string::npos);
+  EXPECT_NE(json.find("\"dedup_ratio\": 0.8400"), std::string::npos);
+  EXPECT_NE(json.find("\"oss\": {\"requests\": 12, \"bytes_read\": 4096, "
+                      "\"bytes_written\": 2048}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"testbench.phase_ns\": {\"count\": 2, \"p50\": "),
+            std::string::npos);
+  EXPECT_NE(json.find("\"versions\": 3"), std::string::npos);
+}
+
+TEST(BenchJsonTest, EmptyReportStillValidShape) {
+  BenchReport report;
+  report.suite = "quick";
+  std::string json = BenchReportJson(report);
+  EXPECT_NE(json.find("\"scenarios\": []"), std::string::npos);
+}
+
+TEST(BenchTableTest, OneLinePerScenario) {
+  BenchRunOptions options;
+  options.suite = "quick";
+  options.filter = "testbench.alpha";
+  BenchReport report = RunBenchSuite(options);
+  std::string table = BenchReportTable(report);
+  EXPECT_NE(table.find("scenario"), std::string::npos);
+  EXPECT_NE(table.find("testbench.alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slim::obs

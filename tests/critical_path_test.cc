@@ -1,0 +1,191 @@
+// Tests for the critical-path analyzer and the Chrome trace_event
+// exporter (src/obs/critical_path.*).
+
+#include "obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace slim::obs {
+namespace {
+
+SpanRecord Make(uint64_t id, uint64_t parent, const std::string& name,
+                uint64_t start, uint64_t dur, uint32_t tid = 1) {
+  SpanRecord s;
+  s.id = id;
+  s.parent_id = parent;
+  s.name = name;
+  s.start_nanos = start;
+  s.duration_nanos = dur;
+  s.tid = tid;
+  return s;
+}
+
+TEST(ClassifySpanTest, NameHeuristics) {
+  EXPECT_EQ(ClassifySpan("backup.persist"), SpanCategory::kIo);
+  EXPECT_EQ(ClassifySpan("restore.fetch_container"), SpanCategory::kIo);
+  EXPECT_EQ(ClassifySpan("restore.read_recipe"), SpanCategory::kIo);
+  EXPECT_EQ(ClassifySpan("durability.scrub.cycle"), SpanCategory::kIo);
+  EXPECT_EQ(ClassifySpan("backup.detect_base"), SpanCategory::kCompute);
+  EXPECT_EQ(ClassifySpan("gnode.scc.compact"), SpanCategory::kCompute);
+  EXPECT_EQ(ClassifySpan("gnode.rd.process"), SpanCategory::kCompute);
+  EXPECT_EQ(ClassifySpan("banana"), SpanCategory::kOther);
+  EXPECT_STREQ(SpanCategoryName(SpanCategory::kIo), "io");
+  EXPECT_STREQ(SpanCategoryName(SpanCategory::kCompute), "compute");
+  EXPECT_STREQ(SpanCategoryName(SpanCategory::kOther), "other");
+}
+
+TEST(CriticalPathTest, LeafAttributionAndIdle) {
+  // root [0, 100); leaf io child [0, 40); leaf compute child [50, 80).
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "backup", 0, 100),
+      Make(2, 1, "backup.persist", 0, 40),
+      Make(3, 1, "backup.detect_base", 50, 30),
+  };
+  auto reports = AnalyzeCriticalPaths(spans);
+  ASSERT_EQ(reports.size(), 1u);
+  const CriticalPathReport& r = reports[0];
+  EXPECT_EQ(r.root_name, "backup");
+  EXPECT_EQ(r.total_nanos, 100u);
+  EXPECT_EQ(r.io_nanos, 40u);
+  EXPECT_EQ(r.compute_nanos, 30u);
+  EXPECT_EQ(r.other_nanos, 0u);
+  EXPECT_EQ(r.idle_nanos, 30u);  // [40,50) + [80,100).
+  // Dominant chain: root -> heaviest child (the 40ns persist).
+  ASSERT_EQ(r.chain.size(), 2u);
+  EXPECT_EQ(r.chain[0].name, "backup");
+  EXPECT_EQ(r.chain[1].name, "backup.persist");
+  EXPECT_EQ(r.chain[1].category, SpanCategory::kIo);
+}
+
+TEST(CriticalPathTest, ParallelLeavesDoNotDoubleCount) {
+  // Two overlapping prefetch fetches: [0, 60) and [30, 90) on a 100ns
+  // restore. Union is 90, not 120.
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "restore", 0, 100),
+      Make(2, 1, "restore.fetch_container", 0, 60, 2),
+      Make(3, 1, "restore.fetch_container", 30, 60, 3),
+  };
+  auto reports = AnalyzeCriticalPaths(spans);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].io_nanos, 90u);
+  EXPECT_EQ(reports[0].idle_nanos, 10u);
+}
+
+TEST(CriticalPathTest, OnlyLeavesAttributeTime) {
+  // A middle span wrapping a leaf must not double the leaf's time.
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "restore", 0, 100),
+      Make(2, 1, "restore.fetch_container", 10, 80),
+      Make(3, 2, "oss.get", 20, 50),
+  };
+  auto reports = AnalyzeCriticalPaths(spans);
+  ASSERT_EQ(reports.size(), 1u);
+  // Only the oss.get leaf counts: 50ns io, rest idle.
+  EXPECT_EQ(reports[0].io_nanos, 50u);
+  EXPECT_EQ(reports[0].idle_nanos, 50u);
+  ASSERT_EQ(reports[0].chain.size(), 3u);
+  EXPECT_EQ(reports[0].chain[2].name, "oss.get");
+}
+
+TEST(CriticalPathTest, ChildIntervalsClampToRootWindow) {
+  // A child recorded past its root's end (clock skew / late close)
+  // cannot push attribution beyond the root's wall time.
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "backup", 100, 50),
+      Make(2, 1, "backup.persist", 120, 100),
+  };
+  auto reports = AnalyzeCriticalPaths(spans);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].io_nanos, 30u);  // [120, 150) only.
+  EXPECT_EQ(reports[0].idle_nanos, 20u);
+}
+
+TEST(CriticalPathTest, EvictedParentBecomesRoot) {
+  // Parent id 99 is not in the snapshot (overwritten in the ring);
+  // the orphan is analyzed as its own root rather than dropped.
+  std::vector<SpanRecord> spans = {
+      Make(2, 99, "restore.fetch_container", 0, 40),
+  };
+  auto reports = AnalyzeCriticalPaths(spans);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].root_name, "restore.fetch_container");
+  EXPECT_EQ(reports[0].total_nanos, 40u);
+  EXPECT_EQ(reports[0].idle_nanos, 40u);  // Leaf root: nothing below it.
+}
+
+TEST(CriticalPathTest, MultipleRootsReportedOldestFirst) {
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "backup", 0, 100),
+      Make(2, 0, "restore", 200, 50),
+  };
+  auto reports = AnalyzeCriticalPaths(spans);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].root_name, "backup");
+  EXPECT_EQ(reports[1].root_name, "restore");
+}
+
+TEST(CriticalPathTest, RenderMentionsSplitAndChain) {
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "backup", 0, 1000000),
+      Make(2, 1, "backup.persist", 0, 600000),
+  };
+  std::string text = RenderCriticalPaths(AnalyzeCriticalPaths(spans));
+  EXPECT_NE(text.find("backup (span 1)"), std::string::npos);
+  EXPECT_NE(text.find("io 0.600 ms"), std::string::npos);
+  EXPECT_NE(text.find("critical path:"), std::string::npos);
+  EXPECT_NE(text.find("-> backup.persist"), std::string::npos);
+  EXPECT_EQ(RenderCriticalPaths({}), "(no spans recorded)\n");
+}
+
+TEST(ChromeTraceTest, EmitsCompleteEventsWithMicrosecondTimes) {
+  std::vector<SpanRecord> spans = {
+      Make(7, 0, "backup", 2000, 5000, 3),
+  };
+  std::string json = ChromeTraceJson(spans);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"backup\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Nanoseconds become microseconds: 2000ns -> ts 2.000.
+  EXPECT_NE(json.find("\"ts\": 2.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 5.000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EscapesNamesAndHandlesEmpty) {
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "we\"ird\nname", 0, 10),
+  };
+  std::string json = ChromeTraceJson(spans);
+  EXPECT_NE(json.find("we\\\"ird\\nname"), std::string::npos);
+  std::string empty = ChromeTraceJson({});
+  EXPECT_NE(empty.find("\"traceEvents\": []"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, RealSpansNestAndCarryThreadIds) {
+  TraceSink::Get().Clear();
+  {
+    Span outer("cp_test.backup");
+    Span inner("cp_test.backup.persist");
+  }
+  std::vector<SpanRecord> spans = TraceSink::Get().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Same thread, child window contained in the parent's.
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  EXPECT_GE(spans[0].start_nanos, spans[1].start_nanos);
+  EXPECT_LE(spans[0].start_nanos + spans[0].duration_nanos,
+            spans[1].start_nanos + spans[1].duration_nanos);
+  std::string json = ChromeTraceJson(spans);
+  EXPECT_NE(json.find("cp_test.backup.persist"), std::string::npos);
+  TraceSink::Get().Clear();
+}
+
+}  // namespace
+}  // namespace slim::obs

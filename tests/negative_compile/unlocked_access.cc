@@ -1,5 +1,6 @@
 // Negative-compile fixture: proves the capability annotations on
-// slim::Mutex catch an unlocked access to SLIM_GUARDED_BY state.
+// slim::Mutex catch an unlocked access to SLIM_GUARDED_BY state and an
+// unlocked dereference of SLIM_PT_GUARDED_BY pointees.
 //
 // Clang-only (GCC compiles the annotations away). Built twice with
 // -Wthread-safety -Werror=thread-safety-analysis:
@@ -32,11 +33,39 @@ class Counter {
   int count_ SLIM_GUARDED_BY(mu_) = 0;
 };
 
+// Mirrors the RocksOss layout: the pointer itself is set once in the
+// constructor, but the pointee may only be touched with mu_ held.
+class PointerGuard {
+ public:
+  explicit PointerGuard(int* shared) : shared_(shared) {}
+
+  void Bump() SLIM_EXCLUDES(mu_) {
+#ifdef NEGCOMPILE_VIOLATE
+    ++*shared_;  // error: dereferencing shared_ requires holding mu_
+#else
+    MutexLock lock(mu_);
+    ++*shared_;
+#endif
+  }
+
+  int Read() const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return *shared_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int* shared_ SLIM_PT_GUARDED_BY(mu_);
+};
+
 }  // namespace
 }  // namespace slim
 
 int main() {
   slim::Counter c;
   c.Increment();
-  return c.Get() == 1 ? 0 : 1;
+  int value = 0;
+  slim::PointerGuard guard(&value);
+  guard.Bump();
+  return (c.Get() == 1 && guard.Read() == 1) ? 0 : 1;
 }

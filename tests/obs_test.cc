@@ -87,6 +87,39 @@ TEST(HistogramTest, PercentileEdgesOnUniformRange) {
   EXPECT_LE(h.ValueAtPercentile(95), h.ValueAtPercentile(99));
 }
 
+TEST(HistogramTest, InterpolatedQuantilesAreMonotoneAndClamped) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramStats s = h.Stats();
+  EXPECT_EQ(s.count, 1000u);
+  // Interpolation keeps quantiles ordered and inside [min, max].
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+  // The true p50 is 500 in bucket [256, 511]; linear interpolation
+  // lands well inside that bucket rather than pinning to its bound.
+  EXPECT_GT(s.p50, 300u);
+  EXPECT_LT(s.p50, 700u);
+  // p90 = 900 lies in bucket [512, 1023]; clamped to max 1000.
+  EXPECT_GT(s.p90, 700u);
+  EXPECT_LE(s.p90, 1000u);
+}
+
+TEST(HistogramTest, InterpolationClampsToObservedRangeWithinOneBucket) {
+  Histogram h;
+  // Both values share bucket [512, 1023]; interpolation must never step
+  // outside what was actually observed.
+  h.Record(600);
+  h.Record(610);
+  EXPECT_EQ(h.ValueAtPercentile(0), 600u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 610u);
+  uint64_t p50 = h.ValueAtPercentile(50);
+  EXPECT_GE(p50, 600u);
+  EXPECT_LE(p50, 610u);
+}
+
 TEST(HistogramTest, ConcurrentRecordsCountExactly) {
   Histogram& h = MetricsRegistry::Get().histogram("obs_test.hist.mt");
   h.Reset();
@@ -180,6 +213,46 @@ TEST(SpanTest, RingBufferOverwritesOldest) {
   TraceSink::Get().set_capacity(original);
 }
 
+TEST(SpanTest, OverflowBumpsDroppedTallyAndCounter) {
+  Counter& dropped_counter =
+      MetricsRegistry::Get().counter("obs.trace.dropped");
+  size_t original = TraceSink::Get().capacity();
+  TraceSink::Get().set_capacity(4);  // Also resets the dropped tally.
+  EXPECT_EQ(TraceSink::Get().dropped(), 0u);
+  uint64_t counter_before = dropped_counter.value();
+  for (int i = 0; i < 10; ++i) {
+    Span s("obs_test.drop" + std::to_string(i));
+  }
+  // 10 spans into a 4-slot ring: 6 overwritten.
+  EXPECT_EQ(TraceSink::Get().dropped(), 6u);
+  EXPECT_EQ(dropped_counter.value() - counter_before, 6u);
+  // The table renderer reports the loss instead of truncating silently.
+  std::string trace = RenderTrace(TraceSink::Get());
+  EXPECT_NE(trace.find("6 span(s) dropped"), std::string::npos);
+  TraceSink::Get().Clear();
+  EXPECT_EQ(TraceSink::Get().dropped(), 0u);
+  TraceSink::Get().set_capacity(original);
+}
+
+TEST(SpanTest, SpansCarrySmallThreadIds) {
+  TraceSink::Get().Clear();
+  uint32_t main_tid = TraceThreadId();
+  EXPECT_GT(main_tid, 0u);
+  EXPECT_EQ(TraceThreadId(), main_tid);  // Stable within a thread.
+  { Span s("obs_test.tid_main"); }
+  uint32_t worker_tid = 0;
+  std::thread worker([&worker_tid] {
+    worker_tid = TraceThreadId();
+    Span s("obs_test.tid_worker");
+  });
+  worker.join();
+  EXPECT_NE(worker_tid, main_tid);
+  std::vector<SpanRecord> spans = TraceSink::Get().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].tid, main_tid);
+  EXPECT_EQ(spans[1].tid, worker_tid);
+}
+
 TEST(ScopedTimerTest, RecordsOnceAndBumpsCounter) {
   Histogram h;
   Counter c;
@@ -215,16 +288,47 @@ TEST(ExportTest, PrometheusNamesAreSanitized) {
   reg.histogram("obs_test.prom.hist").Record(50);
 
   std::string prom = RenderRegistry(ExportFormat::kPrometheus);
+  // TYPE declares the base name; the counter sample carries the
+  // conventional _total suffix.
   EXPECT_NE(prom.find("# TYPE slim_obs_test_prom_counter counter"),
             std::string::npos);
-  EXPECT_NE(prom.find("slim_obs_test_prom_counter 11"), std::string::npos);
+  EXPECT_NE(prom.find("slim_obs_test_prom_counter_total 11"),
+            std::string::npos);
   EXPECT_NE(prom.find("# TYPE slim_obs_test_prom_hist summary"),
             std::string::npos);
   EXPECT_NE(prom.find("slim_obs_test_prom_hist{quantile=\"0.5\"}"),
             std::string::npos);
+  EXPECT_NE(prom.find("slim_obs_test_prom_hist{quantile=\"0.9\"}"),
+            std::string::npos);
   EXPECT_NE(prom.find("slim_obs_test_prom_hist_count 1"), std::string::npos);
-  // No raw dots survive in metric names.
+  // No raw dots survive in metric names, and _total is not doubled.
   EXPECT_EQ(prom.find("slim_obs_test.prom"), std::string::npos);
+  EXPECT_EQ(prom.find("_total_total"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusCounterTotalSuffixNotDuplicated) {
+  auto& reg = MetricsRegistry::Get();
+  reg.counter("obs_test.prom.already_total").Reset();
+  reg.counter("obs_test.prom.already_total").Inc(3);
+  std::string prom = RenderRegistry(ExportFormat::kPrometheus);
+  EXPECT_NE(prom.find("slim_obs_test_prom_already_total 3"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("slim_obs_test_prom_already_total_total"),
+            std::string::npos);
+}
+
+TEST(ExportTest, PromEscapeLabelValueEscapesSpecials) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(PromEscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(ExportTest, PromMetricNameSanitizes) {
+  EXPECT_EQ(PromMetricName("oss.get.requests"), "slim_oss_get_requests");
+  EXPECT_EQ(PromMetricName("backup-pipeline/chunk ns"),
+            "slim_backup_pipeline_chunk_ns");
 }
 
 TEST(ExportTest, TableListsSections) {

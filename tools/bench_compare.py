@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Validate and compare BENCH perf-trajectory JSON reports.
+
+Usage:
+  bench_compare.py --validate REPORT.json
+      Schema-check one report. Exit 2 on any schema violation.
+
+  bench_compare.py [--warn-only] BASELINE.json CURRENT.json
+      Print a per-scenario delta table and gate on regressions:
+        * throughput_mbps.mean drops more than 10% -> regression
+        * oss.requests grows more than 15%         -> regression
+      Exit 1 if any regression (0 with --warn-only), 2 on schema errors.
+
+Thresholds are tuned for the deterministic quick suite: scenario seeds
+are fixed, so OSS request counts are exactly reproducible and only
+wall-clock throughput carries machine noise (hence the looser 10%).
+
+Stdlib only; CI runs this against the committed baseline in
+bench/baselines/.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+THROUGHPUT_REGRESSION_PCT = 10.0
+OSS_REQUEST_INFLATION_PCT = 15.0
+
+
+def _is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _is_int(x):
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+def _check_stat(errors, where, stat):
+    if not isinstance(stat, dict):
+        errors.append(f"{where}: expected object with mean/min/max")
+        return
+    for key in ("mean", "min", "max"):
+        if not _is_num(stat.get(key)):
+            errors.append(f"{where}.{key}: missing or non-numeric")
+
+
+def validate_report(report, label):
+    """Returns a list of schema-error strings (empty = valid)."""
+    errors = []
+    if not isinstance(report, dict):
+        return [f"{label}: top level is not a JSON object"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"{label}: schema_version is {report.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    if report.get("suite") not in ("quick", "full"):
+        errors.append(f"{label}: suite is {report.get('suite')!r}, expected "
+                      "'quick' or 'full'")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, list):
+        errors.append(f"{label}: 'scenarios' missing or not a list")
+        return errors
+    seen = set()
+    for i, s in enumerate(scenarios):
+        where = f"{label}: scenarios[{i}]"
+        if not isinstance(s, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing scenario name")
+        elif name in seen:
+            errors.append(f"{where}: duplicate scenario name '{name}'")
+        else:
+            seen.add(name)
+            where = f"{label}: {name}"
+        if not _is_int(s.get("repeats")) or s.get("repeats") < 1:
+            errors.append(f"{where}: repeats must be an integer >= 1")
+        _check_stat(errors, f"{where}.wall_seconds", s.get("wall_seconds"))
+        _check_stat(errors, f"{where}.throughput_mbps",
+                    s.get("throughput_mbps"))
+        if not _is_int(s.get("logical_bytes")) or s.get("logical_bytes") < 0:
+            errors.append(f"{where}: logical_bytes must be an integer >= 0")
+        if not _is_num(s.get("dedup_ratio")):
+            errors.append(f"{where}: dedup_ratio missing or non-numeric")
+        oss = s.get("oss")
+        if not isinstance(oss, dict):
+            errors.append(f"{where}: 'oss' missing or not an object")
+        else:
+            for key in ("requests", "bytes_read", "bytes_written"):
+                if not _is_int(oss.get(key)) or oss.get(key) < 0:
+                    errors.append(
+                        f"{where}.oss.{key}: must be an integer >= 0")
+        phases = s.get("phases")
+        if not isinstance(phases, dict):
+            errors.append(f"{where}: 'phases' missing or not an object")
+        else:
+            for pname, p in phases.items():
+                pwhere = f"{where}.phases[{pname}]"
+                if not isinstance(p, dict):
+                    errors.append(f"{pwhere}: not an object")
+                    continue
+                fields_ok = True
+                for key in ("count", "p50", "p90", "p99"):
+                    if not _is_int(p.get(key)) or p.get(key) < 0:
+                        errors.append(
+                            f"{pwhere}.{key}: must be an integer >= 0")
+                        fields_ok = False
+                if fields_ok and not (p["p50"] <= p["p90"] <= p["p99"]):
+                    errors.append(
+                        f"{pwhere}: quantiles not monotonic "
+                        f"(p50={p['p50']} p90={p['p90']} p99={p['p99']})")
+        extra = s.get("extra")
+        if not isinstance(extra, dict):
+            errors.append(f"{where}: 'extra' missing or not an object")
+        else:
+            for key, value in extra.items():
+                if not _is_num(value):
+                    errors.append(f"{where}.extra[{key}]: non-numeric")
+    return errors
+
+
+def load_report(path):
+    """Returns (report, errors). Parse failures count as schema errors."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, [f"{path}: {e}"]
+    return report, validate_report(report, path)
+
+
+def pct_delta(base, cur):
+    if base == 0:
+        return 0.0
+    return 100.0 * (cur - base) / base
+
+
+def compare(baseline, current):
+    """Prints the delta table; returns the list of regression strings."""
+    base_by_name = {s["name"]: s for s in baseline["scenarios"]}
+    cur_by_name = {s["name"]: s for s in current["scenarios"]}
+    regressions = []
+
+    print(f"{'scenario':<40} {'base MB/s':>10} {'cur MB/s':>10} "
+          f"{'delta':>8} {'base reqs':>10} {'cur reqs':>10} {'delta':>8}")
+    for name in sorted(base_by_name):
+        if name not in cur_by_name:
+            print(f"{name:<40} (missing from current report)")
+            continue
+        base, cur = base_by_name[name], cur_by_name[name]
+        base_mbps = base["throughput_mbps"]["mean"]
+        cur_mbps = cur["throughput_mbps"]["mean"]
+        mbps_delta = pct_delta(base_mbps, cur_mbps)
+        base_reqs = base["oss"]["requests"]
+        cur_reqs = cur["oss"]["requests"]
+        req_delta = pct_delta(base_reqs, cur_reqs)
+        marks = []
+        if base_mbps > 0 and mbps_delta < -THROUGHPUT_REGRESSION_PCT:
+            marks.append("THROUGHPUT")
+            regressions.append(
+                f"{name}: throughput {base_mbps:.1f} -> {cur_mbps:.1f} MB/s "
+                f"({mbps_delta:+.1f}%, limit -{THROUGHPUT_REGRESSION_PCT}%)")
+        if base_reqs > 0 and req_delta > OSS_REQUEST_INFLATION_PCT:
+            marks.append("OSS-REQS")
+            regressions.append(
+                f"{name}: OSS requests {base_reqs} -> {cur_reqs} "
+                f"({req_delta:+.1f}%, limit +{OSS_REQUEST_INFLATION_PCT}%)")
+        print(f"{name:<40} {base_mbps:>10.1f} {cur_mbps:>10.1f} "
+              f"{mbps_delta:>+7.1f}% {base_reqs:>10} {cur_reqs:>10} "
+              f"{req_delta:>+7.1f}%{'  <-- ' + ','.join(marks) if marks else ''}")
+    for name in sorted(set(cur_by_name) - set(base_by_name)):
+        print(f"{name:<40} (new scenario, no baseline)")
+    return regressions
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--validate", metavar="REPORT",
+                        help="schema-check one report and exit")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    parser.add_argument("reports", nargs="*",
+                        metavar="BASELINE CURRENT")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        _, errors = load_report(args.validate)
+        for e in errors:
+            print(f"SCHEMA ERROR: {e}", file=sys.stderr)
+        if errors:
+            return 2
+        print(f"{args.validate}: schema OK")
+        return 0
+
+    if len(args.reports) != 2:
+        parser.error("expected BASELINE and CURRENT reports "
+                     "(or --validate REPORT)")
+    baseline, base_errors = load_report(args.reports[0])
+    current, cur_errors = load_report(args.reports[1])
+    errors = base_errors + cur_errors
+    for e in errors:
+        print(f"SCHEMA ERROR: {e}", file=sys.stderr)
+    if errors:
+        return 2
+
+    regressions = compare(baseline, current)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+        for r in regressions:
+            print(f"REGRESSION: {r}", file=sys.stderr)
+        if args.warn_only:
+            print("(--warn-only: exiting 0)", file=sys.stderr)
+            return 0
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

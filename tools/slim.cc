@@ -11,10 +11,18 @@
 //   slim -r REPO forget FILE VERSION       delete a version + GC
 //   slim -r REPO space                     space report
 //   slim -r REPO stats [--json|--prom]     metrics + recent trace spans
+//   slim -r REPO stats --trace OUT.json    dump spans as Chrome trace JSON
 //   slim -r REPO scrub                     detect corruption / lost replicas
 //   slim -r REPO repair                    scrub + repair what redundancy allows
+//   slim bench list                        list registered bench scenarios
+//   slim bench run [--suite quick|full]    run scenarios, write BENCH json
+//
+// `slim bench` needs no repository: scenarios build their own simulated
+// object stores. The global `--trace OUT.json` flag dumps the process
+// trace ring on exit for any command (backup, restore, gnode, ...).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -26,6 +34,8 @@
 #include "durability/checksum.h"
 #include "durability/placement.h"
 #include "durability/replicating_object_store.h"
+#include "obs/bench_harness.h"
+#include "obs/critical_path.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "oss/disk_object_store.h"
@@ -41,7 +51,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: slim -r REPO [--fault-profile SPEC] [--parity-group N] "
-      "COMMAND ...\n"
+      "[--trace OUT.json] COMMAND ...\n"
+      "       slim bench list | run [--suite quick|full] [--filter F]\n"
+      "                 [--repeats N] [--warmup N] [--seed S] [--verbose]\n"
+      "                 [--out FILE]\n"
       "  init [--replicas N]       create a repository; with N >= 2 the\n"
       "                            objects are replicated across N\n"
       "                            independent directories (replica-0..)\n"
@@ -54,6 +67,12 @@ int Usage() {
       "  verify                    check repository consistency\n"
       "  stats [--json|--prom]     print OSS/pipeline metrics and recent "
       "trace spans\n"
+      "  stats --trace OUT.json    also write spans as Chrome trace_event\n"
+      "                            JSON (Perfetto / about:tracing)\n"
+      "  bench list                list registered bench scenarios\n"
+      "  bench run [...]           run a bench suite; writes schema-\n"
+      "                            versioned perf JSON (default "
+      "BENCH_5.json)\n"
       "  scrub                     verify checksums + replicas (detect "
       "only)\n"
       "  repair                    scrub and repair from redundancy\n"
@@ -204,6 +223,88 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Set by the global --trace flag; dumped by an atexit handler so every
+// command path (including early returns) produces the trace file.
+std::string g_trace_path;
+
+void DumpTraceAtExit() {
+  std::string json = obs::ChromeTraceJson(obs::TraceSink::Get().Snapshot());
+  Status s = WriteFile(g_trace_path, json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error writing trace: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "wrote Chrome trace to %s (open in Perfetto or "
+               "about:tracing)\n", g_trace_path.c_str());
+}
+
+// `slim bench` — no repository involved; scenarios build their own
+// simulated object stores. argv[argi] is the subcommand.
+int RunBenchCommand(int argc, char** argv, int argi) {
+  if (argi >= argc) return Usage();
+  std::string sub = argv[argi++];
+
+  if (sub == "list") {
+    for (const auto& spec : obs::BenchRegistry::Get().Select("full", "")) {
+      std::printf("%-26s %s%s\n", spec.name.c_str(),
+                  spec.description.c_str(),
+                  spec.in_quick ? "  [quick]" : "");
+    }
+    return 0;
+  }
+  if (sub != "run") return Usage();
+
+  obs::BenchRunOptions options;
+  std::string out_path = "BENCH_5.json";
+  for (; argi < argc; ++argi) {
+    std::string arg = argv[argi];
+    auto next = [&]() -> const char* {
+      if (argi + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++argi];
+    };
+    if (arg == "--suite") {
+      options.suite = next();
+    } else if (arg == "--filter") {
+      options.filter = next();
+    } else if (arg == "--repeats") {
+      options.repeats = std::atoi(next());
+    } else if (arg == "--warmup") {
+      options.warmup = std::atoi(next());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.suite != "quick" && options.suite != "full") {
+    std::fprintf(stderr, "unknown suite '%s' (quick|full)\n",
+                 options.suite.c_str());
+    return 2;
+  }
+  if (options.repeats < 1) options.repeats = 1;
+
+  obs::BenchReport report = obs::RunBenchSuite(options);
+  if (report.scenarios.empty()) {
+    std::fprintf(stderr, "no scenarios matched filter '%s' in suite '%s'\n",
+                 options.filter.c_str(), options.suite.c_str());
+    return 1;
+  }
+  std::printf("%s", obs::BenchReportTable(report).c_str());
+  Status s = WriteFile(out_path, obs::BenchReportJson(report));
+  if (!s.ok()) return Fail(s);
+  std::printf("\nwrote %s (%zu scenario(s), suite '%s', schema v%d)\n",
+              out_path.c_str(), report.scenarios.size(),
+              report.suite.c_str(), obs::BenchReport::kSchemaVersion);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,9 +324,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[argi], "--parity-group") == 0) {
       parity_group = static_cast<uint32_t>(std::stoul(argv[argi + 1]));
       argi += 2;
+    } else if (std::strcmp(argv[argi], "--trace") == 0) {
+      g_trace_path = argv[argi + 1];
+      argi += 2;
     } else {
       break;
     }
+  }
+  if (!g_trace_path.empty()) std::atexit(DumpTraceAtExit);
+  if (argi < argc && std::strcmp(argv[argi], "bench") == 0) {
+    return RunBenchCommand(argc, argv, argi + 1);
   }
   if (repo_root.empty() || argi >= argc) return Usage();
   std::string command = argv[argi++];
@@ -432,11 +540,15 @@ int main(int argc, char** argv) {
 
   if (command == "stats") {
     obs::ExportFormat format = obs::ExportFormat::kTable;
-    if (argi < argc) {
+    std::string trace_path;
+    for (; argi < argc; ++argi) {
       if (std::strcmp(argv[argi], "--json") == 0) {
         format = obs::ExportFormat::kJson;
       } else if (std::strcmp(argv[argi], "--prom") == 0) {
         format = obs::ExportFormat::kPrometheus;
+      } else if (std::strcmp(argv[argi], "--trace") == 0 &&
+                 argi + 1 < argc) {
+        trace_path = argv[++argi];
       } else {
         return Usage();
       }
@@ -448,6 +560,19 @@ int main(int argc, char** argv) {
     std::printf("%s", core::SlimStore::GetMetricsReport(format).c_str());
     if (format == obs::ExportFormat::kTable) {
       std::printf("%s", obs::RenderTrace(obs::TraceSink::Get()).c_str());
+      auto reports =
+          obs::AnalyzeCriticalPaths(obs::TraceSink::Get().Snapshot());
+      if (!reports.empty()) {
+        std::printf("%s", obs::RenderCriticalPaths(reports).c_str());
+      }
+    }
+    if (!trace_path.empty()) {
+      Status s = WriteFile(
+          trace_path,
+          obs::ChromeTraceJson(obs::TraceSink::Get().Snapshot()));
+      if (!s.ok()) return Fail(s);
+      std::printf("wrote Chrome trace to %s (open in Perfetto or "
+                  "about:tracing)\n", trace_path.c_str());
     }
     return 0;
   }
