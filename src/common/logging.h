@@ -10,7 +10,9 @@
 #include <utility>
 
 #include "common/mutex.h"
+#include "obs/job_context.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace slim {
 
@@ -19,8 +21,10 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Minimal process-wide logger. Defaults to kWarn so tests and benches
 /// stay quiet; examples raise it to kInfo.
 ///
-/// Each line carries a UTC timestamp, the level, and a component tag:
-///   [2026-08-06 12:34:56.789] [WARN] [oss] slow request
+/// Each line carries a UTC timestamp, the level, and a component tag,
+/// plus — when a job scope or span is open on the logging thread — a
+/// correlation tag that joins the line to journal records and traces:
+///   [2026-08-06 12:34:56.789] [WARN] [oss] [j3/s17] slow request
 /// Warning and error volumes are tracked as gauges in the metrics
 /// registry (log.warnings / log.errors), and tests can capture output
 /// via set_sink().
@@ -58,7 +62,7 @@ class Logger {
     static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
     std::string line = "[" + TimestampUtc() + "] [" +
                        kNames[static_cast<int>(level)] + "] [" + component +
-                       "] " + msg;
+                       "] " + CorrelationTag() + msg;
     MutexLock lock(mu_);
     if (sink_) {
       sink_(level, line);
@@ -71,6 +75,24 @@ class Logger {
   Logger()
       : warnings_(&obs::MetricsRegistry::Get().gauge("log.warnings")),
         errors_(&obs::MetricsRegistry::Get().gauge("log.errors")) {}
+
+  /// "[j<job>/s<span>] " for the innermost job scope / span open on the
+  /// calling thread; the idle parts are omitted, "" when neither is
+  /// open. The ids match the journal's "job" field and SpanRecord ids,
+  /// so logs, journal records, and traces join on one key.
+  static std::string CorrelationTag() {
+    uint64_t job_id = obs::CurrentJobId();
+    uint64_t span_id = obs::Span::CurrentId();
+    if (job_id == 0 && span_id == 0) return "";
+    std::string tag = "[";
+    if (job_id != 0) tag += "j" + std::to_string(job_id);
+    if (span_id != 0) {
+      if (job_id != 0) tag += "/";
+      tag += "s" + std::to_string(span_id);
+    }
+    tag += "] ";
+    return tag;
+  }
 
   static std::string TimestampUtc() {
     auto now = std::chrono::system_clock::now();

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include "common/macros.h"
+#include "obs/job_context.h"
 
 namespace slim {
 
@@ -15,10 +16,22 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Capture the submitter's job so the worker charges OSS cost to it
+  // (prefetch reads, parallel backups). Job 0 stays unattributed.
+  uint64_t job_id = obs::CurrentJobId();
+  std::function<void()> wrapped;
+  if (job_id != 0) {
+    wrapped = [job_id, task = std::move(task)] {
+      obs::ThreadJobBinding binding(job_id);
+      task();
+    };
+  } else {
+    wrapped = std::move(task);
+  }
   {
     MutexLock lock(mu_);
     SLIM_CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(wrapped));
   }
   work_cv_.NotifyOne();
 }

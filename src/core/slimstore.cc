@@ -5,10 +5,28 @@
 
 #include "common/macros.h"
 #include "common/mmap_file.h"
+#include "obs/job_context.h"
 
 namespace slim::core {
 
 using format::ContainerId;
+
+namespace {
+
+/// Copies a failed result's message into the job scope so the journal
+/// outcome says what went wrong, then passes the result through.
+template <typename T>
+Result<T> CloseJob(obs::JobScope& job, Result<T> result) {
+  if (!result.ok()) job.SetError(result.status().message());
+  return result;
+}
+
+Status CloseJob(obs::JobScope& job, Status status) {
+  if (!status.ok()) job.SetError(status.message());
+  return status;
+}
+
+}  // namespace
 
 SlimStore::SlimStore(oss::ObjectStore* store, SlimStoreOptions options)
     : store_(store),
@@ -47,29 +65,49 @@ void SlimStore::FinishBackup(const lnode::BackupStats& stats) {
 
 Result<lnode::BackupStats> SlimStore::Backup(const std::string& file_id,
                                              std::string_view data) {
-  lnode::BackupPipeline pipeline(&containers_, &recipes_, &similar_files_,
-                                 options_.backup);
-  uint64_t version = pipeline.AllocateVersion(file_id);
-  auto stats = pipeline.Backup(file_id, data, version);
-  if (!stats.ok()) return stats.status();
-  FinishBackup(stats.value());
+  obs::JobScope job("backup", "backup:" + file_id, options_.tenant);
+  auto result = [&]() -> Result<lnode::BackupStats> {
+    lnode::BackupPipeline pipeline(&containers_, &recipes_, &similar_files_,
+                                   options_.backup);
+    uint64_t version = pipeline.AllocateVersion(file_id);
+    auto stats = pipeline.Backup(file_id, data, version);
+    if (!stats.ok()) return stats.status();
+    FinishBackup(stats.value());
 
-  if (options_.auto_gnode) {
-    auto cycle = RunGNodeCycle();
-    if (!cycle.ok()) return cycle.status();
+    if (options_.auto_gnode) {
+      // Opens its own nested job: the cycle's cost journals as a child
+      // of this backup.
+      auto cycle = RunGNodeCycle();
+      if (!cycle.ok()) return cycle.status();
+    }
+    return stats;
+  }();
+  if (result.ok()) {
+    job.Annotate("version", static_cast<double>(result.value().version));
+    job.Annotate("logical_bytes",
+                 static_cast<double>(result.value().logical_bytes));
   }
-  return stats;
+  return CloseJob(job, std::move(result));
 }
 
 Result<lnode::BackupStats> SlimStore::BackupStream(
     const std::string& file_id, lnode::ByteSource* source) {
-  lnode::BackupPipeline pipeline(&containers_, &recipes_, &similar_files_,
-                                 options_.backup);
-  uint64_t version = pipeline.AllocateVersion(file_id);
-  auto stats = pipeline.BackupStream(file_id, source, version);
-  if (!stats.ok()) return stats.status();
-  FinishBackup(stats.value());
-  return stats;
+  obs::JobScope job("backup", "backup_stream:" + file_id, options_.tenant);
+  auto result = [&]() -> Result<lnode::BackupStats> {
+    lnode::BackupPipeline pipeline(&containers_, &recipes_, &similar_files_,
+                                   options_.backup);
+    uint64_t version = pipeline.AllocateVersion(file_id);
+    auto stats = pipeline.BackupStream(file_id, source, version);
+    if (!stats.ok()) return stats.status();
+    FinishBackup(stats.value());
+    return stats;
+  }();
+  if (result.ok()) {
+    job.Annotate("version", static_cast<double>(result.value().version));
+    job.Annotate("logical_bytes",
+                 static_cast<double>(result.value().logical_bytes));
+  }
+  return CloseJob(job, std::move(result));
 }
 
 Result<lnode::BackupStats> SlimStore::BackupFile(
@@ -83,14 +121,23 @@ Result<std::string> SlimStore::Restore(
     const std::string& file_id, uint64_t version,
     lnode::RestoreStats* stats,
     const lnode::RestoreOptions* override_options) {
+  obs::JobScope job("restore",
+                    "restore:" + file_id + "@" + std::to_string(version),
+                    options_.tenant);
   lnode::RestoreOptions opts =
       override_options != nullptr ? *override_options : options_.restore;
   if (opts.global_index == nullptr) opts.global_index = &global_index_;
   lnode::RestorePipeline pipeline(&containers_, &recipes_, opts);
-  return pipeline.Restore(file_id, version, stats);
+  auto result = pipeline.Restore(file_id, version, stats);
+  if (result.ok()) {
+    job.Annotate("restored_bytes",
+                 static_cast<double>(result.value().size()));
+  }
+  return CloseJob(job, std::move(result));
 }
 
 Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
+  obs::JobScope job("gnode_cycle", "gnode:cycle", options_.tenant);
   MutexLock lock(gnode_mu_);
   GNodeCycleStats cycle;
 
@@ -98,11 +145,17 @@ Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
     auto info = catalog_.Get(pending.file_id, pending.version);
     if (!info.has_value()) continue;
 
+    std::string pending_label =
+        pending.file_id + "@" + std::to_string(pending.version);
     std::vector<ContainerId> all_new = info->new_containers;
 
     // Sparse container compaction first: it may emit new containers
     // which reverse dedup then also filters.
     if (options_.enable_scc && !info->sparse_containers.empty()) {
+      // Child job: the cycle's per-phase cost splits into one scc /
+      // reverse_dedup record per pending backup, causally linked to
+      // this cycle via the journal's "parent" field.
+      obs::JobScope scc_job("scc", "scc:" + pending_label, options_.tenant);
       gnode::SccOptions scc_options = options_.scc;
       scc_options.container_capacity = options_.backup.container_capacity;
       scc_options.sample_ratio = options_.backup.sample_ratio;
@@ -112,7 +165,11 @@ Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
       auto scc_stats =
           scc.Compact(pending.file_id, pending.version,
                       info->sparse_containers, &scc_new);
-      if (!scc_stats.ok()) return scc_stats.status();
+      if (!scc_stats.ok()) {
+        scc_job.SetError(scc_stats.status().message());
+        job.SetError(scc_stats.status().message());
+        return scc_stats.status();
+      }
       cycle.scc += scc_stats.value();
       if (!scc_new.empty()) {
         catalog_.AddNewContainers(pending.file_id, pending.version, scc_new);
@@ -128,7 +185,11 @@ Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
       // version references, and a failed read must fail the cycle so a
       // later retry redoes the refresh.
       auto recipe = recipes_.ReadRecipe(pending.file_id, pending.version);
-      if (!recipe.ok()) return recipe.status();
+      if (!recipe.ok()) {
+        scc_job.SetError(recipe.status().message());
+        job.SetError(recipe.status().message());
+        return recipe.status();
+      }
       catalog_.SetReferenced(
           pending.file_id, pending.version,
           format::CollectReferencedContainers(recipe.value()));
@@ -138,29 +199,44 @@ Result<GNodeCycleStats> SlimStore::RunGNodeCycle() {
       // re-adding on a retry is harmless.
       catalog_.AddGarbage(pending.file_id, pending.version,
                           info->sparse_containers);
+      scc_job.Annotate("sparse_containers",
+                       static_cast<double>(info->sparse_containers.size()));
     }
 
     if (options_.enable_reverse_dedup) {
+      obs::JobScope rd_job("reverse_dedup", "reverse_dedup:" + pending_label,
+                           options_.tenant);
       gnode::ReverseDeduplicator reverse(&containers_, &global_index_,
                                          options_.reverse_dedup);
       auto rd_stats = reverse.ProcessNewContainers(all_new);
-      if (!rd_stats.ok()) return rd_stats.status();
+      if (!rd_stats.ok()) {
+        rd_job.SetError(rd_stats.status().message());
+        job.SetError(rd_stats.status().message());
+        return rd_stats.status();
+      }
       cycle.reverse_dedup += rd_stats.value();
+      rd_job.Annotate("new_containers", static_cast<double>(all_new.size()));
     }
 
     catalog_.MarkGnodeDone(pending.file_id, pending.version);
     ++cycle.backups_processed;
   }
+  job.Annotate("backups_processed",
+               static_cast<double>(cycle.backups_processed));
   return cycle;
 }
 
 Result<gnode::GcStats> SlimStore::DeleteVersion(const std::string& file_id,
                                                 uint64_t version,
                                                 bool use_precomputed) {
+  obs::JobScope job("gc", "delete:" + file_id + "@" + std::to_string(version),
+                    options_.tenant);
   MutexLock lock(gnode_mu_);
   auto info = catalog_.Get(file_id, version);
   if (!info.has_value()) {
-    return Status::NotFound("unknown version of " + file_id);
+    Status status = Status::NotFound("unknown version of " + file_id);
+    job.SetError(status.message());
+    return status;
   }
   gnode::VersionCollector collector(&containers_, &recipes_, &similar_files_,
                                     &global_index_);
@@ -182,19 +258,22 @@ Result<gnode::GcStats> SlimStore::DeleteVersion(const std::string& file_id,
                 catalog_.LiveReferencedSetsExcept(file_id, version))
           : collector.CollectMarkSweep(file_id, version,
                                        catalog_.LiveVersions());
-  if (!result.ok()) return result.status();
+  if (!result.ok()) return CloseJob(job, std::move(result));
   catalog_.Erase(file_id, version);
   return result;
 }
 
 Result<VerifyReport> SlimStore::VerifyRepository() {
+  obs::JobScope job("verify", "verify:repository", options_.tenant);
   MutexLock lock(gnode_mu_);
   RepositoryVerifier verifier(&containers_, &recipes_, &global_index_,
                               &catalog_);
-  return verifier.Verify();
+  return CloseJob(job, verifier.Verify());
 }
 
 Result<durability::ScrubReport> SlimStore::Scrub(bool repair) {
+  obs::JobScope job("scrub", repair ? "scrub:repair" : "scrub:detect",
+                    options_.tenant);
   MutexLock lock(gnode_mu_);
   // The scrubber must see everything the catalog references, including
   // the global index's persisted runs — flush the memtable so a crash
@@ -215,50 +294,62 @@ Result<durability::ScrubReport> SlimStore::Scrub(bool repair) {
                                 &global_index_,
                                 options_.durability.replicated,
                                 options_.root, options_.durability.scrub);
-  return scrubber.RunCycle(live, repair);
+  return CloseJob(job, scrubber.RunCycle(live, repair));
 }
 
 Status SlimStore::SaveState() {
+  obs::JobScope job("state", "state:save", options_.tenant);
   MutexLock lock(gnode_mu_);
-  SLIM_RETURN_IF_ERROR(
-      similar_files_.Save(store_, options_.root + "/state/similar-index"));
-  SLIM_RETURN_IF_ERROR(
-      catalog_.Save(store_, options_.root + "/state/catalog"));
-  return global_index_.Flush();
+  auto save = [&]() -> Status {
+    SLIM_RETURN_IF_ERROR(
+        similar_files_.Save(store_, options_.root + "/state/similar-index"));
+    SLIM_RETURN_IF_ERROR(
+        catalog_.Save(store_, options_.root + "/state/catalog"));
+    return global_index_.Flush();
+  }();
+  return CloseJob(job, std::move(save));
 }
 
 Status SlimStore::OpenExisting() {
+  obs::JobScope job("state", "state:open", options_.tenant);
   MutexLock lock(gnode_mu_);
-  SLIM_RETURN_IF_ERROR(
-      similar_files_.Load(store_, options_.root + "/state/similar-index"));
-  SLIM_RETURN_IF_ERROR(
-      catalog_.Load(store_, options_.root + "/state/catalog"));
-  SLIM_RETURN_IF_ERROR(global_index_.Open());
-  return containers_.RecoverNextId();
+  auto open = [&]() -> Status {
+    SLIM_RETURN_IF_ERROR(
+        similar_files_.Load(store_, options_.root + "/state/similar-index"));
+    SLIM_RETURN_IF_ERROR(
+        catalog_.Load(store_, options_.root + "/state/catalog"));
+    SLIM_RETURN_IF_ERROR(global_index_.Open());
+    return containers_.RecoverNextId();
+  }();
+  return CloseJob(job, std::move(open));
 }
 
 Result<SpaceReport> SlimStore::GetSpaceReport() const {
-  SpaceReport report;
-  auto containers = oss::TotalBytesWithPrefix(
-      *store_, options_.root + "/containers/data-");
-  if (!containers.ok()) return containers.status();
-  report.container_bytes = containers.value();
+  obs::JobScope job("space", "space:report", options_.tenant);
+  auto result = [&]() -> Result<SpaceReport> {
+    SpaceReport report;
+    auto containers = oss::TotalBytesWithPrefix(
+        *store_, options_.root + "/containers/data-");
+    if (!containers.ok()) return containers.status();
+    report.container_bytes = containers.value();
 
-  auto metas = oss::TotalBytesWithPrefix(*store_,
-                                         options_.root + "/containers/meta-");
-  if (!metas.ok()) return metas.status();
-  report.meta_bytes = metas.value();
+    auto metas = oss::TotalBytesWithPrefix(
+        *store_, options_.root + "/containers/meta-");
+    if (!metas.ok()) return metas.status();
+    report.meta_bytes = metas.value();
 
-  auto recipes =
-      oss::TotalBytesWithPrefix(*store_, options_.root + "/recipes/");
-  if (!recipes.ok()) return recipes.status();
-  report.recipe_bytes = recipes.value();
+    auto recipes =
+        oss::TotalBytesWithPrefix(*store_, options_.root + "/recipes/");
+    if (!recipes.ok()) return recipes.status();
+    report.recipe_bytes = recipes.value();
 
-  auto gindex =
-      oss::TotalBytesWithPrefix(*store_, options_.root + "/gindex/");
-  if (!gindex.ok()) return gindex.status();
-  report.index_bytes = gindex.value();
-  return report;
+    auto gindex =
+        oss::TotalBytesWithPrefix(*store_, options_.root + "/gindex/");
+    if (!gindex.ok()) return gindex.status();
+    report.index_bytes = gindex.value();
+    return report;
+  }();
+  return CloseJob(job, std::move(result));
 }
 
 std::string SlimStore::GetMetricsReport(obs::ExportFormat format) {

@@ -51,6 +51,10 @@ struct SlimStoreOptions {
   bool enable_reverse_dedup = true;
   /// Key prefix under which all system objects live on OSS.
   std::string root = "slim";
+  /// Tenant tag stamped on every job this store opens (backup, restore,
+  /// G-node, scrub...), so per-tenant cost rollups fall out of the job
+  /// journal. Empty = untagged single-tenant deployment.
+  std::string tenant;
   DurabilityOptions durability;
 };
 

@@ -43,17 +43,36 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 }
 
 /// Pulls OSS request/byte totals out of a registry snapshot: every
-/// "oss.<op>.requests" counter contributes to requests; get/put bytes
-/// split into read/write.
-void ExtractOssTotals(const MetricsSnapshot& snap, ScenarioOutcome* out) {
+/// "oss.<op>.requests" counter contributes to requests and the per-op
+/// breakdown; get+getrange bytes make bytes_read, put bytes make
+/// bytes_written. The cost block prices that traffic with the run's
+/// CostModel — computed here from the metered counters, so scenarios
+/// need no billing-aware store in their stack.
+void ExtractOssTotals(const MetricsSnapshot& snap, const CostModel& model,
+                      ScenarioOutcome* out) {
   for (const auto& [name, value] : snap.counters) {
     if (name.rfind("oss.", 0) != 0) continue;
     if (EndsWith(name, ".requests")) out->oss_requests += value;
   }
-  auto read = snap.counters.find("oss.get.bytes");
-  if (read != snap.counters.end()) out->oss_bytes_read = read->second;
-  auto written = snap.counters.find("oss.put.bytes");
-  if (written != snap.counters.end()) out->oss_bytes_written = written->second;
+  for (int i = 0; i < kOssOpCount; ++i) {
+    OssOp op = static_cast<OssOp>(i);
+    std::string name = std::string("oss.") + OssOpName(op) + ".requests";
+    auto it = snap.counters.find(name);
+    uint64_t requests = it == snap.counters.end() ? 0 : it->second;
+    out->oss_requests_by_op[OssOpName(op)] = requests;
+    out->cost_request_dollars +=
+        static_cast<double>(requests) * model.RequestDollars(op);
+  }
+  auto counter = [&snap](const char* name) -> uint64_t {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  out->oss_bytes_read = counter("oss.get.bytes") + counter("oss.getrange.bytes");
+  out->oss_bytes_written = counter("oss.put.bytes");
+  out->cost_transfer_dollars =
+      model.TransferDollars(OssOp::kGet, out->oss_bytes_read) +
+      model.TransferDollars(OssOp::kPut, out->oss_bytes_written);
+  out->cost_dollars = out->cost_request_dollars + out->cost_transfer_dollars;
 }
 
 }  // namespace
@@ -116,7 +135,7 @@ BenchReport RunBenchSuite(const BenchRunOptions& options) {
         outcome.dedup_ratio = ctx.dedup_ratio();
         outcome.extra = ctx.extra();
         MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
-        ExtractOssTotals(snap, &outcome);
+        ExtractOssTotals(snap, options.cost_model, &outcome);
         for (const auto& [name, stats] : snap.histograms) {
           if (stats.count > 0) outcome.phases[name] = stats;
         }
@@ -150,8 +169,22 @@ std::string BenchReportJson(const BenchReport& report) {
     Appendf(&out,
             "      \"oss\": {\"requests\": %" PRIu64
             ", \"bytes_read\": %" PRIu64 ", \"bytes_written\": %" PRIu64
-            "},\n",
+            ", \"by_op\": {",
             s.oss_requests, s.oss_bytes_read, s.oss_bytes_written);
+    bool first_op = true;
+    for (int i = 0; i < kOssOpCount; ++i) {
+      const char* op_name = OssOpName(static_cast<OssOp>(i));
+      auto it = s.oss_requests_by_op.find(op_name);
+      uint64_t requests = it == s.oss_requests_by_op.end() ? 0 : it->second;
+      Appendf(&out, "%s\"%s\": %" PRIu64, first_op ? "" : ", ", op_name,
+              requests);
+      first_op = false;
+    }
+    out += "}},\n";
+    Appendf(&out,
+            "      \"cost\": {\"dollars\": %.8f, \"request_dollars\": %.8f, "
+            "\"transfer_dollars\": %.8f},\n",
+            s.cost_dollars, s.cost_request_dollars, s.cost_transfer_dollars);
     out += "      \"phases\": {";
     bool first_phase = true;
     for (const auto& [name, h] : s.phases) {
@@ -181,12 +214,12 @@ std::string BenchReportJson(const BenchReport& report) {
 
 std::string BenchReportTable(const BenchReport& report) {
   std::string out;
-  Appendf(&out, "%-40s %10s %12s %12s %12s\n", "scenario", "wall s",
-          "MB/s", "oss reqs", "dedup");
+  Appendf(&out, "%-40s %10s %12s %12s %12s %12s\n", "scenario", "wall s",
+          "MB/s", "oss reqs", "dedup", "cost $");
   for (const ScenarioOutcome& s : report.scenarios) {
-    Appendf(&out, "%-40s %10.3f %12.1f %12" PRIu64 " %12.3f\n",
+    Appendf(&out, "%-40s %10.3f %12.1f %12" PRIu64 " %12.3f %12.6f\n",
             s.name.c_str(), s.wall_seconds.mean, s.throughput_mbps.mean,
-            s.oss_requests, s.dedup_ratio);
+            s.oss_requests, s.dedup_ratio, s.cost_dollars);
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "obs/cost_model.h"
 #include "obs/metrics.h"
 
 namespace slim::obs {
@@ -102,6 +103,10 @@ struct BenchRunOptions {
   int repeats = 1;              // Measured runs per scenario.
   uint64_t seed = 20210415;     // Paper-era fixed default.
   bool verbose = false;         // Let scenarios print their tables.
+  /// Tariffs used to price each scenario's OSS traffic (schema v2 cost
+  /// block). Defaults to the S3-like CostModel; `slim --cost-model`
+  /// feeds the override through.
+  CostModel cost_model;
 };
 
 /// Per-repeat aggregate of one reported number.
@@ -122,15 +127,27 @@ struct ScenarioOutcome {
   uint64_t logical_bytes = 0;
   double dedup_ratio = 0.0;
   uint64_t oss_requests = 0;
+  /// v2: full-Get plus ranged-Get payload bytes (restore read
+  /// amplification included; v1 counted only full Gets).
   uint64_t oss_bytes_read = 0;
   uint64_t oss_bytes_written = 0;
+  /// Requests per operation class, keyed "put"/"get"/"getrange"/...
+  /// (schema v2 "oss.by_op").
+  std::map<std::string, uint64_t> oss_requests_by_op;
+  /// Dollar cost of the final repeat's OSS traffic under the run's
+  /// CostModel (schema v2 "cost" block).
+  double cost_dollars = 0.0;
+  double cost_request_dollars = 0.0;
+  double cost_transfer_dollars = 0.0;
   /// Histograms with samples in the final repeat, keyed by metric name.
   std::map<std::string, HistogramStats> phases;
   std::map<std::string, double> extra;
 };
 
 struct BenchReport {
-  static constexpr int kSchemaVersion = 1;
+  /// v2 adds "oss.by_op" request-class counts and the "cost" dollar
+  /// block (and folds ranged-read bytes into oss.bytes_read).
+  static constexpr int kSchemaVersion = 2;
   std::string suite;
   std::vector<ScenarioOutcome> scenarios;
 };

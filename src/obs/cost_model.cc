@@ -1,0 +1,154 @@
+#include "obs/cost_model.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace slim::obs {
+
+const char* OssOpName(OssOp op) {
+  switch (op) {
+    case OssOp::kPut:
+      return "put";
+    case OssOp::kGet:
+      return "get";
+    case OssOp::kGetRange:
+      return "getrange";
+    case OssOp::kDelete:
+      return "delete";
+    case OssOp::kList:
+      return "list";
+    case OssOp::kExists:
+      return "exists";
+    case OssOp::kSize:
+      return "size";
+  }
+  return "unknown";
+}
+
+double CostModel::RequestDollars(OssOp op) const {
+  switch (op) {
+    case OssOp::kPut:
+      return put_request_dollars;
+    case OssOp::kGet:
+    case OssOp::kGetRange:
+      return get_request_dollars;
+    case OssOp::kDelete:
+      return delete_request_dollars;
+    case OssOp::kList:
+      return list_request_dollars;
+    case OssOp::kExists:
+    case OssOp::kSize:
+      return head_request_dollars;
+  }
+  return 0.0;
+}
+
+double CostModel::TransferDollars(OssOp op, uint64_t bytes) const {
+  double gb = static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+  switch (op) {
+    case OssOp::kGet:
+    case OssOp::kGetRange:
+      return gb * read_dollars_per_gb;
+    case OssOp::kPut:
+      return gb * write_dollars_per_gb;
+    case OssOp::kDelete:
+    case OssOp::kList:
+    case OssOp::kExists:
+    case OssOp::kSize:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double CostModel::OperationDollars(OssOp op, uint64_t bytes) const {
+  return RequestDollars(op) + TransferDollars(op, bytes);
+}
+
+uint64_t DollarsToPicodollars(double dollars) {
+  if (!(dollars > 0.0)) return 0;  // NaN and negatives clamp to 0.
+  return static_cast<uint64_t>(std::llround(dollars * 1e12));
+}
+
+double PicodollarsToDollars(uint64_t picodollars) {
+  return static_cast<double>(picodollars) * 1e-12;
+}
+
+namespace {
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') return false;
+  if (std::isnan(value) || std::isinf(value) || value < 0.0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseCostModel(const std::string& text, CostModel* model,
+                    std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": expected 'key = value'";
+      }
+      return false;
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value_text = Trim(line.substr(eq + 1));
+    double value = 0.0;
+    if (!ParseDouble(value_text, &value)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": bad number for '" +
+                 key + "': '" + value_text + "'";
+      }
+      return false;
+    }
+    if (key == "put_request_dollars") {
+      model->put_request_dollars = value;
+    } else if (key == "get_request_dollars") {
+      model->get_request_dollars = value;
+    } else if (key == "delete_request_dollars") {
+      model->delete_request_dollars = value;
+    } else if (key == "list_request_dollars") {
+      model->list_request_dollars = value;
+    } else if (key == "head_request_dollars") {
+      model->head_request_dollars = value;
+    } else if (key == "read_dollars_per_gb") {
+      model->read_dollars_per_gb = value;
+    } else if (key == "write_dollars_per_gb") {
+      model->write_dollars_per_gb = value;
+    } else if (key == "storage_dollars_per_gb_month") {
+      model->storage_dollars_per_gb_month = value;
+    } else {
+      if (error != nullptr) {
+        *error =
+            "line " + std::to_string(lineno) + ": unknown key '" + key + "'";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,82 @@
+#ifndef SLIMSTORE_OBS_COST_MODEL_H_
+#define SLIMSTORE_OBS_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace slim::obs {
+
+/// Object-store operation classes, as billed by cloud providers. Exists
+/// and Size map to HEAD-class requests; GetRange is billed as a GET
+/// (S3 ranged reads cost one GET request plus the bytes actually read).
+enum class OssOp : int {
+  kPut = 0,
+  kGet = 1,
+  kGetRange = 2,
+  kDelete = 3,
+  kList = 4,
+  kExists = 5,
+  kSize = 6,
+};
+
+inline constexpr int kOssOpCount = 7;
+
+/// Lower-case wire name ("put", "get", "getrange", ...), matching the
+/// "oss.<op>.requests" metric names used by the OSS decorators.
+const char* OssOpName(OssOp op);
+
+/// Dollar tariffs for remote object storage. This is the *billing*
+/// model (what the provider charges), distinct from oss::OssCostModel
+/// which models *latency*. Defaults approximate S3 Standard pricing,
+/// the reference point both SLIMSTORE and Cumulus use when arguing
+/// about backup economics: PUT/LIST-class requests are an order of
+/// magnitude dearer than GET/HEAD-class ones, ingress is free, and
+/// egress dominates restore cost.
+///
+/// Override via `slim --cost-model FILE` where FILE holds one
+/// `key = value` pair per line (see ParseCostModel).
+struct CostModel {
+  // Request tariffs, dollars per request.
+  double put_request_dollars = 0.005 / 1000.0;      // $0.005 / 1k PUT
+  double get_request_dollars = 0.0004 / 1000.0;     // $0.0004 / 1k GET
+  double delete_request_dollars = 0.0;              // DELETE is free
+  double list_request_dollars = 0.005 / 1000.0;     // LIST bills as PUT-class
+  double head_request_dollars = 0.0004 / 1000.0;    // Exists/Size probes
+
+  // Transfer tariffs, dollars per gigabyte. Providers price "GB" as
+  // 2^30 bytes (the AWS convention), so that is the unit here too.
+  double read_dollars_per_gb = 0.09;   // Egress (restore reads).
+  double write_dollars_per_gb = 0.0;   // Ingress is free on S3.
+
+  // At-rest tariff, dollars per GB-month. Not charged per operation;
+  // surfaced by `slim space` style capacity reports only.
+  double storage_dollars_per_gb_month = 0.023;
+
+  /// Request-class tariff for one operation.
+  double RequestDollars(OssOp op) const;
+  /// Per-byte transfer tariff for one operation moving `bytes` payload
+  /// bytes (reads bill egress, Put bills ingress, metadata ops are 0).
+  double TransferDollars(OssOp op, uint64_t bytes) const;
+  /// RequestDollars + TransferDollars.
+  double OperationDollars(OssOp op, uint64_t bytes) const;
+};
+
+/// Accounting accumulates picodollars (1e-12 USD) in uint64 counters so
+/// hot paths stay lock-free and integral: a single GET is 400,000 pd,
+/// and the uint64 range still covers ~$18M. Rounds to nearest; negative
+/// inputs clamp to 0.
+uint64_t DollarsToPicodollars(double dollars);
+double PicodollarsToDollars(uint64_t picodollars);
+
+/// Parses a cost-model override file: one `key = value` per line, `#`
+/// comments and blank lines ignored. Keys are the CostModel field names
+/// (e.g. `put_request_dollars = 0.0000047`). Starts from `*model`'s
+/// current values, so a file may override only some tariffs. Returns
+/// false and sets *error on unknown keys or malformed numbers (the obs
+/// layer sits below Status, hence the bool/string error contract).
+bool ParseCostModel(const std::string& text, CostModel* model,
+                    std::string* error);
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_COST_MODEL_H_

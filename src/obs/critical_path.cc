@@ -94,6 +94,8 @@ std::vector<CriticalPathReport> AnalyzeCriticalPaths(
     uint64_t root_end = root->start_nanos + root->duration_nanos;
     std::vector<std::pair<uint64_t, uint64_t>> all;
     std::vector<std::pair<uint64_t, uint64_t>> per_category[3];
+    std::map<uint32_t, std::vector<std::pair<uint64_t, uint64_t>>> per_thread;
+    std::map<uint32_t, uint64_t> per_thread_spans;
     std::vector<const SpanRecord*> stack = {root};
     while (!stack.empty()) {
       const SpanRecord* s = stack.back();
@@ -111,6 +113,8 @@ std::vector<CriticalPathReport> AnalyzeCriticalPaths(
       all.emplace_back(start, end);
       per_category[static_cast<int>(ClassifySpan(s->name))].emplace_back(
           start, end);
+      per_thread[s->tid].emplace_back(start, end);
+      ++per_thread_spans[s->tid];
     }
     report.io_nanos =
         IntervalUnion(per_category[static_cast<int>(SpanCategory::kIo)]);
@@ -121,6 +125,16 @@ std::vector<CriticalPathReport> AnalyzeCriticalPaths(
     uint64_t covered = IntervalUnion(std::move(all));
     report.idle_nanos =
         report.total_nanos > covered ? report.total_nanos - covered : 0;
+
+    // Per-thread lanes: merged busy union per worker, ascending tid
+    // (std::map iteration order).
+    for (auto& [tid, intervals] : per_thread) {
+      ThreadLaneStat lane;
+      lane.tid = tid;
+      lane.busy_nanos = IntervalUnion(std::move(intervals));
+      lane.leaf_spans = per_thread_spans[tid];
+      report.lanes.push_back(lane);
+    }
 
     // Dominant chain: follow the heaviest child from the root down.
     const SpanRecord* cursor = root;
@@ -204,6 +218,26 @@ std::string RenderCriticalPaths(
             Pct(r.other_nanos, r.total_nanos),
             static_cast<double>(r.idle_nanos) / 1e6,
             Pct(r.idle_nanos, r.total_nanos));
+    if (!r.lanes.empty()) {
+      uint64_t busy_total = 0;
+      for (const ThreadLaneStat& lane : r.lanes) busy_total += lane.busy_nanos;
+      double avg_util =
+          r.total_nanos == 0
+              ? 0.0
+              : Pct(busy_total, r.total_nanos) /
+                    static_cast<double>(r.lanes.size());
+      Appendf(&out,
+              "  threads: %zu lane(s), aggregate busy %.3f ms, avg "
+              "utilization %.1f%%\n",
+              r.lanes.size(), static_cast<double>(busy_total) / 1e6, avg_util);
+      for (const ThreadLaneStat& lane : r.lanes) {
+        Appendf(&out,
+                "    lane t%u: busy %.3f ms (%.1f%% util, %" PRIu64
+                " leaf span(s))\n",
+                lane.tid, static_cast<double>(lane.busy_nanos) / 1e6,
+                Pct(lane.busy_nanos, r.total_nanos), lane.leaf_spans);
+      }
+    }
     out += "  critical path:";
     for (size_t i = 0; i < r.chain.size(); ++i) {
       const CriticalPathStep& step = r.chain[i];
@@ -226,12 +260,12 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
             "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
             "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
             "\"args\": {\"span_id\": %" PRIu64 ", \"parent_id\": %" PRIu64
-            "}}",
+            ", \"job_id\": %" PRIu64 "}}",
             first ? "" : ",", ChromeEscape(s.name).c_str(),
             SpanCategoryName(ClassifySpan(s.name)),
             static_cast<double>(s.start_nanos) / 1e3,
             static_cast<double>(s.duration_nanos) / 1e3, s.tid, s.id,
-            s.parent_id);
+            s.parent_id, s.job_id);
     first = false;
   }
   out += first ? "],\n" : "\n],\n";

@@ -32,6 +32,16 @@ struct CriticalPathStep {
   SpanCategory category = SpanCategory::kOther;
 };
 
+/// Busy time of one worker thread under a root span: the interval
+/// union of that thread's leaf spans (clamped to the root window), so
+/// nested spans and back-to-back tasks never double count. Utilization
+/// is busy_nanos / the root's total_nanos.
+struct ThreadLaneStat {
+  uint32_t tid = 0;
+  uint64_t busy_nanos = 0;
+  uint64_t leaf_spans = 0;
+};
+
 /// Where one root job (backup, restore, gnode cycle, ...) spent its
 /// wall time. io/compute are interval unions of the job's *leaf* spans
 /// per category (parallel spans do not double count); idle is wall time
@@ -47,6 +57,10 @@ struct CriticalPathReport {
   /// Dominant chain, root first: at each level the child with the
   /// largest duration.
   std::vector<CriticalPathStep> chain;
+  /// Per-thread busy lanes, ascending tid. More than one lane means the
+  /// job actually ran parallel work; lane utilization shows how well
+  /// the pool was fed (prefetch depth, stragglers).
+  std::vector<ThreadLaneStat> lanes;
 };
 
 /// Builds the span tree from a TraceSink snapshot and analyzes every

@@ -1,0 +1,164 @@
+#include "obs/job_context.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/journal.h"
+#include "obs/trace.h"
+
+namespace slim::obs {
+
+namespace {
+
+/// Per-thread charge target. The raw account pointer stays valid
+/// because whoever set it (JobScope or ThreadJobBinding) holds a
+/// shared_ptr to the owning JobState for at least as long.
+struct ThreadJobContext {
+  uint64_t job_id = 0;
+  JobAccount* account = nullptr;
+};
+
+thread_local ThreadJobContext tls_job_context;
+
+uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+uint64_t CurrentJobId() { return tls_job_context.job_id; }
+
+JobRegistry& JobRegistry::Get() {
+  static JobRegistry* instance = new JobRegistry();  // lint:allow-new (leaky singleton)
+  return *instance;
+}
+
+void JobRegistry::Charge(OssOp op, uint64_t bytes_read, uint64_t bytes_written,
+                         uint64_t picodollars) {
+  totals_.Charge(op, bytes_read, bytes_written, picodollars);
+  JobAccount* account = tls_job_context.account;
+  if (account == nullptr) account = &unattributed_;
+  account->Charge(op, bytes_read, bytes_written, picodollars);
+}
+
+std::shared_ptr<JobState> JobRegistry::OpenJob(std::string kind,
+                                               std::string name,
+                                               std::string tenant,
+                                               uint64_t parent_id) {
+  uint64_t id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<JobState>(id, parent_id, std::move(kind),
+                                          std::move(name), std::move(tenant),
+                                          UnixMillisNow(), TraceNowNanos());
+  MutexLock lock(mu_);
+  open_[id] = state;
+  return state;
+}
+
+namespace {
+
+JobSummary SummarizeState(const JobState& state, bool finished) {
+  JobSummary summary;
+  summary.job_id = state.id;
+  summary.parent_id = state.parent_id;
+  summary.kind = state.kind;
+  summary.name = state.name;
+  summary.tenant = state.tenant;
+  summary.start_unix_ms = state.start_unix_ms;
+  summary.start_nanos = state.start_nanos;
+  summary.cost = state.account.Snapshot();
+  summary.extra = state.extra_snapshot();
+  std::string error = state.error_snapshot();
+  if (finished) {
+    summary.outcome = error.empty() ? "ok" : error;
+    summary.end_unix_ms = UnixMillisNow();
+    summary.duration_nanos = TraceNowNanos() - state.start_nanos;
+  }
+  return summary;
+}
+
+}  // namespace
+
+JobSummary JobRegistry::FinishJob(const std::shared_ptr<JobState>& state) {
+  JobSummary summary = SummarizeState(*state, /*finished=*/true);
+  MutexLock lock(mu_);
+  open_.erase(state->id);
+  completed_.push_back(summary);
+  while (completed_.size() > kCompletedRingCapacity) completed_.pop_front();
+  return summary;
+}
+
+std::shared_ptr<JobState> JobRegistry::FindOpen(uint64_t job_id) const {
+  MutexLock lock(mu_);
+  auto it = open_.find(job_id);
+  return it == open_.end() ? nullptr : it->second;
+}
+
+std::vector<JobSummary> JobRegistry::Summaries() const {
+  std::vector<std::shared_ptr<JobState>> open;
+  std::vector<JobSummary> out;
+  {
+    MutexLock lock(mu_);
+    out.assign(completed_.begin(), completed_.end());
+    open.reserve(open_.size());
+    for (const auto& [id, state] : open_) open.push_back(state);
+  }
+  // Summarize open jobs outside mu_ (their JobState has its own lock).
+  for (const auto& state : open) {
+    out.push_back(SummarizeState(*state, /*finished=*/false));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobSummary& a, const JobSummary& b) {
+              return a.job_id < b.job_id;
+            });
+  return out;
+}
+
+void JobRegistry::ResetForTest() {
+  {
+    MutexLock lock(mu_);
+    completed_.clear();
+  }
+  totals_.Reset();
+  unattributed_.Reset();
+}
+
+JobScope::JobScope(std::string kind, std::string name, std::string tenant) {
+  state_ = JobRegistry::Get().OpenJob(std::move(kind), std::move(name),
+                                      std::move(tenant),
+                                      tls_job_context.job_id);
+  saved_job_id_ = tls_job_context.job_id;
+  saved_account_ = tls_job_context.account;
+  tls_job_context.job_id = state_->id;
+  tls_job_context.account = &state_->account;
+}
+
+JobScope::~JobScope() {
+  tls_job_context.job_id = saved_job_id_;
+  tls_job_context.account = saved_account_;
+  JobSummary summary = JobRegistry::Get().FinishJob(state_);
+  EventJournal::Get().AppendJob(summary);
+}
+
+ThreadJobBinding::ThreadJobBinding(uint64_t job_id) {
+  saved_job_id_ = tls_job_context.job_id;
+  saved_account_ = tls_job_context.account;
+  if (job_id != 0) state_ = JobRegistry::Get().FindOpen(job_id);
+  if (state_ != nullptr) {
+    tls_job_context.job_id = job_id;
+    tls_job_context.account = &state_->account;
+  } else {
+    // Job 0 (or already finished): charge unattributed explicitly.
+    tls_job_context.job_id = 0;
+    tls_job_context.account = nullptr;
+  }
+}
+
+ThreadJobBinding::~ThreadJobBinding() {
+  tls_job_context.job_id = saved_job_id_;
+  tls_job_context.account = saved_account_;
+}
+
+}  // namespace slim::obs

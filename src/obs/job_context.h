@@ -1,0 +1,261 @@
+#ifndef SLIMSTORE_OBS_JOB_CONTEXT_H_
+#define SLIMSTORE_OBS_JOB_CONTEXT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "obs/cost_model.h"
+
+namespace slim::obs {
+
+/// Rolled-up OSS usage for one job (or the process): request count per
+/// operation class, payload bytes, and accumulated picodollars.
+struct JobCost {
+  std::array<uint64_t, kOssOpCount> requests{};
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t picodollars = 0;
+
+  uint64_t total_requests() const {
+    uint64_t total = 0;
+    for (uint64_t r : requests) total += r;
+    return total;
+  }
+  double dollars() const { return PicodollarsToDollars(picodollars); }
+  JobCost& operator+=(const JobCost& rhs) {
+    for (size_t i = 0; i < requests.size(); ++i) requests[i] += rhs.requests[i];
+    bytes_read += rhs.bytes_read;
+    bytes_written += rhs.bytes_written;
+    picodollars += rhs.picodollars;
+    return *this;
+  }
+};
+
+/// Lock-free accumulator behind JobCost. One per open job, plus the
+/// process-wide `totals` and `unattributed` accounts. Charged from OSS
+/// decorator hot paths, so everything is a relaxed atomic add.
+class JobAccount {
+ public:
+  void Charge(OssOp op, uint64_t bytes_read, uint64_t bytes_written,
+              uint64_t picodollars) {
+    requests_[static_cast<size_t>(op)].fetch_add(1, std::memory_order_relaxed);
+    if (bytes_read != 0) {
+      bytes_read_.fetch_add(bytes_read, std::memory_order_relaxed);
+    }
+    if (bytes_written != 0) {
+      bytes_written_.fetch_add(bytes_written, std::memory_order_relaxed);
+    }
+    if (picodollars != 0) {
+      picodollars_.fetch_add(picodollars, std::memory_order_relaxed);
+    }
+  }
+
+  JobCost Snapshot() const {
+    JobCost cost;
+    for (size_t i = 0; i < static_cast<size_t>(kOssOpCount); ++i) {
+      cost.requests[i] = requests_[i].load(std::memory_order_relaxed);
+    }
+    cost.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    cost.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    cost.picodollars = picodollars_.load(std::memory_order_relaxed);
+    return cost;
+  }
+
+  void Reset() {
+    for (auto& r : requests_) r.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+    picodollars_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kOssOpCount> requests_{};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> picodollars_{0};
+};
+
+/// Immutable-identity state of one job, shared between its JobScope,
+/// worker-thread bindings, and the registry. Mutable annotations are
+/// locked internally so Summaries() can read concurrently.
+struct JobState {
+  JobState(uint64_t id_in, uint64_t parent_in, std::string kind_in,
+           std::string name_in, std::string tenant_in, uint64_t start_unix_ms_in,
+           uint64_t start_nanos_in)
+      : id(id_in),
+        parent_id(parent_in),
+        kind(std::move(kind_in)),
+        name(std::move(name_in)),
+        tenant(std::move(tenant_in)),
+        start_unix_ms(start_unix_ms_in),
+        start_nanos(start_nanos_in) {}
+
+  void SetError(const std::string& message) {
+    MutexLock lock(mu);
+    error = message;
+  }
+  void Annotate(const std::string& key, double value) {
+    MutexLock lock(mu);
+    extra[key] = value;
+  }
+  std::string error_snapshot() const {
+    MutexLock lock(mu);
+    return error;
+  }
+  std::map<std::string, double> extra_snapshot() const {
+    MutexLock lock(mu);
+    return extra;
+  }
+
+  const uint64_t id;
+  const uint64_t parent_id;
+  const std::string kind;
+  const std::string name;
+  const std::string tenant;
+  const uint64_t start_unix_ms;  // Wall clock, for journal records.
+  const uint64_t start_nanos;    // Trace epoch, for joining with spans.
+  JobAccount account;
+
+ private:
+  mutable Mutex mu;
+  std::string error SLIM_GUARDED_BY(mu);
+  std::map<std::string, double> extra SLIM_GUARDED_BY(mu);
+};
+
+/// Finished (or in-flight) job as reported to `slim stats` and the
+/// journal. `outcome` is empty while the job is still open.
+struct JobSummary {
+  uint64_t job_id = 0;
+  uint64_t parent_id = 0;  // 0 = root (no parent job).
+  std::string kind;
+  std::string name;
+  std::string tenant;
+  std::string outcome;  // "ok" or an error message; "" = still running.
+  uint64_t start_unix_ms = 0;
+  uint64_t end_unix_ms = 0;
+  uint64_t start_nanos = 0;
+  uint64_t duration_nanos = 0;
+  JobCost cost;
+  std::map<std::string, double> extra;
+};
+
+/// Process-wide job table: open jobs, a bounded ring of recently
+/// completed ones (for `slim stats`), and the two special accounts —
+/// `totals` (every charge) and `unattributed` (charges made while no
+/// job scope was active on the charging thread). The unattributed
+/// account is first-class precisely so leaks are *reported*, never
+/// silently dropped: attribution coverage = 1 - unattributed/totals.
+class JobRegistry {
+ public:
+  static JobRegistry& Get();
+
+  /// Charges the innermost job open on the calling thread, or the
+  /// unattributed account if none, plus the process totals.
+  void Charge(OssOp op, uint64_t bytes_read, uint64_t bytes_written,
+              uint64_t picodollars);
+
+  JobCost totals() const { return totals_.Snapshot(); }
+  JobCost unattributed() const { return unattributed_.Snapshot(); }
+
+  /// Open jobs (outcome "") plus the completed ring, ascending job id.
+  std::vector<JobSummary> Summaries() const SLIM_EXCLUDES(mu_);
+
+  /// Completed-ring capacity (oldest summaries beyond it are evicted;
+  /// the journal keeps the full history on disk).
+  static constexpr size_t kCompletedRingCapacity = 256;
+
+  /// Test hook: clears the completed ring and zeroes the totals and
+  /// unattributed accounts. Open scopes keep working (their accounts
+  /// live in shared JobState), but their already-accrued charges are
+  /// forgotten by totals, so only call between jobs.
+  void ResetForTest() SLIM_EXCLUDES(mu_);
+
+  // --- Internal API used by JobScope / ThreadJobBinding. ---
+  std::shared_ptr<JobState> OpenJob(std::string kind, std::string name,
+                                    std::string tenant, uint64_t parent_id)
+      SLIM_EXCLUDES(mu_);
+  /// Finalizes `state` into a JobSummary, moves it from the open table
+  /// to the completed ring, and returns the summary (for journaling).
+  JobSummary FinishJob(const std::shared_ptr<JobState>& state)
+      SLIM_EXCLUDES(mu_);
+  std::shared_ptr<JobState> FindOpen(uint64_t job_id) const SLIM_EXCLUDES(mu_);
+
+ private:
+  JobRegistry() = default;
+
+  JobAccount totals_;
+  JobAccount unattributed_;
+  std::atomic<uint64_t> next_job_id_{1};
+
+  mutable Mutex mu_;
+  std::map<uint64_t, std::shared_ptr<JobState>> open_ SLIM_GUARDED_BY(mu_);
+  std::deque<JobSummary> completed_ SLIM_GUARDED_BY(mu_);
+};
+
+/// Id of the innermost job open on the calling thread (0 if none).
+uint64_t CurrentJobId();
+
+/// RAII job scope: registers a job, makes it the calling thread's
+/// charge target for the scope's lifetime, and on destruction emits a
+/// journal record with the job's cost rollup and causality link. Nest
+/// scopes to build parent/child chains (a G-node cycle opens one child
+/// scope per merge task); created and destroyed on the same thread.
+class JobScope {
+ public:
+  /// `kind` is a stable category ("backup", "restore", "gnode_cycle",
+  /// "scc", "reverse_dedup", "scrub", "cli", ...); `name` identifies
+  /// the instance ("backup:home.tar"); `tenant` tags multi-tenant
+  /// accounting (empty = untagged).
+  JobScope(std::string kind, std::string name, std::string tenant = "");
+  ~JobScope();
+
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+  /// Marks the job failed; the journal outcome becomes this message.
+  void SetError(const std::string& message) { state_->SetError(message); }
+  /// Attaches a numeric fact to the journal record ("versions": 3).
+  void Annotate(const std::string& key, double value) {
+    state_->Annotate(key, value);
+  }
+
+  uint64_t job_id() const { return state_->id; }
+
+  /// Id of the innermost job open on the calling thread (0 if none).
+  static uint64_t CurrentJobId() { return obs::CurrentJobId(); }
+
+ private:
+  std::shared_ptr<JobState> state_;
+  uint64_t saved_job_id_ = 0;
+  JobAccount* saved_account_ = nullptr;
+};
+
+/// RAII adoption of an existing job on another thread. ThreadPool wraps
+/// every submitted task in one of these (capturing the submitter's
+/// CurrentJobId()), so prefetch and parallel-backup work charges the
+/// job that spawned it. Binding job id 0 (or a job that has already
+/// finished) explicitly targets the unattributed account.
+class ThreadJobBinding {
+ public:
+  explicit ThreadJobBinding(uint64_t job_id);
+  ~ThreadJobBinding();
+
+  ThreadJobBinding(const ThreadJobBinding&) = delete;
+  ThreadJobBinding& operator=(const ThreadJobBinding&) = delete;
+
+ private:
+  std::shared_ptr<JobState> state_;  // Keeps the account alive.
+  uint64_t saved_job_id_ = 0;
+  JobAccount* saved_account_ = nullptr;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_JOB_CONTEXT_H_

@@ -1,0 +1,393 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "events-";
+constexpr char kSegmentSuffix[] = ".jsonl";
+
+/// Registered once; resolved outside mu_ so the registry lock never
+/// nests inside the journal lock.
+Counter& JournalErrorsCounter() {
+  static Counter& c = MetricsRegistry::Get().counter("obs.journal.errors");
+  return c;
+}
+
+std::string SegmentName(uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06u%s", kSegmentPrefix, index,
+                kSegmentSuffix);
+  return buf;
+}
+
+/// Parses "events-000123.jsonl" -> 123; returns false for other names.
+bool ParseSegmentIndex(const std::string& filename, uint32_t* index) {
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  if (filename.size() <= prefix.size() + suffix.size()) return false;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return false;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return false;
+  }
+  std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > UINT32_MAX) return false;
+  }
+  *index = static_cast<uint32_t>(value);
+  return true;
+}
+
+/// Segment indices present in `directory`, ascending. Non-segment files
+/// are ignored.
+std::vector<uint32_t> ListSegmentIndices(const std::string& directory) {
+  std::vector<uint32_t> indices;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    uint32_t index = 0;
+    if (ParseSegmentIndex(entry.path().filename().string(), &index)) {
+      indices.push_back(index);
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  *out += '"';
+  AppendJsonEscaped(out, s);
+  *out += '"';
+}
+
+void AppendU64Field(std::string* out, const char* key, uint64_t value,
+                    bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+EventJournal& EventJournal::Get() {
+  static EventJournal* instance = new EventJournal();  // lint:allow-new (leaky singleton)
+  return *instance;
+}
+
+bool EventJournal::OpenSegmentLocked(uint32_t index) {
+  fs::path path = fs::path(options_.directory) / SegmentName(index);
+  // Seal a torn trailing record from a crashed writer: if the existing
+  // segment does not end in a newline, append one so the torn line
+  // stays isolated (readers count it as malformed) and our next record
+  // starts on a fresh line.
+  std::error_code ec;
+  uint64_t existing = 0;
+  if (fs::exists(path, ec)) {
+    existing = static_cast<uint64_t>(fs::file_size(path, ec));
+    if (existing > 0) {
+      std::ifstream in(path, std::ios::binary);
+      in.seekg(-1, std::ios::end);
+      char last = '\n';
+      in.read(&last, 1);
+      if (in.good() && last != '\n') {
+        std::ofstream seal(path, std::ios::app | std::ios::binary);
+        seal << '\n';
+        existing += 1;
+      }
+    }
+  }
+  out_.open(path, std::ios::app | std::ios::binary);
+  if (!out_.is_open()) return false;
+  segment_index_ = index;
+  segment_bytes_ = existing;
+  return true;
+}
+
+bool EventJournal::Configure(const JournalOptions& options) {
+  MutexLock lock(mu_);
+  if (out_.is_open()) out_.close();
+  enabled_ = false;
+  options_ = options;
+  if (options_.rotate_bytes == 0) options_.rotate_bytes = 1;
+  if (options_.max_files == 0) options_.max_files = 1;
+  std::error_code ec;
+  fs::create_directories(options_.directory, ec);
+  if (ec) return false;
+  std::vector<uint32_t> indices = ListSegmentIndices(options_.directory);
+  uint32_t index = indices.empty() ? 1 : indices.back();
+  if (!OpenSegmentLocked(index)) return false;
+  enabled_ = true;
+  return true;
+}
+
+void EventJournal::Disable() {
+  MutexLock lock(mu_);
+  if (out_.is_open()) out_.close();
+  enabled_ = false;
+  options_ = JournalOptions{};
+  segment_index_ = 0;
+  segment_bytes_ = 0;
+}
+
+bool EventJournal::enabled() const {
+  MutexLock lock(mu_);
+  return enabled_;
+}
+
+std::string EventJournal::directory() const {
+  MutexLock lock(mu_);
+  return enabled_ ? options_.directory : std::string();
+}
+
+void EventJournal::RotateLocked() {
+  out_.close();
+  // Prune oldest segments so at most max_files remain after the new
+  // segment is created.
+  std::vector<uint32_t> indices = ListSegmentIndices(options_.directory);
+  size_t keep = options_.max_files > 0 ? options_.max_files - 1 : 0;
+  if (indices.size() > keep) {
+    size_t to_delete = indices.size() - keep;
+    std::error_code ec;
+    for (size_t i = 0; i < to_delete; ++i) {
+      fs::remove(fs::path(options_.directory) / SegmentName(indices[i]), ec);
+    }
+  }
+  if (!OpenSegmentLocked(segment_index_ + 1)) enabled_ = false;
+}
+
+void EventJournal::Append(const std::string& json_line) {
+  Counter& errors = JournalErrorsCounter();
+  MutexLock lock(mu_);
+  if (!enabled_) return;
+  uint64_t record_bytes = static_cast<uint64_t>(json_line.size()) + 1;
+  if (segment_bytes_ > 0 &&
+      segment_bytes_ + record_bytes > options_.rotate_bytes) {
+    RotateLocked();
+    if (!enabled_) {
+      errors.Inc();
+      return;
+    }
+  }
+  out_ << json_line << '\n';
+  out_.flush();
+  if (!out_.good()) {
+    errors.Inc();
+    out_.clear();
+    return;
+  }
+  segment_bytes_ += record_bytes;
+}
+
+std::string EventJournal::JobRecordJson(const JobSummary& summary) {
+  std::string out;
+  out.reserve(256);
+  out += "{\"type\":\"job\",\"job\":";
+  out += std::to_string(summary.job_id);
+  out += ",\"parent\":";
+  out += std::to_string(summary.parent_id);
+  out += ",\"kind\":";
+  AppendQuoted(&out, summary.kind);
+  out += ",\"name\":";
+  AppendQuoted(&out, summary.name);
+  out += ",\"tenant\":";
+  AppendQuoted(&out, summary.tenant);
+  out += ",\"outcome\":";
+  AppendQuoted(&out, summary.outcome.empty() ? "running" : summary.outcome);
+  out += ",\"start_ms\":";
+  out += std::to_string(summary.start_unix_ms);
+  out += ",\"end_ms\":";
+  out += std::to_string(summary.end_unix_ms);
+  // Monotonic duration when measured; wall-clock difference otherwise
+  // (e.g. records rebuilt from persisted timestamps).
+  uint64_t wall_ms = summary.duration_nanos / 1000000;
+  if (wall_ms == 0 && summary.end_unix_ms > summary.start_unix_ms) {
+    wall_ms = summary.end_unix_ms - summary.start_unix_ms;
+  }
+  out += ",\"wall_ms\":";
+  out += std::to_string(wall_ms);
+  out += ",\"oss\":{";
+  bool first = true;
+  for (int i = 0; i < kOssOpCount; ++i) {
+    AppendU64Field(&out, OssOpName(static_cast<OssOp>(i)),
+                   summary.cost.requests[static_cast<size_t>(i)], &first);
+  }
+  AppendU64Field(&out, "requests", summary.cost.total_requests(), &first);
+  AppendU64Field(&out, "bytes_read", summary.cost.bytes_read, &first);
+  AppendU64Field(&out, "bytes_written", summary.cost.bytes_written, &first);
+  char dollars[40];
+  std::snprintf(dollars, sizeof(dollars), "%.9f", summary.cost.dollars());
+  out += ",\"dollars\":";
+  out += dollars;
+  out += "}";
+  if (!summary.extra.empty()) {
+    out += ",\"extra\":{";
+    bool efirst = true;
+    for (const auto& [key, value] : summary.extra) {
+      if (!efirst) out += ',';
+      efirst = false;
+      AppendQuoted(&out, key);
+      out += ':';
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void EventJournal::AppendJob(const JobSummary& summary) {
+  if (!enabled()) return;  // Skip the formatting work when disabled.
+  Append(JobRecordJson(summary));
+}
+
+JournalReadResult EventJournal::ReadAll(const std::string& directory) {
+  JournalReadResult result;
+  for (uint32_t index : ListSegmentIndices(directory)) {
+    fs::path path = fs::path(directory) / SegmentName(index);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) continue;
+    result.files.push_back(path.string());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    size_t pos = 0;
+    while (pos < content.size()) {
+      size_t nl = content.find('\n', pos);
+      if (nl == std::string::npos) {
+        // Torn trailing record (writer died mid-append).
+        ++result.malformed_records;
+        break;
+      }
+      std::string line = content.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.front() != '{' || line.back() != '}') {
+        ++result.malformed_records;
+        continue;
+      }
+      result.records.push_back(std::move(line));
+    }
+  }
+  return result;
+}
+
+bool EventJournal::ExtractString(const std::string& record,
+                                 const std::string& key, std::string* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = record.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < record.size() && (record[pos] == ' ' || record[pos] == '\t')) {
+    ++pos;
+  }
+  if (pos >= record.size() || record[pos] != '"') return false;
+  ++pos;
+  std::string value;
+  while (pos < record.size() && record[pos] != '"') {
+    char c = record[pos];
+    if (c == '\\' && pos + 1 < record.size()) {
+      char next = record[pos + 1];
+      switch (next) {
+        case 'n':
+          value += '\n';
+          break;
+        case 'r':
+          value += '\r';
+          break;
+        case 't':
+          value += '\t';
+          break;
+        case 'u':
+          // Journal writers only emit \u00XX for control bytes; decode
+          // the low byte and skip the four hex digits.
+          if (pos + 5 < record.size()) {
+            value += static_cast<char>(
+                std::strtol(record.substr(pos + 4, 2).c_str(), nullptr, 16));
+            pos += 4;
+          }
+          break;
+        default:
+          value += next;
+      }
+      pos += 2;
+    } else {
+      value += c;
+      ++pos;
+    }
+  }
+  if (pos >= record.size()) return false;  // Unterminated string.
+  *out = std::move(value);
+  return true;
+}
+
+bool EventJournal::ExtractNumber(const std::string& record,
+                                 const std::string& key, double* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = record.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < record.size() && (record[pos] == ' ' || record[pos] == '\t')) {
+    ++pos;
+  }
+  if (pos >= record.size()) return false;
+  const char* begin = record.c_str() + pos;
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end == begin) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace slim::obs

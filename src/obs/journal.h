@@ -1,0 +1,96 @@
+#ifndef SLIMSTORE_OBS_JOURNAL_H_
+#define SLIMSTORE_OBS_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "obs/job_context.h"
+
+namespace slim::obs {
+
+struct JournalOptions {
+  /// Directory holding journal segments (created if missing). Lives
+  /// beside the repo's object tree, e.g. `<repo>/journal/`.
+  std::string directory;
+  /// A segment rotates once appending would push it past this size.
+  uint64_t rotate_bytes = 4ull << 20;  // 4 MiB
+  /// Oldest segments beyond this count are deleted at rotation.
+  size_t max_files = 8;
+};
+
+/// Result of scanning a journal directory. Records are whole JSONL
+/// lines, oldest segment first. A process that died mid-append leaves a
+/// torn trailing record; readers skip it and count it here instead of
+/// failing (and the writer seals it with a newline on reopen, so the
+/// next append starts clean).
+struct JournalReadResult {
+  std::vector<std::string> records;
+  uint64_t malformed_records = 0;  // Torn or non-JSON lines skipped.
+  std::vector<std::string> files;  // Segment paths read, oldest first.
+};
+
+/// Append-only structured event journal: one JSON object per line, one
+/// line per finished job (backup, restore, G-node cycle and its merge
+/// children, scrub, CLI invocation...). The journal is the durable,
+/// queryable record of *what ran, what it touched, and what it cost* —
+/// `slim jobs` reads it back; metrics and traces stay in-process.
+///
+/// Disabled until Configure() succeeds; appends are then serialized and
+/// flushed per record. Write failures bump the `obs.journal.errors`
+/// counter rather than failing the job that is being journaled.
+class EventJournal {
+ public:
+  static EventJournal& Get();
+
+  /// Opens (or creates) the journal directory and the newest segment.
+  /// Continues numbering from existing segments. Returns false (and
+  /// stays disabled) if the directory cannot be created or opened.
+  bool Configure(const JournalOptions& options) SLIM_EXCLUDES(mu_);
+  /// Stops journaling and closes the current segment (tests; also lets
+  /// one process reconfigure onto a different repo).
+  void Disable() SLIM_EXCLUDES(mu_);
+  bool enabled() const SLIM_EXCLUDES(mu_);
+  /// Directory currently configured ("" when disabled).
+  std::string directory() const SLIM_EXCLUDES(mu_);
+
+  /// Appends one record (a complete JSON object, no trailing newline).
+  /// No-op when disabled.
+  void Append(const std::string& json_line) SLIM_EXCLUDES(mu_);
+  /// Formats `summary` as a job record and appends it.
+  void AppendJob(const JobSummary& summary) SLIM_EXCLUDES(mu_);
+
+  /// Renders the job record JSON without appending (testable, and used
+  /// by `slim jobs --json` for still-open jobs).
+  static std::string JobRecordJson(const JobSummary& summary);
+
+  /// Scans every segment in `directory`, oldest first.
+  static JournalReadResult ReadAll(const std::string& directory);
+
+  /// Minimal field extractors for the `slim jobs` table reader: finds
+  /// the first `"key":` in `record` and parses the value. Sufficient
+  /// for the flat-ish records this journal writes; not a JSON parser.
+  static bool ExtractString(const std::string& record, const std::string& key,
+                            std::string* out);
+  static bool ExtractNumber(const std::string& record, const std::string& key,
+                            double* out);
+
+ private:
+  EventJournal() = default;
+
+  bool OpenSegmentLocked(uint32_t index) SLIM_REQUIRES(mu_);
+  void RotateLocked() SLIM_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  bool enabled_ SLIM_GUARDED_BY(mu_) = false;
+  JournalOptions options_ SLIM_GUARDED_BY(mu_);
+  std::ofstream out_ SLIM_GUARDED_BY(mu_);
+  uint32_t segment_index_ SLIM_GUARDED_BY(mu_) = 0;
+  uint64_t segment_bytes_ SLIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_JOURNAL_H_

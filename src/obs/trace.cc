@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/job_context.h"
+
 namespace slim::obs {
 
 namespace {
@@ -117,6 +119,7 @@ Span::Span(std::string name, uint64_t parent_id) : name_(std::move(name)) {
 void Span::Open(uint64_t parent_id, uint32_t depth, bool from_context) {
   id_ = next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_id_ = parent_id;
+  job_id_ = CurrentJobId();
   depth_ = depth;
   from_context_ = from_context;
   saved_current_ = tls_span_context.current_id;
@@ -133,6 +136,7 @@ Span::~Span() {
   SpanRecord record;
   record.id = id_;
   record.parent_id = parent_id_;
+  record.job_id = job_id_;
   record.depth = depth_;
   record.tid = TraceThreadId();
   record.name = std::move(name_);

@@ -14,6 +14,7 @@ namespace slim::obs {
 struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent_id = 0;  // 0 = root.
+  uint64_t job_id = 0;     // Innermost job open at span open (0 = none).
   uint32_t depth = 0;
   uint32_t tid = 0;  // Small sequential id of the recording thread.
   std::string name;
@@ -89,6 +90,7 @@ class Span {
   std::string name_;
   uint64_t id_ = 0;
   uint64_t parent_id_ = 0;
+  uint64_t job_id_ = 0;
   uint32_t depth_ = 0;
   uint64_t start_nanos_ = 0;
   bool from_context_ = false;  // Restore the thread-local stack on close?

@@ -1,0 +1,65 @@
+#include "oss/cost_accounting_object_store.h"
+
+namespace slim::oss {
+
+CostAccountingObjectStore::CostAccountingObjectStore(ObjectStore* inner,
+                                                     obs::CostModel model)
+    : inner_(inner), model_(model) {
+  auto& reg = obs::MetricsRegistry::Get();
+  billed_requests_ = &reg.counter("oss.cost.requests");
+  billed_picodollars_ = &reg.counter("oss.cost.picodollars");
+}
+
+void CostAccountingObjectStore::Charge(obs::OssOp op, uint64_t bytes_read,
+                                       uint64_t bytes_written) {
+  uint64_t picodollars = obs::DollarsToPicodollars(
+      model_.OperationDollars(op, bytes_read + bytes_written));
+  obs::JobRegistry::Get().Charge(op, bytes_read, bytes_written, picodollars);
+  billed_requests_->Inc();
+  if (picodollars != 0) billed_picodollars_->Inc(picodollars);
+}
+
+Status CostAccountingObjectStore::Put(const std::string& key,
+                                      std::string value) {
+  // Billed up front: the provider charges the PUT attempt even if the
+  // backend then fails it.
+  Charge(obs::OssOp::kPut, 0, value.size());
+  return inner_->Put(key, std::move(value));
+}
+
+Result<std::string> CostAccountingObjectStore::Get(const std::string& key) {
+  auto result = inner_->Get(key);
+  Charge(obs::OssOp::kGet, result.ok() ? result.value().size() : 0, 0);
+  return result;
+}
+
+Result<std::string> CostAccountingObjectStore::GetRange(const std::string& key,
+                                                        uint64_t offset,
+                                                        uint64_t len) {
+  auto result = inner_->GetRange(key, offset, len);
+  Charge(obs::OssOp::kGetRange, result.ok() ? result.value().size() : 0, 0);
+  return result;
+}
+
+Status CostAccountingObjectStore::Delete(const std::string& key) {
+  Charge(obs::OssOp::kDelete, 0, 0);
+  return inner_->Delete(key);
+}
+
+Result<bool> CostAccountingObjectStore::Exists(const std::string& key) {
+  Charge(obs::OssOp::kExists, 0, 0);
+  return inner_->Exists(key);
+}
+
+Result<uint64_t> CostAccountingObjectStore::Size(const std::string& key) {
+  Charge(obs::OssOp::kSize, 0, 0);
+  return inner_->Size(key);
+}
+
+Result<std::vector<std::string>> CostAccountingObjectStore::List(
+    const std::string& prefix) {
+  Charge(obs::OssOp::kList, 0, 0);
+  return inner_->List(prefix);
+}
+
+}  // namespace slim::oss

@@ -1,0 +1,59 @@
+#ifndef SLIMSTORE_OSS_COST_ACCOUNTING_OBJECT_STORE_H_
+#define SLIMSTORE_OSS_COST_ACCOUNTING_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/cost_model.h"
+#include "obs/job_context.h"
+#include "obs/metrics.h"
+#include "oss/object_store.h"
+
+namespace slim::oss {
+
+/// Decorator that bills every operation that reaches it against the
+/// job open on the calling thread (obs::JobRegistry), pricing requests
+/// and payload bytes with an obs::CostModel.
+///
+/// Placement in the decorator stack defines the billing semantics, and
+/// the CLI puts one of these at the very bottom, wrapping each physical
+/// replica. That way the durability tax is visible exactly as a cloud
+/// bill would show it:
+///   * replication fan-out: k replicas => k billed PUTs per logical PUT;
+///   * retries: every attempt that reaches the store bills again;
+///   * injected faults that fire *above* this layer (the fault injector
+///     rejects before delegating) are unbilled — matching providers,
+///     which do not charge for requests their frontend refused.
+///
+/// Failed operations that do reach the store still bill their request
+/// tariff (S3 bills a 404 GET) but no transfer bytes.
+class CostAccountingObjectStore : public ObjectStore {
+ public:
+  /// Does not take ownership of `inner`.
+  CostAccountingObjectStore(ObjectStore* inner, obs::CostModel model);
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  const obs::CostModel& cost_model() const { return model_; }
+
+ private:
+  /// `bytes` is the payload moved (0 for metadata ops / failed reads).
+  void Charge(obs::OssOp op, uint64_t bytes_read, uint64_t bytes_written);
+
+  ObjectStore* inner_;
+  obs::CostModel model_;
+  obs::Counter* billed_requests_;
+  obs::Counter* billed_picodollars_;
+};
+
+}  // namespace slim::oss
+
+#endif  // SLIMSTORE_OSS_COST_ACCOUNTING_OBJECT_STORE_H_

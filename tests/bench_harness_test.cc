@@ -31,7 +31,9 @@ void AlphaScenario(ScenarioContext& ctx) {
   auto& reg = MetricsRegistry::Get();
   reg.counter("oss.get.requests").Inc(7);
   reg.counter("oss.put.requests").Inc(5);
+  reg.counter("oss.getrange.requests").Inc(2);
   reg.counter("oss.get.bytes").Inc(4096);
+  reg.counter("oss.getrange.bytes").Inc(512);
   reg.counter("oss.put.bytes").Inc(2048);
   reg.histogram("testbench.phase_ns").Record(1000);
   reg.histogram("testbench.phase_ns").Record(3000);
@@ -99,9 +101,23 @@ TEST(BenchRunnerTest, OssTotalsComeFromFinalRepeatOnly) {
   BenchReport report = RunBenchSuite(options);
   ASSERT_EQ(report.scenarios.size(), 1u);
   const ScenarioOutcome& s = report.scenarios[0];
-  EXPECT_EQ(s.oss_requests, 12u);  // 7 gets + 5 puts, one repeat.
-  EXPECT_EQ(s.oss_bytes_read, 4096u);
+  EXPECT_EQ(s.oss_requests, 14u);  // 7 gets + 5 puts + 2 ranged gets.
+  // v2: ranged-read payload counts toward bytes_read.
+  EXPECT_EQ(s.oss_bytes_read, 4096u + 512u);
   EXPECT_EQ(s.oss_bytes_written, 2048u);
+  // v2 adds the per-op breakdown and the cost rollup.
+  EXPECT_EQ(s.oss_requests_by_op.at("get"), 7u);
+  EXPECT_EQ(s.oss_requests_by_op.at("put"), 5u);
+  EXPECT_EQ(s.oss_requests_by_op.at("getrange"), 2u);
+  EXPECT_EQ(s.oss_requests_by_op.at("delete"), 0u);
+  // 5 PUTs at $0.005/1k, 9 GET-class requests at $0.0004/1k.
+  EXPECT_NEAR(s.cost_request_dollars, 5 * 0.005 / 1000 + 9 * 0.0004 / 1000,
+              1e-12);
+  // 4608 read bytes at $0.09/GB egress; ingress free.
+  EXPECT_NEAR(s.cost_transfer_dollars,
+              4608.0 * 0.09 / (1024.0 * 1024.0 * 1024.0), 1e-12);
+  EXPECT_NEAR(s.cost_dollars,
+              s.cost_request_dollars + s.cost_transfer_dollars, 1e-15);
   // Histogram phases with samples surface with quantiles.
   ASSERT_EQ(s.phases.count("testbench.phase_ns"), 1u);
   EXPECT_EQ(s.phases.at("testbench.phase_ns").count, 2u);
@@ -126,7 +142,7 @@ TEST(BenchJsonTest, SchemaFieldsPresent) {
   BenchReport report = RunBenchSuite(options);
   std::string json = BenchReportJson(report);
 
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"suite\": \"quick\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"testbench.alpha\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_seconds\": {\"mean\": "), std::string::npos);
@@ -134,12 +150,34 @@ TEST(BenchJsonTest, SchemaFieldsPresent) {
             std::string::npos);
   EXPECT_NE(json.find("\"logical_bytes\": 1048576"), std::string::npos);
   EXPECT_NE(json.find("\"dedup_ratio\": 0.8400"), std::string::npos);
-  EXPECT_NE(json.find("\"oss\": {\"requests\": 12, \"bytes_read\": 4096, "
-                      "\"bytes_written\": 2048}"),
+  EXPECT_NE(json.find("\"oss\": {\"requests\": 14, \"bytes_read\": 4608, "
+                      "\"bytes_written\": 2048, \"by_op\": {\"put\": 5, "
+                      "\"get\": 7, \"getrange\": 2, \"delete\": 0, "
+                      "\"list\": 0, \"exists\": 0, \"size\": 0}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cost\": {\"dollars\": 0.00002899, "
+                      "\"request_dollars\": 0.00002860, "
+                      "\"transfer_dollars\": 0.00000039}"),
             std::string::npos);
   EXPECT_NE(json.find("\"testbench.phase_ns\": {\"count\": 2, \"p50\": "),
             std::string::npos);
   EXPECT_NE(json.find("\"versions\": 3"), std::string::npos);
+}
+
+TEST(BenchJsonTest, CostModelOverrideChangesTheCostBlock) {
+  BenchRunOptions options;
+  options.suite = "quick";
+  options.filter = "testbench.alpha";
+  std::string error;
+  ASSERT_TRUE(ParseCostModel(
+      "put_request_dollars = 0\nget_request_dollars = 0\n"
+      "read_dollars_per_gb = 0\n",
+      &options.cost_model, &error))
+      << error;
+  BenchReport report = RunBenchSuite(options);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.scenarios[0].cost_dollars, 0.0);
+  EXPECT_EQ(report.scenarios[0].oss_requests, 14u);  // Counting unchanged.
 }
 
 TEST(BenchJsonTest, EmptyReportStillValidShape) {

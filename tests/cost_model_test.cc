@@ -1,0 +1,243 @@
+// Tests for the OSS cost model (src/obs/cost_model.*) and the
+// cost-accounting decorator (src/oss/cost_accounting_object_store.*):
+// tariff arithmetic, config parsing, and the billing semantics that
+// matter for honest cloud bills — replication fan-out and per-attempt
+// retry charges.
+
+#include "obs/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/placement.h"
+#include "durability/replicating_object_store.h"
+#include "obs/job_context.h"
+#include "oss/cost_accounting_object_store.h"
+#include "oss/memory_object_store.h"
+#include "oss/retrying_object_store.h"
+
+namespace slim::obs {
+namespace {
+
+constexpr uint64_t kGiB = 1ull << 30;
+
+TEST(CostModelTest, DefaultTariffsMatchS3LikePricing) {
+  CostModel model;
+  // $0.005 per 1000 PUT/LIST, $0.0004 per 1000 GET/HEAD, free DELETE.
+  EXPECT_DOUBLE_EQ(model.RequestDollars(OssOp::kPut), 0.005 / 1000.0);
+  EXPECT_DOUBLE_EQ(model.RequestDollars(OssOp::kList), 0.005 / 1000.0);
+  EXPECT_DOUBLE_EQ(model.RequestDollars(OssOp::kGet), 0.0004 / 1000.0);
+  EXPECT_DOUBLE_EQ(model.RequestDollars(OssOp::kGetRange), 0.0004 / 1000.0);
+  EXPECT_DOUBLE_EQ(model.RequestDollars(OssOp::kExists), 0.0004 / 1000.0);
+  EXPECT_DOUBLE_EQ(model.RequestDollars(OssOp::kSize), 0.0004 / 1000.0);
+  EXPECT_DOUBLE_EQ(model.RequestDollars(OssOp::kDelete), 0.0);
+}
+
+TEST(CostModelTest, TransferBillsReadsNotWrites) {
+  CostModel model;
+  // Egress $0.09/GB; ingress free.
+  EXPECT_DOUBLE_EQ(model.TransferDollars(OssOp::kGet, kGiB), 0.09);
+  EXPECT_DOUBLE_EQ(model.TransferDollars(OssOp::kGetRange, kGiB / 2), 0.045);
+  EXPECT_DOUBLE_EQ(model.TransferDollars(OssOp::kPut, kGiB), 0.0);
+  EXPECT_DOUBLE_EQ(model.TransferDollars(OssOp::kDelete, kGiB), 0.0);
+}
+
+TEST(CostModelTest, OperationDollarsIsRequestPlusTransfer) {
+  CostModel model;
+  EXPECT_DOUBLE_EQ(model.OperationDollars(OssOp::kGet, kGiB),
+                   0.0004 / 1000.0 + 0.09);
+  EXPECT_DOUBLE_EQ(model.OperationDollars(OssOp::kPut, kGiB),
+                   0.005 / 1000.0);
+}
+
+TEST(CostModelTest, PicodollarConversionRoundTrips) {
+  CostModel model;
+  // One GET request = 4e-7 dollars = 400,000 picodollars exactly.
+  EXPECT_EQ(DollarsToPicodollars(model.RequestDollars(OssOp::kGet)),
+            400000u);
+  EXPECT_EQ(DollarsToPicodollars(model.RequestDollars(OssOp::kPut)),
+            5000000u);
+  EXPECT_EQ(DollarsToPicodollars(0.0), 0u);
+  EXPECT_DOUBLE_EQ(PicodollarsToDollars(5000000u), 5e-6);
+  // A thousand round trips of the per-request tariff stay exact.
+  uint64_t pd = 1000 * DollarsToPicodollars(model.RequestDollars(OssOp::kGet));
+  EXPECT_DOUBLE_EQ(PicodollarsToDollars(pd), 0.0004);
+}
+
+TEST(CostModelTest, ParseAcceptsKeyValueLinesAndComments) {
+  CostModel model;
+  std::string error;
+  ASSERT_TRUE(ParseCostModel(
+      "# custom provider\n"
+      "put_request_dollars = 0.01\n"
+      "\n"
+      "read_dollars_per_gb = 0.05  # egress discount\n",
+      &model, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(model.put_request_dollars, 0.01);
+  EXPECT_DOUBLE_EQ(model.read_dollars_per_gb, 0.05);
+  // Unmentioned tariffs keep their defaults.
+  EXPECT_DOUBLE_EQ(model.get_request_dollars, 0.0004 / 1000.0);
+}
+
+TEST(CostModelTest, ParseRejectsUnknownKeysAndBadNumbers) {
+  CostModel model;
+  std::string error;
+  EXPECT_FALSE(ParseCostModel("no_such_tariff = 1.0\n", &model, &error));
+  EXPECT_NE(error.find("no_such_tariff"), std::string::npos);
+  EXPECT_FALSE(ParseCostModel("put_request_dollars = banana\n", &model,
+                              &error));
+  EXPECT_FALSE(ParseCostModel("put_request_dollars = -1\n", &model, &error));
+  EXPECT_FALSE(ParseCostModel("put_request_dollars\n", &model, &error));
+}
+
+TEST(CostAccountingTest, ZeroCostModelStillCountsRequests) {
+  JobRegistry::Get().ResetForTest();
+  oss::MemoryObjectStore memory;
+  CostModel free_tier;
+  std::string ignored;
+  ASSERT_TRUE(ParseCostModel(
+      "put_request_dollars = 0\nget_request_dollars = 0\n"
+      "list_request_dollars = 0\nhead_request_dollars = 0\n"
+      "read_dollars_per_gb = 0\nwrite_dollars_per_gb = 0\n",
+      &free_tier, &ignored));
+  oss::CostAccountingObjectStore billed(&memory, free_tier);
+  {
+    JobScope job("test", "test:free_tier");
+    ASSERT_TRUE(billed.Put("k", std::string(1024, 'x')).ok());
+    ASSERT_TRUE(billed.Get("k").ok());
+  }
+  JobCost totals = JobRegistry::Get().totals();
+  EXPECT_EQ(totals.requests[static_cast<size_t>(OssOp::kPut)], 1u);
+  EXPECT_EQ(totals.requests[static_cast<size_t>(OssOp::kGet)], 1u);
+  EXPECT_EQ(totals.bytes_read, 1024u);
+  EXPECT_EQ(totals.picodollars, 0u);
+}
+
+TEST(CostAccountingTest, FailedReadBillsRequestButNoBytes) {
+  JobRegistry::Get().ResetForTest();
+  oss::MemoryObjectStore memory;
+  oss::CostAccountingObjectStore billed(&memory, CostModel());
+  {
+    JobScope job("test", "test:missing_get");
+    EXPECT_FALSE(billed.Get("absent").ok());  // S3 bills the 404 GET.
+  }
+  JobCost totals = JobRegistry::Get().totals();
+  EXPECT_EQ(totals.requests[static_cast<size_t>(OssOp::kGet)], 1u);
+  EXPECT_EQ(totals.bytes_read, 0u);
+  EXPECT_EQ(totals.picodollars, 400000u);  // Request tariff only.
+}
+
+TEST(CostAccountingTest, ReplicationFanOutBillsEveryReplica) {
+  JobRegistry::Get().ResetForTest();
+  // One accountant per physical replica, the CLI's stack shape.
+  std::vector<std::unique_ptr<oss::MemoryObjectStore>> disks;
+  std::vector<std::unique_ptr<oss::CostAccountingObjectStore>> accountants;
+  std::vector<oss::ObjectStore*> replicas;
+  for (int i = 0; i < 3; ++i) {
+    disks.push_back(std::make_unique<oss::MemoryObjectStore>());
+    accountants.push_back(std::make_unique<oss::CostAccountingObjectStore>(
+        disks.back().get(), CostModel()));
+    replicas.push_back(accountants.back().get());
+  }
+  durability::ReplicatingObjectStore replicated(
+      replicas, durability::PlacementPolicy::Uniform(3),
+      [](std::string_view) { return true; });
+  {
+    JobScope job("test", "test:fan_out");
+    ASSERT_TRUE(replicated.Put("obj", std::string(100, 'x')).ok());
+  }
+  JobCost totals = JobRegistry::Get().totals();
+  // One logical PUT = three billed physical PUTs.
+  EXPECT_EQ(totals.requests[static_cast<size_t>(OssOp::kPut)], 3u);
+  EXPECT_EQ(totals.bytes_written, 300u);
+  EXPECT_EQ(totals.picodollars, 3u * 5000000u);
+}
+
+/// Fails the first N Puts with a retryable error; payload still never
+/// reached durable storage, but the provider metered each attempt.
+class FlakyPutStore : public oss::MemoryObjectStore {
+ public:
+  explicit FlakyPutStore(int failures) : failures_left_(failures) {}
+  Status Put(const std::string& key, std::string value) override {
+    if (failures_left_ > 0) {
+      --failures_left_;
+      return Status::Unavailable("induced transient failure");
+    }
+    return oss::MemoryObjectStore::Put(key, std::move(value));
+  }
+
+ private:
+  int failures_left_;
+};
+
+TEST(CostAccountingTest, RetriesBillEveryAttemptThatReachesTheStore) {
+  JobRegistry::Get().ResetForTest();
+  FlakyPutStore flaky(2);  // Attempts 1 and 2 fail, attempt 3 lands.
+  oss::CostAccountingObjectStore billed(&flaky, CostModel());
+  oss::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.sleep_on_backoff = false;
+  oss::RetryingObjectStore retrying(&billed, policy);
+  {
+    JobScope job("test", "test:retry_billing");
+    ASSERT_TRUE(retrying.Put("obj", std::string(10, 'x')).ok());
+  }
+  JobCost totals = JobRegistry::Get().totals();
+  EXPECT_EQ(totals.requests[static_cast<size_t>(OssOp::kPut)], 3u);
+  EXPECT_EQ(totals.picodollars, 3u * 5000000u);
+  // Payload bytes are charged per attempt too: PUTs bill upfront (the
+  // provider meters the upload whether or not it commits).
+  EXPECT_EQ(totals.bytes_written, 30u);
+}
+
+TEST(CostAccountingTest, ChargesLandOnTheInnermostOpenJob) {
+  JobRegistry::Get().ResetForTest();
+  oss::MemoryObjectStore memory;
+  oss::CostAccountingObjectStore billed(&memory, CostModel());
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    JobScope outer("test", "test:outer");
+    outer_id = outer.job_id();
+    ASSERT_TRUE(billed.Put("a", std::string("1")).ok());
+    {
+      JobScope inner("test", "test:inner");
+      inner_id = inner.job_id();
+      ASSERT_TRUE(billed.Put("b", std::string("2")).ok());
+    }
+    ASSERT_TRUE(billed.Put("c", std::string("3")).ok());
+  }
+  uint64_t outer_puts = 0;
+  uint64_t inner_puts = 0;
+  uint64_t inner_parent = 0;
+  for (const JobSummary& s : JobRegistry::Get().Summaries()) {
+    if (s.job_id == outer_id) {
+      outer_puts = s.cost.requests[static_cast<size_t>(OssOp::kPut)];
+    }
+    if (s.job_id == inner_id) {
+      inner_puts = s.cost.requests[static_cast<size_t>(OssOp::kPut)];
+      inner_parent = s.parent_id;
+    }
+  }
+  EXPECT_EQ(outer_puts, 2u);
+  EXPECT_EQ(inner_puts, 1u);
+  EXPECT_EQ(inner_parent, outer_id);  // Causality link.
+  EXPECT_EQ(JobRegistry::Get().unattributed().total_requests(), 0u);
+}
+
+TEST(CostAccountingTest, ChargesWithoutAScopeAreUnattributedNotLost) {
+  JobRegistry::Get().ResetForTest();
+  oss::MemoryObjectStore memory;
+  oss::CostAccountingObjectStore billed(&memory, CostModel());
+  ASSERT_TRUE(billed.Put("orphan", std::string("x")).ok());
+  EXPECT_EQ(JobRegistry::Get().unattributed().total_requests(), 1u);
+  EXPECT_EQ(JobRegistry::Get().totals().total_requests(), 1u);
+  EXPECT_EQ(JobRegistry::Get().unattributed().picodollars, 5000000u);
+}
+
+}  // namespace
+}  // namespace slim::obs

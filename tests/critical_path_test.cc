@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/job_context.h"
 #include "obs/trace.h"
 
 namespace slim::obs {
@@ -129,6 +130,46 @@ TEST(CriticalPathTest, MultipleRootsReportedOldestFirst) {
   EXPECT_EQ(reports[1].root_name, "restore");
 }
 
+TEST(CriticalPathTest, ThreadLanesSplitLeafWorkPerThread) {
+  // Restore [0, 100): thread 2 busy [0, 60), thread 3 busy [30, 90) as
+  // two overlapping leaves whose union is 60 (not 70).
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "restore", 0, 100),
+      Make(2, 1, "restore.fetch_container", 0, 60, 2),
+      Make(3, 1, "restore.fetch_container", 30, 60, 3),
+      Make(4, 1, "restore.fetch_container", 50, 40, 3),
+  };
+  auto reports = AnalyzeCriticalPaths(spans);
+  ASSERT_EQ(reports.size(), 1u);
+  const CriticalPathReport& r = reports[0];
+  ASSERT_EQ(r.lanes.size(), 2u);  // Ascending tid; root's lane has no leaf.
+  EXPECT_EQ(r.lanes[0].tid, 2u);
+  EXPECT_EQ(r.lanes[0].busy_nanos, 60u);
+  EXPECT_EQ(r.lanes[0].leaf_spans, 1u);
+  EXPECT_EQ(r.lanes[1].tid, 3u);
+  EXPECT_EQ(r.lanes[1].busy_nanos, 60u);  // [30,90) union, no double count.
+  EXPECT_EQ(r.lanes[1].leaf_spans, 2u);
+}
+
+TEST(CriticalPathTest, RenderReportsLaneUtilization) {
+  std::vector<SpanRecord> spans = {
+      Make(1, 0, "restore", 0, 1000000),
+      Make(2, 1, "restore.fetch_container", 0, 600000, 2),
+      Make(3, 1, "restore.fetch_container", 0, 400000, 3),
+  };
+  std::string text = RenderCriticalPaths(AnalyzeCriticalPaths(spans));
+  EXPECT_NE(text.find("threads: 2 lane(s)"), std::string::npos);
+  EXPECT_NE(text.find("lane t2: busy 0.600 ms (60.0% util, 1 leaf "
+                      "span(s))"),
+            std::string::npos);
+  EXPECT_NE(text.find("lane t3: busy 0.400 ms (40.0% util, 1 leaf "
+                      "span(s))"),
+            std::string::npos);
+  // Aggregate busy = 1.0 ms across 2 lanes of a 1.0 ms root = 50% avg.
+  EXPECT_NE(text.find("aggregate busy 1.000 ms, avg utilization 50.0%"),
+            std::string::npos);
+}
+
 TEST(CriticalPathTest, RenderMentionsSplitAndChain) {
   std::vector<SpanRecord> spans = {
       Make(1, 0, "backup", 0, 1000000),
@@ -184,6 +225,29 @@ TEST(ChromeTraceTest, RealSpansNestAndCarryThreadIds) {
             spans[1].start_nanos + spans[1].duration_nanos);
   std::string json = ChromeTraceJson(spans);
   EXPECT_NE(json.find("cp_test.backup.persist"), std::string::npos);
+  TraceSink::Get().Clear();
+}
+
+TEST(ChromeTraceTest, SpansCaptureTheOpenJobForLogTraceJoins) {
+  TraceSink::Get().Clear();
+  uint64_t job_id = 0;
+  {
+    JobScope job("test", "test:trace_join");
+    job_id = job.job_id();
+    Span span("cp_test.in_job");
+  }
+  {
+    Span span("cp_test.outside_job");
+  }
+  std::vector<SpanRecord> spans = TraceSink::Get().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].job_id, job_id);
+  EXPECT_EQ(spans[1].job_id, 0u);
+  // The exported trace carries the job id, so Perfetto rows can be
+  // joined against journal records.
+  std::string json = ChromeTraceJson(spans);
+  EXPECT_NE(json.find("\"job_id\": " + std::to_string(job_id)),
+            std::string::npos);
   TraceSink::Get().Clear();
 }
 

@@ -1,0 +1,204 @@
+// End-to-end job attribution: a replicated SlimStore whose physical
+// replicas are wrapped in cost-accounting decorators, driven through
+// backup -> G-node cycle -> restore. The acceptance bar is that >= 99%
+// of OSS requests AND payload bytes are attributed to named jobs (the
+// unattributed account is reported explicitly, never silently
+// dropped), and that the journal records the causality chain.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/slimstore.h"
+#include "durability/placement.h"
+#include "durability/replicating_object_store.h"
+#include "obs/job_context.h"
+#include "obs/journal.h"
+#include "oss/cost_accounting_object_store.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+
+namespace slim {
+namespace {
+
+namespace fs = std::filesystem;
+
+using obs::EventJournal;
+using obs::JobCost;
+using obs::JobRegistry;
+using obs::JobScope;
+using obs::JobSummary;
+
+TEST(JobAccountingTest, ThreadPoolPropagatesTheSubmittersJob) {
+  JobRegistry::Get().ResetForTest();
+  oss::MemoryObjectStore memory;
+  oss::CostAccountingObjectStore billed(&memory, obs::CostModel());
+  ThreadPool pool(2);
+  uint64_t job_id = 0;
+  {
+    JobScope job("test", "test:pool_propagation");
+    job_id = job.job_id();
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&billed, i] {
+        ASSERT_TRUE(
+            billed.Put("k" + std::to_string(i), std::string(10, 'x')).ok());
+      });
+    }
+    pool.WaitIdle();
+  }
+  pool.Shutdown();
+  // Every worker-thread charge landed on the submitting job.
+  EXPECT_EQ(JobRegistry::Get().unattributed().total_requests(), 0u);
+  bool found = false;
+  for (const JobSummary& s : JobRegistry::Get().Summaries()) {
+    if (s.job_id != job_id) continue;
+    found = true;
+    EXPECT_EQ(s.cost.requests[static_cast<size_t>(obs::OssOp::kPut)], 8u);
+    EXPECT_EQ(s.outcome, "ok");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JobAccountingTest, TasksSubmittedOutsideAnyJobStayUnattributed) {
+  JobRegistry::Get().ResetForTest();
+  oss::MemoryObjectStore memory;
+  oss::CostAccountingObjectStore billed(&memory, obs::CostModel());
+  ThreadPool pool(1);
+  pool.Submit([&billed] {
+    ASSERT_TRUE(billed.Put("orphan", std::string("x")).ok());
+  });
+  pool.WaitIdle();
+  pool.Shutdown();
+  EXPECT_EQ(JobRegistry::Get().unattributed().total_requests(), 1u);
+}
+
+TEST(JobAccountingTest, EndToEndAttributionCoversAlmostAllTraffic) {
+  JobRegistry::Get().ResetForTest();
+  std::string journal_dir =
+      (fs::path(testing::TempDir()) / "job_accounting_journal").string();
+  fs::remove_all(journal_dir);
+  ASSERT_TRUE(EventJournal::Get().Configure({journal_dir}));
+
+  // The CLI's replicated stack: billing wraps each physical replica, so
+  // the durability fan-out is part of the attributed bill.
+  std::vector<std::unique_ptr<oss::MemoryObjectStore>> disks;
+  std::vector<std::unique_ptr<oss::CostAccountingObjectStore>> accountants;
+  std::vector<oss::ObjectStore*> replicas;
+  for (int i = 0; i < 2; ++i) {
+    disks.push_back(std::make_unique<oss::MemoryObjectStore>());
+    accountants.push_back(std::make_unique<oss::CostAccountingObjectStore>(
+        disks.back().get(), obs::CostModel()));
+    replicas.push_back(accountants.back().get());
+  }
+  durability::ReplicatingObjectStore replicated(
+      replicas, durability::PlacementPolicy(),
+      [](std::string_view) { return true; });
+  oss::OssCostModel sim;
+  sim.sleep_for_cost = false;
+  oss::SimulatedOss metered(&replicated, sim);
+
+  core::SlimStoreOptions options;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 32 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.chunk_merging = true;
+  options.tenant = "tenant-e2e";
+  core::SlimStore store(&metered, options);
+
+  // Three versions of a mutating file, a G-node pass, then a restore.
+  std::string v0(96 << 10, 'a');
+  std::string v1 = v0;
+  v1.replace(1000, 5000, std::string(5000, 'b'));
+  std::string v2 = v1 + std::string(8 << 10, 'c');
+  for (const std::string* data : {&v0, &v1, &v2}) {
+    auto stats = store.Backup("file.bin", *data);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+  }
+  ASSERT_TRUE(store.RunGNodeCycle().ok());
+  auto restored = store.Restore("file.bin", 2);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value(), v2);
+  ASSERT_TRUE(store.SaveState().ok());
+  EventJournal::Get().Disable();
+
+  // >= 99% of requests AND bytes must be attributed to named jobs; the
+  // remainder is visible in the unattributed account.
+  JobCost totals = JobRegistry::Get().totals();
+  JobCost unattributed = JobRegistry::Get().unattributed();
+  ASSERT_GT(totals.total_requests(), 0u);
+  ASSERT_GT(totals.bytes_written, 0u);
+  double request_coverage =
+      1.0 - static_cast<double>(unattributed.total_requests()) /
+                static_cast<double>(totals.total_requests());
+  uint64_t total_bytes = totals.bytes_read + totals.bytes_written;
+  uint64_t unattributed_bytes =
+      unattributed.bytes_read + unattributed.bytes_written;
+  double byte_coverage = 1.0 - static_cast<double>(unattributed_bytes) /
+                                   static_cast<double>(total_bytes);
+  EXPECT_GE(request_coverage, 0.99)
+      << unattributed.total_requests() << " of " << totals.total_requests()
+      << " requests unattributed";
+  EXPECT_GE(byte_coverage, 0.99)
+      << unattributed_bytes << " of " << total_bytes
+      << " bytes unattributed";
+
+  // Replication fan-out is visible in the bill: two physical PUTs per
+  // logical container/recipe/meta write.
+  EXPECT_EQ(totals.requests[static_cast<size_t>(obs::OssOp::kPut)] % 2, 0u);
+
+  // The journal recorded the whole run with causality links intact.
+  obs::JournalReadResult journal = EventJournal::ReadAll(journal_dir);
+  ASSERT_GT(journal.records.size(), 0u);
+  EXPECT_EQ(journal.malformed_records, 0u);
+  uint64_t gnode_job = 0;
+  bool saw_backup = false, saw_restore = false, saw_tenant = false;
+  for (const std::string& r : journal.records) {
+    std::string kind;
+    ASSERT_TRUE(EventJournal::ExtractString(r, "kind", &kind)) << r;
+    if (kind == "backup") saw_backup = true;
+    if (kind == "restore") saw_restore = true;
+    if (kind == "gnode_cycle") {
+      double id = 0;
+      ASSERT_TRUE(EventJournal::ExtractNumber(r, "job", &id));
+      gnode_job = static_cast<uint64_t>(id);
+    }
+    std::string tenant;
+    if (EventJournal::ExtractString(r, "tenant", &tenant) &&
+        tenant == "tenant-e2e") {
+      saw_tenant = true;
+    }
+  }
+  EXPECT_TRUE(saw_backup);
+  EXPECT_TRUE(saw_restore);
+  EXPECT_TRUE(saw_tenant);
+  ASSERT_NE(gnode_job, 0u);
+  // G-node phase children (reverse dedup per backup) link to the cycle.
+  bool saw_gnode_child = false;
+  for (const std::string& r : journal.records) {
+    std::string kind;
+    double parent = 0;
+    if (EventJournal::ExtractString(r, "kind", &kind) &&
+        (kind == "reverse_dedup" || kind == "scc") &&
+        EventJournal::ExtractNumber(r, "parent", &parent) &&
+        static_cast<uint64_t>(parent) == gnode_job) {
+      saw_gnode_child = true;
+    }
+  }
+  EXPECT_TRUE(saw_gnode_child);
+
+  // Dollars reconcile: the sum of per-job picodollar rollups equals the
+  // process totals (no charge is double-counted or lost).
+  uint64_t summed = unattributed.picodollars;
+  for (const JobSummary& s : JobRegistry::Get().Summaries()) {
+    summed += s.cost.picodollars;
+  }
+  EXPECT_EQ(summed, totals.picodollars);
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,225 @@
+// Tests for the append-only event journal (src/obs/journal.*):
+// round-trip, segment rotation + pruning, torn-record recovery after a
+// simulated crash, and the job record JSON + field extractors.
+
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/job_context.h"
+
+namespace slim::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::path(testing::TempDir()) / ("journal_test_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+class JournalTest : public testing::Test {
+ protected:
+  // The journal is a process singleton; leave it disabled between tests
+  // so unrelated suites never see a stale configuration.
+  void TearDown() override { EventJournal::Get().Disable(); }
+};
+
+TEST_F(JournalTest, AppendReadAllRoundTrip) {
+  std::string dir = FreshDir("roundtrip");
+  ASSERT_TRUE(EventJournal::Get().Configure({dir}));
+  EXPECT_TRUE(EventJournal::Get().enabled());
+  EXPECT_EQ(EventJournal::Get().directory(), dir);
+  EventJournal::Get().Append("{\"type\":\"a\"}");
+  EventJournal::Get().Append("{\"type\":\"b\"}");
+  EventJournal::Get().Disable();
+
+  JournalReadResult result = EventJournal::ReadAll(dir);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0], "{\"type\":\"a\"}");
+  EXPECT_EQ(result.records[1], "{\"type\":\"b\"}");
+  EXPECT_EQ(result.malformed_records, 0u);
+  ASSERT_EQ(result.files.size(), 1u);
+}
+
+TEST_F(JournalTest, AppendIsNoOpWhenDisabled) {
+  EventJournal::Get().Disable();
+  EXPECT_FALSE(EventJournal::Get().enabled());
+  EventJournal::Get().Append("{\"dropped\":true}");  // Must not crash.
+  EXPECT_EQ(EventJournal::Get().directory(), "");
+}
+
+TEST_F(JournalTest, RotatesAtSizeAndPrunesOldestSegments) {
+  std::string dir = FreshDir("rotation");
+  JournalOptions options;
+  options.directory = dir;
+  options.rotate_bytes = 256;  // Tiny segments force rotation.
+  options.max_files = 3;
+  ASSERT_TRUE(EventJournal::Get().Configure(options));
+  std::string record = "{\"fill\":\"" + std::string(100, 'x') + "\"}";
+  for (int i = 0; i < 20; ++i) EventJournal::Get().Append(record);
+  EventJournal::Get().Disable();
+
+  size_t segments = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++segments;
+  }
+  EXPECT_LE(segments, 3u);  // Pruned to max_files.
+  JournalReadResult result = EventJournal::ReadAll(dir);
+  EXPECT_GT(result.records.size(), 0u);
+  EXPECT_LT(result.records.size(), 20u);  // Oldest records were pruned.
+  EXPECT_EQ(result.malformed_records, 0u);
+  for (const std::string& r : result.records) EXPECT_EQ(r, record);
+}
+
+TEST_F(JournalTest, ReaderSkipsAndCountsTornTrailingRecord) {
+  std::string dir = FreshDir("torn_read");
+  ASSERT_TRUE(EventJournal::Get().Configure({dir}));
+  EventJournal::Get().Append("{\"seq\":1}");
+  EventJournal::Get().Append("{\"seq\":2}");
+  EventJournal::Get().Disable();
+
+  // Simulate a crash mid-append: a trailing record with no newline and
+  // a truncated JSON object.
+  JournalReadResult before = EventJournal::ReadAll(dir);
+  ASSERT_EQ(before.files.size(), 1u);
+  {
+    std::ofstream out(before.files[0],
+                      std::ios::binary | std::ios::app);
+    out << "{\"seq\":3,\"trunc";
+  }
+  JournalReadResult after = EventJournal::ReadAll(dir);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.records[1], "{\"seq\":2}");
+  EXPECT_EQ(after.malformed_records, 1u);
+}
+
+TEST_F(JournalTest, ReopenSealsTornRecordAndAppendsContinueClean) {
+  std::string dir = FreshDir("torn_reopen");
+  ASSERT_TRUE(EventJournal::Get().Configure({dir}));
+  EventJournal::Get().Append("{\"seq\":1}");
+  EventJournal::Get().Disable();
+  JournalReadResult before = EventJournal::ReadAll(dir);
+  ASSERT_EQ(before.files.size(), 1u);
+  {
+    std::ofstream out(before.files[0],
+                      std::ios::binary | std::ios::app);
+    out << "{\"seq\":2,\"trunc";  // Crash mid-append.
+  }
+
+  // Reopening seals the torn record; the next append starts on a fresh
+  // line instead of gluing onto the partial one.
+  ASSERT_TRUE(EventJournal::Get().Configure({dir}));
+  EventJournal::Get().Append("{\"seq\":3}");
+  EventJournal::Get().Disable();
+
+  JournalReadResult after = EventJournal::ReadAll(dir);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.records[0], "{\"seq\":1}");
+  EXPECT_EQ(after.records[1], "{\"seq\":3}");
+  EXPECT_EQ(after.malformed_records, 1u);  // The sealed torn record.
+}
+
+TEST_F(JournalTest, ConfigureContinuesNumberingAcrossReopen) {
+  std::string dir = FreshDir("renumber");
+  JournalOptions options;
+  options.directory = dir;
+  options.rotate_bytes = 64;
+  options.max_files = 8;
+  ASSERT_TRUE(EventJournal::Get().Configure(options));
+  for (int i = 0; i < 5; ++i) {
+    EventJournal::Get().Append("{\"fill\":\"aaaaaaaaaaaaaaaaaaaaaaaa\"}");
+  }
+  EventJournal::Get().Disable();
+  JournalReadResult before = EventJournal::ReadAll(dir);
+  ASSERT_GE(before.files.size(), 2u);
+
+  // A second process lifetime must append after the highest existing
+  // segment, not overwrite segment 0.
+  ASSERT_TRUE(EventJournal::Get().Configure(options));
+  EventJournal::Get().Append("{\"fill\":\"bbbbbbbbbbbbbbbbbbbbbbbb\"}");
+  EventJournal::Get().Disable();
+  JournalReadResult after = EventJournal::ReadAll(dir);
+  EXPECT_EQ(after.records.size(), before.records.size() + 1);
+  EXPECT_EQ(after.records.back(),
+            "{\"fill\":\"bbbbbbbbbbbbbbbbbbbbbbbb\"}");
+}
+
+TEST_F(JournalTest, JobRecordJsonCarriesIdentityCostAndCausality) {
+  JobSummary summary;
+  summary.job_id = 7;
+  summary.parent_id = 3;
+  summary.kind = "backup";
+  summary.name = "backup:home.tar";
+  summary.tenant = "acme";
+  summary.outcome = "ok";
+  summary.start_unix_ms = 1000;
+  summary.end_unix_ms = 1250;
+  summary.cost.requests[static_cast<size_t>(OssOp::kPut)] = 4;
+  summary.cost.requests[static_cast<size_t>(OssOp::kGet)] = 2;
+  summary.cost.bytes_read = 100;
+  summary.cost.bytes_written = 5000;
+  summary.cost.picodollars = 20800000;  // 4 PUTs + 2 GETs.
+  summary.extra["versions"] = 3.0;
+
+  std::string json = EventJournal::JobRecordJson(summary);
+  EXPECT_NE(json.find("\"type\":\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"job\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"put\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"requests\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_written\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"versions\":3"), std::string::npos);
+
+  // The `slim jobs` reader parses records with the extractors.
+  std::string value;
+  double number = 0;
+  ASSERT_TRUE(EventJournal::ExtractString(json, "kind", &value));
+  EXPECT_EQ(value, "backup");
+  ASSERT_TRUE(EventJournal::ExtractString(json, "outcome", &value));
+  EXPECT_EQ(value, "ok");
+  ASSERT_TRUE(EventJournal::ExtractNumber(json, "job", &number));
+  EXPECT_DOUBLE_EQ(number, 7.0);
+  ASSERT_TRUE(EventJournal::ExtractNumber(json, "dollars", &number));
+  EXPECT_NEAR(number, 0.0000208, 1e-9);
+  EXPECT_FALSE(EventJournal::ExtractString(json, "no_such_key", &value));
+  EXPECT_FALSE(EventJournal::ExtractNumber(json, "no_such_key", &number));
+}
+
+TEST_F(JournalTest, FinishedJobScopesAppendRecords) {
+  std::string dir = FreshDir("scopes");
+  ASSERT_TRUE(EventJournal::Get().Configure({dir}));
+  {
+    JobScope parent("test", "test:journal_parent", "tenant-x");
+    JobScope child("test", "test:journal_child");
+    child.Annotate("widgets", 2.0);
+  }
+  EventJournal::Get().Disable();
+
+  JournalReadResult result = EventJournal::ReadAll(dir);
+  ASSERT_EQ(result.records.size(), 2u);
+  // Scopes unwind innermost-first, so the child record lands first and
+  // carries the parent's id as its causality link.
+  double child_parent = 0, parent_id = 0;
+  ASSERT_TRUE(EventJournal::ExtractNumber(result.records[0], "parent",
+                                          &child_parent));
+  ASSERT_TRUE(EventJournal::ExtractNumber(result.records[1], "job",
+                                          &parent_id));
+  EXPECT_EQ(child_parent, parent_id);
+  EXPECT_NE(result.records[0].find("\"widgets\":2"), std::string::npos);
+  EXPECT_NE(result.records[1].find("\"tenant\":\"tenant-x\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace slim::obs

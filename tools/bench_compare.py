@@ -7,13 +7,24 @@ Usage:
 
   bench_compare.py [--warn-only] BASELINE.json CURRENT.json
       Print a per-scenario delta table and gate on regressions:
-        * throughput_mbps.mean drops more than 10% -> regression
-        * oss.requests grows more than 15%         -> regression
+        * throughput_mbps.mean drops more than 10%   -> regression
+        * oss.requests grows more than 15%           -> regression
+        * cost.dollars grows more than 15% (v2 only) -> regression
       Exit 1 if any regression (0 with --warn-only), 2 on schema errors.
 
+  bench_compare.py --update-baseline BASELINE.json CURRENT.json
+      Schema-check CURRENT and copy it over BASELINE (intentional
+      perf/cost shifts re-baseline explicitly instead of hand-editing).
+
 Thresholds are tuned for the deterministic quick suite: scenario seeds
-are fixed, so OSS request counts are exactly reproducible and only
-wall-clock throughput carries machine noise (hence the looser 10%).
+are fixed, so OSS request counts — and therefore dollar costs under a
+fixed tariff — are exactly reproducible; only wall-clock throughput
+carries machine noise (hence the looser 10% and the
+--throughput-warn-only escape hatch for noisy CI runners).
+
+Schema v1 reports carry oss request/byte totals; v2 adds the per-op
+"oss.by_op" breakdown and the "cost" dollar block. Both validate; the
+cost gate engages only when baseline and current are both v2.
 
 Stdlib only; CI runs this against the committed baseline in
 bench/baselines/.
@@ -21,11 +32,15 @@ bench/baselines/.
 
 import argparse
 import json
+import shutil
 import sys
 
-SCHEMA_VERSION = 1
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 THROUGHPUT_REGRESSION_PCT = 10.0
 OSS_REQUEST_INFLATION_PCT = 15.0
+COST_INFLATION_PCT = 15.0
+
+OSS_OPS = ("put", "get", "getrange", "delete", "list", "exists", "size")
 
 
 def _is_num(x):
@@ -50,10 +65,12 @@ def validate_report(report, label):
     errors = []
     if not isinstance(report, dict):
         return [f"{label}: top level is not a JSON object"]
-    if report.get("schema_version") != SCHEMA_VERSION:
+    version = report.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         errors.append(
-            f"{label}: schema_version is {report.get('schema_version')!r}, "
-            f"expected {SCHEMA_VERSION}")
+            f"{label}: schema_version is {version!r}, "
+            f"expected one of {SUPPORTED_SCHEMA_VERSIONS}")
+        version = None
     if report.get("suite") not in ("quick", "full"):
         errors.append(f"{label}: suite is {report.get('suite')!r}, expected "
                       "'quick' or 'full'")
@@ -92,6 +109,47 @@ def validate_report(report, label):
                 if not _is_int(oss.get(key)) or oss.get(key) < 0:
                     errors.append(
                         f"{where}.oss.{key}: must be an integer >= 0")
+            if version == 2:
+                by_op = oss.get("by_op")
+                if not isinstance(by_op, dict):
+                    errors.append(
+                        f"{where}.oss.by_op: missing or not an object (v2)")
+                else:
+                    for op in OSS_OPS:
+                        if not _is_int(by_op.get(op)) or by_op.get(op) < 0:
+                            errors.append(f"{where}.oss.by_op.{op}: must be "
+                                          "an integer >= 0")
+                    unknown = set(by_op) - set(OSS_OPS)
+                    if unknown:
+                        errors.append(f"{where}.oss.by_op: unknown op(s) "
+                                      f"{sorted(unknown)}")
+                    if (_is_int(oss.get("requests")) and
+                            all(_is_int(by_op.get(op)) for op in OSS_OPS) and
+                            sum(by_op[op] for op in OSS_OPS)
+                            != oss["requests"]):
+                        errors.append(
+                            f"{where}.oss.by_op: op counts sum to "
+                            f"{sum(by_op[op] for op in OSS_OPS)}, but "
+                            f"requests is {oss['requests']}")
+        if version == 2:
+            cost = s.get("cost")
+            if not isinstance(cost, dict):
+                errors.append(f"{where}: 'cost' missing or not an object "
+                              "(v2)")
+            else:
+                parts_ok = True
+                for key in ("dollars", "request_dollars",
+                            "transfer_dollars"):
+                    if not _is_num(cost.get(key)) or cost.get(key) < 0:
+                        errors.append(
+                            f"{where}.cost.{key}: must be a number >= 0")
+                        parts_ok = False
+                if parts_ok and abs(cost["dollars"] -
+                                    (cost["request_dollars"] +
+                                     cost["transfer_dollars"])) > 1e-6:
+                    errors.append(
+                        f"{where}.cost: dollars {cost['dollars']} != "
+                        f"request_dollars + transfer_dollars")
         phases = s.get("phases")
         if not isinstance(phases, dict):
             errors.append(f"{where}: 'phases' missing or not an object")
@@ -137,14 +195,25 @@ def pct_delta(base, cur):
     return 100.0 * (cur - base) / base
 
 
-def compare(baseline, current):
-    """Prints the delta table; returns the list of regression strings."""
+def compare(baseline, current, throughput_warn_only=False):
+    """Prints the delta table; returns (regressions, warnings) lists.
+
+    The throughput gate moves to the warnings list under
+    throughput_warn_only; the deterministic request and cost gates are
+    always hard.
+    """
     base_by_name = {s["name"]: s for s in baseline["scenarios"]}
     cur_by_name = {s["name"]: s for s in current["scenarios"]}
+    both_v2 = (baseline.get("schema_version") == 2
+               and current.get("schema_version") == 2)
     regressions = []
+    warnings = []
 
-    print(f"{'scenario':<40} {'base MB/s':>10} {'cur MB/s':>10} "
-          f"{'delta':>8} {'base reqs':>10} {'cur reqs':>10} {'delta':>8}")
+    header = (f"{'scenario':<40} {'base MB/s':>10} {'cur MB/s':>10} "
+              f"{'delta':>8} {'base reqs':>10} {'cur reqs':>10} {'delta':>8}")
+    if both_v2:
+        header += f" {'base $':>11} {'cur $':>11} {'delta':>8}"
+    print(header)
     for name in sorted(base_by_name):
         if name not in cur_by_name:
             print(f"{name:<40} (missing from current report)")
@@ -159,20 +228,35 @@ def compare(baseline, current):
         marks = []
         if base_mbps > 0 and mbps_delta < -THROUGHPUT_REGRESSION_PCT:
             marks.append("THROUGHPUT")
-            regressions.append(
+            message = (
                 f"{name}: throughput {base_mbps:.1f} -> {cur_mbps:.1f} MB/s "
                 f"({mbps_delta:+.1f}%, limit -{THROUGHPUT_REGRESSION_PCT}%)")
+            (warnings if throughput_warn_only else regressions).append(message)
         if base_reqs > 0 and req_delta > OSS_REQUEST_INFLATION_PCT:
             marks.append("OSS-REQS")
             regressions.append(
                 f"{name}: OSS requests {base_reqs} -> {cur_reqs} "
                 f"({req_delta:+.1f}%, limit +{OSS_REQUEST_INFLATION_PCT}%)")
-        print(f"{name:<40} {base_mbps:>10.1f} {cur_mbps:>10.1f} "
-              f"{mbps_delta:>+7.1f}% {base_reqs:>10} {cur_reqs:>10} "
-              f"{req_delta:>+7.1f}%{'  <-- ' + ','.join(marks) if marks else ''}")
+        line = (f"{name:<40} {base_mbps:>10.1f} {cur_mbps:>10.1f} "
+                f"{mbps_delta:>+7.1f}% {base_reqs:>10} {cur_reqs:>10} "
+                f"{req_delta:>+7.1f}%")
+        if both_v2:
+            base_cost = base["cost"]["dollars"]
+            cur_cost = cur["cost"]["dollars"]
+            cost_delta = pct_delta(base_cost, cur_cost)
+            if base_cost > 0 and cost_delta > COST_INFLATION_PCT:
+                marks.append("COST")
+                regressions.append(
+                    f"{name}: cost ${base_cost:.6f} -> ${cur_cost:.6f} "
+                    f"({cost_delta:+.1f}%, limit +{COST_INFLATION_PCT}%)")
+            line += (f" {base_cost:>11.6f} {cur_cost:>11.6f} "
+                     f"{cost_delta:>+7.1f}%")
+        print(f"{line}{'  <-- ' + ','.join(marks) if marks else ''}")
     for name in sorted(set(cur_by_name) - set(base_by_name)):
         print(f"{name:<40} (new scenario, no baseline)")
-    return regressions
+    if not both_v2:
+        print("(cost gate skipped: both reports must be schema v2)")
+    return regressions, warnings
 
 
 def main(argv):
@@ -182,6 +266,11 @@ def main(argv):
                         help="schema-check one report and exit")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0")
+    parser.add_argument("--throughput-warn-only", action="store_true",
+                        help="hard-gate requests and cost (deterministic), "
+                             "only warn on throughput (machine noise)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="schema-check CURRENT and copy it over BASELINE")
     parser.add_argument("reports", nargs="*",
                         metavar="BASELINE CURRENT")
     args = parser.parse_args(argv)
@@ -198,6 +287,19 @@ def main(argv):
     if len(args.reports) != 2:
         parser.error("expected BASELINE and CURRENT reports "
                      "(or --validate REPORT)")
+
+    if args.update_baseline:
+        _, errors = load_report(args.reports[1])
+        for e in errors:
+            print(f"SCHEMA ERROR: {e}", file=sys.stderr)
+        if errors:
+            print(f"not updating {args.reports[0]}: current report is "
+                  "invalid", file=sys.stderr)
+            return 2
+        shutil.copyfile(args.reports[1], args.reports[0])
+        print(f"updated baseline {args.reports[0]} from {args.reports[1]}")
+        return 0
+
     baseline, base_errors = load_report(args.reports[0])
     current, cur_errors = load_report(args.reports[1])
     errors = base_errors + cur_errors
@@ -206,7 +308,10 @@ def main(argv):
     if errors:
         return 2
 
-    regressions = compare(baseline, current)
+    regressions, warnings = compare(
+        baseline, current, throughput_warn_only=args.throughput_warn_only)
+    for w in warnings:
+        print(f"WARNING (not gated): {w}", file=sys.stderr)
     if regressions:
         print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
         for r in regressions:

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Maintain a cross-commit BENCH series: one JSONL line per bench run.
+
+Usage:
+  bench_series.py append SERIES.jsonl REPORT.json [--commit SHA]
+                  [--label TEXT] [--timestamp UNIX_SECONDS]
+      Distills REPORT.json (BENCH schema v1 or v2) to one line holding
+      the headline number per scenario — throughput, OSS requests, and
+      (v2) dollars — and appends it to SERIES.jsonl. The series is the
+      repo's perf/cost trajectory over time; nightly CI appends to it
+      and uploads the result as an artifact.
+
+  bench_series.py render SERIES.jsonl [--scenario NAME]
+      Prints the trajectory, one row per appended run: how throughput,
+      request counts, and dollar cost moved commit over commit.
+
+Append is resilient by construction: each line is self-contained JSON,
+so a truncated final line (crashed run) never corrupts the history —
+render skips and counts it, like the event journal's readers.
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+def distill(report):
+    """One compact dict per scenario: the numbers worth tracking."""
+    scenarios = {}
+    for s in report.get("scenarios", []):
+        entry = {
+            "mbps": round(s["throughput_mbps"]["mean"], 3),
+            "wall_s": round(s["wall_seconds"]["mean"], 6),
+            "requests": s["oss"]["requests"],
+            "dedup": round(s.get("dedup_ratio", 0.0), 4),
+        }
+        if isinstance(s.get("cost"), dict):
+            entry["dollars"] = round(s["cost"]["dollars"], 8)
+        scenarios[s["name"]] = entry
+    return scenarios
+
+
+def cmd_append(args):
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.report}: {e}", file=sys.stderr)
+        return 2
+    if not isinstance(report, dict) or "scenarios" not in report:
+        print(f"error: {args.report}: not a BENCH report", file=sys.stderr)
+        return 2
+    line = {
+        "timestamp": args.timestamp if args.timestamp is not None
+        else int(time.time()),
+        "commit": args.commit,
+        "label": args.label,
+        "suite": report.get("suite"),
+        "schema_version": report.get("schema_version"),
+        "scenarios": distill(report),
+    }
+    with open(args.series, "a", encoding="utf-8") as f:
+        f.write(json.dumps(line, sort_keys=True) + "\n")
+    print(f"appended {len(line['scenarios'])} scenario(s) to {args.series}")
+    return 0
+
+
+def cmd_render(args):
+    try:
+        with open(args.series, "r", encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    entries = []
+    malformed = 0
+    for raw in raw_lines:
+        if not raw.strip():
+            continue
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            malformed += 1
+            continue
+        if isinstance(entry, dict) and isinstance(entry.get("scenarios"),
+                                                  dict):
+            entries.append(entry)
+        else:
+            malformed += 1
+    if not entries:
+        print(f"no series entries in {args.series}")
+        return 0
+
+    names = sorted({name for e in entries for name in e["scenarios"]
+                    if not args.scenario or args.scenario in name})
+    for name in names:
+        print(f"\n== {name} ==")
+        print(f"{'when':<17} {'commit':<12} {'label':<16} {'MB/s':>10} "
+              f"{'reqs':>10} {'cost $':>12}")
+        for e in entries:
+            s = e["scenarios"].get(name)
+            if s is None:
+                continue
+            when = time.strftime("%Y-%m-%d %H:%M",
+                                 time.localtime(e.get("timestamp", 0)))
+            commit = (e.get("commit") or "-")[:12]
+            label = (e.get("label") or "-")[:16]
+            dollars = s.get("dollars")
+            cost = f"{dollars:>12.6f}" if dollars is not None else f"{'-':>12}"
+            print(f"{when:<17} {commit:<12} {label:<16} {s['mbps']:>10.1f} "
+                  f"{s['requests']:>10} {cost}")
+    if malformed:
+        print(f"\n(skipped {malformed} malformed line(s))", file=sys.stderr)
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="append a report to the series")
+    p_append.add_argument("series", help="series JSONL path (created if "
+                          "missing)")
+    p_append.add_argument("report", help="BENCH report JSON to distill")
+    p_append.add_argument("--commit", default=None, help="commit SHA")
+    p_append.add_argument("--label", default=None, help="free-form run label")
+    p_append.add_argument("--timestamp", type=int, default=None,
+                          help="unix seconds (default: now)")
+    p_append.set_defaults(fn=cmd_append)
+
+    p_render = sub.add_parser("render", help="print the trajectory")
+    p_render.add_argument("series", help="series JSONL path")
+    p_render.add_argument("--scenario", default=None,
+                          help="substring filter on scenario names")
+    p_render.set_defaults(fn=cmd_render)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,8 +10,9 @@
 //   slim -r REPO gnode                     run the offline G-node pass
 //   slim -r REPO forget FILE VERSION       delete a version + GC
 //   slim -r REPO space                     space report
-//   slim -r REPO stats [--json|--prom]     metrics + recent trace spans
+//   slim -r REPO stats [--json|--prom]     metrics + job costs + trace spans
 //   slim -r REPO stats --trace OUT.json    dump spans as Chrome trace JSON
+//   slim -r REPO jobs [--tail N|--json]    read the job event journal
 //   slim -r REPO scrub                     detect corruption / lost replicas
 //   slim -r REPO repair                    scrub + repair what redundancy allows
 //   slim bench list                        list registered bench scenarios
@@ -20,12 +21,21 @@
 // `slim bench` needs no repository: scenarios build their own simulated
 // object stores. The global `--trace OUT.json` flag dumps the process
 // trace ring on exit for any command (backup, restore, gnode, ...).
+//
+// Every repo command runs inside a job scope ("cli:<command>") and the
+// store opens child jobs per backup/restore/G-node phase; each job's
+// OSS requests, bytes, and dollars (priced by --cost-model, S3-like
+// defaults) are appended to the <REPO>/journal/ event journal, which
+// `slim jobs` reads back. A cost-accounting layer wraps each physical
+// replica, so replication fan-out and retried attempts are billed the
+// way a cloud provider would bill them.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,9 +45,13 @@
 #include "durability/placement.h"
 #include "durability/replicating_object_store.h"
 #include "obs/bench_harness.h"
+#include "obs/cost_model.h"
 #include "obs/critical_path.h"
 #include "obs/export.h"
+#include "obs/job_context.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
+#include "oss/cost_accounting_object_store.h"
 #include "oss/disk_object_store.h"
 #include "oss/fault_injecting_object_store.h"
 #include "oss/retrying_object_store.h"
@@ -51,7 +65,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: slim -r REPO [--fault-profile SPEC] [--parity-group N] "
-      "[--trace OUT.json] COMMAND ...\n"
+      "[--trace OUT.json]\n"
+      "                 [--cost-model FILE] [--tenant NAME] COMMAND ...\n"
       "       slim bench list | run [--suite quick|full] [--filter F]\n"
       "                 [--repeats N] [--warmup N] [--seed S] [--verbose]\n"
       "                 [--out FILE]\n"
@@ -65,14 +80,17 @@ int Usage() {
       "  forget FILE VER           delete a version and collect garbage\n"
       "  space                     print the space report\n"
       "  verify                    check repository consistency\n"
-      "  stats [--json|--prom]     print OSS/pipeline metrics and recent "
-      "trace spans\n"
+      "  stats [--json|--prom]     print OSS/pipeline metrics, per-job "
+      "costs,\n"
+      "                            and recent trace spans\n"
       "  stats --trace OUT.json    also write spans as Chrome trace_event\n"
       "                            JSON (Perfetto / about:tracing)\n"
+      "  jobs [--tail N] [--json]  read the job event journal (what ran,\n"
+      "                            what it cost); default last 20 records\n"
       "  bench list                list registered bench scenarios\n"
       "  bench run [...]           run a bench suite; writes schema-\n"
       "                            versioned perf JSON (default "
-      "BENCH_5.json)\n"
+      "BENCH_6.json)\n"
       "  scrub                     verify checksums + replicas (detect "
       "only)\n"
       "  repair                    scrub and repair from redundancy\n"
@@ -83,7 +101,14 @@ int Usage() {
       "    SPEC is comma-separated preset names (transient-light,\n"
       "    transient-heavy, crash, permanent) and/or key=value overrides\n"
       "    (seed, transient, deadline_frac, spike_p, spike_ns, fail_after,\n"
-      "    permanent_prefix). Example: transient-heavy,seed=7\n");
+      "    permanent_prefix). Example: transient-heavy,seed=7\n"
+      "  --cost-model FILE         override the S3-like dollar tariffs;\n"
+      "    FILE holds `key = value` lines (put_request_dollars,\n"
+      "    get_request_dollars, list_request_dollars, head_request_dollars,\n"
+      "    delete_request_dollars, read_dollars_per_gb, write_dollars_per_gb,\n"
+      "    storage_dollars_per_gb_month)\n"
+      "  --tenant NAME             tag this invocation's jobs with a tenant\n"
+      "    for per-tenant cost rollups in the journal\n");
   return 2;
 }
 
@@ -104,7 +129,8 @@ class Repo {
   static Result<std::unique_ptr<Repo>> Open(
       const std::string& root, bool must_exist,
       const std::optional<oss::FaultProfile>& fault_profile,
-      uint32_t init_replicas, uint32_t parity_group) {
+      uint32_t init_replicas, uint32_t parity_group,
+      const obs::CostModel& cost_model, const std::string& tenant) {
     namespace fs = std::filesystem;
     uint32_t replica_count = 0;
     if (fs::is_directory(fs::path(root) / "replica-0")) {
@@ -131,7 +157,8 @@ class Repo {
       disks.push_back(std::move(disk).value());
     }
     auto repo = std::unique_ptr<Repo>(
-        new Repo(std::move(disks), fault_profile, parity_group));
+        new Repo(std::move(disks), fault_profile, parity_group, cost_model,
+                 tenant));
     auto marker = repo->base_->Exists("slim/state/catalog");
     if (marker.ok() && marker.value()) {
       Status s = repo->store_->OpenExisting();
@@ -163,15 +190,23 @@ class Repo {
  private:
   Repo(std::vector<std::unique_ptr<oss::DiskObjectStore>> disks,
        const std::optional<oss::FaultProfile>& fault_profile,
-       uint32_t parity_group)
+       uint32_t parity_group, const obs::CostModel& cost_model,
+       const std::string& tenant)
       : disks_(std::move(disks)) {
-    base_ = disks_[0].get();
-    if (disks_.size() >= 2) {
+    // Billing sits at the very bottom, one accountant per physical
+    // replica, so the durability tax shows up the way a provider bills
+    // it: k replicas = k billed PUTs, every retry attempt bills again.
+    for (const auto& d : disks_) {
+      accounting_.push_back(std::make_unique<oss::CostAccountingObjectStore>(
+          d.get(), cost_model));
+    }
+    base_ = accounting_[0].get();
+    if (accounting_.size() >= 2) {
       // k-way replication across the replica directories, arbitrated by
       // the CRC32C footer every SlimStore object carries: a bit-flipped
       // replica fails validation, so reads fail over and repair it.
       std::vector<oss::ObjectStore*> replicas;
-      for (const auto& d : disks_) replicas.push_back(d.get());
+      for (const auto& a : accounting_) replicas.push_back(a.get());
       replicating_ = std::make_unique<durability::ReplicatingObjectStore>(
           std::move(replicas), durability::PlacementPolicy(),
           [](std::string_view object) {
@@ -200,14 +235,16 @@ class Repo {
     }
     core::SlimStoreOptions options;
     options.backup.chunk_merging = true;
+    options.tenant = tenant;
     options.durability.replicated = replicating_.get();
     options.durability.scrub.parity_group_size = parity_group;
     store_ = std::make_unique<core::SlimStore>(top, options);
   }
 
   std::vector<std::unique_ptr<oss::DiskObjectStore>> disks_;
+  std::vector<std::unique_ptr<oss::CostAccountingObjectStore>> accounting_;
   std::unique_ptr<durability::ReplicatingObjectStore> replicating_;
-  oss::ObjectStore* base_ = nullptr;  // Replicating store or the one disk.
+  oss::ObjectStore* base_ = nullptr;  // Replicating store or accounting_[0].
   std::unique_ptr<oss::SimulatedOss> metered_;
   std::unique_ptr<oss::FaultInjectingObjectStore> faulty_;
   std::unique_ptr<oss::RetryingObjectStore> retrying_;
@@ -226,6 +263,10 @@ int Fail(const Status& status) {
 // Set by the global --trace flag; dumped by an atexit handler so every
 // command path (including early returns) produces the trace file.
 std::string g_trace_path;
+
+// Tariffs for the cost-accounting layer and the bench cost block;
+// S3-like defaults unless --cost-model overrides them.
+obs::CostModel g_cost_model;
 
 void DumpTraceAtExit() {
   std::string json = obs::ChromeTraceJson(obs::TraceSink::Get().Snapshot());
@@ -255,7 +296,8 @@ int RunBenchCommand(int argc, char** argv, int argi) {
   if (sub != "run") return Usage();
 
   obs::BenchRunOptions options;
-  std::string out_path = "BENCH_5.json";
+  options.cost_model = g_cost_model;
+  std::string out_path = "BENCH_6.json";
   for (; argi < argc; ++argi) {
     std::string arg = argv[argi];
     auto next = [&]() -> const char* {
@@ -305,11 +347,111 @@ int RunBenchCommand(int argc, char** argv, int argi) {
   return 0;
 }
 
+// Per-job cost table for `slim stats`: every job this process ran (or
+// still has open), the process totals, and the explicit unattributed
+// remainder — leaked charges are reported, never silently dropped.
+std::string RenderJobCosts() {
+  std::vector<obs::JobSummary> jobs = obs::JobRegistry::Get().Summaries();
+  obs::JobCost totals = obs::JobRegistry::Get().totals();
+  obs::JobCost unattributed = obs::JobRegistry::Get().unattributed();
+  if (jobs.empty() && totals.total_requests() == 0) return "";
+  std::string out = "\n-- job costs --\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-5s %-6s %-13s %-28s %8s %9s %9s %12s  %s\n", "job",
+                "parent", "kind", "name", "reqs", "rd MB", "wr MB", "cost $",
+                "outcome");
+  out += buf;
+  for (const auto& j : jobs) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-5llu %-6llu %-13s %-28.28s %8llu %9.2f %9.2f %12.6f  "
+                  "%s\n",
+                  (unsigned long long)j.job_id,
+                  (unsigned long long)j.parent_id, j.kind.c_str(),
+                  j.name.c_str(),
+                  (unsigned long long)j.cost.total_requests(),
+                  Mb(j.cost.bytes_read), Mb(j.cost.bytes_written),
+                  j.cost.dollars(),
+                  j.outcome.empty() ? "running" : j.outcome.c_str());
+    out += buf;
+  }
+  uint64_t total_reqs = totals.total_requests();
+  uint64_t unattr_reqs = unattributed.total_requests();
+  std::snprintf(buf, sizeof(buf),
+                "totals: %llu request(s), %.2f MB read, %.2f MB written, "
+                "$%.6f\n",
+                (unsigned long long)total_reqs, Mb(totals.bytes_read),
+                Mb(totals.bytes_written), totals.dollars());
+  out += buf;
+  double coverage =
+      total_reqs == 0
+          ? 100.0
+          : 100.0 * (1.0 - static_cast<double>(unattr_reqs) /
+                               static_cast<double>(total_reqs));
+  std::snprintf(buf, sizeof(buf),
+                "unattributed: %llu request(s), $%.6f (attribution "
+                "%.1f%%)\n",
+                (unsigned long long)unattr_reqs, unattributed.dollars(),
+                coverage);
+  out += buf;
+  return out;
+}
+
+// `slim jobs` — reads the on-disk event journal without opening the
+// repository, so the cost history is available even when the repo
+// itself cannot be opened.
+int RunJobsCommand(const std::string& repo_root, size_t tail, bool json) {
+  std::string dir =
+      (std::filesystem::path(repo_root) / "journal").string();
+  obs::JournalReadResult result = obs::EventJournal::ReadAll(dir);
+  if (result.records.empty()) {
+    std::printf("no journal records at %s\n", dir.c_str());
+    return 0;
+  }
+  size_t begin =
+      result.records.size() > tail ? result.records.size() - tail : 0;
+  if (json) {
+    for (size_t i = begin; i < result.records.size(); ++i) {
+      std::printf("%s\n", result.records[i].c_str());
+    }
+  } else {
+    std::printf("%-5s %-6s %-13s %-32s %9s %8s %9s %12s  %s\n", "job",
+                "parent", "kind", "name", "wall ms", "reqs", "MB",
+                "cost $", "outcome");
+    for (size_t i = begin; i < result.records.size(); ++i) {
+      const std::string& r = result.records[i];
+      double job = 0, parent = 0, wall = 0, reqs = 0, rb = 0, wb = 0;
+      double dollars = 0;
+      std::string kind, name, outcome;
+      obs::EventJournal::ExtractNumber(r, "job", &job);
+      obs::EventJournal::ExtractNumber(r, "parent", &parent);
+      obs::EventJournal::ExtractNumber(r, "wall_ms", &wall);
+      obs::EventJournal::ExtractNumber(r, "requests", &reqs);
+      obs::EventJournal::ExtractNumber(r, "bytes_read", &rb);
+      obs::EventJournal::ExtractNumber(r, "bytes_written", &wb);
+      obs::EventJournal::ExtractNumber(r, "dollars", &dollars);
+      obs::EventJournal::ExtractString(r, "kind", &kind);
+      obs::EventJournal::ExtractString(r, "name", &name);
+      obs::EventJournal::ExtractString(r, "outcome", &outcome);
+      std::printf("%-5.0f %-6.0f %-13s %-32.32s %9.1f %8.0f %9.2f %12.6f"
+                  "  %s\n",
+                  job, parent, kind.c_str(), name.c_str(), wall, reqs,
+                  (rb + wb) / (1024.0 * 1024.0), dollars, outcome.c_str());
+    }
+  }
+  if (result.malformed_records != 0) {
+    std::fprintf(stderr, "note: skipped %llu malformed record(s)\n",
+                 (unsigned long long)result.malformed_records);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string repo_root;
   std::optional<oss::FaultProfile> fault_profile;
+  std::string tenant;
   uint32_t parity_group = 0;
   int argi = 1;
   while (argi + 1 < argc) {
@@ -327,6 +469,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[argi], "--trace") == 0) {
       g_trace_path = argv[argi + 1];
       argi += 2;
+    } else if (std::strcmp(argv[argi], "--cost-model") == 0) {
+      std::ifstream in(argv[argi + 1], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot read cost model file %s\n",
+                     argv[argi + 1]);
+        return 2;
+      }
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      std::string error;
+      if (!obs::ParseCostModel(text, &g_cost_model, &error)) {
+        std::fprintf(stderr, "error: %s: %s\n", argv[argi + 1],
+                     error.c_str());
+        return 2;
+      }
+      argi += 2;
+    } else if (std::strcmp(argv[argi], "--tenant") == 0) {
+      tenant = argv[argi + 1];
+      argi += 2;
     } else {
       break;
     }
@@ -338,6 +499,22 @@ int main(int argc, char** argv) {
   if (repo_root.empty() || argi >= argc) return Usage();
   std::string command = argv[argi++];
 
+  if (command == "jobs") {
+    size_t tail = 20;
+    bool json = false;
+    for (; argi < argc; ++argi) {
+      if (std::strcmp(argv[argi], "--json") == 0) {
+        json = true;
+      } else if (std::strcmp(argv[argi], "--tail") == 0 &&
+                 argi + 1 < argc) {
+        tail = static_cast<size_t>(std::stoul(argv[++argi]));
+      } else {
+        return Usage();
+      }
+    }
+    return RunJobsCommand(repo_root, tail, json);
+  }
+
   uint32_t init_replicas = 0;
   if (command == "init" && argi + 1 < argc &&
       std::strcmp(argv[argi], "--replicas") == 0) {
@@ -345,10 +522,25 @@ int main(int argc, char** argv) {
     argi += 2;
   }
 
+  // Journal + CLI-root job scope for every repo command. The journal
+  // lives beside the object tree; DiskObjectStore::List only yields
+  // regular files at its root, so the subdirectory is invisible to the
+  // store. Journal records land when scopes close, invocation last.
+  std::string journal_dir =
+      (std::filesystem::path(repo_root) / "journal").string();
+  if (!obs::EventJournal::Get().Configure({journal_dir})) {
+    std::fprintf(stderr, "warning: cannot open journal at %s\n",
+                 journal_dir.c_str());
+  }
+  obs::JobScope cli_job("cli", "cli:" + command, tenant);
+
   bool must_exist = command != "init";
   auto repo = Repo::Open(repo_root, must_exist, fault_profile,
-                         init_replicas, parity_group);
-  if (!repo.ok()) return Fail(repo.status());
+                         init_replicas, parity_group, g_cost_model, tenant);
+  if (!repo.ok()) {
+    cli_job.SetError(repo.status().ToString());
+    return Fail(repo.status());
+  }
   core::SlimStore* store = repo.value()->store();
 
   if (command == "init") {
@@ -559,6 +751,7 @@ int main(int argc, char** argv) {
     if (!space.ok()) return Fail(space.status());
     std::printf("%s", core::SlimStore::GetMetricsReport(format).c_str());
     if (format == obs::ExportFormat::kTable) {
+      std::printf("%s", RenderJobCosts().c_str());
       std::printf("%s", obs::RenderTrace(obs::TraceSink::Get()).c_str());
       auto reports =
           obs::AnalyzeCriticalPaths(obs::TraceSink::Get().Snapshot());
