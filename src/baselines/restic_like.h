@@ -61,7 +61,7 @@ class ResticLike {
 
   /// The repository lock: Restic's shared index forces one writer at a
   /// time; index reads during restore take it too.
-  mutable Mutex repo_mu_;
+  mutable Mutex repo_mu_{"baselines.restic_repo"};
   std::unordered_map<Fingerprint, format::ChunkRecord> global_index_
       SLIM_GUARDED_BY(repo_mu_);
   std::unordered_map<std::string, uint64_t> versions_

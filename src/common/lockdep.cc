@@ -1,0 +1,444 @@
+#include "common/lockdep.h"
+
+#if SLIM_LOCKDEP_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>  // lockdep internals cannot use the instrumented wrappers
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace slim::lockdep {
+namespace {
+
+// Hard caps: the lock population is small and static (one class per
+// named mutex declaration), and a bounded graph keeps every check
+// allocation-free on the acquisition path.
+constexpr size_t kMaxClasses = 128;
+constexpr size_t kMaxHeldLocks = 32;
+
+uint64_t NowNanosImpl() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Site {
+  const char* file = nullptr;
+  int line = 0;
+};
+
+/// Where the two endpoints of an acquired-before edge were observed the
+/// first time the edge was recorded: `from` was held (acquired at
+/// from_site) when `to` was acquired at to_site.
+struct EdgeSite {
+  Site from_site;
+  Site to_site;
+};
+
+struct LockClass {
+  const char* name = nullptr;  // String literal from the mutex ctor.
+  // Lazily resolved metric handles (never resolved under g_mu; see
+  // ResolveMetrics). Null until first contact.
+  std::atomic<obs::Histogram*> wait_us{nullptr};
+  std::atomic<obs::Histogram*> hold_us{nullptr};
+  std::atomic<obs::Counter*> contentions{nullptr};
+};
+
+struct HeldLock {
+  const void* lock = nullptr;
+  uint32_t class_id = 0;
+  Mode mode = Mode::kExclusive;
+  Site site;
+  uint64_t acquire_nanos = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Global state. g_mu guards the class table, the acquired-before graph,
+// and the warn-once set. Critical sections touch plain memory only —
+// never the MetricsRegistry or Logger (whose own slim::Mutex release
+// hooks re-enter lockdep while their raw mutex is still held).
+// ---------------------------------------------------------------------------
+
+std::mutex g_mu;
+LockClass g_classes[kMaxClasses];
+size_t g_class_count = 0;  // Guarded by g_mu.
+
+// g_edges[from][to] != 0 <=> "from acquired before to" was observed.
+uint8_t g_edges[kMaxClasses][kMaxClasses];         // Guarded by g_mu.
+EdgeSite g_edge_sites[kMaxClasses][kMaxClasses];   // Guarded by g_mu.
+
+// (held class, op) pairs already warned about by CheckBlockingCall.
+std::set<std::pair<uint32_t, std::string>>* g_warned = nullptr;  // g_mu.
+
+// Thread-local held-lock stack. No locking: only the owning thread
+// touches it.
+thread_local HeldLock tl_held[kMaxHeldLocks];
+thread_local size_t tl_held_count = 0;
+
+// Reentrancy guard: lockdep resolves metric handles through the
+// MetricsRegistry and warns through the Logger, both of which lock
+// instrumented slim::Mutexes. While set, every hook is a no-op.
+thread_local bool tl_in_lockdep = false;
+
+bool RuntimeEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SLIM_LOCKDEP");
+    return env == nullptr || (std::strcmp(env, "0") != 0 &&
+                              std::strcmp(env, "off") != 0);
+  }();
+  return enabled;
+}
+
+const char* SiteFile(const Site& site) {
+  return site.file != nullptr ? site.file : "<unknown>";
+}
+
+// Registers (or finds) the class for `name`. Names compare by content:
+// the same literal in two translation units may have two addresses.
+uint32_t ClassIdLocked(const char* name) {
+  for (size_t i = 0; i < g_class_count; ++i) {
+    if (g_classes[i].name == name ||
+        std::strcmp(g_classes[i].name, name) == 0) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  if (g_class_count >= kMaxClasses) {
+    std::fprintf(stderr,
+                 "FATAL: lockdep: more than %zu lock classes (adding "
+                 "\"%s\"); raise kMaxClasses in common/lockdep.cc\n",
+                 kMaxClasses, name);
+    std::abort();
+  }
+  g_classes[g_class_count].name = name;
+  return static_cast<uint32_t>(g_class_count++);
+}
+
+// Depth-first path existence check over the edge matrix, recording the
+// path (class ids) into *path when found.
+bool FindPathLocked(uint32_t from, uint32_t to, std::vector<uint32_t>* path,
+                    uint64_t* visited) {
+  if (from == to) {
+    path->push_back(from);
+    return true;
+  }
+  visited[from / 64] |= (uint64_t{1} << (from % 64));
+  for (uint32_t next = 0; next < g_class_count; ++next) {
+    if (!g_edges[from][next]) continue;
+    if ((visited[next / 64] >> (next % 64)) & 1) continue;
+    if (FindPathLocked(next, to, path, visited)) {
+      path->push_back(from);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendHeldChain(std::string* out) {
+  if (tl_held_count == 0) {
+    *out += "    (no other locks held)\n";
+    return;
+  }
+  for (size_t i = 0; i < tl_held_count; ++i) {
+    const HeldLock& h = tl_held[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "    #%zu %s (%s) acquired at %s:%d\n",
+                  i, g_classes[h.class_id].name,
+                  h.mode == Mode::kShared ? "shared" : "exclusive",
+                  SiteFile(h.site), h.site.line);
+    *out += buf;
+  }
+}
+
+[[noreturn]] void Die(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Resolves the per-class metric handles outside g_mu (the registry
+// lookup locks an instrumented mutex whose hooks are suppressed by
+// tl_in_lockdep). Races are benign: the registry returns one stable
+// pointer per name.
+obs::Histogram* ResolveHistogram(std::atomic<obs::Histogram*>* slot,
+                                 const char* name, const char* suffix) {
+  obs::Histogram* h = slot->load(std::memory_order_acquire);
+  if (h != nullptr) return h;
+  tl_in_lockdep = true;
+  h = &obs::MetricsRegistry::Get().histogram(std::string("lock.") + name +
+                                             suffix);
+  tl_in_lockdep = false;
+  slot->store(h, std::memory_order_release);
+  return h;
+}
+
+obs::Counter* ResolveCounter(std::atomic<obs::Counter*>* slot,
+                             const std::string& name) {
+  obs::Counter* c = slot->load(std::memory_order_acquire);
+  if (c != nullptr) return c;
+  tl_in_lockdep = true;
+  c = &obs::MetricsRegistry::Get().counter(name);
+  tl_in_lockdep = false;
+  slot->store(c, std::memory_order_release);
+  return c;
+}
+
+// Optional end-of-process dump of the learned acquired-before graph
+// (SLIM_LOCKDEP_DUMP=<path>, "-" = stderr). Feeds rank assignment in
+// tools/lock_hierarchy.json.
+void DumpGraphAtExit() {
+  const char* path = std::getenv("SLIM_LOCKDEP_DUMP");
+  if (path == nullptr) return;
+  std::FILE* out = std::strcmp(path, "-") == 0 ? stderr
+                                               : std::fopen(path, "a");
+  if (out == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (uint32_t from = 0; from < g_class_count; ++from) {
+    for (uint32_t to = 0; to < g_class_count; ++to) {
+      if (!g_edges[from][to]) continue;
+      const EdgeSite& site = g_edge_sites[from][to];
+      std::fprintf(out, "lockdep-edge %s -> %s  (%s:%d -> %s:%d)\n",
+                   g_classes[from].name, g_classes[to].name,
+                   SiteFile(site.from_site), site.from_site.line,
+                   SiteFile(site.to_site), site.to_site.line);
+    }
+  }
+  if (out != stderr) std::fclose(out);
+}
+
+void RegisterDumpOnce() {
+  static const bool registered = [] {
+    if (std::getenv("SLIM_LOCKDEP_DUMP") != nullptr) {
+      std::atexit(DumpGraphAtExit);
+    }
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+bool Enabled() { return RuntimeEnabled(); }
+
+size_t HeldLockCount() { return tl_held_count; }
+
+void OnAcquire(const void* lock, const char* name, Mode mode,
+               const char* file, int line) {
+  if (tl_in_lockdep || !RuntimeEnabled()) return;
+  RegisterDumpOnce();
+
+  uint32_t class_id;
+  {
+    std::unique_lock<std::mutex> guard(g_mu);
+    class_id = ClassIdLocked(name);
+
+    // Self-recursion / upgrade checks against the held stack.
+    for (size_t i = 0; i < tl_held_count; ++i) {
+      const HeldLock& h = tl_held[i];
+      if (h.class_id != class_id) continue;
+      std::string report = "FATAL: lockdep: ";
+      if (h.lock == lock && h.mode == Mode::kShared &&
+          mode == Mode::kExclusive) {
+        report += "shared->exclusive upgrade of \"" + std::string(name) +
+                  "\" (deadlocks against a concurrent upgrader)\n";
+      } else if (h.lock == lock) {
+        report += "recursive acquisition of \"" + std::string(name) +
+                  "\" (lock is not reentrant)\n";
+      } else {
+        report += "acquiring \"" + std::string(name) +
+                  "\" while already holding another lock of the same class "
+                  "(unordered same-class nesting deadlocks under ABBA)\n";
+      }
+      char buf[512];
+      std::snprintf(buf, sizeof(buf), "  acquiring: %s (%s) at %s:%d\n", name,
+                    mode == Mode::kShared ? "shared" : "exclusive",
+                    file != nullptr ? file : "<unknown>", line);
+      report += buf;
+      report += "  while holding:\n";
+      AppendHeldChain(&report);
+      Die(report);
+    }
+
+    // Ordering: every held class gains an acquired-before edge to this
+    // class. A new edge that closes a cycle is a potential ABBA deadlock.
+    for (size_t i = 0; i < tl_held_count; ++i) {
+      const HeldLock& h = tl_held[i];
+      uint32_t from = h.class_id;
+      if (g_edges[from][class_id]) continue;  // Known-good order.
+      std::vector<uint32_t> path;
+      uint64_t visited[kMaxClasses / 64 + 1] = {0};
+      if (FindPathLocked(class_id, from, &path, visited)) {
+        // path is recorded backwards: class_id ... from.
+        std::string report =
+            "FATAL: lockdep: lock-order cycle (potential ABBA deadlock)\n";
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "  this thread acquires: %s (%s) at %s:%d\n", name,
+                      mode == Mode::kShared ? "shared" : "exclusive",
+                      file != nullptr ? file : "<unknown>", line);
+        report += buf;
+        report += "  while holding:\n";
+        AppendHeldChain(&report);
+        report += "  which contradicts the previously recorded order:\n";
+        for (size_t j = path.size(); j-- > 1;) {
+          uint32_t a = path[j];
+          uint32_t b = path[j - 1];
+          const EdgeSite& site = g_edge_sites[a][b];
+          std::snprintf(buf, sizeof(buf),
+                        "    %s -> %s (%s held at %s:%d, %s acquired at "
+                        "%s:%d)\n",
+                        g_classes[a].name, g_classes[b].name,
+                        g_classes[a].name, SiteFile(site.from_site),
+                        site.from_site.line, g_classes[b].name,
+                        SiteFile(site.to_site), site.to_site.line);
+          report += buf;
+        }
+        report +=
+            "  fix: acquire these locks in one global order everywhere "
+            "(see tools/lock_hierarchy.json)\n";
+        Die(report);
+      }
+      g_edges[from][class_id] = 1;
+      g_edge_sites[from][class_id] =
+          EdgeSite{h.site, Site{file, line}};
+    }
+  }  // Release g_mu before touching the registry.
+
+  // Resolve the class's metric handles *before* the lock is taken. The
+  // registry lookup locks the (instrumented) registry mutex; resolving
+  // after acquisition would self-deadlock the first time the mutex
+  // being instrumented IS the registry's own lock. OnAcquired/OnRelease
+  // only ever use the cached handles.
+  LockClass& cls = g_classes[class_id];
+  if (cls.wait_us.load(std::memory_order_acquire) == nullptr) {
+    ResolveHistogram(&cls.wait_us, cls.name, ".wait_us");
+    ResolveHistogram(&cls.hold_us, cls.name, ".hold_us");
+    ResolveCounter(&cls.contentions,
+                   std::string("lock.") + cls.name + ".contentions");
+  }
+}
+
+void OnAcquired(const void* lock, const char* name, Mode mode,
+                const char* file, int line, uint64_t wait_nanos) {
+  if (tl_in_lockdep || !RuntimeEnabled()) return;
+  uint32_t class_id;
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+    class_id = ClassIdLocked(name);
+  }
+  if (tl_held_count >= kMaxHeldLocks) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "FATAL: lockdep: thread holds more than %zu locks "
+                  "(acquiring \"%s\" at %s:%d)\n",
+                  kMaxHeldLocks, name, file != nullptr ? file : "<unknown>",
+                  line);
+    Die(buf);
+  }
+  tl_held[tl_held_count++] =
+      HeldLock{lock, class_id, mode, Site{file, line}, NowNanosImpl()};
+
+  // Cached handles only (lock-free atomics): the calling thread holds
+  // the lock right now, and a registry lookup here would self-deadlock
+  // on the registry's own mutex. Null (TryLock before any Lock of this
+  // class resolved the handles) just skips the sample.
+  LockClass& cls = g_classes[class_id];
+  if (obs::Histogram* wait = cls.wait_us.load(std::memory_order_acquire)) {
+    wait->Record(wait_nanos / 1000);
+  }
+  if (wait_nanos != 0) {
+    if (obs::Counter* c = cls.contentions.load(std::memory_order_acquire)) {
+      c->Inc();
+    }
+  }
+}
+
+void OnRelease(const void* lock) {
+  if (tl_in_lockdep || !RuntimeEnabled()) return;
+  // Locks may be released out of acquisition order; scan from the top.
+  for (size_t i = tl_held_count; i-- > 0;) {
+    if (tl_held[i].lock != lock) continue;
+    const HeldLock held = tl_held[i];
+    for (size_t j = i + 1; j < tl_held_count; ++j) {
+      tl_held[j - 1] = tl_held[j];
+    }
+    --tl_held_count;
+    LockClass& cls = g_classes[held.class_id];
+    if (obs::Histogram* hold = cls.hold_us.load(std::memory_order_acquire)) {
+      hold->Record((NowNanosImpl() - held.acquire_nanos) / 1000);
+    }
+    return;
+  }
+  // Not found: acquired while lockdep was suppressed (registry /
+  // logger internals) or before runtime enablement. Ignore.
+}
+
+void OnCondVarWait(const void* mu) {
+  if (tl_in_lockdep || !RuntimeEnabled()) return;
+  if (tl_held_count == 1 && tl_held[0].lock == mu) return;
+  bool holds_mu = false;
+  for (size_t i = 0; i < tl_held_count; ++i) {
+    if (tl_held[i].lock == mu) holds_mu = true;
+  }
+  std::string report =
+      "FATAL: lockdep: CondVar::Wait while holding additional locks\n";
+  if (!holds_mu) {
+    report =
+        "FATAL: lockdep: CondVar::Wait on a mutex the thread does not "
+        "hold\n";
+  }
+  report +=
+      "  Wait() releases only its own mutex; every other held lock "
+      "stays locked for the whole sleep and deadlocks any thread that "
+      "needs it to deliver the wakeup.\n";
+  report += "  held locks:\n";
+  std::lock_guard<std::mutex> guard(g_mu);
+  AppendHeldChain(&report);
+  Die(report);
+}
+
+void CheckBlockingCall(const char* op) {
+  if (tl_in_lockdep || !RuntimeEnabled()) return;
+  if (tl_held_count == 0) return;
+  static std::atomic<obs::Counter*> counter{nullptr};
+  ResolveCounter(&counter, "lockdep.blocking_while_locked")->Inc();
+
+  const HeldLock& top = tl_held[tl_held_count - 1];
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+    if (g_warned == nullptr) {
+      g_warned = new std::set<std::pair<uint32_t, std::string>>();  // lint:allow-new (leaky singleton)
+    }
+    if (!g_warned->emplace(top.class_id, op).second) return;
+  }
+  std::string msg = std::string("blocking OSS call `") + op +
+                    "` while holding lock(s) — the lock serializes "
+                    "behind a network round trip:\n";
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+    AppendHeldChain(&msg);
+  }
+  if (!msg.empty() && msg.back() == '\n') msg.pop_back();
+  LogWarn("lockdep", msg);
+}
+
+void ResetGraphForTest() {
+  std::lock_guard<std::mutex> guard(g_mu);
+  std::memset(g_edges, 0, sizeof(g_edges));
+  delete g_warned;
+  g_warned = nullptr;
+}
+
+uint64_t NowNanos() { return NowNanosImpl(); }
+
+}  // namespace slim::lockdep
+
+#endif  // SLIM_LOCKDEP_ENABLED

@@ -1,0 +1,112 @@
+#ifndef SLIMSTORE_COMMON_LOCKDEP_H_
+#define SLIMSTORE_COMMON_LOCKDEP_H_
+
+/// Runtime lock-order (deadlock) detection — a lockdep in the Linux
+/// kernel tradition, scaled down to SlimStore's lock population.
+///
+/// Every slim::Mutex / slim::SharedMutex is constructed with a static
+/// *name* (a string literal, e.g. "index.dedup_cache"). All mutexes
+/// sharing a name form one **lock class**: ordering is learned and
+/// enforced per class, not per instance, so a single test run that
+/// takes `core.gnode` before `core.catalog` teaches the detector that
+/// order for every future pair of instances.
+///
+/// Under -DSLIM_LOCKDEP=ON (CMake option, defines SLIM_LOCKDEP_ENABLED)
+/// each thread tracks its held-lock stack and every acquisition:
+///
+///   * adds acquired-before edges from each held class to the acquired
+///     class in a global directed graph; an edge that closes a cycle is
+///     a potential ABBA deadlock and aborts the process with both
+///     acquisition chains and their file:line sites;
+///   * aborts on self-recursion (same lock or same class already held);
+///   * aborts on a shared -> exclusive upgrade of a SharedMutex;
+///   * aborts when CondVar::Wait is entered while a second lock is held
+///     (the wait releases only its own mutex: anything else held blocks
+///     every thread that needs it for the whole sleep);
+///   * records per-class `lock.<name>.wait_us` / `lock.<name>.hold_us`
+///     histograms in the MetricsRegistry, so `slim stats` can show a
+///     lock-contention table;
+///   * warns (once per class/op pair) when a blocking OSS call is made
+///     while any lock is held — a latency hazard that serializes the
+///     lock behind a network round trip.
+///
+/// Without the option every hook compiles to nothing: slim::Mutex is a
+/// plain std::mutex plus one stored name pointer, and release builds
+/// pay zero per-acquisition cost.
+///
+/// The static companion is tools/lockcheck.py, which checks the same
+/// class names against the committed rank manifest
+/// (tools/lock_hierarchy.json) without running anything.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slim::lockdep {
+
+/// How a lock is (being) held. Exclusive covers Mutex::Lock and
+/// SharedMutex::Lock; shared covers SharedMutex::LockShared.
+enum class Mode : uint8_t { kExclusive = 0, kShared = 1 };
+
+#if SLIM_LOCKDEP_ENABLED
+
+/// Pre-acquisition hook: runs every ordering check against the calling
+/// thread's held-lock stack *before* blocking on the lock, so a
+/// detected inversion reports instead of deadlocking. `lock` is the
+/// mutex address, `name` its class name literal. Aborts on violation.
+void OnAcquire(const void* lock, const char* name, Mode mode,
+               const char* file, int line);
+
+/// Post-acquisition hook: pushes the lock onto the held stack and
+/// records the observed wait (contention) time.
+void OnAcquired(const void* lock, const char* name, Mode mode,
+                const char* file, int line, uint64_t wait_nanos);
+
+/// Release hook: pops the lock (held locks may be released out of
+/// order; the stack is scanned from the top) and records hold time.
+void OnRelease(const void* lock);
+
+/// CondVar::Wait entry hook: aborts unless the calling thread's entire
+/// held set is exactly `mu` (waiting while holding a second lock parks
+/// that lock for the full sleep). Called with `mu` still held.
+void OnCondVarWait(const void* mu);
+
+/// Number of locks the calling thread currently holds.
+size_t HeldLockCount();
+
+/// Logs a rate-limited warning (and bumps lockdep.blocking_while_locked)
+/// when the calling thread performs blocking operation `op` — an OSS
+/// round trip — while holding any lock. The warning carries the held
+/// chain with file:line sites and joins logs/traces via the ambient
+/// job/span correlation tag.
+void CheckBlockingCall(const char* op);
+
+/// True when lockdep is active (compiled in and not disabled via the
+/// SLIM_LOCKDEP=0 environment escape hatch, checked once at startup).
+bool Enabled();
+
+/// Monotonic nanoseconds, used by the mutex wrappers to time lock waits
+/// without dragging <chrono> into every includer of mutex.h.
+uint64_t NowNanos();
+
+/// Test hook: forget every learned acquired-before edge (lock classes
+/// and their metrics survive). Lets one process test contradictory
+/// orderings without cross-test poisoning. Not for production code.
+void ResetGraphForTest();
+
+#else  // !SLIM_LOCKDEP_ENABLED
+
+inline void OnAcquire(const void*, const char*, Mode, const char*, int) {}
+inline void OnAcquired(const void*, const char*, Mode, const char*, int,
+                       uint64_t) {}
+inline void OnRelease(const void*) {}
+inline void OnCondVarWait(const void*) {}
+inline size_t HeldLockCount() { return 0; }
+inline void CheckBlockingCall(const char*) {}
+inline bool Enabled() { return false; }
+inline void ResetGraphForTest() {}
+
+#endif  // SLIM_LOCKDEP_ENABLED
+
+}  // namespace slim::lockdep
+
+#endif  // SLIMSTORE_COMMON_LOCKDEP_H_

@@ -111,7 +111,7 @@ class Logger {
   }
 
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  Mutex mu_;
+  Mutex mu_{"common.logger"};
   Sink sink_ SLIM_GUARDED_BY(mu_);
   obs::Gauge* warnings_;
   obs::Gauge* errors_;

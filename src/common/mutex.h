@@ -5,35 +5,98 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lockdep.h"
 #include "common/thread_annotations.h"
 
 namespace slim {
 
+/// Every slim::Mutex / slim::SharedMutex is constructed with a static
+/// *class name* — a string literal, dotted like a metric name
+/// ("index.dedup_cache"). All instances sharing a name form one lock
+/// class; tools/lock_hierarchy.json ranks every class into a single
+/// global acquisition order, tools/lockcheck.py verifies that order
+/// statically, and under -DSLIM_LOCKDEP=ON the runtime detector in
+/// common/lockdep.h enforces it (plus recursion / upgrade / CondVar
+/// hazards) on every acquisition. In normal builds the name is one
+/// stored pointer and the wrappers stay plain std::mutex.
+///
+/// Call-site capture: under lockdep the locking methods take hidden
+/// __builtin_FILE()/__builtin_LINE() default arguments, so violation
+/// reports carry real acquisition sites with no macro at the call site.
+#if SLIM_LOCKDEP_ENABLED
+#define SLIM_LOCKDEP_SITE_PARAMS \
+  const char* slim_file = __builtin_FILE(), int slim_line = __builtin_LINE()
+#endif
+
 /// Capability-annotated wrapper around std::mutex. All SlimStore code
 /// uses this (never raw std::mutex) so that clang's `-Wthread-safety`
 /// can prove every access to SLIM_GUARDED_BY state happens under the
-/// right lock. Zero overhead: the wrapper is a plain std::mutex plus
-/// attributes the optimizer never sees.
+/// right lock. Zero overhead in normal builds: the wrapper is a plain
+/// std::mutex plus a name pointer and attributes the optimizer never
+/// sees.
 class SLIM_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// `name` must be a string literal (static storage): it names this
+  /// mutex's lock class in lockdep reports, the `lock.<name>.*`
+  /// metrics, and the committed lock hierarchy.
+  explicit Mutex(const char* name) : name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+  const char* name() const { return name_; }
+
+#if SLIM_LOCKDEP_ENABLED
+  void Lock(SLIM_LOCKDEP_SITE_PARAMS) SLIM_ACQUIRE() {
+    lockdep::OnAcquire(this, name_, lockdep::Mode::kExclusive, slim_file,
+                       slim_line);
+    uint64_t wait_nanos = 0;
+    if (!mu_.try_lock()) {
+      uint64_t start = lockdep::NowNanos();
+      mu_.lock();
+      wait_nanos = lockdep::NowNanos() - start;
+    }
+    lockdep::OnAcquired(this, name_, lockdep::Mode::kExclusive, slim_file,
+                        slim_line, wait_nanos);
+  }
+  void Unlock() SLIM_RELEASE() {
+    // Hook strictly *after* the real unlock: OnRelease may touch the
+    // MetricsRegistry, and running it while this mutex is still held
+    // would self-deadlock when this IS the registry's own mutex.
+    mu_.unlock();
+    lockdep::OnRelease(this);
+  }
+  bool TryLock(SLIM_LOCKDEP_SITE_PARAMS) SLIM_TRY_ACQUIRE(true) {
+    // A try-lock cannot deadlock, so no ordering check; the held stack
+    // still tracks it so later acquisitions order against it.
+    if (!mu_.try_lock()) return false;
+    lockdep::OnAcquired(this, name_, lockdep::Mode::kExclusive, slim_file,
+                        slim_line, 0);
+    return true;
+  }
+#else
   void Lock() SLIM_ACQUIRE() { mu_.lock(); }
   void Unlock() SLIM_RELEASE() { mu_.unlock(); }
   bool TryLock() SLIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* name_;
 };
 
 /// RAII exclusive lock over slim::Mutex (the only idiomatic way to lock
 /// one; prefer this over manual Lock/Unlock pairs).
 class SLIM_SCOPED_CAPABILITY MutexLock {
  public:
+#if SLIM_LOCKDEP_ENABLED
+  explicit MutexLock(Mutex& mu, SLIM_LOCKDEP_SITE_PARAMS) SLIM_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(slim_file, slim_line);
+  }
+#else
   explicit MutexLock(Mutex& mu) SLIM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+#endif
   ~MutexLock() SLIM_RELEASE() { mu_.Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -47,25 +110,72 @@ class SLIM_SCOPED_CAPABILITY MutexLock {
 /// reader/writer paths (object-store read caches).
 class SLIM_CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  /// `name` must be a string literal; see Mutex.
+  explicit SharedMutex(const char* name) : name_(name) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
+  const char* name() const { return name_; }
+
+#if SLIM_LOCKDEP_ENABLED
+  void Lock(SLIM_LOCKDEP_SITE_PARAMS) SLIM_ACQUIRE() {
+    lockdep::OnAcquire(this, name_, lockdep::Mode::kExclusive, slim_file,
+                       slim_line);
+    uint64_t wait_nanos = 0;
+    if (!mu_.try_lock()) {
+      uint64_t start = lockdep::NowNanos();
+      mu_.lock();
+      wait_nanos = lockdep::NowNanos() - start;
+    }
+    lockdep::OnAcquired(this, name_, lockdep::Mode::kExclusive, slim_file,
+                        slim_line, wait_nanos);
+  }
+  void Unlock() SLIM_RELEASE() {
+    mu_.unlock();  // Before the hook; see Mutex::Unlock.
+    lockdep::OnRelease(this);
+  }
+  void LockShared(SLIM_LOCKDEP_SITE_PARAMS) SLIM_ACQUIRE_SHARED() {
+    lockdep::OnAcquire(this, name_, lockdep::Mode::kShared, slim_file,
+                       slim_line);
+    uint64_t wait_nanos = 0;
+    if (!mu_.try_lock_shared()) {
+      uint64_t start = lockdep::NowNanos();
+      mu_.lock_shared();
+      wait_nanos = lockdep::NowNanos() - start;
+    }
+    lockdep::OnAcquired(this, name_, lockdep::Mode::kShared, slim_file,
+                        slim_line, wait_nanos);
+  }
+  void UnlockShared() SLIM_RELEASE_SHARED() {
+    mu_.unlock_shared();  // Before the hook; see Mutex::Unlock.
+    lockdep::OnRelease(this);
+  }
+#else
   void Lock() SLIM_ACQUIRE() { mu_.lock(); }
   void Unlock() SLIM_RELEASE() { mu_.unlock(); }
   void LockShared() SLIM_ACQUIRE_SHARED() { mu_.lock_shared(); }
   void UnlockShared() SLIM_RELEASE_SHARED() { mu_.unlock_shared(); }
+#endif
 
  private:
   std::shared_mutex mu_;
+  const char* name_;
 };
 
 /// RAII exclusive (writer) lock over SharedMutex.
 class SLIM_SCOPED_CAPABILITY WriterMutexLock {
  public:
+#if SLIM_LOCKDEP_ENABLED
+  explicit WriterMutexLock(SharedMutex& mu, SLIM_LOCKDEP_SITE_PARAMS)
+      SLIM_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(slim_file, slim_line);
+  }
+#else
   explicit WriterMutexLock(SharedMutex& mu) SLIM_ACQUIRE(mu) : mu_(mu) {
     mu_.Lock();
   }
+#endif
   ~WriterMutexLock() SLIM_RELEASE() { mu_.Unlock(); }
 
   WriterMutexLock(const WriterMutexLock&) = delete;
@@ -78,10 +188,18 @@ class SLIM_SCOPED_CAPABILITY WriterMutexLock {
 /// RAII shared (reader) lock over SharedMutex.
 class SLIM_SCOPED_CAPABILITY ReaderMutexLock {
  public:
+#if SLIM_LOCKDEP_ENABLED
+  explicit ReaderMutexLock(SharedMutex& mu, SLIM_LOCKDEP_SITE_PARAMS)
+      SLIM_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared(slim_file, slim_line);
+  }
+#else
   explicit ReaderMutexLock(SharedMutex& mu) SLIM_ACQUIRE_SHARED(mu)
       : mu_(mu) {
     mu_.LockShared();
   }
+#endif
   ~ReaderMutexLock() SLIM_RELEASE() { mu_.UnlockShared(); }
 
   ReaderMutexLock(const ReaderMutexLock&) = delete;
@@ -105,7 +223,11 @@ class CondVar {
 
   /// Atomically releases `mu`, blocks, and reacquires `mu` before
   /// returning. Spurious wakeups possible; always re-check the predicate.
+  /// Under lockdep, waiting while holding any lock besides `mu` aborts:
+  /// the wait releases only `mu`, so a second held lock stays locked for
+  /// the whole sleep and deadlocks whoever must take it to signal.
   void Wait(Mutex& mu) SLIM_REQUIRES(mu) {
+    lockdep::OnCondVarWait(&mu);
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // Ownership stays with the caller's MutexLock.

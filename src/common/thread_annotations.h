@@ -63,6 +63,18 @@
 #define SLIM_EXCLUDES(...) \
   SLIM_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
 
+/// Declares lock-acquisition order between two mutex members of the
+/// same class: a mutex ACQUIRED_BEFORE(other) must be taken first when
+/// both are held. Clang only analyzes these under -Wthread-safety-beta,
+/// but tools/lockcheck.py parses them as static acquired-before edges
+/// and verifies them against the rank manifest, and the runtime lockdep
+/// (common/lockdep.h) learns the same edges dynamically.
+#define SLIM_ACQUIRED_BEFORE(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define SLIM_ACQUIRED_AFTER(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
 /// Function returns a reference to the given capability.
 #define SLIM_RETURN_CAPABILITY(x) \
   SLIM_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))

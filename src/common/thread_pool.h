@@ -35,7 +35,7 @@ class ThreadPool {
  private:
   void WorkerLoop() SLIM_EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{"common.thread_pool"};
   CondVar work_cv_;  // Signals workers: task or shutdown.
   CondVar idle_cv_;  // Signals WaitIdle: all done.
   std::deque<std::function<void()>> queue_ SLIM_GUARDED_BY(mu_);

@@ -76,7 +76,7 @@ class Catalog {
  private:
   using Key = std::pair<std::string, uint64_t>;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"core.catalog"};
   std::map<Key, VersionInfo> versions_ SLIM_GUARDED_BY(mu_);
 };
 

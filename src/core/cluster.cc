@@ -37,7 +37,7 @@ Result<ParallelRunStats> Cluster::ParallelBackup(
       jobs.size(), stats.lnodes_used * options_.backup_jobs_per_node);
   if (jobs.empty()) return stats;
 
-  Mutex mu;
+  Mutex mu{"core.cluster_error"};
   Status first_error;
   std::atomic<uint64_t> bytes{0};
 
@@ -85,7 +85,7 @@ Result<ParallelRunStats> Cluster::ParallelRestore(
       jobs.size(), stats.lnodes_used * options_.restore_jobs_per_node);
   if (jobs.empty()) return stats;
 
-  Mutex mu;
+  Mutex mu{"core.cluster_error"};
   Status first_error;
   std::atomic<uint64_t> bytes{0};
 

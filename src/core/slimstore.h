@@ -177,7 +177,7 @@ class SlimStore {
   // One G-node: cycles are serialized. Guards the offline
   // mutate-everything phases (SCC / reverse dedup / GC), whose
   // footprint spans containers_, global_index_ and catalog_.
-  Mutex gnode_mu_;
+  Mutex gnode_mu_{"core.gnode"};
 };
 
 }  // namespace slim::core

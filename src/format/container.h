@@ -172,7 +172,7 @@ class ContainerStore {
   std::string prefix_;
   std::atomic<ContainerId> next_id_{0};
 
-  mutable Mutex count_mu_;
+  mutable Mutex count_mu_{"format.container_count"};
   mutable std::unordered_map<ContainerId, size_t> chunk_counts_
       SLIM_GUARDED_BY(count_mu_);
 };

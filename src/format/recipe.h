@@ -128,7 +128,7 @@ class RecipeStore {
   oss::ObjectStore* store_;
   std::string prefix_;
 
-  mutable Mutex toc_mu_;
+  mutable Mutex toc_mu_{"format.recipe_toc"};
   std::unordered_map<std::string, Toc> toc_cache_
       SLIM_GUARDED_BY(toc_mu_);  // Keyed by TocKey.
 };

@@ -79,7 +79,7 @@ class DedupCache {
   // A DedupCache is normally owned by one backup job, but G-node
   // filtering and the cluster harness may probe it concurrently, so all
   // state is mutex-guarded (uncontended in the common case).
-  mutable Mutex mu_;
+  mutable Mutex mu_{"index.dedup_cache"};
   size_t capacity_;
   uint64_t next_seq_ SLIM_GUARDED_BY(mu_) = 1;
   std::unordered_map<uint64_t, format::SegmentRecipe> segments_

@@ -70,7 +70,7 @@ class GlobalIndex {
   oss::RocksOss db_;
   // Readers (MayContain) and writers (Put/Open rebuild) overlap when
   // G-node filtering runs concurrently with restores.
-  mutable SharedMutex bloom_mu_;
+  mutable SharedMutex bloom_mu_{"index.gindex_bloom"};
   BloomFilter bloom_ SLIM_GUARDED_BY(bloom_mu_);
 
   // Process-wide registry handles ("gindex.*").

@@ -65,7 +65,7 @@ class SimilarFileIndex {
     uint64_t version;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"index.similar_files"};
   // Sample fingerprint -> owning versions (usually 1-2 entries).
   std::unordered_map<Fingerprint, std::vector<Entry>> samples_
       SLIM_GUARDED_BY(mu_);

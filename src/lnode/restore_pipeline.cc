@@ -24,7 +24,7 @@ struct RestoreJob {
   // read-only afterwards (hence not guarded).
   std::vector<ChunkRecord> seq;
 
-  Mutex mu;
+  Mutex mu{"lnode.restore_job"};
   CondVar cv;
 
   index::CountingBloomFilter cbf SLIM_GUARDED_BY(mu);

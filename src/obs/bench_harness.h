@@ -84,7 +84,7 @@ class BenchRegistry {
  private:
   BenchRegistry() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.bench_registry"};
   std::vector<ScenarioSpec> scenarios_ SLIM_GUARDED_BY(mu_);
 };
 

@@ -5,7 +5,9 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <map>
 #include <string_view>
+#include <vector>
 
 namespace slim::obs {
 
@@ -175,6 +177,69 @@ std::string Render(const MetricsSnapshot& snapshot, ExportFormat format) {
 
 std::string RenderRegistry(ExportFormat format) {
   return Render(MetricsRegistry::Get().Snapshot(), format);
+}
+
+std::string RenderLockTable(const MetricsSnapshot& snapshot) {
+  // One row per lock class, assembled from the three metric families the
+  // lockdep runtime emits: lock.<class>.wait_us, lock.<class>.hold_us
+  // (histograms) and lock.<class>.contentions (counter).
+  struct Row {
+    std::string cls;
+    HistogramStats wait{};
+    HistogramStats hold{};
+    uint64_t contentions = 0;
+  };
+  std::map<std::string, Row> rows;
+  constexpr std::string_view kPrefix = "lock.";
+  auto class_of = [&](const std::string& name,
+                      std::string_view suffix) -> std::string {
+    if (name.size() <= kPrefix.size() + suffix.size()) return "";
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) return "";
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      return "";
+    return name.substr(kPrefix.size(),
+                       name.size() - kPrefix.size() - suffix.size());
+  };
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (std::string cls = class_of(name, ".wait_us"); !cls.empty()) {
+      rows[cls].cls = cls;
+      rows[cls].wait = h;
+    } else if (std::string c2 = class_of(name, ".hold_us"); !c2.empty()) {
+      rows[c2].cls = c2;
+      rows[c2].hold = h;
+    }
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    if (std::string cls = class_of(name, ".contentions"); !cls.empty()) {
+      rows[cls].cls = cls;
+      rows[cls].contentions = value;
+    }
+  }
+  if (rows.empty()) return "";
+
+  // Worst offenders first: total wait time, then acquisitions, then name
+  // (the final tiebreak keeps the output deterministic).
+  std::vector<const Row*> order;
+  order.reserve(rows.size());
+  for (const auto& [cls, row] : rows) order.push_back(&row);
+  std::sort(order.begin(), order.end(), [](const Row* a, const Row* b) {
+    if (a->wait.sum != b->wait.sum) return a->wait.sum > b->wait.sum;
+    if (a->wait.count != b->wait.count) return a->wait.count > b->wait.count;
+    return a->cls < b->cls;
+  });
+
+  std::string out = "-- lock contention (worst wait first) --\n";
+  Appendf(&out, "%-28s %10s %10s %10s %10s %12s %10s\n", "lock class",
+          "acquires", "contended", "wait p50", "wait p99", "wait total",
+          "hold p99");
+  for (const Row* r : order) {
+    Appendf(&out,
+            "%-28s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 "us %8" PRIu64
+            "us %10" PRIu64 "us %8" PRIu64 "us\n",
+            r->cls.c_str(), r->wait.count, r->contentions, r->wait.p50,
+            r->wait.p99, r->wait.sum, r->hold.p99);
+  }
+  return out;
 }
 
 std::string RenderTrace(const TraceSink& sink, size_t max_spans) {

@@ -34,6 +34,14 @@ std::string RenderRegistry(ExportFormat format);
 /// first, indented by depth.
 std::string RenderTrace(const TraceSink& sink, size_t max_spans = 64);
 
+/// Lock-contention table built from the `lock.<class>.{wait_us,hold_us}`
+/// histograms and `lock.<class>.contentions` counters that the lockdep
+/// runtime (common/lockdep.h, -DSLIM_LOCKDEP=ON builds) records per
+/// lock class. Sorted by total wait time, worst first. Returns "" when
+/// no lock metrics exist (lockdep compiled out), so callers can append
+/// it unconditionally.
+std::string RenderLockTable(const MetricsSnapshot& snapshot);
+
 }  // namespace slim::obs
 
 #endif  // SLIMSTORE_OBS_EXPORT_H_

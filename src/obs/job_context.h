@@ -124,7 +124,7 @@ struct JobState {
   JobAccount account;
 
  private:
-  mutable Mutex mu;
+  mutable Mutex mu{"obs.job_state"};
   std::string error SLIM_GUARDED_BY(mu);
   std::map<std::string, double> extra SLIM_GUARDED_BY(mu);
 };
@@ -194,7 +194,7 @@ class JobRegistry {
   JobAccount unattributed_;
   std::atomic<uint64_t> next_job_id_{1};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.job_registry"};
   std::map<uint64_t, std::shared_ptr<JobState>> open_ SLIM_GUARDED_BY(mu_);
   std::deque<JobSummary> completed_ SLIM_GUARDED_BY(mu_);
 };

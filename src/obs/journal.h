@@ -83,7 +83,7 @@ class EventJournal {
   bool OpenSegmentLocked(uint32_t index) SLIM_REQUIRES(mu_);
   void RotateLocked() SLIM_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.journal"};
   bool enabled_ SLIM_GUARDED_BY(mu_) = false;
   JournalOptions options_ SLIM_GUARDED_BY(mu_);
   std::ofstream out_ SLIM_GUARDED_BY(mu_);

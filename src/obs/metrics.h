@@ -112,7 +112,7 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.metrics"};
   // Node-based maps: element addresses are stable across inserts.
   std::map<std::string, std::unique_ptr<Counter>> counters_ SLIM_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ SLIM_GUARDED_BY(mu_);

@@ -48,7 +48,7 @@ class TraceSink {
  private:
   explicit TraceSink(size_t capacity = 4096) : capacity_(capacity) {}
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.trace_sink"};
   size_t capacity_ SLIM_GUARDED_BY(mu_);
   std::vector<SpanRecord> ring_ SLIM_GUARDED_BY(mu_);
   size_t next_ SLIM_GUARDED_BY(mu_) = 0;  // Overwrite cursor once full.

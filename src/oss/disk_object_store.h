@@ -46,7 +46,7 @@ class DiskObjectStore : public ObjectStore {
   std::string root_;
   // Guards cross-file operations (List vs concurrent Put/Delete);
   // the protected state is the directory tree itself, not a member.
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"oss.disk"};
 };
 
 }  // namespace slim::oss

@@ -130,7 +130,7 @@ class FaultInjectingObjectStore : public ObjectStore {
   const FaultProfile profile_;
   obs::Counter* m_injected_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"oss.fault_injector"};
   bool enabled_ SLIM_GUARDED_BY(mu_) = true;
   uint64_t ops_admitted_ SLIM_GUARDED_BY(mu_) = 0;
   std::map<std::string, uint64_t> occurrences_ SLIM_GUARDED_BY(mu_);

@@ -31,7 +31,7 @@ class MemoryObjectStore : public ObjectStore {
   size_t ObjectCount() const;
 
  private:
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{"oss.memory"};
   std::map<std::string, std::string> objects_ SLIM_GUARDED_BY(mu_);
 };
 

@@ -146,7 +146,7 @@ class RetryingObjectStore : public ObjectStore {
   ObjectStore* inner_;
   const RetryPolicy policy_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"oss.retry_stats"};
   Rng rng_ SLIM_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> retries_{0};

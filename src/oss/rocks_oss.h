@@ -112,7 +112,7 @@ class RocksOss {
   const std::string name_;
   const RocksOssOptions options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"oss.rocks"};
   Memtable memtable_ SLIM_GUARDED_BY(mu_);
   uint64_t memtable_bytes_ SLIM_GUARDED_BY(mu_) = 0;
   std::vector<Run> runs_ SLIM_GUARDED_BY(mu_);  // Oldest first.

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/lockdep.h"
 #include "common/macros.h"
 
 namespace slim::oss {
@@ -40,6 +41,7 @@ void SimulatedOss::Charge(uint64_t cost_nanos) {
 }
 
 Status SimulatedOss::Put(const std::string& key, std::string value) {
+  lockdep::CheckBlockingCall("oss.put");
   SLIM_RETURN_IF_ERROR(MaybeInjectFailure("put", key));
   put_requests_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(value.size(), std::memory_order_relaxed);
@@ -52,6 +54,7 @@ Status SimulatedOss::Put(const std::string& key, std::string value) {
 }
 
 Result<std::string> SimulatedOss::Get(const std::string& key) {
+  lockdep::CheckBlockingCall("oss.get");
   {
     Status s = MaybeInjectFailure("get", key);
     if (!s.ok()) return s;
@@ -75,6 +78,7 @@ Result<std::string> SimulatedOss::Get(const std::string& key) {
 
 Result<std::string> SimulatedOss::GetRange(const std::string& key,
                                            uint64_t offset, uint64_t len) {
+  lockdep::CheckBlockingCall("oss.getrange");
   {
     Status s = MaybeInjectFailure("get", key);
     if (!s.ok()) return s;
@@ -98,6 +102,7 @@ Result<std::string> SimulatedOss::GetRange(const std::string& key,
 }
 
 Status SimulatedOss::Delete(const std::string& key) {
+  lockdep::CheckBlockingCall("oss.delete");
   SLIM_RETURN_IF_ERROR(MaybeInjectFailure("delete", key));
   delete_requests_.fetch_add(1, std::memory_order_relaxed);
   m_delete_.requests->Inc();
@@ -107,6 +112,7 @@ Status SimulatedOss::Delete(const std::string& key) {
 }
 
 Result<bool> SimulatedOss::Exists(const std::string& key) {
+  lockdep::CheckBlockingCall("oss.exists");
   {
     Status s = MaybeInjectFailure("exists", key);
     if (!s.ok()) return s;
@@ -119,6 +125,7 @@ Result<bool> SimulatedOss::Exists(const std::string& key) {
 }
 
 Result<uint64_t> SimulatedOss::Size(const std::string& key) {
+  lockdep::CheckBlockingCall("oss.size");
   {
     Status s = MaybeInjectFailure("size", key);
     if (!s.ok()) return s;
@@ -132,6 +139,7 @@ Result<uint64_t> SimulatedOss::Size(const std::string& key) {
 
 Result<std::vector<std::string>> SimulatedOss::List(
     const std::string& prefix) {
+  lockdep::CheckBlockingCall("oss.list");
   {
     Status s = MaybeInjectFailure("list", prefix);
     if (!s.ok()) return s;

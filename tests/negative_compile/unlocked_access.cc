@@ -29,7 +29,7 @@ class Counter {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"negcompile.guard"};
   int count_ SLIM_GUARDED_BY(mu_) = 0;
 };
 
@@ -54,7 +54,7 @@ class PointerGuard {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"negcompile.guard"};
   int* shared_ SLIM_PT_GUARDED_BY(mu_);
 };
 

@@ -19,10 +19,21 @@ Checks (each maps to a stable rule id, printed with every finding):
                         same line; leaky singletons carry an explicit
                         `// lint:allow-new` tag.
   std-mutex             no std::mutex / lock_guard / unique_lock /
-                        shared_mutex / scoped_lock / condition_variable in
-                        src/ outside common/mutex.h: the capability-
-                        annotated slim::Mutex wrappers are mandatory so
-                        clang -Wthread-safety can see every lock.
+                        shared_mutex / scoped_lock / condition_variable
+                        and no raw pthread_{mutex,rwlock,cond,spin}
+                        primitives in src/ outside common/mutex.h: the
+                        capability-annotated slim::Mutex wrappers are
+                        mandatory so clang -Wthread-safety and the
+                        lockdep runtime (common/lockdep.h) can see every
+                        lock. common/lockdep.cc is exempt — it sits
+                        *below* slim::Mutex and must not recurse into
+                        its own instrumentation.
+  mutex-named           every slim::Mutex / SharedMutex declaration in
+                        src/ is constructed with a lock-class name
+                        literal (`Mutex mu_{"index.dedup_cache"};`); the
+                        name keys the lockdep acquired-before graph, the
+                        `lock.<name>.*` metrics, and the rank manifest
+                        checked by tools/lockcheck.py.
   oss-put-copy          ObjectStore::Put takes its value by value; passing
                         a named lvalue as the final argument silently
                         deep-copies the whole object payload. Wrap it in
@@ -77,7 +88,13 @@ SMART_PTR_WRAP_RE = re.compile(r"(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\
 STD_SYNC_RE = re.compile(
     r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b"
+    r"|\bpthread_(?:mutex|rwlock|cond|spin)[a-z_]*\b"
 )
+# A Mutex/SharedMutex *declaration*: type, identifier, then an
+# initializer or `;`. References/pointers (`Mutex& mu`) and other types
+# (MutexLock) do not match.
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:slim::)?(?:Mutex|SharedMutex)\s+[A-Za-z_]\w*\s*(.*)$")
 COMMENT_RE = re.compile(r"//.*$")
 PUT_CALL_RE = re.compile(r"(?:->|\.)\s*Put\s*\(")
 OSS_READ_RE = re.compile(r"\b(\w*(?:store|oss)_?)\s*(?:->|\.)\s*Get(?:Range)?\s*\(")
@@ -155,7 +172,11 @@ def check_raw_new(rel_path, lines, findings):
 
 def check_std_mutex(rel_path, lines, findings):
     norm = rel_path.replace(os.sep, "/")
-    if norm in ("src/common/mutex.h", "src/common/thread_annotations.h"):
+    # mutex.h wraps the std primitives; lockdep.cc implements the
+    # instrumentation those wrappers call into, so it must use a raw
+    # std::mutex (an instrumented one would recurse into its own hooks).
+    if norm in ("src/common/mutex.h", "src/common/thread_annotations.h",
+                "src/common/lockdep.cc"):
         return
     for i, line in enumerate(lines, 1):
         m = STD_SYNC_RE.search(strip_line_comment(line))
@@ -164,6 +185,31 @@ def check_std_mutex(rel_path, lines, findings):
                 Finding("std-mutex", rel_path, i,
                         f"{m.group(0)} bypasses thread-safety analysis; "
                         "use slim::Mutex/MutexLock/CondVar (common/mutex.h)"))
+
+
+def check_mutex_named(rel_path, lines, findings):
+    norm = rel_path.replace(os.sep, "/")
+    if norm == "src/common/mutex.h":
+        return
+    for i, line in enumerate(lines, 1):
+        m = MUTEX_DECL_RE.search(strip_line_comment(line))
+        if not m:
+            continue
+        rest = m.group(1).strip()
+        # Only declarations: an initializer list/paren or a bare `;`.
+        if not rest.startswith((";", "{", "(")):
+            continue
+        nxt = strip_line_comment(lines[i]) if i < len(lines) else ""
+        # Named when a string literal opens the initializer (possibly
+        # wrapped onto the next line by clang-format).
+        if '"' in rest or (rest in ("{", "(") and nxt.lstrip().startswith('"')):
+            continue
+        findings.append(
+            Finding("mutex-named", rel_path, i,
+                    "Mutex/SharedMutex declared without a lock-class name "
+                    'literal; write e.g. `Mutex mu_{"subsys.what"};` — the '
+                    "name keys lockdep ordering, lock.<name>.* metrics, and "
+                    "tools/lock_hierarchy.json"))
 
 
 def split_call_args(text, open_paren):
@@ -271,6 +317,7 @@ def lint_file(root, rel_path, metric_sites, findings):
     if top == "src":
         check_raw_new(rel_path, lines, findings)
         check_std_mutex(rel_path, lines, findings)
+        check_mutex_named(rel_path, lines, findings)
         check_oss_verified_read(rel_path, lines, findings)
         collect_metric_sites(rel_path, lines, metric_sites)
     if top in ("src", "tools"):

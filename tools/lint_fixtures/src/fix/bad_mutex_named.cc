@@ -1,0 +1,6 @@
+// Fixture: a slim::Mutex declared without a lock-class name literal.
+#include "common/mutex.h"
+
+class BadFixture {
+  slim::Mutex mu_;
+};

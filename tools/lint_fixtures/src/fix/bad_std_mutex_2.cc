@@ -1,0 +1,5 @@
+// Fixture: raw pthread primitives bypass lockdep and the annotated
+// slim::Mutex wrappers entirely.
+#include <pthread.h>
+
+pthread_mutex_t fixture_pmu = PTHREAD_MUTEX_INITIALIZER;

@@ -1,0 +1,12 @@
+// Fixture: Mutex/SharedMutex declarations carrying lock-class names,
+// including a clang-format-wrapped initializer; must produce zero
+// findings.
+#include "common/mutex.h"
+
+class GoodFixture {
+  slim::Mutex mu_{"fix.good"};
+  slim::SharedMutex shared_mu_{
+      "fix.good_shared"};
+
+  void Use(slim::Mutex& ref, slim::Mutex* ptr);  // Not declarations.
+};

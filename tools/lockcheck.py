@@ -1,0 +1,551 @@
+#!/usr/bin/env python3
+"""SlimStore static lock-hierarchy checker (companion to the runtime
+lockdep in src/common/lockdep.h).
+
+Every slim::Mutex / slim::SharedMutex is declared with a lock-class name
+literal (`Mutex mu_{"index.dedup_cache"};`). This tool cross-checks
+those declarations, the lock-acquisition structure of the source, and
+the committed rank manifest tools/lock_hierarchy.json — without running
+anything:
+
+  unnamed-mutex       a Mutex/SharedMutex declaration with no name
+                      literal (the lockdep runtime, the lock.<name>.*
+                      metrics, and this tool all key on the name).
+  unranked-class      a declared lock class missing from the manifest.
+  stale-manifest      a manifest class no declaration mentions anymore.
+  duplicate-rank      two manifest classes share a rank (the hierarchy
+                      must be a total order).
+  static-cycle        the static acquired-before graph (nested
+                      MutexLock/WriterMutexLock/ReaderMutexLock scopes,
+                      direct .Lock() calls, and SLIM_ACQUIRED_BEFORE /
+                      SLIM_ACQUIRED_AFTER annotations) contains a cycle
+                      — the textbook ABBA deadlock, visible without
+                      executing either path.
+  rank-order          a static acquired-before edge runs from a
+                      higher-ranked class to a lower-ranked one
+                      (suppressed while a static-cycle is reported: fix
+                      the cycle first, ranks are meaningless inside it).
+  excludes-violated   a call to a function annotated SLIM_EXCLUDES(mu)
+                      — a self-locking API whose callers must NOT hold
+                      mu — from a scope that holds mu (the callee's
+                      internal acquisition would self-deadlock).
+  requires-reacquire  a function annotated SLIM_REQUIRES(mu) acquires
+                      mu again in its own body (slim::Mutex is not
+                      reentrant; this deadlocks unconditionally).
+
+Member references resolve to lock classes conservatively: a `mu_` in
+file F matches declarations in F or its same-stem header/source pair,
+falling back to the member name being globally unique. Anything
+ambiguous is skipped — this tool prefers missing an edge to inventing
+one.
+
+Usage:
+  tools/lockcheck.py              check src/ against tools/lock_hierarchy.json
+  tools/lockcheck.py --verbose    also print every static edge found
+  tools/lockcheck.py --self-test  run against tools/lockcheck_fixtures/
+"""
+
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join("tools", "lockcheck_fixtures")
+MANIFEST = os.path.join("tools", "lock_hierarchy.json")
+
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+# A Mutex/SharedMutex declaration: optional attribute macros between the
+# declarator and the initializer, then `{"name"}` / `("name")` / nothing.
+DECL_RE = re.compile(
+    r"\b(?:slim::)?(Mutex|SharedMutex)\s+([A-Za-z_]\w*)\s*"
+    r"((?:SLIM_\w+\s*\([^()]*\)\s*)*)"
+    r"(\{[^;{}]*\}|\([^;()]*\))?\s*;")
+NAME_LITERAL_RE = re.compile(r"\"([^\"]+)\"")
+ACQ_BEFORE_RE = re.compile(r"SLIM_ACQUIRED_BEFORE\s*\(([^()]*)\)")
+ACQ_AFTER_RE = re.compile(r"SLIM_ACQUIRED_AFTER\s*\(([^()]*)\)")
+EXCLUDES_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*\([^()]*\)\s*(?:const\s*)?"
+    r"SLIM_EXCLUDES\s*\(([^()]*)\)")
+REQUIRES_RE = re.compile(r"SLIM_REQUIRES(?:_SHARED)?\s*\(([^()]*)\)")
+# Acquisitions: RAII scopes and direct Lock()/LockShared() calls.
+RAII_RE = re.compile(
+    r"\b(?:Writer|Reader)?MutexLock\s+\w+\s*\(\s*([^),]+)")
+LOCK_CALL_RE = re.compile(
+    r"([A-Za-z_][\w.\->]*)\s*\.\s*Lock(?:Shared)?\s*\(")
+UNLOCK_CALL_RE = re.compile(
+    r"([A-Za-z_][\w.\->]*)\s*\.\s*Unlock(?:Shared)?\s*\(")
+
+# The wrapper/engine itself declares no lock classes worth checking.
+SKIP_FILES = {"src/common/mutex.h"}
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments, preserving line structure so
+    offsets still map to line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            seg = text[i: n if j < 0 else j + 2]
+            out.append("\n" * seg.count("\n"))
+            i = n if j < 0 else j + 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text[:pos].count("\n") + 1
+
+
+class Decl:
+    def __init__(self, kind, member, cls, path, line):
+        self.kind = kind      # "Mutex" | "SharedMutex"
+        self.member = member  # e.g. "mu_"
+        self.cls = cls        # lock-class name, None if unnamed
+        self.path = path
+        self.line = line
+
+
+class Edge:
+    def __init__(self, frm, to, path, line, why):
+        self.frm = frm
+        self.to = to
+        self.path = path
+        self.line = line
+        self.why = why
+
+    def pair(self):
+        return (self.frm, self.to)
+
+
+def iter_sources(root):
+    src = os.path.join(root, "src")
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames.sort()
+        for fname in sorted(filenames):
+            if fname.endswith(SOURCE_EXTS):
+                path = os.path.join(dirpath, fname)
+                yield os.path.relpath(path, root)
+
+
+def paired_stems(rel_path):
+    """restore_pipeline.cc <-> restore_pipeline.h in the same dir."""
+    stem, ext = os.path.splitext(rel_path)
+    if ext in (".cc", ".cpp"):
+        return {rel_path, stem + ".h", stem + ".hpp"}
+    return {rel_path, stem + ".cc", stem + ".cpp"}
+
+
+class Model:
+    """Everything parsed out of one source tree."""
+
+    def __init__(self):
+        self.decls = []                 # [Decl]
+        self.by_member = {}             # member -> [Decl]
+        self.edges = []                 # [Edge]
+        self.excludes_funcs = {}        # func name -> set of lock classes
+        self.findings = []
+
+    def resolve(self, expr, rel_path):
+        """`job.mu` / `it->second->mu_` / `mu_` -> lock-class name, or
+        None when ambiguous/unknown."""
+        member = re.split(r"->|\.", expr)[-1].strip(" \t&*")
+        cands = self.by_member.get(member)
+        if not cands:
+            return None
+        named = [d for d in cands if d.cls is not None]
+        if not named:
+            return None
+        local = [d for d in named if d.path in paired_stems(rel_path)]
+        pool = local if local else named
+        classes = {d.cls for d in pool}
+        if len(classes) == 1:
+            return classes.pop()
+        return None  # Ambiguous: never guess.
+
+
+def parse_decls(model, rel_path, text):
+    """Named/unnamed declarations plus SLIM_ACQUIRED_BEFORE/AFTER
+    annotation edges (resolved in a second pass, after every file's
+    declarations are known)."""
+    pending = []
+    for m in DECL_RE.finditer(text):
+        kind, member, attrs, init = m.group(1), m.group(2), m.group(3), m.group(4)
+        line = line_of(text, m.start())
+        name = None
+        if init:
+            lit = NAME_LITERAL_RE.search(init)
+            if lit:
+                name = lit.group(1)
+        decl = Decl(kind, member, name, rel_path, line)
+        model.decls.append(decl)
+        model.by_member.setdefault(member, []).append(decl)
+        if name is None:
+            model.findings.append(Finding(
+                "unnamed-mutex", rel_path, line,
+                f"{kind} `{member}` has no lock-class name literal; write "
+                f'`{kind} {member}{{"subsys.what"}};`'))
+        if attrs:
+            for rx, before in ((ACQ_BEFORE_RE, True), (ACQ_AFTER_RE, False)):
+                for am in rx.finditer(attrs):
+                    for other in am.group(1).split(","):
+                        other = other.strip()
+                        if other:
+                            pending.append((decl, other, before, line))
+    return pending
+
+
+def resolve_annotation_edges(model, pending):
+    for decl, other, before, line in pending:
+        other_cls = model.resolve(other, decl.path)
+        if decl.cls is None or other_cls is None:
+            continue
+        frm, to = (decl.cls, other_cls) if before else (other_cls, decl.cls)
+        model.edges.append(Edge(frm, to, decl.path, line,
+                                "SLIM_ACQUIRED_BEFORE" if before
+                                else "SLIM_ACQUIRED_AFTER"))
+
+
+def scan_scopes(model, rel_path, text):
+    """Walks the file, tracking brace depth and the stack of locks held
+    by RAII scopes / direct Lock() calls; every acquisition under a held
+    lock records a static acquired-before edge."""
+    events = []  # (pos, kind, payload)
+    for m in RAII_RE.finditer(text):
+        events.append((m.start(), "raii", m.group(1).strip()))
+    for m in LOCK_CALL_RE.finditer(text):
+        events.append((m.start(), "lock", m.group(1).strip()))
+    for m in UNLOCK_CALL_RE.finditer(text):
+        events.append((m.start(), "unlock", m.group(1).strip()))
+    if model.excludes_funcs:
+        call_re = re.compile(
+            r"\b(" + "|".join(map(re.escape, sorted(model.excludes_funcs)))
+            + r")\s*\(")
+        for m in call_re.finditer(text):
+            # Unqualified (same-object) calls only: `other->Put(...)`
+            # acquires a *different* instance's lock, which is ordering,
+            # not self-deadlock. `this->` still counts.
+            before = text[:m.start()].rstrip()
+            if before.endswith(".") or (before.endswith("->") and
+                                        not before.endswith("this->")):
+                continue
+            events.append((m.start(), "call", m.group(1)))
+    events.sort()
+    ei = 0
+
+    depth = 0
+    held = []  # [(entry_depth, class_name, member)]
+    for pos, ch in enumerate(text):
+        while ei < len(events) and events[ei][0] == pos:
+            _, kind, expr = events[ei]
+            ei += 1
+            if kind == "call":
+                # Held scopes only — at namespace/class scope nothing is
+                # held, so definitions of the function don't self-match.
+                if held:
+                    banned = model.excludes_funcs.get(expr, set())
+                    for _, held_cls, _ in held:
+                        if held_cls in banned:
+                            model.findings.append(Finding(
+                                "excludes-violated", rel_path,
+                                line_of(text, pos),
+                                f"call to `{expr}()` (a self-locking API "
+                                f"annotated SLIM_EXCLUDES of \"{held_cls}\") "
+                                f"while holding \"{held_cls}\"; the callee's "
+                                "internal acquisition self-deadlocks"))
+                continue
+            cls = model.resolve(expr, rel_path)
+            member = re.split(r"->|\.", expr)[-1].strip(" \t&*")
+            if kind in ("raii", "lock"):
+                # Unresolvable (ambiguous) references are not tracked at
+                # all: better to miss an edge than to invent one.
+                if cls is not None:
+                    line = line_of(text, pos)
+                    for _, held_cls, _ in held:
+                        if held_cls != cls:
+                            model.edges.append(Edge(
+                                held_cls, cls, rel_path, line,
+                                "nested scope"))
+                    held.append((depth, cls, member))
+            else:  # unlock
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i][2] == member:
+                        held.pop(i)
+                        break
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            held = [h for h in held if h[0] <= depth]
+
+
+def extract_body(text, after):
+    """Returns (body_start, body_end) of the `{...}` that begins the
+    next statement after offset `after`, or None for a declaration
+    (`;` comes first) or anything unparseable."""
+    semi = text.find(";", after)
+    brace = text.find("{", after)
+    if brace < 0 or (0 <= semi < brace):
+        return None
+    depth = 0
+    for i in range(brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return (brace, i)
+    return None
+
+
+def collect_excludes(model, rel_path, text):
+    """SLIM_EXCLUDES(mu) marks a self-locking API: it acquires mu
+    internally, so callers must not already hold it. Records function
+    name -> excluded lock classes for the call-site check in
+    scan_scopes."""
+    for m in EXCLUDES_RE.finditer(text):
+        func = m.group(1)
+        for name in m.group(2).split(","):
+            cls = model.resolve(name.strip(), rel_path)
+            if cls is not None:
+                model.excludes_funcs.setdefault(func, set()).add(cls)
+
+
+def check_requires(model, rel_path, text):
+    """A SLIM_REQUIRES(mu) function runs with mu already held;
+    re-acquiring mu in its body deadlocks unconditionally."""
+    for m in REQUIRES_RE.finditer(text):
+        required = set()
+        for name in m.group(1).split(","):
+            cls = model.resolve(name.strip(), rel_path)
+            if cls is not None:
+                required.add(cls)
+        if not required:
+            continue
+        span = extract_body(text, m.end())
+        if span is None:
+            continue
+        body = text[span[0]:span[1]]
+        for am in list(RAII_RE.finditer(body)) + \
+                list(LOCK_CALL_RE.finditer(body)):
+            cls = model.resolve(am.group(1).strip(), rel_path)
+            if cls in required:
+                line = line_of(text, span[0] + am.start())
+                model.findings.append(Finding(
+                    "requires-reacquire", rel_path, line,
+                    f"function is annotated SLIM_REQUIRES of lock class "
+                    f"\"{cls}\" (already held on entry) but re-acquires it "
+                    "here; slim::Mutex is not reentrant"))
+
+
+def build_model(root, verbose=False):
+    model = Model()
+    pending = []
+    texts = {}
+    for rel_path in iter_sources(root):
+        norm = rel_path.replace(os.sep, "/")
+        if norm in SKIP_FILES:
+            continue
+        with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+            texts[rel_path] = strip_comments(f.read())
+    for rel_path, text in texts.items():
+        pending.extend(parse_decls(model, rel_path, text))
+    resolve_annotation_edges(model, pending)
+    for rel_path, text in texts.items():
+        collect_excludes(model, rel_path, text)
+    for rel_path, text in texts.items():
+        scan_scopes(model, rel_path, text)
+        check_requires(model, rel_path, text)
+    if verbose:
+        for e in sorted(model.edges, key=lambda e: (e.frm, e.to)):
+            print(f"edge {e.frm} -> {e.to}  ({e.why} at {e.path}:{e.line})")
+    return model
+
+
+def find_cycle(edges):
+    """Returns one cycle as a list of class names, or None."""
+    graph = {}
+    for e in edges:
+        graph.setdefault(e.frm, set()).add(e.to)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            c = color.get(nxt, WHITE)
+            if c == GRAY:
+                return stack[stack.index(nxt):] + [nxt]
+            if c == WHITE:
+                cyc = visit(nxt)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            cyc = visit(node)
+            if cyc:
+                return cyc
+    return None
+
+
+def check_manifest(model, manifest_path):
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, ValueError) as err:
+        model.findings.append(Finding(
+            "stale-manifest", manifest_path, 1,
+            f"cannot read manifest: {err}"))
+        return
+    rel_manifest = os.path.basename(manifest_path)
+    ranks = {}
+    seen_ranks = {}
+    for entry in manifest.get("classes", []):
+        name, rank = entry.get("name"), entry.get("rank")
+        ranks[name] = rank
+        if rank in seen_ranks:
+            model.findings.append(Finding(
+                "duplicate-rank", rel_manifest, 1,
+                f"classes \"{seen_ranks[rank]}\" and \"{name}\" both have "
+                f"rank {rank}; the hierarchy must be a total order"))
+        seen_ranks[rank] = name
+
+    declared = {}
+    for d in model.decls:
+        if d.cls is not None and d.cls not in declared:
+            declared[d.cls] = d
+    for cls, d in sorted(declared.items()):
+        if cls not in ranks:
+            model.findings.append(Finding(
+                "unranked-class", d.path, d.line,
+                f"lock class \"{cls}\" is not ranked in {rel_manifest}; "
+                "add it with a rank consistent with its acquisition order"))
+    for cls in sorted(ranks):
+        if cls not in declared:
+            model.findings.append(Finding(
+                "stale-manifest", rel_manifest, 1,
+                f"manifest ranks \"{cls}\" but no Mutex/SharedMutex "
+                "declaration uses that name; remove the entry"))
+
+    cycle = find_cycle(model.edges)
+    if cycle:
+        pretty = " -> ".join(cycle)
+        sites = {}
+        for e in model.edges:
+            sites.setdefault(e.pair(), e)
+        detail = "; ".join(
+            f"{a}->{b} ({sites[(a, b)].why} at {sites[(a, b)].path}:"
+            f"{sites[(a, b)].line})"
+            for a, b in zip(cycle, cycle[1:]) if (a, b) in sites)
+        first = sites.get((cycle[0], cycle[1]))
+        model.findings.append(Finding(
+            "static-cycle", first.path if first else rel_manifest,
+            first.line if first else 1,
+            f"static lock-order cycle (potential ABBA deadlock): {pretty}"
+            + (f" [{detail}]" if detail else "")))
+        return  # Ranks are meaningless inside a cycle; fix that first.
+
+    reported = set()
+    for e in model.edges:
+        ra, rb = ranks.get(e.frm), ranks.get(e.to)
+        if ra is None or rb is None or e.pair() in reported:
+            continue
+        if ra >= rb:
+            reported.add(e.pair())
+            model.findings.append(Finding(
+                "rank-order", e.path, e.line,
+                f"\"{e.frm}\" (rank {ra}) is acquired before \"{e.to}\" "
+                f"(rank {rb}) here ({e.why}), but the manifest orders them "
+                "the other way; re-rank or restructure the locking"))
+
+
+def run_check(root, manifest_path, verbose=False):
+    model = build_model(root, verbose=verbose)
+    check_manifest(model, manifest_path)
+    return model.findings
+
+
+def self_test():
+    """Each fixture dir is a miniature tree (src/ + lock_hierarchy.json).
+    bad_<rule-with-underscores> must trip exactly that rule; good_* must
+    come back clean."""
+    fixture_root = os.path.join(REPO_ROOT, FIXTURE_DIR)
+    if not os.path.isdir(fixture_root):
+        print(f"self-test: fixture dir {FIXTURE_DIR} missing", file=sys.stderr)
+        return 1
+    failures = []
+    cases = sorted(os.listdir(fixture_root))
+    ran = 0
+    for case in cases:
+        case_dir = os.path.join(fixture_root, case)
+        if not os.path.isdir(case_dir):
+            continue
+        ran += 1
+        findings = run_check(case_dir,
+                             os.path.join(case_dir, "lock_hierarchy.json"))
+        rules = {f.rule for f in findings}
+        if case.startswith("bad_"):
+            expect = case[len("bad_"):].replace("_", "-")
+            if expect not in rules:
+                failures.append(f"{case}: expected [{expect}] to fire, got "
+                                f"{sorted(rules) or 'nothing'}")
+            if rules - {expect}:
+                failures.append(f"{case}: unexpected extra rules "
+                                f"{sorted(rules - {expect})}")
+        elif case.startswith("good_") and rules:
+            failures.append(f"{case}: clean fixture tripped {sorted(rules)}: "
+                            + "; ".join(str(f) for f in findings))
+    if ran == 0:
+        print("self-test: no fixture cases found", file=sys.stderr)
+        return 1
+    if failures:
+        print("lockcheck self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"lockcheck self-test ok ({ran} cases)")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    verbose = "--verbose" in argv
+    findings = run_check(REPO_ROOT, os.path.join(REPO_ROOT, MANIFEST),
+                         verbose=verbose)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlockcheck: {len(findings)} finding(s)")
+        return 1
+    print("lockcheck: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

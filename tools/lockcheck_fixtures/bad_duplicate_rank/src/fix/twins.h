@@ -1,0 +1,13 @@
+// Two classes sharing one rank: the hierarchy must be a total order,
+// otherwise their relative acquisition order is unchecked.
+#include "common/mutex.h"
+
+namespace fix {
+
+class Twins {
+ private:
+  slim::Mutex left_mu_{"fix.left"};
+  slim::Mutex right_mu_{"fix.right"};
+};
+
+}  // namespace fix

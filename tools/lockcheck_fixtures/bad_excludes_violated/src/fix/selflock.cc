@@ -1,0 +1,14 @@
+#include "fix/selflock.h"
+
+namespace fix {
+
+void Cache::Refresh() {
+  slim::MutexLock lock(mu_);
+}
+
+void Cache::Tick() {
+  slim::MutexLock lock(mu_);
+  Refresh();  // Deadlock: Refresh() re-acquires mu_ internally.
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// Refresh() is a self-locking API (SLIM_EXCLUDES(mu_)): it acquires
+// mu_ internally, so calling it while already holding mu_ deadlocks.
+#include "common/mutex.h"
+
+namespace fix {
+
+class Cache {
+ public:
+  void Refresh() SLIM_EXCLUDES(mu_);
+  void Tick();
+
+ private:
+  slim::Mutex mu_{"fix.cache"};
+};
+
+}  // namespace fix

@@ -1,0 +1,10 @@
+#include "fix/order.h"
+
+namespace fix {
+
+void Pipeline::Flush() {
+  slim::MutexLock in(inner_mu_);
+  slim::MutexLock out(outer_mu_);  // Contradicts the manifest order.
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// The code nests fix.inner -> fix.outer, but the manifest ranks
+// fix.outer (10) before fix.inner (20): acyclic, yet the committed
+// hierarchy and the code disagree.
+#include "common/mutex.h"
+
+namespace fix {
+
+struct Pipeline {
+  void Flush();
+
+  slim::Mutex outer_mu_{"fix.outer"};
+  slim::Mutex inner_mu_{"fix.inner"};
+};
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// DrainLocked() runs with mu_ already held (SLIM_REQUIRES), then
+// re-acquires it; slim::Mutex is not reentrant, so this deadlocks.
+#include "common/mutex.h"
+
+namespace fix {
+
+class Queue {
+ public:
+  void DrainLocked() SLIM_REQUIRES(mu_) {
+    slim::MutexLock again(mu_);
+  }
+
+ private:
+  slim::Mutex mu_{"fix.queue"};
+};
+
+}  // namespace fix

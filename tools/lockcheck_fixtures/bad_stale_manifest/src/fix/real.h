@@ -1,0 +1,12 @@
+// The manifest still ranks "fix.ghost", but no declaration uses that
+// name any more (the class was renamed or deleted).
+#include "common/mutex.h"
+
+namespace fix {
+
+class Real {
+ private:
+  slim::Mutex mu_{"fix.real"};
+};
+
+}  // namespace fix

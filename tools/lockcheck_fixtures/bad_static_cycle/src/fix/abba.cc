@@ -1,0 +1,15 @@
+#include "fix/abba.h"
+
+namespace fix {
+
+void Transfer::DebitFirst() {
+  slim::MutexLock a(debit_mu_);
+  slim::MutexLock b(credit_mu_);
+}
+
+void Transfer::CreditFirst() {
+  slim::MutexLock b(credit_mu_);
+  slim::MutexLock a(debit_mu_);
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// ABBA fixture: DebitFirst() nests fix.debit -> fix.credit while
+// CreditFirst() nests fix.credit -> fix.debit. The two static edges
+// close a cycle: with one thread in each function, each holds the lock
+// the other needs. tests/lockdep_test.cc drives the same shape at
+// runtime under SLIM_LOCKDEP=ON and dies on the cycle-closing edge.
+#include "common/mutex.h"
+
+namespace fix {
+
+struct Transfer {
+  void DebitFirst();
+  void CreditFirst();
+
+  slim::Mutex debit_mu_{"fix.debit"};
+  slim::Mutex credit_mu_{"fix.credit"};
+};
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+// A mutex with no lock-class name literal: invisible to the hierarchy,
+// the runtime detector, and the lock.<class>.* metrics.
+#include "common/mutex.h"
+
+namespace fix {
+
+class Widget {
+ private:
+  slim::Mutex mu_;
+};
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// Named lock class that the committed hierarchy does not rank.
+#include "common/mutex.h"
+
+namespace fix {
+
+class Orphan {
+ private:
+  slim::Mutex mu_{"fix.orphan"};
+};
+
+}  // namespace fix

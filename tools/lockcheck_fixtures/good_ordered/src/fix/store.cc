@@ -1,0 +1,17 @@
+#include "fix/store.h"
+
+namespace fix {
+
+void Store::Put(int v) {
+  slim::MutexLock lock(mu_);
+  TouchLocked();
+  slim::MutexLock stats(stats_mu_);  // fix.store -> fix.stats: in order.
+  total_ += v;
+}
+
+int Store::Total() const {
+  slim::MutexLock stats(stats_mu_);
+  return total_;
+}
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Clean fixture: two ranked lock classes, nested in manifest order,
+// with an annotation edge, a correctly-used SLIM_EXCLUDES self-locking
+// API, and a SLIM_REQUIRES helper that does not re-acquire.
+#include "common/mutex.h"
+
+namespace fix {
+
+class Store {
+ public:
+  void Put(int v) SLIM_EXCLUDES(mu_);
+  int Total() const SLIM_EXCLUDES(stats_mu_);
+
+  // Runs with mu_ held; touches guarded state without re-locking.
+  void TouchLocked() SLIM_REQUIRES(mu_) { ++puts_; }
+
+ private:
+  mutable slim::Mutex mu_{"fix.store"};
+  mutable slim::Mutex stats_mu_ SLIM_ACQUIRED_AFTER(mu_){"fix.stats"};
+  int puts_ = 0;
+  int total_ = 0;
+};
+
+}  // namespace fix

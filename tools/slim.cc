@@ -173,6 +173,10 @@ class Repo {
   core::SlimStore* store() { return store_.get(); }
   Status Save() { return store_->SaveState(); }
 
+  /// Physical copies of every byte (1 for a plain layout, k for a
+  /// k-way replicated one) — the multiplier for billed storage.
+  size_t replica_count() const { return disks_.size(); }
+
   ~Repo() {
     if (faulty_ == nullptr) return;
     // Injection summary on every exit path, so fault runs are
@@ -751,6 +755,9 @@ int main(int argc, char** argv) {
     if (!space.ok()) return Fail(space.status());
     std::printf("%s", core::SlimStore::GetMetricsReport(format).c_str());
     if (format == obs::ExportFormat::kTable) {
+      std::printf("%s",
+                  obs::RenderLockTable(obs::MetricsRegistry::Get().Snapshot())
+                      .c_str());
       std::printf("%s", RenderJobCosts().c_str());
       std::printf("%s", obs::RenderTrace(obs::TraceSink::Get()).c_str());
       auto reports =
@@ -783,6 +790,19 @@ int main(int argc, char** argv) {
                 Mb(report.value().index_bytes));
     std::printf("total:      %10.2f MB\n",
                 Mb(report.value().total()));
+    // Storage-at-rest tariff: every logical byte is billed once per
+    // physical replica, at the modeled $/GB-month rate (GB = 2^30).
+    size_t replicas = repo.value()->replica_count();
+    double billed_gb = static_cast<double>(report.value().total()) *
+                       static_cast<double>(replicas) /
+                       (1024.0 * 1024.0 * 1024.0);
+    double dollars =
+        billed_gb * g_cost_model.storage_dollars_per_gb_month;
+    std::printf("at-rest:    %10.6f $/month (%zu replica%s x %.4f GB x "
+                "$%.4f/GB-month)\n",
+                dollars, replicas, replicas == 1 ? "" : "s",
+                billed_gb / static_cast<double>(replicas),
+                g_cost_model.storage_dollars_per_gb_month);
     return 0;
   }
 
