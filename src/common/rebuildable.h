@@ -1,0 +1,34 @@
+#ifndef SLIMSTORE_COMMON_REBUILDABLE_H_
+#define SLIMSTORE_COMMON_REBUILDABLE_H_
+
+// The rebuildable-state contract (Cumulus's durability argument, adopted
+// for SlimStore's L-nodes): the OSS-resident objects — recipes,
+// containers, global-index runs, pending G-node records and state
+// checkpoints — are the ONLY source of truth. Every structure an L-node
+// keeps in process memory is a cache over them and must be
+// reconstructible after process death with nothing but an ObjectStore.
+//
+// A class participates in the contract by declaring
+//
+//   void DropLocalState();
+//
+// which discards every byte of process-local state (caches, allocators,
+// bloom filters, memtables) and returns the object to its
+// freshly-constructed form, ready to be re-populated from OSS.
+// DropLocalState must be safe to call at any quiescent point (no
+// concurrent operation in flight) and must never touch OSS itself —
+// re-population is the caller's job (SlimStore::Rebuild drives the full
+// sequence and documents the rebuild state machine).
+//
+// The contract is enforced two ways:
+//   * tools/lint.py rule `cache-declares-rebuild` requires the entry
+//     point on every L-node cache class;
+//   * tests/crash_restart_test.cc kills a SlimStore at every OSS commit
+//     point of a backup + G-node cycle, rebuilds from OSS alone, and
+//     asserts convergence with a never-crashed run.
+//
+// This is a documentation-only header: the contract is structural (a
+// method name checked by lint), not a virtual interface, so that
+// adopting it costs nothing on hot paths.
+
+#endif  // SLIMSTORE_COMMON_REBUILDABLE_H_

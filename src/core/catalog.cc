@@ -78,6 +78,23 @@ void Catalog::Erase(const std::string& file_id, uint64_t version) {
   versions_.erase({file_id, version});
 }
 
+void Catalog::SetGnodeWork(
+    const std::string& file_id, uint64_t version,
+    std::vector<format::ContainerId> new_containers,
+    std::vector<format::ContainerId> sparse_containers) {
+  MutexLock lock(mu_);
+  auto it = versions_.find({file_id, version});
+  if (it == versions_.end()) return;
+  it->second.new_containers = std::move(new_containers);
+  it->second.sparse_containers = std::move(sparse_containers);
+  it->second.gnode_pending = true;
+}
+
+void Catalog::DropLocalState() {
+  MutexLock lock(mu_);
+  versions_.clear();
+}
+
 std::optional<VersionInfo> Catalog::Get(const std::string& file_id,
                                         uint64_t version) const {
   MutexLock lock(mu_);

@@ -53,6 +53,18 @@ class Catalog {
   void MarkGnodeDone(const std::string& file_id, uint64_t version);
   void Erase(const std::string& file_id, uint64_t version);
 
+  /// Restores a version's G-node worklist from a durable pending record
+  /// (SlimStore::Rebuild): new/sparse containers to process, and the
+  /// pending flag itself.
+  void SetGnodeWork(const std::string& file_id, uint64_t version,
+                    std::vector<format::ContainerId> new_containers,
+                    std::vector<format::ContainerId> sparse_containers);
+
+  /// Rebuildable-state contract: forget every version. The catalog is a
+  /// cache over recipes + pending records; SlimStore::Rebuild
+  /// re-derives it.
+  void DropLocalState();
+
   std::optional<VersionInfo> Get(const std::string& file_id,
                                  uint64_t version) const;
 

@@ -12,6 +12,7 @@
 #include "durability/replicating_object_store.h"
 #include "durability/scrubber.h"
 #include "format/container.h"
+#include "format/pending.h"
 #include "format/recipe.h"
 #include "gnode/reverse_dedup.h"
 #include "gnode/scc.h"
@@ -20,6 +21,7 @@
 #include "index/similar_file_index.h"
 #include "lnode/backup_pipeline.h"
 #include "lnode/restore_pipeline.h"
+#include "lnode/stat_cache.h"
 #include "obs/export.h"
 #include "oss/object_store.h"
 
@@ -49,6 +51,12 @@ struct SlimStoreOptions {
   bool enable_scc = true;
   /// Enable global reverse deduplication during G-node cycles.
   bool enable_reverse_dedup = true;
+  /// Cumulus-statcache-style skip-unchanged fast path: a backup whose
+  /// input matches the previous version byte-for-byte (size + content
+  /// hash, or size + mtime for BackupFile) forwards the previous recipe
+  /// instead of re-deduplicating. Off by default so benchmarks and
+  /// sweeps measure the full pipeline unless they opt in.
+  bool enable_statcache = false;
   /// Key prefix under which all system objects live on OSS.
   std::string root = "slim";
   /// Tenant tag stamped on every job this store opens (backup, restore,
@@ -148,11 +156,34 @@ class SlimStore {
   Result<durability::ScrubReport> Scrub(bool repair);
 
   /// Checkpoints all in-memory system state (similar file index,
-  /// catalog, global-index memtable) to OSS. Call before shutdown.
+  /// catalog, statcache, global-index memtable) to OSS. Call before
+  /// shutdown.
   Status SaveState();
   /// Recovers system state from a previous SaveState on the same OSS
   /// root: indexes, catalog, and the container id allocator.
   Status OpenExisting();
+
+  /// Crash recovery (rebuildable-state contract, common/rebuildable.h):
+  /// discards EVERY process-local structure and reconstructs them from
+  /// OSS-resident objects alone — no SaveState checkpoint needed. The
+  /// rebuild state machine:
+  ///   1. drop local state (caches, catalog, indexes, allocators);
+  ///   2. re-derive catalog + similar-file index from the committed
+  ///      recipes (the recipe object is the commit point);
+  ///   3. restore G-node worklists from durable pending records;
+  ///      delete orphan records whose recipe never landed;
+  ///   4. recompute precomputed garbage lists between adjacent live
+  ///      versions (sparse-compaction garbage of already-processed
+  ///      versions is not recovered; mark-and-sweep GC still covers
+  ///      those containers);
+  ///   5. delete orphan containers a crashed backup/SCC left beyond
+  ///      the highest recipe-referenced id, then recover the id
+  ///      allocator so re-driven work reuses their ids;
+  ///   6. reload global-index runs (unflushed redirects are re-derived
+  ///      by re-running the restored pending cycles);
+  ///   7. reload + revalidate the statcache (entries not matching the
+  ///      rebuilt catalog's latest versions are dropped).
+  Status Rebuild();
 
   // Component access (benchmarks, tests, baselines).
   format::ContainerStore* container_store() { return &containers_; }
@@ -160,24 +191,52 @@ class SlimStore {
   index::SimilarFileIndex* similar_file_index() { return &similar_files_; }
   index::GlobalIndex* global_index() { return &global_index_; }
   Catalog* catalog() { return &catalog_; }
+  format::PendingStore* pending_store() { return &pending_; }
+  lnode::StatCache* stat_cache() { return &statcache_; }
   const SlimStoreOptions& options() const { return options_; }
   oss::ObjectStore* object_store() { return store_; }
 
  private:
+  /// RAII exclusive pass over the offline G-node phases (SCC / reverse
+  /// dedup / GC / verify / scrub / state save-load / rebuild), whose
+  /// footprint spans containers_, global_index_ and catalog_. One
+  /// G-node: phases stay serialized, but their OSS round trips run
+  /// OUTSIDE core.gnode — the mutex only guards the busy flag, so no
+  /// backup ever waits on it across a network call (lockdep's
+  /// blocking-while-locked warning stays at zero).
+  class GnodeGate {
+   public:
+    explicit GnodeGate(SlimStore* store);
+    ~GnodeGate();
+    GnodeGate(const GnodeGate&) = delete;
+    GnodeGate& operator=(const GnodeGate&) = delete;
+
+   private:
+    SlimStore* store_;
+  };
+
   /// Catalog + garbage bookkeeping shared by all backup entry points.
   void FinishBackup(const lnode::BackupStats& stats);
+
+  /// Statcache hit: forwards the base recipe to a new version without
+  /// deduplicating. Returns nullopt when the fast path does not apply
+  /// (caller falls back to the full pipeline).
+  std::optional<Result<lnode::BackupStats>> TryStatCacheFastPath(
+      const std::string& file_id, uint64_t logical_bytes,
+      const Fingerprint* content);
 
   oss::ObjectStore* store_;
   SlimStoreOptions options_;
   format::ContainerStore containers_;
   format::RecipeStore recipes_;
+  format::PendingStore pending_;
   index::SimilarFileIndex similar_files_;
   index::GlobalIndex global_index_;
   Catalog catalog_;
-  // One G-node: cycles are serialized. Guards the offline
-  // mutate-everything phases (SCC / reverse dedup / GC), whose
-  // footprint spans containers_, global_index_ and catalog_.
+  lnode::StatCache statcache_;
   Mutex gnode_mu_{"core.gnode"};
+  CondVar gnode_cv_;
+  bool gnode_busy_ SLIM_GUARDED_BY(gnode_mu_) = false;
 };
 
 }  // namespace slim::core

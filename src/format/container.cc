@@ -315,4 +315,10 @@ Result<uint64_t> ContainerStore::TotalStoredBytes() const {
   return oss::TotalBytesWithPrefix(*store_, prefix_ + "/data-");
 }
 
+void ContainerStore::DropLocalState() {
+  next_id_.store(0, std::memory_order_relaxed);
+  MutexLock lock(count_mu_);
+  chunk_counts_.clear();
+}
+
 }  // namespace slim::format

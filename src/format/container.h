@@ -154,6 +154,11 @@ class ContainerStore {
   /// Total payload-object bytes currently stored (space accounting).
   Result<uint64_t> TotalStoredBytes() const;
 
+  /// Rebuildable-state contract: reset the chunk-count cache and the id
+  /// allocator. Follow with RecoverNextId() once the durable container
+  /// set is settled.
+  void DropLocalState();
+
   oss::ObjectStore* object_store() const { return store_; }
   const std::string& prefix() const { return prefix_; }
 

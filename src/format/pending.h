@@ -1,0 +1,56 @@
+#ifndef SLIMSTORE_FORMAT_PENDING_H_
+#define SLIMSTORE_FORMAT_PENDING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "format/chunk.h"
+#include "oss/object_store.h"
+
+namespace slim::format {
+
+/// A version's durable G-node worklist: the containers a backup created
+/// and the sparse containers it identified, persisted to OSS just
+/// before the recipe commit. Without it, the G-node inputs live only in
+/// the L-node's catalog and die with the process; with it,
+/// SlimStore::Rebuild restores exactly which versions still owe a
+/// G-node pass and what that pass must touch.
+struct PendingRecord {
+  std::string file_id;
+  uint64_t version = 0;
+  std::vector<ContainerId> new_containers;
+  std::vector<ContainerId> sparse_containers;
+};
+
+/// One small OSS object per not-yet-processed version under
+/// "<prefix>/<escaped file>/<version>". Written BEFORE the recipe (the
+/// recipe stays the commit point: a pending record without a recipe is
+/// an orphan of a crashed backup and is deleted at rebuild), deleted
+/// after the G-node cycle marks the version done.
+class PendingStore {
+ public:
+  /// `store` must outlive this object.
+  PendingStore(oss::ObjectStore* store, std::string prefix);
+
+  Status Write(const PendingRecord& record);
+  Result<PendingRecord> Read(const std::string& file_id,
+                             uint64_t version) const;
+  Status Delete(const std::string& file_id, uint64_t version);
+  Result<bool> Exists(const std::string& file_id, uint64_t version) const;
+
+  /// Every pending record currently on OSS.
+  Result<std::vector<PendingRecord>> ListAll() const;
+
+ private:
+  std::string KeyOf(const std::string& file_id, uint64_t version) const;
+
+  oss::ObjectStore* store_;
+  std::string prefix_;
+};
+
+}  // namespace slim::format
+
+#endif  // SLIMSTORE_FORMAT_PENDING_H_

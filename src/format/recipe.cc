@@ -148,6 +148,21 @@ std::string EscapeFileId(const std::string& file_id) {
   return out;
 }
 
+std::string UnescapeFileId(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      out += static_cast<char>(
+          std::stoi(escaped.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += escaped[i];
+    }
+  }
+  return out;
+}
+
 RecipeStore::RecipeStore(oss::ObjectStore* store, std::string prefix)
     : store_(store), prefix_(std::move(prefix)) {}
 
@@ -361,6 +376,29 @@ Result<std::vector<uint64_t>> RecipeStore::ListVersions(
     versions.push_back(std::stoull(key.substr(prefix.size())));
   }
   return versions;
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>>
+RecipeStore::ListAllVersions() const {
+  const std::string prefix = prefix_ + "/recipe/";
+  auto keys = store_->List(prefix);
+  if (!keys.ok()) return keys.status();
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(keys.value().size());
+  for (const auto& key : keys.value()) {
+    // "<prefix>/recipe/<escaped file>/<%012d version>".
+    std::string tail = key.substr(prefix.size());
+    size_t slash = tail.rfind('/');
+    if (slash == std::string::npos) continue;
+    out.emplace_back(UnescapeFileId(tail.substr(0, slash)),
+                     std::stoull(tail.substr(slash + 1)));
+  }
+  return out;
+}
+
+void RecipeStore::DropLocalState() {
+  MutexLock lock(toc_mu_);
+  toc_cache_.clear();
 }
 
 }  // namespace slim::format

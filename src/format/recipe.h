@@ -95,6 +95,16 @@ class RecipeStore {
   Status DeleteVersion(const std::string& file_id, uint64_t version);
   Result<std::vector<uint64_t>> ListVersions(const std::string& file_id)
       const;
+  /// Every (file, version) with a committed recipe object, in key order
+  /// (files sorted by escaped id, versions ascending). The recipe
+  /// object is the commit point, so this IS the set of live versions
+  /// from OSS's point of view — Rebuild's ground truth.
+  Result<std::vector<std::pair<std::string, uint64_t>>> ListAllVersions()
+      const;
+
+  /// Rebuildable-state contract: drop the table-of-contents cache (the
+  /// store's only process-local state).
+  void DropLocalState();
 
   oss::ObjectStore* object_store() const { return store_; }
 
@@ -135,6 +145,8 @@ class RecipeStore {
 
 /// Escapes a file id for embedding in an object key ('/' and '%').
 std::string EscapeFileId(const std::string& file_id);
+/// Inverse of EscapeFileId (recovering file ids from object keys).
+std::string UnescapeFileId(const std::string& escaped);
 
 /// Every container id the recipe can reference, including superchunk
 /// constituents (a later dedup fallback may resurrect references to

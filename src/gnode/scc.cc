@@ -179,13 +179,18 @@ Result<SccStats> SparseContainerCompactor::Compact(
     if (!meta.ok()) return meta.status();
     bool changed = false;
     for (format::ChunkLocation& loc : meta.value().chunks) {
-      if (loc.deleted) continue;
       auto it = recipe_loc.find(loc.fp);
       if (it == recipe_loc.end() || it->second == cid) continue;
-      loc.deleted = true;
-      changed = true;
+      // Re-assert the redirect even when the tombstone is already
+      // durable: a crash can persist WriteMeta while the index Put dies
+      // with the (WAL-less) memtable, and compaction below must never
+      // outrun a durable redirect.
       if (global_index_ != nullptr) {
         SLIM_RETURN_IF_ERROR(global_index_->Put(loc.fp, it->second));
+      }
+      if (!loc.deleted) {
+        loc.deleted = true;
+        changed = true;
       }
     }
     if (changed) {

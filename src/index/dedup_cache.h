@@ -71,6 +71,9 @@ class DedupCache {
     return misses_;
   }
   void Clear() SLIM_EXCLUDES(mu_);
+  /// Rebuildable-state contract: the cache holds only segments
+  /// prefetched from OSS recipes, so dropping local state is Clear().
+  void DropLocalState() SLIM_EXCLUDES(mu_) { Clear(); }
 
  private:
   void EvictOne() SLIM_REQUIRES(mu_);

@@ -36,6 +36,12 @@ Status GlobalIndex::Open() {
   return Status::Ok();
 }
 
+void GlobalIndex::DropLocalState() {
+  db_.DropLocalState();
+  WriterMutexLock lock(bloom_mu_);
+  bloom_.Clear();
+}
+
 Status GlobalIndex::Put(const Fingerprint& fp,
                         format::ContainerId container_id) {
   m_puts_->Inc();

@@ -34,6 +34,12 @@ class GlobalIndex {
   /// Loads persisted LSM runs (reopen).
   Status Open() SLIM_EXCLUDES(bloom_mu_);
 
+  /// Rebuildable-state contract: drop the bloom filter and every byte
+  /// of the LSM's process-local state (memtable included — redirects
+  /// that never flushed are re-derived by re-running the pending G-node
+  /// cycles). Follow with Open() to reload the persisted runs.
+  void DropLocalState() SLIM_EXCLUDES(bloom_mu_);
+
   /// Records (or re-points) the container that owns `fp`.
   Status Put(const Fingerprint& fp, format::ContainerId container_id)
       SLIM_EXCLUDES(bloom_mu_);

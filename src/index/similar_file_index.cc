@@ -158,6 +158,12 @@ Status SimilarFileIndex::Load(oss::ObjectStore* store,
   return Status::Ok();
 }
 
+void SimilarFileIndex::DropLocalState() {
+  MutexLock lock(mu_);
+  samples_.clear();
+  latest_.clear();
+}
+
 size_t SimilarFileIndex::sample_count() const {
   MutexLock lock(mu_);
   return samples_.size();

@@ -57,6 +57,11 @@ class SimilarFileIndex {
   Status Save(oss::ObjectStore* store, const std::string& key) const;
   Status Load(oss::ObjectStore* store, const std::string& key);
 
+  /// Rebuildable-state contract: forget everything. The index is a
+  /// cache over recipe samples; SlimStore::Rebuild re-registers every
+  /// live version from its recipe.
+  void DropLocalState();
+
   size_t sample_count() const;
 
  private:

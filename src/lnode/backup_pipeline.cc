@@ -664,10 +664,47 @@ Result<BackupStats> BackupPipeline::BackupFromWindow(
   job.stats.logical_bytes = pos;
   job.stats.peak_stream_buffer_bytes = window->peak_buffer_bytes();
 
-  // STEP 3: persist containers + recipe.
+  // Mark phase input for version collection: all containers this
+  // version's recipe references (superchunk constituents included).
+  // Computed before STEP 3 so the pending record below can carry the
+  // full G-node worklist.
+  job.stats.referenced_containers =
+      format::CollectReferencedContainers(job.recipe);
+
+  // Sparse container identification (input to G-node SCC): utilization
+  // of every pre-existing container referenced by this backup. The
+  // final container is still in the builder (flushed in STEP 3), so its
+  // id counts as "own" explicitly.
+  std::unordered_set<ContainerId> own(job.stats.new_containers.begin(),
+                                      job.stats.new_containers.end());
+  if (job.builder.has_value()) own.insert(job.builder->id());
+  for (const auto& [cid, fps] : job.referenced) {
+    if (own.count(cid) > 0) continue;
+    auto count = containers_->ChunkCount(cid);
+    if (!count.ok()) continue;
+    size_t total = count.value();
+    if (total == 0) continue;
+    double utilization =
+        static_cast<double>(fps.size()) / static_cast<double>(total);
+    if (utilization < options_.sparse_utilization_threshold) {
+      job.stats.sparse_containers.push_back(cid);
+    }
+  }
+
+  // STEP 3: persist containers, the pending G-node worklist, then the
+  // recipe. The recipe stays the commit point: a pending record whose
+  // recipe never landed is an orphan that Rebuild deletes.
   {
     obs::Span span("backup.persist");
     SLIM_RETURN_IF_ERROR(FlushContainer(&job));
+    if (options_.pending_store != nullptr) {
+      format::PendingRecord pending;
+      pending.file_id = file_id;
+      pending.version = version;
+      pending.new_containers = job.stats.new_containers;
+      pending.sparse_containers = job.stats.sparse_containers;
+      SLIM_RETURN_IF_ERROR(options_.pending_store->Write(pending));
+    }
     SLIM_RETURN_IF_ERROR(
         recipes_->WriteRecipe(job.recipe, options_.sample_ratio));
   }
@@ -712,28 +749,6 @@ Result<BackupStats> BackupPipeline::BackupFromWindow(
       .Record(job.stats.cpu.fingerprint_nanos);
   reg.histogram("backup.index_ns").Record(job.stats.cpu.index_nanos);
   reg.histogram("backup.latency_ns").Record(total_nanos);
-
-  // Mark phase input for version collection: all containers this
-  // version's recipe references (superchunk constituents included).
-  job.stats.referenced_containers =
-      format::CollectReferencedContainers(job.recipe);
-
-  // Sparse container identification (input to G-node SCC): utilization
-  // of every pre-existing container referenced by this backup.
-  std::unordered_set<ContainerId> own(job.stats.new_containers.begin(),
-                                      job.stats.new_containers.end());
-  for (const auto& [cid, fps] : job.referenced) {
-    if (own.count(cid) > 0) continue;
-    auto count = containers_->ChunkCount(cid);
-    if (!count.ok()) continue;
-    size_t total = count.value();
-    if (total == 0) continue;
-    double utilization =
-        static_cast<double>(fps.size()) / static_cast<double>(total);
-    if (utilization < options_.sparse_utilization_threshold) {
-      job.stats.sparse_containers.push_back(cid);
-    }
-  }
 
   return std::move(job.stats);
 }

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "format/container.h"
+#include "format/pending.h"
 #include "format/recipe.h"
 #include "index/dedup_cache.h"
 #include "lnode/stream_window.h"
@@ -59,6 +60,12 @@ struct BackupOptions {
   size_t similarity_header_bytes = 4 << 20;
   /// Minimum shared samples to accept a similar file.
   size_t min_similarity_samples = 1;
+
+  /// When set, each backup persists its G-node worklist (new + sparse
+  /// containers) as a durable pending record just before the recipe
+  /// commit, so a crash-restarted L-node can rebuild exactly which
+  /// versions still owe a G-node pass. Non-owning; null disables.
+  format::PendingStore* pending_store = nullptr;
 
   /// HAR-style rewriting (baseline mode, Fu et al. ATC'14): duplicate
   /// chunks that live in these containers — the sparse containers the

@@ -1,0 +1,68 @@
+#ifndef SLIMSTORE_LNODE_STAT_CACHE_H_
+#define SLIMSTORE_LNODE_STAT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "oss/object_store.h"
+
+namespace slim::lnode {
+
+/// Cumulus-statcache-style skip-unchanged fast path for incremental
+/// backups: remembers, per file id, what the latest stored version
+/// looked like (size, filesystem mtime, content hash). When the next
+/// backup of the same file matches, SlimStore forwards the previous
+/// recipe to a new version number without chunking, fingerprinting or
+/// touching any container — the dominant case for nightly backups of
+/// mostly-unchanged trees.
+///
+/// Strictly a cache under the rebuildable-state contract: entries are
+/// hints, every hit is validated against the catalog + similar-file
+/// index before being trusted, and a rebuilt L-node revalidates or
+/// drops every entry (RetainIf). Persisted as one OSS state object by
+/// SaveState; losing it costs one full dedup pass per file, never
+/// correctness.
+class StatCache {
+ public:
+  struct Entry {
+    uint64_t size = 0;
+    /// Filesystem mtime (ns since epoch); 0 = unknown (in-memory
+    /// backups, which match by content hash instead).
+    uint64_t mtime_ns = 0;
+    /// SHA-1 of the file bytes at `version`.
+    Fingerprint content;
+    /// The version storing this exact content.
+    uint64_t version = 0;
+  };
+
+  StatCache() = default;
+
+  void Update(const std::string& file_id, const Entry& entry);
+  std::optional<Entry> Get(const std::string& file_id) const;
+  void Remove(const std::string& file_id);
+  /// Drops every entry failing `pred` (post-rebuild revalidation).
+  void RetainIf(
+      const std::function<bool(const std::string&, const Entry&)>& pred);
+  size_t size() const;
+
+  /// Persists to / restores from one OSS state object.
+  Status Save(oss::ObjectStore* store, const std::string& key) const;
+  Status Load(oss::ObjectStore* store, const std::string& key);
+
+  /// Rebuildable-state contract: forget every entry.
+  void DropLocalState();
+
+ private:
+  mutable Mutex mu_{"lnode.statcache"};
+  std::unordered_map<std::string, Entry> entries_ SLIM_GUARDED_BY(mu_);
+};
+
+}  // namespace slim::lnode
+
+#endif  // SLIMSTORE_LNODE_STAT_CACHE_H_

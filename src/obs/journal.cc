@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <system_error>
 
 #include "obs/metrics.h"
@@ -370,6 +371,46 @@ bool EventJournal::ExtractString(const std::string& record,
   if (pos >= record.size()) return false;  // Unterminated string.
   *out = std::move(value);
   return true;
+}
+
+std::vector<EventJournal::TenantRollup> EventJournal::RollupByTenant(
+    const std::vector<std::string>& records) {
+  std::map<std::string, TenantRollup> by_tenant;
+  for (const std::string& record : records) {
+    std::string type;
+    if (!ExtractString(record, "type", &type) || type != "job") continue;
+    std::string tenant;
+    ExtractString(record, "tenant", &tenant);
+    TenantRollup& roll = by_tenant[tenant];
+    roll.tenant = tenant;
+    ++roll.jobs;
+    std::string outcome;
+    if (ExtractString(record, "outcome", &outcome) && outcome != "ok" &&
+        outcome != "running") {
+      ++roll.errors;
+    }
+    double value = 0;
+    if (ExtractNumber(record, "requests", &value)) {
+      roll.requests += static_cast<uint64_t>(value);
+    }
+    if (ExtractNumber(record, "bytes_read", &value)) {
+      roll.bytes_read += static_cast<uint64_t>(value);
+    }
+    if (ExtractNumber(record, "bytes_written", &value)) {
+      roll.bytes_written += static_cast<uint64_t>(value);
+    }
+    if (ExtractNumber(record, "wall_ms", &value)) roll.wall_ms += value;
+    if (ExtractNumber(record, "dollars", &value)) roll.dollars += value;
+  }
+  std::vector<TenantRollup> rollups;
+  rollups.reserve(by_tenant.size());
+  for (auto& [tenant, roll] : by_tenant) rollups.push_back(std::move(roll));
+  std::sort(rollups.begin(), rollups.end(),
+            [](const TenantRollup& a, const TenantRollup& b) {
+              if (a.dollars != b.dollars) return a.dollars > b.dollars;
+              return a.tenant < b.tenant;
+            });
+  return rollups;
 }
 
 bool EventJournal::ExtractNumber(const std::string& record,

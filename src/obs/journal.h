@@ -77,6 +77,24 @@ class EventJournal {
   static bool ExtractNumber(const std::string& record, const std::string& key,
                             double* out);
 
+  /// Per-tenant cost rollup aggregated from job records (`slim jobs
+  /// --by-tenant`). Jobs charge the innermost scope only, so summing
+  /// every record never double-counts a parent/child chain.
+  struct TenantRollup {
+    std::string tenant;  // "" = untagged jobs.
+    uint64_t jobs = 0;
+    uint64_t errors = 0;  // Outcome neither "ok" nor "running".
+    uint64_t requests = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+    double wall_ms = 0;
+    double dollars = 0;
+  };
+  /// Aggregates `type:"job"` records by tenant; other record types are
+  /// ignored. Sorted by dollars descending, then tenant ascending.
+  static std::vector<TenantRollup> RollupByTenant(
+      const std::vector<std::string>& records);
+
  private:
   EventJournal() = default;
 

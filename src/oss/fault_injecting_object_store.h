@@ -111,6 +111,12 @@ class FaultInjectingObjectStore : public ObjectStore {
 
   /// Everything injected so far, in admission order.
   std::vector<InjectedFault> injection_log() const SLIM_EXCLUDES(mu_);
+  /// Operations admitted while enabled (the crash-point sweep counts a
+  /// golden run with this to enumerate every possible cut).
+  uint64_t ops_admitted() const SLIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return ops_admitted_;
+  }
   /// Number of injected errors (log entries with a non-OK code).
   uint64_t injected_error_count() const SLIM_EXCLUDES(mu_);
   /// Resets the log, the global op counter and all per-key occurrence

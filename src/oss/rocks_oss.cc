@@ -106,6 +106,17 @@ Status RocksOss::Open() {
   return Status::Ok();
 }
 
+void RocksOss::DropLocalState() {
+  MutexLock lock(mu_);
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  runs_.clear();
+  next_run_id_ = 0;
+  cache_lru_.clear();
+  run_cache_.clear();
+  bloom_skips_ = 0;
+}
+
 Status RocksOss::Put(const std::string& key, const std::string& value) {
   MutexLock lock(mu_);
   memtable_.insert_or_assign(key, value);

@@ -55,6 +55,11 @@ class RocksOss {
   /// WAL-less cache; SlimStore flushes after each G-node cycle.
   Status Open() SLIM_EXCLUDES(mu_);
 
+  /// Rebuildable-state contract: discard the memtable, run metadata and
+  /// caches, simulating process death. Unflushed writes are lost by
+  /// design (WAL-less); Open() reloads the durable runs.
+  void DropLocalState() SLIM_EXCLUDES(mu_);
+
   Status Put(const std::string& key, const std::string& value)
       SLIM_EXCLUDES(mu_);
   Status Delete(const std::string& key) SLIM_EXCLUDES(mu_);

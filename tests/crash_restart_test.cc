@@ -1,0 +1,385 @@
+// Deterministic crash-restart sweep: the rebuildable-state contract
+// (common/rebuildable.h) promises that everything an L-node keeps in
+// process memory is a cache over OSS-resident objects. This test PROVES
+// it by enumerating every OSS commit point of a backup + G-node cycle,
+// simulating process death at each one (SlimStore destroyed, every
+// local structure discarded — only the memory object store survives,
+// playing the role of OSS), restarting over the surviving objects with
+// SlimStore::Rebuild(), and asserting full convergence:
+//   - Rebuild itself succeeds from any crash point;
+//   - re-driving the interrupted workload brings back every version
+//     byte-identically, with the repository fully verified;
+//   - the converged repository occupies exactly the same container /
+//     meta / recipe bytes as a universe that never crashed.
+// Everything is deterministic given the seed: the crash point is an
+// exact operation index, not a timer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/slimstore.h"
+#include "oss/fault_injecting_object_store.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+constexpr size_t kFiles = 2;
+constexpr size_t kVersions = 2;
+constexpr size_t kBaseSize = 24 << 10;
+constexpr uint64_t kSweepSeeds = 20;
+
+std::string FileId(size_t f) { return "file-" + std::to_string(f); }
+
+// expected[f][v] = bytes of version v of file f. Deterministic in seed.
+std::vector<std::vector<std::string>> MakeVersions(uint64_t seed) {
+  std::vector<std::vector<std::string>> expected(kFiles);
+  for (size_t f = 0; f < kFiles; ++f) {
+    workload::GeneratorOptions gopts;
+    gopts.base_size = kBaseSize;
+    gopts.duplication_ratio = 0.80;
+    gopts.seed = seed * 1000 + f;
+    workload::VersionedFileGenerator gen(gopts);
+    expected[f].push_back(gen.data());
+    for (size_t v = 1; v < kVersions; ++v) {
+      gen.Mutate();
+      expected[f].push_back(gen.data());
+    }
+  }
+  return expected;
+}
+
+// Small containers + aggressive sparseness threshold so the tiny
+// workload still spans several containers and the G-node phases do real
+// work (compaction, reverse dedup, redirects) whose commit points the
+// sweep then slices through.
+core::SlimStoreOptions MakeOptions() {
+  core::SlimStoreOptions options;
+  options.backup.container_capacity = 8 << 10;
+  options.backup.sparse_utilization_threshold = 0.9;
+  return options;
+}
+
+// One simulated deployment: SlimStore -> FaultInjecting -> Memory. No
+// retry layer: a crash cut is process death, not a retryable blip, and
+// its absence keeps the op numbering = the commit-point numbering.
+struct Universe {
+  std::unique_ptr<oss::MemoryObjectStore> mem;
+  std::unique_ptr<oss::FaultInjectingObjectStore> faulty;
+  std::unique_ptr<core::SlimStore> slim;
+};
+
+Universe MakeUniverse(const oss::FaultProfile& profile) {
+  Universe u;
+  u.mem = std::make_unique<oss::MemoryObjectStore>();
+  u.faulty =
+      std::make_unique<oss::FaultInjectingObjectStore>(u.mem.get(), profile);
+  u.slim = std::make_unique<core::SlimStore>(u.faulty.get(), MakeOptions());
+  return u;
+}
+
+// Drives the canonical workload — every version of every file, then one
+// G-node cycle — skipping versions already in the catalog (so the same
+// driver both runs the golden universe and re-drives a rebuilt one).
+// With `swallow_errors` the first failure stops the drive silently: the
+// crashed process "died" at that operation.
+void DriveWorkload(core::SlimStore* slim,
+                   const std::vector<std::vector<std::string>>& expected,
+                   bool swallow_errors) {
+  for (size_t v = 0; v < kVersions; ++v) {
+    for (size_t f = 0; f < kFiles; ++f) {
+      if (slim->catalog()->Get(FileId(f), v).has_value()) continue;
+      auto stats = slim->Backup(FileId(f), expected[f][v]);
+      if (!stats.ok()) {
+        if (swallow_errors) return;
+        FAIL() << "backup " << FileId(f) << "@v" << v << ": "
+               << stats.status();
+      }
+      ASSERT_EQ(stats.value().version, v);
+    }
+  }
+  auto cycle = slim->RunGNodeCycle();
+  if (!cycle.ok() && !swallow_errors) {
+    FAIL() << "gnode cycle: " << cycle.status();
+  }
+}
+
+struct GnodeSpace {
+  uint64_t container_bytes = 0;
+  uint64_t meta_bytes = 0;
+  uint64_t recipe_bytes = 0;
+
+  bool operator==(const GnodeSpace& rhs) const {
+    return container_bytes == rhs.container_bytes &&
+           meta_bytes == rhs.meta_bytes && recipe_bytes == rhs.recipe_bytes;
+  }
+};
+
+// Space the convergence invariant covers. The global index is excluded:
+// its run *packaging* legitimately depends on where flushes fell, only
+// its mappings must converge (VerifyRepository checks those via chunk
+// resolution).
+GnodeSpace SpaceOf(core::SlimStore* slim) {
+  auto report = slim->GetSpaceReport();
+  EXPECT_TRUE(report.ok()) << report.status();
+  if (!report.ok()) return {};
+  return {report.value().container_bytes, report.value().meta_bytes,
+          report.value().recipe_bytes};
+}
+
+// Asserts the post-rebuild universe converged: verified repository,
+// byte-identical restores, same G-node space as the never-crashed run.
+void ExpectConverged(core::SlimStore* slim,
+                     const std::vector<std::vector<std::string>>& expected,
+                     const GnodeSpace& golden, const std::string& label) {
+  auto report = slim->VerifyRepository();
+  ASSERT_TRUE(report.ok()) << label << ": " << report.status();
+  EXPECT_TRUE(report.value().ok())
+      << label << ": "
+      << (report.value().problems.empty() ? ""
+                                          : report.value().problems.front());
+  for (size_t f = 0; f < kFiles; ++f) {
+    for (size_t v = 0; v < kVersions; ++v) {
+      auto data = slim->Restore(FileId(f), v);
+      ASSERT_TRUE(data.ok())
+          << label << ": restore " << FileId(f) << "@v" << v << ": "
+          << data.status();
+      EXPECT_EQ(data.value(), expected[f][v])
+          << label << ": " << FileId(f) << "@v" << v
+          << " corrupt after rebuild";
+    }
+  }
+  GnodeSpace space = SpaceOf(slim);
+  EXPECT_EQ(space, golden)
+      << label << ": space did not converge (containers "
+      << space.container_bytes << " vs " << golden.container_bytes
+      << ", metas " << space.meta_bytes << " vs " << golden.meta_bytes
+      << ", recipes " << space.recipe_bytes << " vs "
+      << golden.recipe_bytes << ")";
+}
+
+// One seed of the sweep: a golden run counts the total number of OSS
+// operations T the workload admits, then every cut in [1, T] is run as
+// its own universe that dies exactly there.
+void RunSweepSeed(uint64_t seed) {
+  const auto expected = MakeVersions(seed);
+
+  // Golden universe: the cut is armed (so operations are counted
+  // identically to the crash runs) but fail_after_ops = 0 never fires.
+  Universe golden = MakeUniverse(oss::FaultProfile::CrashCut(0, seed));
+  golden.faulty->set_enabled(true);
+  DriveWorkload(golden.slim.get(), expected, /*swallow_errors=*/false);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  const uint64_t total_ops = golden.faulty->ops_admitted();
+  ASSERT_GT(total_ops, 0u);
+  golden.faulty->set_enabled(false);
+  const GnodeSpace golden_space = SpaceOf(golden.slim.get());
+
+  for (uint64_t cut = 1; cut <= total_ops; ++cut) {
+    std::string label =
+        "seed " + std::to_string(seed) + " cut " + std::to_string(cut) +
+        "/" + std::to_string(total_ops);
+
+    // The process lives for exactly `cut` OSS operations, then every
+    // later operation fails: the workload dies wherever that lands.
+    Universe u = MakeUniverse(oss::FaultProfile::CrashCut(cut, seed));
+    u.faulty->set_enabled(true);
+    DriveWorkload(u.slim.get(), expected, /*swallow_errors=*/true);
+
+    // Process death: the SlimStore and every local structure in it are
+    // gone. Only the object store (OSS) survives.
+    u.slim.reset();
+    u.faulty->set_enabled(false);
+
+    // Restart: a brand-new SlimStore over the surviving objects, local
+    // state reconstructed purely from OSS.
+    auto restarted =
+        std::make_unique<core::SlimStore>(u.mem.get(), MakeOptions());
+    Status rebuilt = restarted->Rebuild();
+    ASSERT_TRUE(rebuilt.ok()) << label << ": rebuild failed: " << rebuilt;
+
+    // Re-drive what the crash interrupted, then converge.
+    DriveWorkload(restarted.get(), expected, /*swallow_errors=*/false);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure()) << label;
+    ExpectConverged(restarted.get(), expected, golden_space, label);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+class CrashRestartSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashRestartSweepTest, EveryCrashPointConverges) {
+  RunSweepSeed(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashRestartSweepTest,
+                         ::testing::Range<uint64_t>(1, kSweepSeeds + 1),
+                         [](const ::testing::TestParamInfo<uint64_t>& param) {
+                           return "seed" + std::to_string(param.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Rebuild without any crash: a plain restart that never called
+// SaveState must come back whole from recipes + containers alone.
+// ---------------------------------------------------------------------------
+
+TEST(RebuildTest, RebuildsWithoutCheckpointOrCrash) {
+  const uint64_t seed = 42;
+  const auto expected = MakeVersions(seed);
+  auto mem = std::make_unique<oss::MemoryObjectStore>();
+  {
+    core::SlimStore slim(mem.get(), MakeOptions());
+    DriveWorkload(&slim, expected, /*swallow_errors=*/false);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    // No SaveState: the process dies with its checkpointable state.
+  }
+  core::SlimStore restarted(mem.get(), MakeOptions());
+  ASSERT_TRUE(restarted.Rebuild().ok());
+  auto report = restarted.VerifyRepository();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().ok());
+  for (size_t f = 0; f < kFiles; ++f) {
+    for (size_t v = 0; v < kVersions; ++v) {
+      auto data = restarted.Restore(FileId(f), v);
+      ASSERT_TRUE(data.ok()) << data.status();
+      EXPECT_EQ(data.value(), expected[f][v]);
+    }
+  }
+  // All versions were G-node processed before the restart and carry no
+  // pending records, so nothing is pending after the rebuild either.
+  EXPECT_TRUE(restarted.catalog()->GnodePending().empty());
+  // Backups continue seamlessly: the next version lands on top.
+  auto stats = restarted.Backup(FileId(0), expected[0][kVersions - 1]);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats.value().version, kVersions);
+}
+
+// A crashed backup leaves a pending record whose recipe never landed;
+// Rebuild must delete the orphan rather than resurrect a half-version.
+TEST(RebuildTest, OrphanPendingRecordIsDeleted) {
+  auto mem = std::make_unique<oss::MemoryObjectStore>();
+  core::SlimStore slim(mem.get(), MakeOptions());
+  auto stats = slim.Backup("kept", std::string(4096, 'a'));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  // Forge the crash artifact: a pending record for a version that never
+  // committed (its recipe object does not exist).
+  format::PendingRecord orphan;
+  orphan.file_id = "ghost";
+  orphan.version = 0;
+  orphan.new_containers = {99};
+  ASSERT_TRUE(slim.pending_store()->Write(orphan).ok());
+
+  core::SlimStore restarted(mem.get(), MakeOptions());
+  ASSERT_TRUE(restarted.Rebuild().ok());
+  EXPECT_FALSE(restarted.catalog()->Get("ghost", 0).has_value());
+  auto exists = restarted.pending_store()->Exists("ghost", 0);
+  ASSERT_TRUE(exists.ok()) << exists.status();
+  EXPECT_FALSE(exists.value());
+  EXPECT_TRUE(restarted.catalog()->Get("kept", 0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Statcache fast path: skip-unchanged backups, and their survival (with
+// revalidation) across a rebuild.
+// ---------------------------------------------------------------------------
+
+core::SlimStoreOptions StatCacheOptions() {
+  core::SlimStoreOptions options = MakeOptions();
+  options.enable_statcache = true;
+  return options;
+}
+
+TEST(StatCacheTest, UnchangedBackupForwardsRecipe) {
+  auto mem = std::make_unique<oss::MemoryObjectStore>();
+  core::SlimStore slim(mem.get(), StatCacheOptions());
+  const std::string data(32 << 10, 'x');
+
+  auto v0 = slim.Backup("f", data);
+  ASSERT_TRUE(v0.ok()) << v0.status();
+  EXPECT_EQ(v0.value().version, 0u);
+
+  // Identical bytes: the fast path forwards the recipe — every chunk a
+  // duplicate, no new containers, born fully G-node processed.
+  auto v1 = slim.Backup("f", data);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(v1.value().version, 1u);
+  EXPECT_EQ(v1.value().detection, lnode::BaseDetection::kByName);
+  EXPECT_EQ(v1.value().dup_chunks, v1.value().total_chunks);
+  EXPECT_TRUE(v1.value().new_containers.empty());
+  auto info = slim.catalog()->Get("f", 1);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->gnode_pending);
+
+  // Changed bytes fall back to the full pipeline.
+  std::string changed = data;
+  changed[100] = 'y';
+  auto v2 = slim.Backup("f", changed);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(v2.value().version, 2u);
+  EXPECT_LT(v2.value().dup_chunks, v2.value().total_chunks);
+
+  // All three versions restore byte-identically.
+  for (uint64_t v = 0; v < 3; ++v) {
+    auto restored = slim.Restore("f", v);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored.value(), v == 2 ? changed : data);
+  }
+  auto report = slim.VerifyRepository();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().ok());
+}
+
+TEST(StatCacheTest, SurvivesRebuildViaCheckpointAndRevalidation) {
+  auto mem = std::make_unique<oss::MemoryObjectStore>();
+  const std::string data(32 << 10, 'x');
+  {
+    core::SlimStore slim(mem.get(), StatCacheOptions());
+    ASSERT_TRUE(slim.Backup("f", data).ok());
+    ASSERT_TRUE(slim.SaveState().ok());
+  }
+  core::SlimStore restarted(mem.get(), StatCacheOptions());
+  ASSERT_TRUE(restarted.Rebuild().ok());
+  // The checkpointed entry still describes the rebuilt latest version,
+  // so it survives revalidation and the next identical backup is a
+  // fast-path forward.
+  EXPECT_EQ(restarted.stat_cache()->size(), 1u);
+  auto v1 = restarted.Backup("f", data);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(v1.value().version, 1u);
+  EXPECT_EQ(v1.value().dup_chunks, v1.value().total_chunks);
+  EXPECT_TRUE(v1.value().new_containers.empty());
+}
+
+TEST(StatCacheTest, StaleEntriesDroppedAtRebuild) {
+  auto mem = std::make_unique<oss::MemoryObjectStore>();
+  const std::string data(32 << 10, 'x');
+  {
+    core::SlimStore slim(mem.get(), StatCacheOptions());
+    ASSERT_TRUE(slim.Backup("f", data).ok());
+    ASSERT_TRUE(slim.SaveState().ok());
+    // The checkpoint now says "latest of f is v0"... and then v1 lands
+    // without another SaveState, so the checkpointed entry is stale.
+    ASSERT_TRUE(slim.Backup("f", data + "tail").ok());
+  }
+  core::SlimStore restarted(mem.get(), StatCacheOptions());
+  ASSERT_TRUE(restarted.Rebuild().ok());
+  // Revalidation dropped the stale entry (it names v0, latest is v1).
+  EXPECT_EQ(restarted.stat_cache()->size(), 0u);
+  // Cold statcache is only a missed optimization: the next backup runs
+  // the full pipeline and still dedups everything against v0's recipe.
+  auto v2 = restarted.Backup("f", data);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(v2.value().version, 2u);
+  auto restored = restarted.Restore("f", 2);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value(), data);
+}
+
+}  // namespace
+}  // namespace slim

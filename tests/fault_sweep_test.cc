@@ -58,6 +58,18 @@ struct Universe {
   std::unique_ptr<core::SlimStore> slim;
 };
 
+core::SlimStoreOptions MakeStoreOptions() {
+  core::SlimStoreOptions options;
+  // Small containers so every cell spans several of them, and an
+  // aggressive sparseness threshold so partially-referenced containers
+  // qualify for SCC — otherwise ~80% inter-version duplication never
+  // drops utilization below the default 0.30 and the G-node phases
+  // would be no-ops.
+  options.backup.container_capacity = 64 << 10;
+  options.backup.sparse_utilization_threshold = 0.9;
+  return options;
+}
+
 Universe MakeUniverse(const oss::FaultProfile& profile,
                       const oss::RetryPolicy& policy) {
   Universe u;
@@ -67,15 +79,8 @@ Universe MakeUniverse(const oss::FaultProfile& profile,
   u.faulty->set_enabled(false);  // Armed after the clean backup phase.
   u.retrying =
       std::make_unique<oss::RetryingObjectStore>(u.faulty.get(), policy);
-  core::SlimStoreOptions options;
-  // Small containers so every cell spans several of them, and an
-  // aggressive sparseness threshold so partially-referenced containers
-  // qualify for SCC — otherwise ~80% inter-version duplication never
-  // drops utilization below the default 0.30 and the G-node phases
-  // would be no-ops.
-  options.backup.container_capacity = 64 << 10;
-  options.backup.sparse_utilization_threshold = 0.9;
-  u.slim = std::make_unique<core::SlimStore>(u.retrying.get(), options);
+  u.slim = std::make_unique<core::SlimStore>(u.retrying.get(),
+                                             MakeStoreOptions());
   return u;
 }
 
@@ -112,6 +117,7 @@ enum class ProfileKind {
   kTransientRetried,  // Light transients, generous retries: must succeed.
   kTransientHeavy,    // Heavy transients, tight retries: error-or-correct.
   kCrashCut,          // Hard cut after N ops: error-or-correct.
+  kCrashRestart,      // Hard cut, then process death + Rebuild().
   kPermanentData,     // Container-data keyspace hard down.
 };
 
@@ -123,6 +129,8 @@ const char* ProfileName(ProfileKind kind) {
       return "transient_heavy";
     case ProfileKind::kCrashCut:
       return "crash_cut";
+    case ProfileKind::kCrashRestart:
+      return "crash_restart";
     case ProfileKind::kPermanentData:
       return "permanent_data";
   }
@@ -136,6 +144,7 @@ oss::FaultProfile MakeProfile(ProfileKind kind, uint64_t seed) {
     case ProfileKind::kTransientHeavy:
       return oss::FaultProfile::TransientHeavy(seed);
     case ProfileKind::kCrashCut:
+    case ProfileKind::kCrashRestart:
       // Vary the cut point with the seed so the sweep slices the
       // restore/G-node pipelines at many different operations.
       return oss::FaultProfile::CrashCut(10 + seed * 7 % 120, seed);
@@ -157,6 +166,7 @@ oss::RetryPolicy MakePolicy(ProfileKind kind, uint64_t seed) {
       policy.max_attempts = 2;
       break;
     case ProfileKind::kCrashCut:
+    case ProfileKind::kCrashRestart:
     case ProfileKind::kPermanentData:
       policy.max_attempts = 2;
       break;
@@ -217,6 +227,21 @@ CellOutcome RunCell(ProfileKind kind, uint64_t seed) {
   }
   u.faulty->set_enabled(false);
 
+  if (kind == ProfileKind::kCrashRestart) {
+    // The cut was a process death, not a blip: throw the L-node away —
+    // caches, catalog, statcache, everything — and bring up a fresh one
+    // over the same OSS stack. Recovery below must then work from
+    // rebuilt state alone.
+    u.slim.reset();
+    u.slim = std::make_unique<core::SlimStore>(u.retrying.get(),
+                                               MakeStoreOptions());
+    auto rebuilt = u.slim->Rebuild();
+    EXPECT_TRUE(rebuilt.ok())
+        << ProfileName(kind) << " seed " << seed
+        << ": rebuild after restart failed: " << rebuilt;
+    if (!rebuilt.ok()) return outcome;
+  }
+
   auto recovered_cycle = u.slim->RunGNodeCycle();
   EXPECT_TRUE(recovered_cycle.ok())
       << ProfileName(kind) << " seed " << seed
@@ -265,6 +290,7 @@ INSTANTIATE_TEST_SUITE_P(
     Profiles, FaultSweepTest,
     ::testing::Values(ProfileKind::kTransientRetried,
                       ProfileKind::kTransientHeavy, ProfileKind::kCrashCut,
+                      ProfileKind::kCrashRestart,
                       ProfileKind::kPermanentData),
     [](const ::testing::TestParamInfo<ProfileKind>& param_info) {
       return ProfileName(param_info.param);

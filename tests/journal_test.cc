@@ -221,5 +221,77 @@ TEST_F(JournalTest, FinishedJobScopesAppendRecords) {
             std::string::npos);
 }
 
+TEST_F(JournalTest, RollupByTenantAggregatesMultiTenantJournal) {
+  // A journal mixing two tagged tenants, untagged jobs, a failed job,
+  // and a non-job record — the exact shape `slim jobs --by-tenant`
+  // reads back.
+  auto job = [](uint64_t id, const std::string& tenant,
+                const std::string& outcome, uint64_t puts,
+                uint64_t bytes_written, int64_t wall_ms,
+                int64_t picodollars) {
+    JobSummary summary;
+    summary.job_id = id;
+    summary.kind = "backup";
+    summary.name = "backup:file-" + std::to_string(id);
+    summary.tenant = tenant;
+    summary.outcome = outcome;
+    summary.start_unix_ms = 1000;
+    summary.end_unix_ms = 1000 + wall_ms;
+    summary.cost.requests[static_cast<size_t>(OssOp::kPut)] = puts;
+    summary.cost.bytes_written = bytes_written;
+    summary.cost.picodollars = picodollars;
+    return EventJournal::JobRecordJson(summary);
+  };
+  std::vector<std::string> records = {
+      job(1, "acme", "ok", 4, 1000, 10, 5'000'000'000),  // 0.005 $
+      job(2, "acme", "error: oss down", 1, 0, 5, 1'000'000'000),
+      job(3, "globex", "ok", 2, 500, 7, 9'000'000'000),  // 0.009 $
+      job(4, "", "ok", 1, 100, 3, 2'000'000'000),        // untagged
+      "{\"type\":\"note\",\"tenant\":\"acme\",\"dollars\":99}",  // ignored
+  };
+
+  auto rollups = EventJournal::RollupByTenant(records);
+  ASSERT_EQ(rollups.size(), 3u);
+
+  // Sorted by dollars descending: globex (0.009), acme (0.006), "".
+  EXPECT_EQ(rollups[0].tenant, "globex");
+  EXPECT_EQ(rollups[0].jobs, 1u);
+  EXPECT_EQ(rollups[0].errors, 0u);
+  EXPECT_EQ(rollups[0].requests, 2u);
+  EXPECT_EQ(rollups[0].bytes_written, 500u);
+  EXPECT_DOUBLE_EQ(rollups[0].wall_ms, 7.0);
+  EXPECT_NEAR(rollups[0].dollars, 0.009, 1e-12);
+
+  EXPECT_EQ(rollups[1].tenant, "acme");
+  EXPECT_EQ(rollups[1].jobs, 2u);
+  EXPECT_EQ(rollups[1].errors, 1u);  // The "error: oss down" job.
+  EXPECT_EQ(rollups[1].requests, 5u);
+  EXPECT_EQ(rollups[1].bytes_written, 1000u);
+  EXPECT_DOUBLE_EQ(rollups[1].wall_ms, 15.0);
+  EXPECT_NEAR(rollups[1].dollars, 0.006, 1e-12);
+
+  EXPECT_EQ(rollups[2].tenant, "");
+  EXPECT_EQ(rollups[2].jobs, 1u);
+  EXPECT_NEAR(rollups[2].dollars, 0.002, 1e-12);
+}
+
+TEST_F(JournalTest, RollupByTenantTiesBreakByTenantName) {
+  auto job = [](const std::string& tenant) {
+    JobSummary summary;
+    summary.job_id = 1;
+    summary.kind = "restore";
+    summary.tenant = tenant;
+    summary.outcome = "ok";
+    return EventJournal::JobRecordJson(summary);
+  };
+  // Identical (zero) dollars: order must fall back to tenant ascending.
+  auto rollups = EventJournal::RollupByTenant(
+      {job("zeta"), job("alpha"), job("mid")});
+  ASSERT_EQ(rollups.size(), 3u);
+  EXPECT_EQ(rollups[0].tenant, "alpha");
+  EXPECT_EQ(rollups[1].tenant, "mid");
+  EXPECT_EQ(rollups[2].tenant, "zeta");
+}
+
 }  // namespace
 }  // namespace slim::obs

@@ -40,6 +40,14 @@ Checks (each maps to a stable rule id, printed with every finding):
                         std::move (or tag `// lint:allow-put-copy` when the
                         copy is intentional, e.g. a retry loop that must
                         keep the value for the next attempt).
+  cache-declares-rebuild
+                        every mutex-guarded class declared in a header
+                        under src/index/ or src/lnode/ is an L-node cache
+                        over OSS-resident truth and must declare its
+                        rebuild entry point `DropLocalState()` (the
+                        rebuildable-state contract, src/common/
+                        rebuildable.h) so SlimStore::Rebuild can
+                        reconstruct it after a crash.
   oss-verified-read     raw Get/GetRange on an object-store handle (a
                         receiver named `store`/`*_store`/`oss`/...) in src/
                         returns payload bytes without checking the CRC32C
@@ -95,6 +103,7 @@ STD_SYNC_RE = re.compile(
 # (MutexLock) do not match.
 MUTEX_DECL_RE = re.compile(
     r"\b(?:slim::)?(?:Mutex|SharedMutex)\s+[A-Za-z_]\w*\s*(.*)$")
+REBUILD_ENTRY_RE = re.compile(r"\bDropLocalState\s*\(")
 COMMENT_RE = re.compile(r"//.*$")
 PUT_CALL_RE = re.compile(r"(?:->|\.)\s*Put\s*\(")
 OSS_READ_RE = re.compile(r"\b(\w*(?:store|oss)_?)\s*(?:->|\.)\s*Get(?:Range)?\s*\(")
@@ -212,6 +221,34 @@ def check_mutex_named(rel_path, lines, findings):
                     "tools/lock_hierarchy.json"))
 
 
+def check_cache_declares_rebuild(rel_path, lines, findings):
+    """The rebuildable-state contract (src/common/rebuildable.h): a
+    mutex-guarded class declared in an L-node cache directory header is
+    process-local state over OSS-resident truth, and SlimStore::Rebuild
+    must be able to reset it — so the header must declare the contract's
+    entry point, DropLocalState()."""
+    parts = rel_path.replace(os.sep, "/").split("/")
+    if len(parts) < 3 or parts[0] != "src" or parts[1] not in ("index",
+                                                               "lnode"):
+        return
+    first_mutex_line = None
+    has_entry = False
+    for i, line in enumerate(lines, 1):
+        code = strip_line_comment(line)
+        if REBUILD_ENTRY_RE.search(code):
+            has_entry = True
+        m = MUTEX_DECL_RE.search(code)
+        if (m and m.group(1).strip().startswith((";", "{", "("))
+                and first_mutex_line is None):
+            first_mutex_line = i
+    if first_mutex_line is not None and not has_entry:
+        findings.append(
+            Finding("cache-declares-rebuild", rel_path, first_mutex_line,
+                    "mutex-guarded L-node cache class declares no "
+                    "`DropLocalState()`; every local structure must be "
+                    "rebuildable from OSS (src/common/rebuildable.h)"))
+
+
 def split_call_args(text, open_paren):
     """Splits the balanced argument list starting at text[open_paren]
     ('(') into top-level arguments. Returns (args, end_index) or
@@ -314,6 +351,8 @@ def lint_file(root, rel_path, metric_sites, findings):
         check_include_guard(rel_path, text, findings)
     if is_header:
         check_using_namespace(rel_path, lines, findings)
+    if is_header and top == "src":
+        check_cache_declares_rebuild(rel_path, lines, findings)
     if top == "src":
         check_raw_new(rel_path, lines, findings)
         check_std_mutex(rel_path, lines, findings)

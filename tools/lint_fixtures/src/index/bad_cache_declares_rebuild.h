@@ -1,0 +1,19 @@
+#ifndef SLIMSTORE_INDEX_BAD_CACHE_DECLARES_REBUILD_H_
+#define SLIMSTORE_INDEX_BAD_CACHE_DECLARES_REBUILD_H_
+
+// Fixture: a mutex-guarded cache class in an L-node cache directory
+// with no DropLocalState() — it violates the rebuildable-state
+// contract, since SlimStore::Rebuild cannot reset it after a crash.
+namespace slim::index {
+
+class LeakyCache {
+ public:
+  void Put(int key, int value);
+
+ private:
+  Mutex mu_{"index.leaky_cache"};
+};
+
+}  // namespace slim::index
+
+#endif  // SLIMSTORE_INDEX_BAD_CACHE_DECLARES_REBUILD_H_

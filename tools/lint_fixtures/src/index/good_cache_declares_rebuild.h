@@ -1,0 +1,20 @@
+#ifndef SLIMSTORE_INDEX_GOOD_CACHE_DECLARES_REBUILD_H_
+#define SLIMSTORE_INDEX_GOOD_CACHE_DECLARES_REBUILD_H_
+
+// Fixture: a mutex-guarded cache class that honors the
+// rebuildable-state contract by declaring DropLocalState().
+namespace slim::index {
+
+class RebuildableCache {
+ public:
+  void Put(int key, int value);
+  // Rebuildable-state contract entry point (src/common/rebuildable.h).
+  void DropLocalState();
+
+ private:
+  Mutex mu_{"index.rebuildable_cache"};
+};
+
+}  // namespace slim::index
+
+#endif  // SLIMSTORE_INDEX_GOOD_CACHE_DECLARES_REBUILD_H_

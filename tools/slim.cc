@@ -13,6 +13,8 @@
 //   slim -r REPO stats [--json|--prom]     metrics + job costs + trace spans
 //   slim -r REPO stats --trace OUT.json    dump spans as Chrome trace JSON
 //   slim -r REPO jobs [--tail N|--json]    read the job event journal
+//   slim -r REPO jobs --by-tenant          per-tenant cost rollup
+//   slim -r REPO rebuild                   reconstruct local state from OSS
 //   slim -r REPO scrub                     detect corruption / lost replicas
 //   slim -r REPO repair                    scrub + repair what redundancy allows
 //   slim bench list                        list registered bench scenarios
@@ -87,6 +89,11 @@ int Usage() {
       "                            JSON (Perfetto / about:tracing)\n"
       "  jobs [--tail N] [--json]  read the job event journal (what ran,\n"
       "                            what it cost); default last 20 records\n"
+      "  jobs --by-tenant          aggregate the journal into per-tenant\n"
+      "                            cost rollups (jobs, requests, dollars)\n"
+      "  rebuild                   crash recovery: discard all local state\n"
+      "                            and reconstruct it from OSS objects\n"
+      "                            (recipes, pending records, containers)\n"
       "  bench list                list registered bench scenarios\n"
       "  bench run [...]           run a bench suite; writes schema-\n"
       "                            versioned perf JSON (default "
@@ -126,11 +133,15 @@ class Repo {
  public:
   /// `init_replicas` >= 2 creates a replicated layout (init only);
   /// otherwise the layout is detected from the directory structure.
+  /// `load_state` false skips OpenExisting even when a state checkpoint
+  /// is present (`slim rebuild` reconstructs everything from scratch, so
+  /// a missing or stale checkpoint must not block opening).
   static Result<std::unique_ptr<Repo>> Open(
       const std::string& root, bool must_exist,
       const std::optional<oss::FaultProfile>& fault_profile,
       uint32_t init_replicas, uint32_t parity_group,
-      const obs::CostModel& cost_model, const std::string& tenant) {
+      const obs::CostModel& cost_model, const std::string& tenant,
+      bool load_state = true) {
     namespace fs = std::filesystem;
     uint32_t replica_count = 0;
     if (fs::is_directory(fs::path(root) / "replica-0")) {
@@ -161,8 +172,10 @@ class Repo {
                  tenant));
     auto marker = repo->base_->Exists("slim/state/catalog");
     if (marker.ok() && marker.value()) {
-      Status s = repo->store_->OpenExisting();
-      if (!s.ok()) return s;
+      if (load_state) {
+        Status s = repo->store_->OpenExisting();
+        if (!s.ok()) return s;
+      }
     } else if (must_exist) {
       return Status::NotFound("no repository at " + root +
                               " (run: slim -r " + root + " init)");
@@ -450,6 +463,36 @@ int RunJobsCommand(const std::string& repo_root, size_t tail, bool json) {
   return 0;
 }
 
+// `slim jobs --by-tenant` — the whole journal folded into one cost line
+// per tenant (chargeback view). Jobs opened without --tenant land on the
+// "(untagged)" row.
+int RunJobsByTenantCommand(const std::string& repo_root) {
+  std::string dir =
+      (std::filesystem::path(repo_root) / "journal").string();
+  obs::JournalReadResult result = obs::EventJournal::ReadAll(dir);
+  if (result.records.empty()) {
+    std::printf("no journal records at %s\n", dir.c_str());
+    return 0;
+  }
+  std::vector<obs::EventJournal::TenantRollup> rollups =
+      obs::EventJournal::RollupByTenant(result.records);
+  std::printf("%-20s %6s %7s %9s %10s %10s %11s %12s\n", "tenant", "jobs",
+              "errors", "reqs", "rd MB", "wr MB", "wall ms", "cost $");
+  for (const auto& roll : rollups) {
+    std::printf("%-20s %6llu %7llu %9llu %10.2f %10.2f %11.1f %12.6f\n",
+                roll.tenant.empty() ? "(untagged)" : roll.tenant.c_str(),
+                (unsigned long long)roll.jobs,
+                (unsigned long long)roll.errors,
+                (unsigned long long)roll.requests, Mb(roll.bytes_read),
+                Mb(roll.bytes_written), roll.wall_ms, roll.dollars);
+  }
+  if (result.malformed_records != 0) {
+    std::fprintf(stderr, "note: skipped %llu malformed record(s)\n",
+                 (unsigned long long)result.malformed_records);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -506,9 +549,12 @@ int main(int argc, char** argv) {
   if (command == "jobs") {
     size_t tail = 20;
     bool json = false;
+    bool by_tenant = false;
     for (; argi < argc; ++argi) {
       if (std::strcmp(argv[argi], "--json") == 0) {
         json = true;
+      } else if (std::strcmp(argv[argi], "--by-tenant") == 0) {
+        by_tenant = true;
       } else if (std::strcmp(argv[argi], "--tail") == 0 &&
                  argi + 1 < argc) {
         tail = static_cast<size_t>(std::stoul(argv[++argi]));
@@ -516,6 +562,7 @@ int main(int argc, char** argv) {
         return Usage();
       }
     }
+    if (by_tenant) return RunJobsByTenantCommand(repo_root);
     return RunJobsCommand(repo_root, tail, json);
   }
 
@@ -538,9 +585,15 @@ int main(int argc, char** argv) {
   }
   obs::JobScope cli_job("cli", "cli:" + command, tenant);
 
-  bool must_exist = command != "init";
+  // `rebuild` opens without must_exist (a crash can lose the state
+  // checkpoint that marks the repo) and without loading the checkpoint
+  // (Rebuild discards local state anyway, so a stale or corrupt one
+  // must not block recovery).
+  bool must_exist = command != "init" && command != "rebuild";
+  bool load_state = command != "rebuild";
   auto repo = Repo::Open(repo_root, must_exist, fault_profile,
-                         init_replicas, parity_group, g_cost_model, tenant);
+                         init_replicas, parity_group, g_cost_model, tenant,
+                         load_state);
   if (!repo.ok()) {
     cli_job.SetError(repo.status().ToString());
     return Fail(repo.status());
@@ -609,6 +662,23 @@ int main(int argc, char** argv) {
                   info.has_value() && info->gnode_pending
                       ? "  (g-node pending)"
                       : "");
+    }
+    return 0;
+  }
+
+  if (command == "rebuild") {
+    Status s = store->Rebuild();
+    if (!s.ok()) return Fail(s);
+    s = repo.value()->Save();
+    if (!s.ok()) return Fail(s);
+    size_t versions = store->catalog()->LiveVersions().size();
+    size_t pending = store->catalog()->GnodePending().size();
+    std::printf("rebuilt local state from OSS: %zu live version(s), %zu "
+                "awaiting a g-node pass\n",
+                versions, pending);
+    if (pending != 0) {
+      std::printf("run `slim -r %s gnode` to finish the recovered work\n",
+                  repo_root.c_str());
     }
     return 0;
   }
