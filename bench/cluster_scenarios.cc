@@ -1,0 +1,270 @@
+// Cluster-level scenarios for the tenancy + sharding subsystem
+// (DESIGN.md §8): scale-out throughput vs node count, and a tenant-skew
+// sweep measuring per-tenant latency, scheduler fairness, and the
+// dedup-ratio price of sharding the dedup domain.
+//
+// Both scenarios run against a *sleeping* SimulatedOss: this machine
+// may have a single core, so the scaling signal must be I/O-latency
+// parallelism (more in-flight requests hiding more sleep), which is
+// also the regime the paper's Fig 10 measures — L-nodes are
+// network-bound, not CPU-bound.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/sharded_cluster.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+#include "workload/arrivals.h"
+
+using namespace slim;
+using namespace slim::bench;
+
+namespace {
+
+/// High-latency OSS: per-request round trips dominate, so aggregate
+/// throughput scales with in-flight concurrency even on one core.
+oss::OssCostModel ClusterOssModel() {
+  oss::OssCostModel model;
+  model.request_latency_nanos = 1200 * 1000;  // 1.2 ms per request
+  model.read_nanos_per_byte = 2.0;
+  model.write_nanos_per_byte = 2.0;
+  model.sleep_for_cost = true;
+  return model;
+}
+
+cluster::ShardedClusterOptions BenchClusterOptions(uint32_t num_shards,
+                                                   size_t jobs_per_node,
+                                                   size_t per_tenant_quota) {
+  cluster::ShardedClusterOptions options;
+  options.root = "cluster";
+  options.num_shards = num_shards;
+  options.backup_jobs_per_node = jobs_per_node;
+  options.per_tenant_quota = per_tenant_quota;
+  options.store = BenchStoreOptions();
+  return options;
+}
+
+std::vector<std::string> NodeNames(size_t n) {
+  std::vector<std::string> nodes;
+  for (size_t i = 0; i < n; ++i) nodes.push_back("L" + std::to_string(i));
+  return nodes;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+/// Throughput of one backup wave on a fresh cluster with `num_nodes`
+/// L-nodes. Stores are pre-opened so the timed section is pure wave.
+double RunScaleoutWave(const workload::ArrivalWorkload& workload,
+                       size_t num_nodes, uint32_t num_shards,
+                       size_t jobs_per_node) {
+  oss::MemoryObjectStore base;
+  oss::SimulatedOss store(&base, ClusterOssModel());
+  auto cluster = cluster::ShardedCluster::Create(
+      &store, BenchClusterOptions(num_shards, jobs_per_node,
+                                  /*per_tenant_quota=*/0),
+      NodeNames(num_nodes));
+  if (!cluster.ok()) return 0;
+
+  std::vector<cluster::WaveJob> jobs;
+  for (const auto& event : workload.events()) {
+    cluster::WaveJob job;
+    job.tenant = event.tenant;
+    job.file_id = event.file_id;
+    job.data = &workload.payload(event.payload_index);
+    jobs.push_back(std::move(job));
+  }
+  for (const auto& tenant : workload.tenants()) {
+    if (!cluster.value()->RegisterTenant(tenant).ok()) return 0;
+  }
+  if (!cluster.value()->EnsureStoresOpen().ok()) return 0;
+
+  auto wave = cluster.value()->RunWave(jobs);
+  if (!wave.ok() || wave.value().failures > 0) return 0;
+  return wave.value().AggregateThroughputMBps();
+}
+
+void RunScaleout(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  const uint32_t num_shards = ctx.quick() ? 4 : 8;
+  const size_t jobs_per_node = ctx.quick() ? 4 : 8;
+
+  workload::ArrivalOptions arrivals;
+  arrivals.num_small_tenants = ctx.quick() ? 8 : 12;
+  arrivals.num_whales = 0;
+  arrivals.num_jobs = ctx.quick() ? 36 : 96;
+  arrivals.backup_fraction = 1.0;  // Pure backup wave (Fig 10a shape).
+  arrivals.files_per_tenant = 3;   // Tenants x files chains >= max slots.
+  arrivals.small_file_size = ctx.quick() ? (48 << 10) : (256 << 10);
+  arrivals.seed = ctx.seed();
+  workload::ArrivalWorkload workload(arrivals);
+
+  Section("Cluster scale-out: aggregate backup throughput vs L-nodes");
+  Row("%-8s %14s", "nodes", "MB/s");
+  uint64_t logical = 0;
+  for (const auto& event : workload.events()) {
+    logical += workload.payload(event.payload_index).size();
+  }
+
+  double last = 0;
+  bool monotonic = true;
+  double final_mbps = 0;
+  for (size_t nodes : {size_t{1}, size_t{2}, size_t{4}}) {
+    double mbps =
+        RunScaleoutWave(workload, nodes, num_shards, jobs_per_node);
+    Row("%-8zu %14.2f", nodes, mbps);
+    ctx.ReportExtra("nodes_" + std::to_string(nodes) + "_mbps", mbps);
+    if (mbps <= last) monotonic = false;
+    last = mbps;
+    final_mbps = mbps;
+  }
+  ctx.ReportExtra("monotonic", monotonic ? 1.0 : 0.0);
+  ctx.ReportThroughputMBps(final_mbps);
+  ctx.ReportLogicalBytes(logical);
+}
+
+void RunSkew(obs::ScenarioContext& ctx) {
+  TablesEnabled() = ctx.verbose();
+  const uint32_t num_shards = ctx.quick() ? 4 : 8;
+
+  workload::ArrivalOptions arrivals;
+  arrivals.num_small_tenants = ctx.quick() ? 8 : 16;
+  arrivals.num_whales = 2;
+  arrivals.whale_weight = 8.0;
+  arrivals.num_jobs = ctx.quick() ? 48 : 192;
+  arrivals.backup_fraction = 0.85;
+  arrivals.files_per_tenant = 2;
+  arrivals.small_file_size = ctx.quick() ? (48 << 10) : (192 << 10);
+  arrivals.whale_file_size = ctx.quick() ? (96 << 10) : (512 << 10);
+  arrivals.seed = ctx.seed();
+  workload::ArrivalWorkload workload(arrivals);
+
+  oss::MemoryObjectStore base;
+  oss::SimulatedOss store(&base, ClusterOssModel());
+  auto cluster = cluster::ShardedCluster::Create(
+      &store,
+      BenchClusterOptions(num_shards, /*jobs_per_node=*/4,
+                          /*per_tenant_quota=*/3),
+      NodeNames(3));
+  if (!cluster.ok()) return;
+  for (const auto& tenant : workload.tenants()) {
+    if (!cluster.value()->RegisterTenant(tenant).ok()) return;
+  }
+  if (!cluster.value()->EnsureStoresOpen().ok()) return;
+
+  std::vector<cluster::WaveJob> jobs;
+  for (const auto& event : workload.events()) {
+    cluster::WaveJob job;
+    job.tenant = event.tenant;
+    job.file_id = event.file_id;
+    if (event.is_backup) {
+      job.data = &workload.payload(event.payload_index);
+    } else {
+      job.version = event.restore_version;
+    }
+    jobs.push_back(std::move(job));
+  }
+  auto wave = cluster.value()->RunWave(jobs);
+  if (!wave.ok()) return;
+
+  Section("Cluster skew: per-tenant latency under a whale-heavy mix");
+  Row("%-12s %6s %10s %10s", "tenant", "jobs", "p50 ms", "p99 ms");
+  std::vector<double> small_lat, whale_lat, tenant_means;
+  for (const auto& [tenant, lats] : wave.value().latency_by_tenant) {
+    double p50 = Percentile(lats, 0.50) * 1000.0;
+    double p99 = Percentile(lats, 0.99) * 1000.0;
+    Row("%-12s %6zu %10.2f %10.2f", tenant.c_str(), lats.size(), p50, p99);
+    double mean = 0;
+    for (double l : lats) mean += l;
+    mean /= static_cast<double>(lats.size());
+    tenant_means.push_back(mean);
+    auto& bucket = workload.IsWhale(tenant) ? whale_lat : small_lat;
+    bucket.insert(bucket.end(), lats.begin(), lats.end());
+  }
+  ctx.ReportExtra("small_p50_ms", Percentile(small_lat, 0.50) * 1000.0);
+  ctx.ReportExtra("small_p99_ms", Percentile(small_lat, 0.99) * 1000.0);
+  ctx.ReportExtra("whale_p50_ms", Percentile(whale_lat, 0.50) * 1000.0);
+  ctx.ReportExtra("whale_p99_ms", Percentile(whale_lat, 0.99) * 1000.0);
+
+  // Jain fairness over per-tenant mean latency: 1.0 = perfectly equal
+  // service despite the skewed offered load.
+  double sum = 0, sum_sq = 0;
+  for (double m : tenant_means) {
+    sum += m;
+    sum_sq += m * m;
+  }
+  double jain = tenant_means.empty() || sum_sq <= 0
+                    ? 0
+                    : (sum * sum) / (static_cast<double>(tenant_means.size()) *
+                                     sum_sq);
+  ctx.ReportExtra("jain_fairness", jain);
+  Row("Jain fairness over tenant mean latency: %.3f", jain);
+
+  // Dedup-domain price: replay the same backups into one unsharded
+  // SlimStore per tenant (zero-latency accounting OSS) and compare the
+  // aggregate dedup ratio. Sharding splits a tenant's files across
+  // (tenant, shard) domains, so cross-file dedup inside a tenant is
+  // partially lost — this is the measured cost of the scale-out.
+  uint64_t cluster_dup = wave.value().dup_bytes;
+  uint64_t cluster_new = wave.value().new_bytes;
+  double dedup_cluster =
+      cluster_dup + cluster_new == 0
+          ? 0
+          : static_cast<double>(cluster_dup) /
+                static_cast<double>(cluster_dup + cluster_new);
+
+  oss::MemoryObjectStore flat_base;
+  oss::SimulatedOss flat_store(&flat_base, AccountingModel());
+  std::map<std::string, std::unique_ptr<core::SlimStore>> flat;
+  uint64_t flat_dup = 0, flat_logical = 0;
+  for (const auto& event : workload.events()) {
+    if (!event.is_backup) continue;
+    auto it = flat.find(event.tenant);
+    if (it == flat.end()) {
+      core::SlimStoreOptions options = BenchStoreOptions();
+      options.root = "base/t/" + event.tenant;
+      options.tenant = event.tenant;
+      it = flat.emplace(event.tenant, std::make_unique<core::SlimStore>(
+                                          &flat_store, options))
+               .first;
+    }
+    auto stats = it->second->Backup(
+        event.file_id, workload.payload(event.payload_index));
+    if (!stats.ok()) return;
+    flat_dup += stats.value().dup_bytes;
+    flat_logical += stats.value().logical_bytes;
+  }
+  double dedup_flat = flat_logical == 0
+                          ? 0
+                          : static_cast<double>(flat_dup) /
+                                static_cast<double>(flat_logical);
+  ctx.ReportExtra("dedup_cluster", dedup_cluster);
+  ctx.ReportExtra("dedup_unsharded", dedup_flat);
+  ctx.ReportExtra("dedup_loss", dedup_flat - dedup_cluster);
+  Row("dedup: cluster %.4f, unsharded %.4f, loss %.4f", dedup_cluster,
+      dedup_flat, dedup_flat - dedup_cluster);
+
+  ctx.ReportThroughputMBps(wave.value().AggregateThroughputMBps());
+  ctx.ReportLogicalBytes(wave.value().logical_bytes);
+  ctx.ReportDedupRatio(dedup_cluster);
+}
+
+const obs::BenchRegistration kRegisterScaleout{
+    {"cluster.scaleout",
+     "Aggregate backup throughput vs L-node count on a sharded cluster",
+     /*in_quick=*/true, RunScaleout}};
+const obs::BenchRegistration kRegisterSkew{
+    {"cluster.skew",
+     "Tenant-skew sweep: per-tenant latency, fairness, dedup-domain loss",
+     /*in_quick=*/true, RunSkew}};
+
+}  // namespace

@@ -1,0 +1,53 @@
+#include "cluster/namespace_store.h"
+
+#include <utility>
+
+namespace slim::cluster {
+
+NamespacedObjectStore::NamespacedObjectStore(oss::ObjectStore* base,
+                                             std::string namespace_prefix)
+    : base_(base), prefix_(std::move(namespace_prefix)) {
+  prefix_ += '/';
+}
+
+Status NamespacedObjectStore::Put(const std::string& key, std::string value) {
+  return base_->Put(Scoped(key), std::move(value));
+}
+
+Result<std::string> NamespacedObjectStore::Get(const std::string& key) {
+  return base_->Get(Scoped(key));
+}
+
+Result<std::string> NamespacedObjectStore::GetRange(const std::string& key,
+                                                    uint64_t offset,
+                                                    uint64_t len) {
+  return base_->GetRange(Scoped(key), offset, len);
+}
+
+Status NamespacedObjectStore::Delete(const std::string& key) {
+  return base_->Delete(Scoped(key));
+}
+
+Result<bool> NamespacedObjectStore::Exists(const std::string& key) {
+  return base_->Exists(Scoped(key));
+}
+
+Result<uint64_t> NamespacedObjectStore::Size(const std::string& key) {
+  return base_->Size(Scoped(key));
+}
+
+Result<std::vector<std::string>> NamespacedObjectStore::List(
+    const std::string& prefix) {
+  auto keys = base_->List(Scoped(prefix));
+  if (!keys.ok()) return keys.status();
+  std::vector<std::string> out;
+  out.reserve(keys.value().size());
+  for (const std::string& key : keys.value()) {
+    // The base honors the prefix contract, so every returned key starts
+    // with the namespace; strip it to restore the caller's view.
+    out.push_back(key.substr(prefix_.size()));
+  }
+  return out;
+}
+
+}  // namespace slim::cluster

@@ -1,0 +1,48 @@
+#ifndef SLIMSTORE_CLUSTER_NAMESPACE_STORE_H_
+#define SLIMSTORE_CLUSTER_NAMESPACE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "oss/object_store.h"
+
+namespace slim::cluster {
+
+/// A prefix-scoped view of a shared ObjectStore: every key the caller
+/// uses is transparently rooted under `namespace_prefix`, and List
+/// strips the prefix back off, so the view is a complete, conformant
+/// ObjectStore of its own. Two views with different prefixes over the
+/// same base can never observe each other's objects — this is the
+/// mechanism behind per-tenant namespace isolation on one logical
+/// store (DESIGN.md §8).
+///
+/// The prefix is joined with '/', so "t/acme" scopes keys under
+/// "t/acme/...". A sibling tenant "t/acme2" is NOT a sub-namespace:
+/// the joined separator keeps "t/acme/..." and "t/acme2/..." disjoint.
+class NamespacedObjectStore : public oss::ObjectStore {
+ public:
+  /// `base` must outlive this object. `namespace_prefix` must be
+  /// non-empty and must not end in '/'.
+  NamespacedObjectStore(oss::ObjectStore* base, std::string namespace_prefix);
+
+  Status Put(const std::string& key, std::string value) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t len) override;
+  Status Delete(const std::string& key) override;
+  Result<bool> Exists(const std::string& key) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  const std::string& namespace_prefix() const { return prefix_; }
+
+ private:
+  std::string Scoped(const std::string& key) const { return prefix_ + key; }
+
+  oss::ObjectStore* base_;
+  std::string prefix_;  // "<namespace_prefix>/" (separator included).
+};
+
+}  // namespace slim::cluster
+
+#endif  // SLIMSTORE_CLUSTER_NAMESPACE_STORE_H_

@@ -1,0 +1,113 @@
+#include "cluster/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace slim::cluster {
+
+void TenantFairScheduler::Enqueue(const std::string& tenant,
+                                  std::function<void()> job,
+                                  const std::string& sequence_key) {
+  MutexLock lock(mu_);
+  TenantQueue* queue = nullptr;
+  for (auto& q : queues_) {
+    if (q.tenant == tenant) {
+      queue = &q;
+      break;
+    }
+  }
+  if (queue == nullptr) {
+    queues_.push_back(TenantQueue{});
+    queue = &queues_.back();
+    queue->tenant = tenant;
+  }
+  queue->jobs.push_back(QueuedJob{sequence_key, std::move(job)});
+  ++pending_jobs_;
+}
+
+std::pair<size_t, size_t> TenantFairScheduler::PickNext() {
+  const size_t n = queues_.size();
+  for (size_t step = 0; step < n; ++step) {
+    size_t idx = (rr_cursor_ + step) % n;
+    TenantQueue& q = queues_[idx];
+    if (q.jobs.empty()) continue;
+    if (options_.per_tenant_quota > 0 &&
+        q.in_flight >= options_.per_tenant_quota) {
+      continue;
+    }
+    // Earliest job whose sequence key is free. Two queued jobs with the
+    // same key can both be eligible, but front-to-back scan picks the
+    // earlier one, so equal keys always dispatch in enqueue order.
+    for (size_t j = 0; j < q.jobs.size(); ++j) {
+      const QueuedJob& job = q.jobs[j];
+      if (job.sequence_key.empty() ||
+          q.keys_in_flight.count(job.sequence_key) == 0) {
+        return {idx, j};
+      }
+    }
+  }
+  return {n, 0};
+}
+
+TenantFairScheduler::Stats TenantFairScheduler::RunAll(ThreadPool* pool) {
+  MutexLock lock(mu_);
+  while (pending_jobs_ > 0 || total_in_flight_ > 0) {
+    if (pending_jobs_ > 0 && total_in_flight_ < options_.total_slots) {
+      auto [idx, job_idx] = PickNext();
+      if (idx < queues_.size()) {
+        TenantQueue& q = queues_[idx];
+        QueuedJob job = std::move(q.jobs[job_idx]);
+        q.jobs.erase(q.jobs.begin() +
+                     static_cast<std::ptrdiff_t>(job_idx));
+        --pending_jobs_;
+        ++q.in_flight;
+        q.max_in_flight = std::max(q.max_in_flight, q.in_flight);
+        ++q.dispatched;
+        if (!job.sequence_key.empty()) {
+          q.keys_in_flight.insert(job.sequence_key);
+        }
+        ++total_in_flight_;
+        stats_.max_total_in_flight =
+            std::max(stats_.max_total_in_flight, total_in_flight_);
+        ++stats_.jobs_dispatched;
+        stats_.dispatch_order.push_back(q.tenant);
+        // Advance past the tenant just served so the next dispatch
+        // starts at its successor (strict round-robin).
+        rr_cursor_ = (idx + 1) % queues_.size();
+        std::string tenant = q.tenant;
+        // The wrapper recaptures the lock only after the job body is
+        // done, so jobs never run under "cluster.scheduler".
+        pool->Submit([this, tenant = std::move(tenant),
+                      key = job.sequence_key,
+                      fn = std::move(job.fn)]() {
+          fn();
+          MutexLock done_lock(mu_);
+          for (auto& q2 : queues_) {
+            if (q2.tenant == tenant) {
+              --q2.in_flight;
+              if (!key.empty()) q2.keys_in_flight.erase(key);
+              break;
+            }
+          }
+          --total_in_flight_;
+          state_cv_.NotifyAll();
+        });
+        continue;  // Try to fill the next free slot immediately.
+      }
+    }
+    // No admissible job (all slots busy, every pending tenant at quota,
+    // or every pending key in flight): wait for a completion.
+    state_cv_.Wait(mu_);
+  }
+  Stats out = std::move(stats_);
+  for (auto& q : queues_) {
+    out.dispatched_by_tenant[q.tenant] = q.dispatched;
+    out.max_in_flight_by_tenant[q.tenant] = q.max_in_flight;
+  }
+  stats_ = Stats{};
+  queues_.clear();
+  rr_cursor_ = 0;
+  return out;
+}
+
+}  // namespace slim::cluster

@@ -1,0 +1,111 @@
+#ifndef SLIMSTORE_CLUSTER_SCHEDULER_H_
+#define SLIMSTORE_CLUSTER_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace slim::cluster {
+
+/// G-node style admission scheduler for a multi-tenant job wave
+/// (DESIGN.md §8). Jobs are enqueued tagged with their tenant; RunAll
+/// drains them through a ThreadPool under two admission constraints:
+///
+///   - a cluster-wide in-flight cap (`total_slots`, modeling the
+///     aggregate L-node job slots), and
+///   - a per-tenant in-flight quota (`per_tenant_quota`), so one whale
+///     tenant cannot occupy every slot while small tenants starve.
+///
+/// Tenants are served round-robin in first-arrival order: each
+/// dispatch scans from a rotating cursor for the next tenant that has
+/// pending work and a free quota slot. With equal supply this
+/// converges to equal shares; when a tenant is idle its share is
+/// redistributed to the others (work-conserving).
+///
+/// Jobs may carry a *sequence key*: jobs of one tenant sharing a key
+/// never run concurrently and always run in enqueue order (dispatch
+/// skips a job whose key is in flight and takes the next eligible
+/// one). A file's backup chain uses its file id as the key, so version
+/// numbers are assigned race-free and a restore enqueued after the
+/// backup that wrote its version is guaranteed to see it committed.
+///
+/// The scheduler lock ("cluster.scheduler") guards only queue and
+/// counter state — jobs themselves always run with no scheduler lock
+/// held, so job bodies may freely block on OSS I/O.
+class TenantFairScheduler {
+ public:
+  struct Options {
+    /// Aggregate concurrent jobs across all tenants.
+    size_t total_slots = 8;
+    /// Max concurrent jobs per tenant. 0 means "no per-tenant cap".
+    size_t per_tenant_quota = 4;
+  };
+
+  /// Per-wave fairness accounting, snapshotted by RunAll on return.
+  struct Stats {
+    uint64_t jobs_dispatched = 0;
+    size_t max_total_in_flight = 0;
+    /// Tenant of each job in dispatch order — lets tests assert the
+    /// round-robin interleave rather than just terminal counts.
+    std::vector<std::string> dispatch_order;
+    std::map<std::string, size_t> dispatched_by_tenant;
+    std::map<std::string, size_t> max_in_flight_by_tenant;
+  };
+
+  explicit TenantFairScheduler(Options options) : options_(options) {}
+
+  /// Adds a job to `tenant`'s FIFO queue. An empty `sequence_key`
+  /// means unconstrained; equal non-empty keys serialize (see class
+  /// comment). Not legal while RunAll is draining.
+  void Enqueue(const std::string& tenant, std::function<void()> job,
+               const std::string& sequence_key = "") SLIM_EXCLUDES(mu_);
+
+  /// Dispatches every enqueued job through `pool` under the admission
+  /// constraints; blocks until all jobs have completed. Returns the
+  /// wave's stats and resets them, so the scheduler is reusable for the
+  /// next wave.
+  Stats RunAll(ThreadPool* pool) SLIM_EXCLUDES(mu_);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct QueuedJob {
+    std::string sequence_key;  // Empty = unconstrained.
+    std::function<void()> fn;
+  };
+  struct TenantQueue {
+    std::string tenant;
+    std::deque<QueuedJob> jobs;
+    /// Non-empty sequence keys currently in flight for this tenant.
+    std::set<std::string> keys_in_flight;
+    size_t in_flight = 0;
+    size_t max_in_flight = 0;
+    size_t dispatched = 0;
+  };
+
+  /// Next dispatchable (tenant index, job index within its queue) at or
+  /// after the round-robin cursor; {queues_.size(), 0} when nothing is
+  /// admissible.
+  std::pair<size_t, size_t> PickNext() SLIM_REQUIRES(mu_);
+
+  Options options_;
+  Mutex mu_{"cluster.scheduler"};
+  CondVar state_cv_;  // Signals RunAll: a job finished.
+  std::vector<TenantQueue> queues_ SLIM_GUARDED_BY(mu_);
+  size_t rr_cursor_ SLIM_GUARDED_BY(mu_) = 0;
+  size_t total_in_flight_ SLIM_GUARDED_BY(mu_) = 0;
+  size_t pending_jobs_ SLIM_GUARDED_BY(mu_) = 0;
+  Stats stats_ SLIM_GUARDED_BY(mu_);
+};
+
+}  // namespace slim::cluster
+
+#endif  // SLIMSTORE_CLUSTER_SCHEDULER_H_

@@ -1,0 +1,246 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace slim::cluster {
+
+namespace {
+
+/// Node ids are embedded verbatim in JSON and in OSS key prefixes, so
+/// the alphabet is restricted to characters safe in both.
+Status ValidateNodeId(std::string_view id) {
+  if (id.empty()) {
+    return Status::InvalidArgument("node id must not be empty");
+  }
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "node id '" + std::string(id) +
+          "' must match [A-Za-z0-9._-]+ (it is used in OSS key prefixes "
+          "and the shard-map JSON)");
+    }
+  }
+  return Status::Ok();
+}
+
+/// Ring point for one virtual node. The vnode index is mixed into the
+/// FNV stream (not just XORed afterwards) so each vnode of a node lands
+/// independently on the ring.
+uint64_t VnodePoint(const std::string& node_id, uint32_t vnode) {
+  char salt[16];
+  int n = std::snprintf(salt, sizeof(salt), "#%u", vnode);
+  uint64_t h = Fnv1a64(node_id);
+  h ^= Fnv1a64(salt, static_cast<size_t>(n));
+  return Mix64(h);
+}
+
+/// Ring position a shard looks up its owner at.
+uint64_t ShardPoint(uint32_t shard) {
+  return Mix64(0x5348415244ULL /* "SHARD" */ + shard);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(uint32_t num_shards, uint32_t vnodes_per_node,
+                   std::vector<std::string> node_ids)
+    : version_(1),
+      num_shards_(num_shards),
+      vnodes_per_node_(vnodes_per_node == 0 ? 1 : vnodes_per_node),
+      nodes_(std::move(node_ids)) {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  BuildRing();
+}
+
+bool ShardMap::HasNode(std::string_view node_id) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node_id);
+}
+
+uint32_t ShardMap::ShardOfFile(std::string_view tenant,
+                               std::string_view file_id) const {
+  // 0x1f (unit separator) cannot appear in a valid tenant id, so the
+  // combined stream is injective over (tenant, file_id) pairs.
+  uint64_t h = Fnv1a64(tenant);
+  const char sep = '\x1f';
+  h ^= Fnv1a64(&sep, 1);
+  h ^= Fnv1a64(file_id);
+  return static_cast<uint32_t>(Mix64(h) %
+                               std::max<uint32_t>(num_shards_, 1));
+}
+
+Result<std::string> ShardMap::OwnerOfShard(uint32_t shard) const {
+  if (ring_.empty()) {
+    return Status::FailedPrecondition(
+        "shard map has no nodes; join a node before placing data");
+  }
+  if (shard >= num_shards_) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  uint64_t point = ShardPoint(shard);
+  // First vnode at or after the shard's point, wrapping at the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<uint64_t, uint32_t>& e, uint64_t p) {
+        return e.first < p;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return nodes_[it->second];
+}
+
+Status ShardMap::AddNode(const std::string& node_id) {
+  auto valid = ValidateNodeId(node_id);
+  if (!valid.ok()) return valid;
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node_id);
+  if (it != nodes_.end() && *it == node_id) {
+    return Status::AlreadyExists("node '" + node_id +
+                                 "' is already in the shard map");
+  }
+  nodes_.insert(it, node_id);
+  ++version_;
+  BuildRing();
+  return Status::Ok();
+}
+
+Status ShardMap::RemoveNode(const std::string& node_id) {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node_id);
+  if (it == nodes_.end() || *it != node_id) {
+    return Status::NotFound("node '" + node_id +
+                            "' is not in the shard map");
+  }
+  if (nodes_.size() == 1) {
+    return Status::FailedPrecondition(
+        "cannot remove the last node: its shards would have no "
+        "destination");
+  }
+  nodes_.erase(it);
+  ++version_;
+  BuildRing();
+  return Status::Ok();
+}
+
+Result<std::vector<ShardMap::ShardMove>> ShardMap::Delta(
+    const ShardMap& from, const ShardMap& to) {
+  if (from.num_shards() != to.num_shards()) {
+    return Status::InvalidArgument(
+        "shard maps disagree on num_shards; the logical shard count is "
+        "fixed at cluster creation");
+  }
+  std::vector<ShardMove> moves;
+  for (uint32_t shard = 0; shard < from.num_shards(); ++shard) {
+    auto before = from.OwnerOfShard(shard);
+    auto after = to.OwnerOfShard(shard);
+    if (!before.ok()) return before.status();
+    if (!after.ok()) return after.status();
+    if (before.value() != after.value()) {
+      moves.push_back(
+          ShardMove{shard, std::move(before.value()), std::move(after.value())});
+    }
+  }
+  return moves;
+}
+
+void ShardMap::BuildRing() {
+  ring_.clear();
+  ring_.reserve(static_cast<size_t>(nodes_.size()) * vnodes_per_node_);
+  for (uint32_t ni = 0; ni < nodes_.size(); ++ni) {
+    for (uint32_t v = 0; v < vnodes_per_node_; ++v) {
+      ring_.emplace_back(VnodePoint(nodes_[ni], v), ni);
+    }
+  }
+  // Tie-break equal points by node index so the ring is deterministic
+  // regardless of insertion order.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::string ShardMap::ToJson() const {
+  std::string out = "{\"version\":" + std::to_string(version_) +
+                    ",\"num_shards\":" + std::to_string(num_shards_) +
+                    ",\"vnodes_per_node\":" +
+                    std::to_string(vnodes_per_node_) + ",\"nodes\":[";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out += ',';
+    // Node ids are validated to [A-Za-z0-9._-]+ so no escaping needed.
+    out += '"';
+    out += nodes_[i];
+    out += '"';
+  }
+  out += "]}";
+  return out;
+}
+
+Result<ShardMap> ShardMap::FromJson(const std::string& json) {
+  auto extract_number = [&json](const std::string& key,
+                                uint64_t* out) -> bool {
+    std::string needle = "\"" + key + "\":";
+    size_t pos = json.find(needle);
+    if (pos == std::string::npos) return false;
+    pos += needle.size();
+    uint64_t value = 0;
+    bool any = false;
+    while (pos < json.size() && json[pos] >= '0' && json[pos] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(json[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) return false;
+    *out = value;
+    return true;
+  };
+
+  uint64_t version = 0, num_shards = 0, vnodes = 0;
+  if (!extract_number("version", &version) ||
+      !extract_number("num_shards", &num_shards) ||
+      !extract_number("vnodes_per_node", &vnodes)) {
+    return Status::Corruption("shard map JSON missing numeric field");
+  }
+  size_t nodes_pos = json.find("\"nodes\":[");
+  if (nodes_pos == std::string::npos) {
+    return Status::Corruption("shard map JSON missing nodes array");
+  }
+  size_t pos = nodes_pos + 9;
+  size_t end = json.find(']', pos);
+  if (end == std::string::npos) {
+    return Status::Corruption("shard map JSON: unterminated nodes array");
+  }
+  std::vector<std::string> nodes;
+  while (pos < end) {
+    size_t open = json.find('"', pos);
+    if (open == std::string::npos || open >= end) break;
+    size_t close = json.find('"', open + 1);
+    if (close == std::string::npos || close > end) {
+      return Status::Corruption("shard map JSON: unterminated node id");
+    }
+    std::string id = json.substr(open + 1, close - open - 1);
+    auto valid = ValidateNodeId(id);
+    if (!valid.ok()) {
+      return Status::Corruption("shard map JSON: " + valid.message());
+    }
+    nodes.push_back(std::move(id));
+    pos = close + 1;
+  }
+  ShardMap map(static_cast<uint32_t>(num_shards),
+               static_cast<uint32_t>(vnodes), std::move(nodes));
+  map.version_ = version;
+  return map;
+}
+
+Status ShardMap::Save(oss::ObjectStore* store, const std::string& key) const {
+  return store->Put(key, ToJson());
+}
+
+Result<ShardMap> ShardMap::Load(oss::ObjectStore* store,
+                                const std::string& key) {
+  // Map JSON is structurally validated by FromJson (fields, placement
+  // completeness); a flipped bit fails the parse, not a restore.
+  auto raw = store->Get(key);  // lint:allow-unverified-read
+  if (!raw.ok()) return raw.status();
+  return FromJson(raw.value());
+}
+
+}  // namespace slim::cluster

@@ -1,0 +1,96 @@
+#ifndef SLIMSTORE_CLUSTER_SHARD_MAP_H_
+#define SLIMSTORE_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "oss/object_store.h"
+
+namespace slim::cluster {
+
+/// Versioned shard-to-node placement for the multi-tenant cluster
+/// (DESIGN.md §8). Two-level scheme:
+///
+///   file  --(stable hash mod)-->  logical shard  --(ring)-->  node
+///
+/// The *logical shard count* is fixed at cluster creation: a file's
+/// shard never changes, so a shard is the unit of data placement,
+/// dedup domain (per tenant), and migration. The *ring* assigns shards
+/// to nodes by consistent hashing with virtual nodes — each node
+/// projects `vnodes_per_node` points onto a 64-bit ring (generalizing
+/// PlacementPolicy's Mix64(Fnv1a64(key)) scheme), and a shard belongs
+/// to the node owning the first ring point at or after the shard's
+/// hash. Adding or removing a node therefore moves only the ring-delta:
+/// a shard changes owner iff the membership change inserted or removed
+/// the winning point for its hash, so joins pull ~S/(n+1) shards to
+/// the new node and leaves scatter only the departing node's shards.
+///
+/// The map carries a monotonically increasing version; every membership
+/// edit bumps it. Serialization is a small JSON object persisted on the
+/// shared OSS, so every node (and a rebalance resumed after a crash)
+/// agrees on placement by version number.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  /// A fresh version-1 map. `node_ids` may be empty (no placements
+  /// resolvable until a node joins).
+  ShardMap(uint32_t num_shards, uint32_t vnodes_per_node,
+           std::vector<std::string> node_ids);
+
+  uint64_t version() const { return version_; }
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t vnodes_per_node() const { return vnodes_per_node_; }
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  bool HasNode(std::string_view node_id) const;
+
+  /// Stable logical shard of a tenant's file. Independent of
+  /// membership: depends only on (tenant, file_id, num_shards).
+  uint32_t ShardOfFile(std::string_view tenant,
+                       std::string_view file_id) const;
+
+  /// Node owning a logical shard under this map's ring. Fails with
+  /// FailedPrecondition when the map has no nodes.
+  Result<std::string> OwnerOfShard(uint32_t shard) const;
+
+  /// Membership edits: bump the version and rebuild the ring.
+  /// AlreadyExists / NotFound on duplicate join or unknown leave;
+  /// FailedPrecondition when removing the last node.
+  Status AddNode(const std::string& node_id);
+  Status RemoveNode(const std::string& node_id);
+
+  /// One shard whose owner differs between two maps with identical
+  /// shard counts.
+  struct ShardMove {
+    uint32_t shard = 0;
+    std::string from_node;
+    std::string to_node;
+  };
+  /// All owner changes from `from` to `to`. InvalidArgument when the
+  /// maps disagree on num_shards (the shard count is immutable).
+  static Result<std::vector<ShardMove>> Delta(const ShardMap& from,
+                                              const ShardMap& to);
+
+  std::string ToJson() const;
+  static Result<ShardMap> FromJson(const std::string& json);
+
+  Status Save(oss::ObjectStore* store, const std::string& key) const;
+  static Result<ShardMap> Load(oss::ObjectStore* store,
+                               const std::string& key);
+
+ private:
+  void BuildRing();
+
+  uint64_t version_ = 0;
+  uint32_t num_shards_ = 0;
+  uint32_t vnodes_per_node_ = 0;
+  std::vector<std::string> nodes_;  // Sorted, unique.
+  /// (ring point, node index) sorted by point; rebuilt from nodes_.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+}  // namespace slim::cluster
+
+#endif  // SLIMSTORE_CLUSTER_SHARD_MAP_H_

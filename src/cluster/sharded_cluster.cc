@@ -1,0 +1,569 @@
+#include "cluster/sharded_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+namespace slim::cluster {
+
+namespace {
+
+/// Minimal field extraction for the tiny pending-move records; mirrors
+/// EventJournal::ExtractNumber/String but stays dependency-free.
+bool ExtractU32(const std::string& json, const std::string& key,
+                uint32_t* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  uint64_t value = 0;
+  bool any = false;
+  while (pos < json.size() && json[pos] >= '0' && json[pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(json[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  if (!any) return false;
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+bool ExtractStr(const std::string& json, const std::string& key,
+                std::string* out) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  size_t end = json.find('"', pos);
+  if (end == std::string::npos) return false;
+  *out = json.substr(pos, end - pos);
+  return true;
+}
+
+std::string MoveRecordJson(const ShardMap::ShardMove& move) {
+  return "{\"shard\":" + std::to_string(move.shard) + ",\"from\":\"" +
+         move.from_node + "\",\"to\":\"" + move.to_node + "\"}";
+}
+
+Result<ShardMap::ShardMove> ParseMoveRecord(const std::string& json) {
+  ShardMap::ShardMove move;
+  if (!ExtractU32(json, "shard", &move.shard) ||
+      !ExtractStr(json, "from", &move.from_node) ||
+      !ExtractStr(json, "to", &move.to_node)) {
+    return Status::Corruption("malformed pending move record: " + json);
+  }
+  return move;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ShardedCluster::ShardedCluster(oss::ObjectStore* store,
+                               ShardedClusterOptions options, ShardMap map)
+    : store_(store), options_(std::move(options)) {
+  MutexLock lock(map_mu_);
+  current_map_ = std::move(map);
+}
+
+std::string ShardedCluster::MapKey(bool target) const {
+  return options_.root + (target ? "/map/target" : "/map/current");
+}
+
+std::string ShardedCluster::PendingMovePrefix() const {
+  return options_.root + "/pending/move-";
+}
+
+std::string ShardedCluster::PendingMoveKey(uint32_t shard) const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%05u", shard);
+  return PendingMovePrefix() + buf;
+}
+
+std::string ShardedCluster::TenantMarkerPrefix() const {
+  return options_.root + "/tenants/";
+}
+
+std::string ShardedCluster::StoreRoot(std::string_view node,
+                                      std::string_view tenant,
+                                      uint32_t shard) const {
+  return options_.root + "/n/" + std::string(node) + "/" +
+         TenantPrefix(tenant) + "/s/" + std::to_string(shard);
+}
+
+Result<std::unique_ptr<ShardedCluster>> ShardedCluster::Create(
+    oss::ObjectStore* store, ShardedClusterOptions options,
+    std::vector<std::string> initial_nodes) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::string map_key = options.root + "/map/current";
+  auto exists = store->Exists(map_key);
+  if (!exists.ok()) return exists.status();
+  if (exists.value()) {
+    return Status::AlreadyExists("a cluster already exists under '" +
+                                 options.root + "'");
+  }
+  ShardMap map(options.num_shards, options.vnodes_per_node,
+               std::move(initial_nodes));
+  auto saved = map.Save(store, map_key);
+  if (!saved.ok()) return saved;
+  return std::unique_ptr<ShardedCluster>(new ShardedCluster(
+      store, std::move(options), std::move(map)));  // lint:allow-new (private ctor)
+}
+
+Result<std::unique_ptr<ShardedCluster>> ShardedCluster::Open(
+    oss::ObjectStore* store, ShardedClusterOptions options) {
+  auto map = ShardMap::Load(store, options.root + "/map/current");
+  if (!map.ok()) {
+    if (map.status().IsNotFound()) {
+      return Status::NotFound("no cluster under '" + options.root +
+                              "'; run `slim cluster init` first");
+    }
+    return map.status();
+  }
+  return std::unique_ptr<ShardedCluster>(new ShardedCluster(
+      store, std::move(options),
+      std::move(map).value()));  // lint:allow-new (private ctor)
+}
+
+Status ShardedCluster::RegisterTenant(const std::string& tenant) {
+  auto valid = ValidateTenantId(tenant);
+  if (!valid.ok()) return valid;
+  {
+    MutexLock lock(stores_mu_);
+    if (registered_tenants_.count(tenant) > 0) return Status::Ok();
+  }
+  std::string key = TenantMarkerPrefix() + tenant;
+  auto exists = store_->Exists(key);
+  if (!exists.ok()) return exists.status();
+  if (!exists.value()) {
+    auto put = store_->Put(key, tenant);
+    if (!put.ok()) return put;
+  }
+  MutexLock lock(stores_mu_);
+  registered_tenants_.insert(tenant);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ShardedCluster::ListTenants() {
+  auto keys = store_->List(TenantMarkerPrefix());
+  if (!keys.ok()) return keys.status();
+  std::vector<std::string> tenants;
+  tenants.reserve(keys.value().size());
+  for (const auto& key : keys.value()) {
+    tenants.push_back(key.substr(TenantMarkerPrefix().size()));
+  }
+  return tenants;
+}
+
+Status ShardedCluster::Join(const std::string& node_id) {
+  auto staged = store_->Exists(MapKey(/*target=*/true));
+  if (!staged.ok()) return staged.status();
+  if (staged.value()) {
+    return Status::FailedPrecondition(
+        "a membership change is already staged; run `slim cluster "
+        "rebalance` to complete it first");
+  }
+  ShardMap target;
+  {
+    MutexLock lock(map_mu_);
+    target = current_map_;
+  }
+  auto added = target.AddNode(node_id);
+  if (!added.ok()) return added;
+  return target.Save(store_, MapKey(/*target=*/true));
+}
+
+Status ShardedCluster::Leave(const std::string& node_id) {
+  auto staged = store_->Exists(MapKey(/*target=*/true));
+  if (!staged.ok()) return staged.status();
+  if (staged.value()) {
+    return Status::FailedPrecondition(
+        "a membership change is already staged; run `slim cluster "
+        "rebalance` to complete it first");
+  }
+  ShardMap target;
+  {
+    MutexLock lock(map_mu_);
+    target = current_map_;
+  }
+  auto removed = target.RemoveNode(node_id);
+  if (!removed.ok()) return removed;
+  return target.Save(store_, MapKey(/*target=*/true));
+}
+
+Status ShardedCluster::ExecuteMove(const ShardMap::ShardMove& move,
+                                   const std::vector<std::string>& tenants,
+                                   size_t inject_crash_after_objects,
+                                   RebalanceStats* stats) {
+  auto throttle_start = std::chrono::steady_clock::now();
+  uint64_t throttled_bytes = 0;
+  for (const auto& tenant : tenants) {
+    std::string src_root =
+        StoreRoot(move.from_node, tenant, move.shard) + "/";
+    std::string dst_root = StoreRoot(move.to_node, tenant, move.shard) + "/";
+    auto keys = store_->List(src_root);
+    if (!keys.ok()) return keys.status();
+    // Copy phase first, across the whole prefix; sources are deleted
+    // only below, after every object has landed, so a crash anywhere in
+    // here leaves the source complete and the redo idempotent.
+    for (const auto& key : keys.value()) {
+      if (inject_crash_after_objects > 0 &&
+          stats->objects_copied >= inject_crash_after_objects) {
+        return Status::Internal(
+            "injected rebalance crash after " +
+            std::to_string(stats->objects_copied) + " objects");
+      }
+      // A rebalance copies bytes verbatim between prefixes; any CRC
+      // footer the durability layer added moves with them, and scrub
+      // remains the integrity authority. Verifying here would reject
+      // non-footered control objects (maps, pending records).
+      auto value = store_->Get(key);  // lint:allow-unverified-read
+      if (!value.ok()) return value.status();
+      uint64_t size = value.value().size();
+      auto put =
+          store_->Put(dst_root + key.substr(src_root.size()),
+                      std::move(value).value());
+      if (!put.ok()) return put;
+      ++stats->objects_copied;
+      stats->bytes_copied += size;
+      throttled_bytes += size;
+      if (options_.rebalance_bytes_per_sec > 0) {
+        double target_elapsed =
+            static_cast<double>(throttled_bytes) /
+            static_cast<double>(options_.rebalance_bytes_per_sec);
+        double actual = SecondsSince(throttle_start);
+        if (actual < target_elapsed) {
+          auto sleep_ms = static_cast<int64_t>(
+              (target_elapsed - actual) * 1000.0);
+          if (sleep_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sleep_ms));
+            stats->throttle_sleep_ms +=
+                static_cast<uint64_t>(sleep_ms);
+          }
+        }
+      }
+    }
+    for (const auto& key : keys.value()) {
+      auto del = store_->Delete(key);  // Idempotent on redo.
+      if (!del.ok()) return del;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<RebalanceStats> ShardedCluster::Rebalance(
+    size_t inject_crash_after_objects) {
+  RebalanceStats stats;
+  auto tenants = ListTenants();
+  if (!tenants.ok()) return tenants.status();
+
+  auto pending = store_->List(PendingMovePrefix());
+  if (!pending.ok()) return pending.status();
+  stats.resumed = !pending.value().empty();
+
+  auto target = ShardMap::Load(store_, MapKey(/*target=*/true));
+  if (!target.ok() && !target.status().IsNotFound()) {
+    return target.status();
+  }
+
+  std::vector<ShardMap::ShardMove> moves;
+  if (target.ok()) {
+    ShardMap current;
+    {
+      MutexLock lock(map_mu_);
+      current = current_map_;
+    }
+    if (target.value().version() > current.version()) {
+      auto delta = ShardMap::Delta(current, target.value());
+      if (!delta.ok()) return delta.status();
+      moves = std::move(delta).value();
+      // Durable worklist BEFORE any data moves: a crash between here
+      // and the map flip resumes from these records (plus the still-
+      // present target map).
+      for (const auto& move : moves) {
+        auto put = store_->Put(PendingMoveKey(move.shard),
+                               MoveRecordJson(move));
+        if (!put.ok()) return put;
+      }
+    }
+    // target.version <= current.version: the flip already happened and
+    // we crashed before cleanup; fall through to drain leftovers.
+  }
+  if (moves.empty() && !pending.value().empty()) {
+    // Crash cut after the map flip (or a fully-written worklist whose
+    // target content matches current): finish the journaled moves.
+    for (const auto& key : pending.value()) {
+      // Move records are structurally parse-validated just below.
+      auto record = store_->Get(key);  // lint:allow-unverified-read
+      if (!record.ok()) return record.status();
+      auto move = ParseMoveRecord(record.value());
+      if (!move.ok()) return move.status();
+      moves.push_back(std::move(move).value());
+    }
+  }
+  if (moves.empty() && !target.ok()) {
+    return stats;  // Nothing staged, nothing pending.
+  }
+
+  for (const auto& move : moves) {
+    stats.moved_shards.push_back(move.shard);
+    auto executed = ExecuteMove(move, tenants.value(),
+                                inject_crash_after_objects, &stats);
+    if (!executed.ok()) return executed;
+    auto del = store_->Delete(PendingMoveKey(move.shard));
+    if (!del.ok()) return del;
+    ++stats.moves_completed;
+  }
+
+  if (target.ok()) {
+    auto flipped =
+        target.value().Save(store_, MapKey(/*target=*/false));
+    if (!flipped.ok()) return flipped;
+    auto del = store_->Delete(MapKey(/*target=*/true));
+    if (!del.ok()) return del;
+    {
+      MutexLock lock(map_mu_);
+      current_map_ = std::move(target).value();
+    }
+  }
+  // Owners changed: cached stores point at stale roots.
+  DropNodeLocalState();
+  return stats;
+}
+
+Result<core::SlimStore*> ShardedCluster::StoreFor(const std::string& tenant,
+                                                  uint32_t shard) {
+  std::string owner;
+  {
+    MutexLock lock(map_mu_);
+    auto resolved = current_map_.OwnerOfShard(shard);
+    if (!resolved.ok()) return resolved.status();
+    owner = std::move(resolved).value();
+  }
+  std::string cache_key = tenant + '\x1f' + std::to_string(shard);
+  // Single-flight build. Construction MUST be exclusive per key: two
+  // concurrent Rebuild()s over one prefix race each other, and worse, a
+  // Rebuild() racing an in-flight backup on the same prefix sweeps the
+  // backup's not-yet-committed containers as torn-backup debris — the
+  // recipe then commits pointing at deleted objects. Losers therefore
+  // wait on a CondVar (GnodeGate style) instead of building a second
+  // store; no lock is held across the Rebuild I/O.
+  {
+    MutexLock lock(stores_mu_);
+    for (;;) {
+      StoreSlot& slot = stores_[cache_key];
+      if (slot.store != nullptr) return slot.store.get();
+      if (!slot.building) {
+        slot.building = true;
+        break;
+      }
+      store_built_.Wait(stores_mu_);
+    }
+  }
+  core::SlimStoreOptions store_options = options_.store;
+  store_options.root = StoreRoot(owner, tenant, shard);
+  store_options.tenant = tenant;
+  auto built = std::make_unique<core::SlimStore>(store_, store_options);
+  auto rebuilt = built->Rebuild();
+  MutexLock lock(stores_mu_);
+  StoreSlot& slot = stores_[cache_key];
+  slot.building = false;
+  store_built_.NotifyAll();
+  if (!rebuilt.ok()) return rebuilt;  // A waiter retries the build.
+  slot.store = std::move(built);
+  return slot.store.get();
+}
+
+Result<lnode::BackupStats> ShardedCluster::Backup(const std::string& tenant,
+                                                  const std::string& file_id,
+                                                  std::string_view data) {
+  auto registered = RegisterTenant(tenant);
+  if (!registered.ok()) return registered;
+  uint32_t shard;
+  {
+    MutexLock lock(map_mu_);
+    shard = current_map_.ShardOfFile(tenant, file_id);
+  }
+  auto store = StoreFor(tenant, shard);
+  if (!store.ok()) return store.status();
+  return store.value()->Backup(file_id, data);
+}
+
+Result<std::string> ShardedCluster::Restore(const std::string& tenant,
+                                            const std::string& file_id,
+                                            uint64_t version,
+                                            lnode::RestoreStats* stats) {
+  auto valid = ValidateTenantId(tenant);
+  if (!valid.ok()) return valid;
+  uint32_t shard;
+  {
+    MutexLock lock(map_mu_);
+    shard = current_map_.ShardOfFile(tenant, file_id);
+  }
+  auto store = StoreFor(tenant, shard);
+  if (!store.ok()) return store.status();
+  return store.value()->Restore(file_id, version, stats);
+}
+
+Result<WaveStats> ShardedCluster::RunWave(const std::vector<WaveJob>& jobs) {
+  size_t num_nodes;
+  {
+    MutexLock lock(map_mu_);
+    num_nodes = current_map_.nodes().size();
+  }
+  if (num_nodes == 0) {
+    return Status::FailedPrecondition("cluster has no nodes");
+  }
+  for (const auto& job : jobs) {
+    auto registered = RegisterTenant(job.tenant);
+    if (!registered.ok()) return registered;
+  }
+
+  size_t slots = num_nodes * options_.backup_jobs_per_node;
+  TenantFairScheduler scheduler(TenantFairScheduler::Options{
+      slots, options_.per_tenant_quota});
+  ThreadPool pool(slots);
+
+  struct JobResult {
+    Status status;
+    uint64_t logical_bytes = 0;
+    uint64_t new_bytes = 0;
+    uint64_t dup_bytes = 0;
+    double seconds = 0;
+  };
+  // One pre-sized slot per job: each worker writes only its own index,
+  // and the scheduler's join provides the happens-before for the read.
+  std::vector<JobResult> results(jobs.size());
+
+  auto wave_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const WaveJob& job = jobs[i];
+    // file_id as the sequence key: one file's backup/restore chain runs
+    // serially in wave order, so versions assign race-free and restores
+    // see the versions enqueued before them.
+    scheduler.Enqueue(job.tenant, [this, &job, &results, i]() {
+      auto start = std::chrono::steady_clock::now();
+      JobResult& slot = results[i];
+      if (job.data != nullptr) {
+        auto stats = Backup(job.tenant, job.file_id, *job.data);
+        if (stats.ok()) {
+          slot.logical_bytes = stats.value().logical_bytes;
+          slot.new_bytes = stats.value().new_bytes;
+          slot.dup_bytes = stats.value().dup_bytes;
+        } else {
+          slot.status = stats.status();
+        }
+      } else {
+        auto bytes = Restore(job.tenant, job.file_id, job.version);
+        if (bytes.ok()) {
+          slot.logical_bytes = bytes.value().size();
+        } else {
+          slot.status = bytes.status();
+        }
+      }
+      slot.seconds = SecondsSince(start);
+    }, job.file_id);
+  }
+  WaveStats wave;
+  wave.scheduler = scheduler.RunAll(&pool);
+  pool.Shutdown();
+  wave.elapsed_seconds = SecondsSince(wave_start);
+  wave.jobs = jobs.size();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!results[i].status.ok()) {
+      ++wave.failures;
+      continue;
+    }
+    wave.logical_bytes += results[i].logical_bytes;
+    wave.new_bytes += results[i].new_bytes;
+    wave.dup_bytes += results[i].dup_bytes;
+    wave.latency_by_tenant[jobs[i].tenant].push_back(results[i].seconds);
+  }
+  return wave;
+}
+
+Result<ShardedCluster::ClusterGNodeStats> ShardedCluster::RunGNodeCycles() {
+  auto tenants = ListTenants();
+  if (!tenants.ok()) return tenants.status();
+  uint32_t num_shards;
+  {
+    MutexLock lock(map_mu_);
+    num_shards = current_map_.num_shards();
+  }
+  ClusterGNodeStats stats;
+  // Shard-major: every tenant gets shard k serviced before any tenant
+  // gets shard k+1 — coarse round-robin fairness across tenants.
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    for (const auto& tenant : tenants.value()) {
+      auto store = StoreFor(tenant, shard);
+      if (!store.ok()) return store.status();
+      auto cycle = store.value()->RunGNodeCycle();
+      if (!cycle.ok()) return cycle.status();
+      ++stats.stores_processed;
+      stats.backups_processed += cycle.value().backups_processed;
+    }
+  }
+  return stats;
+}
+
+Result<ClusterStatus> ShardedCluster::GetStatus() {
+  ClusterStatus status;
+  ShardMap map;
+  {
+    MutexLock lock(map_mu_);
+    map = current_map_;
+  }
+  status.map_version = map.version();
+  status.num_shards = map.num_shards();
+  status.nodes = map.nodes();
+  for (uint32_t shard = 0; shard < map.num_shards(); ++shard) {
+    auto owner = map.OwnerOfShard(shard);
+    if (!owner.ok()) return owner.status();
+    status.shards_by_node[owner.value()].push_back(shard);
+  }
+  auto tenants = ListTenants();
+  if (!tenants.ok()) return tenants.status();
+  status.tenants = std::move(tenants).value();
+  auto target = ShardMap::Load(store_, MapKey(/*target=*/true));
+  if (target.ok()) {
+    status.rebalance_pending = true;
+    status.target_map_version = target.value().version();
+  } else if (!target.status().IsNotFound()) {
+    return target.status();
+  }
+  return status;
+}
+
+void ShardedCluster::DropNodeLocalState() {
+  MutexLock lock(stores_mu_);
+  stores_.clear();
+  registered_tenants_.clear();
+}
+
+Status ShardedCluster::EnsureStoresOpen() {
+  auto tenants = ListTenants();
+  if (!tenants.ok()) return tenants.status();
+  uint32_t num_shards;
+  {
+    MutexLock lock(map_mu_);
+    num_shards = current_map_.num_shards();
+  }
+  for (const auto& tenant : tenants.value()) {
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      auto store = StoreFor(tenant, shard);
+      if (!store.ok()) return store.status();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace slim::cluster

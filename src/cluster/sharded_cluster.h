@@ -1,0 +1,254 @@
+#ifndef SLIMSTORE_CLUSTER_SHARDED_CLUSTER_H_
+#define SLIMSTORE_CLUSTER_SHARDED_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/scheduler.h"
+#include "cluster/shard_map.h"
+#include "cluster/tenant.h"
+#include "common/mutex.h"
+#include "core/slimstore.h"
+#include "oss/object_store.h"
+
+namespace slim::cluster {
+
+/// Configuration for a sharded multi-tenant cluster.
+struct ShardedClusterOptions {
+  /// OSS key prefix under which ALL cluster state lives.
+  std::string root = "cluster";
+  /// Logical shard count, fixed at Create time (ignored by Open, which
+  /// trusts the persisted map). More shards = finer rebalance granules
+  /// and more parallelism, but smaller dedup domains.
+  uint32_t num_shards = 8;
+  uint32_t vnodes_per_node = 16;
+  /// Aggregate concurrent jobs in a wave: jobs_per_node * |nodes|.
+  size_t backup_jobs_per_node = 13;
+  size_t restore_jobs_per_node = 8;
+  /// Per-tenant in-flight cap in a wave (0 = uncapped).
+  size_t per_tenant_quota = 6;
+  /// Rebalance copy throttle in bytes/second (0 = unthrottled).
+  uint64_t rebalance_bytes_per_sec = 0;
+  /// Template for every per-(tenant, shard) SlimStore; `root` and
+  /// `tenant` are overridden per store.
+  core::SlimStoreOptions store;
+};
+
+/// Result of one rebalance run (possibly a resumed one).
+struct RebalanceStats {
+  /// Shards whose owner differs between the current and target maps.
+  std::vector<uint32_t> moved_shards;
+  size_t moves_completed = 0;
+  /// Objects copied source-prefix -> destination-prefix. The ring-delta
+  /// property is asserted against this: it must equal the object count
+  /// under the MOVED shards only, never the whole keyspace.
+  size_t objects_copied = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t throttle_sleep_ms = 0;
+  /// True when this run found pending move records from an interrupted
+  /// earlier run (crash-cut resume path).
+  bool resumed = false;
+};
+
+/// One job in a mixed multi-tenant wave.
+struct WaveJob {
+  std::string tenant;
+  std::string file_id;
+  /// Backup payload; null marks a restore job (of `version`).
+  const std::string* data = nullptr;
+  uint64_t version = 0;
+};
+
+/// Aggregate result of a scheduler-driven wave.
+struct WaveStats {
+  size_t jobs = 0;
+  size_t failures = 0;
+  uint64_t logical_bytes = 0;
+  uint64_t new_bytes = 0;
+  uint64_t dup_bytes = 0;
+  double elapsed_seconds = 0;
+  /// Per-tenant per-job wall latencies (seconds), for p50/p99.
+  std::map<std::string, std::vector<double>> latency_by_tenant;
+  TenantFairScheduler::Stats scheduler;
+
+  double AggregateThroughputMBps() const {
+    return elapsed_seconds <= 0
+               ? 0.0
+               : (static_cast<double>(logical_bytes) / (1024.0 * 1024.0)) /
+                     elapsed_seconds;
+  }
+};
+
+/// Point-in-time cluster summary (backs `slim cluster status`).
+struct ClusterStatus {
+  uint64_t map_version = 0;
+  uint32_t num_shards = 0;
+  std::vector<std::string> nodes;
+  /// node id -> shards currently owned.
+  std::map<std::string, std::vector<uint32_t>> shards_by_node;
+  std::vector<std::string> tenants;
+  /// A target map exists: membership changed, rebalance not yet run to
+  /// completion.
+  bool rebalance_pending = false;
+  uint64_t target_map_version = 0;
+};
+
+/// The tenancy + sharding subsystem (DESIGN.md §8): many tenants and
+/// many L-nodes over ONE logical object store.
+///
+/// Layout — every (tenant, shard) pair is a complete, independent
+/// SlimStore rooted at
+///
+///     <root>/n/<owner-node>/t/<tenant>/s/<shard>
+///
+/// so tenant isolation is structural (disjoint key prefixes; see
+/// NamespacedObjectStore for the conformance-tested mechanism), the
+/// dedup domain is (tenant, shard), and moving a shard between nodes is
+/// a prefix copy. Control state lives beside the data:
+///
+///     <root>/map/current        committed ShardMap (JSON)
+///     <root>/map/target         in-progress membership change, if any
+///     <root>/pending/move-NNNN  durable rebalance worklist records
+///     <root>/tenants/<tenant>   tenant registry markers
+///
+/// Membership changes are two-phase: Join/Leave only write a *target*
+/// map; Rebalance copies exactly the ring-delta shards' prefixes,
+/// journaling each move in a pending record before touching data, then
+/// flips current = target. Every step is idempotent (overwrite-copy,
+/// idempotent deletes), so a crash at ANY cut resumes by re-running
+/// Rebalance — mirroring the backup pipeline's pending-record +
+/// Rebuild() contract.
+///
+/// Per-(tenant, shard) SlimStores are opened lazily via Rebuild() (the
+/// rebuildable-state contract: no checkpoint needed, OSS is the truth)
+/// and cached; DropNodeLocalState() simulates killing an L-node's
+/// process memory, after which the next touch rebuilds from OSS.
+class ShardedCluster {
+ public:
+  /// Initializes a fresh cluster on `store`: writes the version-1 map
+  /// with `initial_nodes`. Fails with AlreadyExists when a map already
+  /// lives under options.root.
+  static Result<std::unique_ptr<ShardedCluster>> Create(
+      oss::ObjectStore* store, ShardedClusterOptions options,
+      std::vector<std::string> initial_nodes);
+
+  /// Attaches to an existing cluster: loads the committed map (shard
+  /// count and membership come from it, not from `options`).
+  static Result<std::unique_ptr<ShardedCluster>> Open(
+      oss::ObjectStore* store, ShardedClusterOptions options);
+
+  /// Validates and durably registers a tenant (idempotent).
+  Status RegisterTenant(const std::string& tenant);
+  Result<std::vector<std::string>> ListTenants();
+
+  /// Stage a membership change: write a target map with the node added/
+  /// removed. FailedPrecondition while another change awaits rebalance.
+  Status Join(const std::string& node_id);
+  Status Leave(const std::string& node_id);
+
+  /// Executes (or resumes) the staged membership change, moving only
+  /// the ring-delta shards. `inject_crash_after_objects` > 0 makes the
+  /// run fail with Internal after copying that many objects — a
+  /// deterministic crash cut for resume tests; production callers leave
+  /// it 0. No-op (Ok, empty stats) when nothing is staged.
+  Result<RebalanceStats> Rebalance(size_t inject_crash_after_objects = 0);
+
+  /// Routed single-job entry points.
+  Result<lnode::BackupStats> Backup(const std::string& tenant,
+                                    const std::string& file_id,
+                                    std::string_view data);
+  Result<std::string> Restore(const std::string& tenant,
+                              const std::string& file_id, uint64_t version,
+                              lnode::RestoreStats* stats = nullptr);
+
+  /// Runs a mixed wave through the tenant-fair scheduler on a pool of
+  /// |nodes| * jobs_per_node slots.
+  Result<WaveStats> RunWave(const std::vector<WaveJob>& jobs);
+
+  /// Aggregate result of RunGNodeCycles across every (tenant, shard)
+  /// store.
+  struct ClusterGNodeStats {
+    size_t stores_processed = 0;
+    size_t backups_processed = 0;
+  };
+
+  /// Offline G-node pass over every open (tenant, shard) store,
+  /// interleaved shard-major so each tenant gets one shard's worth of
+  /// G-node service before any tenant gets its second — no tenant's
+  /// garbage waits behind a whale.
+  Result<ClusterGNodeStats> RunGNodeCycles();
+
+  Result<ClusterStatus> GetStatus();
+
+  /// Drops every cached per-(tenant, shard) SlimStore — the moral
+  /// equivalent of kill -9 on the L-node fleet. Subsequent operations
+  /// Rebuild() from OSS.
+  void DropNodeLocalState();
+
+  /// Pre-opens the stores for every (registered tenant, shard) pair so
+  /// timed benchmark sections exclude Rebuild cost.
+  Status EnsureStoresOpen();
+
+  const ShardedClusterOptions& options() const { return options_; }
+  oss::ObjectStore* object_store() { return store_; }
+
+  /// Root of the SlimStore holding (tenant, shard) data under `node`.
+  std::string StoreRoot(std::string_view node, std::string_view tenant,
+                        uint32_t shard) const;
+
+ private:
+  ShardedCluster(oss::ObjectStore* store, ShardedClusterOptions options,
+                 ShardMap map);
+
+  std::string MapKey(bool target) const;
+  std::string PendingMovePrefix() const;
+  std::string PendingMoveKey(uint32_t shard) const;
+  std::string TenantMarkerPrefix() const;
+
+  /// The SlimStore for (tenant, shard) under the CURRENT map, opened
+  /// (Rebuild) and cached. Builds outside the cache lock with a
+  /// double-checked insert, so no OSS call ever runs under
+  /// "cluster.stores".
+  Result<core::SlimStore*> StoreFor(const std::string& tenant,
+                                    uint32_t shard);
+
+  /// Copies then deletes one shard's prefix for every tenant, throttled
+  /// to options_.rebalance_bytes_per_sec. Returns IoError-style failures
+  /// through; `copied`/`stats` accumulate across calls.
+  Status ExecuteMove(const ShardMap::ShardMove& move,
+                     const std::vector<std::string>& tenants,
+                     size_t inject_crash_after_objects,
+                     RebalanceStats* stats);
+
+  oss::ObjectStore* store_;
+  ShardedClusterOptions options_;
+
+  Mutex map_mu_{"cluster.shard_map"};
+  ShardMap current_map_ SLIM_GUARDED_BY(map_mu_);
+
+  Mutex stores_mu_{"cluster.stores"};
+  /// Signaled whenever an in-flight store build finishes (either way).
+  CondVar store_built_;
+  /// `building` makes construction single-flight: exactly one thread
+  /// runs Rebuild() for a key while the rest wait on `store_built_`. A
+  /// second concurrent Rebuild() over the same prefix would sweep an
+  /// in-flight backup's uncommitted containers as torn-backup debris.
+  struct StoreSlot {
+    bool building = false;
+    std::unique_ptr<core::SlimStore> store;
+  };
+  /// Key: "<tenant>\x1f<shard>".
+  std::map<std::string, StoreSlot> stores_ SLIM_GUARDED_BY(stores_mu_);
+  /// Tenants whose durable registry marker is known written — saves an
+  /// Exists round trip per job.
+  std::set<std::string> registered_tenants_ SLIM_GUARDED_BY(stores_mu_);
+};
+
+}  // namespace slim::cluster
+
+#endif  // SLIMSTORE_CLUSTER_SHARDED_CLUSTER_H_

@@ -1,0 +1,34 @@
+#include "cluster/tenant.h"
+
+namespace slim::cluster {
+
+Status ValidateTenantId(std::string_view id) {
+  if (id.empty()) {
+    return Status::InvalidArgument(
+        "tenant id must not be empty (omit --tenant for the untagged "
+        "single-tenant mode)");
+  }
+  if (id.find('/') != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "tenant id must not contain '/': it would fake nested namespace "
+        "components in OSS key prefixes");
+  }
+  if (id.find("#tmp") != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "tenant id must not contain '#tmp': it collides with the object "
+        "store's atomic-write staging suffix");
+  }
+  for (unsigned char c : id) {
+    if (c < 0x20 || c == 0x7f) {
+      return Status::InvalidArgument(
+          "tenant id must not contain control characters");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string TenantPrefix(std::string_view tenant_id) {
+  return "t/" + std::string(tenant_id);
+}
+
+}  // namespace slim::cluster

@@ -1,0 +1,39 @@
+#ifndef SLIMSTORE_CLUSTER_TENANT_H_
+#define SLIMSTORE_CLUSTER_TENANT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace slim::cluster {
+
+/// Tenant identity. A tenant is a namespace on the shared logical OSS:
+/// every object a tenant's backups create lives under a key prefix
+/// derived from its id, so two tenants can never observe each other's
+/// data through any store operation (isolation is structural, not
+/// advisory). The id doubles as the job-scope tenant tag, so per-tenant
+/// cost rollups (`slim jobs --by-tenant`) need no extra plumbing.
+struct Tenant {
+  std::string id;
+};
+
+/// Validates a tenant id for use in OSS key prefixes. Rejected:
+///   - empty ids (the untagged pseudo-tenant is spelled by *omitting*
+///     --tenant, never by an empty string);
+///   - ids containing '/' (a slash would fake deeper namespace
+///     components and could collide with another tenant's subtree);
+///   - ids containing "#tmp" (DiskObjectStore stages atomic writes
+///     under a '#tmp' suffix; a tenant id embedding it could alias the
+///     staging namespace);
+///   - control characters (keys must stay printable in logs and CLI
+///     output).
+/// Returns InvalidArgument with a human-readable reason.
+Status ValidateTenantId(std::string_view id);
+
+/// Key-prefix component for a tenant: "t/<id>". Callers append "/".
+std::string TenantPrefix(std::string_view tenant_id);
+
+}  // namespace slim::cluster
+
+#endif  // SLIMSTORE_CLUSTER_TENANT_H_

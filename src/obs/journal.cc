@@ -413,6 +413,17 @@ std::vector<EventJournal::TenantRollup> EventJournal::RollupByTenant(
   return rollups;
 }
 
+std::vector<std::string> EventJournal::FilterByTenant(
+    const std::vector<std::string>& records, const std::string& tenant) {
+  std::vector<std::string> matched;
+  for (const std::string& record : records) {
+    std::string tagged;
+    ExtractString(record, "tenant", &tagged);  // Missing field -> "".
+    if (tagged == tenant) matched.push_back(record);
+  }
+  return matched;
+}
+
 bool EventJournal::ExtractNumber(const std::string& record,
                                  const std::string& key, double* out) {
   std::string needle = "\"" + key + "\":";

@@ -95,6 +95,12 @@ class EventJournal {
   static std::vector<TenantRollup> RollupByTenant(
       const std::vector<std::string>& records);
 
+  /// Records whose `"tenant"` field equals `tenant`, in input order
+  /// (`slim jobs --tenant X`). An empty `tenant` selects untagged
+  /// records: ones with no tenant field or an empty one.
+  static std::vector<std::string> FilterByTenant(
+      const std::vector<std::string>& records, const std::string& tenant);
+
  private:
   EventJournal() = default;
 

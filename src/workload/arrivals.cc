@@ -1,0 +1,128 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace slim::workload {
+
+namespace {
+
+/// Per-(tenant, file) version state while building the schedule.
+struct FileState {
+  VersionedFileGenerator generator;
+  uint64_t versions_backed_up = 0;
+};
+
+}  // namespace
+
+ArrivalWorkload::ArrivalWorkload(ArrivalOptions options)
+    : options_(std::move(options)) {
+  Rng rng(options_.seed);
+
+  std::vector<double> weights;
+  for (size_t w = 0; w < options_.num_whales; ++w) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "whale-%zu", w);
+    tenants_.push_back(name);
+    weights.push_back(options_.whale_weight);
+  }
+  for (size_t t = 0; t < options_.num_small_tenants; ++t) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "tenant-%02zu", t);
+    tenants_.push_back(name);
+    weights.push_back(1.0);
+  }
+  double total_weight = 0;
+  for (double w : weights) total_weight += w;
+
+  // (tenant index, file index) -> generator state, created lazily so
+  // only files the schedule actually touches cost memory.
+  std::map<std::pair<size_t, size_t>, FileState> files;
+  // Restore candidates: (tenant idx, file idx, version) seen so far.
+  struct Backed {
+    size_t tenant;
+    size_t file;
+    uint64_t version;
+  };
+  std::vector<Backed> backed_up;
+
+  double clock_ms = 0;
+  for (size_t j = 0; j < options_.num_jobs; ++j) {
+    // Exponential inter-arrival: clamped away from u=1 for finiteness.
+    double u = rng.NextDouble();
+    if (u > 0.999999) u = 0.999999;
+    clock_ms += -options_.mean_interarrival_ms * std::log(1.0 - u);
+
+    // Weighted tenant draw.
+    double pick = rng.NextDouble() * total_weight;
+    size_t tenant = 0;
+    for (; tenant + 1 < weights.size(); ++tenant) {
+      if (pick < weights[tenant]) break;
+      pick -= weights[tenant];
+    }
+    size_t file = options_.files_per_tenant == 0
+                      ? 0
+                      : static_cast<size_t>(rng.Uniform(
+                            static_cast<uint64_t>(options_.files_per_tenant)));
+
+    bool is_backup = backed_up.empty() ||
+                     rng.NextDouble() < options_.backup_fraction;
+
+    ArrivalEvent event;
+    event.at_ms = clock_ms;
+    char file_id[32];
+    if (is_backup) {
+      event.tenant = tenants_[tenant];
+      std::snprintf(file_id, sizeof(file_id), "file-%zu", file);
+      event.file_id = file_id;
+      auto key = std::make_pair(tenant, file);
+      auto it = files.find(key);
+      if (it == files.end()) {
+        GeneratorOptions gen = options_.file_options;
+        gen.base_size = tenant < options_.num_whales
+                            ? options_.whale_file_size
+                            : options_.small_file_size;
+        // Seeds are always tenant-distinct so payloads never dedup
+        // across tenants by construction. With correlated_files the
+        // seed is shared within the tenant and file k pre-mutates k
+        // times, giving files of one tenant a common content lineage.
+        gen.seed = options_.seed ^ (0x9e37ULL * (tenant + 1)) ^
+                   (options_.correlated_files ? 0
+                                              : 0x79b9ULL * (file + 1));
+        VersionedFileGenerator generator(gen);
+        if (options_.correlated_files) {
+          for (size_t m = 0; m < file; ++m) generator.Mutate();
+        }
+        it = files.emplace(key, FileState{std::move(generator), 0}).first;
+      } else {
+        it->second.generator.Mutate();
+      }
+      event.is_backup = true;
+      event.payload_index = payloads_.size();
+      payloads_.push_back(it->second.generator.data());
+      // Version numbers are 0-based (BackupPipeline: latest + 1, or 0).
+      backed_up.push_back(
+          Backed{tenant, file, it->second.versions_backed_up});
+      ++it->second.versions_backed_up;
+    } else {
+      const Backed& source = backed_up[static_cast<size_t>(
+          rng.Uniform(static_cast<uint64_t>(backed_up.size())))];
+      event.tenant = tenants_[source.tenant];
+      std::snprintf(file_id, sizeof(file_id), "file-%zu", source.file);
+      event.file_id = file_id;
+      event.is_backup = false;
+      event.restore_version = source.version;
+    }
+    events_.push_back(std::move(event));
+  }
+}
+
+bool ArrivalWorkload::IsWhale(const std::string& tenant) const {
+  return tenant.rfind("whale-", 0) == 0;
+}
+
+}  // namespace slim::workload

@@ -1,0 +1,91 @@
+#ifndef SLIMSTORE_WORKLOAD_ARRIVALS_H_
+#define SLIMSTORE_WORKLOAD_ARRIVALS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace slim::workload {
+
+/// Options for the multi-tenant arrival-process generator.
+struct ArrivalOptions {
+  /// Tenant population: many small tenants plus a few whales whose
+  /// job-arrival rate is `whale_weight` times a small tenant's.
+  size_t num_small_tenants = 12;
+  size_t num_whales = 2;
+  double whale_weight = 16.0;
+  /// Total jobs in the schedule (backups + restores).
+  size_t num_jobs = 200;
+  /// Fraction of jobs that are backups; the rest restore a version that
+  /// an earlier event in the schedule already backed up.
+  double backup_fraction = 0.8;
+  size_t files_per_tenant = 3;
+  size_t small_file_size = 192 << 10;
+  size_t whale_file_size = 768 << 10;
+  /// When true, a tenant's files share a content lineage (file k starts
+  /// as file 0's content mutated k times), so files of one tenant carry
+  /// substantial cross-file duplication — the signal that exposes the
+  /// dedup-domain cost of sharding a tenant's files across shards.
+  /// When false every (tenant, file) is independent content.
+  bool correlated_files = true;
+  /// Versioning behavior of each tenant's files (sizes overridden).
+  GeneratorOptions file_options;
+  /// Mean of the exponential inter-arrival time, milliseconds.
+  double mean_interarrival_ms = 4.0;
+  uint64_t seed = 20210419;  // ICDE'21.
+};
+
+/// One scheduled job. `at_ms` is the arrival offset from schedule
+/// start; events are emitted in arrival order.
+struct ArrivalEvent {
+  double at_ms = 0;
+  std::string tenant;
+  std::string file_id;
+  bool is_backup = true;
+  /// Backups: index into ArrivalWorkload::payload(). Restores: unused.
+  size_t payload_index = 0;
+  /// Restores: version to read back (0-based, as BackupStats reports).
+  uint64_t restore_version = 0;
+};
+
+/// Generates a deterministic interleaved schedule of backup and restore
+/// jobs from a skewed multi-tenant population — the "thousands of small
+/// tenants plus a few whales" shape the cluster benches drive
+/// (cluster.skew / cluster.scaleout). Arrivals follow an exponential
+/// (Poisson-process) inter-arrival clock; the tenant of each job is a
+/// weighted draw, so whales dominate the queue exactly as a skewed
+/// production mix would.
+///
+/// Each (tenant, file) evolves through a VersionedFileGenerator, so
+/// consecutive backups of one file carry the configured duplication
+/// ratio and cross-tenant payloads stay distinct (no accidental
+/// cross-tenant dedup). Fully deterministic given the seed: the same
+/// options always produce byte-identical payloads and ordering.
+class ArrivalWorkload {
+ public:
+  explicit ArrivalWorkload(ArrivalOptions options);
+
+  const ArrivalOptions& options() const { return options_; }
+  const std::vector<ArrivalEvent>& events() const { return events_; }
+  /// Backup payload bytes for events()[i].payload_index.
+  const std::string& payload(size_t index) const {
+    return payloads_[index];
+  }
+  /// All tenant ids, whales first ("whale-0", ...) then small tenants
+  /// ("tenant-00", ...).
+  const std::vector<std::string>& tenants() const { return tenants_; }
+  /// True when `tenant` is one of the whales.
+  bool IsWhale(const std::string& tenant) const;
+
+ private:
+  ArrivalOptions options_;
+  std::vector<std::string> tenants_;
+  std::vector<ArrivalEvent> events_;
+  std::vector<std::string> payloads_;
+};
+
+}  // namespace slim::workload
+
+#endif  // SLIMSTORE_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,515 @@
+// Unit and end-to-end tests for the tenancy + sharding subsystem
+// (DESIGN.md §8): tenant-id validation, the versioned consistent-hash
+// ShardMap and its ring-delta property, the tenant-fair scheduler, and
+// multi-tenant backup/restore through a ShardedCluster — including the
+// kill-one-L-node / Rebuild() convergence contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "cluster/scheduler.h"
+#include "cluster/sharded_cluster.h"
+#include "cluster/tenant.h"
+#include <mutex>
+#include "common/thread_pool.h"
+#include "oss/memory_object_store.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+using cluster::ShardedCluster;
+using cluster::ShardedClusterOptions;
+using cluster::ShardMap;
+using cluster::TenantFairScheduler;
+using cluster::WaveJob;
+using workload::GeneratorOptions;
+using workload::VersionedFileGenerator;
+
+// --- tenant validation ------------------------------------------------------
+
+TEST(TenantValidation, AcceptsPlainIds) {
+  EXPECT_TRUE(cluster::ValidateTenantId("acme").ok());
+  EXPECT_TRUE(cluster::ValidateTenantId("acme-1.prod_east").ok());
+  EXPECT_TRUE(cluster::ValidateTenantId("whale-0").ok());
+}
+
+TEST(TenantValidation, RejectsEmpty) {
+  auto status = cluster::ValidateTenantId("");
+  EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument) << status;
+}
+
+TEST(TenantValidation, RejectsSlash) {
+  auto status = cluster::ValidateTenantId("a/b");
+  EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument) << status;
+}
+
+TEST(TenantValidation, RejectsTmpStagingAlias) {
+  auto status = cluster::ValidateTenantId("evil#tmp");
+  EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument) << status;
+  EXPECT_TRUE(cluster::ValidateTenantId("x#tmpy").code() == StatusCode::kInvalidArgument);
+}
+
+TEST(TenantValidation, RejectsControlCharacters) {
+  EXPECT_TRUE(cluster::ValidateTenantId("a\nb").code() == StatusCode::kInvalidArgument);
+  EXPECT_TRUE(
+      cluster::ValidateTenantId(std::string("a\x01b")).code() == StatusCode::kInvalidArgument);
+}
+
+TEST(TenantValidation, PrefixShape) {
+  EXPECT_EQ(cluster::TenantPrefix("acme"), "t/acme");
+}
+
+// --- shard map --------------------------------------------------------------
+
+TEST(ShardMapTest, PlacementIsDeterministic) {
+  ShardMap a(64, 16, {"L0", "L1", "L2"});
+  ShardMap b(64, 16, {"L2", "L0", "L1"});  // Order-insensitive.
+  for (uint32_t shard = 0; shard < 64; ++shard) {
+    EXPECT_EQ(a.OwnerOfShard(shard).value(), b.OwnerOfShard(shard).value());
+  }
+  EXPECT_EQ(a.ShardOfFile("acme", "file-1"), b.ShardOfFile("acme", "file-1"));
+}
+
+TEST(ShardMapTest, ShardOfFileIgnoresMembership) {
+  // A file's logical shard depends only on (tenant, file, num_shards) —
+  // membership churn can never re-shard a file.
+  ShardMap a(64, 16, {"L0"});
+  ShardMap b(64, 16, {"L0", "L1", "L2", "L3"});
+  for (int f = 0; f < 32; ++f) {
+    std::string file = "file-" + std::to_string(f);
+    EXPECT_EQ(a.ShardOfFile("acme", file), b.ShardOfFile("acme", file));
+  }
+  // ...and tenants with the same file ids land independently.
+  bool any_differs = false;
+  for (int f = 0; f < 32; ++f) {
+    std::string file = "file-" + std::to_string(f);
+    if (a.ShardOfFile("acme", file) != a.ShardOfFile("zeta", file)) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(ShardMapTest, OwnerFailsWithNoNodes) {
+  ShardMap map(8, 16, {});
+  auto owner = map.OwnerOfShard(0);
+  EXPECT_TRUE(owner.status().code() == StatusCode::kFailedPrecondition) << owner.status();
+}
+
+TEST(ShardMapTest, MembershipEditErrors) {
+  ShardMap map(8, 16, {"L0"});
+  EXPECT_TRUE(map.AddNode("L0").code() == StatusCode::kAlreadyExists);
+  EXPECT_TRUE(map.RemoveNode("ghost").IsNotFound());
+  EXPECT_TRUE(map.RemoveNode("L0").code() == StatusCode::kFailedPrecondition);  // Last node.
+  EXPECT_TRUE(map.AddNode("bad/node").code() == StatusCode::kInvalidArgument);
+}
+
+TEST(ShardMapTest, EditsBumpVersion) {
+  ShardMap map(8, 16, {"L0"});
+  EXPECT_EQ(map.version(), 1u);
+  ASSERT_TRUE(map.AddNode("L1").ok());
+  EXPECT_EQ(map.version(), 2u);
+  ASSERT_TRUE(map.RemoveNode("L0").ok());
+  EXPECT_EQ(map.version(), 3u);
+}
+
+TEST(ShardMapTest, JsonRoundTripPreservesPlacement) {
+  ShardMap map(32, 8, {"L0", "L1"});
+  ASSERT_TRUE(map.AddNode("L2").ok());  // version 2: not a fresh map.
+  auto parsed = ShardMap::FromJson(map.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().version(), map.version());
+  EXPECT_EQ(parsed.value().num_shards(), map.num_shards());
+  EXPECT_EQ(parsed.value().vnodes_per_node(), map.vnodes_per_node());
+  EXPECT_EQ(parsed.value().nodes(), map.nodes());
+  for (uint32_t shard = 0; shard < 32; ++shard) {
+    EXPECT_EQ(parsed.value().OwnerOfShard(shard).value(),
+              map.OwnerOfShard(shard).value());
+  }
+}
+
+TEST(ShardMapTest, SaveLoadThroughObjectStore) {
+  oss::MemoryObjectStore store;
+  ShardMap map(16, 8, {"L0", "L1"});
+  ASSERT_TRUE(map.Save(&store, "cluster/map/current").ok());
+  auto loaded = ShardMap::Load(&store, "cluster/map/current");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().version(), map.version());
+  EXPECT_EQ(loaded.value().nodes(), map.nodes());
+  EXPECT_TRUE(
+      ShardMap::Load(&store, "cluster/map/target").status().IsNotFound());
+}
+
+TEST(ShardMapTest, JoinMovesOnlyRingDelta) {
+  // THE consistent-hashing property: adding a node moves shards ONLY
+  // toward the new node; every other shard keeps its owner.
+  ShardMap before(64, 16, {"L0", "L1", "L2"});
+  ShardMap after = before;
+  ASSERT_TRUE(after.AddNode("L3").ok());
+  auto delta = ShardMap::Delta(before, after);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  ASSERT_FALSE(delta.value().empty());
+  EXPECT_LT(delta.value().size(), 64u);  // A join never moves everything.
+  std::set<uint32_t> moved;
+  for (const auto& move : delta.value()) {
+    EXPECT_EQ(move.to_node, "L3");
+    EXPECT_EQ(move.from_node, before.OwnerOfShard(move.shard).value());
+    moved.insert(move.shard);
+  }
+  for (uint32_t shard = 0; shard < 64; ++shard) {
+    if (moved.count(shard)) continue;
+    EXPECT_EQ(before.OwnerOfShard(shard).value(),
+              after.OwnerOfShard(shard).value())
+        << "shard " << shard << " moved outside the ring delta";
+  }
+}
+
+TEST(ShardMapTest, LeaveMovesOnlyDepartingNodesShards) {
+  ShardMap before(64, 16, {"L0", "L1", "L2", "L3"});
+  ShardMap after = before;
+  ASSERT_TRUE(after.RemoveNode("L1").ok());
+  auto delta = ShardMap::Delta(before, after);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  size_t owned_by_l1 = 0;
+  for (uint32_t shard = 0; shard < 64; ++shard) {
+    if (before.OwnerOfShard(shard).value() == "L1") ++owned_by_l1;
+  }
+  EXPECT_EQ(delta.value().size(), owned_by_l1);
+  for (const auto& move : delta.value()) {
+    EXPECT_EQ(move.from_node, "L1");
+    EXPECT_NE(move.to_node, "L1");
+    EXPECT_EQ(move.to_node, after.OwnerOfShard(move.shard).value());
+  }
+}
+
+TEST(ShardMapTest, DeltaRejectsMismatchedShardCounts) {
+  ShardMap a(8, 16, {"L0"});
+  ShardMap b(16, 16, {"L0"});
+  EXPECT_TRUE(ShardMap::Delta(a, b).status().code() == StatusCode::kInvalidArgument);
+}
+
+// --- tenant-fair scheduler --------------------------------------------------
+
+TEST(SchedulerTest, SingleSlotRoundRobinsTenants) {
+  // With one slot, dispatch is fully sequential, so the round-robin
+  // interleave is deterministic: A B A B A B, not A A A B B B.
+  TenantFairScheduler scheduler({/*total_slots=*/1, /*per_tenant_quota=*/0});
+  for (int i = 0; i < 3; ++i) {
+    scheduler.Enqueue("A", [] {});
+    scheduler.Enqueue("B", [] {});
+  }
+  ThreadPool pool(2);
+  auto stats = scheduler.RunAll(&pool);
+  pool.Shutdown();
+  EXPECT_EQ(stats.jobs_dispatched, 6u);
+  EXPECT_EQ(stats.dispatch_order,
+            (std::vector<std::string>{"A", "B", "A", "B", "A", "B"}));
+  EXPECT_EQ(stats.max_total_in_flight, 1u);
+}
+
+TEST(SchedulerTest, PerTenantQuotaCapsWhales) {
+  // A whale with 12 queued jobs against quota 2 must never hold more
+  // than 2 slots, and the small tenant still gets dispatched.
+  TenantFairScheduler scheduler({/*total_slots=*/8, /*per_tenant_quota=*/2});
+  std::atomic<int> whale_done{0};
+  for (int i = 0; i < 12; ++i) {
+    scheduler.Enqueue("whale", [&whale_done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      whale_done.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 4; ++i) {
+    scheduler.Enqueue("small", [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+  }
+  ThreadPool pool(8);
+  auto stats = scheduler.RunAll(&pool);
+  pool.Shutdown();
+  EXPECT_EQ(whale_done.load(), 12);
+  EXPECT_EQ(stats.dispatched_by_tenant["whale"], 12u);
+  EXPECT_EQ(stats.dispatched_by_tenant["small"], 4u);
+  EXPECT_LE(stats.max_in_flight_by_tenant["whale"], 2u);
+  EXPECT_LE(stats.max_in_flight_by_tenant["small"], 2u);
+  EXPECT_LE(stats.max_total_in_flight, 4u);  // 2 tenants x quota 2.
+}
+
+TEST(SchedulerTest, SequenceKeySerializesInEnqueueOrder) {
+  // Jobs sharing a sequence key must run one at a time, in enqueue
+  // order, even with plenty of free slots; an independent key overlaps
+  // freely.
+  TenantFairScheduler scheduler({/*total_slots=*/6, /*per_tenant_quota=*/0});
+  std::atomic<int> chain_active{0};
+  std::atomic<bool> chain_overlapped{false};
+  std::vector<int> chain_order;
+  std::mutex order_mu;
+  for (int i = 0; i < 6; ++i) {
+    scheduler.Enqueue(
+        "A",
+        [i, &chain_active, &chain_overlapped, &chain_order, &order_mu] {
+          if (chain_active.fetch_add(1) != 0) chain_overlapped = true;
+          {
+            std::lock_guard<std::mutex> lock(order_mu);
+            chain_order.push_back(i);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          chain_active.fetch_sub(1);
+        },
+        /*sequence_key=*/"file-7");
+  }
+  for (int i = 0; i < 4; ++i) {
+    scheduler.Enqueue("A", [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  ThreadPool pool(6);
+  auto stats = scheduler.RunAll(&pool);
+  pool.Shutdown();
+  EXPECT_FALSE(chain_overlapped.load());
+  EXPECT_EQ(chain_order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(stats.jobs_dispatched, 10u);
+  // The unkeyed jobs could overlap the chain: in-flight may exceed 1.
+  EXPECT_GE(stats.max_in_flight_by_tenant["A"], 1u);
+}
+
+TEST(SchedulerTest, ReusableAcrossWaves) {
+  TenantFairScheduler scheduler({/*total_slots=*/2, /*per_tenant_quota=*/0});
+  ThreadPool pool(2);
+  scheduler.Enqueue("A", [] {});
+  auto first = scheduler.RunAll(&pool);
+  EXPECT_EQ(first.jobs_dispatched, 1u);
+  scheduler.Enqueue("B", [] {});
+  scheduler.Enqueue("B", [] {});
+  auto second = scheduler.RunAll(&pool);
+  pool.Shutdown();
+  EXPECT_EQ(second.jobs_dispatched, 2u);  // Reset, not cumulative.
+  EXPECT_EQ(second.dispatched_by_tenant.count("A"), 0u);
+}
+
+// --- sharded cluster end-to-end ---------------------------------------------
+
+core::SlimStoreOptions SmallStoreOptions() {
+  core::SlimStoreOptions options;
+  options.backup.chunker_type = chunking::ChunkerType::kFastCdc;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 32 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.segment_max_chunks = 64;
+  options.restore.cache_bytes = 1 << 20;
+  options.restore.prefetch_threads = 0;
+  return options;
+}
+
+ShardedClusterOptions SmallClusterOptions() {
+  ShardedClusterOptions options;
+  options.root = "cluster";
+  options.num_shards = 4;
+  options.vnodes_per_node = 8;
+  options.backup_jobs_per_node = 3;
+  options.per_tenant_quota = 2;
+  options.store = SmallStoreOptions();
+  return options;
+}
+
+GeneratorOptions SmallGenerator(uint64_t seed) {
+  GeneratorOptions gen;
+  gen.base_size = 64 << 10;
+  gen.duplication_ratio = 0.8;
+  gen.block_size = 1024;
+  gen.seed = seed;
+  return gen;
+}
+
+TEST(ShardedClusterTest, CreateRejectsDoubleInit) {
+  oss::MemoryObjectStore store;
+  auto first =
+      ShardedCluster::Create(&store, SmallClusterOptions(), {"L0"});
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second =
+      ShardedCluster::Create(&store, SmallClusterOptions(), {"L0"});
+  EXPECT_TRUE(second.status().code() == StatusCode::kAlreadyExists) << second.status();
+}
+
+TEST(ShardedClusterTest, OpenRequiresInit) {
+  oss::MemoryObjectStore store;
+  auto opened = ShardedCluster::Open(&store, SmallClusterOptions());
+  EXPECT_TRUE(opened.status().IsNotFound()) << opened.status();
+}
+
+TEST(ShardedClusterTest, BackupRejectsInvalidTenant) {
+  oss::MemoryObjectStore store;
+  auto cluster =
+      ShardedCluster::Create(&store, SmallClusterOptions(), {"L0"});
+  ASSERT_TRUE(cluster.ok());
+  auto backup = cluster.value()->Backup("bad/tenant", "f", "data");
+  EXPECT_TRUE(backup.status().code() == StatusCode::kInvalidArgument) << backup.status();
+  EXPECT_TRUE(cluster.value()
+                  ->RegisterTenant("oops#tmp")
+                  .code() == StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedClusterTest, MultiTenantBackupRestoreByteIdentity) {
+  oss::MemoryObjectStore store;
+  auto cluster = ShardedCluster::Create(&store, SmallClusterOptions(),
+                                        {"L0", "L1"});
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  // Two tenants, two files each, three versions per file.
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      truth;
+  uint64_t seed = 1;
+  for (const std::string tenant : {"alpha", "beta"}) {
+    for (const std::string file : {"db.sdb", "logs.bin"}) {
+      VersionedFileGenerator generator(SmallGenerator(seed++));
+      for (int v = 0; v < 3; ++v) {
+        if (v > 0) generator.Mutate();
+        const std::string& data = generator.data();
+        auto stats = cluster.value()->Backup(tenant, file, data);
+        ASSERT_TRUE(stats.ok()) << stats.status();
+        EXPECT_EQ(stats.value().version, static_cast<uint64_t>(v));
+        truth[tenant][file].push_back(data);
+      }
+    }
+  }
+  for (const auto& [tenant, files] : truth) {
+    for (const auto& [file, versions] : files) {
+      for (size_t v = 0; v < versions.size(); ++v) {
+        auto restored = cluster.value()->Restore(tenant, file, v);
+        ASSERT_TRUE(restored.ok()) << restored.status();
+        EXPECT_EQ(restored.value(), versions[v])
+            << tenant << "/" << file << " v" << v;
+      }
+    }
+  }
+
+  // Isolation is structural: every data key lives under exactly one
+  // tenant's prefix.
+  auto keys = store.List("cluster/n/");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_FALSE(keys.value().empty());
+  for (const auto& key : keys.value()) {
+    EXPECT_TRUE(key.find("/t/alpha/") != std::string::npos ||
+                key.find("/t/beta/") != std::string::npos)
+        << key;
+  }
+
+  auto status = cluster.value()->GetStatus();
+  ASSERT_TRUE(status.ok()) << status.status();
+  EXPECT_EQ(status.value().map_version, 1u);
+  EXPECT_EQ(status.value().num_shards, 4u);
+  EXPECT_EQ(status.value().nodes,
+            (std::vector<std::string>{"L0", "L1"}));
+  EXPECT_EQ(status.value().tenants,
+            (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_FALSE(status.value().rebalance_pending);
+  size_t placed = 0;
+  for (const auto& [node, shards] : status.value().shards_by_node) {
+    placed += shards.size();
+  }
+  EXPECT_EQ(placed, 4u);  // Every shard owned exactly once.
+}
+
+TEST(ShardedClusterTest, KillOneLNodeMidWaveThenRebuildConverges) {
+  // The acceptance scenario: wave 1 backs up version 0 everywhere, the
+  // L-node fleet dies (all node-local state dropped), wave 2 mixes
+  // version-1 backups with version-0 restores — every store Rebuild()s
+  // from OSS and restores converge to byte-identical data per tenant.
+  oss::MemoryObjectStore store;
+  auto cluster = ShardedCluster::Create(&store, SmallClusterOptions(),
+                                        {"L0", "L1"});
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      truth;
+  std::map<std::string, std::map<std::string, VersionedFileGenerator>>
+      generators;
+  uint64_t seed = 100;
+  std::vector<WaveJob> wave1;
+  for (const std::string tenant : {"alpha", "beta", "gamma"}) {
+    for (const std::string file : {"f0", "f1"}) {
+      generators[tenant].emplace(file,
+                                 VersionedFileGenerator(SmallGenerator(seed++)));
+      truth[tenant][file].push_back(generators[tenant].at(file).data());
+      WaveJob job;
+      job.tenant = tenant;
+      job.file_id = file;
+      job.data = &truth[tenant][file].back();
+      wave1.push_back(job);
+    }
+  }
+  auto stats1 = cluster.value()->RunWave(wave1);
+  ASSERT_TRUE(stats1.ok()) << stats1.status();
+  EXPECT_EQ(stats1.value().failures, 0u);
+
+  // kill -9 the fleet: every cached SlimStore (indexes, manifests,
+  // recipe caches) is gone; OSS is the only truth left.
+  cluster.value()->DropNodeLocalState();
+
+  std::vector<WaveJob> wave2;
+  for (auto& [tenant, files] : generators) {
+    for (auto& [file, generator] : files) {
+      generator.Mutate();
+      truth[tenant][file].push_back(generator.data());
+      WaveJob backup;
+      backup.tenant = tenant;
+      backup.file_id = file;
+      backup.data = &truth[tenant][file].back();
+      wave2.push_back(backup);
+      WaveJob restore;  // Enqueued after the backup: sees version 0.
+      restore.tenant = tenant;
+      restore.file_id = file;
+      restore.version = 0;
+      wave2.push_back(restore);
+    }
+  }
+  auto stats2 = cluster.value()->RunWave(wave2);
+  ASSERT_TRUE(stats2.ok()) << stats2.status();
+  EXPECT_EQ(stats2.value().failures, 0u);
+
+  // Converged: every version of every tenant's files is byte-identical,
+  // both through the surviving handle and through a cold re-Open.
+  auto reopened = ShardedCluster::Open(&store, SmallClusterOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  for (const auto& [tenant, files] : truth) {
+    for (const auto& [file, versions] : files) {
+      for (size_t v = 0; v < versions.size(); ++v) {
+        auto warm = cluster.value()->Restore(tenant, file, v);
+        ASSERT_TRUE(warm.ok()) << warm.status();
+        EXPECT_EQ(warm.value(), versions[v]);
+        auto cold = reopened.value()->Restore(tenant, file, v);
+        ASSERT_TRUE(cold.ok()) << cold.status();
+        EXPECT_EQ(cold.value(), versions[v]);
+      }
+    }
+  }
+}
+
+TEST(ShardedClusterTest, GNodeCyclesCoverEveryTenantShardStore) {
+  oss::MemoryObjectStore store;
+  ShardedClusterOptions options = SmallClusterOptions();
+  auto cluster = ShardedCluster::Create(&store, options, {"L0"});
+  ASSERT_TRUE(cluster.ok());
+  for (const std::string tenant : {"alpha", "beta"}) {
+    VersionedFileGenerator generator(SmallGenerator(7));
+    ASSERT_TRUE(
+        cluster.value()->Backup(tenant, "f", generator.data()).ok());
+  }
+  auto cycles = cluster.value()->RunGNodeCycles();
+  ASSERT_TRUE(cycles.ok()) << cycles.status();
+  // Shard-major sweep touches every (tenant, shard) pair.
+  EXPECT_EQ(cycles.value().stores_processed,
+            static_cast<size_t>(2 * options.num_shards));
+}
+
+}  // namespace
+}  // namespace slim

@@ -275,6 +275,51 @@ TEST_F(JournalTest, RollupByTenantAggregatesMultiTenantJournal) {
   EXPECT_NEAR(rollups[2].dollars, 0.002, 1e-12);
 }
 
+TEST_F(JournalTest, FilterByTenantSelectsOnlyMatchingRecords) {
+  auto job = [](uint64_t id, const std::string& tenant) {
+    JobSummary summary;
+    summary.job_id = id;
+    summary.kind = "backup";
+    summary.name = "backup:file-" + std::to_string(id);
+    summary.tenant = tenant;
+    summary.outcome = "ok";
+    return EventJournal::JobRecordJson(summary);
+  };
+  std::vector<std::string> records = {
+      job(1, "acme"), job(2, "globex"), job(3, "acme"), job(4, ""),
+      "{\"type\":\"note\",\"tenant\":\"acme\"}",
+  };
+
+  auto acme = EventJournal::FilterByTenant(records, "acme");
+  ASSERT_EQ(acme.size(), 3u);  // Two jobs + the tagged note, input order.
+  EXPECT_EQ(acme[0], records[0]);
+  EXPECT_EQ(acme[1], records[2]);
+  EXPECT_EQ(acme[2], records[4]);
+
+  // A tenant that never ran anything filters to nothing; the empty
+  // tenant selects exactly the untagged records.
+  EXPECT_TRUE(EventJournal::FilterByTenant(records, "initech").empty());
+  auto untagged = EventJournal::FilterByTenant(records, "");
+  ASSERT_EQ(untagged.size(), 1u);
+  EXPECT_EQ(untagged[0], records[3]);
+}
+
+TEST_F(JournalTest, FilterByTenantDoesNotMatchPrefixOrSubstring) {
+  auto job = [](const std::string& tenant) {
+    JobSummary summary;
+    summary.job_id = 1;
+    summary.kind = "backup";
+    summary.tenant = tenant;
+    summary.outcome = "ok";
+    return EventJournal::JobRecordJson(summary);
+  };
+  std::vector<std::string> records = {job("acme"), job("acme-prod"),
+                                      job("pre-acme")};
+  auto matched = EventJournal::FilterByTenant(records, "acme");
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0], records[0]);
+}
+
 TEST_F(JournalTest, RollupByTenantTiesBreakByTenantName) {
   auto job = [](const std::string& tenant) {
     JobSummary summary;

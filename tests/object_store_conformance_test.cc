@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/namespace_store.h"
 #include "durability/checksum.h"
 #include "durability/checksumming_object_store.h"
 #include "durability/placement.h"
@@ -135,6 +136,29 @@ std::vector<StoreParam> AllStores() {
                           durability::PlacementPolicy());
                       fixture->store = repl.get();
                       fixture->cleanup = [backing, repl] {};
+                      return fixture;
+                    }});
+  // A tenant's prefix-scoped view of a SHARED store must itself be a
+  // complete conformant ObjectStore — and the foreign-tenant objects
+  // pre-seeded into the base here must stay invisible to every test
+  // (ListEmptyPrefixReturnsEverything in particular would fail if any
+  // leaked through).
+  params.push_back({"tenant_namespaced", [] {
+                      auto fixture = std::make_unique<StoreFixture>();
+                      auto base = std::make_shared<MemoryObjectStore>();
+                      // Another tenant's data, a sibling tenant whose id
+                      // extends ours, and staging-suffixed junk: none of
+                      // it may surface inside the "t/acme" view.
+                      EXPECT_TRUE(base->Put("t/other/secret", "x").ok());
+                      EXPECT_TRUE(base->Put("t/other/a/1", "x").ok());
+                      EXPECT_TRUE(base->Put("t/acme2/file", "x").ok());
+                      EXPECT_TRUE(
+                          base->Put("t/other/stage#tmp42", "x").ok());
+                      auto ns = std::make_shared<
+                          slim::cluster::NamespacedObjectStore>(base.get(),
+                                                                "t/acme");
+                      fixture->store = ns.get();
+                      fixture->cleanup = [base, ns] {};
                       return fixture;
                     }});
   params.push_back({"replicated_checksummed", [] {
@@ -311,6 +335,93 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<StoreParam>& param_info) {
       return param_info.param.name;
     });
+
+// --- tenant namespace isolation --------------------------------------------
+// Beyond the parameterized conformance above (which proves a namespaced
+// view IS a complete ObjectStore), these cases pin the isolation
+// guarantee itself: two tenant views over ONE shared base can never
+// observe each other, under recursive and prefix-scoped listing, on
+// memory- and disk-backed bases, including the '#tmp' atomic-write
+// staging namespace.
+
+void ExerciseTwoTenantViews(ObjectStore* base) {
+  slim::cluster::NamespacedObjectStore alice(base, "t/alice");
+  slim::cluster::NamespacedObjectStore bob(base, "t/bob");
+
+  // Identical keys, different values: reads must never cross views.
+  ASSERT_TRUE(alice.Put("meta/manifest", "alice-manifest").ok());
+  ASSERT_TRUE(bob.Put("meta/manifest", "bob-manifest").ok());
+  ASSERT_TRUE(alice.Put("containers/c0", "alice-c0").ok());
+  ASSERT_TRUE(bob.Put("containers/c1", "bob-c1").ok());
+  EXPECT_EQ(alice.Get("meta/manifest").value(), "alice-manifest");
+  EXPECT_EQ(bob.Get("meta/manifest").value(), "bob-manifest");
+  EXPECT_FALSE(alice.Exists("containers/c1").value());
+  EXPECT_FALSE(bob.Exists("containers/c0").value());
+
+  // Recursive listing (empty prefix = everything in the view) shows
+  // exactly the view's own keys; prefix-scoped listing stays scoped.
+  EXPECT_EQ(alice.List("").value(),
+            (std::vector<std::string>{"containers/c0", "meta/manifest"}));
+  EXPECT_EQ(bob.List("").value(),
+            (std::vector<std::string>{"containers/c1", "meta/manifest"}));
+  EXPECT_EQ(alice.List("containers/").value(),
+            (std::vector<std::string>{"containers/c0"}));
+  EXPECT_EQ(bob.List("meta/").value(),
+            (std::vector<std::string>{"meta/manifest"}));
+
+  // Deleting through one view leaves the other's same-named key intact.
+  ASSERT_TRUE(alice.Delete("meta/manifest").ok());
+  EXPECT_FALSE(alice.Exists("meta/manifest").value());
+  EXPECT_EQ(bob.Get("meta/manifest").value(), "bob-manifest");
+
+  // The base sees both subtrees, fully disjoint by prefix.
+  auto base_keys = base->List("t/").value();
+  for (const auto& key : base_keys) {
+    EXPECT_TRUE(key.rfind("t/alice/", 0) == 0 ||
+                key.rfind("t/bob/", 0) == 0)
+        << key;
+  }
+}
+
+TEST(TenantNamespaceIsolation, MemoryBackedViewsNeverInterleave) {
+  MemoryObjectStore base;
+  ExerciseTwoTenantViews(&base);
+}
+
+TEST(TenantNamespaceIsolation, DiskBackedViewsNeverInterleave) {
+  auto root = FreshDiskRoot();
+  auto disk = DiskObjectStore::Open(root.string());
+  ASSERT_TRUE(disk.ok()) << disk.status();
+  ExerciseTwoTenantViews(disk.value().get());
+  std::filesystem::remove_all(root);
+}
+
+TEST(TenantNamespaceIsolation, DiskAtomicStagingStaysInvisible) {
+  // DiskObjectStore stages atomic writes under a '#tmp' suffix. A
+  // tenant view over disk must neither leak staging files into List nor
+  // let one tenant's staging alias another tenant's keys. (Tenant ids
+  // embedding "#tmp" are rejected at validation, so the only '#tmp'
+  // keys a view can see are its OWN user keys with that spelling.)
+  auto root = FreshDiskRoot();
+  auto disk = DiskObjectStore::Open(root.string());
+  ASSERT_TRUE(disk.ok()) << disk.status();
+  slim::cluster::NamespacedObjectStore alice(disk.value().get(), "t/alice");
+  slim::cluster::NamespacedObjectStore bob(disk.value().get(), "t/bob");
+
+  ASSERT_TRUE(alice.Put("data", "v1").ok());
+  ASSERT_TRUE(alice.Put("data", "v2").ok());  // Overwrite re-stages.
+  ASSERT_TRUE(bob.Put("data#tmp7", "bob-user-key").ok());
+
+  // No staging residue is listed anywhere, but bob's user key that
+  // merely LOOKS like a staging file survives in bob's view only.
+  EXPECT_EQ(alice.List("").value(), (std::vector<std::string>{"data"}));
+  EXPECT_EQ(bob.List("").value(),
+            (std::vector<std::string>{"data#tmp7"}));
+  EXPECT_EQ(alice.Get("data").value(), "v2");
+  EXPECT_EQ(bob.Get("data#tmp7").value(), "bob-user-key");
+  EXPECT_FALSE(alice.Exists("data#tmp7").value());
+  std::filesystem::remove_all(root);
+}
 
 }  // namespace
 }  // namespace slim::oss

@@ -1,0 +1,337 @@
+// Membership-change and rebalance tests for the sharded cluster
+// (DESIGN.md §8): two-phase Join/Leave staging, the ring-delta-only
+// data movement guarantee asserted via OSS op counts, idempotent resume
+// across injected crash cuts, and the bandwidth throttle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "cluster/sharded_cluster.h"
+#include "oss/memory_object_store.h"
+#include "oss/simulated_oss.h"
+#include "workload/generator.h"
+
+namespace slim {
+namespace {
+
+using cluster::ShardedCluster;
+using cluster::ShardedClusterOptions;
+using cluster::ShardMap;
+using oss::MemoryObjectStore;
+using oss::OssCostModel;
+using oss::SimulatedOss;
+using workload::GeneratorOptions;
+using workload::VersionedFileGenerator;
+
+OssCostModel FreeModel() {
+  OssCostModel model;
+  model.sleep_for_cost = false;
+  return model;
+}
+
+core::SlimStoreOptions SmallStoreOptions() {
+  core::SlimStoreOptions options;
+  options.backup.chunker_type = chunking::ChunkerType::kFastCdc;
+  options.backup.chunker_params = chunking::ChunkerParams::FromAverage(1024);
+  options.backup.container_capacity = 32 << 10;
+  options.backup.segment_bytes = 16 << 10;
+  options.backup.segment_max_chunks = 64;
+  options.restore.cache_bytes = 1 << 20;
+  options.restore.prefetch_threads = 0;
+  return options;
+}
+
+ShardedClusterOptions SmallClusterOptions() {
+  ShardedClusterOptions options;
+  options.root = "cluster";
+  options.num_shards = 8;
+  options.vnodes_per_node = 8;
+  options.store = SmallStoreOptions();
+  return options;
+}
+
+/// Truth table of the deterministic seed data: tenant -> file ->
+/// versions (payload bytes).
+using Truth =
+    std::map<std::string, std::map<std::string, std::vector<std::string>>>;
+
+/// Seeds the cluster with two tenants, one file per (tenant, shard) —
+/// every shard holds data for every tenant, so ANY nonempty ring delta
+/// is guaranteed to move objects. Fully deterministic: file names are
+/// found by probing the shard hash, which depends only on num_shards.
+Truth SeedCluster(ShardedCluster* cluster) {
+  const uint32_t num_shards = cluster->options().num_shards;
+  ShardMap probe(num_shards, 1, {"probe"});
+  Truth truth;
+  uint64_t seed = 42;
+  for (const std::string tenant : {"alpha", "beta"}) {
+    std::set<uint32_t> covered;
+    for (int candidate = 0; covered.size() < num_shards && candidate < 10000;
+         ++candidate) {
+      std::string file = "f" + std::to_string(candidate);
+      uint32_t shard = probe.ShardOfFile(tenant, file);
+      if (!covered.insert(shard).second) continue;
+      GeneratorOptions gen;
+      gen.base_size = 24 << 10;
+      gen.duplication_ratio = 0.8;
+      gen.block_size = 1024;
+      gen.seed = seed++;
+      VersionedFileGenerator generator(gen);
+      truth[tenant][file].push_back(generator.data());
+      auto stats = cluster->Backup(tenant, file, generator.data());
+      EXPECT_TRUE(stats.ok()) << stats.status();
+    }
+    EXPECT_EQ(covered.size(), num_shards) << "shard probe did not converge";
+  }
+  return truth;
+}
+
+void ExpectAllRestorable(ShardedCluster* cluster, const Truth& truth) {
+  for (const auto& [tenant, files] : truth) {
+    for (const auto& [file, versions] : files) {
+      for (size_t v = 0; v < versions.size(); ++v) {
+        auto restored = cluster->Restore(tenant, file, v);
+        ASSERT_TRUE(restored.ok()) << restored.status();
+        EXPECT_EQ(restored.value(), versions[v])
+            << tenant << "/" << file << " v" << v;
+      }
+    }
+  }
+}
+
+/// Full key -> value snapshot of a store (resume tests compare final
+/// states byte-for-byte against a clean run).
+std::map<std::string, std::string> DumpStore(oss::ObjectStore* store) {
+  std::map<std::string, std::string> dump;
+  auto keys = store->List("");
+  EXPECT_TRUE(keys.ok());
+  for (const auto& key : keys.value()) {
+    auto value = store->Get(key);
+    EXPECT_TRUE(value.ok()) << key;
+    dump[key] = value.ok() ? value.value() : "";
+  }
+  return dump;
+}
+
+TEST(RebalanceTest, NoopWithoutStagedChange) {
+  MemoryObjectStore store;
+  auto cluster =
+      ShardedCluster::Create(&store, SmallClusterOptions(), {"L0"});
+  ASSERT_TRUE(cluster.ok());
+  auto stats = cluster.value()->Rebalance();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats.value().moved_shards.empty());
+  EXPECT_FALSE(stats.value().resumed);
+}
+
+TEST(RebalanceTest, JoinStagesTargetWithoutMovingData) {
+  MemoryObjectStore store;
+  auto cluster =
+      ShardedCluster::Create(&store, SmallClusterOptions(), {"L0"});
+  ASSERT_TRUE(cluster.ok());
+  Truth truth = SeedCluster(cluster.value().get());
+
+  ASSERT_TRUE(cluster.value()->Join("L1").ok());
+  auto status = cluster.value()->GetStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status.value().rebalance_pending);
+  EXPECT_EQ(status.value().map_version, 1u);  // Current map untouched.
+  EXPECT_EQ(status.value().target_map_version, 2u);
+  EXPECT_EQ(status.value().nodes, (std::vector<std::string>{"L0"}));
+  // Routing still follows the current map; data is fully readable.
+  ExpectAllRestorable(cluster.value().get(), truth);
+
+  // A second membership change cannot stack on the staged one.
+  EXPECT_EQ(cluster.value()->Join("L2").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.value()->Leave("L0").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RebalanceTest, JoinMovesExactlyTheRingDeltaByOpCounts) {
+  MemoryObjectStore base;
+  SimulatedOss store(&base, FreeModel());
+  auto cluster =
+      ShardedCluster::Create(&store, SmallClusterOptions(), {"L0", "L1"});
+  ASSERT_TRUE(cluster.ok());
+  Truth truth = SeedCluster(cluster.value().get());
+
+  // Predict the ring delta and count the objects living under exactly
+  // those (tenant, moved-shard) prefixes before any data moves.
+  auto current = ShardMap::Load(&store, "cluster/map/current");
+  ASSERT_TRUE(current.ok());
+  ShardMap target = current.value();
+  ASSERT_TRUE(target.AddNode("L2").ok());
+  auto delta = ShardMap::Delta(current.value(), target);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_FALSE(delta.value().empty()) << "join moved nothing; re-seed";
+  size_t expected_objects = 0;
+  for (const auto& move : delta.value()) {
+    for (const std::string tenant : {"alpha", "beta"}) {
+      auto keys = store.List(
+          cluster.value()->StoreRoot(move.from_node, tenant, move.shard) +
+          "/");
+      ASSERT_TRUE(keys.ok());
+      expected_objects += keys.value().size();
+    }
+  }
+  ASSERT_GT(expected_objects, 0u);  // Every shard is seeded, so the
+                                    // delta must carry real objects.
+  auto all_data = store.List("cluster/n/");
+  ASSERT_TRUE(all_data.ok());
+  // The delta is a strict subset of the keyspace: a join must not
+  // rewrite the world.
+  ASSERT_LT(expected_objects, all_data.value().size());
+
+  ASSERT_TRUE(cluster.value()->Join("L2").ok());
+  auto before = store.metrics();
+  auto stats = cluster.value()->Rebalance();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  auto ops = store.metrics() - before;
+
+  // Every move targets the joining node, and the moved shard set is the
+  // predicted ring delta.
+  std::set<uint32_t> moved(stats.value().moved_shards.begin(),
+                           stats.value().moved_shards.end());
+  std::set<uint32_t> predicted;
+  for (const auto& move : delta.value()) predicted.insert(move.shard);
+  EXPECT_EQ(moved, predicted);
+  EXPECT_EQ(stats.value().objects_copied, expected_objects);
+
+  // Exact op accounting: the copy phase touches ONLY the delta objects.
+  //   gets    = C copies + 1 target-map load
+  //   puts    = M pending records + C copies + 1 current-map flip
+  //   deletes = C source deletes + M record deletes + 1 target delete
+  const uint64_t c = static_cast<uint64_t>(expected_objects);
+  const uint64_t m = static_cast<uint64_t>(delta.value().size());
+  EXPECT_EQ(ops.get_requests, c + 1);
+  EXPECT_EQ(ops.put_requests, m + c + 1);
+  EXPECT_EQ(ops.delete_requests, c + m + 1);
+
+  // Post-conditions: committed map, no staging residue, empty source
+  // prefixes, all data byte-identical through the new routing.
+  auto status = cluster.value()->GetStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().map_version, 2u);
+  EXPECT_FALSE(status.value().rebalance_pending);
+  EXPECT_EQ(status.value().nodes,
+            (std::vector<std::string>{"L0", "L1", "L2"}));
+  EXPECT_TRUE(store.List("cluster/pending/").value().empty());
+  for (const auto& move : delta.value()) {
+    for (const std::string tenant : {"alpha", "beta"}) {
+      EXPECT_TRUE(
+          store
+              .List(cluster.value()->StoreRoot(move.from_node, tenant,
+                                               move.shard) +
+                    "/")
+              .value()
+              .empty());
+    }
+  }
+  ExpectAllRestorable(cluster.value().get(), truth);
+}
+
+TEST(RebalanceTest, LeaveDrainsDepartingNodeCompletely) {
+  MemoryObjectStore store;
+  auto cluster = ShardedCluster::Create(&store, SmallClusterOptions(),
+                                        {"L0", "L1", "L2"});
+  ASSERT_TRUE(cluster.ok());
+  Truth truth = SeedCluster(cluster.value().get());
+
+  ASSERT_TRUE(cluster.value()->Leave("L1").ok());
+  auto stats = cluster.value()->Rebalance();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto status = cluster.value()->GetStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().nodes, (std::vector<std::string>{"L0", "L2"}));
+  EXPECT_EQ(status.value().shards_by_node.count("L1"), 0u);
+  // Nothing left under the departed node's whole subtree.
+  EXPECT_TRUE(store.List("cluster/n/L1/").value().empty());
+  ExpectAllRestorable(cluster.value().get(), truth);
+}
+
+TEST(RebalanceTest, ResumesIdempotentlyAcrossCrashCuts) {
+  // Reference: an identical cluster rebalanced with no crash.
+  auto run = [](size_t crash_after_objects, bool double_crash,
+                std::map<std::string, std::string>* final_dump) {
+    MemoryObjectStore store;
+    auto cluster = ShardedCluster::Create(&store, SmallClusterOptions(),
+                                          {"L0", "L1"});
+    ASSERT_TRUE(cluster.ok());
+    Truth truth = SeedCluster(cluster.value().get());
+    ASSERT_TRUE(cluster.value()->Join("L2").ok());
+
+    if (crash_after_objects > 0) {
+      auto crashed = cluster.value()->Rebalance(crash_after_objects);
+      ASSERT_EQ(crashed.status().code(), StatusCode::kInternal)
+          << "crash cut did not trigger — data set too small?";
+      if (double_crash) {
+        // Crash the RESUME too: the worklist must survive two cuts.
+        auto reopened = ShardedCluster::Open(&store, SmallClusterOptions());
+        ASSERT_TRUE(reopened.ok());
+        auto again =
+            reopened.value()->Rebalance(crash_after_objects + 1);
+        ASSERT_EQ(again.status().code(), StatusCode::kInternal);
+      }
+      // A brand-new process attaches and simply re-runs Rebalance.
+      auto resumed = ShardedCluster::Open(&store, SmallClusterOptions());
+      ASSERT_TRUE(resumed.ok());
+      auto stats = resumed.value()->Rebalance();
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      EXPECT_TRUE(stats.value().resumed);
+      ExpectAllRestorable(resumed.value().get(), truth);
+    } else {
+      auto stats = cluster.value()->Rebalance();
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      ExpectAllRestorable(cluster.value().get(), truth);
+    }
+    *final_dump = DumpStore(&store);
+  };
+
+  std::map<std::string, std::string> clean;
+  run(0, false, &clean);
+  ASSERT_FALSE(clean.empty());
+
+  // Crash after the first object, mid-worklist, and with a crashed
+  // resume on top: every cut must converge to the clean run's exact
+  // final OSS state (same keys, same bytes).
+  const std::vector<std::pair<size_t, bool>> cuts = {
+      {1, false}, {3, false}, {1, true}};
+  for (auto [cut, double_crash] : cuts) {
+    std::map<std::string, std::string> resumed;
+    run(cut, double_crash, &resumed);
+    EXPECT_EQ(resumed.size(), clean.size())
+        << "cut=" << cut << " double=" << double_crash;
+    EXPECT_TRUE(resumed == clean)
+        << "resumed final state diverged from clean run at cut=" << cut
+        << " double=" << double_crash;
+  }
+}
+
+TEST(RebalanceTest, ThrottlePacesTheCopyPhase) {
+  MemoryObjectStore store;
+  ShardedClusterOptions options = SmallClusterOptions();
+  // Slow enough that a few dozen KB of moved containers forces at least
+  // one sleep, fast enough to keep the test well under a second.
+  options.rebalance_bytes_per_sec = 512 << 10;
+  auto cluster = ShardedCluster::Create(&store, options, {"L0", "L1"});
+  ASSERT_TRUE(cluster.ok());
+  Truth truth = SeedCluster(cluster.value().get());
+
+  ASSERT_TRUE(cluster.value()->Join("L2").ok());
+  auto stats = cluster.value()->Rebalance();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_GT(stats.value().bytes_copied, 0u);
+  EXPECT_GT(stats.value().throttle_sleep_ms, 0u);
+  ExpectAllRestorable(cluster.value().get(), truth);
+}
+
+}  // namespace
+}  // namespace slim

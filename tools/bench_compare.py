@@ -26,6 +26,13 @@ Schema v1 reports carry oss request/byte totals; v2 adds the per-op
 "oss.by_op" breakdown and the "cost" dollar block. Both validate; the
 cost gate engages only when baseline and current are both v2.
 
+Some scenarios publish pass/fail invariants through their "extra"
+block, and those are gated HARD (never --warn-only) whenever the
+scenario appears in the current report:
+  * cluster.scaleout: extra.monotonic must be 1 — aggregate backup
+    throughput must strictly increase going 1 -> 2 -> 4 L-nodes, the
+    core scale-out claim of the tenancy + sharding subsystem.
+
 Stdlib only; CI runs this against the committed baseline in
 bench/baselines/.
 """
@@ -41,6 +48,35 @@ OSS_REQUEST_INFLATION_PCT = 15.0
 COST_INFLATION_PCT = 15.0
 
 OSS_OPS = ("put", "get", "getrange", "delete", "list", "exists", "size")
+
+# scenario name -> (extra key, required value, human reason). Checked
+# against whichever report is "current" (and under --validate); a
+# violation is a hard failure even with --warn-only, because these are
+# correctness claims, not perf trajectories.
+SCENARIO_INVARIANTS = {
+    "cluster.scaleout": (
+        "monotonic", 1.0,
+        "throughput must increase monotonically from 1 to 4 L-nodes"),
+}
+
+
+def check_invariants(report, label):
+    """Returns a list of invariant-violation strings (empty = ok)."""
+    violations = []
+    for s in report.get("scenarios", []):
+        if not isinstance(s, dict):
+            continue
+        invariant = SCENARIO_INVARIANTS.get(s.get("name"))
+        if invariant is None:
+            continue
+        key, required, reason = invariant
+        extra = s.get("extra") if isinstance(s.get("extra"), dict) else {}
+        actual = extra.get(key)
+        if actual != required:
+            violations.append(
+                f"{label}: {s.get('name')}: extra.{key} is {actual!r}, "
+                f"must be {required!r} ({reason})")
+    return violations
 
 
 def _is_num(x):
@@ -276,11 +312,16 @@ def main(argv):
     args = parser.parse_args(argv)
 
     if args.validate:
-        _, errors = load_report(args.validate)
+        report, errors = load_report(args.validate)
         for e in errors:
             print(f"SCHEMA ERROR: {e}", file=sys.stderr)
         if errors:
             return 2
+        violations = check_invariants(report, args.validate)
+        for v in violations:
+            print(f"INVARIANT VIOLATION: {v}", file=sys.stderr)
+        if violations:
+            return 1
         print(f"{args.validate}: schema OK")
         return 0
 
@@ -289,13 +330,20 @@ def main(argv):
                      "(or --validate REPORT)")
 
     if args.update_baseline:
-        _, errors = load_report(args.reports[1])
+        report, errors = load_report(args.reports[1])
         for e in errors:
             print(f"SCHEMA ERROR: {e}", file=sys.stderr)
         if errors:
             print(f"not updating {args.reports[0]}: current report is "
                   "invalid", file=sys.stderr)
             return 2
+        violations = check_invariants(report, args.reports[1])
+        if violations:
+            for v in violations:
+                print(f"INVARIANT VIOLATION: {v}", file=sys.stderr)
+            print(f"not updating {args.reports[0]}: current report "
+                  "violates scenario invariants", file=sys.stderr)
+            return 1
         shutil.copyfile(args.reports[1], args.reports[0])
         print(f"updated baseline {args.reports[0]} from {args.reports[1]}")
         return 0
@@ -312,6 +360,11 @@ def main(argv):
         baseline, current, throughput_warn_only=args.throughput_warn_only)
     for w in warnings:
         print(f"WARNING (not gated): {w}", file=sys.stderr)
+    violations = check_invariants(current, args.reports[1])
+    if violations:
+        for v in violations:
+            print(f"INVARIANT VIOLATION: {v}", file=sys.stderr)
+        return 1
     if regressions:
         print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
         for r in regressions:

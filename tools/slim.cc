@@ -42,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/sharded_cluster.h"
+#include "cluster/tenant.h"
 #include "core/slimstore.h"
 #include "durability/checksum.h"
 #include "durability/placement.h"
@@ -69,6 +71,7 @@ int Usage() {
       "usage: slim -r REPO [--fault-profile SPEC] [--parity-group N] "
       "[--trace OUT.json]\n"
       "                 [--cost-model FILE] [--tenant NAME] COMMAND ...\n"
+      "       slim -r REPO [--tenant NAME] [--shards N] cluster CMD ...\n"
       "       slim bench list | run [--suite quick|full] [--filter F]\n"
       "                 [--repeats N] [--warmup N] [--seed S] [--verbose]\n"
       "                 [--out FILE]\n"
@@ -91,6 +94,19 @@ int Usage() {
       "                            what it cost); default last 20 records\n"
       "  jobs --by-tenant          aggregate the journal into per-tenant\n"
       "                            cost rollups (jobs, requests, dollars)\n"
+      "  jobs --tenant NAME        show only records tagged with NAME\n"
+      "                            (composes with --by-tenant/--json)\n"
+      "  cluster init [--nodes A,B]     create a sharded multi-tenant\n"
+      "                            cluster (--shards logical shards)\n"
+      "  cluster status            map version, nodes, shards, tenants\n"
+      "  cluster join NODE         stage a node join (then: rebalance)\n"
+      "  cluster leave NODE        stage a node leave (then: rebalance)\n"
+      "  cluster rebalance [--throttle-bps N]\n"
+      "                            execute or resume the staged change,\n"
+      "                            moving only the ring-delta shards\n"
+      "  cluster backup FILE...    back up into the --tenant namespace\n"
+      "  cluster restore FILE VER OUT\n"
+      "                            restore from the --tenant namespace\n"
       "  rebuild                   crash recovery: discard all local state\n"
       "                            and reconstruct it from OSS objects\n"
       "                            (recipes, pending records, containers)\n"
@@ -115,7 +131,10 @@ int Usage() {
       "    delete_request_dollars, read_dollars_per_gb, write_dollars_per_gb,\n"
       "    storage_dollars_per_gb_month)\n"
       "  --tenant NAME             tag this invocation's jobs with a tenant\n"
-      "    for per-tenant cost rollups in the journal\n");
+      "    for per-tenant cost rollups in the journal; routes `cluster`\n"
+      "    backups/restores into that tenant's namespace\n"
+      "  --shards N                logical shard count for `cluster init`\n"
+      "    (fixed for the cluster's lifetime; default 8)\n");
   return 2;
 }
 
@@ -417,10 +436,20 @@ std::string RenderJobCosts() {
 // `slim jobs` — reads the on-disk event journal without opening the
 // repository, so the cost history is available even when the repo
 // itself cannot be opened.
-int RunJobsCommand(const std::string& repo_root, size_t tail, bool json) {
+int RunJobsCommand(const std::string& repo_root, size_t tail, bool json,
+                   const std::string* tenant_filter) {
   std::string dir =
       (std::filesystem::path(repo_root) / "journal").string();
   obs::JournalReadResult result = obs::EventJournal::ReadAll(dir);
+  if (tenant_filter != nullptr) {
+    result.records =
+        obs::EventJournal::FilterByTenant(result.records, *tenant_filter);
+    if (result.records.empty()) {
+      std::printf("no journal records for tenant %s at %s\n",
+                  tenant_filter->c_str(), dir.c_str());
+      return 0;
+    }
+  }
   if (result.records.empty()) {
     std::printf("no journal records at %s\n", dir.c_str());
     return 0;
@@ -466,10 +495,15 @@ int RunJobsCommand(const std::string& repo_root, size_t tail, bool json) {
 // `slim jobs --by-tenant` — the whole journal folded into one cost line
 // per tenant (chargeback view). Jobs opened without --tenant land on the
 // "(untagged)" row.
-int RunJobsByTenantCommand(const std::string& repo_root) {
+int RunJobsByTenantCommand(const std::string& repo_root,
+                           const std::string* tenant_filter) {
   std::string dir =
       (std::filesystem::path(repo_root) / "journal").string();
   obs::JournalReadResult result = obs::EventJournal::ReadAll(dir);
+  if (tenant_filter != nullptr) {
+    result.records =
+        obs::EventJournal::FilterByTenant(result.records, *tenant_filter);
+  }
   if (result.records.empty()) {
     std::printf("no journal records at %s\n", dir.c_str());
     return 0;
@@ -493,6 +527,194 @@ int RunJobsByTenantCommand(const std::string& repo_root) {
   return 0;
 }
 
+// `slim cluster ...` — the tenancy + sharding subsystem over a disk
+// store at the repo root. Cluster state lives under the `cluster/` key
+// prefix, so a cluster never collides with a plain single-tenant repo's
+// `slim/` tree or the `journal/` directory. Every invocation is billed
+// through the cost-accounting layer and journaled under the --tenant
+// tag, so `slim jobs --by-tenant` rolls up cluster work with no extra
+// plumbing.
+int RunClusterCommand(const std::string& repo_root, const std::string& tenant,
+                      uint32_t shards, int argc, char** argv, int argi) {
+  if (argi >= argc) return Usage();
+  std::string sub = argv[argi++];
+
+  std::string journal_dir =
+      (std::filesystem::path(repo_root) / "journal").string();
+  if (!obs::EventJournal::Get().Configure({journal_dir})) {
+    std::fprintf(stderr, "warning: cannot open journal at %s\n",
+                 journal_dir.c_str());
+  }
+  obs::JobScope cli_job("cli", "cli:cluster-" + sub, tenant);
+
+  auto disk = oss::DiskObjectStore::Open(repo_root);
+  if (!disk.ok()) {
+    cli_job.SetError(disk.status().ToString());
+    return Fail(disk.status());
+  }
+  oss::CostAccountingObjectStore billed(disk.value().get(), g_cost_model);
+
+  cluster::ShardedClusterOptions options;
+  if (shards > 0) options.num_shards = shards;
+
+  if (sub == "init") {
+    std::vector<std::string> nodes;
+    for (; argi < argc; ++argi) {
+      if (std::strcmp(argv[argi], "--nodes") == 0 && argi + 1 < argc) {
+        std::string list = argv[++argi];
+        size_t start = 0;
+        while (start <= list.size()) {
+          size_t comma = list.find(',', start);
+          if (comma == std::string::npos) comma = list.size();
+          if (comma > start) nodes.push_back(list.substr(start, comma - start));
+          start = comma + 1;
+        }
+      } else {
+        return Usage();
+      }
+    }
+    if (nodes.empty()) nodes.push_back("L0");
+    auto created = cluster::ShardedCluster::Create(&billed, options, nodes);
+    if (!created.ok()) {
+      cli_job.SetError(created.status().ToString());
+      return Fail(created.status());
+    }
+    std::printf("initialized cluster at %s: %u shards across %zu node(s)\n",
+                repo_root.c_str(), created.value()->options().num_shards,
+                nodes.size());
+    return 0;
+  }
+
+  // Rebalance needs its throttle before Open copies the options in.
+  if (sub == "rebalance") {
+    for (int i = argi; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--throttle-bps") == 0 && i + 1 < argc) {
+        options.rebalance_bytes_per_sec = std::stoull(argv[i + 1]);
+      }
+    }
+  }
+
+  auto opened = cluster::ShardedCluster::Open(&billed, options);
+  if (!opened.ok()) {
+    cli_job.SetError(opened.status().ToString());
+    return Fail(opened.status());
+  }
+  cluster::ShardedCluster* cl = opened.value().get();
+
+  if (sub == "status") {
+    auto status = cl->GetStatus();
+    if (!status.ok()) return Fail(status.status());
+    const cluster::ClusterStatus& s = status.value();
+    std::printf("map version %llu, %u shards, %zu node(s)\n",
+                (unsigned long long)s.map_version, s.num_shards,
+                s.nodes.size());
+    for (const std::string& node : s.nodes) {
+      auto it = s.shards_by_node.find(node);
+      size_t owned = it == s.shards_by_node.end() ? 0 : it->second.size();
+      std::printf("  node %-12s %zu shard(s)\n", node.c_str(), owned);
+    }
+    if (s.tenants.empty()) {
+      std::printf("no tenants registered\n");
+    } else {
+      for (const std::string& t : s.tenants) {
+        std::printf("  tenant %s\n", t.c_str());
+      }
+    }
+    if (s.rebalance_pending) {
+      std::printf("rebalance pending: target map v%llu staged (run: slim -r "
+                  "%s cluster rebalance)\n",
+                  (unsigned long long)s.target_map_version, repo_root.c_str());
+    }
+    return 0;
+  }
+
+  if (sub == "join" || sub == "leave") {
+    if (argi >= argc) return Usage();
+    std::string node = argv[argi++];
+    Status s = sub == "join" ? cl->Join(node) : cl->Leave(node);
+    if (!s.ok()) {
+      cli_job.SetError(s.ToString());
+      return Fail(s);
+    }
+    std::printf("staged %s of %s; no data moved yet (run: slim -r %s "
+                "cluster rebalance)\n",
+                sub.c_str(), node.c_str(), repo_root.c_str());
+    return 0;
+  }
+
+  if (sub == "rebalance") {
+    auto stats = cl->Rebalance();
+    if (!stats.ok()) {
+      cli_job.SetError(stats.status().ToString());
+      return Fail(stats.status());
+    }
+    const cluster::RebalanceStats& r = stats.value();
+    if (r.moved_shards.empty() && !r.resumed) {
+      std::printf("nothing to rebalance (no membership change staged)\n");
+      return 0;
+    }
+    std::printf("rebalance%s complete: %zu shard move(s), %zu object(s), "
+                "%.2f MB copied\n",
+                r.resumed ? " (resumed)" : "", r.moves_completed,
+                r.objects_copied, Mb(r.bytes_copied));
+    if (r.throttle_sleep_ms != 0) {
+      std::printf("throttle slept %llu ms\n",
+                  (unsigned long long)r.throttle_sleep_ms);
+    }
+    return 0;
+  }
+
+  if (sub == "backup" || sub == "restore") {
+    if (tenant.empty()) {
+      std::fprintf(stderr,
+                   "error: cluster %s requires --tenant (before the "
+                   "command): slim -r %s --tenant NAME cluster %s ...\n",
+                   sub.c_str(), repo_root.c_str(), sub.c_str());
+      return 2;
+    }
+    if (sub == "backup") {
+      if (argi >= argc) return Usage();
+      for (; argi < argc; ++argi) {
+        std::ifstream in(argv[argi], std::ios::binary);
+        if (!in) {
+          return Fail(Status::IoError(std::string("cannot read ") +
+                                      argv[argi]));
+        }
+        std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        auto stats = cl->Backup(tenant, argv[argi], data);
+        if (!stats.ok()) {
+          cli_job.SetError(stats.status().ToString());
+          return Fail(stats.status());
+        }
+        std::printf("%s: tenant %s, version %llu, %.1f MB, dedup %.1f%%\n",
+                    argv[argi], tenant.c_str(),
+                    (unsigned long long)stats.value().version,
+                    Mb(stats.value().logical_bytes),
+                    100 * stats.value().DedupRatio());
+      }
+      return 0;
+    }
+    if (argi + 2 >= argc) return Usage();
+    std::string file_id = argv[argi];
+    uint64_t version = std::stoull(argv[argi + 1]);
+    std::string out_path = argv[argi + 2];
+    auto data = cl->Restore(tenant, file_id, version);
+    if (!data.ok()) {
+      cli_job.SetError(data.status().ToString());
+      return Fail(data.status());
+    }
+    Status w = WriteFile(out_path, data.value());
+    if (!w.ok()) return Fail(w);
+    std::printf("restored %s v%llu (tenant %s) to %s (%.1f MB)\n",
+                file_id.c_str(), (unsigned long long)version, tenant.c_str(),
+                out_path.c_str(), Mb(data.value().size()));
+    return 0;
+  }
+
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -500,6 +722,7 @@ int main(int argc, char** argv) {
   std::optional<oss::FaultProfile> fault_profile;
   std::string tenant;
   uint32_t parity_group = 0;
+  uint32_t shards = 0;
   int argi = 1;
   while (argi + 1 < argc) {
     if (std::strcmp(argv[argi], "-r") == 0) {
@@ -535,8 +758,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[argi], "--tenant") == 0) {
       tenant = argv[argi + 1];
       argi += 2;
+    } else if (std::strcmp(argv[argi], "--shards") == 0) {
+      shards = static_cast<uint32_t>(std::stoul(argv[argi + 1]));
+      argi += 2;
     } else {
       break;
+    }
+  }
+  // Reject bad tenant ids before any command touches the repo: a bad id
+  // would either fake key-prefix components ('/') or alias the atomic-
+  // write staging namespace ('#tmp') — see cluster::ValidateTenantId.
+  if (!tenant.empty()) {
+    Status valid = cluster::ValidateTenantId(tenant);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "error: --tenant: %s\n",
+                   valid.ToString().c_str());
+      return 2;
     }
   }
   if (!g_trace_path.empty()) std::atexit(DumpTraceAtExit);
@@ -550,11 +787,25 @@ int main(int argc, char** argv) {
     size_t tail = 20;
     bool json = false;
     bool by_tenant = false;
+    // --tenant before the command also selects a filter, so both
+    // `slim --tenant X -r R jobs` and `slim -r R jobs --tenant X` work.
+    std::string filter = tenant;
+    bool filtered = !tenant.empty();
     for (; argi < argc; ++argi) {
       if (std::strcmp(argv[argi], "--json") == 0) {
         json = true;
       } else if (std::strcmp(argv[argi], "--by-tenant") == 0) {
         by_tenant = true;
+      } else if (std::strcmp(argv[argi], "--tenant") == 0 &&
+                 argi + 1 < argc) {
+        filter = argv[++argi];
+        Status valid = cluster::ValidateTenantId(filter);
+        if (!valid.ok()) {
+          std::fprintf(stderr, "error: --tenant: %s\n",
+                       valid.ToString().c_str());
+          return 2;
+        }
+        filtered = true;
       } else if (std::strcmp(argv[argi], "--tail") == 0 &&
                  argi + 1 < argc) {
         tail = static_cast<size_t>(std::stoul(argv[++argi]));
@@ -562,8 +813,13 @@ int main(int argc, char** argv) {
         return Usage();
       }
     }
-    if (by_tenant) return RunJobsByTenantCommand(repo_root);
-    return RunJobsCommand(repo_root, tail, json);
+    const std::string* tenant_filter = filtered ? &filter : nullptr;
+    if (by_tenant) return RunJobsByTenantCommand(repo_root, tenant_filter);
+    return RunJobsCommand(repo_root, tail, json, tenant_filter);
+  }
+
+  if (command == "cluster") {
+    return RunClusterCommand(repo_root, tenant, shards, argc, argv, argi);
   }
 
   uint32_t init_replicas = 0;
