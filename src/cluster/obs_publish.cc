@@ -1,0 +1,57 @@
+#include "cluster/obs_publish.h"
+
+#include <utility>
+
+namespace slim::cluster {
+
+namespace {
+
+std::string ObsNodePrefix(const std::string& root) {
+  return root + "/obs#/node/";
+}
+
+}  // namespace
+
+std::string ObsSnapshotKey(const std::string& root, const std::string& node) {
+  return ObsNodePrefix(root) + node;
+}
+
+Status PublishSnapshot(oss::ObjectStore* store, const std::string& root,
+                       const obs::Snapshot& snap) {
+  if (snap.node.empty() ||
+      snap.node.find_first_of("/#") != std::string::npos) {
+    return Status::InvalidArgument(
+        "snapshot node id must be non-empty and free of '/' and '#': " +
+        snap.node);
+  }
+  return store->Put(ObsSnapshotKey(root, snap.node), obs::SnapshotToJson(snap));
+}
+
+Result<FleetView> FetchFleetSnapshot(oss::ObjectStore* store,
+                                     const std::string& root) {
+  auto keys = store->List(ObsNodePrefix(root));
+  if (!keys.ok()) return keys.status();
+  FleetView view;
+  for (const std::string& key : keys.value()) {
+    // Snapshots are JSON blobs without the CRC32C container footer; a
+    // torn or corrupt one fails SnapshotFromJson and is counted
+    // malformed below. lint:allow-unverified-read
+    auto body = store->Get(key);
+    if (!body.ok()) {
+      // Lost a race with a concurrent republish; a snapshot is a cache
+      // of node state, so skip rather than fail the whole fleet fetch.
+      ++view.malformed;
+      continue;
+    }
+    auto snap = obs::SnapshotFromJson(body.value());
+    if (!snap.ok()) {
+      ++view.malformed;
+      continue;
+    }
+    obs::MergeInto(&view.merged, snap.value());
+    view.per_node.push_back(std::move(snap).value());
+  }
+  return view;
+}
+
+}  // namespace slim::cluster

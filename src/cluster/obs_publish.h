@@ -1,0 +1,46 @@
+#ifndef SLIMSTORE_CLUSTER_OBS_PUBLISH_H_
+#define SLIMSTORE_CLUSTER_OBS_PUBLISH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/snapshot.h"
+#include "oss/object_store.h"
+
+namespace slim::cluster {
+
+/// Key of node `node`'s published metrics snapshot under cluster root
+/// `root`: "<root>/obs#/node/<node>". The "obs#" segment keeps the key
+/// invisible to shallow List() calls (oss::ObsKeyHiddenFromList), so
+/// backups, rebalances, and space accounting never see metric state as
+/// data — the same journal-style trick as "#tmp" staging files.
+std::string ObsSnapshotKey(const std::string& root, const std::string& node);
+
+/// Serializes and overwrites node `snap.node`'s snapshot object. The
+/// caller must capture the snapshot FIRST (CaptureSnapshot holds the
+/// registry lock only while copying); no lock is held across this OSS
+/// write. Counters are cumulative, so one overwritten key per node is a
+/// complete record. InvalidArgument when the node id is empty or
+/// contains '/' or '#'.
+Status PublishSnapshot(oss::ObjectStore* store, const std::string& root,
+                       const obs::Snapshot& snap);
+
+/// A fleet's worth of node snapshots, fetched and merged.
+struct FleetView {
+  obs::Snapshot merged;
+  std::vector<obs::Snapshot> per_node;
+  /// Snapshot objects that failed to parse (skipped, not fatal).
+  uint64_t malformed = 0;
+};
+
+/// Lists "<root>/obs#/node/", fetches every node snapshot, and merges
+/// them (order-independent by the Merge() laws). Ok with an empty view
+/// when no node has published yet.
+Result<FleetView> FetchFleetSnapshot(oss::ObjectStore* store,
+                                     const std::string& root);
+
+}  // namespace slim::cluster
+
+#endif  // SLIMSTORE_CLUSTER_OBS_PUBLISH_H_

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <utility>
+
+#include "cluster/obs_publish.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace slim::cluster {
 
@@ -61,6 +66,33 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+uint64_t UnixMsNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Jain fairness index over per-tenant mean latencies: (Σx)² / (n·Σx²),
+/// 1.0 = perfectly fair. Matches the bench harness computation.
+double JainFairness(const std::map<std::string, std::vector<double>>&
+                        latency_by_tenant) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t n = 0;
+  for (const auto& [tenant, latencies] : latency_by_tenant) {
+    if (latencies.empty()) continue;
+    double total = 0.0;
+    for (double v : latencies) total += v;
+    double mean = total / static_cast<double>(latencies.size());
+    sum += mean;
+    sum_sq += mean * mean;
+    ++n;
+  }
+  if (n == 0 || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
 }
 
 }  // namespace
@@ -202,7 +234,8 @@ Status ShardedCluster::Leave(const std::string& node_id) {
 Status ShardedCluster::ExecuteMove(const ShardMap::ShardMove& move,
                                    const std::vector<std::string>& tenants,
                                    size_t inject_crash_after_objects,
-                                   RebalanceStats* stats) {
+                                   RebalanceStats* stats,
+                                   obs::Gauge* bytes_moved_gauge) {
   auto throttle_start = std::chrono::steady_clock::now();
   uint64_t throttled_bytes = 0;
   for (const auto& tenant : tenants) {
@@ -234,6 +267,7 @@ Status ShardedCluster::ExecuteMove(const ShardMap::ShardMove& move,
       if (!put.ok()) return put;
       ++stats->objects_copied;
       stats->bytes_copied += size;
+      bytes_moved_gauge->Add(static_cast<int64_t>(size));
       throttled_bytes += size;
       if (options_.rebalance_bytes_per_sec > 0) {
         double target_elapsed =
@@ -314,14 +348,45 @@ Result<RebalanceStats> ShardedCluster::Rebalance(
     return stats;  // Nothing staged, nothing pending.
   }
 
+  // Rebalance progress as first-class gauges, so `slim top` and fleet
+  // snapshots show bytes moved, throttle utilization, and an ETA while
+  // a move is in flight. Resolved once here: each metric name has a
+  // single declaration site.
+  auto rebalance_start = std::chrono::steady_clock::now();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Gauge& bytes_moved_gauge = registry.gauge("cluster.rebalance.bytes_moved");
+  obs::Gauge& moves_total_gauge = registry.gauge("cluster.rebalance.moves_total");
+  obs::Gauge& moves_done_gauge = registry.gauge("cluster.rebalance.moves_done");
+  obs::Gauge& throttle_gauge =
+      registry.gauge("cluster.rebalance.throttle_util_pct");
+  obs::Gauge& eta_gauge = registry.gauge("cluster.rebalance.eta_ms");
+  bytes_moved_gauge.Set(0);
+  moves_total_gauge.Set(static_cast<int64_t>(moves.size()));
+  moves_done_gauge.Set(0);
+  throttle_gauge.Set(0);
+  eta_gauge.Set(0);
+
   for (const auto& move : moves) {
     stats.moved_shards.push_back(move.shard);
     auto executed = ExecuteMove(move, tenants.value(),
-                                inject_crash_after_objects, &stats);
+                                inject_crash_after_objects, &stats,
+                                &bytes_moved_gauge);
     if (!executed.ok()) return executed;
     auto del = store_->Delete(PendingMoveKey(move.shard));
     if (!del.ok()) return del;
     ++stats.moves_completed;
+    moves_done_gauge.Set(static_cast<int64_t>(stats.moves_completed));
+    double elapsed_ms = SecondsSince(rebalance_start) * 1000.0;
+    if (elapsed_ms > 0) {
+      throttle_gauge.Set(std::lround(
+          100.0 * static_cast<double>(stats.throttle_sleep_ms) / elapsed_ms));
+    }
+    double per_move_ms =
+        elapsed_ms / static_cast<double>(stats.moves_completed);
+    eta_gauge.Set(std::lround(
+        per_move_ms *
+        static_cast<double>(moves.size() - stats.moves_completed)));
+    MaybePublishObs();
   }
 
   if (target.ok()) {
@@ -395,7 +460,11 @@ Result<lnode::BackupStats> ShardedCluster::Backup(const std::string& tenant,
   }
   auto store = StoreFor(tenant, shard);
   if (!store.ok()) return store.status();
-  return store.value()->Backup(file_id, data);
+  auto start = std::chrono::steady_clock::now();
+  auto stats = store.value()->Backup(file_id, data);
+  RecordOpLatency("backup", tenant, SecondsSince(start));
+  MaybePublishObs();
+  return stats;
 }
 
 Result<std::string> ShardedCluster::Restore(const std::string& tenant,
@@ -411,7 +480,58 @@ Result<std::string> ShardedCluster::Restore(const std::string& tenant,
   }
   auto store = StoreFor(tenant, shard);
   if (!store.ok()) return store.status();
-  return store.value()->Restore(file_id, version, stats);
+  auto start = std::chrono::steady_clock::now();
+  auto restored = store.value()->Restore(file_id, version, stats);
+  RecordOpLatency("restore", tenant, SecondsSince(start));
+  MaybePublishObs();
+  return restored;
+}
+
+void ShardedCluster::RecordOpLatency(const char* op_class,
+                                     const std::string& tenant,
+                                     double seconds) {
+  double ms = seconds * 1000.0;
+  auto us = static_cast<uint64_t>(seconds * 1e6);
+  obs::MetricsRegistry::Get()
+      .histogram(obs::LabeledName("cluster.op.latency_us",
+                                  {{"op", op_class}, {"tenant", tenant}}))
+      .Record(us);
+  if (const obs::SloObjective* objective = obs::FindDefaultSlo(op_class)) {
+    obs::RecordSloSample(*objective, tenant, ms);
+  }
+}
+
+Status ShardedCluster::PublishObsSnapshot() {
+  if (options_.node_id.empty()) {
+    return Status::FailedPrecondition(
+        "set ShardedClusterOptions::node_id to publish metric snapshots");
+  }
+  uint64_t now = UnixMsNow();
+  // Capture (brief registry lock), then publish with no lock held.
+  obs::Snapshot snap = obs::CaptureSnapshot(options_.node_id, now);
+  Status published = PublishSnapshot(store_, options_.root, snap);
+  if (!published.ok()) {
+    obs::MetricsRegistry::Get().counter("cluster.obs.publish_errors").Inc();
+    return published;
+  }
+  obs_series_.Push(std::move(snap));
+  last_publish_ms_.store(now, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void ShardedCluster::MaybePublishObs() {
+  if (options_.node_id.empty()) return;
+  uint64_t now = UnixMsNow();
+  uint64_t last = last_publish_ms_.load(std::memory_order_relaxed);
+  if (now - last < options_.obs_publish_interval_ms) return;
+  // Claim the slot so concurrent wave jobs don't all publish at once; a
+  // failed publish leaves the claim in place until the next interval
+  // (publishing is best-effort, not exactly-once).
+  if (!last_publish_ms_.compare_exchange_strong(last, now,
+                                                std::memory_order_relaxed)) {
+    return;
+  }
+  PublishObsSnapshot().IgnoreError();
 }
 
 Result<WaveStats> ShardedCluster::RunWave(const std::vector<WaveJob>& jobs) {
@@ -488,6 +608,12 @@ Result<WaveStats> ShardedCluster::RunWave(const std::vector<WaveJob>& jobs) {
     wave.dup_bytes += results[i].dup_bytes;
     wave.latency_by_tenant[jobs[i].tenant].push_back(results[i].seconds);
   }
+  // The scheduler's fairness becomes a live gauge (milli-units: 1000 =
+  // perfectly fair) so fleet snapshots carry it.
+  obs::MetricsRegistry::Get()
+      .gauge("cluster.fairness.jain_milli")
+      .Set(std::lround(JainFairness(wave.latency_by_tenant) * 1000.0));
+  MaybePublishObs();
   return wave;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SLIMSTORE_CLUSTER_SHARDED_CLUSTER_H_
 #define SLIMSTORE_CLUSTER_SHARDED_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "cluster/tenant.h"
 #include "common/mutex.h"
 #include "core/slimstore.h"
+#include "obs/timeseries.h"
 #include "oss/object_store.h"
 
 namespace slim::cluster {
@@ -34,6 +36,14 @@ struct ShardedClusterOptions {
   size_t per_tenant_quota = 6;
   /// Rebalance copy throttle in bytes/second (0 = unthrottled).
   uint64_t rebalance_bytes_per_sec = 0;
+  /// Identity of THIS process in the fleet, used to tag and publish
+  /// metric snapshots to <root>/obs#/node/<node_id>. Empty disables
+  /// publishing (the default: embedded/test clusters opt in).
+  std::string node_id;
+  /// Minimum spacing between piggybacked snapshot publishes (operations
+  /// call MaybePublishObs, which is a no-op until this much time has
+  /// passed since the last publish). 0 = publish on every operation.
+  uint64_t obs_publish_interval_ms = 2000;
   /// Template for every per-(tenant, shard) SlimStore; `root` and
   /// `tenant` are overridden per store.
   core::SlimStoreOptions store;
@@ -185,6 +195,17 @@ class ShardedCluster {
 
   Result<ClusterStatus> GetStatus();
 
+  /// Captures the process MetricsRegistry as a node-tagged snapshot,
+  /// publishes it to <root>/obs#/node/<node_id>, and appends it to the
+  /// local time-series ring. FailedPrecondition when options.node_id is
+  /// empty. Capture holds the registry lock only while copying; the OSS
+  /// write runs lock-free.
+  Status PublishObsSnapshot();
+
+  /// Local ring of this node's published snapshots (rate queries,
+  /// multi-window burn rates).
+  const obs::TimeSeries& obs_series() const { return obs_series_; }
+
   /// Drops every cached per-(tenant, shard) SlimStore — the moral
   /// equivalent of kill -9 on the L-node fleet. Subsequent operations
   /// Rebuild() from OSS.
@@ -220,13 +241,31 @@ class ShardedCluster {
   /// Copies then deletes one shard's prefix for every tenant, throttled
   /// to options_.rebalance_bytes_per_sec. Returns IoError-style failures
   /// through; `copied`/`stats` accumulate across calls.
+  /// `bytes_moved_gauge` is resolved once by Rebalance (metric names
+  /// are declared at a single site) and advanced per copied object so
+  /// fleet snapshots see live progress.
   Status ExecuteMove(const ShardMap::ShardMove& move,
                      const std::vector<std::string>& tenants,
                      size_t inject_crash_after_objects,
-                     RebalanceStats* stats);
+                     RebalanceStats* stats, obs::Gauge* bytes_moved_gauge);
+
+  /// Piggybacked publish: no-op unless node_id is set and
+  /// obs_publish_interval_ms has elapsed since the last publish. One
+  /// in-flight publisher at a time; publish failures only bump
+  /// cluster.obs.publish_errors (metrics are a cache of node state, so
+  /// an operation never fails because its snapshot didn't ship).
+  void MaybePublishObs();
+
+  /// Wraps one routed Backup/Restore call with latency + SLO tracking.
+  void RecordOpLatency(const char* op_class, const std::string& tenant,
+                       double seconds);
 
   oss::ObjectStore* store_;
   ShardedClusterOptions options_;
+
+  /// Unix-ms stamp of the last successful snapshot publish (0 = never).
+  std::atomic<uint64_t> last_publish_ms_{0};
+  obs::TimeSeries obs_series_;
 
   Mutex map_mu_{"cluster.shard_map"};
   ShardMap current_map_ SLIM_GUARDED_BY(map_mu_);

@@ -6,6 +6,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string_view>
 #include <vector>
 
@@ -105,33 +106,101 @@ std::string ToJson(const MetricsSnapshot& snap) {
   return out;
 }
 
+/// Sanitized Prometheus label key (no "slim_" prefix, same charset
+/// rules as metric names minus ':').
+std::string PromLabelKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+  }
+  return out;
+}
+
+/// Inner label list ("tenant=\"acme\",shard=\"3\"") parsed out of a
+/// LabeledName()-style registry key; "" for unlabeled metrics.
+std::string PromInnerLabels(const MetricKeyParts& parts) {
+  std::string out;
+  for (const auto& [key, value] : parts.labels) {
+    if (!out.empty()) out += ",";
+    out += PromLabelKey(key);
+    out += "=\"";
+    out += PromEscapeLabelValue(value);
+    out += "\"";
+  }
+  return out;
+}
+
+std::string PromSample(const std::string& prom, const std::string& suffix,
+                       const std::string& inner_labels,
+                       const std::string& extra_label) {
+  std::string out = prom + suffix;
+  if (inner_labels.empty() && extra_label.empty()) return out;
+  out += "{";
+  out += inner_labels;
+  if (!inner_labels.empty() && !extra_label.empty()) out += ",";
+  out += extra_label;
+  out += "}";
+  return out;
+}
+
+/// Emits "# TYPE" once per metric family even when labeled series of
+/// the same base name interleave with other names in the sorted map.
+void PromTypeLine(std::string* out, std::set<std::string>* typed,
+                  const std::string& prom, const char* type) {
+  if (!typed->insert(prom).second) return;
+  Appendf(out, "# TYPE %s %s\n", prom.c_str(), type);
+}
+
 std::string ToPrometheus(const MetricsSnapshot& snap) {
   std::string out;
+  std::set<std::string> typed;
   constexpr std::string_view kTotal = "_total";
   for (const auto& [name, value] : snap.counters) {
     // Counters carry the conventional `_total` suffix on their samples
-    // (never doubled when the metric name already ends with it).
-    std::string prom = PromMetricName(name);
+    // (never doubled when the metric name already ends with it), and
+    // per-tenant/shard/node series keep their labels.
+    MetricKeyParts parts = SplitLabeledName(name);
+    std::string prom = PromMetricName(parts.base);
     bool has_total = prom.size() >= kTotal.size() &&
                      prom.compare(prom.size() - kTotal.size(), kTotal.size(),
                                   kTotal) == 0;
-    Appendf(&out, "# TYPE %s counter\n%s%s %" PRIu64 "\n", prom.c_str(),
-            prom.c_str(), has_total ? "" : "_total", value);
+    PromTypeLine(&out, &typed, prom, "counter");
+    Appendf(&out, "%s %" PRIu64 "\n",
+            PromSample(prom, has_total ? "" : "_total",
+                       PromInnerLabels(parts), "")
+                .c_str(),
+            value);
   }
   for (const auto& [name, value] : snap.gauges) {
-    std::string prom = PromMetricName(name);
-    Appendf(&out, "# TYPE %s gauge\n%s %" PRId64 "\n", prom.c_str(),
-            prom.c_str(), value);
+    MetricKeyParts parts = SplitLabeledName(name);
+    std::string prom = PromMetricName(parts.base);
+    PromTypeLine(&out, &typed, prom, "gauge");
+    Appendf(&out, "%s %" PRId64 "\n",
+            PromSample(prom, "", PromInnerLabels(parts), "").c_str(), value);
   }
   for (const auto& [name, h] : snap.histograms) {
-    std::string prom = PromMetricName(name);
-    Appendf(&out, "# TYPE %s summary\n", prom.c_str());
-    Appendf(&out, "%s{quantile=\"0.5\"} %" PRIu64 "\n", prom.c_str(), h.p50);
-    Appendf(&out, "%s{quantile=\"0.9\"} %" PRIu64 "\n", prom.c_str(), h.p90);
-    Appendf(&out, "%s{quantile=\"0.95\"} %" PRIu64 "\n", prom.c_str(), h.p95);
-    Appendf(&out, "%s{quantile=\"0.99\"} %" PRIu64 "\n", prom.c_str(), h.p99);
-    Appendf(&out, "%s_sum %" PRIu64 "\n", prom.c_str(), h.sum);
-    Appendf(&out, "%s_count %" PRIu64 "\n", prom.c_str(), h.count);
+    MetricKeyParts parts = SplitLabeledName(name);
+    std::string prom = PromMetricName(parts.base);
+    std::string inner = PromInnerLabels(parts);
+    PromTypeLine(&out, &typed, prom, "summary");
+    struct QuantileSample {
+      const char* quantile;
+      uint64_t value;
+    };
+    const QuantileSample quantiles[] = {
+        {"0.5", h.p50}, {"0.9", h.p90}, {"0.95", h.p95}, {"0.99", h.p99}};
+    for (const QuantileSample& q : quantiles) {
+      Appendf(&out, "%s %" PRIu64 "\n",
+              PromSample(prom, "", inner,
+                         std::string("quantile=\"") + q.quantile + "\"")
+                  .c_str(),
+              q.value);
+    }
+    Appendf(&out, "%s %" PRIu64 "\n",
+            PromSample(prom, "_sum", inner, "").c_str(), h.sum);
+    Appendf(&out, "%s %" PRIu64 "\n",
+            PromSample(prom, "_count", inner, "").c_str(), h.count);
   }
   return out;
 }

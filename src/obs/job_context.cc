@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace slim::obs {
@@ -139,6 +140,33 @@ JobScope::~JobScope() {
   tls_job_context.job_id = saved_job_id_;
   tls_job_context.account = saved_account_;
   JobSummary summary = JobRegistry::Get().FinishJob(state_);
+  // Per-tenant rollups for the cluster observability plane. Charges go
+  // to the innermost scope only, so summing across finished jobs never
+  // double-counts a parent/child chain.
+  if (!summary.tenant.empty()) {
+    MetricsRegistry& registry = MetricsRegistry::Get();
+    registry
+        .counter(LabeledName("tenant.jobs", {{"tenant", summary.tenant}}))
+        .Inc();
+    if (summary.cost.picodollars != 0) {
+      registry
+          .counter(LabeledName("tenant.cost.picodollars",
+                               {{"tenant", summary.tenant}}))
+          .Inc(summary.cost.picodollars);
+    }
+    if (summary.cost.bytes_read != 0) {
+      registry
+          .counter(LabeledName("tenant.oss.bytes_read",
+                               {{"tenant", summary.tenant}}))
+          .Inc(summary.cost.bytes_read);
+    }
+    if (summary.cost.bytes_written != 0) {
+      registry
+          .counter(LabeledName("tenant.oss.bytes_written",
+                               {{"tenant", summary.tenant}}))
+          .Inc(summary.cost.bytes_written);
+    }
+  }
   EventJournal::Get().AppendJob(summary);
 }
 

@@ -1,6 +1,7 @@
 #include "obs/journal.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -422,6 +423,54 @@ std::vector<std::string> EventJournal::FilterByTenant(
     if (tagged == tenant) matched.push_back(record);
   }
   return matched;
+}
+
+std::vector<std::string> EventJournal::FilterSince(
+    const std::vector<std::string>& records, uint64_t min_unix_ms) {
+  std::vector<std::string> matched;
+  for (const std::string& record : records) {
+    double stamp = 0;
+    if (!ExtractNumber(record, "end_ms", &stamp) &&
+        !ExtractNumber(record, "start_ms", &stamp)) {
+      continue;
+    }
+    if (stamp >= static_cast<double>(min_unix_ms)) matched.push_back(record);
+  }
+  return matched;
+}
+
+bool ParseDurationMs(const std::string& text, uint64_t* out_ms) {
+  if (text.empty()) return false;
+  size_t digits = 0;
+  while (digits < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[digits])) != 0) {
+    ++digits;
+  }
+  if (digits == 0) return false;
+  uint64_t amount = 0;
+  for (size_t i = 0; i < digits; ++i) {
+    uint64_t next = amount * 10 + static_cast<uint64_t>(text[i] - '0');
+    if (next < amount) return false;  // Overflow.
+    amount = next;
+  }
+  std::string unit = text.substr(digits);
+  uint64_t scale = 0;
+  if (unit == "ms") {
+    scale = 1;
+  } else if (unit == "s" || unit.empty()) {
+    scale = 1000;
+  } else if (unit == "m") {
+    scale = 60 * 1000;
+  } else if (unit == "h") {
+    scale = 60 * 60 * 1000;
+  } else if (unit == "d") {
+    scale = 24 * 60 * 60 * 1000;
+  } else {
+    return false;
+  }
+  if (amount != 0 && scale > UINT64_MAX / amount) return false;
+  *out_ms = amount * scale;
+  return true;
 }
 
 bool EventJournal::ExtractNumber(const std::string& record,

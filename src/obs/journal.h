@@ -11,6 +11,11 @@
 
 namespace slim::obs {
 
+/// Parses a human-readable duration — "500ms", "30s", "10m", "2h",
+/// "1d", or a bare number meaning seconds — into milliseconds. Returns
+/// false (leaving `out_ms` untouched) on malformed input.
+bool ParseDurationMs(const std::string& text, uint64_t* out_ms);
+
 struct JournalOptions {
   /// Directory holding journal segments (created if missing). Lives
   /// beside the repo's object tree, e.g. `<repo>/journal/`.
@@ -100,6 +105,12 @@ class EventJournal {
   /// records: ones with no tenant field or an empty one.
   static std::vector<std::string> FilterByTenant(
       const std::vector<std::string>& records, const std::string& tenant);
+
+  /// Records that finished at or after `min_unix_ms` (`slim jobs
+  /// --since <dur>`), judged by `end_ms` with `start_ms` as fallback;
+  /// records carrying neither timestamp are dropped. Input order.
+  static std::vector<std::string> FilterSince(
+      const std::vector<std::string>& records, uint64_t min_unix_ms);
 
  private:
   EventJournal() = default;

@@ -29,6 +29,9 @@ uint64_t BucketLowerBound(size_t i) {
 
 }  // namespace
 
+static_assert(Histogram::kBuckets == HistogramData::kBuckets,
+              "live histogram and mergeable capture must agree on shape");
+
 void Histogram::Record(uint64_t value) {
   buckets_[std::min(BucketOf(value), kBuckets - 1)].fetch_add(
       1, std::memory_order_relaxed);
@@ -44,21 +47,18 @@ void Histogram::Record(uint64_t value) {
   }
 }
 
-uint64_t Histogram::ValueAtPercentile(double p) const {
-  uint64_t total = count_.load(std::memory_order_relaxed);
-  if (total == 0) return 0;
-  uint64_t lo = min_.load(std::memory_order_relaxed);
-  uint64_t hi = max_.load(std::memory_order_relaxed);
+uint64_t HistogramData::ValueAtPercentile(double p) const {
+  if (count == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
-  if (p == 0.0) return lo;
-  if (p == 100.0) return hi;
+  if (p == 0.0) return min;
+  if (p == 100.0) return max;
   // Rank of the percentile sample, 1-based.
   uint64_t rank =
-      static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
-    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    uint64_t in_bucket = buckets[i];
     if (seen + in_bucket >= rank) {
       // Interpolate linearly within the bucket, treating its samples as
       // spread uniformly over [lower, upper].
@@ -71,20 +71,20 @@ uint64_t Histogram::ValueAtPercentile(double p) const {
       uint64_t value =
           lower + static_cast<uint64_t>(
                       frac * static_cast<double>(upper - lower));
-      return std::clamp(value, lo, hi);
+      return std::clamp(value, min, max);
     }
     seen += in_bucket;
   }
-  return hi;
+  return max;
 }
 
-HistogramStats Histogram::Stats() const {
+HistogramStats HistogramData::ToStats() const {
   HistogramStats s;
-  s.count = count_.load(std::memory_order_relaxed);
-  s.sum = sum_.load(std::memory_order_relaxed);
-  if (s.count > 0) {
-    s.min = min_.load(std::memory_order_relaxed);
-    s.max = max_.load(std::memory_order_relaxed);
+  s.count = count;
+  s.sum = sum;
+  if (count > 0) {
+    s.min = min;
+    s.max = max;
     s.p50 = ValueAtPercentile(50);
     s.p90 = ValueAtPercentile(90);
     s.p95 = ValueAtPercentile(95);
@@ -92,6 +92,38 @@ HistogramStats Histogram::Stats() const {
   }
   return s;
 }
+
+void HistogramData::MergeFrom(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  for (size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+uint64_t Histogram::ValueAtPercentile(double p) const {
+  return Data().ValueAtPercentile(p);
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData d;
+  d.count = count_.load(std::memory_order_relaxed);
+  if (d.count == 0) return d;
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.min = min_.load(std::memory_order_relaxed);
+  d.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    d.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
+HistogramStats Histogram::Stats() const { return Data().ToStats(); }
 
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
@@ -134,6 +166,56 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Stats();
   return snap;
+}
+
+RawMetricsSnapshot MetricsRegistry::CaptureRaw() const {
+  MutexLock lock(mu_);
+  RawMetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Data();
+  return snap;
+}
+
+std::string LabeledName(
+    std::string_view name,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  if (labels.empty()) return std::string(name);
+  std::sort(labels.begin(), labels.end());
+  std::string key(name);
+  key.push_back('{');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key.push_back(',');
+    key += labels[i].first;
+    key.push_back('=');
+    key += labels[i].second;
+  }
+  key.push_back('}');
+  return key;
+}
+
+MetricKeyParts SplitLabeledName(std::string_view key) {
+  MetricKeyParts parts;
+  size_t open = key.find('{');
+  if (open == std::string_view::npos || key.back() != '}') {
+    parts.base = std::string(key);
+    return parts;
+  }
+  parts.base = std::string(key.substr(0, open));
+  std::string_view body = key.substr(open + 1, key.size() - open - 2);
+  while (!body.empty()) {
+    size_t comma = body.find(',');
+    std::string_view pair =
+        comma == std::string_view::npos ? body : body.substr(0, comma);
+    size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      parts.labels.emplace_back(std::string(pair.substr(0, eq)),
+                                std::string(pair.substr(eq + 1)));
+    }
+    if (comma == std::string_view::npos) break;
+    body.remove_prefix(comma + 1);
+  }
+  return parts;
 }
 
 void MetricsRegistry::ResetAll() {

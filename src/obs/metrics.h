@@ -7,6 +7,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/mutex.h"
 
@@ -53,6 +56,32 @@ struct HistogramStats {
   }
 };
 
+/// Raw, mergeable histogram state: the full log2 bucket vector plus the
+/// exact aggregates. This is what cluster snapshots ship between nodes —
+/// merging bucket vectors and re-deriving quantiles through the SAME
+/// interpolation code the live Histogram uses keeps merged quantiles
+/// bit-identical to a histogram that recorded every sample itself.
+struct HistogramData {
+  static constexpr size_t kBuckets = 64;
+
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// Meaningful only when count > 0 (both 0 when empty).
+  uint64_t min = 0;
+  uint64_t max = 0;
+
+  /// `p` in [0, 100]. Returns 0 when empty. Same algorithm (and same
+  /// edge behavior) as Histogram::ValueAtPercentile.
+  uint64_t ValueAtPercentile(double p) const;
+
+  HistogramStats ToStats() const;
+
+  /// Bucket-wise sum; min/max widen. Associative and commutative, with
+  /// the empty HistogramData as identity.
+  void MergeFrom(const HistogramData& other);
+};
+
 /// Fixed-bucket histogram for latency-style values (nanoseconds).
 /// Bucket i counts values whose bit width is i (power-of-two bounds), so
 /// Record() is a handful of relaxed atomic ops and never allocates.
@@ -71,6 +100,10 @@ class Histogram {
 
   /// `p` in [0, 100]. Returns 0 when empty.
   uint64_t ValueAtPercentile(double p) const;
+
+  /// One consistent load of the raw bucket state (relaxed; each field is
+  /// individually atomic, which is exact once mutators quiesce).
+  HistogramData Data() const;
 
   HistogramStats Stats() const;
   void Reset();
@@ -91,6 +124,32 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramStats> histograms;
 };
 
+/// Like MetricsSnapshot, but histograms keep their full bucket vectors
+/// instead of pre-digested stats — the capture side of the mergeable
+/// cluster snapshots in obs/snapshot.h.
+struct RawMetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Canonical registry key for a labeled metric: "name{k=v,k2=v2}" with
+/// label keys sorted. Labeled series are distinct registry entries (the
+/// hot path stays lock-free); exporters parse the labels back out, so
+/// label keys/values must avoid '{', '}', ',' and '=' (tenant and node
+/// ids, already validated elsewhere, qualify).
+std::string LabeledName(
+    std::string_view name,
+    std::vector<std::pair<std::string, std::string>> labels);
+
+/// A registry key split back into base name + sorted label pairs. Keys
+/// without labels come back with an empty label vector.
+struct MetricKeyParts {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+MetricKeyParts SplitLabeledName(std::string_view key);
+
 /// Process-wide registry of named metrics. Registration (name lookup)
 /// takes a mutex; returned references are stable for the process
 /// lifetime, so hot paths resolve their metric once and then update it
@@ -104,6 +163,11 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name) SLIM_EXCLUDES(mu_);
 
   MetricsSnapshot Snapshot() const SLIM_EXCLUDES(mu_);
+
+  /// Raw capture for cluster snapshots: histograms keep bucket vectors.
+  /// Holds the registry lock only while copying in-process state — never
+  /// across serialization or OSS publishes.
+  RawMetricsSnapshot CaptureRaw() const SLIM_EXCLUDES(mu_);
 
   /// Zeroes every registered metric (registrations survive). Used by
   /// tests and by CLI/bench runs that want per-phase deltas.

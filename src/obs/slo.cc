@@ -1,0 +1,154 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+namespace {
+
+std::string SloCounterName(const std::string& op_class, const char* which) {
+  return "slo." + op_class + "." + which;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+}  // namespace
+
+std::string SloObjective::Spec() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s.p%g<%gms", op_class.c_str(), percentile,
+                threshold_ms);
+  return buf;
+}
+
+Result<SloObjective> ParseSloSpec(const std::string& spec) {
+  size_t lt = spec.find('<');
+  size_t dot_p = spec.rfind(".p", lt);
+  if (lt == std::string::npos || dot_p == std::string::npos || dot_p == 0) {
+    return Status::InvalidArgument("SLO spec must look like op.pNN<Xms: " +
+                                   spec);
+  }
+  SloObjective objective;
+  objective.op_class = spec.substr(0, dot_p);
+  if (!ParseDouble(spec.substr(dot_p + 2, lt - dot_p - 2),
+                   &objective.percentile) ||
+      objective.percentile <= 0.0 || objective.percentile >= 100.0) {
+    return Status::InvalidArgument("SLO percentile must be in (0, 100): " +
+                                   spec);
+  }
+  std::string threshold = spec.substr(lt + 1);
+  if (threshold.size() < 3 || threshold.substr(threshold.size() - 2) != "ms") {
+    return Status::InvalidArgument("SLO threshold must end in 'ms': " + spec);
+  }
+  if (!ParseDouble(threshold.substr(0, threshold.size() - 2),
+                   &objective.threshold_ms) ||
+      objective.threshold_ms <= 0.0) {
+    return Status::InvalidArgument("SLO threshold must be positive: " + spec);
+  }
+  return objective;
+}
+
+const std::vector<SloObjective>& DefaultSlos() {
+  static const std::vector<SloObjective>* slos =
+      new std::vector<SloObjective>{  // lint:allow-new (leaky singleton)
+          {"backup", 99.0, 250.0},
+          {"restore", 99.0, 500.0},
+      };
+  return *slos;
+}
+
+const SloObjective* FindDefaultSlo(const std::string& op_class) {
+  for (const SloObjective& objective : DefaultSlos()) {
+    if (objective.op_class == op_class) return &objective;
+  }
+  return nullptr;
+}
+
+void RecordSloSample(const SloObjective& objective, const std::string& tenant,
+                     double latency_ms) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry
+      .counter(LabeledName(SloCounterName(objective.op_class, "total"),
+                           {{"tenant", tenant}}))
+      .Inc();
+  if (latency_ms > objective.threshold_ms) {
+    registry
+        .counter(LabeledName(SloCounterName(objective.op_class, "violations"),
+                             {{"tenant", tenant}}))
+        .Inc();
+  }
+}
+
+std::vector<SloStatus> ComputeSloStatuses(
+    const std::map<std::string, uint64_t>& counters,
+    const std::vector<SloObjective>& objectives) {
+  std::vector<SloStatus> statuses;
+  for (const SloObjective& objective : objectives) {
+    const std::string total_base = SloCounterName(objective.op_class, "total");
+    for (const auto& [key, total] : counters) {
+      MetricKeyParts parts = SplitLabeledName(key);
+      if (parts.base != total_base || total == 0) continue;
+      SloStatus status;
+      status.objective = objective;
+      for (const auto& [k, v] : parts.labels) {
+        if (k == "tenant") status.tenant = v;
+      }
+      status.total = total;
+      auto violations_it = counters.find(
+          LabeledName(SloCounterName(objective.op_class, "violations"),
+                      {{"tenant", status.tenant}}));
+      if (violations_it != counters.end()) {
+        status.violations = violations_it->second;
+      }
+      status.violation_fraction = static_cast<double>(status.violations) /
+                                  static_cast<double>(status.total);
+      status.burn_rate =
+          status.violation_fraction / objective.AllowedViolationFraction();
+      status.budget_remaining = 1.0 - status.burn_rate;
+      statuses.push_back(std::move(status));
+    }
+  }
+  std::sort(statuses.begin(), statuses.end(),
+            [](const SloStatus& a, const SloStatus& b) {
+              if (a.burn_rate != b.burn_rate) return a.burn_rate > b.burn_rate;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.objective.op_class < b.objective.op_class;
+            });
+  return statuses;
+}
+
+std::string RenderSloTable(const std::vector<SloStatus>& statuses) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %-14s %10s %8s %8s %8s %8s\n",
+                "objective", "tenant", "total", "viol", "viol%", "burn",
+                "budget");
+  out += line;
+  if (statuses.empty()) {
+    out += "  (no SLO samples yet)\n";
+    return out;
+  }
+  for (const SloStatus& s : statuses) {
+    std::snprintf(line, sizeof(line),
+                  "%-28s %-14s %10llu %8llu %7.2f%% %8.2f %8.2f\n",
+                  s.objective.Spec().c_str(),
+                  s.tenant.empty() ? "-" : s.tenant.c_str(),
+                  static_cast<unsigned long long>(s.total),
+                  static_cast<unsigned long long>(s.violations),
+                  s.violation_fraction * 100.0, s.burn_rate,
+                  s.budget_remaining);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,76 @@
+#ifndef SLIMSTORE_OBS_SLO_H_
+#define SLIMSTORE_OBS_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace slim::obs {
+
+/// One declarative latency objective for an operation class, e.g.
+/// "backup.p99<250ms": at most (100 - 99)% = 1% of backups may take
+/// longer than 250 ms.
+struct SloObjective {
+  /// Operation class the objective covers ("backup", "restore").
+  std::string op_class;
+  /// Percentile the threshold applies to (the "99" in p99).
+  double percentile = 99.0;
+  double threshold_ms = 0.0;
+
+  /// Error budget: the fraction of requests allowed over threshold.
+  double AllowedViolationFraction() const {
+    return 1.0 - percentile / 100.0;
+  }
+
+  /// Canonical spec string, "backup.p99<250ms".
+  std::string Spec() const;
+};
+
+/// Parses "op.pNN<Xms" (also accepts fractional percentiles such as
+/// p99.9 and thresholds like 250.5ms).
+Result<SloObjective> ParseSloSpec(const std::string& spec);
+
+/// The objectives the cluster tracks by default.
+const std::vector<SloObjective>& DefaultSlos();
+
+/// Looks up the default objective for `op_class` (nullptr if none).
+const SloObjective* FindDefaultSlo(const std::string& op_class);
+
+/// Feeds one latency sample into the per-tenant SLO counters
+/// slo.<op>.total{tenant=T} / slo.<op>.violations{tenant=T}. All label
+/// plumbing lives here so the metric name + label set is declared once.
+void RecordSloSample(const SloObjective& objective, const std::string& tenant,
+                     double latency_ms);
+
+/// Burn rate of one (objective, tenant) pair over some set of counters:
+/// observed violation fraction divided by the allowed fraction. 1.0 =
+/// burning the error budget exactly as fast as it refills; >1 = on
+/// track to exhaust it.
+struct SloStatus {
+  SloObjective objective;
+  std::string tenant;
+  uint64_t total = 0;
+  uint64_t violations = 0;
+  double violation_fraction = 0.0;
+  double burn_rate = 0.0;
+  /// Fraction of the error budget left, 1 - observed/allowed budget
+  /// spend (negative once the budget is blown).
+  double budget_remaining = 1.0;
+};
+
+/// Derives per-tenant SLO statuses from a counter map (a live registry
+/// snapshot, a merged fleet snapshot, or a windowed delta — burn over a
+/// window is just ComputeSloStatuses over the window's counter deltas).
+std::vector<SloStatus> ComputeSloStatuses(
+    const std::map<std::string, uint64_t>& counters,
+    const std::vector<SloObjective>& objectives);
+
+/// Fixed-width table sorted by burn rate, worst first.
+std::string RenderSloTable(const std::vector<SloStatus>& statuses);
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_SLO_H_

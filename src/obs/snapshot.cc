@@ -1,0 +1,516 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slim::obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(v));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader. Number tokens are kept as raw
+// text and converted with std::from_chars at the point of use, so
+// uint64_t values survive the round trip exactly (no double detour).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kString, kNumber, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  /// String contents (unescaped) or the raw number/bool token.
+  std::string scalar;
+  /// vector (not map) so the recursive type stays complete per C++17.
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::Corruption("trailing bytes after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Fail(const char* what) {
+    return Status::Corruption(std::string("bad snapshot JSON: ") + what);
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->scalar);
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      out->kind = JsonValue::Kind::kNumber;
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      out->scalar = std::string(text_.substr(start, pos_ - start));
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->scalar = "true";
+      pos_ += 4;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->scalar = "false";
+      pos_ += 5;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    return Fail("unrecognized token");
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          auto [ptr, ec] = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || ptr != text_.data() + pos_ + 4 ||
+              code > 0x7f) {
+            return Fail("unsupported \\u escape");
+          }
+          out->push_back(static_cast<char>(code));
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      JsonValue value;
+      s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      Status s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ReadU64(const JsonValue* v, const char* what, uint64_t* out) {
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return Status::Corruption(std::string("snapshot field missing/non-numeric: ") +
+                              what);
+  }
+  auto [ptr, ec] = std::from_chars(v->scalar.data(),
+                                   v->scalar.data() + v->scalar.size(), *out);
+  if (ec != std::errc() || ptr != v->scalar.data() + v->scalar.size()) {
+    return Status::Corruption(std::string("snapshot field not a u64: ") + what);
+  }
+  return Status::Ok();
+}
+
+Status ReadI64(const JsonValue* v, const char* what, int64_t* out) {
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return Status::Corruption(std::string("snapshot field missing/non-numeric: ") +
+                              what);
+  }
+  auto [ptr, ec] = std::from_chars(v->scalar.data(),
+                                   v->scalar.data() + v->scalar.size(), *out);
+  if (ec != std::errc() || ptr != v->scalar.data() + v->scalar.size()) {
+    return Status::Corruption(std::string("snapshot field not an i64: ") + what);
+  }
+  return Status::Ok();
+}
+
+/// Last-writer-wins total order for gauges: later stamp wins; stamps tie
+/// on source id, then value, so the pick is deterministic regardless of
+/// merge order.
+bool GaugeWins(const GaugeEntry& challenger, const GaugeEntry& incumbent) {
+  auto key = [](const GaugeEntry& g) {
+    return std::tie(g.stamp_ms, g.source, g.value);
+  };
+  return key(incumbent) < key(challenger);
+}
+
+}  // namespace
+
+Snapshot CaptureSnapshot(const std::string& node, uint64_t unix_ms) {
+  RawMetricsSnapshot raw = MetricsRegistry::Get().CaptureRaw();
+  Snapshot snap;
+  snap.node = node;
+  snap.captured_unix_ms = unix_ms;
+  snap.counters = std::move(raw.counters);
+  snap.histograms = std::move(raw.histograms);
+  for (const auto& [name, value] : raw.gauges) {
+    snap.gauges[name] = GaugeEntry{value, unix_ms, node};
+  }
+  return snap;
+}
+
+void MergeInto(Snapshot* a, const Snapshot& b) {
+  // Representative node: lexicographically first contributor ("" only
+  // when no side has one) — the one choice that keeps Merge associative
+  // AND commutative with the empty snapshot as identity.
+  if (a->node.empty() ||
+      (!b.node.empty() && b.node < a->node)) {
+    a->node = b.node.empty() ? a->node : b.node;
+  }
+  a->captured_unix_ms = std::max(a->captured_unix_ms, b.captured_unix_ms);
+  for (const auto& [name, value] : b.counters) a->counters[name] += value;
+  for (const auto& [name, entry] : b.gauges) {
+    auto [it, inserted] = a->gauges.emplace(name, entry);
+    if (!inserted && GaugeWins(entry, it->second)) it->second = entry;
+  }
+  for (const auto& [name, data] : b.histograms) {
+    a->histograms[name].MergeFrom(data);
+  }
+}
+
+Snapshot Merge(const Snapshot& a, const Snapshot& b) {
+  Snapshot out = a;
+  MergeInto(&out, b);
+  return out;
+}
+
+std::string SnapshotToJson(const Snapshot& snap) {
+  std::string out;
+  out.reserve(256 + snap.counters.size() * 48 + snap.gauges.size() * 96 +
+              snap.histograms.size() * 256);
+  out += "{\"version\":";
+  AppendU64(&out, Snapshot::kVersion);
+  out += ",\"node\":";
+  AppendJsonString(&out, snap.node);
+  out += ",\"captured_unix_ms\":";
+  AppendU64(&out, snap.captured_unix_ms);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendU64(&out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, entry] : snap.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"value\":";
+    AppendI64(&out, entry.value);
+    out += ",\"stamp_ms\":";
+    AppendU64(&out, entry.stamp_ms);
+    out += ",\"source\":";
+    AppendJsonString(&out, entry.source);
+    out.push_back('}');
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : snap.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":";
+    AppendU64(&out, data.count);
+    out += ",\"sum\":";
+    AppendU64(&out, data.sum);
+    out += ",\"min\":";
+    AppendU64(&out, data.min);
+    out += ",\"max\":";
+    AppendU64(&out, data.max);
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t i = 0; i < HistogramData::kBuckets; ++i) {
+      if (data.buckets[i] == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out.push_back('[');
+      AppendU64(&out, i);
+      out.push_back(',');
+      AppendU64(&out, data.buckets[i]);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Result<Snapshot> SnapshotFromJson(const std::string& json) {
+  Result<JsonValue> parsed = JsonReader(json).Parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::Corruption("snapshot JSON root is not an object");
+  }
+  uint64_t version = 0;
+  Status s = ReadU64(root.Find("version"), "version", &version);
+  if (!s.ok()) return s;
+  if (version > Snapshot::kVersion) {
+    return Status::Corruption("snapshot from a future schema version");
+  }
+  Snapshot snap;
+  const JsonValue* node = root.Find("node");
+  if (node == nullptr || node->kind != JsonValue::Kind::kString) {
+    return Status::Corruption("snapshot missing node");
+  }
+  snap.node = node->scalar;
+  s = ReadU64(root.Find("captured_unix_ms"), "captured_unix_ms",
+              &snap.captured_unix_ms);
+  if (!s.ok()) return s;
+
+  const JsonValue* counters = root.Find("counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
+    return Status::Corruption("snapshot missing counters");
+  }
+  for (const auto& [name, value] : counters->object) {
+    uint64_t v = 0;
+    s = ReadU64(&value, name.c_str(), &v);
+    if (!s.ok()) return s;
+    snap.counters[name] = v;
+  }
+
+  const JsonValue* gauges = root.Find("gauges");
+  if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
+    return Status::Corruption("snapshot missing gauges");
+  }
+  for (const auto& [name, value] : gauges->object) {
+    if (value.kind != JsonValue::Kind::kObject) {
+      return Status::Corruption("gauge entry is not an object: " + name);
+    }
+    GaugeEntry entry;
+    s = ReadI64(value.Find("value"), "gauge value", &entry.value);
+    if (!s.ok()) return s;
+    s = ReadU64(value.Find("stamp_ms"), "gauge stamp_ms", &entry.stamp_ms);
+    if (!s.ok()) return s;
+    const JsonValue* source = value.Find("source");
+    if (source == nullptr || source->kind != JsonValue::Kind::kString) {
+      return Status::Corruption("gauge entry missing source: " + name);
+    }
+    entry.source = source->scalar;
+    snap.gauges[name] = std::move(entry);
+  }
+
+  const JsonValue* histograms = root.Find("histograms");
+  if (histograms == nullptr || histograms->kind != JsonValue::Kind::kObject) {
+    return Status::Corruption("snapshot missing histograms");
+  }
+  for (const auto& [name, value] : histograms->object) {
+    if (value.kind != JsonValue::Kind::kObject) {
+      return Status::Corruption("histogram entry is not an object: " + name);
+    }
+    HistogramData data;
+    s = ReadU64(value.Find("count"), "histogram count", &data.count);
+    if (!s.ok()) return s;
+    s = ReadU64(value.Find("sum"), "histogram sum", &data.sum);
+    if (!s.ok()) return s;
+    s = ReadU64(value.Find("min"), "histogram min", &data.min);
+    if (!s.ok()) return s;
+    s = ReadU64(value.Find("max"), "histogram max", &data.max);
+    if (!s.ok()) return s;
+    const JsonValue* buckets = value.Find("buckets");
+    if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray) {
+      return Status::Corruption("histogram entry missing buckets: " + name);
+    }
+    for (const JsonValue& pair : buckets->array) {
+      if (pair.kind != JsonValue::Kind::kArray || pair.array.size() != 2) {
+        return Status::Corruption("histogram bucket is not an [i, n] pair: " +
+                                  name);
+      }
+      uint64_t index = 0;
+      uint64_t n = 0;
+      s = ReadU64(&pair.array[0], "bucket index", &index);
+      if (!s.ok()) return s;
+      s = ReadU64(&pair.array[1], "bucket count", &n);
+      if (!s.ok()) return s;
+      if (index >= HistogramData::kBuckets) {
+        return Status::Corruption("histogram bucket index out of range: " +
+                                  name);
+      }
+      data.buckets[index] = n;
+    }
+    snap.histograms[name] = data;
+  }
+  return snap;
+}
+
+MetricsSnapshot ToMetricsSnapshot(const Snapshot& snap) {
+  MetricsSnapshot out;
+  out.counters = snap.counters;
+  for (const auto& [name, entry] : snap.gauges) out.gauges[name] = entry.value;
+  for (const auto& [name, data] : snap.histograms) {
+    out.histograms[name] = data.ToStats();
+  }
+  return out;
+}
+
+}  // namespace slim::obs

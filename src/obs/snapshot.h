@@ -1,0 +1,84 @@
+#ifndef SLIMSTORE_OBS_SNAPSHOT_H_
+#define SLIMSTORE_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+/// One gauge sample inside a cluster snapshot. Gauges are levels, not
+/// totals, so Merge() cannot sum them; it keeps a deterministic
+/// "last writer" chosen by (stamp_ms, source, value) — a total order, so
+/// the pick is associative and commutative even when clocks tie.
+struct GaugeEntry {
+  int64_t value = 0;
+  /// Capture time of the publishing node, unix milliseconds.
+  uint64_t stamp_ms = 0;
+  /// Node id that observed the value (tie-break after stamp_ms).
+  std::string source;
+
+  friend bool operator==(const GaugeEntry& a, const GaugeEntry& b) {
+    return a.value == b.value && a.stamp_ms == b.stamp_ms &&
+           a.source == b.source;
+  }
+};
+
+/// A serializable, versioned capture of one node's MetricsRegistry,
+/// tagged with the node that produced it. Per-tenant / per-shard series
+/// are encoded in the metric keys themselves via LabeledName(), so the
+/// snapshot stays a flat map and Merge() needs no label awareness.
+///
+/// Merge semantics (DESIGN.md §6d): counters sum, histograms merge
+/// bucket-wise (HistogramData::MergeFrom), gauges keep the last writer.
+/// All three are associative + commutative with the empty snapshot as
+/// identity — proven by property tests — so a fleet report is the same
+/// no matter the fetch order.
+struct Snapshot {
+  /// Bump when the JSON schema changes shape incompatibly. Readers
+  /// reject snapshots from a future version rather than misparse them.
+  static constexpr uint64_t kVersion = 1;
+
+  /// Producing node id; a merged snapshot of several nodes has "".
+  std::string node;
+  /// Capture time (unix ms); Merge keeps the newest.
+  uint64_t captured_unix_ms = 0;
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, GaugeEntry> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Captures the process-wide MetricsRegistry as a snapshot tagged
+/// `node`, stamping every gauge with (`unix_ms`, `node`). Holds the
+/// registry lock only for the raw copy.
+Snapshot CaptureSnapshot(const std::string& node, uint64_t unix_ms);
+
+/// Merges `b` into `a` (see Snapshot for the per-kind rules).
+void MergeInto(Snapshot* a, const Snapshot& b);
+
+/// Functional form of MergeInto: Merge(a, b) == Merge(b, a), and
+/// Merge(a, Merge(b, c)) == Merge(Merge(a, b), c).
+Snapshot Merge(const Snapshot& a, const Snapshot& b);
+
+/// Round-trip JSON codec. Histogram buckets serialize sparsely as
+/// [[index, count], ...] pairs; u64 values round-trip exactly (numbers
+/// are parsed as decimal integer tokens, never through double).
+std::string SnapshotToJson(const Snapshot& snap);
+Result<Snapshot> SnapshotFromJson(const std::string& json);
+
+/// Digests a snapshot for the existing exporters (table / JSON /
+/// Prometheus): histograms collapse to HistogramStats via the same
+/// interpolation code the live registry uses.
+MetricsSnapshot ToMetricsSnapshot(const Snapshot& snap);
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_SNAPSHOT_H_

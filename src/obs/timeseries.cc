@@ -1,0 +1,76 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace slim::obs {
+
+void TimeSeries::Push(Snapshot snap) {
+  MutexLock lock(mu_);
+  // Insert before the first entry with a LATER stamp: stable for ties,
+  // and O(1) for the common in-order case.
+  auto it = ring_.end();
+  while (it != ring_.begin() &&
+         std::prev(it)->captured_unix_ms > snap.captured_unix_ms) {
+    --it;
+  }
+  ring_.insert(it, std::move(snap));
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t TimeSeries::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+Snapshot TimeSeries::Latest() const {
+  MutexLock lock(mu_);
+  if (ring_.empty()) return Snapshot{};
+  return ring_.back();
+}
+
+bool TimeSeries::DeltaOverWindow(uint64_t window_ms,
+                                 std::map<std::string, uint64_t>* delta,
+                                 double* elapsed_seconds) const {
+  delta->clear();
+  *elapsed_seconds = 0.0;
+  MutexLock lock(mu_);
+  if (ring_.size() < 2) return false;
+  const Snapshot& newest = ring_.back();
+  // Oldest sample still inside the window; fall back to the immediate
+  // predecessor so two same-window samples always yield a delta.
+  const Snapshot* oldest = &ring_[ring_.size() - 2];
+  uint64_t window_start = newest.captured_unix_ms >= window_ms
+                              ? newest.captured_unix_ms - window_ms
+                              : 0;
+  for (size_t i = 0; i + 1 < ring_.size(); ++i) {
+    if (ring_[i].captured_unix_ms >= window_start) {
+      oldest = &ring_[i];
+      break;
+    }
+  }
+  if (newest.captured_unix_ms <= oldest->captured_unix_ms) return false;
+  *elapsed_seconds =
+      static_cast<double>(newest.captured_unix_ms - oldest->captured_unix_ms) /
+      1000.0;
+  for (const auto& [name, value] : newest.counters) {
+    auto it = oldest->counters.find(name);
+    uint64_t before = it == oldest->counters.end() ? 0 : it->second;
+    (*delta)[name] = value >= before ? value - before : 0;
+  }
+  return true;
+}
+
+double TimeSeries::RatePerSec(const std::string& counter,
+                              uint64_t window_ms) const {
+  std::map<std::string, uint64_t> delta;
+  double elapsed = 0.0;
+  if (!DeltaOverWindow(window_ms, &delta, &elapsed) || elapsed <= 0.0) {
+    return 0.0;
+  }
+  auto it = delta.find(counter);
+  if (it == delta.end()) return 0.0;
+  return static_cast<double>(it->second) / elapsed;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,58 @@
+#ifndef SLIMSTORE_OBS_TIMESERIES_H_
+#define SLIMSTORE_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+#include "obs/snapshot.h"
+
+namespace slim::obs {
+
+/// A bounded in-process ring of metric snapshots ordered by capture
+/// time. Because counters are cumulative, the delta between any two
+/// ring entries is exact — rates over a window are (newest - oldest in
+/// window) / elapsed, with no per-sample bookkeeping.
+///
+/// Lock discipline: "obs.timeseries" is a leaf — Push() takes an
+/// already-captured snapshot by value, and nothing under mu_ touches
+/// the registry or OSS.
+class TimeSeries {
+ public:
+  explicit TimeSeries(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Appends a snapshot; drops the oldest entry once at capacity.
+  /// Out-of-order stamps are accepted but Push keeps the ring sorted by
+  /// captured_unix_ms (stable for ties).
+  void Push(Snapshot snap) SLIM_EXCLUDES(mu_);
+
+  size_t size() const SLIM_EXCLUDES(mu_);
+  bool empty() const { return size() == 0; }
+
+  /// Copy of the newest snapshot; empty Snapshot when the ring is.
+  Snapshot Latest() const SLIM_EXCLUDES(mu_);
+
+  /// Counter deltas over the trailing `window_ms` (newest entry vs the
+  /// oldest entry still inside the window). Counters absent on the old
+  /// side count from 0; counters that went backwards (a reset) clamp to
+  /// 0. Returns false (empty delta, *elapsed_seconds = 0) with fewer
+  /// than two samples.
+  bool DeltaOverWindow(uint64_t window_ms,
+                       std::map<std::string, uint64_t>* delta,
+                       double* elapsed_seconds) const SLIM_EXCLUDES(mu_);
+
+  /// Rate of one counter over the trailing window, per second.
+  double RatePerSec(const std::string& counter, uint64_t window_ms) const
+      SLIM_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_{"obs.timeseries"};
+  std::deque<Snapshot> ring_ SLIM_GUARDED_BY(mu_);
+  size_t capacity_;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIMSTORE_OBS_TIMESERIES_H_

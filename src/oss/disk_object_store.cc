@@ -153,7 +153,9 @@ Result<std::vector<std::string>> DiskObjectStore::List(
     std::string name = entry.path().filename().string();
     if (name.size() > 4 && name.substr(name.size() - 4) == "#tmp") continue;
     std::string key = DecodeKey(name);
-    if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    if (ObsKeyHiddenFromList(key, prefix)) continue;
+    keys.push_back(key);
   }
   if (ec) return Status::IoError(ec.message());
   std::sort(keys.begin(), keys.end());

@@ -52,6 +52,7 @@ Result<std::vector<std::string>> MemoryObjectStore::List(
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (ObsKeyHiddenFromList(it->first, prefix)) continue;
     keys.push_back(it->first);
   }
   return keys;

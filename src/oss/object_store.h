@@ -3,11 +3,35 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 
 namespace slim::oss {
+
+/// Reserved key segment for journal-style observability state (node
+/// metric snapshots). Like the '#tmp' staging suffix, '#' can never
+/// appear in an encoded data key, so the segment cannot collide with
+/// user data.
+inline constexpr std::string_view kObsKeySegment = "obs#";
+
+/// True when `key` lives under an "obs#" path segment that the List
+/// prefix does not reach into. Such keys are invisible to shallow
+/// listings (a backup enumerating "cluster/" must not sweep metric
+/// snapshots as debris) but remain listable by pointing the prefix at
+/// or past the segment, e.g. List("cluster/obs#/").
+inline bool ObsKeyHiddenFromList(std::string_view key,
+                                 std::string_view prefix) {
+  size_t pos = key.find(kObsKeySegment);
+  while (pos != std::string_view::npos &&
+         !(pos == 0 || key[pos - 1] == '/')) {
+    pos = key.find(kObsKeySegment, pos + 1);
+  }
+  if (pos == std::string_view::npos) return false;
+  // Hidden unless the prefix itself extends into the segment.
+  return prefix.size() <= pos;
+}
 
 /// Abstract cloud object storage (the paper's OSS: Alibaba OSS / Amazon
 /// S3). Objects are immutable blobs addressed by string keys; the only

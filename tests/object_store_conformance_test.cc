@@ -330,6 +330,29 @@ TEST_P(ObjectStoreConformanceTest, KeyEndingInTmpSuffixIsListed) {
   EXPECT_TRUE(store().Exists("snapshot.tmp").value());
 }
 
+TEST_P(ObjectStoreConformanceTest, ObsSegmentKeysHiddenFromShallowList) {
+  // Metric snapshots live under an "obs#" path segment (see
+  // cluster/obs_publish.h). Like "#tmp" staging files they are real
+  // objects — Get/Exists/Delete work — but shallow List must not
+  // surface them, or backups and space accounting would sweep metric
+  // state as data. Pointing the prefix into the segment opts back in.
+  ASSERT_TRUE(store().Put("c/data/a", "payload").ok());
+  ASSERT_TRUE(store().Put("c/obs#/node/L0", "snapshot").ok());
+  auto shallow = store().List("c/");
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(shallow.value(), (std::vector<std::string>{"c/data/a"}));
+  auto everything = store().List("");
+  ASSERT_TRUE(everything.ok());
+  EXPECT_EQ(everything.value(), (std::vector<std::string>{"c/data/a"}));
+  auto deep = store().List("c/obs#/");
+  ASSERT_TRUE(deep.ok());
+  EXPECT_EQ(deep.value(), (std::vector<std::string>{"c/obs#/node/L0"}));
+  EXPECT_TRUE(store().Exists("c/obs#/node/L0").value());
+  EXPECT_EQ(store().Get("c/obs#/node/L0").value(), "snapshot");
+  ASSERT_TRUE(store().Delete("c/obs#/node/L0").ok());
+  EXPECT_FALSE(store().Exists("c/obs#/node/L0").value());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllStores, ObjectStoreConformanceTest, ::testing::ValuesIn(AllStores()),
     [](const ::testing::TestParamInfo<StoreParam>& param_info) {

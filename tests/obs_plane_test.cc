@@ -1,0 +1,679 @@
+// Tests for the cluster observability plane: mergeable snapshots (the
+// merge laws and the JSON codec), per-tenant SLO tracking, the
+// rate-over-window time series, labeled Prometheus export, obs#-key
+// hiding, journal --since filtering, and the 3-node "merged fleet ==
+// sum of nodes" end-to-end contract behind `slim cluster stats`.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/obs_publish.h"
+#include "cluster/sharded_cluster.h"
+#include "common/rng.h"
+#include "obs/export.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/snapshot.h"
+#include "obs/timeseries.h"
+#include "oss/disk_object_store.h"
+#include "oss/memory_object_store.h"
+#include "oss/object_store.h"
+
+namespace slim {
+namespace {
+
+using obs::GaugeEntry;
+using obs::HistogramData;
+using obs::Snapshot;
+
+// ---------------------------------------------------------------------------
+// Snapshot building blocks.
+
+Snapshot MakeSnapshot(const std::string& node, uint64_t stamp) {
+  Snapshot s;
+  s.node = node;
+  s.captured_unix_ms = stamp;
+  return s;
+}
+
+HistogramData MakeHistogram(const std::vector<uint64_t>& samples) {
+  obs::Histogram h;
+  for (uint64_t v : samples) h.Record(v);
+  return h.Data();
+}
+
+// Deterministic pseudo-random snapshot for the property tests.
+Snapshot RandomSnapshot(Rng* rng, const std::string& node) {
+  Snapshot s = MakeSnapshot(node, rng->Uniform(1000) + 1);
+  const char* counter_names[] = {"a.total", "b.total", "c.bytes"};
+  for (const char* name : counter_names) {
+    if (rng->Uniform(4) != 0) s.counters[name] = rng->Uniform(1 << 20);
+  }
+  const char* gauge_names[] = {"g.level", "g.depth"};
+  for (const char* name : gauge_names) {
+    if (rng->Uniform(4) != 0) {
+      GaugeEntry e;
+      e.value = static_cast<int64_t>(rng->Uniform(1000)) - 500;
+      e.stamp_ms = rng->Uniform(100);
+      e.source = node;
+      s.gauges[name] = e;
+    }
+  }
+  std::vector<uint64_t> samples;
+  size_t n = rng->Uniform(20);
+  for (size_t i = 0; i < n; ++i) {
+    samples.push_back(rng->Uniform(1 << 16) + 1);
+  }
+  if (!samples.empty()) s.histograms["h.lat"] = MakeHistogram(samples);
+  return s;
+}
+
+bool SnapshotsEqual(const Snapshot& a, const Snapshot& b) {
+  if (a.node != b.node || a.captured_unix_ms != b.captured_unix_ms ||
+      a.counters != b.counters) {
+    return false;
+  }
+  if (a.gauges.size() != b.gauges.size() ||
+      a.histograms.size() != b.histograms.size()) {
+    return false;
+  }
+  for (const auto& kv : a.gauges) {
+    auto it = b.gauges.find(kv.first);
+    if (it == b.gauges.end() || !(it->second == kv.second)) return false;
+  }
+  for (const auto& kv : a.histograms) {
+    auto it = b.histograms.find(kv.first);
+    if (it == b.histograms.end()) return false;
+    const HistogramData& x = kv.second;
+    const HistogramData& y = it->second;
+    if (x.buckets != y.buckets || x.count != y.count || x.sum != y.sum ||
+        x.min != y.min || x.max != y.max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Merge laws.
+
+TEST(SnapshotMerge, CountersSumGaugesLastWriterHistogramsAdd) {
+  Snapshot a = MakeSnapshot("n1", 100);
+  a.counters["ops"] = 3;
+  a.counters["only_a"] = 7;
+  a.gauges["level"] = GaugeEntry{10, 50, "n1"};
+  a.histograms["lat"] = MakeHistogram({1, 2, 3});
+
+  Snapshot b = MakeSnapshot("n2", 200);
+  b.counters["ops"] = 5;
+  b.gauges["level"] = GaugeEntry{20, 60, "n2"};
+  b.histograms["lat"] = MakeHistogram({100, 200});
+
+  Snapshot m = obs::Merge(a, b);
+  EXPECT_EQ(m.counters["ops"], 8u);
+  EXPECT_EQ(m.counters["only_a"], 7u);
+  // b's gauge has the newer stamp: it wins regardless of merge order.
+  EXPECT_EQ(m.gauges["level"].value, 20);
+  EXPECT_EQ(m.gauges["level"].source, "n2");
+  EXPECT_EQ(m.histograms["lat"].count, 5u);
+  EXPECT_EQ(m.histograms["lat"].sum, 306u);
+  EXPECT_EQ(m.histograms["lat"].min, 1u);
+  EXPECT_EQ(m.histograms["lat"].max, 200u);
+  EXPECT_EQ(m.captured_unix_ms, 200u);
+}
+
+TEST(SnapshotMerge, EmptySnapshotIsIdentity) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Snapshot s = RandomSnapshot(&rng, "node-" + std::to_string(i));
+    Snapshot empty;
+    EXPECT_TRUE(SnapshotsEqual(obs::Merge(s, empty), s)) << "right identity";
+    EXPECT_TRUE(SnapshotsEqual(obs::Merge(empty, s), s)) << "left identity";
+  }
+}
+
+TEST(SnapshotMerge, Commutative) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    Snapshot a = RandomSnapshot(&rng, "na");
+    Snapshot b = RandomSnapshot(&rng, "nb");
+    EXPECT_TRUE(SnapshotsEqual(obs::Merge(a, b), obs::Merge(b, a)))
+        << "iteration " << i;
+  }
+}
+
+TEST(SnapshotMerge, Associative) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    Snapshot a = RandomSnapshot(&rng, "na");
+    Snapshot b = RandomSnapshot(&rng, "nb");
+    Snapshot c = RandomSnapshot(&rng, "nc");
+    Snapshot left = obs::Merge(obs::Merge(a, b), c);
+    Snapshot right = obs::Merge(a, obs::Merge(b, c));
+    EXPECT_TRUE(SnapshotsEqual(left, right)) << "iteration " << i;
+  }
+}
+
+TEST(SnapshotMerge, GaugeTieBreaksAreDeterministic) {
+  // Same stamp: the lexicographically larger (stamp, source, value) key
+  // wins, so any merge order picks the same writer.
+  Snapshot a = MakeSnapshot("n1", 1);
+  a.gauges["g"] = GaugeEntry{1, 50, "alpha"};
+  Snapshot b = MakeSnapshot("n2", 1);
+  b.gauges["g"] = GaugeEntry{2, 50, "beta"};
+  Snapshot ab = obs::Merge(a, b);
+  Snapshot ba = obs::Merge(b, a);
+  EXPECT_EQ(ab.gauges["g"].source, "beta");
+  EXPECT_TRUE(ab.gauges["g"] == ba.gauges["g"]);
+}
+
+TEST(SnapshotMerge, QuantilesStableUnderMerge) {
+  // Recording one sample stream into a single histogram must give
+  // bit-identical buckets — and therefore identical quantiles — to
+  // splitting the stream across nodes and merging their snapshots.
+  Rng rng(17);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.Uniform(1 << 20) + 1);
+
+  HistogramData whole = MakeHistogram(samples);
+  std::vector<uint64_t> part1(samples.begin(), samples.begin() + 137);
+  std::vector<uint64_t> part2(samples.begin() + 137, samples.begin() + 360);
+  std::vector<uint64_t> part3(samples.begin() + 360, samples.end());
+  HistogramData merged = MakeHistogram(part1);
+  merged.MergeFrom(MakeHistogram(part2));
+  merged.MergeFrom(MakeHistogram(part3));
+
+  EXPECT_EQ(whole.buckets, merged.buckets);
+  EXPECT_EQ(whole.count, merged.count);
+  EXPECT_EQ(whole.sum, merged.sum);
+  EXPECT_EQ(whole.min, merged.min);
+  EXPECT_EQ(whole.max, merged.max);
+  for (double p : {0.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(whole.ValueAtPercentile(p), merged.ValueAtPercentile(p))
+        << "p" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec.
+
+TEST(SnapshotJson, RoundTripsExactly) {
+  Rng rng(23);
+  for (int i = 0; i < 20; ++i) {
+    Snapshot s = RandomSnapshot(&rng, "node-" + std::to_string(i));
+    auto back = obs::SnapshotFromJson(obs::SnapshotToJson(s));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(SnapshotsEqual(s, back.value())) << "iteration " << i;
+  }
+}
+
+TEST(SnapshotJson, RoundTripsU64Extremes) {
+  Snapshot s = MakeSnapshot("n", 18446744073709551615ull);
+  s.counters["max"] = 18446744073709551615ull;
+  s.gauges["neg"] = GaugeEntry{-9223372036854775807ll - 1, 1, "n"};
+  auto back = obs::SnapshotFromJson(obs::SnapshotToJson(s));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().counters["max"], 18446744073709551615ull);
+  EXPECT_EQ(back.value().gauges["neg"].value, -9223372036854775807ll - 1);
+  EXPECT_EQ(back.value().captured_unix_ms, 18446744073709551615ull);
+}
+
+TEST(SnapshotJson, EscapesHostileNames) {
+  Snapshot s = MakeSnapshot("n", 1);
+  s.counters["weird\"name\\with\nnewline\tand\x01ctl"] = 5;
+  auto back = obs::SnapshotFromJson(obs::SnapshotToJson(s));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().counters.count("weird\"name\\with\nnewline\tand\x01ctl"),
+            1u);
+}
+
+TEST(SnapshotJson, RejectsGarbageAndFutureVersions) {
+  EXPECT_FALSE(obs::SnapshotFromJson("").ok());
+  EXPECT_FALSE(obs::SnapshotFromJson("{").ok());
+  EXPECT_FALSE(obs::SnapshotFromJson("nonsense").ok());
+  EXPECT_FALSE(obs::SnapshotFromJson("{\"version\":999}").ok());
+  // Trailing garbage after a valid document is a parse error, not data.
+  std::string json = obs::SnapshotToJson(MakeSnapshot("n", 1));
+  EXPECT_FALSE(obs::SnapshotFromJson(json + "x").ok());
+}
+
+TEST(SnapshotJson, CaptureRoundTripsThroughRegistry) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+  reg.ResetAll();
+  reg.counter("cap.ops").Inc(42);
+  reg.gauge("cap.level").Set(-7);
+  reg.histogram("cap.lat").Record(1000);
+  Snapshot snap = obs::CaptureSnapshot("node-x", 777);
+  EXPECT_EQ(snap.node, "node-x");
+  EXPECT_EQ(snap.counters["cap.ops"], 42u);
+  EXPECT_EQ(snap.gauges["cap.level"].value, -7);
+  EXPECT_EQ(snap.gauges["cap.level"].stamp_ms, 777u);
+  EXPECT_EQ(snap.gauges["cap.level"].source, "node-x");
+  EXPECT_EQ(snap.histograms["cap.lat"].count, 1u);
+  auto back = obs::SnapshotFromJson(obs::SnapshotToJson(snap));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(SnapshotsEqual(snap, back.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Labeled metric names.
+
+TEST(LabeledName, BuildsSortedAndSplitsBack) {
+  std::string key = obs::LabeledName(
+      "cluster.op.latency_us", {{"tenant", "alice"}, {"op", "backup"}});
+  EXPECT_EQ(key, "cluster.op.latency_us{op=backup,tenant=alice}");
+  obs::MetricKeyParts parts = obs::SplitLabeledName(key);
+  EXPECT_EQ(parts.base, "cluster.op.latency_us");
+  ASSERT_EQ(parts.labels.size(), 2u);
+  EXPECT_EQ(parts.labels[0].first, "op");
+  EXPECT_EQ(parts.labels[0].second, "backup");
+  EXPECT_EQ(parts.labels[1].first, "tenant");
+  EXPECT_EQ(parts.labels[1].second, "alice");
+}
+
+TEST(LabeledName, UnlabeledKeysSplitClean) {
+  obs::MetricKeyParts parts = obs::SplitLabeledName("oss.get.requests");
+  EXPECT_EQ(parts.base, "oss.get.requests");
+  EXPECT_TRUE(parts.labels.empty());
+}
+
+TEST(PrometheusExport, EmitsAndEscapesLabels) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+  reg.ResetAll();
+  reg.counter(obs::LabeledName("prom.ops", {{"tenant", "t-\"quote\\slash"}}))
+      .Inc(3);
+  reg.counter(obs::LabeledName("prom.ops", {{"tenant", "plain"}})).Inc(4);
+  reg.histogram(obs::LabeledName("prom.lat", {{"tenant", "plain"}}))
+      .Record(100);
+  std::string prom = obs::RenderRegistry(obs::ExportFormat::kPrometheus);
+  EXPECT_NE(prom.find("slim_prom_ops_total{tenant=\"plain\"} 4"),
+            std::string::npos)
+      << prom;
+  // The hostile label value arrives escaped per the exposition format.
+  EXPECT_NE(prom.find("slim_prom_ops_total{tenant=\"t-\\\"quote\\\\slash\"} 3"),
+            std::string::npos)
+      << prom;
+  // Histogram quantile label merges after the user labels.
+  EXPECT_NE(prom.find("slim_prom_lat{tenant=\"plain\",quantile=\"0.99\"}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("slim_prom_lat_count{tenant=\"plain\"} 1"),
+            std::string::npos)
+      << prom;
+  // One TYPE line per family, not per labeled series.
+  size_t first = prom.find("# TYPE slim_prom_ops counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(prom.find("# TYPE slim_prom_ops counter", first + 1),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SLO objectives and burn rates.
+
+TEST(Slo, ParsesSpecsAndRejectsGarbage) {
+  auto slo = obs::ParseSloSpec("backup.p99<250ms");
+  ASSERT_TRUE(slo.ok());
+  EXPECT_EQ(slo.value().op_class, "backup");
+  EXPECT_DOUBLE_EQ(slo.value().percentile, 99.0);
+  EXPECT_DOUBLE_EQ(slo.value().threshold_ms, 250.0);
+  EXPECT_NEAR(slo.value().AllowedViolationFraction(), 0.01, 1e-12);
+  EXPECT_EQ(slo.value().Spec(), "backup.p99<250ms");
+
+  auto frac = obs::ParseSloSpec("restore.p99.9<1500.5ms");
+  ASSERT_TRUE(frac.ok());
+  EXPECT_DOUBLE_EQ(frac.value().percentile, 99.9);
+  EXPECT_DOUBLE_EQ(frac.value().threshold_ms, 1500.5);
+
+  EXPECT_FALSE(obs::ParseSloSpec("").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("backup.p99").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("backup<250ms").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("backup.p0<250ms").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("backup.p101<250ms").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("backup.p99<0ms").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("backup.p99<250s").ok());
+}
+
+TEST(Slo, RecordAndComputeBurn) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+  reg.ResetAll();
+  const obs::SloObjective* backup = obs::FindDefaultSlo("backup");
+  ASSERT_NE(backup, nullptr);
+  // 100 samples, 2 violations, allowed fraction 1% -> burn 2.0.
+  for (int i = 0; i < 98; ++i) obs::RecordSloSample(*backup, "acme", 1.0);
+  obs::RecordSloSample(*backup, "acme", backup->threshold_ms + 1);
+  obs::RecordSloSample(*backup, "acme", backup->threshold_ms + 2);
+  // A clean tenant for comparison.
+  for (int i = 0; i < 50; ++i) obs::RecordSloSample(*backup, "zen", 1.0);
+
+  auto statuses = obs::ComputeSloStatuses(
+      obs::MetricsRegistry::Get().CaptureRaw().counters, obs::DefaultSlos());
+  ASSERT_EQ(statuses.size(), 2u);
+  // Sorted by burn rate, worst first.
+  EXPECT_EQ(statuses[0].tenant, "acme");
+  EXPECT_EQ(statuses[0].total, 100u);
+  EXPECT_EQ(statuses[0].violations, 2u);
+  EXPECT_NEAR(statuses[0].burn_rate, 2.0, 1e-9);
+  EXPECT_LT(statuses[0].budget_remaining, 0.0);
+  EXPECT_EQ(statuses[1].tenant, "zen");
+  EXPECT_NEAR(statuses[1].burn_rate, 0.0, 1e-12);
+  EXPECT_NEAR(statuses[1].budget_remaining, 1.0, 1e-12);
+
+  std::string table = obs::RenderSloTable(statuses);
+  EXPECT_NE(table.find("acme"), std::string::npos);
+  EXPECT_NE(table.find("backup.p99"), std::string::npos);
+}
+
+TEST(Slo, ExactThresholdIsNotAViolation) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+  reg.ResetAll();
+  const obs::SloObjective* backup = obs::FindDefaultSlo("backup");
+  ASSERT_NE(backup, nullptr);
+  obs::RecordSloSample(*backup, "edge", backup->threshold_ms);
+  auto statuses = obs::ComputeSloStatuses(
+      obs::MetricsRegistry::Get().CaptureRaw().counters, obs::DefaultSlos());
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].violations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Time series: deltas and rates.
+
+TEST(TimeSeries, DeltaAndRateOverWindow) {
+  obs::TimeSeries series(8);
+  Snapshot s1 = MakeSnapshot("n", 1000);
+  s1.counters["ops"] = 100;
+  Snapshot s2 = MakeSnapshot("n", 3000);
+  s2.counters["ops"] = 300;
+  s2.counters["fresh"] = 50;
+  series.Push(s1);
+  series.Push(s2);
+
+  std::map<std::string, uint64_t> delta;
+  double elapsed = 0;
+  ASSERT_TRUE(series.DeltaOverWindow(60000, &delta, &elapsed));
+  EXPECT_DOUBLE_EQ(elapsed, 2.0);
+  EXPECT_EQ(delta["ops"], 200u);
+  EXPECT_EQ(delta["fresh"], 50u);  // Absent on the old side counts from 0.
+  EXPECT_DOUBLE_EQ(series.RatePerSec("ops", 60000), 100.0);
+}
+
+TEST(TimeSeries, SingleSampleHasNoRate) {
+  obs::TimeSeries series(8);
+  std::map<std::string, uint64_t> delta;
+  double elapsed = 1;
+  EXPECT_FALSE(series.DeltaOverWindow(1000, &delta, &elapsed));
+  Snapshot s = MakeSnapshot("n", 1000);
+  s.counters["ops"] = 5;
+  series.Push(s);
+  EXPECT_FALSE(series.DeltaOverWindow(1000, &delta, &elapsed));
+  EXPECT_DOUBLE_EQ(series.RatePerSec("ops", 1000), 0.0);
+}
+
+TEST(TimeSeries, CounterResetClampsToZero) {
+  obs::TimeSeries series(8);
+  Snapshot s1 = MakeSnapshot("n", 1000);
+  s1.counters["ops"] = 500;
+  Snapshot s2 = MakeSnapshot("n", 2000);
+  s2.counters["ops"] = 20;  // Process restarted; counter went backwards.
+  series.Push(s1);
+  series.Push(s2);
+  std::map<std::string, uint64_t> delta;
+  double elapsed = 0;
+  ASSERT_TRUE(series.DeltaOverWindow(60000, &delta, &elapsed));
+  EXPECT_EQ(delta["ops"], 0u);
+}
+
+TEST(TimeSeries, BoundedAndSortedUnderOutOfOrderPushes) {
+  obs::TimeSeries series(3);
+  for (uint64_t stamp : {5000u, 1000u, 3000u, 7000u}) {
+    Snapshot s = MakeSnapshot("n", stamp);
+    s.counters["ops"] = stamp;
+    series.Push(s);
+  }
+  EXPECT_EQ(series.size(), 3u);  // Capacity evicted the oldest.
+  EXPECT_EQ(series.Latest().captured_unix_ms, 7000u);
+  // Window of 4s reaches back to the 3000-stamp entry: delta 4000.
+  std::map<std::string, uint64_t> delta;
+  double elapsed = 0;
+  ASSERT_TRUE(series.DeltaOverWindow(4000, &delta, &elapsed));
+  EXPECT_EQ(delta["ops"], 4000u);
+}
+
+// ---------------------------------------------------------------------------
+// obs# keys are journal-style: invisible to shallow List.
+
+TEST(ObsKeys, HiddenFromListUnlessPrefixReaches) {
+  EXPECT_TRUE(oss::ObsKeyHiddenFromList("cluster/obs#/node/L0", "cluster/"));
+  EXPECT_TRUE(oss::ObsKeyHiddenFromList("cluster/obs#/node/L0", ""));
+  EXPECT_TRUE(oss::ObsKeyHiddenFromList("obs#/x", ""));
+  // A prefix that reaches INTO the obs# segment opts into seeing it.
+  EXPECT_FALSE(
+      oss::ObsKeyHiddenFromList("cluster/obs#/node/L0", "cluster/obs#/"));
+  EXPECT_FALSE(
+      oss::ObsKeyHiddenFromList("cluster/obs#/node/L0", "cluster/obs#/node/"));
+  // "obs#" must be a path-segment start, not a substring.
+  EXPECT_FALSE(oss::ObsKeyHiddenFromList("cluster/blobs#/x", "cluster/"));
+  EXPECT_FALSE(oss::ObsKeyHiddenFromList("cluster/xobs#/x", ""));
+}
+
+TEST(ObsKeys, MemoryAndDiskStoresHideThem) {
+  oss::MemoryObjectStore mem;
+  ASSERT_TRUE(mem.Put("c/data/a", "1").ok());
+  ASSERT_TRUE(mem.Put("c/obs#/node/L0", "snap").ok());
+  auto listed = mem.List("c/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().size(), 1u);
+  EXPECT_EQ(listed.value()[0], "c/data/a");
+  // Deep listing still finds the snapshot (how FetchFleetSnapshot works).
+  auto deep = mem.List("c/obs#/node/");
+  ASSERT_TRUE(deep.ok());
+  ASSERT_EQ(deep.value().size(), 1u);
+  // The object itself stays directly addressable.
+  EXPECT_TRUE(mem.Get("c/obs#/node/L0").ok());
+
+  std::string dir = ::testing::TempDir() + "obs_hide_disk";
+  std::filesystem::remove_all(dir);
+  auto disk = oss::DiskObjectStore::Open(dir);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE(disk.value()->Put("c/data/a", "1").ok());
+  ASSERT_TRUE(disk.value()->Put("c/obs#/node/L0", "snap").ok());
+  auto dlisted = disk.value()->List("c/");
+  ASSERT_TRUE(dlisted.ok());
+  EXPECT_EQ(dlisted.value().size(), 1u);
+  auto ddeep = disk.value()->List("c/obs#/node/");
+  ASSERT_TRUE(ddeep.ok());
+  EXPECT_EQ(ddeep.value().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Publish / fetch / merge.
+
+TEST(ObsPublish, RejectsBadNodeIds) {
+  oss::MemoryObjectStore store;
+  Snapshot s = MakeSnapshot("", 1);
+  EXPECT_FALSE(cluster::PublishSnapshot(&store, "cluster", s).ok());
+  s.node = "a/b";
+  EXPECT_FALSE(cluster::PublishSnapshot(&store, "cluster", s).ok());
+  s.node = "a#b";
+  EXPECT_FALSE(cluster::PublishSnapshot(&store, "cluster", s).ok());
+}
+
+TEST(ObsPublish, SkipsMalformedSnapshots) {
+  oss::MemoryObjectStore store;
+  Snapshot good = MakeSnapshot("L0", 10);
+  good.counters["ops"] = 5;
+  ASSERT_TRUE(cluster::PublishSnapshot(&store, "cluster", good).ok());
+  ASSERT_TRUE(store.Put("cluster/obs#/node/broken", "not json").ok());
+  auto fleet = cluster::FetchFleetSnapshot(&store, "cluster");
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_EQ(fleet.value().per_node.size(), 1u);
+  EXPECT_EQ(fleet.value().malformed, 1u);
+  EXPECT_EQ(fleet.value().merged.counters.at("ops"), 5u);
+}
+
+// The 3-node end-to-end contract behind `slim cluster stats`: three
+// nodes run real work phases against ONE shared store, each publishes
+// its own registry capture, and the fetched + merged fleet view's
+// counters must equal the per-node sums EXACTLY.
+TEST(ObsPublish, ThreeNodeFleetMergeEqualsSumOfNodes) {
+  oss::MemoryObjectStore store;
+  cluster::ShardedClusterOptions options;
+  options.num_shards = 4;
+  auto created =
+      cluster::ShardedCluster::Create(&store, options, {"L0", "L1", "L2"});
+  ASSERT_TRUE(created.ok());
+
+  Rng rng(31);
+  std::string data_a = rng.RandomBytes(96 * 1024);
+  std::string data_b = rng.RandomBytes(64 * 1024);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Get();
+  std::vector<Snapshot> per_node;
+  for (int n = 0; n < 3; ++n) {
+    std::string node = "L" + std::to_string(n);
+    // Each "node" is a fresh process in this simulation: zero the
+    // registry, do that node's work, capture, publish.
+    reg.ResetAll();
+    auto opened = cluster::ShardedCluster::Open(&store, options);
+    ASSERT_TRUE(opened.ok());
+    cluster::ShardedCluster* cl = opened.value().get();
+    std::string tenant = n == 2 ? "bob" : "alice";
+    auto stats = cl->Backup(tenant, "f" + std::to_string(n), data_a);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    if (n == 0) {
+      auto more = cl->Backup("bob", "g0", data_b);
+      ASSERT_TRUE(more.ok());
+      auto restored = cl->Restore("bob", "g0", more.value().version);
+      ASSERT_TRUE(restored.ok());
+      EXPECT_EQ(restored.value(), data_b);
+    }
+    Snapshot snap =
+        obs::CaptureSnapshot(node, 1000 + static_cast<uint64_t>(n));
+    ASSERT_TRUE(cluster::PublishSnapshot(&store, options.root, snap).ok());
+    per_node.push_back(std::move(snap));
+  }
+
+  auto fleet = cluster::FetchFleetSnapshot(&store, options.root);
+  ASSERT_TRUE(fleet.ok());
+  const cluster::FleetView& view = fleet.value();
+  ASSERT_EQ(view.per_node.size(), 3u);
+  EXPECT_EQ(view.malformed, 0u);
+
+  // Every merged counter equals the exact sum over the node snapshots.
+  std::map<std::string, uint64_t> expected;
+  for (const Snapshot& s : per_node) {
+    for (const auto& kv : s.counters) expected[kv.first] += kv.second;
+  }
+  EXPECT_EQ(view.merged.counters, expected);
+  ASSERT_FALSE(expected.empty());
+
+  // Histogram counts sum too (latency series exist for both op classes).
+  std::map<std::string, uint64_t> hist_counts;
+  for (const Snapshot& s : per_node) {
+    for (const auto& kv : s.histograms) {
+      hist_counts[kv.first] += kv.second.count;
+    }
+  }
+  for (const auto& kv : hist_counts) {
+    ASSERT_EQ(view.merged.histograms.count(kv.first), 1u) << kv.first;
+    EXPECT_EQ(view.merged.histograms.at(kv.first).count, kv.second)
+        << kv.first;
+  }
+  std::string backup_key = obs::LabeledName(
+      "cluster.op.latency_us", {{"op", "backup"}, {"tenant", "alice"}});
+  ASSERT_EQ(view.merged.histograms.count(backup_key), 1u);
+  EXPECT_EQ(view.merged.histograms.at(backup_key).count, 2u);
+
+  // SLO counters flowed through the same pipeline: alice made 2
+  // backups (L0, L1), bob 1 backup + 1 restore on L0 and 1 backup L2.
+  std::vector<obs::SloStatus> statuses =
+      obs::ComputeSloStatuses(view.merged.counters, obs::DefaultSlos());
+  uint64_t backup_total = 0;
+  for (const auto& st : statuses) {
+    if (st.objective.op_class == "backup") backup_total += st.total;
+  }
+  EXPECT_EQ(backup_total, 4u);
+
+  // Publishing never leaks obs# keys into the data plane's view.
+  auto shallow = store.List(options.root + "/");
+  ASSERT_TRUE(shallow.ok());
+  for (const std::string& key : shallow.value()) {
+    EXPECT_EQ(key.find("obs#"), std::string::npos) << key;
+  }
+  reg.ResetAll();
+}
+
+TEST(ObsPublish, ClusterPublishesOwnSnapshotAndFillsSeries) {
+  oss::MemoryObjectStore store;
+  cluster::ShardedClusterOptions options;
+  options.num_shards = 2;
+  options.node_id = "self";
+  options.obs_publish_interval_ms = 0;  // Publish on every operation.
+  auto created = cluster::ShardedCluster::Create(&store, options, {"self"});
+  ASSERT_TRUE(created.ok());
+  obs::MetricsRegistry::Get().ResetAll();
+  Rng rng(37);
+  std::string data = rng.RandomBytes(32 * 1024);
+  auto stats = created.value()->Backup("acme", "file", data);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(created.value()->obs_series().size(), 1u);
+  auto fleet = cluster::FetchFleetSnapshot(&store, options.root);
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_EQ(fleet.value().per_node.size(), 1u);
+  EXPECT_EQ(fleet.value().per_node[0].node, "self");
+  // An explicit publish also succeeds and overwrites the same key.
+  EXPECT_TRUE(created.value()->PublishObsSnapshot().ok());
+  obs::MetricsRegistry::Get().ResetAll();
+}
+
+// ---------------------------------------------------------------------------
+// Journal --since filtering.
+
+TEST(JournalSince, ParsesDurations) {
+  uint64_t ms = 0;
+  EXPECT_TRUE(obs::ParseDurationMs("500ms", &ms));
+  EXPECT_EQ(ms, 500u);
+  EXPECT_TRUE(obs::ParseDurationMs("30s", &ms));
+  EXPECT_EQ(ms, 30000u);
+  EXPECT_TRUE(obs::ParseDurationMs("10m", &ms));
+  EXPECT_EQ(ms, 600000u);
+  EXPECT_TRUE(obs::ParseDurationMs("2h", &ms));
+  EXPECT_EQ(ms, 7200000u);
+  EXPECT_TRUE(obs::ParseDurationMs("1d", &ms));
+  EXPECT_EQ(ms, 86400000u);
+  EXPECT_TRUE(obs::ParseDurationMs("45", &ms));  // Bare number = seconds.
+  EXPECT_EQ(ms, 45000u);
+
+  uint64_t untouched = 123;
+  EXPECT_FALSE(obs::ParseDurationMs("", &untouched));
+  EXPECT_FALSE(obs::ParseDurationMs("ms", &untouched));
+  EXPECT_FALSE(obs::ParseDurationMs("-5s", &untouched));
+  EXPECT_FALSE(obs::ParseDurationMs("5x", &untouched));
+  EXPECT_FALSE(obs::ParseDurationMs("99999999999999999999d", &untouched));
+  EXPECT_EQ(untouched, 123u);
+}
+
+TEST(JournalSince, FiltersByEndStamp) {
+  std::vector<std::string> records = {
+      R"({"job":1,"end_ms":1000})",
+      R"({"job":2,"end_ms":5000})",
+      R"({"job":3,"start_ms":8000})",   // end_ms missing: start_ms rules.
+      R"({"job":4,"name":"stampless"})",  // No stamp at all: dropped.
+  };
+  std::vector<std::string> kept = obs::EventJournal::FilterSince(records, 5000);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_NE(kept[0].find("\"job\":2"), std::string::npos);
+  EXPECT_NE(kept[1].find("\"job\":3"), std::string::npos);
+  EXPECT_EQ(obs::EventJournal::FilterSince(records, 0).size(), 3u);
+  EXPECT_TRUE(obs::EventJournal::FilterSince(records, 9000).empty());
+}
+
+}  // namespace
+}  // namespace slim

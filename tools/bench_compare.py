@@ -32,6 +32,10 @@ scenario appears in the current report:
   * cluster.scaleout: extra.monotonic must be 1 — aggregate backup
     throughput must strictly increase going 1 -> 2 -> 4 L-nodes, the
     core scale-out claim of the tenancy + sharding subsystem.
+  * micro.metrics: extra.within_budget must be 1 — capturing,
+    serializing, and publishing registry snapshots at the cluster
+    cadence must cost < 5% on a metric-instrumented hot loop, the
+    observability plane's overhead contract.
 
 Stdlib only; CI runs this against the committed baseline in
 bench/baselines/.
@@ -57,6 +61,9 @@ SCENARIO_INVARIANTS = {
     "cluster.scaleout": (
         "monotonic", 1.0,
         "throughput must increase monotonically from 1 to 4 L-nodes"),
+    "micro.metrics": (
+        "within_budget", 1.0,
+        "snapshot capture + publish must cost < 5% on a metric hot loop"),
 }
 
 

@@ -13,6 +13,13 @@ Checks (each maps to a stable rule id, printed with every finding):
                         MetricsRegistry counter()/gauge()/histogram() is
                         registered at exactly one source location, so two
                         subsystems cannot silently alias one time series.
+  metric-labels         every labeled metric family (a name literal passed
+                        to obs::LabeledName) declares its label set at
+                        exactly one source site; a second site could attach
+                        a different label set to the same family, and
+                        exporters/fleet merges would then see inconsistent
+                        series under one name. Route new label combinations
+                        through the one declaring helper instead.
   raw-new               no raw `new` in src/: use std::make_unique /
                         make_shared. Private-constructor factories may wrap
                         `new` directly in a unique_ptr/shared_ptr on the
@@ -91,6 +98,7 @@ ALLOW_UNVERIFIED_READ_TAG = "lint:allow-unverified-read"
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)\s*$", re.MULTILINE)
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 METRIC_RE = re.compile(r"\.(?:counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+LABELED_NAME_RE = re.compile(r"\bLabeledName\(\s*\"([^\"]+)\"")
 NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:<]")
 SMART_PTR_WRAP_RE = re.compile(r"(?:unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b")
 STD_SYNC_RE = re.compile(
@@ -324,6 +332,12 @@ def collect_metric_sites(rel_path, lines, sites):
             sites.setdefault(name, []).append((rel_path, i))
 
 
+def collect_labeled_metric_sites(rel_path, lines, sites):
+    for i, line in enumerate(lines, 1):
+        for name in LABELED_NAME_RE.findall(strip_line_comment(line)):
+            sites.setdefault(name, []).append((rel_path, i))
+
+
 def iter_files(root, rel_dirs):
     for rel_dir in rel_dirs:
         top = os.path.join(root, rel_dir)
@@ -340,7 +354,7 @@ def iter_files(root, rel_dirs):
                     yield os.path.relpath(path, root)
 
 
-def lint_file(root, rel_path, metric_sites, findings):
+def lint_file(root, rel_path, metric_sites, labeled_sites, findings):
     with open(os.path.join(root, rel_path), encoding="utf-8") as f:
         text = f.read()
     lines = text.splitlines()
@@ -359,6 +373,7 @@ def lint_file(root, rel_path, metric_sites, findings):
         check_mutex_named(rel_path, lines, findings)
         check_oss_verified_read(rel_path, lines, findings)
         collect_metric_sites(rel_path, lines, metric_sites)
+        collect_labeled_metric_sites(rel_path, lines, labeled_sites)
     if top in ("src", "tools"):
         check_oss_put_copy(rel_path, text, lines, findings)
 
@@ -375,14 +390,30 @@ def check_metric_uniqueness(metric_sites, findings):
                             f"sites (also {others}); share the handle instead"))
 
 
+def check_labeled_metric_uniqueness(labeled_sites, findings):
+    for name, sites in sorted(labeled_sites.items()):
+        if len(sites) > 1:
+            for path, line in sites:
+                others = ", ".join(
+                    f"{p}:{l}" for p, l in sites if (p, l) != (path, line))
+                findings.append(
+                    Finding("metric-labels", path, line,
+                            f"labeled metric family \"{name}\" declared at "
+                            f"{len(sites)} sites (also {others}); declare "
+                            "the name + label set once and route callers "
+                            "through that helper"))
+
+
 def run_lint(root, rel_dirs=SCAN_DIRS):
     findings = []
     metric_sites = {}
+    labeled_sites = {}
     count = 0
     for rel_path in iter_files(root, rel_dirs):
-        lint_file(root, rel_path, metric_sites, findings)
+        lint_file(root, rel_path, metric_sites, labeled_sites, findings)
         count += 1
     check_metric_uniqueness(metric_sites, findings)
+    check_labeled_metric_uniqueness(labeled_sites, findings)
     return findings, count
 
 

@@ -1,0 +1,9 @@
+// Fixture: the labeled metric family below is also declared in
+// bad_metric_labels_2.cc with a different label set — the exporter
+// would see inconsistent series under one family name.
+namespace fixture_obs1 {
+const char* LabeledName(const char*, int);
+}
+void FixtureLabeledA() {
+  fixture_obs1::LabeledName("fixture.labeled.family", 1);
+}

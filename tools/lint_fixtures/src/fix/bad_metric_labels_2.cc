@@ -1,0 +1,8 @@
+// Fixture: second declaring site for the same labeled metric family;
+// see bad_metric_labels_1.cc.
+namespace fixture_obs2 {
+const char* LabeledName(const char*, int);
+}
+void FixtureLabeledB() {
+  fixture_obs2::LabeledName("fixture.labeled.family", 2);
+}

@@ -1,0 +1,8 @@
+// Fixture: one declaring site per labeled family is fine, even when the
+// same helper builds several label values from it.
+namespace fixture_obs3 {
+const char* LabeledName(const char*, int);
+}
+const char* FixtureLabeledSeries(int tenant) {
+  return fixture_obs3::LabeledName("fixture.labeled.unique", tenant);
+}

@@ -32,16 +32,21 @@
 // replica, so replication fan-out and retried attempts are billed the
 // way a cloud provider would bill them.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cluster/obs_publish.h"
 #include "cluster/sharded_cluster.h"
 #include "cluster/tenant.h"
 #include "core/slimstore.h"
@@ -54,6 +59,10 @@
 #include "obs/export.h"
 #include "obs/job_context.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/snapshot.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "oss/cost_accounting_object_store.h"
 #include "oss/disk_object_store.h"
@@ -87,15 +96,26 @@ int Usage() {
       "  verify                    check repository consistency\n"
       "  stats [--json|--prom]     print OSS/pipeline metrics, per-job "
       "costs,\n"
-      "                            and recent trace spans\n"
+      "                            SLO status, and recent trace spans\n"
       "  stats --trace OUT.json    also write spans as Chrome trace_event\n"
       "                            JSON (Perfetto / about:tracing)\n"
+      "  stats --watch             redraw the report every --interval-ms\n"
+      "                            (default 2000); --iterations N stops\n"
+      "                            after N redraws\n"
+      "  top [--watch]             live per-tenant view over the fleet's\n"
+      "                            published snapshots: ops/s, MB/s,\n"
+      "                            $/hour, SLO burn (sorted by burn) and\n"
+      "                            rebalance progress; same --interval-ms/\n"
+      "                            --iterations flags as stats --watch\n"
       "  jobs [--tail N] [--json]  read the job event journal (what ran,\n"
       "                            what it cost); default last 20 records\n"
       "  jobs --by-tenant          aggregate the journal into per-tenant\n"
       "                            cost rollups (jobs, requests, dollars)\n"
       "  jobs --tenant NAME        show only records tagged with NAME\n"
       "                            (composes with --by-tenant/--json)\n"
+      "  jobs --since DUR          only records that finished within the\n"
+      "                            last DUR (500ms, 30s, 10m, 2h, 1d);\n"
+      "                            composes with --tenant/--by-tenant\n"
       "  cluster init [--nodes A,B]     create a sharded multi-tenant\n"
       "                            cluster (--shards logical shards)\n"
       "  cluster status            map version, nodes, shards, tenants\n"
@@ -107,6 +127,12 @@ int Usage() {
       "  cluster backup FILE...    back up into the --tenant namespace\n"
       "  cluster restore FILE VER OUT\n"
       "                            restore from the --tenant namespace\n"
+      "  cluster stats [--json|--prom]\n"
+      "                            fetch every node's published snapshot,\n"
+      "                            merge them, and print one fleet report\n"
+      "                            (per-tenant p50/p99, $, SLO burn);\n"
+      "                            --watch/--interval-ms/--iterations as\n"
+      "                            with stats\n"
       "  rebuild                   crash recovery: discard all local state\n"
       "                            and reconstruct it from OSS objects\n"
       "                            (recipes, pending records, containers)\n"
@@ -134,7 +160,10 @@ int Usage() {
       "    for per-tenant cost rollups in the journal; routes `cluster`\n"
       "    backups/restores into that tenant's namespace\n"
       "  --shards N                logical shard count for `cluster init`\n"
-      "    (fixed for the cluster's lifetime; default 8)\n");
+      "    (fixed for the cluster's lifetime; default 8)\n"
+      "  --node NAME               this process's fleet identity; cluster\n"
+      "    commands tag + publish their metric snapshot to\n"
+      "    <root>/obs#/node/NAME so `cluster stats` / `top` can merge it\n");
   return 2;
 }
 
@@ -433,14 +462,301 @@ std::string RenderJobCosts() {
   return out;
 }
 
+uint64_t UnixMsNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Watch-mode knobs shared by `stats --watch`, `cluster stats --watch`,
+// and `top`: redraw every interval, optionally stopping after a fixed
+// iteration count (tests drive the loop with --iterations 1).
+struct WatchOptions {
+  bool watch = false;
+  uint64_t interval_ms = 2000;
+  size_t iterations = 0;  // 0 = forever (watch mode), else a cap.
+
+  /// Tries to consume argv[*argi] (+ value); false if it isn't ours.
+  bool Parse(int argc, char** argv, int* argi) {
+    const char* arg = argv[*argi];
+    if (std::strcmp(arg, "--watch") == 0) {
+      watch = true;
+      return true;
+    }
+    if (std::strcmp(arg, "--interval-ms") == 0 && *argi + 1 < argc) {
+      interval_ms = std::stoull(argv[++*argi]);
+      if (interval_ms == 0) interval_ms = 1;
+      return true;
+    }
+    if (std::strcmp(arg, "--iterations") == 0 && *argi + 1 < argc) {
+      iterations = static_cast<size_t>(std::stoull(argv[++*argi]));
+      return true;
+    }
+    return false;
+  }
+
+  /// One pass unless watching or an explicit iteration cap was given.
+  size_t EffectiveIterations() const {
+    if (iterations != 0) return iterations;
+    return watch ? 0 : 1;
+  }
+
+  /// Between redraws: sleep, then clear the terminal in watch mode.
+  void PrepareRedraw(size_t pass) const {
+    if (pass != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    if (watch) std::printf("\x1b[2J\x1b[H");
+  }
+};
+
+std::string LabelValue(const obs::MetricKeyParts& parts, const char* key) {
+  for (const auto& kv : parts.labels) {
+    if (kv.first == key) return kv.second;
+  }
+  return "";
+}
+
+// One merged fleet report (`slim cluster stats`): per-tenant latency
+// percentiles and cumulative dollars from the merged snapshot, then the
+// SLO burn table. All series arrive as LabeledName keys, so this is
+// pure presentation — the merge itself is label-blind.
+std::string RenderFleetReport(const cluster::FleetView& view) {
+  std::string out;
+  char buf[256];
+  std::string nodes;
+  for (const auto& snap : view.per_node) {
+    if (!nodes.empty()) nodes += " ";
+    nodes += snap.node;
+  }
+  std::snprintf(buf, sizeof(buf), "fleet: %zu node snapshot(s)%s%s\n",
+                view.per_node.size(), nodes.empty() ? "" : ": ",
+                nodes.c_str());
+  out += buf;
+  if (view.malformed != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "warning: skipped %llu malformed snapshot object(s)\n",
+                  (unsigned long long)view.malformed);
+    out += buf;
+  }
+  if (view.per_node.empty()) {
+    out += "(no node has published a snapshot yet; run cluster commands "
+           "with --node NAME)\n";
+    return out;
+  }
+
+  struct TenantRow {
+    uint64_t backups = 0;
+    uint64_t restores = 0;
+    double backup_p50_ms = 0, backup_p99_ms = 0;
+    double restore_p50_ms = 0, restore_p99_ms = 0;
+    double dollars = 0;
+    double burn = 0;
+  };
+  std::map<std::string, TenantRow> rows;
+  const obs::Snapshot& merged = view.merged;
+  for (const auto& entry : merged.histograms) {
+    obs::MetricKeyParts parts = obs::SplitLabeledName(entry.first);
+    if (parts.base != "cluster.op.latency_us") continue;
+    TenantRow& row = rows[LabelValue(parts, "tenant")];
+    const obs::HistogramData& h = entry.second;
+    if (LabelValue(parts, "op") == "backup") {
+      row.backups = h.count;
+      row.backup_p50_ms = static_cast<double>(h.ValueAtPercentile(50)) / 1e3;
+      row.backup_p99_ms = static_cast<double>(h.ValueAtPercentile(99)) / 1e3;
+    } else if (LabelValue(parts, "op") == "restore") {
+      row.restores = h.count;
+      row.restore_p50_ms = static_cast<double>(h.ValueAtPercentile(50)) / 1e3;
+      row.restore_p99_ms = static_cast<double>(h.ValueAtPercentile(99)) / 1e3;
+    }
+  }
+  for (const auto& entry : merged.counters) {
+    obs::MetricKeyParts parts = obs::SplitLabeledName(entry.first);
+    if (parts.base != "tenant.cost.picodollars") continue;
+    rows[LabelValue(parts, "tenant")].dollars =
+        static_cast<double>(entry.second) / 1e12;
+  }
+  std::vector<obs::SloStatus> statuses =
+      obs::ComputeSloStatuses(merged.counters, obs::DefaultSlos());
+  for (const auto& st : statuses) {
+    auto it = rows.find(st.tenant);
+    if (it == rows.end()) continue;
+    if (st.burn_rate > it->second.burn) it->second.burn = st.burn_rate;
+  }
+
+  if (!rows.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-14s %8s %9s %9s %8s %9s %9s %12s %7s\n", "tenant",
+                  "backups", "bk p50ms", "bk p99ms", "restores", "rs p50ms",
+                  "rs p99ms", "cost $", "burn");
+    out += buf;
+    for (const auto& entry : rows) {
+      const TenantRow& r = entry.second;
+      std::snprintf(buf, sizeof(buf),
+                    "%-14s %8llu %9.2f %9.2f %8llu %9.2f %9.2f %12.6f "
+                    "%7.2f\n",
+                    entry.first.empty() ? "(untagged)" : entry.first.c_str(),
+                    (unsigned long long)r.backups, r.backup_p50_ms,
+                    r.backup_p99_ms, (unsigned long long)r.restores,
+                    r.restore_p50_ms, r.restore_p99_ms, r.dollars, r.burn);
+      out += buf;
+    }
+  }
+  out += "\n-- slo status --\n";
+  out += obs::RenderSloTable(statuses);
+  return out;
+}
+
+// One `slim top` frame: per-tenant rates over the trailing window of
+// the local fleet-merge ring, sorted by SLO burn (worst tenant first),
+// plus rebalance progress gauges when a rebalance has run.
+std::string RenderTopTable(const obs::TimeSeries& series,
+                           uint64_t window_ms) {
+  obs::Snapshot latest = series.Latest();
+  std::map<std::string, uint64_t> delta;
+  double elapsed = 0;
+  bool have_window = series.DeltaOverWindow(window_ms, &delta, &elapsed);
+
+  struct TenantRow {
+    uint64_t jobs = 0;
+    double ops_per_sec = 0;
+    double mb_per_sec = 0;
+    double dollars_per_hour = 0;
+    double burn = 0;
+  };
+  std::map<std::string, TenantRow> rows;
+  for (const auto& entry : latest.counters) {
+    obs::MetricKeyParts parts = obs::SplitLabeledName(entry.first);
+    if (parts.base == "tenant.jobs") {
+      rows[LabelValue(parts, "tenant")].jobs = entry.second;
+    }
+  }
+  if (have_window && elapsed > 0) {
+    for (const auto& entry : delta) {
+      obs::MetricKeyParts parts = obs::SplitLabeledName(entry.first);
+      std::string tenant = LabelValue(parts, "tenant");
+      double rate = static_cast<double>(entry.second) / elapsed;
+      if (parts.base.rfind("slo.", 0) == 0 &&
+          parts.base.size() > 10 &&
+          parts.base.compare(parts.base.size() - 6, 6, ".total") == 0) {
+        rows[tenant].ops_per_sec += rate;
+      } else if (parts.base == "tenant.oss.bytes_read" ||
+                 parts.base == "tenant.oss.bytes_written") {
+        rows[tenant].mb_per_sec += rate / (1024.0 * 1024.0);
+      } else if (parts.base == "tenant.cost.picodollars") {
+        rows[tenant].dollars_per_hour += rate * 3600.0 / 1e12;
+      }
+    }
+  }
+  // Burn over the window when we have one; else cumulative since start.
+  std::vector<obs::SloStatus> statuses = obs::ComputeSloStatuses(
+      have_window ? delta : latest.counters, obs::DefaultSlos());
+  for (const auto& st : statuses) {
+    auto it = rows.find(st.tenant);
+    if (it != rows.end() && st.burn_rate > it->second.burn) {
+      it->second.burn = st.burn_rate;
+    }
+  }
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "slim top — %zu sample(s), window %.0fs%s\n",
+                series.size(), static_cast<double>(window_ms) / 1e3,
+                have_window ? "" : " (rates need a second sample)");
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-14s %8s %9s %9s %10s %7s\n", "tenant",
+                "jobs", "ops/s", "MB/s", "$/hour", "burn");
+  out += buf;
+  std::vector<std::pair<std::string, TenantRow>> sorted(rows.begin(),
+                                                        rows.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.burn != b.second.burn) {
+                return a.second.burn > b.second.burn;
+              }
+              return a.first < b.first;
+            });
+  for (const auto& entry : sorted) {
+    const TenantRow& r = entry.second;
+    std::snprintf(buf, sizeof(buf), "%-14s %8llu %9.2f %9.2f %10.6f %7.2f\n",
+                  entry.first.empty() ? "(untagged)" : entry.first.c_str(),
+                  (unsigned long long)r.jobs, r.ops_per_sec, r.mb_per_sec,
+                  r.dollars_per_hour, r.burn);
+    out += buf;
+  }
+  if (sorted.empty()) out += "(no per-tenant series published yet)\n";
+
+  auto gauge = [&latest](const char* name, int64_t* value) {
+    auto it = latest.gauges.find(name);
+    if (it == latest.gauges.end()) return false;
+    *value = it->second.value;
+    return true;
+  };
+  int64_t moves_total = 0;
+  if (gauge("cluster.rebalance.moves_total", &moves_total) &&
+      moves_total > 0) {
+    int64_t moves_done = 0, bytes_moved = 0, throttle = 0, eta = 0;
+    gauge("cluster.rebalance.moves_done", &moves_done);
+    gauge("cluster.rebalance.bytes_moved", &bytes_moved);
+    gauge("cluster.rebalance.throttle_util_pct", &throttle);
+    gauge("cluster.rebalance.eta_ms", &eta);
+    std::snprintf(buf, sizeof(buf),
+                  "rebalance: %lld/%lld move(s), %.2f MB moved, throttle "
+                  "%lld%%, eta %.1fs\n",
+                  (long long)moves_done, (long long)moves_total,
+                  Mb(static_cast<uint64_t>(bytes_moved < 0 ? 0 : bytes_moved)),
+                  (long long)throttle, static_cast<double>(eta) / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+// `slim top` — repeatedly fetch + merge the fleet's published
+// snapshots into a local ring and render per-tenant rates. Reads only
+// the obs# prefix; never opens the repo or the cluster map, so it works
+// on a node that can't serve data.
+int RunTopCommand(const std::string& repo_root, int argc, char** argv,
+                  int argi) {
+  WatchOptions watch;
+  for (; argi < argc; ++argi) {
+    if (!watch.Parse(argc, argv, &argi)) return Usage();
+  }
+  auto disk = oss::DiskObjectStore::Open(repo_root);
+  if (!disk.ok()) return Fail(disk.status());
+  cluster::ShardedClusterOptions defaults;
+  obs::TimeSeries series(256);
+  // Rates average over several refresh intervals (min 10s) so one slow
+  // publish doesn't whipsaw the table.
+  uint64_t window_ms = watch.interval_ms * 8;
+  if (window_ms < 10000) window_ms = 10000;
+  size_t passes = watch.EffectiveIterations();
+  for (size_t i = 0; passes == 0 || i < passes; ++i) {
+    watch.PrepareRedraw(i);
+    auto fleet = cluster::FetchFleetSnapshot(disk.value().get(),
+                                             defaults.root);
+    if (!fleet.ok()) return Fail(fleet.status());
+    obs::Snapshot merged = fleet.value().merged;
+    // Stamp with local fetch time: nodes that didn't republish between
+    // passes then contribute a zero delta (rate 0), not a stale rate.
+    merged.captured_unix_ms = UnixMsNow();
+    series.Push(std::move(merged));
+    std::printf("%s", RenderTopTable(series, window_ms).c_str());
+  }
+  return 0;
+}
+
 // `slim jobs` — reads the on-disk event journal without opening the
 // repository, so the cost history is available even when the repo
 // itself cannot be opened.
 int RunJobsCommand(const std::string& repo_root, size_t tail, bool json,
-                   const std::string* tenant_filter) {
+                   const std::string* tenant_filter, uint64_t since_ms) {
   std::string dir =
       (std::filesystem::path(repo_root) / "journal").string();
   obs::JournalReadResult result = obs::EventJournal::ReadAll(dir);
+  if (since_ms != 0) {
+    result.records = obs::EventJournal::FilterSince(result.records, since_ms);
+  }
   if (tenant_filter != nullptr) {
     result.records =
         obs::EventJournal::FilterByTenant(result.records, *tenant_filter);
@@ -496,10 +812,14 @@ int RunJobsCommand(const std::string& repo_root, size_t tail, bool json,
 // per tenant (chargeback view). Jobs opened without --tenant land on the
 // "(untagged)" row.
 int RunJobsByTenantCommand(const std::string& repo_root,
-                           const std::string* tenant_filter) {
+                           const std::string* tenant_filter,
+                           uint64_t since_ms) {
   std::string dir =
       (std::filesystem::path(repo_root) / "journal").string();
   obs::JournalReadResult result = obs::EventJournal::ReadAll(dir);
+  if (since_ms != 0) {
+    result.records = obs::EventJournal::FilterSince(result.records, since_ms);
+  }
   if (tenant_filter != nullptr) {
     result.records =
         obs::EventJournal::FilterByTenant(result.records, *tenant_filter);
@@ -535,7 +855,8 @@ int RunJobsByTenantCommand(const std::string& repo_root,
 // tag, so `slim jobs --by-tenant` rolls up cluster work with no extra
 // plumbing.
 int RunClusterCommand(const std::string& repo_root, const std::string& tenant,
-                      uint32_t shards, int argc, char** argv, int argi) {
+                      const std::string& node_id, uint32_t shards, int argc,
+                      char** argv, int argi) {
   if (argi >= argc) return Usage();
   std::string sub = argv[argi++];
 
@@ -556,6 +877,45 @@ int RunClusterCommand(const std::string& repo_root, const std::string& tenant,
 
   cluster::ShardedClusterOptions options;
   if (shards > 0) options.num_shards = shards;
+  options.node_id = node_id;
+  // CLI invocations are short-lived: ship the snapshot on every
+  // operation instead of rate-limiting, so the process's last write
+  // always lands before exit.
+  options.obs_publish_interval_ms = 0;
+
+  // `cluster stats` reads only published obs# snapshots — no cluster
+  // map needed, so a node that can't open the map can still observe.
+  if (sub == "stats") {
+    obs::ExportFormat format = obs::ExportFormat::kTable;
+    WatchOptions watch;
+    for (; argi < argc; ++argi) {
+      if (std::strcmp(argv[argi], "--json") == 0) {
+        format = obs::ExportFormat::kJson;
+      } else if (std::strcmp(argv[argi], "--prom") == 0) {
+        format = obs::ExportFormat::kPrometheus;
+      } else if (!watch.Parse(argc, argv, &argi)) {
+        return Usage();
+      }
+    }
+    size_t passes = watch.EffectiveIterations();
+    for (size_t i = 0; passes == 0 || i < passes; ++i) {
+      watch.PrepareRedraw(i);
+      auto fleet = cluster::FetchFleetSnapshot(&billed, options.root);
+      if (!fleet.ok()) {
+        cli_job.SetError(fleet.status().ToString());
+        return Fail(fleet.status());
+      }
+      if (format == obs::ExportFormat::kTable) {
+        std::printf("%s", RenderFleetReport(fleet.value()).c_str());
+      } else {
+        std::printf("%s",
+                    obs::Render(obs::ToMetricsSnapshot(fleet.value().merged),
+                                format)
+                        .c_str());
+      }
+    }
+    return 0;
+  }
 
   if (sub == "init") {
     std::vector<std::string> nodes;
@@ -721,6 +1081,7 @@ int main(int argc, char** argv) {
   std::string repo_root;
   std::optional<oss::FaultProfile> fault_profile;
   std::string tenant;
+  std::string node_id;
   uint32_t parity_group = 0;
   uint32_t shards = 0;
   int argi = 1;
@@ -761,9 +1122,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[argi], "--shards") == 0) {
       shards = static_cast<uint32_t>(std::stoul(argv[argi + 1]));
       argi += 2;
+    } else if (std::strcmp(argv[argi], "--node") == 0) {
+      node_id = argv[argi + 1];
+      argi += 2;
     } else {
       break;
     }
+  }
+  // Node ids become one path segment of the snapshot key and must not
+  // collide with the obs# marker itself.
+  if (!node_id.empty() &&
+      node_id.find_first_of("/#") != std::string::npos) {
+    std::fprintf(stderr,
+                 "error: --node: id must not contain '/' or '#': %s\n",
+                 node_id.c_str());
+    return 2;
   }
   // Reject bad tenant ids before any command touches the repo: a bad id
   // would either fake key-prefix components ('/') or alias the atomic-
@@ -787,6 +1160,7 @@ int main(int argc, char** argv) {
     size_t tail = 20;
     bool json = false;
     bool by_tenant = false;
+    uint64_t since_ms = 0;  // 0 = no --since filter.
     // --tenant before the command also selects a filter, so both
     // `slim --tenant X -r R jobs` and `slim -r R jobs --tenant X` work.
     std::string filter = tenant;
@@ -809,17 +1183,39 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[argi], "--tail") == 0 &&
                  argi + 1 < argc) {
         tail = static_cast<size_t>(std::stoul(argv[++argi]));
+      } else if (std::strcmp(argv[argi], "--since") == 0 &&
+                 argi + 1 < argc) {
+        uint64_t duration_ms = 0;
+        if (!obs::ParseDurationMs(argv[argi + 1], &duration_ms)) {
+          std::fprintf(stderr,
+                       "error: --since: cannot parse duration '%s' "
+                       "(try 30s, 10m, 2h, 1d)\n",
+                       argv[argi + 1]);
+          return 2;
+        }
+        ++argi;
+        uint64_t now = UnixMsNow();
+        // Clamp so huge durations mean "everything", and a zero
+        // duration still counts as an active filter.
+        since_ms = duration_ms >= now ? 1 : now - duration_ms;
       } else {
         return Usage();
       }
     }
     const std::string* tenant_filter = filtered ? &filter : nullptr;
-    if (by_tenant) return RunJobsByTenantCommand(repo_root, tenant_filter);
-    return RunJobsCommand(repo_root, tail, json, tenant_filter);
+    if (by_tenant) {
+      return RunJobsByTenantCommand(repo_root, tenant_filter, since_ms);
+    }
+    return RunJobsCommand(repo_root, tail, json, tenant_filter, since_ms);
+  }
+
+  if (command == "top") {
+    return RunTopCommand(repo_root, argc, argv, argi);
   }
 
   if (command == "cluster") {
-    return RunClusterCommand(repo_root, tenant, shards, argc, argv, argi);
+    return RunClusterCommand(repo_root, tenant, node_id, shards, argc, argv,
+                             argi);
   }
 
   uint32_t init_replicas = 0;
@@ -1063,6 +1459,7 @@ int main(int argc, char** argv) {
   if (command == "stats") {
     obs::ExportFormat format = obs::ExportFormat::kTable;
     std::string trace_path;
+    WatchOptions watch;
     for (; argi < argc; ++argi) {
       if (std::strcmp(argv[argi], "--json") == 0) {
         format = obs::ExportFormat::kJson;
@@ -1071,25 +1468,37 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[argi], "--trace") == 0 &&
                  argi + 1 < argc) {
         trace_path = argv[++argi];
-      } else {
+      } else if (!watch.Parse(argc, argv, &argi)) {
         return Usage();
       }
     }
-    // Warm the counters with a cheap pass over the repo so a fresh
-    // process still reports real OSS traffic.
-    auto space = store->GetSpaceReport();
-    if (!space.ok()) return Fail(space.status());
-    std::printf("%s", core::SlimStore::GetMetricsReport(format).c_str());
-    if (format == obs::ExportFormat::kTable) {
-      std::printf("%s",
-                  obs::RenderLockTable(obs::MetricsRegistry::Get().Snapshot())
-                      .c_str());
-      std::printf("%s", RenderJobCosts().c_str());
-      std::printf("%s", obs::RenderTrace(obs::TraceSink::Get()).c_str());
-      auto reports =
-          obs::AnalyzeCriticalPaths(obs::TraceSink::Get().Snapshot());
-      if (!reports.empty()) {
-        std::printf("%s", obs::RenderCriticalPaths(reports).c_str());
+    size_t passes = watch.EffectiveIterations();
+    for (size_t pass = 0; passes == 0 || pass < passes; ++pass) {
+      watch.PrepareRedraw(pass);
+      // Warm the counters with a cheap pass over the repo so a fresh
+      // process still reports real OSS traffic.
+      auto space = store->GetSpaceReport();
+      if (!space.ok()) return Fail(space.status());
+      std::printf("%s", core::SlimStore::GetMetricsReport(format).c_str());
+      if (format == obs::ExportFormat::kTable) {
+        std::printf("%s",
+                    obs::RenderLockTable(
+                        obs::MetricsRegistry::Get().Snapshot())
+                        .c_str());
+        std::printf(
+            "\n-- slo status --\n%s",
+            obs::RenderSloTable(
+                obs::ComputeSloStatuses(
+                    obs::MetricsRegistry::Get().CaptureRaw().counters,
+                    obs::DefaultSlos()))
+                .c_str());
+        std::printf("%s", RenderJobCosts().c_str());
+        std::printf("%s", obs::RenderTrace(obs::TraceSink::Get()).c_str());
+        auto reports =
+            obs::AnalyzeCriticalPaths(obs::TraceSink::Get().Snapshot());
+        if (!reports.empty()) {
+          std::printf("%s", obs::RenderCriticalPaths(reports).c_str());
+        }
       }
     }
     if (!trace_path.empty()) {
